@@ -1,0 +1,79 @@
+//! Criterion ablation benchmarks for the design knobs DESIGN.md calls out:
+//! M5P leaf size, smoothing, pruning, and the sliding-window length of the
+//! derived variables.
+
+use aging_bench::experiments::common::{self, BASE_SEED};
+use aging_ml::m5p::M5pLearner;
+use aging_ml::{Learner, Regressor};
+use aging_monitor::{build_dataset, FeatureExtractor, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::{MemLeakSpec, Scenario};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn training_trace() -> aging_testbed::RunTrace {
+    Scenario::builder("abl-train")
+        .config(common::small_scale_config())
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(8))
+        .run_to_crash()
+        .build()
+        .run(BASE_SEED + 20)
+}
+
+fn bench_leaf_size(c: &mut Criterion) {
+    let trace = training_trace();
+    let ds = build_dataset(&[&trace], &FeatureSet::exp42(), TTF_CAP_SECS);
+    let mut group = c.benchmark_group("ablation_m5p_leaf_size");
+    group.sample_size(10);
+    for m in [4usize, 10, 50] {
+        group.bench_function(format!("min_instances_{m}"), |b| {
+            b.iter(|| {
+                black_box(
+                    M5pLearner::default().with_min_instances(m).fit(&ds).unwrap().n_leaves(),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_smoothing_pruning(c: &mut Criterion) {
+    let trace = training_trace();
+    let ds = build_dataset(&[&trace], &FeatureSet::exp42(), TTF_CAP_SECS);
+    let smoothed = M5pLearner::paper_default().with_smoothing(true).fit(&ds).unwrap();
+    let raw = M5pLearner::paper_default().with_smoothing(false).fit(&ds).unwrap();
+    let row: Vec<f64> = ds.row(ds.len() / 2).values().to_vec();
+    let mut group = c.benchmark_group("ablation_m5p_smoothing");
+    group.bench_function("predict_smoothed", |b| b.iter(|| smoothed.predict(black_box(&row))));
+    group.bench_function("predict_unsmoothed", |b| b.iter(|| raw.predict(black_box(&row))));
+    group.finish();
+
+    let mut group = c.benchmark_group("ablation_m5p_pruning");
+    group.sample_size(10);
+    group.bench_function("train_pruned", |b| {
+        b.iter(|| black_box(M5pLearner::paper_default().with_pruning(true).fit(&ds).unwrap()))
+    });
+    group.bench_function("train_unpruned", |b| {
+        b.iter(|| black_box(M5pLearner::paper_default().with_pruning(false).fit(&ds).unwrap()))
+    });
+    group.finish();
+}
+
+fn bench_window_length(c: &mut Criterion) {
+    let trace = training_trace();
+    let mut group = c.benchmark_group("ablation_window_length");
+    for window in [4usize, 12, 48] {
+        group.bench_function(format!("extract_X{window}"), |b| {
+            b.iter(|| {
+                let mut fx = FeatureExtractor::new(window);
+                for s in &trace.samples {
+                    black_box(fx.push(s));
+                }
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_leaf_size, bench_smoothing_pruning, bench_window_length);
+criterion_main!(benches);

@@ -1,0 +1,195 @@
+//! One criterion benchmark per paper artefact (table/figure), at reduced
+//! scale: a quarter-size heap makes every experiment crash in simulated
+//! minutes so a full train-and-evaluate cycle fits in a benchmark
+//! iteration. `repro` runs the full-scale versions; these benches keep
+//! every experiment path exercised and timed.
+
+use aging_bench::experiments::common::{self, BASE_SEED};
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::Learner;
+use aging_monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::{MemLeakSpec, PeriodicSpec, Scenario, ThreadLeakSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn small_leak_run(name: &str, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .config(common::small_scale_config())
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+/// Figure 1: constant leak until crash, staircase series extraction.
+fn bench_fig1(c: &mut Criterion) {
+    let scenario = small_leak_run("fig1-small", 100, 8);
+    c.bench_function("artefact_fig1_staircase", |b| {
+        b.iter(|| {
+            let trace = scenario.run(BASE_SEED);
+            black_box(aging_bench::experiments::figures::fig1_from_trace(&trace))
+        })
+    });
+}
+
+/// Figure 2: periodic pattern, OS vs JVM view extraction.
+fn bench_fig2(c: &mut Criterion) {
+    let spec = PeriodicSpec { acquire_n: 8, release_n: 20, phase_secs: 120, chunk_mb: 1.0 };
+    let scenario = Scenario::builder("fig2-small")
+        .config(common::small_scale_config())
+        .emulated_browsers(100)
+        .periodic_cycles_no_retention(spec, 3)
+        .build();
+    c.bench_function("artefact_fig2_viewpoints", |b| {
+        b.iter(|| {
+            let trace = scenario.run(BASE_SEED);
+            black_box(aging_bench::experiments::figures::fig2_from_trace(&trace))
+        })
+    });
+}
+
+/// Table 3: train at two workloads, evaluate M5P vs LinReg at a third.
+fn bench_table3(c: &mut Criterion) {
+    let features = FeatureSet::exp41();
+    let traces = [
+        small_leak_run("t3-a", 50, 8).run(BASE_SEED),
+        small_leak_run("t3-b", 200, 8).run(BASE_SEED + 1),
+    ];
+    let refs: Vec<_> = traces.iter().collect();
+    let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+    let test = small_leak_run("t3-test", 100, 8).run(BASE_SEED + 2);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+    let mut group = c.benchmark_group("artefact_table3");
+    group.sample_size(10);
+    group.bench_function("train_and_eval_both_models", |b| {
+        b.iter(|| {
+            let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
+            let lr = LinRegLearner::default().fit(&ds).unwrap();
+            let e1 = aging_core::predictor::evaluate_regressor_on_trace(
+                &m5p, &features, &test, &actuals,
+            );
+            let e2 = aging_core::predictor::evaluate_regressor_on_trace(
+                &lr, &features, &test, &actuals,
+            );
+            black_box((e1.mae, e2.mae))
+        })
+    });
+    group.finish();
+}
+
+/// Figure 3 / Exp 4.2: dynamic rates with frozen-rate ground truth.
+fn bench_exp42(c: &mut Criterion) {
+    let train = small_leak_run("e42-train", 100, 8).run(BASE_SEED + 3);
+    let features = FeatureSet::exp42();
+    let predictor = aging_core::AgingPredictor::train_on_traces(
+        &M5pLearner::paper_default(),
+        &[&train],
+        features,
+    )
+    .unwrap();
+    let test = Scenario::builder("e42-test")
+        .config(common::small_scale_config())
+        .emulated_browsers(100)
+        .idle_phase_minutes(2)
+        .leak_phase_minutes(2, MemLeakSpec::new(16), None)
+        .final_leak_phase(MemLeakSpec::new(8), None)
+        .build();
+    let mut group = c.benchmark_group("artefact_fig3_exp42");
+    group.sample_size(10);
+    group.bench_function("frozen_truth_evaluation", |b| {
+        b.iter(|| {
+            black_box(
+                predictor
+                    .evaluate_scenario_frozen_truth(&test, BASE_SEED + 4)
+                    .unwrap()
+                    .evaluation,
+            )
+        })
+    });
+    group.finish();
+}
+
+/// Table 4 / Figure 4 / Exp 4.3: masked aging with feature selection.
+fn bench_exp43(c: &mut Criterion) {
+    let train = small_leak_run("e43-train", 100, 8).run(BASE_SEED + 5);
+    let refs = [&train];
+    let spec = PeriodicSpec { acquire_n: 8, release_n: 20, phase_secs: 120, chunk_mb: 1.0 };
+    let test = Scenario::builder("e43-test")
+        .config(common::small_scale_config())
+        .emulated_browsers(100)
+        .periodic_cycles(spec, 30)
+        .run_to_crash()
+        .build()
+        .run(BASE_SEED + 6);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+    let mut group = c.benchmark_group("artefact_table4_fig4_exp43");
+    group.sample_size(10);
+    group.bench_function("feature_selection_comparison", |b| {
+        b.iter(|| {
+            let mut maes = Vec::new();
+            for features in [FeatureSet::exp43_full(), FeatureSet::exp43_heap()] {
+                let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+                let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
+                maes.push(
+                    aging_core::predictor::evaluate_regressor_on_trace(
+                        &m5p, &features, &test, &actuals,
+                    )
+                    .mae,
+                );
+            }
+            black_box(maes)
+        })
+    });
+    group.finish();
+}
+
+/// Figure 5 / Exp 4.4: two-resource aging and root cause.
+fn bench_exp44(c: &mut Criterion) {
+    let cfg = common::small_scale_config();
+    let mem_train = small_leak_run("e44-mem", 100, 8).run(BASE_SEED + 7);
+    let thr_train = Scenario::builder("e44-thr")
+        .config(cfg)
+        .emulated_browsers(100)
+        .thread_leak(ThreadLeakSpec::new(45, 30))
+        .run_to_crash()
+        .build()
+        .run(BASE_SEED + 8);
+    let features = FeatureSet::exp44();
+    let test = Scenario::builder("e44-test")
+        .config(cfg)
+        .emulated_browsers(100)
+        .phase(
+            aging_testbed::Phase::leak("both", None, MemLeakSpec::new(12))
+                .with_threads(ThreadLeakSpec::new(30, 40)),
+        )
+        .run_to_crash()
+        .build()
+        .run(BASE_SEED + 9);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+    let mut group = c.benchmark_group("artefact_fig5_exp44");
+    group.sample_size(10);
+    group.bench_function("two_resource_train_eval_rootcause", |b| {
+        b.iter(|| {
+            let ds = build_dataset(&[&mem_train, &thr_train], &features, TTF_CAP_SECS);
+            let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
+            let eval = aging_core::predictor::evaluate_regressor_on_trace(
+                &m5p, &features, &test, &actuals,
+            );
+            let rc = aging_core::RootCauseReport::from_model(&m5p);
+            black_box((eval.mae, rc.suspected.len()))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig1,
+    bench_fig2,
+    bench_table3,
+    bench_exp42,
+    bench_exp43,
+    bench_exp44
+);
+criterion_main!(benches);

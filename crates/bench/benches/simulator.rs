@@ -1,0 +1,72 @@
+//! Criterion benchmarks of the testbed simulator itself: raw event-loop
+//! throughput, checkpoint stepping, and the frozen-rate ground-truth fork
+//! (the expensive primitive behind Experiments 4.2 and 4.4).
+
+use aging_bench::experiments::common::BASE_SEED;
+use aging_testbed::{MemLeakSpec, Scenario, Simulator, StepOutcome};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn ten_minute_scenario(ebs: u64) -> Scenario {
+    Scenario::builder(format!("bench-{ebs}eb"))
+        .emulated_browsers(ebs)
+        .duration_minutes(10)
+        .build()
+}
+
+fn bench_run_to_completion(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_10min");
+    group.sample_size(10);
+    for ebs in [25u64, 100, 200] {
+        let scenario = ten_minute_scenario(ebs);
+        group.bench_function(format!("{ebs}eb"), |b| {
+            b.iter(|| black_box(scenario.run(BASE_SEED)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_checkpoint_step(c: &mut Criterion) {
+    let scenario = Scenario::builder("bench-step")
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(30))
+        .run_to_crash()
+        .build();
+    c.bench_function("step_one_checkpoint", |b| {
+        let mut sim = Simulator::new(&scenario, BASE_SEED);
+        b.iter(|| match sim.step() {
+            StepOutcome::Checkpoint(s) => black_box(s.time_secs),
+            // Restart when the run ends mid-measurement.
+            _ => {
+                sim = Simulator::new(&scenario, BASE_SEED);
+                0.0
+            }
+        })
+    });
+}
+
+fn bench_frozen_fork(c: &mut Criterion) {
+    let scenario = Scenario::builder("bench-fork")
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(15))
+        .run_to_crash()
+        .build();
+    // Advance ~10 minutes in, then measure the fork cost.
+    let mut sim = Simulator::new(&scenario, BASE_SEED);
+    let mut t = 0.0;
+    while t < 600.0 {
+        match sim.step() {
+            StepOutcome::Checkpoint(s) => t = s.time_secs,
+            _ => break,
+        }
+    }
+    let mut group = c.benchmark_group("frozen_ground_truth");
+    group.sample_size(10);
+    group.bench_function("fork_until_crash", |b| {
+        b.iter(|| black_box(sim.frozen_time_to_crash(10_800.0)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_run_to_completion, bench_checkpoint_step, bench_frozen_fork);
+criterion_main!(benches);

@@ -1,0 +1,68 @@
+//! Criterion micro-benchmarks: training and prediction cost of every
+//! learner. The paper picks M5P partly for its "low training and prediction
+//! costs" — these benches quantify that claim for our implementation.
+
+use aging_bench::experiments::common::{self, BASE_SEED};
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::regtree::RegTreeLearner;
+use aging_ml::{Learner, Regressor};
+use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+fn training_dataset() -> aging_dataset::Dataset {
+    let trace = common::leak_run("bench-train", 100, 15).run(BASE_SEED + 900);
+    build_dataset(&[&trace], &FeatureSet::exp42(), TTF_CAP_SECS)
+}
+
+fn bench_training(c: &mut Criterion) {
+    let ds = training_dataset();
+    let mut group = c.benchmark_group("train");
+    group.sample_size(10);
+    group.bench_function(format!("m5p_paper_{}rows", ds.len()), |b| {
+        b.iter(|| M5pLearner::paper_default().fit(black_box(&ds)).unwrap())
+    });
+    group.bench_function(format!("linreg_{}rows", ds.len()), |b| {
+        b.iter(|| LinRegLearner::default().fit(black_box(&ds)).unwrap())
+    });
+    group.bench_function(format!("regtree_{}rows", ds.len()), |b| {
+        b.iter(|| RegTreeLearner::default().fit(black_box(&ds)).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_prediction(c: &mut Criterion) {
+    let ds = training_dataset();
+    let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
+    let linreg = LinRegLearner::default().fit(&ds).unwrap();
+    let row: Vec<f64> = ds.row(ds.len() / 2).values().to_vec();
+    let mut group = c.benchmark_group("predict");
+    group.bench_function("m5p_smoothed", |b| b.iter(|| m5p.predict(black_box(&row))));
+    group.bench_function("linreg", |b| {
+        b.iter(|| Regressor::predict(&linreg, black_box(&row)))
+    });
+    group.finish();
+}
+
+fn bench_online_pipeline(c: &mut Criterion) {
+    // Full on-line path: checkpoint -> derived variables -> M5P prediction.
+    let trace = common::leak_run("bench-online", 100, 15).run(BASE_SEED + 901);
+    let fs = FeatureSet::exp42();
+    let ds = build_dataset(&[&trace], &fs, TTF_CAP_SECS);
+    let model = M5pLearner::paper_default().fit(&ds).unwrap();
+    c.bench_function("online_checkpoint_to_prediction", |b| {
+        b.iter_batched(
+            || aging_core::OnlineTtfPredictor::new(&model, fs.clone()),
+            |mut online| {
+                for s in trace.samples.iter().take(50) {
+                    black_box(online.observe(s));
+                }
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_training, bench_prediction, bench_online_pipeline);
+criterion_main!(benches);

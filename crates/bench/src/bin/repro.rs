@@ -1,0 +1,176 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run -p aging-bench --release --bin repro -- <target>
+//!
+//! targets:
+//!   fig1        Figure 1: non-linear memory behaviour, GC-resize staircase
+//!   fig2        Figure 2: OS vs JVM viewpoints on the same resource
+//!   table3      Experiment 4.1 / Table 3: deterministic aging
+//!   exp42       Experiment 4.2 / Figure 3: dynamic aging
+//!   exp43       Experiment 4.3 / Table 4 + Figure 4: masked aging
+//!   exp44       Experiment 4.4 / Figure 5 + root cause: two resources
+//!   rootcause   Just the root-cause analysis of the Exp 4.4 model
+//!   rejuvenation  Extension: rejuvenation policy comparison
+//!   baselines   Extension: regression tree / naive / ARMA / board zoo
+//!   ablations   Extension: window, leaf size, smoothing, margin sweeps
+//!   sophisticated Extension: bagging / boosting / kNN trade-off study
+//!   segmentation  Extension: piecewise-LR drift detection (rel. work [15])
+//!   mixes       Extension: TPC-W Browsing/Shopping/Ordering sensitivity
+//!   datasets    Export every experiment dataset in WEKA-ARFF format
+//!   catalog     Print the Table 2 variable catalogue and feature sets
+//!   all         Everything above, in order
+//! ```
+
+use aging_bench::experiments::{
+    ablations, common, datasets, exp41, exp42, exp43, exp44, extensions, figures, mixes,
+    segmentation, sophisticated,
+};
+use std::time::Instant;
+
+fn main() {
+    let target = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    let started = Instant::now();
+    match target.as_str() {
+        "fig1" => run_fig1(),
+        "fig2" => run_fig2(),
+        "table3" | "exp41" => run_exp41(),
+        "exp42" | "fig3" => run_exp42(),
+        "exp43" | "table4" | "fig4" => run_exp43(),
+        "exp44" | "fig5" => run_exp44(),
+        "rootcause" => run_rootcause(),
+        "rejuvenation" => run_rejuvenation(),
+        "baselines" => run_baselines(),
+        "ablations" => run_ablations(),
+        "catalog" => run_catalog(),
+        "sophisticated" | "ensembles" => run_sophisticated(),
+        "mixes" => run_mixes(),
+        "segmentation" | "drift" => run_segmentation(),
+        "datasets" | "arff" => run_datasets(),
+        "all" => {
+            run_fig1();
+            run_fig2();
+            run_exp41();
+            run_exp42();
+            run_exp43();
+            run_exp44();
+            run_rejuvenation();
+            run_baselines();
+            run_ablations();
+            run_sophisticated();
+            run_mixes();
+            run_segmentation();
+            run_datasets();
+            run_catalog();
+        }
+        other => {
+            eprintln!("unknown target `{other}`; see the module docs for the list");
+            std::process::exit(2);
+        }
+    }
+    eprintln!("\n[{}s elapsed]", started.elapsed().as_secs());
+}
+
+fn banner(name: &str) {
+    println!("\n{}", "=".repeat(78));
+    println!("{name}");
+    println!("{}", "=".repeat(78));
+}
+
+fn run_fig1() {
+    banner("Figure 1");
+    println!("{}", figures::render_fig1(&figures::fig1()));
+}
+
+fn run_fig2() {
+    banner("Figure 2");
+    println!("{}", figures::render_fig2(&figures::fig2()));
+}
+
+fn run_exp41() {
+    banner("Experiment 4.1 / Table 3");
+    println!("{}", exp41::render(&exp41::run()));
+}
+
+fn run_exp42() {
+    banner("Experiment 4.2 / Figure 3");
+    println!("{}", exp42::render(&exp42::run()));
+}
+
+fn run_exp43() {
+    banner("Experiment 4.3 / Table 4 + Figure 4");
+    println!("{}", exp43::render(&exp43::run()));
+}
+
+fn run_exp44() {
+    banner("Experiment 4.4 / Figure 5 + root cause");
+    println!("{}", exp44::render(&exp44::run()));
+}
+
+fn run_rootcause() {
+    banner("Root cause (Section 4.4)");
+    let r = exp44::run();
+    println!("{}", r.root_cause.summary());
+    println!("First two levels of the learned tree:\n{}", r.tree_top);
+}
+
+fn run_rejuvenation() {
+    banner("Extension: rejuvenation policies");
+    println!("{}", extensions::render_rejuvenation(&extensions::rejuvenation()));
+}
+
+fn run_baselines() {
+    banner("Extension: baseline zoo");
+    println!("{}", extensions::render_baselines(&extensions::baselines()));
+}
+
+fn run_ablations() {
+    banner("Extension: ablations");
+    println!("{}", ablations::render_all());
+}
+
+fn run_sophisticated() {
+    banner("Extension: sophisticated learners (bagging/boosting/kNN)");
+    println!("{}", sophisticated::render(&sophisticated::run()));
+}
+
+fn run_mixes() {
+    banner("Extension: TPC-W mix sensitivity");
+    println!("{}", mixes::render(&mixes::run()));
+}
+
+fn run_segmentation() {
+    banner("Extension: piecewise-LR drift detection");
+    println!("{}", segmentation::render(&segmentation::run()));
+}
+
+fn run_datasets() {
+    banner("WEKA-ARFF dataset export");
+    match datasets::run() {
+        Ok(files) => println!("{}", datasets::render(&files)),
+        Err(e) => eprintln!("dataset export failed: {e}"),
+    }
+}
+
+fn run_catalog() {
+    banner("Table 2: variable catalogue & per-experiment feature sets");
+    use aging_monitor::FeatureSet;
+    println!(
+        "full catalogue ({} variables):",
+        aging_monitor::catalog::ALL_VARIABLES.len()
+    );
+    for chunk in aging_monitor::catalog::ALL_VARIABLES.chunks(4) {
+        println!("  {}", chunk.join(", "));
+    }
+    println!();
+    for fs in [
+        FeatureSet::exp41(),
+        FeatureSet::exp42(),
+        FeatureSet::exp43_full(),
+        FeatureSet::exp43_heap(),
+        FeatureSet::exp44(),
+    ] {
+        println!("{:<22} {:>2} variables, window X={}", fs.name(), fs.len(), fs.window());
+    }
+    println!("\nbase seed for all experiments: {}", common::BASE_SEED);
+}

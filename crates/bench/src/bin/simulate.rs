@@ -1,0 +1,145 @@
+//! `simulate` — run a testbed scenario from a JSON description and write
+//! the monitoring trace.
+//!
+//! This is the adoption-oriented entry point: downstream users can describe
+//! their own aging scenarios declaratively and feed the traces to any
+//! analysis stack.
+//!
+//! ```text
+//! # print a template scenario
+//! simulate template > scenario.json
+//!
+//! # run it (seed optional, defaults to 0) and write trace JSON + CSV
+//! simulate run scenario.json --seed 7 --out trace
+//! #   -> trace.json (full RunTrace)  trace.csv (one row per checkpoint)
+//! ```
+
+use aging_testbed::{MemLeakSpec, RunTrace, Scenario, ThreadLeakSpec};
+use std::fs;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("template") => {
+            println!("{}", template_json());
+            ExitCode::SUCCESS
+        }
+        Some("run") => match run(&args[1..]) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("error: {e}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprintln!("usage: simulate template | simulate run <scenario.json> [--seed N] [--out PREFIX]");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let path = args.first().ok_or("missing scenario file")?;
+    let mut seed = 0u64;
+    let mut out_prefix = "trace".to_string();
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--seed" => {
+                seed = args.get(i + 1).ok_or("--seed needs a value")?.parse()?;
+                i += 2;
+            }
+            "--out" => {
+                out_prefix = args.get(i + 1).ok_or("--out needs a value")?.clone();
+                i += 2;
+            }
+            other => return Err(format!("unknown flag `{other}`").into()),
+        }
+    }
+
+    let text = fs::read_to_string(path)?;
+    let scenario: Scenario = serde_json::from_str(&text)?;
+    let problems = scenario.config.validate();
+    if !problems.is_empty() {
+        return Err(format!("invalid configuration: {problems:?}").into());
+    }
+
+    eprintln!(
+        "running `{}` ({} phases, {} EBs, seed {seed}) …",
+        scenario.name,
+        scenario.phases.len(),
+        scenario.config.workload.emulated_browsers
+    );
+    let trace = scenario.run(seed);
+
+    let json_path = format!("{out_prefix}.json");
+    fs::write(&json_path, serde_json::to_string_pretty(&trace)?)?;
+    let csv_path = format!("{out_prefix}.csv");
+    fs::write(&csv_path, trace_csv(&trace))?;
+
+    match trace.crash {
+        Some(crash) => eprintln!(
+            "crashed after {:.0} s ({:?}); {} checkpoints -> {json_path}, {csv_path}",
+            crash.time_secs,
+            crash.kind,
+            trace.samples.len()
+        ),
+        None => eprintln!(
+            "completed without crash after {:.0} s; {} checkpoints -> {json_path}, {csv_path}",
+            trace.duration_secs,
+            trace.samples.len()
+        ),
+    }
+    Ok(())
+}
+
+/// Renders a RunTrace as CSV, one checkpoint per row.
+fn trace_csv(trace: &RunTrace) -> String {
+    let mut out = String::from(
+        "time_secs,throughput_rps,workload_ebs,response_time_ms,system_load,disk_used_mb,\
+         swap_free_mb,num_processes,system_mem_used_mb,tomcat_mem_mb,num_threads,\
+         http_connections,mysql_connections,young_max_mb,old_max_mb,young_used_mb,\
+         old_used_mb,heap_used_mb,gc_minor,gc_major,old_resizes,refused\n",
+    );
+    for s in &trace.samples {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            s.time_secs,
+            s.throughput_rps,
+            s.workload_ebs,
+            s.response_time_ms,
+            s.system_load,
+            s.disk_used_mb,
+            s.swap_free_mb,
+            s.num_processes,
+            s.system_mem_used_mb,
+            s.tomcat_mem_mb,
+            s.num_threads,
+            s.http_connections,
+            s.mysql_connections,
+            s.young_max_mb,
+            s.old_max_mb,
+            s.young_used_mb,
+            s.old_used_mb,
+            s.heap_used_mb,
+            s.gc_minor,
+            s.gc_major,
+            s.old_resizes,
+            s.refused,
+        ));
+    }
+    out
+}
+
+/// A ready-to-edit scenario: the paper's Experiment 4.2 shape.
+fn template_json() -> String {
+    let scenario = Scenario::builder("my-dynamic-aging")
+        .emulated_browsers(100)
+        .idle_phase_minutes(20)
+        .leak_phase_minutes(20, MemLeakSpec::new(30), None)
+        .leak_phase_minutes(20, MemLeakSpec::new(15), Some(ThreadLeakSpec::new(30, 90)))
+        .final_leak_phase(MemLeakSpec::new(75), None)
+        .build();
+    serde_json::to_string_pretty(&scenario).expect("scenario serializes")
+}

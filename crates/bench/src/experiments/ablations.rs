@@ -1,0 +1,187 @@
+//! Ablations of the design choices the paper discusses qualitatively:
+//!
+//! - the sliding-window length `X` ("a long window is more noise tolerant,
+//!   but also makes the method slower to reflect changes"),
+//! - M5P's minimum instances per leaf (the paper fixes 10),
+//! - smoothing and pruning on/off,
+//! - the S-MAE security-margin threshold ("thresholds other than 10% are
+//!   possible").
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_core::predictor::evaluate_regressor_on_trace;
+use aging_ml::eval::{evaluate, EvalConfig, Evaluation};
+use aging_ml::m5p::M5pLearner;
+use aging_ml::Learner;
+use aging_monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::RunTrace;
+
+fn training_traces() -> Vec<RunTrace> {
+    common::exp42_training()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
+        .collect()
+}
+
+fn test_trace() -> (RunTrace, Vec<f64>) {
+    // Constant-rate test keeps the ground truth cheap (crash labels).
+    let trace = common::leak_run("ablation-test", 100, 30).run(BASE_SEED + 400);
+    let actuals = label_ttf(&trace, TTF_CAP_SECS);
+    (trace, actuals)
+}
+
+/// Sweeps the sliding-window length `X`.
+pub fn window_sweep() -> Vec<(usize, Evaluation)> {
+    let traces = training_traces();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let (test, actuals) = test_trace();
+    [2usize, 4, 8, 12, 24, 48]
+        .into_iter()
+        .map(|window| {
+            let features = FeatureSet::exp42().with_window(window);
+            let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+            let model = M5pLearner::paper_default().fit(&ds).expect("non-empty dataset");
+            let eval = evaluate_regressor_on_trace(&model, &features, &test, &actuals);
+            (window, eval)
+        })
+        .collect()
+}
+
+/// Sweeps M5P's `min_instances` (leaf size).
+pub fn leaf_size_sweep() -> Vec<(usize, Evaluation)> {
+    let traces = training_traces();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let features = FeatureSet::exp42();
+    let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+    let (test, actuals) = test_trace();
+    [4usize, 10, 20, 50, 100]
+        .into_iter()
+        .map(|m| {
+            let model = M5pLearner::default()
+                .with_min_instances(m)
+                .fit(&ds)
+                .expect("non-empty dataset");
+            let eval = evaluate_regressor_on_trace(&model, &features, &test, &actuals);
+            (m, eval)
+        })
+        .collect()
+}
+
+/// Toggles smoothing and pruning.
+pub fn smoothing_pruning_matrix() -> Vec<(String, Evaluation, usize)> {
+    let traces = training_traces();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let features = FeatureSet::exp42();
+    let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+    let (test, actuals) = test_trace();
+    let mut out = Vec::new();
+    for (smooth, prune) in [(true, true), (true, false), (false, true), (false, false)] {
+        let model = M5pLearner::paper_default()
+            .with_smoothing(smooth)
+            .with_pruning(prune)
+            .fit(&ds)
+            .expect("non-empty dataset");
+        let eval = evaluate_regressor_on_trace(&model, &features, &test, &actuals);
+        out.push((
+            format!("smoothing={smooth} pruning={prune}"),
+            eval,
+            model.n_leaves(),
+        ));
+    }
+    out
+}
+
+/// Sweeps the S-MAE security margin on a fixed model's predictions.
+pub fn margin_sweep() -> Vec<(f64, f64)> {
+    let traces = training_traces();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let features = FeatureSet::exp42();
+    let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+    let model = M5pLearner::paper_default().fit(&ds).expect("non-empty dataset");
+    let (test, actuals) = test_trace();
+    let mut online = aging_core::OnlineTtfPredictor::new(&model, features);
+    let predictions: Vec<f64> = test.samples.iter().map(|s| online.observe(s)).collect();
+    [0.0, 0.05, 0.10, 0.20, 0.50]
+        .into_iter()
+        .map(|margin| {
+            let cfg = EvalConfig { security_margin: margin, ..Default::default() };
+            (margin, evaluate(&predictions, &actuals, &cfg).s_mae)
+        })
+        .collect()
+}
+
+/// Renders all ablation tables.
+pub fn render_all() -> String {
+    let mut out = String::new();
+
+    let rows: Vec<Vec<String>> = window_sweep()
+        .into_iter()
+        .map(|(w, e)| {
+            let mut r = common::metric_row(&format!("X = {w}"), &e);
+            r[0] = format!("X = {w}");
+            r
+        })
+        .collect();
+    out.push_str(&common::render_table(
+        "Ablation: sliding-window length X (paper fixes ~12)",
+        &["window", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &rows,
+    ));
+    out.push('\n');
+
+    let rows: Vec<Vec<String>> = leaf_size_sweep()
+        .into_iter()
+        .map(|(m, e)| common::metric_row(&format!("min_instances = {m}"), &e))
+        .collect();
+    out.push_str(&common::render_table(
+        "Ablation: M5P leaf size (paper uses 10)",
+        &["config", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &rows,
+    ));
+    out.push('\n');
+
+    let rows: Vec<Vec<String>> = smoothing_pruning_matrix()
+        .into_iter()
+        .map(|(label, e, leaves)| {
+            let mut r = common::metric_row(&label, &e);
+            r.push(leaves.to_string());
+            r
+        })
+        .collect();
+    out.push_str(&common::render_table(
+        "Ablation: M5P smoothing / pruning",
+        &["config", "MAE", "S-MAE", "PRE-MAE", "POST-MAE", "leaves"],
+        &rows,
+    ));
+    out.push('\n');
+
+    let rows: Vec<Vec<String>> = margin_sweep()
+        .into_iter()
+        .map(|(m, smae)| {
+            vec![
+                format!("{:.0}%", m * 100.0),
+                aging_ml::eval::format_duration(smae),
+            ]
+        })
+        .collect();
+    out.push_str(&common::render_table(
+        "Ablation: S-MAE security margin (paper uses 10%)",
+        &["margin", "S-MAE"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn margin_smae_is_monotone_decreasing() {
+        let sweep = margin_sweep();
+        for w in sweep.windows(2) {
+            assert!(w[1].1 <= w[0].1 + 1e-9, "S-MAE must shrink as the margin widens");
+        }
+    }
+}

@@ -1,0 +1,189 @@
+//! Shared scenario definitions, evaluation plumbing and table printing for
+//! the experiment harness.
+
+use aging_ml::eval::{format_duration, Evaluation};
+use aging_testbed::{MemLeakSpec, Scenario, SimConfig, ThreadLeakSpec};
+use std::fs;
+use std::path::Path;
+
+/// Base seed for every experiment (results are deterministic given this).
+pub const BASE_SEED: u64 = 20_100_628; // the DSN 2010 conference date
+
+/// A whole-run constant memory leak execution (the paper's basic unit).
+pub fn leak_run(name: impl Into<String>, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+/// A whole-run constant thread leak execution.
+pub fn thread_run(name: impl Into<String>, ebs: u64, m: u32, t: u32) -> Scenario {
+    Scenario::builder(name)
+        .emulated_browsers(ebs)
+        .thread_leak(ThreadLeakSpec::new(m, t))
+        .run_to_crash()
+        .build()
+}
+
+/// The Experiment 4.2/4.3 training set: one hour with no injection plus
+/// three run-to-crash executions at N = 15, 30, 75, all at 100 EBs
+/// ("we trained the model with 4 executions (1710 instances)").
+pub fn exp42_training() -> Vec<Scenario> {
+    let mut runs =
+        vec![Scenario::builder("train-idle-1h").emulated_browsers(100).duration_minutes(60).build()];
+    for n in [15, 30, 75] {
+        runs.push(leak_run(format!("train-N{n}"), 100, n));
+    }
+    runs
+}
+
+/// The Experiment 4.2 test scenario: injection rate changed every 20
+/// minutes — none → N=30 → N=15 → N=75 until crash.
+pub fn exp42_test() -> Scenario {
+    Scenario::builder("exp42-dynamic")
+        .emulated_browsers(100)
+        .idle_phase_minutes(20)
+        .leak_phase_minutes(20, MemLeakSpec::new(30), None)
+        .leak_phase_minutes(20, MemLeakSpec::new(15), None)
+        .final_leak_phase(MemLeakSpec::new(75), None)
+        .build()
+}
+
+/// The Experiment 4.4 training set: six single-resource executions —
+/// memory at N = 15, 30, 75 and threads at (M,T) = (15,120), (30,90),
+/// (45,60) — "in all of them only one resource involved" — plus the
+/// one-hour no-injection baseline run.
+///
+/// The idle run is a documented deviation from the paper's "6 executions":
+/// without it, zero-consumption states appear in training only inside GC
+/// flat zones (which carry mid-range TTF labels), so the idle first phase
+/// of the test is predicted at ~7000 s instead of the cap. The paper's own
+/// Figure 5 shows its model predicting very high TTF during that phase,
+/// which implies its training data distinguished idleness; the 4.2 protocol
+/// (which the authors reused for 4.3) did so with exactly this run.
+pub fn exp44_training() -> Vec<Scenario> {
+    let mut runs =
+        vec![Scenario::builder("train-idle-1h").emulated_browsers(100).duration_minutes(60).build()];
+    for n in [15, 30, 75] {
+        runs.push(leak_run(format!("train-mem-N{n}"), 100, n));
+    }
+    for (m, t) in [(15, 120), (30, 90), (45, 60)] {
+        runs.push(thread_run(format!("train-thr-M{m}T{t}"), 100, m, t));
+    }
+    runs
+}
+
+/// The Experiment 4.4 test scenario: both resources injected with rates
+/// changing every ~30 minutes.
+pub fn exp44_test() -> Scenario {
+    Scenario::builder("exp44-two-resource")
+        .emulated_browsers(100)
+        .idle_phase_minutes(30)
+        .leak_phase_minutes(30, MemLeakSpec::new(30), Some(ThreadLeakSpec::new(30, 90)))
+        .leak_phase_minutes(30, MemLeakSpec::new(15), Some(ThreadLeakSpec::new(15, 120)))
+        .final_leak_phase(MemLeakSpec::new(75), Some(ThreadLeakSpec::new(45, 60)))
+        .build()
+}
+
+/// A reduced-scale simulator configuration for the criterion benches: a
+/// quarter-size heap crashes in simulated minutes instead of hours, so a
+/// whole experiment fits in a benchmark iteration.
+pub fn small_scale_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.heap.max_mb = 256.0;
+    cfg.heap.young_mb = 48.0;
+    cfg.heap.old_initial_mb = 64.0;
+    cfg.heap.old_grow_step_mb = 48.0;
+    cfg.heap.perm_mb = 32.0;
+    cfg.system.max_process_threads = 300;
+    debug_assert!(cfg.validate().is_empty());
+    cfg
+}
+
+/// Formats one metric row the way the paper's tables do.
+pub fn metric_row(label: &str, e: &Evaluation) -> Vec<String> {
+    vec![
+        label.to_string(),
+        format_duration(e.mae),
+        format_duration(e.s_mae),
+        e.pre_mae.map_or("n/a".into(), format_duration),
+        e.post_mae.map_or("n/a".into(), format_duration),
+    ]
+}
+
+/// Renders an aligned text table.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let mut out = format!("== {title} ==\n");
+    let fmt_row = |cells: &[String], widths: &[usize]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{c:<w$}", w = widths[i]))
+            .collect::<Vec<_>>()
+            .join(" | ")
+    };
+    let headers: Vec<String> = headers.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&headers, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 3 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Writes a CSV series under `results/` (one figure per file) so the
+/// figures can be re-plotted with any tool.
+pub fn write_series_csv(
+    filename: &str,
+    header: &str,
+    rows: impl IntoIterator<Item = Vec<f64>>,
+) -> std::io::Result<String> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let path = dir.join(filename);
+    let mut body = String::from(header);
+    body.push('\n');
+    for row in rows {
+        let line: Vec<String> = row.iter().map(|v| format!("{v:.4}")).collect();
+        body.push_str(&line.join(","));
+        body.push('\n');
+    }
+    fs::write(&path, body)?;
+    Ok(path.display().to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn training_sets_have_paper_shapes() {
+        assert_eq!(exp42_training().len(), 4);
+        assert_eq!(exp44_training().len(), 7);
+        assert_eq!(exp42_test().phases.len(), 4);
+        assert_eq!(exp44_test().phases.len(), 4);
+    }
+
+    #[test]
+    fn table_rendering_aligns() {
+        let t = render_table(
+            "T",
+            &["a", "metric"],
+            &[vec!["x".into(), "1 min 2 secs".into()], vec!["yy".into(), "3 secs".into()]],
+        );
+        assert!(t.contains("== T =="));
+        assert!(t.contains("a  | metric"));
+        assert!(t.lines().count() >= 4);
+    }
+}

@@ -1,0 +1,107 @@
+//! WEKA-ARFF dataset export.
+//!
+//! The original paper published its training and test sets "in WEKA format"
+//! (ref. [21]); this target regenerates the equivalent artefacts from our
+//! testbed so results can be compared or re-analysed with WEKA or any other
+//! toolchain: one ARFF file per experiment role under `results/datasets/`.
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_dataset::io::write_arff;
+use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::RunTrace;
+use std::fs;
+use std::path::PathBuf;
+
+/// Description of one exported file.
+#[derive(Debug, Clone)]
+pub struct ExportedDataset {
+    /// Path written.
+    pub path: String,
+    /// Instances exported.
+    pub instances: usize,
+    /// Attributes (excluding the target).
+    pub attributes: usize,
+}
+
+fn export(
+    name: &str,
+    traces: &[&RunTrace],
+    features: &FeatureSet,
+    out: &mut Vec<ExportedDataset>,
+) -> std::io::Result<()> {
+    let dir = PathBuf::from("results/datasets");
+    fs::create_dir_all(&dir)?;
+    let ds = build_dataset(traces, features, TTF_CAP_SECS);
+    let path = dir.join(format!("{name}.arff"));
+    let mut buf = Vec::new();
+    write_arff(&ds, name, &mut buf).map_err(|e| std::io::Error::other(e.to_string()))?;
+    fs::write(&path, buf)?;
+    out.push(ExportedDataset {
+        path: path.display().to_string(),
+        instances: ds.len(),
+        attributes: ds.n_attributes(),
+    });
+    Ok(())
+}
+
+/// Exports the training and test datasets of every experiment.
+///
+/// # Errors
+///
+/// Propagates filesystem failures.
+pub fn run() -> std::io::Result<Vec<ExportedDataset>> {
+    let mut out = Vec::new();
+
+    // Experiment 4.1.
+    let exp41_train: Vec<RunTrace> = [25u64, 50, 100, 200]
+        .into_iter()
+        .enumerate()
+        .map(|(i, ebs)| common::leak_run(format!("train-{ebs}eb"), ebs, 30).run(BASE_SEED + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = exp41_train.iter().collect();
+    export("exp41_train", &refs, &FeatureSet::exp41(), &mut out)?;
+    let test75 = common::leak_run("test-75eb", 75, 30).run(BASE_SEED + 100);
+    let test150 = common::leak_run("test-150eb", 150, 30).run(BASE_SEED + 110);
+    export("exp41_test_75eb", &[&test75], &FeatureSet::exp41(), &mut out)?;
+    export("exp41_test_150eb", &[&test150], &FeatureSet::exp41(), &mut out)?;
+
+    // Experiments 4.2/4.3 share the training runs.
+    let exp42_train: Vec<RunTrace> = common::exp42_training()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = exp42_train.iter().collect();
+    export("exp42_train", &refs, &FeatureSet::exp42(), &mut out)?;
+    export("exp43_train_heap_selected", &refs, &FeatureSet::exp43_heap(), &mut out)?;
+    let exp42_test = common::exp42_test().run(BASE_SEED + 50);
+    export("exp42_test_dynamic", &[&exp42_test], &FeatureSet::exp42(), &mut out)?;
+
+    // Experiment 4.4.
+    let exp44_train: Vec<RunTrace> = common::exp44_training()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 20 + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = exp44_train.iter().collect();
+    export("exp44_train", &refs, &FeatureSet::exp44(), &mut out)?;
+    let exp44_test = common::exp44_test().run(BASE_SEED + 70);
+    export("exp44_test_two_resource", &[&exp44_test], &FeatureSet::exp44(), &mut out)?;
+
+    Ok(out)
+}
+
+/// Renders the export summary.
+pub fn render(files: &[ExportedDataset]) -> String {
+    let rows: Vec<Vec<String>> = files
+        .iter()
+        .map(|f| {
+            vec![f.path.clone(), f.instances.to_string(), f.attributes.to_string()]
+        })
+        .collect();
+    common::render_table(
+        "Exported WEKA-ARFF datasets (paper ref. [21])",
+        &["file", "instances", "attributes"],
+        &rows,
+    )
+}

@@ -1,0 +1,137 @@
+//! Experiment 4.1 — deterministic software aging (the paper's Table 3).
+//!
+//! Train on four run-to-crash executions (25, 50, 100, 200 EBs) with a
+//! constant `N = 30` memory leak, then evaluate on two unseen workloads
+//! (75 and 150 EBs). Accuracy is reported for linear regression and M5P as
+//! MAE / S-MAE / PRE-MAE / POST-MAE, without heap variables ("we did not
+//! add the heap information").
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_ml::eval::Evaluation;
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::{Learner, Regressor};
+use aging_monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::RunTrace;
+
+/// Everything Table 3 reports, plus the model-shape numbers the paper
+/// quotes in prose ("33 leafs and 30 inner nodes … 2776 instances").
+#[derive(Debug, Clone)]
+pub struct Exp41Result {
+    /// Training instances used.
+    pub instances: usize,
+    /// Leaves of the M5P tree.
+    pub m5p_leaves: usize,
+    /// Inner nodes of the M5P tree.
+    pub m5p_inner: usize,
+    /// (label, evaluation) rows: LinReg and M5P at 75 and 150 EBs.
+    pub rows: Vec<(String, Evaluation)>,
+}
+
+/// Runs the experiment end to end.
+pub fn run() -> Exp41Result {
+    let features = FeatureSet::exp41();
+    let train_scenarios: Vec<_> = [25u64, 50, 100, 200]
+        .into_iter()
+        .map(|ebs| common::leak_run(format!("train-{ebs}eb-N30"), ebs, 30))
+        .collect();
+    let traces: Vec<RunTrace> = train_scenarios
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
+
+    let m5p = M5pLearner::paper_default().fit(&dataset).expect("training set is non-empty");
+    let linreg = LinRegLearner::default().fit(&dataset).expect("training set is non-empty");
+
+    // The paper evaluates one physical run per test workload; a simulator
+    // lets us do better — three seeds per workload, metrics aggregated over
+    // all checkpoints — so a single lucky/unlucky run cannot dominate the
+    // table.
+    const TEST_SEEDS: u64 = 3;
+    let mut rows = Vec::new();
+    for (i, ebs) in [75u64, 150].into_iter().enumerate() {
+        let mut m5p_preds = Vec::new();
+        let mut lr_preds = Vec::new();
+        let mut all_actuals = Vec::new();
+        for seed in 0..TEST_SEEDS {
+            let test = common::leak_run(format!("test-{ebs}eb-N30"), ebs, 30)
+                .run(BASE_SEED + 100 + 10 * i as u64 + seed);
+            let actuals = label_ttf(&test, TTF_CAP_SECS);
+            let mut online_m5p = aging_core::OnlineTtfPredictor::new(&m5p, features.clone());
+            let mut online_lr = aging_core::OnlineTtfPredictor::new(&linreg, features.clone());
+            let seed_m5p: Vec<f64> =
+                test.samples.iter().map(|s| online_m5p.observe(s)).collect();
+            let seed_lr: Vec<f64> = test.samples.iter().map(|s| online_lr.observe(s)).collect();
+            if seed == 0 {
+                let _ = common::write_series_csv(
+                    &format!("exp41_{ebs}eb_series.csv"),
+                    "time_secs,pred_m5p_secs,pred_linreg_secs,true_ttf_secs,tomcat_mem_mb",
+                    test.samples.iter().enumerate().map(|(j, s)| {
+                        vec![s.time_secs, seed_m5p[j], seed_lr[j], actuals[j], s.tomcat_mem_mb]
+                    }),
+                );
+            }
+            m5p_preds.extend(seed_m5p);
+            lr_preds.extend(seed_lr);
+            all_actuals.extend(actuals);
+        }
+        let cfg = aging_ml::eval::EvalConfig::default();
+        rows.push((
+            format!("{ebs}EBs {}", linreg.name()),
+            aging_ml::eval::evaluate(&lr_preds, &all_actuals, &cfg),
+        ));
+        rows.push((
+            format!("{ebs}EBs {}", Regressor::name(&m5p)),
+            aging_ml::eval::evaluate(&m5p_preds, &all_actuals, &cfg),
+        ));
+    }
+
+    Exp41Result {
+        instances: dataset.len(),
+        m5p_leaves: m5p.n_leaves(),
+        m5p_inner: m5p.n_inner_nodes(),
+        rows,
+    }
+}
+
+/// Renders the paper-style table.
+pub fn render(result: &Exp41Result) -> String {
+    let mut out = format!(
+        "Experiment 4.1 — deterministic aging (paper Table 3)\n\
+         trained on 4 executions, {} instances; M5P tree: {} leaves, {} inner nodes\n\
+         (paper: 2776 instances, 33 leaves, 30 inner nodes)\n\n",
+        result.instances, result.m5p_leaves, result.m5p_inner
+    );
+    let rows: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .map(|(label, e)| common::metric_row(label, e))
+        .collect();
+    out.push_str(&common::render_table(
+        "Table 3",
+        &["model", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &rows,
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn table3_shape_holds() {
+        let r = run();
+        // Shape assertions from DESIGN.md: M5P beats LinReg at both
+        // workloads; S-MAE <= MAE.
+        for pair in r.rows.chunks(2) {
+            let (lr, m5p) = (&pair[0].1, &pair[1].1);
+            assert!(m5p.mae < lr.mae, "M5P must beat LinReg: {m5p:?} vs {lr:?}");
+            assert!(m5p.s_mae <= m5p.mae);
+        }
+    }
+}

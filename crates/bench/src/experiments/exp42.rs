@@ -1,0 +1,135 @@
+//! Experiment 4.2 — dynamic and variable software aging (Figure 3 plus the
+//! in-text accuracy numbers).
+//!
+//! Train on four constant-rate executions (no injection for one hour, and
+//! N = 15 / 30 / 75 run-to-crash, all at 100 EBs), then test on a run whose
+//! injection rate changes every 20 minutes: none → N=30 → N=15 → N=75 until
+//! crash. Ground truth per checkpoint is the paper's frozen-rate
+//! simulation: clone the testbed, hold the current rate, run until crash.
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_core::predictor::evaluate_regressor_on_trace;
+use aging_core::AgingPredictor;
+use aging_ml::eval::Evaluation;
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::Learner;
+use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::RunTrace;
+
+/// The experiment's outputs: metric suites for both models and the
+/// Figure 3 series.
+#[derive(Debug, Clone)]
+pub struct Exp42Result {
+    /// Training instances used.
+    pub instances: usize,
+    /// M5P tree shape: (leaves, inner nodes).
+    pub tree_shape: (usize, usize),
+    /// M5P accuracy (paper: MAE 16:26, S-MAE 13:03, PRE 17:15, POST 8:14).
+    pub m5p: Evaluation,
+    /// Linear-regression accuracy (paper: "a really unacceptable MAE").
+    pub linreg: Evaluation,
+    /// Figure 3 series: (time s, predicted TTF s, true TTF s, tomcat MB).
+    pub series: Vec<(f64, f64, f64, f64)>,
+    /// Test-run duration (paper: 1 h 47 min).
+    pub duration_secs: f64,
+}
+
+/// Runs the experiment end to end.
+pub fn run() -> Exp42Result {
+    let features = FeatureSet::exp42();
+    let training = common::exp42_training();
+    let traces: Vec<RunTrace> = training
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+    let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
+
+    let predictor = AgingPredictor::train_on_traces(
+        &M5pLearner::paper_default(),
+        &refs,
+        features.clone(),
+    )
+    .expect("training traces are non-empty");
+    let linreg = LinRegLearner::default().fit(&dataset).expect("non-empty dataset");
+
+    // One frozen-truth pass; both models are evaluated against it.
+    let report = predictor
+        .evaluate_scenario_frozen_truth(&common::exp42_test(), BASE_SEED + 50)
+        .expect("test run produces checkpoints");
+    let lr_eval =
+        evaluate_regressor_on_trace(&linreg, &features, &report.trace, &report.actuals);
+
+    let series = report
+        .trace
+        .samples
+        .iter()
+        .zip(report.predictions.iter().zip(&report.actuals))
+        .map(|(s, (&p, &a))| (s.time_secs, p, a, s.tomcat_mem_mb))
+        .collect();
+
+    Exp42Result {
+        instances: dataset.len(),
+        tree_shape: (predictor.model().n_leaves(), predictor.model().n_inner_nodes()),
+        m5p: report.evaluation,
+        linreg: lr_eval,
+        series,
+        duration_secs: report.trace.duration_secs,
+    }
+}
+
+/// Renders the report and writes the Figure 3 CSV.
+pub fn render(result: &Exp42Result) -> String {
+    let csv = common::write_series_csv(
+        "fig3_predicted_vs_memory.csv",
+        "time_secs,predicted_ttf_secs,true_ttf_secs,tomcat_mem_mb",
+        result.series.iter().map(|&(t, p, a, m)| vec![t, p, a, m]),
+    );
+    let mut out = format!(
+        "Experiment 4.2 — dynamic software aging (paper Fig. 3 + in-text numbers)\n\
+         trained on 4 executions, {} instances; tree {} leaves / {} inner nodes\n\
+         (paper: 1710 instances, 36 leaves, 35 inner nodes); test ran {}\n\
+         (paper test ran 1 h 47 min)\n\n",
+        result.instances,
+        result.tree_shape.0,
+        result.tree_shape.1,
+        aging_ml::eval::format_duration(result.duration_secs),
+    );
+    let rows = vec![
+        common::metric_row("LinearRegression", &result.linreg),
+        common::metric_row("M5P", &result.m5p),
+    ];
+    out.push_str(&common::render_table(
+        "Exp 4.2 accuracy (paper M5P: MAE 16m26s, S-MAE 13m03s, PRE 17m15s, POST 8m14s)",
+        &["model", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &rows,
+    ));
+    if let Ok(path) = csv {
+        out.push_str(&format!("\nFigure 3 series written to {path}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn dynamic_aging_shape_holds() {
+        let r = run();
+        assert!(r.m5p.mae < r.linreg.mae, "M5P must beat LinReg: {:?} vs {:?}", r.m5p, r.linreg);
+        assert!(r.m5p.s_mae <= r.m5p.mae);
+        // The model must recognise the injection-free first phase as
+        // (near-)infinite TTF: early predictions close to the cap.
+        let early: Vec<f64> =
+            r.series.iter().filter(|s| s.0 > 300.0 && s.0 < 900.0).map(|s| s.1).collect();
+        let early_mean = early.iter().sum::<f64>() / early.len() as f64;
+        assert!(
+            early_mean > 0.5 * TTF_CAP_SECS,
+            "idle-phase predictions should be near the cap, mean {early_mean}"
+        );
+    }
+}

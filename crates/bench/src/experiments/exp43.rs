@@ -1,0 +1,178 @@
+//! Experiment 4.3 — aging hidden within a periodic resource pattern
+//! (the paper's Table 4 and Figure 4).
+//!
+//! The test run alternates 20-minute acquire (N = 30) and release (N = 75)
+//! phases; because acquisition outpaces release, memory is retained every
+//! cycle and the leak hides inside the waves. Training reuses the
+//! constant-rate executions of Experiment 4.2 — "the training set does not
+//! have any execution with release phase or periodic patterns."
+//!
+//! The paper's first attempt with the complete variable set performed
+//! poorly; re-training with only the Java-heap variables (expert feature
+//! selection) rescued it. We reproduce all four cells: {full, heap} ×
+//! {LinReg, M5P}.
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_core::predictor::evaluate_regressor_on_trace;
+use aging_ml::eval::Evaluation;
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::Learner;
+use aging_monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::{PeriodicSpec, RunTrace, Scenario};
+
+/// Table 4 plus the feature-selection comparison and Figure 4 series.
+#[derive(Debug, Clone)]
+pub struct Exp43Result {
+    /// (label, evaluation) rows for all four model × feature-set cells.
+    pub rows: Vec<(String, Evaluation)>,
+    /// Tree shape of the heap-selected M5P (paper: 17 inner nodes, 18
+    /// leaves).
+    pub heap_tree_shape: (usize, usize),
+    /// Figure 4 series: (time s, predicted TTF s, true TTF s, JVM heap MB).
+    pub series: Vec<(f64, f64, f64, f64)>,
+    /// MAE of the heap-selected M5P after the sliding window has seen one
+    /// full acquire/release cycle (the warm-up dominates the raw MAE; once
+    /// the window covers a cycle the extracted trend is accurate).
+    pub heap_m5p_mae_after_warmup: f64,
+    /// Test-run duration and crash time.
+    pub duration_secs: f64,
+}
+
+/// The Experiment 4.3 test scenario.
+pub fn test_scenario() -> Scenario {
+    Scenario::builder("exp43-periodic")
+        .emulated_browsers(100)
+        .periodic_cycles(PeriodicSpec::paper_exp43(), 30)
+        .run_to_crash()
+        .build()
+}
+
+/// Runs the experiment end to end.
+pub fn run() -> Exp43Result {
+    let training = common::exp42_training();
+    let traces: Vec<RunTrace> = training
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = traces.iter().collect();
+
+    let test = test_scenario().run(BASE_SEED + 60);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+
+    let mut rows = Vec::new();
+    let mut heap_tree_shape = (0, 0);
+    let mut series = Vec::new();
+
+    for features in [FeatureSet::exp43_full(), FeatureSet::exp43_heap()] {
+        let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
+        let m5p = M5pLearner::paper_default().fit(&dataset).expect("non-empty dataset");
+        let linreg = LinRegLearner::default().fit(&dataset).expect("non-empty dataset");
+        let lr_eval = evaluate_regressor_on_trace(&linreg, &features, &test, &actuals);
+        let m5p_eval = evaluate_regressor_on_trace(&m5p, &features, &test, &actuals);
+        rows.push((format!("{} LinReg", features.name()), lr_eval));
+        rows.push((format!("{} M5P", features.name()), m5p_eval));
+
+        if features.name().contains("heap") {
+            heap_tree_shape = (m5p.n_leaves(), m5p.n_inner_nodes());
+            // Figure 4: the heap-selected M5P predictions over the run.
+            let mut online = aging_core::OnlineTtfPredictor::new(&m5p, features.clone());
+            series = test
+                .samples
+                .iter()
+                .zip(&actuals)
+                .map(|(s, &a)| (s.time_secs, online.observe(s), a, s.heap_used_mb))
+                .collect();
+        }
+    }
+
+    let warmup_secs = 40.0 * 60.0; // one acquire/release cycle
+    let tail: Vec<&(f64, f64, f64, f64)> =
+        series.iter().filter(|s| s.0 > warmup_secs).collect();
+    let heap_m5p_mae_after_warmup = if tail.is_empty() {
+        f64::NAN
+    } else {
+        tail.iter().map(|s| (s.1 - s.2).abs()).sum::<f64>() / tail.len() as f64
+    };
+
+    Exp43Result {
+        rows,
+        heap_tree_shape,
+        series,
+        heap_m5p_mae_after_warmup,
+        duration_secs: test.duration_secs,
+    }
+}
+
+/// Renders the report and writes the Figure 4 CSV.
+pub fn render(result: &Exp43Result) -> String {
+    let csv = common::write_series_csv(
+        "fig4_predicted_vs_heap.csv",
+        "time_secs,predicted_ttf_secs,true_ttf_secs,heap_used_mb",
+        result.series.iter().map(|&(t, p, a, h)| vec![t, p, a, h]),
+    );
+    let mut out = format!(
+        "Experiment 4.3 — periodic-pattern-masked aging (paper Table 4 + Fig. 4)\n\
+         heap-selected M5P tree: {} leaves, {} inner nodes (paper: 18 leaves, 17 inner)\n\
+         test ran {}\n\n",
+        result.heap_tree_shape.0,
+        result.heap_tree_shape.1,
+        aging_ml::eval::format_duration(result.duration_secs),
+    );
+    let rows: Vec<Vec<String>> =
+        result.rows.iter().map(|(l, e)| common::metric_row(l, e)).collect();
+    out.push_str(&common::render_table(
+        "Table 4 (paper, after selection: LinReg MAE 15m57s vs M5P MAE 3m34s)",
+        &["model/features", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &rows,
+    ));
+    out.push_str(&format!(
+        "\nheap-selected M5P MAE after one-cycle window warm-up: {}\n\
+         (the sliding window needs a full acquire/release cycle before the\n\
+         net trend is visible; the paper does not state how it handled this)\n",
+        aging_ml::eval::format_duration(result.heap_m5p_mae_after_warmup),
+    ));
+    if let Ok(path) = csv {
+        out.push_str(&format!("\nFigure 4 series written to {path}\n"));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn feature_selection_rescues_m5p() {
+        let r = run();
+        let get = |label: &str| {
+            r.rows
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, e)| *e)
+                .expect("row present")
+        };
+        let m5p_heap = get("exp4.3-heap-selected M5P");
+        let lr_heap = get("exp4.3-heap-selected LinReg");
+        // Where the rescue shows in our reproduction: once the crash
+        // approaches, the heap-selected M5P is far more accurate than the
+        // heap-selected linear regression (see EXPERIMENTS.md for why the
+        // whole-run MAE is dominated by the sliding-window warm-up).
+        let m5p_post = m5p_heap.post_mae.expect("run crashes");
+        let lr_post = lr_heap.post_mae.expect("run crashes");
+        assert!(
+            m5p_post * 2.0 < lr_post,
+            "selected M5P must beat selected LinReg near the crash: {m5p_post} vs {lr_post}"
+        );
+        assert!(m5p_heap.s_mae <= m5p_heap.mae);
+        // The extracted trend must be meaningful after warm-up: better than
+        // always predicting the cap midpoint would be on a ~3.5 h run.
+        assert!(
+            r.heap_m5p_mae_after_warmup < 2400.0,
+            "post-warm-up MAE too high: {}",
+            r.heap_m5p_mae_after_warmup
+        );
+    }
+}

@@ -1,0 +1,204 @@
+//! Extension studies beyond the paper's core evaluation, drawn from its
+//! introduction, related-work and future-work sections:
+//!
+//! - **Rejuvenation policies** (intro + TR extension [29]): reactive vs
+//!   time-based vs predictive rejuvenation, with availability accounting.
+//! - **Baseline zoo** (related work): the regression tree from the authors'
+//!   preliminary study, the naive Eq. (1) predictor, and the ARMA
+//!   comparator of Li/Vaidyanathan/Trivedi, all against M5P.
+//! - **Prediction board** (future work): a consensus ensemble of M5P,
+//!   linear regression and a regression tree.
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_core::predictor::evaluate_regressor_on_trace;
+use aging_core::rejuvenation::{evaluate_policy, RejuvenationConfig, RejuvenationPolicy};
+use aging_core::{AgingPredictor, RejuvenationReport};
+use aging_ml::arma::ArmaModel;
+use aging_ml::board::{Consensus, PredictionBoard};
+use aging_ml::eval::{evaluate, EvalConfig, Evaluation};
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::naive::NaivePredictor;
+use aging_ml::regtree::RegTreeLearner;
+use aging_ml::{Learner, Regressor};
+use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+use aging_testbed::RunTrace;
+
+/// Compares rejuvenation policies over a day of operation of a leaky
+/// server.
+pub fn rejuvenation() -> Vec<RejuvenationReport> {
+    let scenario = common::leak_run("rejuv-N15", 100, 15);
+    let predictor = AgingPredictor::train(
+        &[common::leak_run("rejuv-train", 100, 15)],
+        FeatureSet::exp42(),
+        BASE_SEED + 300,
+    )
+    .expect("training run crashes and yields checkpoints");
+    let config = RejuvenationConfig { horizon_secs: 24.0 * 3600.0, ..Default::default() };
+
+    let policies = [
+        RejuvenationPolicy::Reactive,
+        RejuvenationPolicy::TimeBased { interval_secs: 1200.0 },
+        RejuvenationPolicy::TimeBased { interval_secs: 3600.0 },
+        RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 },
+    ];
+    policies
+        .into_iter()
+        .map(|p| {
+            evaluate_policy(&scenario, p, Some(&predictor), &config, BASE_SEED + 310)
+                .expect("policy evaluation succeeds")
+        })
+        .collect()
+}
+
+/// Renders the rejuvenation comparison.
+pub fn render_rejuvenation(reports: &[RejuvenationReport]) -> String {
+    let rows: Vec<Vec<String>> = reports
+        .iter()
+        .map(|r| {
+            vec![
+                r.policy.clone(),
+                r.crashes.to_string(),
+                r.rejuvenations.to_string(),
+                format!("{:.0}", r.downtime_secs),
+                format!("{:.4}%", 100.0 * r.availability),
+                format!("{:.0}", r.lost_requests),
+            ]
+        })
+        .collect();
+    common::render_table(
+        "Rejuvenation policies over 24 h (extension, TR [29])",
+        &["policy", "crashes", "rejuvenations", "downtime s", "availability", "lost requests"],
+        &rows,
+    )
+}
+
+/// Evaluates the full baseline zoo on the paper's *dynamic* scenario
+/// (Experiment 4.2): the injection rate changes every 20 minutes, which is
+/// exactly the situation where the paper argues trend-assuming approaches
+/// (ARMA, the naive slope formula) and a single global linear model fall
+/// behind M5P. On purely deterministic single-rate aging, linear
+/// regression with heap variables is a strong baseline — the paper itself
+/// notes linear regression's adequacy "under normal circumstances".
+pub fn baselines() -> Vec<(String, Evaluation)> {
+    let features = FeatureSet::exp42();
+    let training: Vec<RunTrace> = common::exp42_training()
+        .iter()
+        .enumerate()
+        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
+        .collect();
+    let refs: Vec<&RunTrace> = training.iter().collect();
+    let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
+
+    let m5p = M5pLearner::paper_default().fit(&dataset).expect("non-empty dataset");
+    let linreg = LinRegLearner::default().fit(&dataset).expect("non-empty dataset");
+    let regtree = RegTreeLearner { min_instances: 10, ..Default::default() }
+        .fit(&dataset)
+        .expect("non-empty dataset");
+
+    // One frozen-truth pass over the dynamic test run; every model is then
+    // evaluated against the same trace and labels.
+    let predictor =
+        AgingPredictor::train_on_traces(&M5pLearner::paper_default(), &refs, features.clone())
+            .expect("training traces are non-empty");
+    let report = predictor
+        .evaluate_scenario_frozen_truth(&common::exp42_test(), BASE_SEED + 330)
+        .expect("test run produces checkpoints");
+    let test = report.trace;
+    let actuals = report.actuals;
+
+    // The naive Eq. (1) predictor reads Old-zone level and speed; its
+    // R_max is the maximum Old capacity of the default heap (1024 MB minus
+    // Young and Permanent).
+    let old_used_idx = features.variables().iter().position(|v| v == "old_used").expect("present");
+    let old_speed_idx =
+        features.variables().iter().position(|v| v == "swa_var_old").expect("present");
+    let naive = NaivePredictor::new(832.0, old_used_idx, old_speed_idx, TTF_CAP_SECS);
+
+    let mut rows: Vec<(String, Evaluation)> = Vec::new();
+    for model in [&m5p as &dyn Regressor, &linreg, &regtree, &naive] {
+        let eval = evaluate_regressor_on_trace(model, &features, &test, &actuals);
+        rows.push((model.name().to_string(), eval));
+    }
+
+    // ARMA forecasts the Old-used series itself: at every checkpoint, fit
+    // on the history so far and forecast the time until the series crosses
+    // the Old capacity (the related-work approach, workload-trend based).
+    let history: Vec<f64> = test.samples.iter().map(|s| s.old_used_mb).collect();
+    let step = 15.0;
+    let mut arma_preds = Vec::with_capacity(history.len());
+    for i in 0..history.len() {
+        let pred = if i >= 40 {
+            ArmaModel::fit(&history[..=i], 2, 1)
+                .map(|m| m.time_to_exhaustion(832.0, step, TTF_CAP_SECS))
+                .unwrap_or(TTF_CAP_SECS)
+        } else {
+            TTF_CAP_SECS
+        };
+        arma_preds.push(pred);
+    }
+    rows.push((
+        "ARMA(2,1)".to_string(),
+        evaluate(&arma_preds, &actuals, &EvalConfig::default()),
+    ));
+
+    // The prediction board (future work): consensus of the three learners.
+    let board = PredictionBoard::new(
+        vec![
+            M5pLearner::paper_default().fit_boxed(&dataset).expect("fits"),
+            LinRegLearner::default().fit_boxed(&dataset).expect("fits"),
+            RegTreeLearner { min_instances: 10, ..Default::default() }
+                .fit_boxed(&dataset)
+                .expect("fits"),
+        ],
+        Consensus::Median,
+    )
+    .expect("three members");
+    rows.push((
+        "PredictionBoard(median)".to_string(),
+        evaluate_regressor_on_trace(&board, &features, &test, &actuals),
+    ));
+    rows
+}
+
+/// Renders the baseline comparison.
+pub fn render_baselines(rows: &[(String, Evaluation)]) -> String {
+    let table: Vec<Vec<String>> =
+        rows.iter().map(|(l, e)| common::metric_row(l, e)).collect();
+    common::render_table(
+        "Baseline zoo on the dynamic scenario of Exp 4.2 (extensions)",
+        &["model", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
+        &table,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn m5p_wins_the_zoo_on_dynamic_aging() {
+        let rows = baselines();
+        let get = |name: &str| {
+            rows.iter().find(|(l, _)| l == name).map(|(_, e)| *e).expect("present")
+        };
+        // On a changing-rate scenario M5P must not lose to the single
+        // global linear model overall. (The naive Eq. (1) predictor can be
+        // competitive on raw MAE *only* because the harness tells it which
+        // resource ages — the inside knowledge the paper's Section 2
+        // criticises it for needing.)
+        assert!(get("M5P").mae <= get("LinearRegression").mae);
+        // Near the crash — where prediction matters — M5P must beat every
+        // non-tree comparator, including the naive formula, by a wide
+        // margin.
+        let m5p_post = get("M5P").post_mae.expect("run crashes");
+        for other in ["LinearRegression", "NaiveEq1", "ARMA(2,1)"] {
+            let post = get(other).post_mae.expect("run crashes");
+            assert!(
+                m5p_post * 2.0 < post,
+                "M5P POST {m5p_post} should be far below {other} POST {post}"
+            );
+        }
+    }
+}

@@ -1,0 +1,14 @@
+//! One module per paper artefact (tables, figures, extensions).
+
+pub mod ablations;
+pub mod common;
+pub mod exp41;
+pub mod exp42;
+pub mod exp43;
+pub mod datasets;
+pub mod exp44;
+pub mod extensions;
+pub mod figures;
+pub mod mixes;
+pub mod segmentation;
+pub mod sophisticated;

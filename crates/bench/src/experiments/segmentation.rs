@@ -1,0 +1,110 @@
+//! Drift detection via piecewise-linear segmentation — demonstrating the
+//! paper's positioning against Cherkasova et al. (ref. [15]): their
+//! framework assumes a system that "admits a static model … that does not
+//! degrade or drift over time", while the paper "concentrate[s] on systems
+//! that can degrade".
+//!
+//! We segment the Tomcat memory series of three runs — healthy, aging, and
+//! periodically waving — and show that the segmentation-based diagnosis
+//! separates them.
+
+use crate::experiments::common::{self, BASE_SEED};
+use aging_ml::segment::{diagnose, segment_series, SeriesDiagnosis};
+use aging_testbed::{PeriodicSpec, RunTrace, Scenario};
+
+/// Outcome for one analysed run.
+#[derive(Debug, Clone)]
+pub struct SegmentationRow {
+    /// Run label.
+    pub label: String,
+    /// Number of linear segments found in the Tomcat memory series.
+    pub n_segments: usize,
+    /// Length-weighted slope in MB per checkpoint.
+    pub diagnosis: SeriesDiagnosis,
+    /// Run duration in seconds.
+    pub duration_secs: f64,
+}
+
+fn analyse(label: &str, trace: &RunTrace) -> SegmentationRow {
+    // Skip the first 20 minutes: every fresh JVM warms up (session state,
+    // first promotions), which is not aging. The slope threshold of
+    // 0.5 MB per 15 s checkpoint (~2 MB/min) separates the natural
+    // high-water creep of a healthy server from a real leak.
+    let series: Vec<f64> = trace
+        .samples
+        .iter()
+        .filter(|s| s.time_secs > 1200.0)
+        .map(|s| s.tomcat_mem_mb)
+        .collect();
+    let segments = segment_series(&series, 8.0);
+    let diagnosis = diagnose(&series, 8.0, 0.5);
+    SegmentationRow {
+        label: label.to_string(),
+        n_segments: segments.len(),
+        diagnosis,
+        duration_secs: trace.duration_secs,
+    }
+}
+
+/// Runs the three-way comparison.
+pub fn run() -> Vec<SegmentationRow> {
+    let healthy = Scenario::builder("healthy")
+        .emulated_browsers(100)
+        .duration_minutes(120)
+        .build()
+        .run(BASE_SEED + 500);
+    let aging = common::leak_run("aging-N30", 100, 30).run(BASE_SEED + 501);
+    let waving = Scenario::builder("waving")
+        .emulated_browsers(100)
+        .periodic_cycles_no_retention(PeriodicSpec::paper_exp43(), 3)
+        .build()
+        .run(BASE_SEED + 502);
+
+    vec![
+        analyse("healthy (no injection)", &healthy),
+        analyse("aging (N=30 leak)", &aging),
+        analyse("periodic (no retention)", &waving),
+    ]
+}
+
+/// Renders the comparison.
+pub fn render(rows: &[SegmentationRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.label.clone(),
+                r.n_segments.to_string(),
+                format!("{:?}", r.diagnosis),
+                format!("{:.0} s", r.duration_secs),
+            ]
+        })
+        .collect();
+    let mut out = common::render_table(
+        "Piecewise-LR drift detection on the Tomcat memory series (related work [15])",
+        &["run", "segments", "diagnosis", "duration"],
+        &table,
+    );
+    out.push_str(
+        "\nA healthy run is statically modellable (the regime [15] assumes);\n\
+         an aging run drifts — exactly the regime the paper targets.\n",
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    #[ignore = "full experiment: run with --ignored (several simulated hours)"]
+    fn segmentation_separates_aging_from_healthy() {
+        let rows = run();
+        let find = |label: &str| rows.iter().find(|r| r.label.starts_with(label)).expect("row");
+        assert!(matches!(find("healthy").diagnosis, SeriesDiagnosis::Stable));
+        assert!(matches!(find("aging").diagnosis, SeriesDiagnosis::Degrading { .. }));
+        // The OS view of the no-retention pattern is flat after warm-up, so
+        // it must NOT be diagnosed as degrading.
+        assert!(!matches!(find("periodic").diagnosis, SeriesDiagnosis::Degrading { .. }));
+    }
+}

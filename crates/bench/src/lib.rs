@@ -1,0 +1,13 @@
+//! Benchmark and reproduction harness.
+//!
+//! Each module under [`experiments`] regenerates one table or figure of the
+//! paper; the `repro` binary dispatches to them, and the criterion benches
+//! measure training/prediction/simulation cost plus the ablations called
+//! out in `DESIGN.md`.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;
+
+pub use experiments::common;

@@ -1,0 +1,58 @@
+use std::fmt;
+
+/// Error type for the prediction framework.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// Training was requested with no scenarios or traces.
+    NoTrainingRuns,
+    /// The monitored executions produced no checkpoints to learn from.
+    EmptyTrainingData,
+    /// An underlying learner failed.
+    Ml(aging_ml::MlError),
+    /// A caller-supplied parameter was invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::NoTrainingRuns => write!(f, "no training runs supplied"),
+            CoreError::EmptyTrainingData => {
+                write!(f, "training runs produced no monitoring checkpoints")
+            }
+            CoreError::Ml(e) => write!(f, "learner error: {e}"),
+            CoreError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Ml(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aging_ml::MlError> for CoreError {
+    fn from(e: aging_ml::MlError) -> Self {
+        CoreError::Ml(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error as _;
+        assert!(CoreError::NoTrainingRuns.to_string().contains("no training"));
+        assert!(CoreError::EmptyTrainingData.to_string().contains("checkpoints"));
+        let wrapped = CoreError::from(aging_ml::MlError::EmptyTrainingSet);
+        assert!(wrapped.source().is_some());
+        assert!(CoreError::InvalidParameter("x".into()).to_string().contains('x'));
+    }
+}

@@ -1,0 +1,56 @@
+//! The paper's primary contribution: adaptive on-line software-aging
+//! prediction.
+//!
+//! This crate ties the workspace together into the framework of
+//! *"Adaptive on-line software aging prediction based on Machine Learning"*
+//! (DSN 2010):
+//!
+//! - [`predictor`] — [`AgingPredictor`]: trains an M5P model tree on
+//!   monitored run-to-crash executions and predicts time to failure for
+//!   fresh executions, including the dynamic-scenario evaluation with
+//!   frozen-rate ground truth;
+//! - [`online`] — [`OnlineTtfPredictor`]: the streaming predictor that
+//!   consumes one 15-second checkpoint at a time, exactly as the on-line
+//!   deployment sketched in the paper (and its TR extension) would;
+//! - [`rootcause`] — interpretation of the learned tree: "the model could
+//!   give clues to determine the root cause of failure" (Section 4.4);
+//! - [`rejuvenation`] — the proactive-rejuvenation layer from the paper's
+//!   introduction and TR extension: time-based vs predictive policies with
+//!   availability and lost-work accounting.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use aging_core::AgingPredictor;
+//! use aging_monitor::FeatureSet;
+//! use aging_testbed::{MemLeakSpec, Scenario};
+//!
+//! let train: Vec<Scenario> = [25, 50, 100, 200]
+//!     .into_iter()
+//!     .map(|ebs| {
+//!         Scenario::builder(format!("train-{ebs}"))
+//!             .emulated_browsers(ebs)
+//!             .memory_leak(MemLeakSpec::new(30))
+//!             .run_to_crash()
+//!             .build()
+//!     })
+//!     .collect();
+//! let predictor = AgingPredictor::train(&train, FeatureSet::exp41(), 42)?;
+//! println!("{} leaves", predictor.model().n_leaves());
+//! # Ok::<(), aging_core::CoreError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod error;
+pub mod online;
+pub mod predictor;
+pub mod rejuvenation;
+pub mod rootcause;
+
+pub use error::CoreError;
+pub use online::OnlineTtfPredictor;
+pub use predictor::{AgingPredictor, EvalReport};
+pub use rejuvenation::{RejuvenationConfig, RejuvenationPolicy, RejuvenationReport};
+pub use rootcause::RootCauseReport;

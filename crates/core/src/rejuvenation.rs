@@ -1,0 +1,359 @@
+//! Software rejuvenation policies driven by the predictor.
+//!
+//! The paper's introduction divides rejuvenation strategies into
+//! *time-based* ("applied regularly and at predetermined time intervals")
+//! and *predictive/proactive* ("system metrics are continuously monitored
+//! and the rejuvenation action is triggered when a crash … seems to
+//! approach"), arguing the predictive approach reduces the number of
+//! rejuvenation actions. The TR extension [29] builds exactly this layer on
+//! top of the M5P predictor; this module reproduces it and quantifies the
+//! trade-off with availability and lost-work accounting.
+
+use crate::{AgingPredictor, CoreError};
+use aging_testbed::{Scenario, Simulator, StepOutcome};
+use serde::{Deserialize, Serialize};
+
+/// When to restart the server proactively.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum RejuvenationPolicy {
+    /// Never rejuvenate: crashes are handled reactively.
+    Reactive,
+    /// Restart every `interval_secs` of uptime, unconditionally.
+    TimeBased {
+        /// Uptime between planned restarts, seconds.
+        interval_secs: f64,
+    },
+    /// Restart when the predicted TTF stays below `threshold_secs` for
+    /// `consecutive` checkpoints (debouncing a single noisy prediction).
+    Predictive {
+        /// TTF threshold, seconds.
+        threshold_secs: f64,
+        /// Checkpoints the prediction must stay below threshold.
+        consecutive: usize,
+    },
+}
+
+impl RejuvenationPolicy {
+    fn label(&self) -> String {
+        match self {
+            RejuvenationPolicy::Reactive => "reactive".into(),
+            RejuvenationPolicy::TimeBased { interval_secs } => {
+                format!("time-based({interval_secs}s)")
+            }
+            RejuvenationPolicy::Predictive { threshold_secs, consecutive } => {
+                format!("predictive(<{threshold_secs}s x{consecutive})")
+            }
+        }
+    }
+}
+
+/// Costs and horizon of a rejuvenation study.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RejuvenationConfig {
+    /// Downtime of a planned restart, seconds (a clean Tomcat restart).
+    pub rejuvenation_downtime_secs: f64,
+    /// Downtime of an unplanned crash, seconds (detection + restart +
+    /// recovery of lost work — the expensive case).
+    pub crash_downtime_secs: f64,
+    /// Total operation period to simulate, seconds.
+    pub horizon_secs: f64,
+    /// Checkpoints to ignore before the predictive trigger may fire (the
+    /// sliding windows need to fill).
+    pub warmup_checkpoints: usize,
+}
+
+impl Default for RejuvenationConfig {
+    fn default() -> Self {
+        RejuvenationConfig {
+            rejuvenation_downtime_secs: 60.0,
+            crash_downtime_secs: 600.0,
+            horizon_secs: 24.0 * 3600.0,
+            warmup_checkpoints: 12,
+        }
+    }
+}
+
+/// Outcome of operating a policy over the horizon.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RejuvenationReport {
+    /// Policy description.
+    pub policy: String,
+    /// Operation period covered, seconds.
+    pub horizon_secs: f64,
+    /// Unplanned crashes suffered.
+    pub crashes: u64,
+    /// Planned restarts performed.
+    pub rejuvenations: u64,
+    /// Total downtime, seconds.
+    pub downtime_secs: f64,
+    /// Fraction of the horizon the service was up.
+    pub availability: f64,
+    /// Estimated requests lost during downtime (mean observed throughput ×
+    /// downtime).
+    pub lost_requests: f64,
+}
+
+/// Operates `scenario` repeatedly under `policy` until `config.horizon_secs`
+/// of (simulated) wall-clock time passes; every epoch ends in a crash, a
+/// planned restart, or the scenario running out.
+///
+/// The predictive policy requires `predictor`; other policies ignore it.
+///
+/// # Errors
+///
+/// Returns [`CoreError::InvalidParameter`] when the predictive policy is
+/// requested without a predictor or with degenerate parameters.
+pub fn evaluate_policy(
+    scenario: &Scenario,
+    policy: RejuvenationPolicy,
+    predictor: Option<&AgingPredictor>,
+    config: &RejuvenationConfig,
+    base_seed: u64,
+) -> Result<RejuvenationReport, CoreError> {
+    if let RejuvenationPolicy::Predictive { threshold_secs, consecutive } = policy {
+        if predictor.is_none() {
+            return Err(CoreError::InvalidParameter(
+                "predictive policy needs a trained predictor".into(),
+            ));
+        }
+        if threshold_secs <= 0.0 || consecutive == 0 {
+            return Err(CoreError::InvalidParameter(
+                "predictive policy needs positive threshold and consecutive count".into(),
+            ));
+        }
+    }
+    if let RejuvenationPolicy::TimeBased { interval_secs } = policy {
+        if interval_secs <= 0.0 {
+            return Err(CoreError::InvalidParameter("interval must be positive".into()));
+        }
+    }
+
+    let mut elapsed = 0.0;
+    let mut crashes = 0u64;
+    let mut rejuvenations = 0u64;
+    let mut downtime = 0.0;
+    let mut throughput_sum = 0.0;
+    let mut throughput_n = 0u64;
+    let mut epoch = 0u64;
+
+    while elapsed < config.horizon_secs {
+        let mut sim = Simulator::new(scenario, base_seed.wrapping_add(epoch));
+        let mut online = predictor.map(|p| p.online());
+        let mut below = 0usize;
+        let mut seen = 0usize;
+        let epoch_end: EpochEnd;
+
+        loop {
+            match sim.step() {
+                StepOutcome::Checkpoint(sample) => {
+                    seen += 1;
+                    throughput_sum += sample.throughput_rps;
+                    throughput_n += 1;
+                    let uptime = sample.time_secs;
+                    if elapsed + uptime >= config.horizon_secs {
+                        epoch_end = EpochEnd::HorizonReached(uptime);
+                        break;
+                    }
+                    match policy {
+                        RejuvenationPolicy::Reactive => {}
+                        RejuvenationPolicy::TimeBased { interval_secs } => {
+                            if uptime >= interval_secs {
+                                epoch_end = EpochEnd::Rejuvenated(uptime);
+                                break;
+                            }
+                        }
+                        RejuvenationPolicy::Predictive { threshold_secs, consecutive } => {
+                            let prediction = online
+                                .as_mut()
+                                .expect("validated above")
+                                .observe(&sample);
+                            if seen > config.warmup_checkpoints && prediction < threshold_secs {
+                                below += 1;
+                                if below >= consecutive {
+                                    epoch_end = EpochEnd::Rejuvenated(uptime);
+                                    break;
+                                }
+                            } else {
+                                below = 0;
+                            }
+                        }
+                    }
+                }
+                StepOutcome::Crashed(crash) => {
+                    epoch_end = EpochEnd::Crashed(crash.time_secs);
+                    break;
+                }
+                StepOutcome::Finished => {
+                    epoch_end = EpochEnd::RanOut(sim.time_ms() as f64 / 1000.0);
+                    break;
+                }
+            }
+        }
+
+        match epoch_end {
+            EpochEnd::HorizonReached(uptime) => {
+                elapsed += uptime;
+                break;
+            }
+            EpochEnd::Crashed(uptime) => {
+                crashes += 1;
+                downtime += config.crash_downtime_secs;
+                elapsed += uptime + config.crash_downtime_secs;
+            }
+            EpochEnd::Rejuvenated(uptime) => {
+                rejuvenations += 1;
+                downtime += config.rejuvenation_downtime_secs;
+                elapsed += uptime + config.rejuvenation_downtime_secs;
+            }
+            EpochEnd::RanOut(uptime) => {
+                // Scenario exhausted without crash: time passes, service up.
+                elapsed += uptime.max(1.0);
+            }
+        }
+        epoch += 1;
+    }
+
+    let horizon = elapsed.max(1.0);
+    let mean_rps = if throughput_n > 0 { throughput_sum / throughput_n as f64 } else { 0.0 };
+    Ok(RejuvenationReport {
+        policy: policy.label(),
+        horizon_secs: horizon,
+        crashes,
+        rejuvenations,
+        downtime_secs: downtime,
+        availability: ((horizon - downtime) / horizon).clamp(0.0, 1.0),
+        lost_requests: mean_rps * downtime,
+    })
+}
+
+enum EpochEnd {
+    Crashed(f64),
+    Rejuvenated(f64),
+    RanOut(f64),
+    HorizonReached(f64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_monitor::FeatureSet;
+    use aging_testbed::MemLeakSpec;
+
+    fn crashing_scenario() -> Scenario {
+        Scenario::builder("leaky")
+            .emulated_browsers(100)
+            .memory_leak(MemLeakSpec::new(15))
+            .run_to_crash()
+            .build()
+    }
+
+    fn short_config() -> RejuvenationConfig {
+        RejuvenationConfig { horizon_secs: 4.0 * 3600.0, ..Default::default() }
+    }
+
+    #[test]
+    fn reactive_policy_suffers_crashes() {
+        let report = evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            None,
+            &short_config(),
+            1,
+        )
+        .unwrap();
+        assert!(report.crashes >= 2, "a leaky server crashes repeatedly: {report:?}");
+        assert_eq!(report.rejuvenations, 0);
+        assert!(report.availability < 1.0);
+    }
+
+    #[test]
+    fn frequent_time_based_avoids_crashes_but_restarts_a_lot() {
+        let report = evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::TimeBased { interval_secs: 900.0 },
+            None,
+            &short_config(),
+            2,
+        )
+        .unwrap();
+        assert_eq!(report.crashes, 0, "15-minute restarts pre-empt a ~40-minute TTF");
+        assert!(report.rejuvenations >= 10);
+    }
+
+    #[test]
+    fn predictive_policy_beats_reactive_availability() {
+        let predictor = AgingPredictor::train(
+            &[crashing_scenario()],
+            FeatureSet::exp42(),
+            77,
+        )
+        .unwrap();
+        let cfg = short_config();
+        let predictive = evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 },
+            Some(&predictor),
+            &cfg,
+            3,
+        )
+        .unwrap();
+        let reactive =
+            evaluate_policy(&crashing_scenario(), RejuvenationPolicy::Reactive, None, &cfg, 3)
+                .unwrap();
+        assert!(
+            predictive.crashes < reactive.crashes,
+            "prediction must pre-empt crashes: {predictive:?} vs {reactive:?}"
+        );
+        assert!(
+            predictive.availability > reactive.availability,
+            "predictive {} vs reactive {}",
+            predictive.availability,
+            reactive.availability
+        );
+    }
+
+    #[test]
+    fn predictive_without_predictor_is_rejected() {
+        let err = evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::Predictive { threshold_secs: 300.0, consecutive: 2 },
+            None,
+            &short_config(),
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidParameter(_)));
+    }
+
+    #[test]
+    fn degenerate_parameters_rejected() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 9).unwrap();
+        assert!(evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::Predictive { threshold_secs: 0.0, consecutive: 2 },
+            Some(&predictor),
+            &short_config(),
+            1,
+        )
+        .is_err());
+        assert!(evaluate_policy(
+            &crashing_scenario(),
+            RejuvenationPolicy::TimeBased { interval_secs: -1.0 },
+            None,
+            &short_config(),
+            1,
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn labels_are_descriptive() {
+        assert_eq!(RejuvenationPolicy::Reactive.label(), "reactive");
+        assert!(RejuvenationPolicy::TimeBased { interval_secs: 60.0 }.label().contains("60"));
+        assert!(RejuvenationPolicy::Predictive { threshold_secs: 300.0, consecutive: 2 }
+            .label()
+            .contains("300"));
+    }
+}

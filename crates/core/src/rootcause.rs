@@ -1,0 +1,152 @@
+//! Root-cause hints from the learned model tree.
+//!
+//! Section 4.4 of the paper: "we observed the tree built by M5P, where the
+//! root node contains the system memory attribute … the second variable
+//! inspected is the number of threads … Only with the first two levels of
+//! the tree we can observe how memory usage and the threads are important
+//! variables, which gives administrators or developers a clue on the root
+//! cause of the failure due to software aging."
+//!
+//! [`RootCauseReport`] ranks the attributes by how shallowly and how often
+//! the tree tests them and buckets them into resource categories.
+
+use aging_ml::m5p::{M5pModel, SplitUsage};
+use serde::{Deserialize, Serialize};
+
+/// Resource category an attribute points at.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ResourceCategory {
+    /// Java heap internals (Young/Old zones).
+    JavaHeap,
+    /// Process/system memory.
+    Memory,
+    /// Thread population.
+    Threads,
+    /// Load/throughput/latency signals.
+    Load,
+    /// Anything else (disk, swap, processes, …).
+    Other,
+}
+
+/// Classifies a Table-2 variable name into a resource category.
+pub fn categorize(variable: &str) -> ResourceCategory {
+    if variable.contains("young") || variable.contains("old") {
+        ResourceCategory::JavaHeap
+    } else if variable.contains("mem") || variable.contains("swap") {
+        ResourceCategory::Memory
+    } else if variable.contains("thread") {
+        ResourceCategory::Threads
+    } else if variable.contains("throughput")
+        || variable.contains("response")
+        || variable.contains("load")
+        || variable.contains("workload")
+        || variable.contains("connections")
+    {
+        ResourceCategory::Load
+    } else {
+        ResourceCategory::Other
+    }
+}
+
+/// A ranked root-cause analysis extracted from an M5P tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RootCauseReport {
+    /// Split usage, ordered by shallowest depth (most suspicious first).
+    pub ranked: Vec<SplitUsage>,
+    /// Categories implicated within the first two tree levels, deduplicated
+    /// in rank order — the paper's "first two levels" heuristic.
+    pub suspected: Vec<ResourceCategory>,
+}
+
+impl RootCauseReport {
+    /// Analyses a fitted model tree.
+    pub fn from_model(model: &M5pModel) -> Self {
+        let ranked = model.split_usage();
+        let mut suspected = Vec::new();
+        for usage in ranked.iter().filter(|u| u.min_depth <= 1) {
+            let cat = categorize(&usage.attribute);
+            if !suspected.contains(&cat) {
+                suspected.push(cat);
+            }
+        }
+        RootCauseReport { ranked, suspected }
+    }
+
+    /// Human-readable multi-line summary.
+    pub fn summary(&self) -> String {
+        let mut out = String::from("Root-cause hints from the M5P tree:\n");
+        if self.ranked.is_empty() {
+            out.push_str("  (the tree has no splits: no aging signal was learned)\n");
+            return out;
+        }
+        for u in self.ranked.iter().take(8) {
+            out.push_str(&format!(
+                "  depth {:>2}  used {:>3}x  {:<28} [{:?}]\n",
+                u.min_depth,
+                u.count,
+                u.attribute,
+                categorize(&u.attribute)
+            ));
+        }
+        out.push_str(&format!("  suspected resources: {:?}\n", self.suspected));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_dataset::Dataset;
+    use aging_ml::m5p::M5pLearner;
+    use aging_ml::Learner;
+
+    #[test]
+    fn categories_cover_table2_names() {
+        assert_eq!(categorize("young_used"), ResourceCategory::JavaHeap);
+        assert_eq!(categorize("swa_var_old"), ResourceCategory::JavaHeap);
+        assert_eq!(categorize("sys_mem_used"), ResourceCategory::Memory);
+        assert_eq!(categorize("tomcat_mem_used"), ResourceCategory::Memory);
+        assert_eq!(categorize("swap_free"), ResourceCategory::Memory);
+        assert_eq!(categorize("num_threads"), ResourceCategory::Threads);
+        assert_eq!(categorize("inv_swa_threads"), ResourceCategory::Threads);
+        assert_eq!(categorize("throughput"), ResourceCategory::Load);
+        assert_eq!(categorize("response_time"), ResourceCategory::Load);
+        assert_eq!(categorize("http_connections"), ResourceCategory::Load);
+        assert_eq!(categorize("disk_used"), ResourceCategory::Other);
+        assert_eq!(categorize("num_processes"), ResourceCategory::Other);
+    }
+
+    #[test]
+    fn report_identifies_the_driving_attribute() {
+        // Target driven by a memory-ish attribute; noise elsewhere.
+        let mut ds = Dataset::new(
+            vec!["tomcat_mem_used".into(), "disk_used".into()],
+            "ttf",
+        );
+        for i in 0..400 {
+            let mem = i as f64;
+            let ttf = if mem < 200.0 { 8000.0 - 10.0 * mem } else { 12000.0 - 30.0 * mem };
+            ds.push_row(vec![mem, 9500.0 + (i % 3) as f64], ttf).unwrap();
+        }
+        let model = M5pLearner::default().fit(&ds).unwrap();
+        let report = RootCauseReport::from_model(&model);
+        assert!(!report.ranked.is_empty());
+        assert_eq!(report.ranked[0].attribute, "tomcat_mem_used");
+        assert!(report.suspected.contains(&ResourceCategory::Memory));
+        assert!(report.summary().contains("tomcat_mem_used"));
+    }
+
+    #[test]
+    fn splitless_tree_reports_no_signal() {
+        let mut ds = Dataset::new(vec!["x".into()], "ttf");
+        for i in 0..50 {
+            ds.push_row(vec![i as f64], 10_800.0).unwrap();
+        }
+        let model = M5pLearner::default().fit(&ds).unwrap();
+        let report = RootCauseReport::from_model(&model);
+        assert!(report.ranked.is_empty());
+        assert!(report.suspected.is_empty());
+        assert!(report.summary().contains("no aging signal"));
+    }
+}

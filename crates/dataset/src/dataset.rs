@@ -1,0 +1,434 @@
+use crate::error::DatasetError;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A numeric, row-oriented table with named attribute columns and a single
+/// designated regression target column.
+///
+/// This mirrors the shape of the WEKA instances the original paper trained
+/// M5P on: every *checkpoint* of a monitored execution becomes one row whose
+/// attributes are the Table-2 variables and whose target is the time to
+/// failure in seconds.
+///
+/// Rows are stored in a flat `Vec<f64>` (row-major) for cache-friendly
+/// scanning during tree induction; targets are stored separately.
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::Dataset;
+///
+/// let mut ds = Dataset::new(vec!["a".into(), "b".into()], "y");
+/// ds.push_row(vec![1.0, 2.0], 10.0)?;
+/// assert_eq!(ds.row(0).values(), &[1.0, 2.0]);
+/// assert_eq!(ds.target(0), 10.0);
+/// # Ok::<(), aging_dataset::DatasetError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Dataset {
+    attribute_names: Vec<String>,
+    target_name: String,
+    /// Row-major attribute values; length = rows * attribute_names.len().
+    values: Vec<f64>,
+    targets: Vec<f64>,
+}
+
+/// Borrowed view of a single dataset row (attributes plus target).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RowView<'a> {
+    values: &'a [f64],
+    target: f64,
+}
+
+impl<'a> RowView<'a> {
+    /// The attribute values of this row.
+    pub fn values(&self) -> &'a [f64] {
+        self.values
+    }
+
+    /// The regression target of this row.
+    pub fn target(&self) -> f64 {
+        self.target
+    }
+}
+
+impl Dataset {
+    /// Creates an empty dataset with the given attribute column names and
+    /// target column name.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// let ds = aging_dataset::Dataset::new(vec!["x".into()], "ttf");
+    /// assert!(ds.is_empty());
+    /// ```
+    pub fn new(attribute_names: Vec<String>, target_name: impl Into<String>) -> Self {
+        Dataset {
+            attribute_names,
+            target_name: target_name.into(),
+            values: Vec::new(),
+            targets: Vec::new(),
+        }
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Whether the dataset holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of attribute columns (excluding the target).
+    pub fn n_attributes(&self) -> usize {
+        self.attribute_names.len()
+    }
+
+    /// Attribute column names, in column order.
+    pub fn attribute_names(&self) -> &[String] {
+        &self.attribute_names
+    }
+
+    /// Name of the target column.
+    pub fn target_name(&self) -> &str {
+        &self.target_name
+    }
+
+    /// Index of the attribute column called `name`, if present.
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.attribute_names.iter().position(|n| n == name)
+    }
+
+    /// Appends a row.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ArityMismatch`] if `values.len()` differs from
+    /// the schema arity and [`DatasetError::NonFinite`] if any value (or the
+    /// target) is NaN or infinite.
+    pub fn push_row(&mut self, values: Vec<f64>, target: f64) -> Result<(), DatasetError> {
+        if values.len() != self.attribute_names.len() {
+            return Err(DatasetError::ArityMismatch {
+                expected: self.attribute_names.len(),
+                got: values.len(),
+            });
+        }
+        if let Some(bad) = values.iter().position(|v| !v.is_finite()) {
+            return Err(DatasetError::NonFinite {
+                column: self.attribute_names[bad].clone(),
+            });
+        }
+        if !target.is_finite() {
+            return Err(DatasetError::NonFinite {
+                column: self.target_name.clone(),
+            });
+        }
+        self.values.extend_from_slice(&values);
+        self.targets.push(target);
+        Ok(())
+    }
+
+    /// Borrowed view of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn row(&self, i: usize) -> RowView<'_> {
+        let n = self.n_attributes();
+        RowView {
+            values: &self.values[i * n..(i + 1) * n],
+            target: self.targets[i],
+        }
+    }
+
+    /// The target value of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn target(&self, i: usize) -> f64 {
+        self.targets[i]
+    }
+
+    /// All targets, in row order.
+    pub fn targets(&self) -> &[f64] {
+        &self.targets
+    }
+
+    /// Value at row `i`, attribute column `col`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of range.
+    pub fn value(&self, i: usize, col: usize) -> f64 {
+        self.values[i * self.n_attributes() + col]
+    }
+
+    /// Iterator over row views.
+    pub fn iter(&self) -> impl Iterator<Item = RowView<'_>> + '_ {
+        (0..self.len()).map(move |i| self.row(i))
+    }
+
+    /// Copies the values of attribute column `col` into a fresh vector.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ColumnOutOfRange`] for a bad index.
+    pub fn column(&self, col: usize) -> Result<Vec<f64>, DatasetError> {
+        let n = self.n_attributes();
+        if col >= n {
+            return Err(DatasetError::ColumnOutOfRange { index: col, len: n });
+        }
+        Ok((0..self.len()).map(|i| self.value(i, col)).collect())
+    }
+
+    /// Appends all rows of `other` (which must share the exact schema).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::ArityMismatch`] when schemas differ.
+    pub fn extend_from(&mut self, other: &Dataset) -> Result<(), DatasetError> {
+        if other.attribute_names != self.attribute_names {
+            return Err(DatasetError::ArityMismatch {
+                expected: self.n_attributes(),
+                got: other.n_attributes(),
+            });
+        }
+        self.values.extend_from_slice(&other.values);
+        self.targets.extend_from_slice(&other.targets);
+        Ok(())
+    }
+
+    /// Returns a new dataset containing only the named attribute columns
+    /// (targets are kept unchanged). This is the *feature selection*
+    /// operation of the paper's Experiment 4.3.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DatasetError::UnknownColumn`] if any name is absent.
+    pub fn select_columns(&self, names: &[&str]) -> Result<Dataset, DatasetError> {
+        let mut idx = Vec::with_capacity(names.len());
+        for &name in names {
+            idx.push(
+                self.column_index(name)
+                    .ok_or_else(|| DatasetError::UnknownColumn(name.to_string()))?,
+            );
+        }
+        let mut out = Dataset::new(
+            names.iter().map(|s| s.to_string()).collect(),
+            self.target_name.clone(),
+        );
+        for i in 0..self.len() {
+            let row: Vec<f64> = idx.iter().map(|&c| self.value(i, c)).collect();
+            out.push_row(row, self.targets[i])
+                .expect("selected row has matching arity and finite values");
+        }
+        Ok(out)
+    }
+
+    /// Returns a dataset containing the rows whose indices satisfy `keep`.
+    pub fn filter_rows(&self, mut keep: impl FnMut(usize, RowView<'_>) -> bool) -> Dataset {
+        let mut out = Dataset::new(self.attribute_names.clone(), self.target_name.clone());
+        for i in 0..self.len() {
+            let row = self.row(i);
+            if keep(i, row) {
+                out.push_row(row.values().to_vec(), row.target())
+                    .expect("filtered row comes from a valid dataset");
+            }
+        }
+        out
+    }
+
+    /// Splits into `(head, tail)` at row `at` (head gets rows `0..at`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at > self.len()`.
+    pub fn split_at(&self, at: usize) -> (Dataset, Dataset) {
+        assert!(at <= self.len(), "split point {at} beyond {} rows", self.len());
+        let head = self.filter_rows(|i, _| i < at);
+        let tail = self.filter_rows(|i, _| i >= at);
+        (head, tail)
+    }
+
+    /// Returns a copy with rows shuffled by `rng` (used for cross-validation
+    /// folds; training itself is deterministic).
+    pub fn shuffled<R: Rng>(&self, rng: &mut R) -> Dataset {
+        let mut order: Vec<usize> = (0..self.len()).collect();
+        order.shuffle(rng);
+        let mut out = Dataset::new(self.attribute_names.clone(), self.target_name.clone());
+        for &i in &order {
+            out.push_row(self.row(i).values().to_vec(), self.targets[i])
+                .expect("shuffled row comes from a valid dataset");
+        }
+        out
+    }
+
+    /// Mean of the target column; `None` when empty.
+    pub fn target_mean(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(crate::stats::mean(&self.targets))
+        }
+    }
+
+    /// Population standard deviation of the target column; `None` when empty.
+    pub fn target_std(&self) -> Option<f64> {
+        if self.is_empty() {
+            None
+        } else {
+            Some(crate::stats::std_dev(&self.targets))
+        }
+    }
+}
+
+impl<'a> IntoIterator for &'a Dataset {
+    type Item = RowView<'a>;
+    type IntoIter = Box<dyn Iterator<Item = RowView<'a>> + 'a>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        Box::new((0..self.len()).map(move |i| self.row(i)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], "y");
+        ds.push_row(vec![1.0, 10.0], 100.0).unwrap();
+        ds.push_row(vec![2.0, 20.0], 200.0).unwrap();
+        ds.push_row(vec![3.0, 30.0], 300.0).unwrap();
+        ds
+    }
+
+    #[test]
+    fn push_and_read_back() {
+        let ds = sample();
+        assert_eq!(ds.len(), 3);
+        assert_eq!(ds.n_attributes(), 2);
+        assert_eq!(ds.row(1).values(), &[2.0, 20.0]);
+        assert_eq!(ds.target(2), 300.0);
+        assert_eq!(ds.value(2, 1), 30.0);
+    }
+
+    #[test]
+    fn arity_mismatch_is_rejected() {
+        let mut ds = sample();
+        let err = ds.push_row(vec![1.0], 5.0).unwrap_err();
+        assert!(matches!(err, DatasetError::ArityMismatch { expected: 2, got: 1 }));
+    }
+
+    #[test]
+    fn non_finite_is_rejected_with_column_name() {
+        let mut ds = sample();
+        let err = ds.push_row(vec![1.0, f64::NAN], 5.0).unwrap_err();
+        match err {
+            DatasetError::NonFinite { column } => assert_eq!(column, "b"),
+            other => panic!("unexpected error {other:?}"),
+        }
+        let err = ds.push_row(vec![1.0, 2.0], f64::INFINITY).unwrap_err();
+        match err {
+            DatasetError::NonFinite { column } => assert_eq!(column, "y"),
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn column_extraction() {
+        let ds = sample();
+        assert_eq!(ds.column(0).unwrap(), vec![1.0, 2.0, 3.0]);
+        assert!(ds.column(5).is_err());
+    }
+
+    #[test]
+    fn column_index_lookup() {
+        let ds = sample();
+        assert_eq!(ds.column_index("b"), Some(1));
+        assert_eq!(ds.column_index("zzz"), None);
+    }
+
+    #[test]
+    fn select_columns_projects_and_preserves_targets() {
+        let ds = sample();
+        let proj = ds.select_columns(&["b"]).unwrap();
+        assert_eq!(proj.n_attributes(), 1);
+        assert_eq!(proj.attribute_names(), &["b".to_string()]);
+        assert_eq!(proj.row(2).values(), &[30.0]);
+        assert_eq!(proj.targets(), ds.targets());
+        assert!(ds.select_columns(&["nope"]).is_err());
+    }
+
+    #[test]
+    fn select_columns_can_reorder() {
+        let ds = sample();
+        let proj = ds.select_columns(&["b", "a"]).unwrap();
+        assert_eq!(proj.row(0).values(), &[10.0, 1.0]);
+    }
+
+    #[test]
+    fn filter_and_split() {
+        let ds = sample();
+        let even = ds.filter_rows(|i, _| i % 2 == 0);
+        assert_eq!(even.len(), 2);
+        assert_eq!(even.target(1), 300.0);
+        let (h, t) = ds.split_at(1);
+        assert_eq!(h.len(), 1);
+        assert_eq!(t.len(), 2);
+        assert_eq!(t.target(0), 200.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "split point")]
+    fn split_beyond_len_panics() {
+        sample().split_at(4);
+    }
+
+    #[test]
+    fn extend_from_requires_same_schema() {
+        let mut ds = sample();
+        let other = sample();
+        ds.extend_from(&other).unwrap();
+        assert_eq!(ds.len(), 6);
+        let different = Dataset::new(vec!["x".into(), "b".into()], "y");
+        assert!(ds.extend_from(&different).is_err());
+    }
+
+    #[test]
+    fn shuffle_preserves_multiset() {
+        let ds = sample();
+        let mut rng = StdRng::seed_from_u64(7);
+        let sh = ds.shuffled(&mut rng);
+        let mut a: Vec<f64> = sh.targets().to_vec();
+        let mut b: Vec<f64> = ds.targets().to_vec();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn target_summary() {
+        let ds = sample();
+        assert!((ds.target_mean().unwrap() - 200.0).abs() < 1e-12);
+        assert!(ds.target_std().unwrap() > 0.0);
+        let empty = Dataset::new(vec!["a".into()], "y");
+        assert_eq!(empty.target_mean(), None);
+        assert_eq!(empty.target_std(), None);
+    }
+
+    #[test]
+    fn iteration_matches_rows() {
+        let ds = sample();
+        let collected: Vec<f64> = ds.iter().map(|r| r.target()).collect();
+        assert_eq!(collected, vec![100.0, 200.0, 300.0]);
+        let via_into: Vec<f64> = (&ds).into_iter().map(|r| r.target()).collect();
+        assert_eq!(via_into, collected);
+    }
+}

@@ -1,0 +1,98 @@
+use std::fmt;
+
+/// Error type for dataset construction and I/O.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DatasetError {
+    /// A row was pushed whose arity does not match the schema.
+    ArityMismatch {
+        /// Number of attributes declared in the schema.
+        expected: usize,
+        /// Number of values in the offending row.
+        got: usize,
+    },
+    /// A column name was referenced that does not exist in the schema.
+    UnknownColumn(String),
+    /// A column index was out of range.
+    ColumnOutOfRange {
+        /// The offending index.
+        index: usize,
+        /// Number of attribute columns.
+        len: usize,
+    },
+    /// A non-finite value (NaN or infinity) was pushed into the table.
+    NonFinite {
+        /// Column name where the non-finite value appeared.
+        column: String,
+    },
+    /// Parse failure while reading CSV input.
+    Parse {
+        /// 1-based line number of the failure.
+        line: usize,
+        /// Human-readable description.
+        message: String,
+    },
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::ArityMismatch { expected, got } => {
+                write!(f, "row arity mismatch: expected {expected} values, got {got}")
+            }
+            DatasetError::UnknownColumn(name) => write!(f, "unknown column `{name}`"),
+            DatasetError::ColumnOutOfRange { index, len } => {
+                write!(f, "column index {index} out of range for {len} attributes")
+            }
+            DatasetError::NonFinite { column } => {
+                write!(f, "non-finite value in column `{column}`")
+            }
+            DatasetError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            DatasetError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for DatasetError {
+    fn from(e: std::io::Error) -> Self {
+        DatasetError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = DatasetError::ArityMismatch { expected: 3, got: 2 };
+        assert!(e.to_string().contains("expected 3"));
+        let e = DatasetError::UnknownColumn("ttf".into());
+        assert!(e.to_string().contains("ttf"));
+        let e = DatasetError::ColumnOutOfRange { index: 9, len: 4 };
+        assert!(e.to_string().contains('9'));
+        let e = DatasetError::NonFinite { column: "mem".into() };
+        assert!(e.to_string().contains("mem"));
+    }
+
+    #[test]
+    fn io_error_source_is_preserved() {
+        use std::error::Error as _;
+        let inner = std::io::Error::new(std::io::ErrorKind::Other, "boom");
+        let e = DatasetError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

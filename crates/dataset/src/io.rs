@@ -1,0 +1,205 @@
+//! CSV and WEKA-ARFF serialisation for [`Dataset`].
+//!
+//! The original paper published its training and test sets in WEKA's ARFF
+//! format; [`write_arff`] produces the equivalent file for our datasets so
+//! results can be compared or post-processed with the same tooling.
+
+use crate::{Dataset, DatasetError};
+use std::io::{BufRead, Write};
+
+/// Writes `ds` as CSV with a header row: attribute columns first, target
+/// column last.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::{Dataset, io};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], "y");
+/// ds.push_row(vec![1.5], 3.0)?;
+/// let mut out = Vec::new();
+/// io::write_csv(&ds, &mut out)?;
+/// assert_eq!(String::from_utf8(out).unwrap(), "x,y\n1.5,3\n");
+/// # Ok::<(), aging_dataset::DatasetError>(())
+/// ```
+pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> Result<(), DatasetError> {
+    let mut header: Vec<&str> = ds.attribute_names().iter().map(String::as_str).collect();
+    header.push(ds.target_name());
+    writeln!(w, "{}", header.join(","))?;
+    for row in ds.iter() {
+        for v in row.values() {
+            write!(w, "{v},")?;
+        }
+        writeln!(w, "{}", row.target())?;
+    }
+    Ok(())
+}
+
+/// Reads a CSV (as produced by [`write_csv`]) back into a [`Dataset`].
+///
+/// The last column is taken as the target.
+///
+/// # Errors
+///
+/// Returns [`DatasetError::Parse`] on malformed input (missing header, bad
+/// numbers, ragged rows) and propagates I/O failures.
+pub fn read_csv<R: BufRead>(r: R) -> Result<Dataset, DatasetError> {
+    let mut lines = r.lines().enumerate();
+    let (_, header) = lines.next().ok_or(DatasetError::Parse {
+        line: 1,
+        message: "empty input: missing header".into(),
+    })?;
+    let header = header?;
+    let mut cols: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
+    if cols.len() < 2 {
+        return Err(DatasetError::Parse {
+            line: 1,
+            message: format!("need at least 2 columns, got {}", cols.len()),
+        });
+    }
+    let target = cols.pop().expect("checked len >= 2");
+    let n_attrs = cols.len();
+    let mut ds = Dataset::new(cols, target);
+    for (idx, line) in lines {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let lineno = idx + 1;
+        let mut vals = Vec::with_capacity(n_attrs + 1);
+        for tok in line.split(',') {
+            let v: f64 = tok.trim().parse().map_err(|e| DatasetError::Parse {
+                line: lineno,
+                message: format!("bad number `{tok}`: {e}"),
+            })?;
+            vals.push(v);
+        }
+        if vals.len() != n_attrs + 1 {
+            return Err(DatasetError::Parse {
+                line: lineno,
+                message: format!("expected {} values, got {}", n_attrs + 1, vals.len()),
+            });
+        }
+        let target = vals.pop().expect("non-empty row");
+        ds.push_row(vals, target).map_err(|e| DatasetError::Parse {
+            line: lineno,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(ds)
+}
+
+/// Writes `ds` in WEKA ARFF format under relation name `relation`.
+///
+/// All attributes (including the target, emitted last, as WEKA expects for
+/// regression) are declared `numeric`. Attribute names containing spaces or
+/// quotes are quoted per the ARFF grammar.
+///
+/// # Errors
+///
+/// Propagates I/O failures from `w`.
+pub fn write_arff<W: Write>(ds: &Dataset, relation: &str, mut w: W) -> Result<(), DatasetError> {
+    writeln!(w, "@RELATION {}", arff_quote(relation))?;
+    writeln!(w)?;
+    for name in ds.attribute_names() {
+        writeln!(w, "@ATTRIBUTE {} NUMERIC", arff_quote(name))?;
+    }
+    writeln!(w, "@ATTRIBUTE {} NUMERIC", arff_quote(ds.target_name()))?;
+    writeln!(w)?;
+    writeln!(w, "@DATA")?;
+    for row in ds.iter() {
+        for v in row.values() {
+            write!(w, "{v},")?;
+        }
+        writeln!(w, "{}", row.target())?;
+    }
+    Ok(())
+}
+
+fn arff_quote(name: &str) -> String {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.') {
+        name.to_string()
+    } else {
+        format!("'{}'", name.replace('\'', "\\'"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dataset {
+        let mut ds = Dataset::new(vec!["a".into(), "b speed".into()], "ttf");
+        ds.push_row(vec![1.0, 2.5], 100.0).unwrap();
+        ds.push_row(vec![-3.0, 0.0], 0.5).unwrap();
+        ds
+    }
+
+    #[test]
+    fn csv_round_trip() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_csv(&ds, &mut buf).unwrap();
+        let back = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(back, ds);
+    }
+
+    #[test]
+    fn csv_skips_blank_lines() {
+        let input = "x,y\n1,2\n\n3,4\n";
+        let ds = read_csv(input.as_bytes()).unwrap();
+        assert_eq!(ds.len(), 2);
+        assert_eq!(ds.target(1), 4.0);
+    }
+
+    #[test]
+    fn csv_rejects_empty_input() {
+        let err = read_csv("".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("header"));
+    }
+
+    #[test]
+    fn csv_rejects_single_column() {
+        let err = read_csv("only\n1\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("2 columns"));
+    }
+
+    #[test]
+    fn csv_rejects_bad_number_with_line_info() {
+        let err = read_csv("x,y\n1,2\n1,oops\n".as_bytes()).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line 3"), "got: {msg}");
+        assert!(msg.contains("oops"));
+    }
+
+    #[test]
+    fn csv_rejects_ragged_rows() {
+        let err = read_csv("x,y\n1,2,3\n".as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("expected 2 values"));
+    }
+
+    #[test]
+    fn arff_structure() {
+        let ds = sample();
+        let mut buf = Vec::new();
+        write_arff(&ds, "aging run", &mut buf).unwrap();
+        let text = String::from_utf8(buf).unwrap();
+        assert!(text.starts_with("@RELATION 'aging run'"));
+        assert!(text.contains("@ATTRIBUTE a NUMERIC"));
+        assert!(text.contains("@ATTRIBUTE 'b speed' NUMERIC"));
+        assert!(text.contains("@ATTRIBUTE ttf NUMERIC"));
+        assert!(text.contains("@DATA"));
+        assert!(text.contains("1,2.5,100"));
+    }
+
+    #[test]
+    fn arff_quoting_rules() {
+        assert_eq!(arff_quote("plain_name-1.2"), "plain_name-1.2");
+        assert_eq!(arff_quote("has space"), "'has space'");
+        assert_eq!(arff_quote("it's"), "'it\\'s'");
+    }
+}

@@ -1,0 +1,38 @@
+//! Tabular dataset foundation for the software-aging prediction reproduction.
+//!
+//! This crate provides the data plumbing shared by every other crate in the
+//! workspace:
+//!
+//! - [`Dataset`]: a named-column, row-oriented numeric table with a designated
+//!   regression target (the paper's *time to failure*),
+//! - [`stats`]: streaming and batch descriptive statistics,
+//! - [`window`]: the paper's *sliding window average* (Section 2.2) used to
+//!   smooth per-resource consumption speeds,
+//! - [`io`]: CSV and WEKA-ARFF serialisation (the original paper published its
+//!   training/test sets in ARFF format).
+//!
+//! # Example
+//!
+//! ```
+//! use aging_dataset::Dataset;
+//!
+//! let mut ds = Dataset::new(vec!["mem_used".into(), "threads".into()], "ttf");
+//! ds.push_row(vec![100.0, 32.0], 600.0)?;
+//! ds.push_row(vec![150.0, 40.0], 300.0)?;
+//! assert_eq!(ds.len(), 2);
+//! assert_eq!(ds.n_attributes(), 2);
+//! # Ok::<(), aging_dataset::DatasetError>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dataset;
+mod error;
+pub mod io;
+pub mod stats;
+pub mod window;
+
+pub use dataset::{Dataset, RowView};
+pub use error::DatasetError;
+pub use window::{RateTracker, SlidingWindow};

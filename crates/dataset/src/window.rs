@@ -1,0 +1,307 @@
+//! The paper's *sliding window average* (Section 2.2) and the consumption
+//! speed tracker built on top of it.
+//!
+//! The paper derives, for every monitored resource, an (instantaneous)
+//! consumption speed per checkpoint and then smooths it with a *sliding
+//! window average* over the last `X` observations: "a long window is more
+//! noise tolerant, but also makes the method slower to reflect changes in
+//! the input".
+
+use std::collections::VecDeque;
+
+/// Fixed-capacity sliding window over `f64` observations with O(1) mean.
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::SlidingWindow;
+///
+/// let mut w = SlidingWindow::new(3);
+/// w.push(1.0);
+/// w.push(2.0);
+/// w.push(3.0);
+/// assert_eq!(w.mean(), 2.0);
+/// w.push(10.0); // evicts 1.0
+/// assert_eq!(w.mean(), 5.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlidingWindow {
+    capacity: usize,
+    buf: VecDeque<f64>,
+    sum: f64,
+}
+
+impl SlidingWindow {
+    /// Creates a window keeping the last `capacity` observations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "sliding window capacity must be positive");
+        SlidingWindow { capacity, buf: VecDeque::with_capacity(capacity), sum: 0.0 }
+    }
+
+    /// Window capacity (the paper's `X`).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of observations currently held (`<= capacity`).
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the window holds no observations yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Whether the window has been completely filled at least once.
+    pub fn is_full(&self) -> bool {
+        self.buf.len() == self.capacity
+    }
+
+    /// Pushes an observation, evicting the oldest when full. Returns the
+    /// evicted value, if any.
+    pub fn push(&mut self, x: f64) -> Option<f64> {
+        let evicted = if self.buf.len() == self.capacity {
+            let old = self.buf.pop_front().expect("full window is non-empty");
+            self.sum -= old;
+            Some(old)
+        } else {
+            None
+        };
+        self.buf.push_back(x);
+        self.sum += x;
+        evicted
+    }
+
+    /// Mean of the observations currently in the window; `0.0` when empty.
+    ///
+    /// This is the paper's *sliding window average* (SWA).
+    pub fn mean(&self) -> f64 {
+        if self.buf.is_empty() {
+            0.0
+        } else {
+            // Recompute lazily from the buffer when the incremental sum may
+            // have accumulated rounding error on long runs: the buffer is
+            // tiny (X is ~12 in the paper), so this is cheap and exact.
+            self.buf.iter().sum::<f64>() / self.buf.len() as f64
+        }
+    }
+
+    /// Most recent observation, if any.
+    pub fn last(&self) -> Option<f64> {
+        self.buf.back().copied()
+    }
+
+    /// Oldest observation still in the window, if any.
+    pub fn oldest(&self) -> Option<f64> {
+        self.buf.front().copied()
+    }
+
+    /// Iterates over observations from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Clears all observations.
+    pub fn clear(&mut self) {
+        self.buf.clear();
+        self.sum = 0.0;
+    }
+}
+
+/// Tracks the smoothed consumption speed of one resource.
+///
+/// At each checkpoint the monitor feeds the current resource level; the
+/// tracker differentiates consecutive levels into an instantaneous speed
+/// (units per second) and maintains its sliding-window average, exactly as
+/// the paper's derived `SWA variation` variables (Table 2).
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::RateTracker;
+///
+/// let mut t = RateTracker::new(4);
+/// t.observe(0.0, 100.0);
+/// t.observe(15.0, 130.0); // +2 units/s
+/// assert_eq!(t.smoothed_speed(), 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateTracker {
+    window: SlidingWindow,
+    last: Option<(f64, f64)>,
+}
+
+impl RateTracker {
+    /// Creates a tracker whose speed is averaged over the last
+    /// `window_len` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window_len == 0`.
+    pub fn new(window_len: usize) -> Self {
+        RateTracker { window: SlidingWindow::new(window_len), last: None }
+    }
+
+    /// Feeds the resource level `value` observed at time `t_secs`.
+    ///
+    /// Observations at non-increasing timestamps are ignored (no speed can
+    /// be derived from them).
+    pub fn observe(&mut self, t_secs: f64, value: f64) {
+        if let Some((t0, v0)) = self.last {
+            let dt = t_secs - t0;
+            if dt > 0.0 {
+                self.window.push((value - v0) / dt);
+                self.last = Some((t_secs, value));
+            }
+        } else {
+            self.last = Some((t_secs, value));
+        }
+    }
+
+    /// Instantaneous speed of the most recent interval; `0.0` before two
+    /// observations have been seen.
+    pub fn instant_speed(&self) -> f64 {
+        self.window.last().unwrap_or(0.0)
+    }
+
+    /// Sliding-window-averaged speed (the paper's SWA variation); `0.0`
+    /// before two observations have been seen.
+    pub fn smoothed_speed(&self) -> f64 {
+        self.window.mean()
+    }
+
+    /// Inverse of the smoothed speed (the paper's `1/SWA` derived variable).
+    ///
+    /// Returns `cap` when the speed is zero or non-consuming (≤ 0): an idle
+    /// resource implies an unbounded time to exhaustion, which must still be
+    /// representable as a finite feature value.
+    pub fn inverse_speed(&self, cap: f64) -> f64 {
+        let s = self.smoothed_speed();
+        if s <= 0.0 {
+            cap
+        } else {
+            (1.0 / s).min(cap)
+        }
+    }
+
+    /// Number of speed samples currently in the window.
+    pub fn samples(&self) -> usize {
+        self.window.len()
+    }
+
+    /// Resets the tracker (used when the monitored process is rejuvenated).
+    pub fn reset(&mut self) {
+        self.window.clear();
+        self.last = None;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_mean_and_eviction() {
+        let mut w = SlidingWindow::new(2);
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+        assert_eq!(w.push(4.0), None);
+        assert_eq!(w.push(6.0), None);
+        assert!(w.is_full());
+        assert_eq!(w.mean(), 5.0);
+        assert_eq!(w.push(10.0), Some(4.0));
+        assert_eq!(w.mean(), 8.0);
+        assert_eq!(w.last(), Some(10.0));
+        assert_eq!(w.oldest(), Some(6.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_capacity_panics() {
+        let _ = SlidingWindow::new(0);
+    }
+
+    #[test]
+    fn window_clear() {
+        let mut w = SlidingWindow::new(3);
+        w.push(1.0);
+        w.clear();
+        assert!(w.is_empty());
+        assert_eq!(w.mean(), 0.0);
+    }
+
+    #[test]
+    fn window_iterates_oldest_first() {
+        let mut w = SlidingWindow::new(3);
+        for x in [1.0, 2.0, 3.0, 4.0] {
+            w.push(x);
+        }
+        let v: Vec<f64> = w.iter().collect();
+        assert_eq!(v, vec![2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn tracker_differentiates() {
+        let mut t = RateTracker::new(3);
+        t.observe(0.0, 0.0);
+        assert_eq!(t.smoothed_speed(), 0.0);
+        t.observe(10.0, 50.0); // 5/s
+        t.observe(20.0, 150.0); // 10/s
+        assert_eq!(t.instant_speed(), 10.0);
+        assert!((t.smoothed_speed() - 7.5).abs() < 1e-12);
+        assert_eq!(t.samples(), 2);
+    }
+
+    #[test]
+    fn tracker_smooths_noise() {
+        // Alternating instantaneous rates average out over the window.
+        let mut t = RateTracker::new(4);
+        let mut level = 0.0;
+        for i in 0..9 {
+            t.observe(i as f64 * 15.0, level);
+            level += if i % 2 == 0 { 30.0 } else { 0.0 };
+        }
+        let swa = t.smoothed_speed();
+        assert!(swa > 0.4 && swa < 1.6, "smoothed speed {swa} should be near 1.0");
+    }
+
+    #[test]
+    fn tracker_ignores_non_advancing_time() {
+        let mut t = RateTracker::new(3);
+        t.observe(5.0, 10.0);
+        t.observe(5.0, 99.0); // ignored
+        t.observe(4.0, 99.0); // ignored
+        assert_eq!(t.samples(), 0);
+        t.observe(10.0, 20.0);
+        assert_eq!(t.instant_speed(), 2.0);
+    }
+
+    #[test]
+    fn inverse_speed_caps() {
+        let mut t = RateTracker::new(2);
+        t.observe(0.0, 0.0);
+        t.observe(1.0, 0.0); // zero speed
+        assert_eq!(t.inverse_speed(1e4), 1e4);
+        t.observe(2.0, -5.0); // releasing: negative speed also capped
+        assert_eq!(t.inverse_speed(1e4), 1e4);
+        let mut t2 = RateTracker::new(1);
+        t2.observe(0.0, 0.0);
+        t2.observe(1.0, 4.0);
+        assert_eq!(t2.inverse_speed(1e4), 0.25);
+    }
+
+    #[test]
+    fn tracker_reset() {
+        let mut t = RateTracker::new(2);
+        t.observe(0.0, 0.0);
+        t.observe(1.0, 1.0);
+        t.reset();
+        assert_eq!(t.samples(), 0);
+        assert_eq!(t.smoothed_speed(), 0.0);
+    }
+}

@@ -1,0 +1,139 @@
+//! Property-based tests for the dataset foundation.
+
+use aging_dataset::{io, stats, Dataset, RateTracker, SlidingWindow};
+use proptest::prelude::*;
+
+/// Finite, reasonably-sized floats that survive CSV round-trips exactly
+/// enough for comparison (we compare parsed values, not strings).
+fn finite_f64() -> impl Strategy<Value = f64> {
+    prop_oneof![
+        -1.0e9..1.0e9f64,
+        Just(0.0),
+        Just(-0.0),
+        -1.0..1.0f64,
+    ]
+}
+
+proptest! {
+    #[test]
+    fn dataset_push_then_read_back(rows in prop::collection::vec((finite_f64(), finite_f64(), finite_f64()), 1..50)) {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into()], "y");
+        for (a, b, y) in &rows {
+            ds.push_row(vec![*a, *b], *y).unwrap();
+        }
+        prop_assert_eq!(ds.len(), rows.len());
+        for (i, (a, b, y)) in rows.iter().enumerate() {
+            prop_assert_eq!(ds.row(i).values(), &[*a, *b]);
+            prop_assert_eq!(ds.target(i), *y);
+        }
+    }
+
+    #[test]
+    fn csv_round_trip_preserves_dataset(rows in prop::collection::vec((finite_f64(), finite_f64()), 1..40)) {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for (x, y) in &rows {
+            ds.push_row(vec![*x], *y).unwrap();
+        }
+        let mut buf = Vec::new();
+        io::write_csv(&ds, &mut buf).unwrap();
+        let back = io::read_csv(buf.as_slice()).unwrap();
+        prop_assert_eq!(back.len(), ds.len());
+        for i in 0..ds.len() {
+            prop_assert!((back.value(i, 0) - ds.value(i, 0)).abs() < 1e-9_f64.max(ds.value(i, 0).abs() * 1e-12));
+            prop_assert!((back.target(i) - ds.target(i)).abs() < 1e-9_f64.max(ds.target(i).abs() * 1e-12));
+        }
+    }
+
+    #[test]
+    fn select_columns_preserves_rows_and_targets(
+        rows in prop::collection::vec((finite_f64(), finite_f64(), finite_f64()), 1..30)
+    ) {
+        let mut ds = Dataset::new(vec!["a".into(), "b".into(), "c".into()], "y");
+        for (a, b, c) in &rows {
+            ds.push_row(vec![*a, *b, *c], a + b).unwrap();
+        }
+        let proj = ds.select_columns(&["c", "a"]).unwrap();
+        prop_assert_eq!(proj.len(), ds.len());
+        prop_assert_eq!(proj.targets(), ds.targets());
+        for i in 0..ds.len() {
+            prop_assert_eq!(proj.value(i, 0), ds.value(i, 2));
+            prop_assert_eq!(proj.value(i, 1), ds.value(i, 0));
+        }
+    }
+
+    #[test]
+    fn sliding_window_mean_matches_naive(values in prop::collection::vec(-1.0e6..1.0e6f64, 1..100), cap in 1usize..20) {
+        let mut w = SlidingWindow::new(cap);
+        for (i, &v) in values.iter().enumerate() {
+            w.push(v);
+            let start = (i + 1).saturating_sub(cap);
+            let tail = &values[start..=i];
+            let naive = tail.iter().sum::<f64>() / tail.len() as f64;
+            prop_assert!((w.mean() - naive).abs() < 1e-6, "at {i}: {} vs {naive}", w.mean());
+            prop_assert!(w.len() <= cap);
+        }
+    }
+
+    #[test]
+    fn running_stats_match_batch(values in prop::collection::vec(-1.0e6..1.0e6f64, 2..200)) {
+        let mut r = stats::Running::new();
+        for &v in &values {
+            r.push(v);
+        }
+        prop_assert!((r.mean() - stats::mean(&values)).abs() < 1e-4);
+        prop_assert!((r.variance() - stats::variance(&values)).abs() < stats::variance(&values).max(1.0) * 1e-6);
+    }
+
+    #[test]
+    fn running_merge_equals_concatenation(
+        a in prop::collection::vec(-1.0e3..1.0e3f64, 0..50),
+        b in prop::collection::vec(-1.0e3..1.0e3f64, 0..50),
+    ) {
+        let mut ra = stats::Running::new();
+        a.iter().for_each(|&x| ra.push(x));
+        let mut rb = stats::Running::new();
+        b.iter().for_each(|&x| rb.push(x));
+        let mut rc = stats::Running::new();
+        a.iter().chain(&b).for_each(|&x| rc.push(x));
+        ra.merge(&rb);
+        prop_assert_eq!(ra.count(), rc.count());
+        if ra.count() > 0 {
+            prop_assert!((ra.mean() - rc.mean()).abs() < 1e-6);
+            prop_assert!((ra.variance() - rc.variance()).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn correlation_is_symmetric_and_bounded(
+        pairs in prop::collection::vec((-1.0e3..1.0e3f64, -1.0e3..1.0e3f64), 2..100)
+    ) {
+        let xs: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let ys: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let c1 = stats::correlation(&xs, &ys);
+        let c2 = stats::correlation(&ys, &xs);
+        prop_assert!((c1 - c2).abs() < 1e-9);
+        prop_assert!((-1.0001..=1.0001).contains(&c1));
+    }
+
+    #[test]
+    fn rate_tracker_constant_slope_is_recovered(
+        slope in -100.0..100.0f64,
+        start in -1.0e3..1.0e3f64,
+        n in 3usize..50,
+        window in 1usize..20,
+    ) {
+        let mut t = RateTracker::new(window);
+        for i in 0..n {
+            t.observe(i as f64 * 15.0, start + slope * i as f64 * 15.0);
+        }
+        prop_assert!((t.smoothed_speed() - slope).abs() < 1e-6_f64.max(slope.abs() * 1e-9));
+    }
+
+    #[test]
+    fn quantile_is_monotone(values in prop::collection::vec(-1.0e6..1.0e6f64, 1..100)) {
+        let q25 = stats::quantile(&values, 0.25).unwrap();
+        let q50 = stats::quantile(&values, 0.50).unwrap();
+        let q75 = stats::quantile(&values, 0.75).unwrap();
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+}

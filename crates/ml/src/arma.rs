@@ -1,0 +1,241 @@
+//! ARMA time-series models — the related-work comparator.
+//!
+//! Li, Vaidyanathan & Trivedi ("An Approach for Estimation of Software Aging
+//! in a Web Server", ref. [26] of the paper) estimate resource exhaustion
+//! with ARMA models over the monitored resource series. The paper argues its
+//! ML approach is more general because ARMA assumes a fixed aging trend;
+//! implementing ARMA lets the benches demonstrate that claim.
+//!
+//! Fitting uses the Hannan–Rissanen two-stage procedure: a long AR model is
+//! fitted by least squares to estimate innovations, then the ARMA(p, q)
+//! coefficients are obtained by regressing on lagged values *and* lagged
+//! innovation estimates.
+
+use crate::{linalg, MlError};
+use serde::{Deserialize, Serialize};
+
+/// A fitted ARMA(p, q) model with intercept:
+/// `x_t = c + Σ φᵢ·x_{t−i} + Σ θⱼ·ε_{t−j} + ε_t`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArmaModel {
+    intercept: f64,
+    ar: Vec<f64>,
+    ma: Vec<f64>,
+    /// Innovation estimates for the tail of the training series (newest
+    /// last), used to seed forecasting.
+    residual_tail: Vec<f64>,
+    /// The training series tail (newest last), used to seed forecasting.
+    series_tail: Vec<f64>,
+}
+
+impl ArmaModel {
+    /// Fits an ARMA(p, q) to `series` by Hannan–Rissanen.
+    ///
+    /// # Errors
+    ///
+    /// - [`MlError::InvalidParameter`] if `p == 0 && q == 0`,
+    /// - [`MlError::TooFewInstances`] if the series is too short
+    ///   (`series.len()` must exceed `3·(p + q) + 10`),
+    /// - [`MlError::SingularSystem`] if the design matrix cannot be solved.
+    pub fn fit(series: &[f64], p: usize, q: usize) -> Result<Self, MlError> {
+        if p == 0 && q == 0 {
+            return Err(MlError::InvalidParameter("ARMA needs p > 0 or q > 0".into()));
+        }
+        let needed = 3 * (p + q) + 10;
+        if series.len() < needed {
+            return Err(MlError::TooFewInstances { needed, got: series.len() });
+        }
+
+        // Stage 1: long AR to estimate innovations.
+        let long_p = (p + q + 2).min(series.len() / 4);
+        let ar_long = fit_ar(series, long_p)?;
+        let mut residuals = vec![0.0; series.len()];
+        for t in long_p..series.len() {
+            let mut pred = ar_long[0];
+            for i in 0..long_p {
+                pred += ar_long[i + 1] * series[t - 1 - i];
+            }
+            residuals[t] = series[t] - pred;
+        }
+
+        // Stage 2: regress x_t on lags of x and lags of the residuals.
+        let start = long_p + q.max(p);
+        let rows = series.len() - start;
+        let cols = 1 + p + q;
+        let mut design = Vec::with_capacity(rows * cols);
+        let mut y = Vec::with_capacity(rows);
+        for t in start..series.len() {
+            design.push(1.0);
+            for i in 1..=p {
+                design.push(series[t - i]);
+            }
+            for j in 1..=q {
+                design.push(residuals[t - j]);
+            }
+            y.push(series[t]);
+        }
+        let coef = linalg::least_squares(&design, &y, rows, cols, 1e-8)
+            .ok_or(MlError::SingularSystem)?;
+
+        let intercept = coef[0];
+        let ar = coef[1..1 + p].to_vec();
+        let ma = coef[1 + p..].to_vec();
+
+        let tail_len = p.max(q).max(1);
+        let series_tail = series[series.len() - tail_len..].to_vec();
+        let residual_tail = residuals[residuals.len() - tail_len..].to_vec();
+        Ok(ArmaModel { intercept, ar, ma, residual_tail, series_tail })
+    }
+
+    /// AR coefficients φ.
+    pub fn ar_coefficients(&self) -> &[f64] {
+        &self.ar
+    }
+
+    /// MA coefficients θ.
+    pub fn ma_coefficients(&self) -> &[f64] {
+        &self.ma
+    }
+
+    /// The intercept `c`.
+    pub fn intercept(&self) -> f64 {
+        self.intercept
+    }
+
+    /// Forecasts `horizon` steps beyond the end of the training series
+    /// (future innovations are taken as zero, their expectation).
+    pub fn forecast(&self, horizon: usize) -> Vec<f64> {
+        let mut hist = self.series_tail.clone();
+        let mut resid = self.residual_tail.clone();
+        let mut out = Vec::with_capacity(horizon);
+        for _ in 0..horizon {
+            let mut x = self.intercept;
+            for (i, &phi) in self.ar.iter().enumerate() {
+                if let Some(&v) = hist.get(hist.len().wrapping_sub(1 + i)) {
+                    x += phi * v;
+                }
+            }
+            for (j, &theta) in self.ma.iter().enumerate() {
+                if let Some(&e) = resid.get(resid.len().wrapping_sub(1 + j)) {
+                    x += theta * e;
+                }
+            }
+            out.push(x);
+            hist.push(x);
+            resid.push(0.0);
+        }
+        out
+    }
+
+    /// Predicts time to exhaustion: forecasts the resource series until it
+    /// crosses `capacity`, in steps of `step_secs` seconds, up to
+    /// `cap_secs`. Returns `cap_secs` when no crossing occurs in the
+    /// horizon.
+    ///
+    /// This is how the ARMA comparator produces a TTF comparable with the
+    /// paper's predictors.
+    pub fn time_to_exhaustion(&self, capacity: f64, step_secs: f64, cap_secs: f64) -> f64 {
+        let horizon = (cap_secs / step_secs).ceil() as usize;
+        for (i, v) in self.forecast(horizon).into_iter().enumerate() {
+            if v >= capacity {
+                return ((i + 1) as f64 * step_secs).min(cap_secs);
+            }
+        }
+        cap_secs
+    }
+}
+
+/// Fits AR(p) with intercept by least squares; returns `[c, φ₁…φ_p]`.
+fn fit_ar(series: &[f64], p: usize) -> Result<Vec<f64>, MlError> {
+    let rows = series.len() - p;
+    let cols = p + 1;
+    let mut design = Vec::with_capacity(rows * cols);
+    let mut y = Vec::with_capacity(rows);
+    for t in p..series.len() {
+        design.push(1.0);
+        for i in 1..=p {
+            design.push(series[t - i]);
+        }
+        y.push(series[t]);
+    }
+    linalg::least_squares(&design, &y, rows, cols, 1e-8).ok_or(MlError::SingularSystem)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linear_trend(n: usize, slope: f64) -> Vec<f64> {
+        (0..n).map(|i| 10.0 + slope * i as f64).collect()
+    }
+
+    #[test]
+    fn fits_and_forecasts_linear_trend() {
+        let series = linear_trend(120, 2.0);
+        let m = ArmaModel::fit(&series, 2, 1).unwrap();
+        let fc = m.forecast(10);
+        let expected_last = 10.0 + 2.0 * (119 + 10) as f64;
+        assert!(
+            (fc[9] - expected_last).abs() < 8.0,
+            "forecast {} should continue the trend to ~{expected_last}",
+            fc[9]
+        );
+    }
+
+    #[test]
+    fn ar1_on_stationary_series_reverts_to_mean() {
+        // x_t = 0.5 * x_{t-1} + c, fixed point at 20.
+        let mut series = vec![100.0];
+        for _ in 0..150 {
+            let prev = *series.last().unwrap();
+            series.push(10.0 + 0.5 * prev);
+        }
+        let m = ArmaModel::fit(&series, 1, 0).unwrap();
+        assert!((m.ar_coefficients()[0] - 0.5).abs() < 0.1);
+        let fc = m.forecast(50);
+        assert!((fc[49] - 20.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn rejects_degenerate_orders_and_short_series() {
+        assert!(matches!(
+            ArmaModel::fit(&[1.0; 50], 0, 0),
+            Err(MlError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            ArmaModel::fit(&[1.0, 2.0, 3.0], 2, 2),
+            Err(MlError::TooFewInstances { .. })
+        ));
+    }
+
+    #[test]
+    fn time_to_exhaustion_on_growing_resource() {
+        // Grows ~2 MB per step; capacity 1024 MB from ~250: ~387 steps.
+        let series = linear_trend(120, 2.0); // ends at 248
+        let m = ArmaModel::fit(&series, 2, 1).unwrap();
+        let ttf = m.time_to_exhaustion(1024.0, 15.0, 10_800.0);
+        let expected = ((1024.0 - 248.0) / 2.0) * 15.0;
+        assert!(
+            (ttf - expected).abs() < expected * 0.3,
+            "ttf {ttf} should be within 30% of {expected}"
+        );
+    }
+
+    #[test]
+    fn time_to_exhaustion_caps_for_flat_series() {
+        let series: Vec<f64> = (0..100)
+            .map(|i| 50.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
+            .collect();
+        let m = ArmaModel::fit(&series, 1, 1).unwrap();
+        assert_eq!(m.time_to_exhaustion(1024.0, 15.0, 10_800.0), 10_800.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let series = linear_trend(100, 1.0);
+        let m = ArmaModel::fit(&series, 2, 1).unwrap();
+        assert_eq!(m.ar_coefficients().len(), 2);
+        assert_eq!(m.ma_coefficients().len(), 1);
+        assert!(m.intercept().is_finite());
+    }
+}

@@ -1,0 +1,194 @@
+//! Bootstrap aggregation (bagging) over any base learner.
+//!
+//! The paper's Section 1 names bagging among the "more sophisticated ML
+//! techniques [that] can surely obtain better accuracy" than a single M5P,
+//! at the cost of interpretability and training time. This module lets the
+//! benches test that claim: [`BaggingLearner`] fits `n_members` base models
+//! on bootstrap resamples and averages their predictions.
+
+use crate::{Learner, MlError, Regressor};
+use aging_dataset::Dataset;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Bagged ensemble learner over a base [`Learner`].
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::Dataset;
+/// use aging_ml::{bagging::BaggingLearner, m5p::M5pLearner, Learner, Regressor};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], "y");
+/// for i in 0..200 {
+///     let x = i as f64;
+///     ds.push_row(vec![x], if x < 100.0 { x } else { 200.0 - x })?;
+/// }
+/// let bagged = BaggingLearner::new(M5pLearner::default(), 10, 7).fit(&ds)?;
+/// assert!((bagged.predict(&[50.0]) - 50.0).abs() < 20.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct BaggingLearner<L> {
+    base: L,
+    n_members: usize,
+    seed: u64,
+}
+
+impl<L> BaggingLearner<L> {
+    /// Creates a bagging learner with `n_members` bootstrap members.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_members == 0`.
+    pub fn new(base: L, n_members: usize, seed: u64) -> Self {
+        assert!(n_members > 0, "bagging needs at least one member");
+        BaggingLearner { base, n_members, seed }
+    }
+
+    /// Number of ensemble members.
+    pub fn n_members(&self) -> usize {
+        self.n_members
+    }
+}
+
+/// A fitted bagged ensemble.
+#[derive(Debug)]
+pub struct BaggedModel<M> {
+    members: Vec<M>,
+}
+
+impl<M> BaggedModel<M> {
+    /// The fitted members.
+    pub fn members(&self) -> &[M] {
+        &self.members
+    }
+}
+
+impl<M: Regressor> Regressor for BaggedModel<M> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let sum: f64 = self.members.iter().map(|m| m.predict(x)).sum();
+        sum / self.members.len() as f64
+    }
+
+    fn name(&self) -> &'static str {
+        "Bagging"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "bagged ensemble of {} x {}",
+            self.members.len(),
+            self.members.first().map_or("?", |m| m.name())
+        )
+    }
+}
+
+impl<L: Learner> Learner for BaggingLearner<L> {
+    type Model = BaggedModel<L::Model>;
+
+    fn fit(&self, data: &Dataset) -> Result<Self::Model, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n = data.len();
+        let mut members = Vec::with_capacity(self.n_members);
+        for _ in 0..self.n_members {
+            let mut sample =
+                Dataset::new(data.attribute_names().to_vec(), data.target_name().to_string());
+            for _ in 0..n {
+                let i = rng.gen_range(0..n);
+                sample
+                    .push_row(data.row(i).values().to_vec(), data.target(i))
+                    .expect("resampled rows come from a valid dataset");
+            }
+            members.push(self.base.fit(&sample)?);
+        }
+        Ok(BaggedModel { members })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::m5p::M5pLearner;
+    use crate::regtree::RegTreeLearner;
+
+    fn noisy_piecewise(n: usize) -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        let mut s = 5u64;
+        for i in 0..n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = (((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * 40.0;
+            let x = i as f64;
+            let y = if x < n as f64 / 2.0 { 2.0 * x } else { 2.0 * n as f64 - 2.0 * x };
+            ds.push_row(vec![x], y + noise).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one member")]
+    fn zero_members_panics() {
+        let _ = BaggingLearner::new(M5pLearner::default(), 0, 1);
+    }
+
+    #[test]
+    fn empty_dataset_errors() {
+        let ds = Dataset::new(vec!["x".into()], "y");
+        let learner = BaggingLearner::new(RegTreeLearner::default(), 3, 1);
+        assert!(matches!(learner.fit(&ds), Err(MlError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn averaging_reduces_variance_of_trees() {
+        let ds = noisy_piecewise(400);
+        let single = RegTreeLearner { min_instances: 4, pruning: false, ..Default::default() }
+            .fit(&ds)
+            .unwrap();
+        let bagged = BaggingLearner::new(
+            RegTreeLearner { min_instances: 4, pruning: false, ..Default::default() },
+            15,
+            42,
+        )
+        .fit(&ds)
+        .unwrap();
+        // Compare against the clean underlying function on a grid.
+        let truth = |x: f64| if x < 200.0 { 2.0 * x } else { 800.0 - 2.0 * x };
+        let err = |m: &dyn Regressor| {
+            (0..40)
+                .map(|k| {
+                    let x = 5.0 + k as f64 * 10.0;
+                    (m.predict(&[x]) - truth(x)).abs()
+                })
+                .sum::<f64>()
+                / 40.0
+        };
+        assert!(
+            err(&bagged) < err(&single),
+            "bagging should denoise: {} vs {}",
+            err(&bagged),
+            err(&single)
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ds = noisy_piecewise(150);
+        let a = BaggingLearner::new(M5pLearner::default(), 5, 9).fit(&ds).unwrap();
+        let b = BaggingLearner::new(M5pLearner::default(), 5, 9).fit(&ds).unwrap();
+        for x in [0.0, 50.0, 149.0] {
+            assert_eq!(a.predict(&[x]), b.predict(&[x]));
+        }
+    }
+
+    #[test]
+    fn member_access_and_naming() {
+        let ds = noisy_piecewise(100);
+        let m = BaggingLearner::new(M5pLearner::default(), 4, 3).fit(&ds).unwrap();
+        assert_eq!(m.members().len(), 4);
+        assert_eq!(m.name(), "Bagging");
+        assert!(m.describe().contains("M5P"));
+    }
+}

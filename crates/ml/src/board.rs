@@ -1,0 +1,193 @@
+//! The *prediction board* — the consensus ensemble the paper sketches in
+//! its conclusions: "build a prediction board with a set of prediction
+//! models to reach a consensus to increase the prediction accuracy".
+//!
+//! A [`PredictionBoard`] holds any number of fitted [`Regressor`]s and
+//! combines their outputs with a [`Consensus`] rule.
+
+use crate::{MlError, Regressor};
+use aging_dataset::stats;
+
+/// How the board combines member predictions.
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[non_exhaustive]
+pub enum Consensus {
+    /// Arithmetic mean of all member predictions.
+    Mean,
+    /// Median of all member predictions (robust to one wild model).
+    Median,
+    /// Mean after discarding the single lowest and highest prediction
+    /// (requires at least three members; falls back to plain mean below
+    /// that).
+    TrimmedMean,
+}
+
+/// An ensemble of fitted models reaching a consensus prediction.
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::Dataset;
+/// use aging_ml::{board::{Consensus, PredictionBoard}, Learner, Regressor};
+/// use aging_ml::{linreg::LinRegLearner, regtree::RegTreeLearner};
+///
+/// let mut ds = Dataset::new(vec!["x".into()], "y");
+/// for i in 0..100 { ds.push_row(vec![i as f64], 3.0 * i as f64)?; }
+///
+/// let board = PredictionBoard::new(
+///     vec![
+///         LinRegLearner::default().fit_boxed(&ds)?,
+///         RegTreeLearner::default().fit_boxed(&ds)?,
+///     ],
+///     Consensus::Mean,
+/// )?;
+/// assert!(board.predict(&[50.0]) > 0.0);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PredictionBoard {
+    members: Vec<Box<dyn Regressor>>,
+    consensus: Consensus,
+}
+
+impl PredictionBoard {
+    /// Creates a board from fitted members.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::InvalidParameter`] when `members` is empty.
+    pub fn new(members: Vec<Box<dyn Regressor>>, consensus: Consensus) -> Result<Self, MlError> {
+        if members.is_empty() {
+            return Err(MlError::InvalidParameter("prediction board needs at least one member".into()));
+        }
+        Ok(PredictionBoard { members, consensus })
+    }
+
+    /// Number of member models.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the board has no members (never true for a constructed board).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The consensus rule in use.
+    pub fn consensus(&self) -> Consensus {
+        self.consensus
+    }
+
+    /// Individual member predictions for `x`, in member order.
+    pub fn member_predictions(&self, x: &[f64]) -> Vec<f64> {
+        self.members.iter().map(|m| m.predict(x)).collect()
+    }
+
+    /// The spread (max − min) of member predictions: a cheap disagreement
+    /// signal callers can use as a confidence proxy.
+    pub fn disagreement(&self, x: &[f64]) -> f64 {
+        let preds = self.member_predictions(x);
+        let min = preds.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = preds.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        max - min
+    }
+}
+
+impl Regressor for PredictionBoard {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let preds = self.member_predictions(x);
+        match self.consensus {
+            Consensus::Mean => stats::mean(&preds),
+            Consensus::Median => stats::median(&preds).expect("board is non-empty"),
+            Consensus::TrimmedMean => {
+                if preds.len() < 3 {
+                    stats::mean(&preds)
+                } else {
+                    let mut sorted = preds;
+                    sorted.sort_by(f64::total_cmp);
+                    stats::mean(&sorted[1..sorted.len() - 1])
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "PredictionBoard"
+    }
+
+    fn describe(&self) -> String {
+        let names: Vec<&str> = self.members.iter().map(|m| m.name()).collect();
+        format!("board[{:?}] of {}", self.consensus, names.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A fixed-output stub model for combinator tests.
+    #[derive(Debug)]
+    struct Fixed(f64);
+
+    impl Regressor for Fixed {
+        fn predict(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+        fn name(&self) -> &'static str {
+            "Fixed"
+        }
+    }
+
+    fn board(values: &[f64], c: Consensus) -> PredictionBoard {
+        PredictionBoard::new(
+            values.iter().map(|&v| Box::new(Fixed(v)) as Box<dyn Regressor>).collect(),
+            c,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn empty_board_rejected() {
+        assert!(matches!(
+            PredictionBoard::new(Vec::new(), Consensus::Mean),
+            Err(MlError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn mean_consensus() {
+        let b = board(&[10.0, 20.0, 60.0], Consensus::Mean);
+        assert_eq!(b.predict(&[]), 30.0);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
+    fn median_is_robust_to_outlier() {
+        let b = board(&[10.0, 12.0, 1e9], Consensus::Median);
+        assert_eq!(b.predict(&[]), 12.0);
+    }
+
+    #[test]
+    fn trimmed_mean_drops_extremes() {
+        let b = board(&[0.0, 10.0, 20.0, 1000.0], Consensus::TrimmedMean);
+        assert_eq!(b.predict(&[]), 15.0);
+        // Fewer than 3 members: falls back to mean.
+        let b2 = board(&[10.0, 30.0], Consensus::TrimmedMean);
+        assert_eq!(b2.predict(&[]), 20.0);
+    }
+
+    #[test]
+    fn disagreement_is_spread() {
+        let b = board(&[5.0, 9.0, 7.0], Consensus::Mean);
+        assert_eq!(b.disagreement(&[]), 4.0);
+    }
+
+    #[test]
+    fn describe_lists_members() {
+        let b = board(&[1.0, 2.0], Consensus::Median);
+        assert!(b.describe().contains("Fixed"));
+        assert_eq!(b.name(), "PredictionBoard");
+        assert!(!b.is_empty());
+        assert_eq!(b.consensus(), Consensus::Median);
+    }
+}

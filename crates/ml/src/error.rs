@@ -1,0 +1,72 @@
+use std::fmt;
+
+/// Error type for model fitting and evaluation.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MlError {
+    /// Fitting was attempted on a dataset with no rows.
+    EmptyTrainingSet,
+    /// Fitting was attempted with fewer rows than the algorithm requires.
+    TooFewInstances {
+        /// Rows required.
+        needed: usize,
+        /// Rows available.
+        got: usize,
+    },
+    /// The design matrix was singular and no fallback applied.
+    SingularSystem,
+    /// A caller-supplied parameter was invalid.
+    InvalidParameter(String),
+    /// An underlying dataset operation failed.
+    Dataset(aging_dataset::DatasetError),
+}
+
+impl fmt::Display for MlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MlError::EmptyTrainingSet => write!(f, "training set is empty"),
+            MlError::TooFewInstances { needed, got } => {
+                write!(f, "too few training instances: need {needed}, got {got}")
+            }
+            MlError::SingularSystem => write!(f, "singular linear system"),
+            MlError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            MlError::Dataset(e) => write!(f, "dataset error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MlError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MlError::Dataset(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<aging_dataset::DatasetError> for MlError {
+    fn from(e: aging_dataset::DatasetError) -> Self {
+        MlError::Dataset(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(MlError::EmptyTrainingSet.to_string().contains("empty"));
+        assert!(MlError::TooFewInstances { needed: 4, got: 1 }.to_string().contains("need 4"));
+        assert!(MlError::SingularSystem.to_string().contains("singular"));
+        assert!(MlError::InvalidParameter("p must be > 0".into()).to_string().contains("p must"));
+    }
+
+    #[test]
+    fn dataset_error_is_wrapped_with_source() {
+        use std::error::Error as _;
+        let inner = aging_dataset::DatasetError::UnknownColumn("x".into());
+        let e = MlError::from(inner);
+        assert!(e.source().is_some());
+    }
+}

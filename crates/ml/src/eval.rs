@@ -1,0 +1,287 @@
+//! The paper's accuracy metrics (Section 2.2).
+//!
+//! - **MAE** — mean absolute error between predicted and true time to
+//!   failure.
+//! - **S-MAE** (*Soft* MAE) — errors within a *security margin* of ±10 % of
+//!   the true TTF count as zero; outside the margin, the part of the error
+//!   exceeding the margin is counted (the paper's example: true TTF 10 min,
+//!   prediction 13 min ⇒ 2 min error). S-MAE ≤ MAE always.
+//! - **PRE-MAE / POST-MAE** — the MAE over all checkpoints except the last
+//!   10 minutes before the crash, and over those last 10 minutes
+//!   respectively: "our approach has to have lower MAE in the last 10
+//!   minutes … showing that the prediction becomes more accurate when it is
+//!   more needed".
+
+use crate::Regressor;
+use aging_dataset::Dataset;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the paper's metric suite.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EvalConfig {
+    /// The security margin as a fraction of the true TTF (paper: 0.10).
+    pub security_margin: f64,
+    /// True-TTF threshold separating POST (≤) from PRE (>) instances, in
+    /// seconds (paper: the last 10 minutes = 600 s).
+    pub post_window_secs: f64,
+}
+
+impl Default for EvalConfig {
+    fn default() -> Self {
+        EvalConfig { security_margin: 0.10, post_window_secs: 600.0 }
+    }
+}
+
+/// The paper's full metric suite for one evaluation run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// Mean absolute error (seconds).
+    pub mae: f64,
+    /// Soft MAE under the security margin (seconds).
+    pub s_mae: f64,
+    /// Root mean squared error (seconds).
+    pub rmse: f64,
+    /// MAE restricted to instances with true TTF above the POST window.
+    /// `None` when no such instance exists.
+    pub pre_mae: Option<f64>,
+    /// MAE restricted to the last `post_window_secs` before the crash.
+    /// `None` when no such instance exists.
+    pub post_mae: Option<f64>,
+    /// Number of evaluated instances.
+    pub n: usize,
+}
+
+impl Evaluation {
+    /// Renders the suite in the paper's "X min Y secs" style.
+    pub fn summary(&self) -> String {
+        let fmt_opt = |v: Option<f64>| v.map_or("n/a".to_string(), format_duration);
+        format!(
+            "MAE {} | S-MAE {} | PRE-MAE {} | POST-MAE {} (n={})",
+            format_duration(self.mae),
+            format_duration(self.s_mae),
+            fmt_opt(self.pre_mae),
+            fmt_opt(self.post_mae),
+            self.n
+        )
+    }
+}
+
+/// Computes the metric suite from parallel slices of predictions and true
+/// TTFs (both in seconds).
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths or are empty.
+pub fn evaluate(predictions: &[f64], actuals: &[f64], config: &EvalConfig) -> Evaluation {
+    assert_eq!(predictions.len(), actuals.len(), "prediction/actual length mismatch");
+    assert!(!predictions.is_empty(), "cannot evaluate zero instances");
+    let n = predictions.len();
+
+    let mut abs_sum = 0.0;
+    let mut soft_sum = 0.0;
+    let mut sq_sum = 0.0;
+    let mut pre_sum = 0.0;
+    let mut pre_n = 0usize;
+    let mut post_sum = 0.0;
+    let mut post_n = 0usize;
+
+    for i in 0..n {
+        let err = predictions[i] - actuals[i];
+        let abs = err.abs();
+        abs_sum += abs;
+        sq_sum += err * err;
+        let margin = config.security_margin * actuals[i].abs();
+        soft_sum += (abs - margin).max(0.0);
+        if actuals[i] <= config.post_window_secs {
+            post_sum += abs;
+            post_n += 1;
+        } else {
+            pre_sum += abs;
+            pre_n += 1;
+        }
+    }
+
+    Evaluation {
+        mae: abs_sum / n as f64,
+        s_mae: soft_sum / n as f64,
+        rmse: (sq_sum / n as f64).sqrt(),
+        pre_mae: (pre_n > 0).then(|| pre_sum / pre_n as f64),
+        post_mae: (post_n > 0).then(|| post_sum / post_n as f64),
+        n,
+    }
+}
+
+/// Runs `model` over every row of `test` and computes the metric suite
+/// against the dataset targets.
+///
+/// # Panics
+///
+/// Panics if `test` is empty.
+pub fn evaluate_model(model: &dyn Regressor, test: &Dataset, config: &EvalConfig) -> Evaluation {
+    let predictions: Vec<f64> = test.iter().map(|r| model.predict(r.values())).collect();
+    evaluate(&predictions, test.targets(), config)
+}
+
+/// Formats a duration in seconds the way the paper reports accuracies:
+/// `"16 min 26 secs"` (sub-minute durations render as `"26 secs"`).
+pub fn format_duration(secs: f64) -> String {
+    let total = secs.round().max(0.0) as u64;
+    let mins = total / 60;
+    let rem = total % 60;
+    if mins == 0 {
+        format!("{rem} secs")
+    } else {
+        format!("{mins} min {rem} secs")
+    }
+}
+
+/// `k`-fold cross-validated MAE of a learner on `data` (folds are
+/// contiguous blocks; callers shuffle first if order matters).
+///
+/// # Errors
+///
+/// Propagates fitting errors from the learner.
+///
+/// # Panics
+///
+/// Panics if `k < 2` or `data.len() < k`.
+pub fn cross_validated_mae<L>(learner: &L, data: &Dataset, k: usize) -> Result<f64, crate::MlError>
+where
+    L: crate::Learner,
+{
+    assert!(k >= 2, "cross-validation needs k >= 2");
+    assert!(data.len() >= k, "cross-validation needs at least k rows");
+    let n = data.len();
+    let mut total_abs = 0.0;
+    for fold in 0..k {
+        let lo = fold * n / k;
+        let hi = (fold + 1) * n / k;
+        let train = data.filter_rows(|i, _| i < lo || i >= hi);
+        let test = data.filter_rows(|i, _| i >= lo && i < hi);
+        if train.is_empty() || test.is_empty() {
+            continue;
+        }
+        let model = learner.fit(&train)?;
+        for row in test.iter() {
+            total_abs += (model.predict(row.values()) - row.target()).abs();
+        }
+    }
+    Ok(total_abs / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinRegLearner;
+
+    #[test]
+    fn mae_and_rmse_basic() {
+        let e = evaluate(&[10.0, 20.0], &[12.0, 16.0], &EvalConfig::default());
+        assert!((e.mae - 3.0).abs() < 1e-12);
+        assert!((e.rmse - (10.0f64).sqrt()).abs() < 1e-12);
+        assert_eq!(e.n, 2);
+    }
+
+    #[test]
+    fn smae_zero_inside_margin() {
+        // True 600s, margin 10% = 60s: a 50s error counts as zero.
+        let e = evaluate(&[650.0], &[600.0], &EvalConfig::default());
+        assert_eq!(e.s_mae, 0.0);
+        assert_eq!(e.mae, 50.0);
+    }
+
+    #[test]
+    fn smae_counts_excess_over_margin() {
+        // Paper's example: true 10 min, predicted 13 min => 2 min soft error.
+        let e = evaluate(&[780.0], &[600.0], &EvalConfig::default());
+        assert!((e.s_mae - 120.0).abs() < 1e-9);
+        let e = evaluate(&[420.0], &[600.0], &EvalConfig::default());
+        assert!((e.s_mae - 120.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn smae_never_exceeds_mae() {
+        let preds = [100.0, 5000.0, 9000.0, 300.0];
+        let actuals = [120.0, 4000.0, 10000.0, 200.0];
+        let e = evaluate(&preds, &actuals, &EvalConfig::default());
+        assert!(e.s_mae <= e.mae);
+    }
+
+    #[test]
+    fn pre_post_split() {
+        // Two instances deep before crash, one inside the last 10 minutes.
+        let e = evaluate(&[5000.0, 2000.0, 550.0], &[4800.0, 1900.0, 500.0], &EvalConfig::default());
+        assert!((e.pre_mae.unwrap() - 150.0).abs() < 1e-9);
+        assert!((e.post_mae.unwrap() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pre_post_none_when_absent() {
+        let e = evaluate(&[100.0], &[100.0], &EvalConfig::default());
+        assert!(e.pre_mae.is_none());
+        assert!(e.post_mae.is_some());
+        let e = evaluate(&[5000.0], &[5000.0], &EvalConfig::default());
+        assert!(e.pre_mae.is_some());
+        assert!(e.post_mae.is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = evaluate(&[1.0], &[1.0, 2.0], &EvalConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero instances")]
+    fn empty_panics() {
+        let _ = evaluate(&[], &[], &EvalConfig::default());
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert_eq!(format_duration(986.0), "16 min 26 secs");
+        assert_eq!(format_duration(59.4), "59 secs");
+        assert_eq!(format_duration(60.0), "1 min 0 secs");
+        assert_eq!(format_duration(0.0), "0 secs");
+        assert_eq!(format_duration(-5.0), "0 secs", "negative clamps to zero");
+    }
+
+    #[test]
+    fn summary_mentions_all_metrics() {
+        let e = evaluate(&[700.0, 100.0], &[650.0, 90.0], &EvalConfig::default());
+        let s = e.summary();
+        assert!(s.contains("MAE"));
+        assert!(s.contains("S-MAE"));
+        assert!(s.contains("PRE-MAE"));
+        assert!(s.contains("POST-MAE"));
+    }
+
+    #[test]
+    fn evaluate_model_runs_regressor() {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..20 {
+            ds.push_row(vec![i as f64], 2.0 * i as f64).unwrap();
+        }
+        let m = crate::Learner::fit(&LinRegLearner::default(), &ds).unwrap();
+        let e = evaluate_model(&m, &ds, &EvalConfig::default());
+        assert!(e.mae < 1e-8);
+    }
+
+    #[test]
+    fn cross_validation_on_linear_data_is_tight() {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..60 {
+            ds.push_row(vec![i as f64], 5.0 + 3.0 * i as f64).unwrap();
+        }
+        let mae = cross_validated_mae(&LinRegLearner::default(), &ds, 5).unwrap();
+        assert!(mae < 1e-6, "linear data should cross-validate exactly, got {mae}");
+    }
+
+    #[test]
+    fn custom_margin_and_window() {
+        let cfg = EvalConfig { security_margin: 0.5, post_window_secs: 50.0 };
+        let e = evaluate(&[140.0], &[100.0], &cfg);
+        assert_eq!(e.s_mae, 0.0, "±50% margin absorbs a 40% error");
+        assert!(e.post_mae.is_none(), "100s > 50s window => PRE");
+    }
+}

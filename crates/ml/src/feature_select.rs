@@ -1,0 +1,228 @@
+//! Feature / variable selection (Experiment 4.3 of the paper).
+//!
+//! The paper's first attempt at the periodic-pattern scenario performed
+//! poorly because "the model was paying too much attention to irrelevant
+//! attributes"; following Hoffmann, Trivedi & Malek (ref. [22]) the authors
+//! re-trained using only the variables related to the Java heap, which
+//! rescued the accuracy. This module provides:
+//!
+//! - *expert selection* by name predicate (the paper's manual choice),
+//! - *correlation ranking* with the target,
+//! - *greedy forward selection* driven by hold-out MAE — an automated
+//!   stand-in for the expert.
+
+use crate::{Learner, MlError, Regressor};
+use aging_dataset::{stats, Dataset};
+
+/// Ranks every attribute by the absolute Pearson correlation of its column
+/// with the target, strongest first.
+///
+/// # Example
+///
+/// ```
+/// use aging_dataset::Dataset;
+/// use aging_ml::feature_select::rank_by_correlation;
+///
+/// let mut ds = Dataset::new(vec!["signal".into(), "noise".into()], "y");
+/// for i in 0..50 {
+///     let x = i as f64;
+///     ds.push_row(vec![x, (i % 3) as f64], 2.0 * x)?;
+/// }
+/// let ranked = rank_by_correlation(&ds);
+/// assert_eq!(ranked[0].0, "signal");
+/// # Ok::<(), aging_dataset::DatasetError>(())
+/// ```
+pub fn rank_by_correlation(data: &Dataset) -> Vec<(String, f64)> {
+    let mut ranked: Vec<(String, f64)> = (0..data.n_attributes())
+        .map(|c| {
+            let col = data.column(c).expect("index in range");
+            let corr = stats::correlation(&col, data.targets()).abs();
+            (data.attribute_names()[c].clone(), corr)
+        })
+        .collect();
+    ranked.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+    ranked
+}
+
+/// Projects `data` onto its `k` most target-correlated attributes.
+///
+/// # Errors
+///
+/// Propagates dataset projection failures.
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn select_top_k(data: &Dataset, k: usize) -> Result<Dataset, MlError> {
+    assert!(k > 0, "cannot select zero features");
+    let ranked = rank_by_correlation(data);
+    let names: Vec<&str> = ranked.iter().take(k).map(|(n, _)| n.as_str()).collect();
+    Ok(data.select_columns(&names)?)
+}
+
+/// Expert selection: keeps the attributes whose name satisfies `keep`.
+///
+/// This is the operation the paper performs in Experiment 4.3 ("re-train the
+/// model only with the variables related with the Java Heap evolution").
+///
+/// # Errors
+///
+/// Returns [`MlError::InvalidParameter`] when no attribute matches.
+pub fn select_by_name(data: &Dataset, mut keep: impl FnMut(&str) -> bool) -> Result<Dataset, MlError> {
+    let names: Vec<&str> = data
+        .attribute_names()
+        .iter()
+        .map(String::as_str)
+        .filter(|n| keep(n))
+        .collect();
+    if names.is_empty() {
+        return Err(MlError::InvalidParameter("name predicate matched no attribute".into()));
+    }
+    Ok(data.select_columns(&names)?)
+}
+
+/// Greedy forward selection: starting from the empty set, repeatedly adds
+/// the attribute that most reduces the MAE of `learner` on `holdout`,
+/// stopping when no addition improves or `max_features` is reached.
+///
+/// Returns the selected attribute names in the order they were added.
+///
+/// # Errors
+///
+/// Propagates learner fitting failures.
+///
+/// # Panics
+///
+/// Panics if `holdout` is empty or its schema differs from `train`'s.
+pub fn forward_select<L>(
+    learner: &L,
+    train: &Dataset,
+    holdout: &Dataset,
+    max_features: usize,
+) -> Result<Vec<String>, MlError>
+where
+    L: Learner,
+    L::Model: 'static,
+{
+    assert!(!holdout.is_empty(), "forward selection needs a non-empty holdout");
+    assert_eq!(
+        train.attribute_names(),
+        holdout.attribute_names(),
+        "train/holdout schema mismatch"
+    );
+    let mut selected: Vec<String> = Vec::new();
+    let mut best_mae = f64::INFINITY;
+
+    while selected.len() < max_features.min(train.n_attributes()) {
+        let mut round_best: Option<(String, f64)> = None;
+        for cand in train.attribute_names() {
+            if selected.iter().any(|s| s == cand) {
+                continue;
+            }
+            let mut cols: Vec<&str> = selected.iter().map(String::as_str).collect();
+            cols.push(cand);
+            let sub_train = train.select_columns(&cols)?;
+            let sub_hold = holdout.select_columns(&cols)?;
+            let model = learner.fit(&sub_train)?;
+            let mae = sub_hold
+                .iter()
+                .map(|r| (model.predict(r.values()) - r.target()).abs())
+                .sum::<f64>()
+                / sub_hold.len() as f64;
+            if round_best.as_ref().is_none_or(|(_, m)| mae < *m) {
+                round_best = Some((cand.clone(), mae));
+            }
+        }
+        match round_best {
+            Some((name, mae)) if mae < best_mae - 1e-12 => {
+                best_mae = mae;
+                selected.push(name);
+            }
+            _ => break,
+        }
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linreg::LinRegLearner;
+
+    fn mixed_data(n: usize) -> Dataset {
+        // y = 4*a + small contribution from b; c is noise.
+        let mut ds = Dataset::new(vec!["heap_a".into(), "sys_b".into(), "noise_c".into()], "y");
+        let mut s = 3u64;
+        for i in 0..n {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            let a = i as f64;
+            let b = (i % 7) as f64;
+            ds.push_row(vec![a, b, noise * 100.0], 4.0 * a + 0.5 * b).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn correlation_ranking_orders_signal_first() {
+        let ds = mixed_data(200);
+        let ranked = rank_by_correlation(&ds);
+        assert_eq!(ranked[0].0, "heap_a");
+        assert!(ranked[0].1 > 0.99);
+        assert!(ranked.last().unwrap().1 < 0.3);
+    }
+
+    #[test]
+    fn top_k_projects() {
+        let ds = mixed_data(100);
+        let top = select_top_k(&ds, 1).unwrap();
+        assert_eq!(top.attribute_names(), &["heap_a".to_string()]);
+        assert_eq!(top.len(), ds.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero features")]
+    fn top_zero_panics() {
+        let _ = select_top_k(&mixed_data(10), 0);
+    }
+
+    #[test]
+    fn name_selection_mirrors_paper_heap_filter() {
+        let ds = mixed_data(50);
+        let heap_only = select_by_name(&ds, |n| n.starts_with("heap")).unwrap();
+        assert_eq!(heap_only.n_attributes(), 1);
+        assert!(select_by_name(&ds, |n| n.starts_with("zzz")).is_err());
+    }
+
+    #[test]
+    fn forward_selection_finds_the_signal() {
+        let ds = mixed_data(300);
+        let (train, holdout) = ds.split_at(200);
+        let picked =
+            forward_select(&LinRegLearner::default(), &train, &holdout, 3).unwrap();
+        assert_eq!(picked[0], "heap_a", "strongest attribute must be picked first");
+        assert!(!picked.contains(&"noise_c".to_string()) || picked.len() == 3);
+    }
+
+    #[test]
+    fn forward_selection_stops_when_no_improvement() {
+        // Single informative attribute: selection should stop at 1-2 picks.
+        let mut ds = Dataset::new(vec!["x".into(), "junk".into()], "y");
+        for i in 0..100 {
+            ds.push_row(vec![i as f64, 0.0], 2.0 * i as f64).unwrap();
+        }
+        let (train, holdout) = ds.split_at(70);
+        let picked =
+            forward_select(&LinRegLearner::default(), &train, &holdout, 2).unwrap();
+        assert_eq!(picked, vec!["x".to_string()]);
+    }
+
+    #[test]
+    #[should_panic(expected = "schema mismatch")]
+    fn forward_selection_rejects_schema_mismatch() {
+        let a = mixed_data(20);
+        let mut b = Dataset::new(vec!["other".into()], "y");
+        b.push_row(vec![1.0], 1.0).unwrap();
+        let _ = forward_select(&LinRegLearner::default(), &a, &b, 1);
+    }
+}

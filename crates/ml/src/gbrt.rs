@@ -1,0 +1,194 @@
+//! Gradient-boosted regression trees (least-squares boosting).
+//!
+//! The second "more sophisticated" ensemble the paper's Section 1 mentions.
+//! Classic Friedman LS-boost: start from the target mean, then repeatedly
+//! fit a shallow regression tree to the current residuals and add a
+//! shrunken copy of it to the ensemble.
+
+use crate::regtree::{RegTreeLearner, RegressionTree};
+use crate::{Learner, MlError, Regressor};
+use aging_dataset::Dataset;
+
+/// Configuration for gradient boosting.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbrtLearner {
+    /// Number of boosting stages.
+    pub n_stages: usize,
+    /// Shrinkage (learning rate) applied to every stage.
+    pub learning_rate: f64,
+    /// Minimum instances per leaf of the stage trees (kept large: stages
+    /// must be weak learners).
+    pub min_instances: usize,
+}
+
+impl Default for GbrtLearner {
+    fn default() -> Self {
+        GbrtLearner { n_stages: 100, learning_rate: 0.1, min_instances: 20 }
+    }
+}
+
+/// A fitted boosted ensemble.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GbrtModel {
+    base: f64,
+    learning_rate: f64,
+    stages: Vec<RegressionTree>,
+}
+
+impl GbrtModel {
+    /// Number of fitted stages (may be fewer than requested if residuals
+    /// vanish early).
+    pub fn n_stages(&self) -> usize {
+        self.stages.len()
+    }
+}
+
+impl Regressor for GbrtModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut y = self.base;
+        for stage in &self.stages {
+            y += self.learning_rate * stage.predict(x);
+        }
+        y
+    }
+
+    fn name(&self) -> &'static str {
+        "GBRT"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ls-boosted ensemble: base {:.3} + {} stages x lr {}",
+            self.base,
+            self.stages.len(),
+            self.learning_rate
+        )
+    }
+}
+
+impl Learner for GbrtLearner {
+    type Model = GbrtModel;
+
+    fn fit(&self, data: &Dataset) -> Result<GbrtModel, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.n_stages == 0 {
+            return Err(MlError::InvalidParameter("n_stages must be positive".into()));
+        }
+        if !(0.0..=1.0).contains(&self.learning_rate) || self.learning_rate == 0.0 {
+            return Err(MlError::InvalidParameter("learning_rate must be in (0, 1]".into()));
+        }
+
+        let base = data.target_mean().expect("non-empty dataset");
+        let tree_learner = RegTreeLearner {
+            min_instances: self.min_instances,
+            pruning: false,
+            sd_fraction: 0.01,
+        };
+
+        let mut residuals: Vec<f64> = data.targets().iter().map(|t| t - base).collect();
+        let mut stages = Vec::with_capacity(self.n_stages);
+        for _ in 0..self.n_stages {
+            // Residual dataset shares the attributes, swaps the targets.
+            let mut res_ds =
+                Dataset::new(data.attribute_names().to_vec(), data.target_name().to_string());
+            for (i, &r) in residuals.iter().enumerate() {
+                res_ds
+                    .push_row(data.row(i).values().to_vec(), r)
+                    .expect("rows come from a valid dataset");
+            }
+            let stage = tree_learner.fit(&res_ds)?;
+            let mut any_signal = false;
+            for (i, r) in residuals.iter_mut().enumerate() {
+                let step = stage.predict(data.row(i).values());
+                if step.abs() > 1e-12 {
+                    any_signal = true;
+                }
+                *r -= self.learning_rate * step;
+            }
+            stages.push(stage);
+            if !any_signal {
+                break; // residuals exhausted: further stages are no-ops
+            }
+        }
+        Ok(GbrtModel { base, learning_rate: self.learning_rate, stages })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regtree::RegTreeLearner;
+
+    fn wave(n: usize) -> Dataset {
+        // A smooth nonlinear target trees must compose to approximate.
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..n {
+            let x = i as f64 / n as f64 * 10.0;
+            ds.push_row(vec![x], (x).sin() * 100.0 + 10.0 * x).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn boosting_beats_a_single_shallow_tree() {
+        let ds = wave(400);
+        let gbrt = GbrtLearner::default().fit(&ds).unwrap();
+        let single = RegTreeLearner { min_instances: 20, ..Default::default() }.fit(&ds).unwrap();
+        let mae = |m: &dyn Regressor| {
+            ds.iter().map(|r| (m.predict(r.values()) - r.target()).abs()).sum::<f64>()
+                / ds.len() as f64
+        };
+        assert!(
+            mae(&gbrt) < mae(&single) / 2.0,
+            "boosting {} should be far below a single weak tree {}",
+            mae(&gbrt),
+            mae(&single)
+        );
+    }
+
+    #[test]
+    fn constant_target_stops_early() {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..100 {
+            ds.push_row(vec![i as f64], 5.0).unwrap();
+        }
+        let m = GbrtLearner::default().fit(&ds).unwrap();
+        assert!(m.n_stages() < 5, "no residual signal => early stop, got {}", m.n_stages());
+        assert!((m.predict(&[50.0]) - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn invalid_parameters_rejected() {
+        let ds = wave(50);
+        assert!(GbrtLearner { n_stages: 0, ..Default::default() }.fit(&ds).is_err());
+        assert!(GbrtLearner { learning_rate: 0.0, ..Default::default() }.fit(&ds).is_err());
+        assert!(GbrtLearner { learning_rate: 1.5, ..Default::default() }.fit(&ds).is_err());
+        let empty = Dataset::new(vec!["x".into()], "y");
+        assert!(matches!(
+            GbrtLearner::default().fit(&empty),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    fn more_stages_reduce_training_error() {
+        let ds = wave(300);
+        let short = GbrtLearner { n_stages: 10, ..Default::default() }.fit(&ds).unwrap();
+        let long = GbrtLearner { n_stages: 200, ..Default::default() }.fit(&ds).unwrap();
+        let mae = |m: &GbrtModel| {
+            ds.iter().map(|r| (m.predict(r.values()) - r.target()).abs()).sum::<f64>()
+                / ds.len() as f64
+        };
+        assert!(mae(&long) < mae(&short));
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = wave(150);
+        let a = GbrtLearner::default().fit(&ds).unwrap();
+        let b = GbrtLearner::default().fit(&ds).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,207 @@
+//! k-nearest-neighbour regression with z-score standardisation.
+//!
+//! A simple instance-based comparator: predictions are the
+//! (inverse-distance-weighted) mean target of the `k` closest training
+//! checkpoints in standardised feature space. Included in the
+//! "sophisticated baselines" study as the classic non-parametric
+//! alternative to model trees.
+
+use crate::{Learner, MlError, Regressor};
+use aging_dataset::{stats, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for k-NN regression.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KnnLearner {
+    /// Number of neighbours.
+    pub k: usize,
+    /// Whether to weight neighbours by inverse distance.
+    pub distance_weighted: bool,
+}
+
+impl Default for KnnLearner {
+    fn default() -> Self {
+        KnnLearner { k: 5, distance_weighted: true }
+    }
+}
+
+/// A fitted k-NN model (stores the standardised training set).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnnModel {
+    k: usize,
+    distance_weighted: bool,
+    /// Column means for standardisation.
+    means: Vec<f64>,
+    /// Column standard deviations (1.0 for constant columns).
+    stds: Vec<f64>,
+    /// Standardised training rows (row-major).
+    rows: Vec<f64>,
+    targets: Vec<f64>,
+    n_attributes: usize,
+}
+
+impl KnnModel {
+    fn standardise(&self, x: &[f64]) -> Vec<f64> {
+        x.iter()
+            .enumerate()
+            .map(|(i, v)| (v - self.means[i]) / self.stds[i])
+            .collect()
+    }
+}
+
+impl Regressor for KnnModel {
+    fn predict(&self, x: &[f64]) -> f64 {
+        assert_eq!(x.len(), self.n_attributes, "attribute arity mismatch");
+        let q = self.standardise(x);
+        let n = self.targets.len();
+        // Partial selection of the k smallest distances.
+        let mut dists: Vec<(f64, f64)> = (0..n)
+            .map(|i| {
+                let row = &self.rows[i * self.n_attributes..(i + 1) * self.n_attributes];
+                let d2: f64 = row.iter().zip(&q).map(|(a, b)| (a - b) * (a - b)).sum();
+                (d2, self.targets[i])
+            })
+            .collect();
+        let k = self.k.min(n);
+        dists.select_nth_unstable_by(k - 1, |a, b| a.0.total_cmp(&b.0));
+        let neighbours = &dists[..k];
+        if self.distance_weighted {
+            let mut wsum = 0.0;
+            let mut acc = 0.0;
+            for &(d2, t) in neighbours {
+                let w = 1.0 / (d2.sqrt() + 1e-9);
+                wsum += w;
+                acc += w * t;
+            }
+            acc / wsum
+        } else {
+            neighbours.iter().map(|&(_, t)| t).sum::<f64>() / k as f64
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "kNN"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "{}-NN over {} standardised instances ({})",
+            self.k,
+            self.targets.len(),
+            if self.distance_weighted { "distance-weighted" } else { "uniform" }
+        )
+    }
+}
+
+impl Learner for KnnLearner {
+    type Model = KnnModel;
+
+    fn fit(&self, data: &Dataset) -> Result<KnnModel, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.k == 0 {
+            return Err(MlError::InvalidParameter("k must be positive".into()));
+        }
+        let p = data.n_attributes();
+        let mut means = Vec::with_capacity(p);
+        let mut stds = Vec::with_capacity(p);
+        for c in 0..p {
+            let col = data.column(c).expect("index in range");
+            means.push(stats::mean(&col));
+            let sd = stats::std_dev(&col);
+            stds.push(if sd > 1e-12 { sd } else { 1.0 });
+        }
+        let mut rows = Vec::with_capacity(data.len() * p);
+        for i in 0..data.len() {
+            for (c, v) in data.row(i).values().iter().enumerate() {
+                rows.push((v - means[c]) / stds[c]);
+            }
+        }
+        Ok(KnnModel {
+            k: self.k,
+            distance_weighted: self.distance_weighted,
+            means,
+            stds,
+            rows,
+            targets: data.targets().to_vec(),
+            n_attributes: p,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid() -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..100 {
+            ds.push_row(vec![i as f64], 3.0 * i as f64).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn interpolates_locally() {
+        let m = KnnLearner::default().fit(&grid()).unwrap();
+        let p = m.predict(&[50.5]);
+        assert!((p - 151.5).abs() < 6.0, "local mean around 50.5, got {p}");
+    }
+
+    #[test]
+    fn exact_match_dominates_when_weighted() {
+        let m = KnnLearner { k: 3, distance_weighted: true }.fit(&grid()).unwrap();
+        let p = m.predict(&[40.0]);
+        assert!((p - 120.0).abs() < 1.0, "exact neighbour dominates, got {p}");
+    }
+
+    #[test]
+    fn k_larger_than_dataset_is_clamped() {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        ds.push_row(vec![0.0], 1.0).unwrap();
+        ds.push_row(vec![1.0], 3.0).unwrap();
+        let m = KnnLearner { k: 10, distance_weighted: false }.fit(&ds).unwrap();
+        assert_eq!(m.predict(&[0.5]), 2.0);
+    }
+
+    #[test]
+    fn standardisation_makes_scales_comparable() {
+        // Without standardisation the huge-scale column would dominate.
+        let mut ds = Dataset::new(vec!["big".into(), "small".into()], "y");
+        for i in 0..50 {
+            // y depends only on `small`; `big` is a decoy with a huge scale.
+            ds.push_row(vec![1e6 + (i % 3) as f64 * 1e5, i as f64], i as f64).unwrap();
+        }
+        let m = KnnLearner { k: 1, distance_weighted: false }.fit(&ds).unwrap();
+        let p = m.predict(&[1e6, 25.0]);
+        assert!((p - 25.0).abs() < 3.0, "small-scale attribute must matter, got {p}");
+    }
+
+    #[test]
+    fn rejects_bad_input() {
+        assert!(KnnLearner { k: 0, ..Default::default() }.fit(&grid()).is_err());
+        let empty = Dataset::new(vec!["x".into()], "y");
+        assert!(matches!(
+            KnnLearner::default().fit(&empty),
+            Err(MlError::EmptyTrainingSet)
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn wrong_arity_panics() {
+        let m = KnnLearner::default().fit(&grid()).unwrap();
+        let _ = m.predict(&[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constant_column_does_not_nan() {
+        let mut ds = Dataset::new(vec!["c".into(), "x".into()], "y");
+        for i in 0..30 {
+            ds.push_row(vec![7.0, i as f64], i as f64).unwrap();
+        }
+        let m = KnnLearner::default().fit(&ds).unwrap();
+        assert!(m.predict(&[7.0, 15.0]).is_finite());
+    }
+}

@@ -1,0 +1,124 @@
+//! Hand-coded machine-learning algorithms for software-aging prediction.
+//!
+//! This crate reimplements, from scratch, every learner the DSN'10 paper
+//! *"Adaptive on-line software aging prediction based on Machine Learning"*
+//! uses or compares against:
+//!
+//! - [`m5p`]: the paper's chosen algorithm — **M5P model trees** (a binary
+//!   decision tree with multiple-linear-regression models at the leaves),
+//!   including standard-deviation-reduction growth, coefficient
+//!   simplification, pessimistic pruning and smoothing, per Quinlan's M5 and
+//!   Wang & Witten's M5′,
+//! - [`linreg`]: the **linear regression** baseline of Tables 3 and 4,
+//! - [`regtree`]: the plain **regression tree** from the authors'
+//!   preliminary comparison (ICAS'09),
+//! - [`naive`]: the closed-form slope predictor of the paper's Eq. (1),
+//! - [`arma`]: the ARMA time-series comparator from the related work
+//!   (Li, Vaidyanathan & Trivedi),
+//! - [`eval`]: the paper's accuracy metrics — MAE, S-MAE (±10 % security
+//!   margin), PRE-MAE and POST-MAE (last-10-minutes split),
+//! - [`feature_select`]: expert/correlation-based variable selection
+//!   (Experiment 4.3),
+//! - [`board`]: the *prediction board* ensemble sketched in the paper's
+//!   future work,
+//! - [`bagging`] / [`gbrt`] / [`knn`]: the "more sophisticated" techniques
+//!   the paper's Section 1 names (bagging, boosting) plus an
+//!   instance-based comparator,
+//! - [`segment`]: the piecewise-linear anomaly/change detector of the
+//!   related work (Cherkasova et al., DSN'08),
+//! - [`online`]: an adaptive on-line wrapper that retrains on a sliding
+//!   buffer of recent checkpoints.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use aging_dataset::Dataset;
+//! use aging_ml::{m5p::M5pLearner, Learner, Regressor};
+//!
+//! let mut ds = Dataset::new(vec!["x".into()], "y");
+//! for i in 0..100 {
+//!     let x = i as f64;
+//!     let y = if x < 50.0 { 2.0 * x } else { 300.0 - 4.0 * x };
+//!     ds.push_row(vec![x], y)?;
+//! }
+//! let model = M5pLearner::default().fit(&ds)?;
+//! let pred = model.predict(&[25.0]);
+//! assert!((pred - 50.0).abs() < 15.0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod arma;
+pub mod bagging;
+pub mod board;
+pub mod eval;
+pub mod feature_select;
+pub mod gbrt;
+pub mod knn;
+pub(crate) mod linalg;
+pub mod linreg;
+pub mod m5p;
+pub mod naive;
+pub mod online;
+pub mod regtree;
+pub mod segment;
+
+mod error;
+pub use error::MlError;
+
+use aging_dataset::Dataset;
+
+/// A fitted regression model: maps an attribute vector to a real prediction.
+///
+/// All learners in this crate produce `Regressor`s; the trait is
+/// object-safe so heterogeneous models can sit together on a
+/// [`board::PredictionBoard`].
+pub trait Regressor: std::fmt::Debug + Send + Sync {
+    /// Predicts the target for the attribute vector `x`.
+    ///
+    /// Implementations must accept any `x` whose length equals the number of
+    /// attributes the model was trained on and must return a finite value.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `x.len()` differs from the training arity.
+    fn predict(&self, x: &[f64]) -> f64;
+
+    /// Short human-readable name of the model family (e.g. `"M5P"`).
+    fn name(&self) -> &'static str;
+
+    /// A human-readable description of the fitted model, suitable for the
+    /// paper's root-cause inspection (Section 4.4). Default: the `Debug`
+    /// representation.
+    fn describe(&self) -> String {
+        format!("{self:?}")
+    }
+}
+
+/// A learning algorithm: fits a [`Regressor`] to a [`Dataset`].
+pub trait Learner {
+    /// The concrete model type this learner produces.
+    type Model: Regressor;
+
+    /// Fits a model to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MlError::EmptyTrainingSet`] when `data` has no rows, or
+    /// other [`MlError`] variants specific to the algorithm.
+    fn fit(&self, data: &Dataset) -> Result<Self::Model, MlError>;
+
+    /// Fits and boxes the model, for heterogeneous collections.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Learner::fit`].
+    fn fit_boxed(&self, data: &Dataset) -> Result<Box<dyn Regressor>, MlError>
+    where
+        Self::Model: 'static,
+    {
+        Ok(Box::new(self.fit(data)?))
+    }
+}

@@ -1,0 +1,133 @@
+//! The paper's Eq. (1): the naive constant-rate exhaustion predictor
+//!
+//! ```text
+//! TTF_i = (R_max − R_{i,t}) / S_i
+//! ```
+//!
+//! where `R_max` is the maximum available amount of resource `i`, `R_{i,t}`
+//! the amount used at instant `t`, and `S_i` the consumption speed. The
+//! paper's Section 2 demonstrates why this is too simplistic (non-linear
+//! heap behaviour, changing rates, masked aging); we implement it both as a
+//! motivating-example reproduction and as the weakest baseline.
+
+use crate::Regressor;
+use serde::{Deserialize, Serialize};
+
+/// Closed-form time-to-exhaustion predictor over one resource.
+///
+/// The model reads the current resource level and its (smoothed) consumption
+/// speed from two attribute columns and applies Eq. (1). Predictions are
+/// clamped to `[0, cap]`; a non-positive speed (idle or releasing resource)
+/// predicts `cap`, the stand-in for "infinite time to failure" (the paper
+/// uses 3 h = 10 800 s).
+///
+/// # Example
+///
+/// ```
+/// use aging_ml::{naive::NaivePredictor, Regressor};
+///
+/// // Attribute 0: MB used; attribute 1: MB/s consumption speed.
+/// let p = NaivePredictor::new(1024.0, 0, 1, 10_800.0);
+/// let ttf = p.predict(&[524.0, 0.5]);
+/// assert_eq!(ttf, 1000.0); // (1024-524)/0.5
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NaivePredictor {
+    resource_max: f64,
+    level_attr: usize,
+    speed_attr: usize,
+    cap: f64,
+}
+
+impl NaivePredictor {
+    /// Creates a predictor for a resource with capacity `resource_max`,
+    /// reading the level from attribute `level_attr` and the speed from
+    /// `speed_attr`, clamping predictions to `cap` seconds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `resource_max <= 0` or `cap <= 0`.
+    pub fn new(resource_max: f64, level_attr: usize, speed_attr: usize, cap: f64) -> Self {
+        assert!(resource_max > 0.0, "resource capacity must be positive");
+        assert!(cap > 0.0, "prediction cap must be positive");
+        NaivePredictor { resource_max, level_attr, speed_attr, cap }
+    }
+
+    /// The "infinite TTF" cap in seconds.
+    pub fn cap(&self) -> f64 {
+        self.cap
+    }
+}
+
+impl Regressor for NaivePredictor {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let level = x[self.level_attr];
+        let speed = x[self.speed_attr];
+        if speed <= 0.0 {
+            return self.cap;
+        }
+        let remaining = (self.resource_max - level).max(0.0);
+        (remaining / speed).clamp(0.0, self.cap)
+    }
+
+    fn name(&self) -> &'static str {
+        "NaiveEq1"
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "ttf = (R_max[{}] - x[{}]) / x[{}], clamped to [0, {}]",
+            self.resource_max, self.level_attr, self.speed_attr, self.cap
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_matches_eq1() {
+        let p = NaivePredictor::new(100.0, 0, 1, 1e4);
+        assert_eq!(p.predict(&[60.0, 2.0]), 20.0);
+    }
+
+    #[test]
+    fn zero_or_negative_speed_predicts_cap() {
+        let p = NaivePredictor::new(100.0, 0, 1, 10_800.0);
+        assert_eq!(p.predict(&[60.0, 0.0]), 10_800.0);
+        assert_eq!(p.predict(&[60.0, -1.0]), 10_800.0);
+    }
+
+    #[test]
+    fn exhausted_resource_predicts_zero() {
+        let p = NaivePredictor::new(100.0, 0, 1, 1e4);
+        assert_eq!(p.predict(&[100.0, 1.0]), 0.0);
+        assert_eq!(p.predict(&[150.0, 1.0]), 0.0, "over-capacity clamps to zero");
+    }
+
+    #[test]
+    fn slow_leak_is_capped() {
+        let p = NaivePredictor::new(100.0, 0, 1, 1000.0);
+        assert_eq!(p.predict(&[0.0, 1e-9]), 1000.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn bad_capacity_panics() {
+        let _ = NaivePredictor::new(0.0, 0, 1, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "cap must be positive")]
+    fn bad_cap_panics() {
+        let _ = NaivePredictor::new(10.0, 0, 1, 0.0);
+    }
+
+    #[test]
+    fn naming() {
+        let p = NaivePredictor::new(1.0, 0, 1, 1.0);
+        assert_eq!(p.name(), "NaiveEq1");
+        assert!(p.describe().contains("ttf"));
+    }
+}

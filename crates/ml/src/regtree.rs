@@ -1,0 +1,263 @@
+//! Plain regression trees (constant leaves) — the "Decision Trees"
+//! comparator from the authors' preliminary study (ICAS'09, ref. [14] of
+//! the paper), which M5P outperformed.
+//!
+//! Growth is identical to M5P's (standard-deviation-reduction splits);
+//! leaves predict the mean of their training targets, and pruning uses the
+//! same pessimistic `(n + ν)/(n − ν)` criterion with ν = 1.
+
+use crate::{Learner, MlError, Regressor};
+use aging_dataset::{stats, Dataset};
+use serde::{Deserialize, Serialize};
+
+/// Configuration for training [`RegressionTree`]s.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegTreeLearner {
+    /// Minimum number of instances per leaf.
+    pub min_instances: usize,
+    /// Whether to prune bottom-up.
+    pub pruning: bool,
+    /// Growth stops below this fraction of the root target deviation.
+    pub sd_fraction: f64,
+}
+
+impl Default for RegTreeLearner {
+    fn default() -> Self {
+        RegTreeLearner { min_instances: 4, pruning: true, sd_fraction: 0.05 }
+    }
+}
+
+/// A fitted regression tree with constant leaf predictions.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RegressionTree {
+    root: RtNode,
+    attribute_names: Vec<String>,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum RtNode {
+    Leaf { value: f64, n: usize, mae: f64 },
+    Split { attr: usize, threshold: f64, n: usize, left: Box<RtNode>, right: Box<RtNode> },
+}
+
+impl RtNode {
+    fn n(&self) -> usize {
+        match self {
+            RtNode::Leaf { n, .. } | RtNode::Split { n, .. } => *n,
+        }
+    }
+
+    fn n_leaves(&self) -> usize {
+        match self {
+            RtNode::Leaf { .. } => 1,
+            RtNode::Split { left, right, .. } => left.n_leaves() + right.n_leaves(),
+        }
+    }
+
+    fn error(&self) -> f64 {
+        match self {
+            RtNode::Leaf { n, mae, .. } => {
+                let n = *n as f64;
+                if n <= 1.0 {
+                    f64::INFINITY
+                } else {
+                    mae * (n + 1.0) / (n - 1.0)
+                }
+            }
+            RtNode::Split { left, right, .. } => {
+                let nl = left.n() as f64;
+                let nr = right.n() as f64;
+                (nl * left.error() + nr * right.error()) / (nl + nr)
+            }
+        }
+    }
+}
+
+impl RegressionTree {
+    /// Number of leaves.
+    pub fn n_leaves(&self) -> usize {
+        self.root.n_leaves()
+    }
+}
+
+impl Regressor for RegressionTree {
+    fn predict(&self, x: &[f64]) -> f64 {
+        let mut node = &self.root;
+        loop {
+            match node {
+                RtNode::Leaf { value, .. } => return *value,
+                RtNode::Split { attr, threshold, left, right, .. } => {
+                    node = if x[*attr] <= *threshold { left } else { right };
+                }
+            }
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "RegressionTree"
+    }
+}
+
+impl Learner for RegTreeLearner {
+    type Model = RegressionTree;
+
+    fn fit(&self, data: &Dataset) -> Result<RegressionTree, MlError> {
+        if data.is_empty() {
+            return Err(MlError::EmptyTrainingSet);
+        }
+        if self.min_instances == 0 {
+            return Err(MlError::InvalidParameter("min_instances must be positive".into()));
+        }
+        let root_sd = data.target_std().expect("non-empty dataset");
+        let rows: Vec<usize> = (0..data.len()).collect();
+        let root = self.grow(data, rows, root_sd);
+        Ok(RegressionTree { root, attribute_names: data.attribute_names().to_vec() })
+    }
+}
+
+impl RegTreeLearner {
+    fn grow(&self, data: &Dataset, rows: Vec<usize>, root_sd: f64) -> RtNode {
+        let leaf = |rows: &[usize]| {
+            let targets: Vec<f64> = rows.iter().map(|&i| data.target(i)).collect();
+            let value = stats::mean(&targets);
+            let mae = targets.iter().map(|t| (t - value).abs()).sum::<f64>() / targets.len() as f64;
+            RtNode::Leaf { value, n: rows.len(), mae }
+        };
+        let n = rows.len();
+        if n < 2 * self.min_instances {
+            return leaf(&rows);
+        }
+        let targets: Vec<f64> = rows.iter().map(|&i| data.target(i)).collect();
+        let sd = stats::std_dev(&targets);
+        if sd <= self.sd_fraction * root_sd || sd == 0.0 {
+            return leaf(&rows);
+        }
+        let Some((attr, threshold)) = self.best_split(data, &rows, sd) else {
+            return leaf(&rows);
+        };
+        let (lrows, rrows): (Vec<usize>, Vec<usize>) =
+            rows.iter().partition(|&&i| data.value(i, attr) <= threshold);
+        let left = self.grow(data, lrows, root_sd);
+        let right = self.grow(data, rrows, root_sd);
+        let split = RtNode::Split {
+            attr,
+            threshold,
+            n,
+            left: Box::new(left),
+            right: Box::new(right),
+        };
+        if self.pruning {
+            let as_leaf = leaf(&rows);
+            if as_leaf.error() <= split.error() {
+                return as_leaf;
+            }
+        }
+        split
+    }
+
+    fn best_split(&self, data: &Dataset, rows: &[usize], parent_sd: f64) -> Option<(usize, f64)> {
+        let n = rows.len();
+        let mut best: Option<(f64, usize, f64)> = None;
+        for attr in 0..data.n_attributes() {
+            let mut order: Vec<usize> = rows.to_vec();
+            order.sort_by(|&a, &b| data.value(a, attr).total_cmp(&data.value(b, attr)));
+            let total: f64 = order.iter().map(|&i| data.target(i)).sum();
+            let total_sq: f64 = order.iter().map(|&i| data.target(i) * data.target(i)).sum();
+            let mut sum = 0.0;
+            let mut sum_sq = 0.0;
+            for pos in 1..n {
+                let prev = order[pos - 1];
+                let t = data.target(prev);
+                sum += t;
+                sum_sq += t * t;
+                if pos < self.min_instances || n - pos < self.min_instances {
+                    continue;
+                }
+                let v_prev = data.value(prev, attr);
+                let v_next = data.value(order[pos], attr);
+                if v_next <= v_prev {
+                    continue;
+                }
+                let nl = pos as f64;
+                let nr = (n - pos) as f64;
+                let var_l = (sum_sq / nl - (sum / nl).powi(2)).max(0.0);
+                let var_r = ((total_sq - sum_sq) / nr - ((total - sum) / nr).powi(2)).max(0.0);
+                let sdr =
+                    parent_sd - (nl / n as f64) * var_l.sqrt() - (nr / n as f64) * var_r.sqrt();
+                if sdr > best.map_or(0.0, |(s, _, _)| s) {
+                    best = Some((sdr, attr, (v_prev + v_next) / 2.0));
+                }
+            }
+        }
+        best.map(|(_, a, t)| (a, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn step_data() -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..100 {
+            let x = i as f64;
+            ds.push_row(vec![x], if x < 50.0 { 10.0 } else { 90.0 }).unwrap();
+        }
+        ds
+    }
+
+    #[test]
+    fn learns_step_function() {
+        let t = RegTreeLearner::default().fit(&step_data()).unwrap();
+        assert!((t.predict(&[10.0]) - 10.0).abs() < 1e-9);
+        assert!((t.predict(&[80.0]) - 90.0).abs() < 1e-9);
+        assert_eq!(t.n_leaves(), 2);
+    }
+
+    #[test]
+    fn constant_leaves_cannot_extrapolate_slopes() {
+        // On truly linear data, a regression tree staircases: its prediction
+        // at the extremes equals a training-range mean — this is exactly why
+        // the paper's preliminary study found M5P better.
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..100 {
+            ds.push_row(vec![i as f64], 3.0 * i as f64).unwrap();
+        }
+        let t = RegTreeLearner::default().fit(&ds).unwrap();
+        let p = t.predict(&[1000.0]);
+        assert!(p <= 3.0 * 99.0 + 1e-9, "constant leaf cannot exceed max training target");
+    }
+
+    #[test]
+    fn empty_is_error_and_zero_min_rejected() {
+        let ds = Dataset::new(vec!["x".into()], "y");
+        assert!(matches!(RegTreeLearner::default().fit(&ds), Err(MlError::EmptyTrainingSet)));
+        let mut one = Dataset::new(vec!["x".into()], "y");
+        one.push_row(vec![0.0], 0.0).unwrap();
+        let bad = RegTreeLearner { min_instances: 0, ..Default::default() };
+        assert!(matches!(bad.fit(&one), Err(MlError::InvalidParameter(_))));
+    }
+
+    #[test]
+    fn pruning_collapses_pure_noise() {
+        // Targets independent of x: pruning should collapse to few leaves.
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        let mut s = 9u64;
+        for i in 0..200 {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let noise = ((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5;
+            ds.push_row(vec![i as f64], noise).unwrap();
+        }
+        let pruned = RegTreeLearner::default().fit(&ds).unwrap();
+        let unpruned = RegTreeLearner { pruning: false, ..Default::default() }.fit(&ds).unwrap();
+        assert!(pruned.n_leaves() <= unpruned.n_leaves());
+    }
+
+    #[test]
+    fn deterministic() {
+        let ds = step_data();
+        let a = RegTreeLearner::default().fit(&ds).unwrap();
+        let b = RegTreeLearner::default().fit(&ds).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,265 @@
+//! Piecewise-linear series segmentation — the related-work comparator of
+//! Cherkasova et al. ("Anomaly? Application Change? or Workload Change?",
+//! DSN'08, ref. [15] of the paper).
+//!
+//! That framework "divide[s] the sequence of recorded data into several
+//! segments using the Linear Regression error. If for some period it is
+//! impossible to obtain any Linear Regression with acceptable error at all,
+//! the conclusion is that the system is suffering some type of anomaly."
+//! The paper positions itself as complementary: [15] assumes a statically
+//! modellable system between changes, while aging systems *drift*. This
+//! module implements the segmentation so the benches can demonstrate that
+//! distinction: an aging trace segments into pieces whose slopes share a
+//! sign (degradation), a healthy trace into near-flat pieces.
+
+use serde::{Deserialize, Serialize};
+
+/// One linear segment of a series: `y ≈ intercept + slope · x` over
+/// `indices [start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// First index covered (inclusive).
+    pub start: usize,
+    /// One past the last index covered.
+    pub end: usize,
+    /// Fitted slope, in target units per index step.
+    pub slope: f64,
+    /// Fitted intercept (at x = 0, i.e. absolute index coordinates).
+    pub intercept: f64,
+    /// Largest absolute residual inside the segment.
+    pub max_abs_err: f64,
+}
+
+impl Segment {
+    /// Number of points covered.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the segment covers no points (never true for produced
+    /// segments).
+    pub fn is_empty(&self) -> bool {
+        self.end == self.start
+    }
+}
+
+/// Greedy left-to-right segmentation: each segment is extended while the
+/// best-fit line over it keeps every residual within `tolerance`; when a
+/// point cannot be absorbed a new segment starts there.
+///
+/// # Panics
+///
+/// Panics if `tolerance` is not positive or `ys` is empty.
+pub fn segment_series(ys: &[f64], tolerance: f64) -> Vec<Segment> {
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    assert!(!ys.is_empty(), "cannot segment an empty series");
+
+    let mut segments = Vec::new();
+    let mut start = 0usize;
+    while start < ys.len() {
+        // Grow the segment as far as a within-tolerance fit exists.
+        let mut end = (start + 1).min(ys.len());
+        let mut best = fit(ys, start, end);
+        while end < ys.len() {
+            let candidate = fit(ys, start, end + 1);
+            if candidate.max_abs_err <= tolerance {
+                end += 1;
+                best = candidate;
+            } else {
+                break;
+            }
+        }
+        segments.push(best);
+        start = end;
+    }
+    segments
+}
+
+/// Least-squares line over `ys[start..end]` (in absolute index coords).
+fn fit(ys: &[f64], start: usize, end: usize) -> Segment {
+    let n = (end - start) as f64;
+    if end - start == 1 {
+        return Segment { start, end, slope: 0.0, intercept: ys[start], max_abs_err: 0.0 };
+    }
+    let mut sx = 0.0;
+    let mut sy = 0.0;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for (i, &y) in ys[start..end].iter().enumerate() {
+        let x = (start + i) as f64;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = n * sxx - sx * sx;
+    let (slope, intercept) = if denom.abs() < 1e-12 {
+        (0.0, sy / n)
+    } else {
+        let slope = (n * sxy - sx * sy) / denom;
+        (slope, (sy - slope * sx) / n)
+    };
+    let max_abs_err = ys[start..end]
+        .iter()
+        .enumerate()
+        .map(|(i, &y)| (y - (intercept + slope * (start + i) as f64)).abs())
+        .fold(0.0, f64::max);
+    Segment { start, end, slope, intercept, max_abs_err }
+}
+
+/// Verdict of the drift analysis over a segmented resource series.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum SeriesDiagnosis {
+    /// Slopes hover around zero: the resource is statically modellable —
+    /// the regime Cherkasova et al. assume.
+    Stable,
+    /// Most segments share a positive slope: the resource drifts upward —
+    /// software aging in the paper's sense.
+    Degrading {
+        /// Length-weighted mean slope per index step.
+        mean_slope: f64,
+    },
+    /// The series needs many short segments: no locally linear model holds
+    /// for long — an anomaly in the sense of [15].
+    Anomalous {
+        /// Mean segment length in points.
+        mean_segment_len: f64,
+    },
+}
+
+/// Classifies a series by segmenting it and inspecting the segment slopes.
+///
+/// `tolerance` is the acceptable residual (same units as `ys`);
+/// `slope_threshold` separates "flat" from "drifting" slopes (units per
+/// index step).
+///
+/// # Panics
+///
+/// Same as [`segment_series`].
+pub fn diagnose(ys: &[f64], tolerance: f64, slope_threshold: f64) -> SeriesDiagnosis {
+    let segments = segment_series(ys, tolerance);
+    let total: usize = segments.iter().map(Segment::len).sum();
+    let mean_len = total as f64 / segments.len() as f64;
+    if mean_len < 5.0 && segments.len() > 3 {
+        return SeriesDiagnosis::Anomalous { mean_segment_len: mean_len };
+    }
+    let weighted_slope: f64 =
+        segments.iter().map(|s| s.slope * s.len() as f64).sum::<f64>() / total as f64;
+    let drifting_fraction: f64 = segments
+        .iter()
+        .filter(|s| s.slope > slope_threshold)
+        .map(|s| s.len() as f64)
+        .sum::<f64>()
+        / total as f64;
+    if weighted_slope > slope_threshold && drifting_fraction > 0.5 {
+        SeriesDiagnosis::Degrading { mean_slope: weighted_slope }
+    } else {
+        SeriesDiagnosis::Stable
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_line_is_one_segment() {
+        let ys: Vec<f64> = (0..100).map(|i| 5.0 + 2.0 * i as f64).collect();
+        let segs = segment_series(&ys, 1.0);
+        assert_eq!(segs.len(), 1);
+        assert!((segs[0].slope - 2.0).abs() < 1e-9);
+        assert!((segs[0].intercept - 5.0).abs() < 1e-9);
+        assert_eq!(segs[0].len(), 100);
+    }
+
+    #[test]
+    fn breakpoint_is_found() {
+        // Slope 1 for 50 points, then slope -3.
+        let ys: Vec<f64> = (0..100)
+            .map(|i| if i < 50 { i as f64 } else { 50.0 - 3.0 * (i as f64 - 50.0) })
+            .collect();
+        let segs = segment_series(&ys, 2.0);
+        assert!(segs.len() >= 2, "expected a break, got {segs:?}");
+        assert!((segs[0].slope - 1.0).abs() < 0.2);
+        assert!(segs.last().unwrap().slope < -2.0);
+        // The first break should be near index 50.
+        assert!((segs[0].end as i64 - 50).unsigned_abs() <= 3);
+    }
+
+    #[test]
+    fn segments_partition_the_series() {
+        let mut s = 3u64;
+        let ys: Vec<f64> = (0..200)
+            .map(|i| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let noise = (((s >> 33) as f64 / (1u64 << 31) as f64) - 0.5) * 4.0;
+                (i as f64 * 0.7) + noise
+            })
+            .collect();
+        let segs = segment_series(&ys, 3.0);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, ys.len());
+        for w in segs.windows(2) {
+            assert_eq!(w[0].end, w[1].start, "segments must be contiguous");
+        }
+        for s in &segs {
+            assert!(s.max_abs_err <= 3.0 + 1e-9 || s.len() <= 2);
+            assert!(!s.is_empty());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance must be positive")]
+    fn zero_tolerance_panics() {
+        let _ = segment_series(&[1.0, 2.0], 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty series")]
+    fn empty_series_panics() {
+        let _ = segment_series(&[], 1.0);
+    }
+
+    #[test]
+    fn diagnose_stable_series() {
+        let ys: Vec<f64> = (0..200).map(|i| 100.0 + ((i % 7) as f64 - 3.0) * 0.4).collect();
+        assert_eq!(diagnose(&ys, 5.0, 0.05), SeriesDiagnosis::Stable);
+    }
+
+    #[test]
+    fn diagnose_degrading_series() {
+        // A leak with GC staircase flats: net upward drift.
+        let ys: Vec<f64> = (0..300)
+            .map(|i| {
+                let base = i as f64 * 0.8;
+                let flat = if (i / 50) % 2 == 1 { -10.0 } else { 0.0 };
+                200.0 + base + flat
+            })
+            .collect();
+        match diagnose(&ys, 12.0, 0.05) {
+            SeriesDiagnosis::Degrading { mean_slope } => {
+                assert!(mean_slope > 0.4, "net drift ~0.8/step, got {mean_slope}")
+            }
+            other => panic!("expected Degrading, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn diagnose_anomalous_series() {
+        // Wild jumps: no locally linear model holds.
+        let mut s = 17u64;
+        let ys: Vec<f64> = (0..120)
+            .map(|_| {
+                s = s.wrapping_mul(6364136223846793005).wrapping_add(1);
+                ((s >> 33) as f64 / (1u64 << 31) as f64) * 1000.0
+            })
+            .collect();
+        match diagnose(&ys, 5.0, 0.05) {
+            SeriesDiagnosis::Anomalous { mean_segment_len } => {
+                assert!(mean_segment_len < 5.0)
+            }
+            other => panic!("expected Anomalous, got {other:?}"),
+        }
+    }
+}

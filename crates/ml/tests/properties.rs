@@ -1,0 +1,133 @@
+//! Property-based tests for the learners: fitting never panics on valid
+//! data, predictions stay finite, exact relations are recovered, and the
+//! evaluation metrics respect their defining inequalities.
+
+use aging_dataset::Dataset;
+use aging_ml::eval::{evaluate, EvalConfig};
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::m5p::M5pLearner;
+use aging_ml::regtree::RegTreeLearner;
+use aging_ml::{Learner, Regressor};
+use proptest::prelude::*;
+
+fn dataset_2d(points: &[(f64, f64, f64)]) -> Dataset {
+    let mut ds = Dataset::new(vec!["a".into(), "b".into()], "y");
+    for &(a, b, y) in points {
+        ds.push_row(vec![a, b], y).unwrap();
+    }
+    ds
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn linreg_recovers_exact_plane(
+        intercept in -100.0..100.0f64,
+        ca in -10.0..10.0f64,
+        cb in -10.0..10.0f64,
+        seeds in prop::collection::vec((-50.0..50.0f64, -50.0..50.0f64), 10..60),
+    ) {
+        let points: Vec<(f64, f64, f64)> =
+            seeds.iter().map(|&(a, b)| (a, b, intercept + ca * a + cb * b)).collect();
+        let ds = dataset_2d(&points);
+        let m = LinRegLearner::without_elimination().fit(&ds).unwrap();
+        for &(a, b, y) in &points {
+            let p = Regressor::predict(&m, &[a, b]);
+            prop_assert!((p - y).abs() < 1e-5_f64.max(y.abs() * 1e-6), "pred {p} vs {y}");
+        }
+    }
+
+    #[test]
+    fn m5p_predictions_finite_on_arbitrary_data(
+        points in prop::collection::vec((-1.0e4..1.0e4f64, -1.0e4..1.0e4f64, -1.0e6..1.0e6f64), 1..120),
+        probe in prop::collection::vec((-1.0e6..1.0e6f64, -1.0e6..1.0e6f64), 5),
+    ) {
+        let ds = dataset_2d(&points);
+        let m = M5pLearner::default().fit(&ds).unwrap();
+        for &(a, b) in &probe {
+            prop_assert!(m.predict(&[a, b]).is_finite());
+        }
+        prop_assert!(m.n_leaves() >= 1);
+        prop_assert_eq!(m.n_inner_nodes() + 1, m.n_leaves(), "binary tree shape");
+    }
+
+    #[test]
+    fn m5p_constant_target_predicts_constant(
+        points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64), 4..60),
+        target in -1.0e5..1.0e5f64,
+    ) {
+        let data: Vec<(f64, f64, f64)> = points.iter().map(|&(a, b)| (a, b, target)).collect();
+        let ds = dataset_2d(&data);
+        let m = M5pLearner::default().fit(&ds).unwrap();
+        prop_assert!((m.predict(&[0.0, 0.0]) - target).abs() < 1e-6_f64.max(target.abs() * 1e-9));
+    }
+
+    #[test]
+    fn regtree_prediction_within_target_range(
+        points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64, -1.0e4..1.0e4f64), 2..100),
+        probe in (-1.0e5..1.0e5f64, -1.0e5..1.0e5f64),
+    ) {
+        let ds = dataset_2d(&points);
+        let t = RegTreeLearner::default().fit(&ds).unwrap();
+        let lo = points.iter().map(|p| p.2).fold(f64::INFINITY, f64::min);
+        let hi = points.iter().map(|p| p.2).fold(f64::NEG_INFINITY, f64::max);
+        let p = t.predict(&[probe.0, probe.1]);
+        prop_assert!(p >= lo - 1e-9 && p <= hi + 1e-9, "constant leaves cannot extrapolate");
+    }
+
+    #[test]
+    fn smae_never_exceeds_mae_and_margin_monotone(
+        pairs in prop::collection::vec((0.0..2.0e4f64, 0.0..2.0e4f64), 1..80),
+    ) {
+        let preds: Vec<f64> = pairs.iter().map(|p| p.0).collect();
+        let actuals: Vec<f64> = pairs.iter().map(|p| p.1).collect();
+        let narrow = evaluate(&preds, &actuals, &EvalConfig { security_margin: 0.05, ..Default::default() });
+        let standard = evaluate(&preds, &actuals, &EvalConfig::default());
+        let wide = evaluate(&preds, &actuals, &EvalConfig { security_margin: 0.25, ..Default::default() });
+        prop_assert!(standard.s_mae <= standard.mae + 1e-9);
+        prop_assert!(wide.s_mae <= standard.s_mae + 1e-9);
+        prop_assert!(standard.s_mae <= narrow.s_mae + 1e-9);
+        // PRE/POST partition the instances.
+        let n_pre = actuals.iter().filter(|&&a| a > 600.0).count();
+        prop_assert_eq!(standard.pre_mae.is_some(), n_pre > 0);
+        prop_assert_eq!(standard.post_mae.is_some(), n_pre < actuals.len());
+    }
+
+    #[test]
+    fn m5p_training_mae_not_worse_than_global_mean_model(
+        points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64, -1.0e4..1.0e4f64), 20..150),
+    ) {
+        let ds = dataset_2d(&points);
+        let m = M5pLearner::default().fit(&ds).unwrap();
+        let mean = ds.target_mean().unwrap();
+        let mae_model: f64 = ds.iter().map(|r| (m.predict(r.values()) - r.target()).abs()).sum::<f64>() / ds.len() as f64;
+        let mae_mean: f64 = ds.iter().map(|r| (mean - r.target()).abs()).sum::<f64>() / ds.len() as f64;
+        // Allow a little slack: smoothing can cost a bit on pathological data.
+        prop_assert!(mae_model <= mae_mean * 1.25 + 1e-6, "model {mae_model} vs mean {mae_mean}");
+    }
+
+    #[test]
+    fn m5p_is_deterministic(
+        points in prop::collection::vec((-100.0..100.0f64, -100.0..100.0f64, -1.0e4..1.0e4f64), 5..80),
+    ) {
+        let ds = dataset_2d(&points);
+        let a = M5pLearner::default().fit(&ds).unwrap();
+        let b = M5pLearner::default().fit(&ds).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn arma_forecast_is_finite(
+        start in -1.0e3..1.0e3f64,
+        slope in -10.0..10.0f64,
+        n in 60usize..200,
+    ) {
+        let series: Vec<f64> = (0..n).map(|i| start + slope * i as f64).collect();
+        if let Ok(m) = aging_ml::arma::ArmaModel::fit(&series, 2, 1) {
+            for v in m.forecast(50) {
+                prop_assert!(v.is_finite());
+            }
+        }
+    }
+}

@@ -1,0 +1,363 @@
+//! The full variable catalogue — every row of the paper's Table 2 —
+//! and the streaming extractor that computes it per checkpoint.
+//!
+//! Naming convention (mirroring the paper's rows):
+//!
+//! - `swa_var_X` — the sliding-window-averaged consumption speed of
+//!   resource `X` ("SWA variation"), in units per second,
+//! - `inv_swa_X` — `1 / SWA variation` (capped),
+//! - `X_per_swa` — resource level divided by its SWA variation
+//!   ("Resource Used (R)/SWA"),
+//! - `*_per_th` — the same quantity divided by throughput,
+//! - `swa_used_X` — the sliding-window-averaged *level* of `X`
+//!   ("SWA Resource Used").
+
+use aging_dataset::{RateTracker, SlidingWindow};
+use aging_testbed::MetricSample;
+
+/// Cap used for `1/SWA`-style variables when the consumption speed is zero
+/// or negative (an idle resource has unbounded time to exhaustion but the
+/// feature must stay finite).
+pub const INVERSE_CAP: f64 = 1.0e6;
+
+/// Default sliding-window length `X` in checkpoints. The paper discusses
+/// the trade-off and its Experiment 4.2 narration implies 12 marks
+/// ("12 marks * 15 seconds per mark, 180 seconds").
+pub const DEFAULT_WINDOW: usize = 12;
+
+/// Every variable in the catalogue, in canonical order. Dataset columns and
+/// feature-set subsets all refer to these names.
+pub const ALL_VARIABLES: &[&str] = &[
+    // -- raw metrics (Table 2, upper block) --
+    "throughput",
+    "workload",
+    "response_time",
+    "system_load",
+    "disk_used",
+    "swap_free",
+    "num_processes",
+    "sys_mem_used",
+    "tomcat_mem_used",
+    "num_threads",
+    "http_connections",
+    "mysql_connections",
+    // -- heap zone metrics: Max MB, MB used, % used (Table 2) --
+    "young_max",
+    "old_max",
+    "young_used",
+    "old_used",
+    "young_pct_used",
+    "old_pct_used",
+    // -- SWA variation of young/old (2) --
+    "swa_var_young",
+    "swa_var_old",
+    // -- SWA variation (3): threads, tomcat mem, system mem --
+    "swa_var_threads",
+    "swa_var_tomcat_mem",
+    "swa_var_sys_mem",
+    // -- SWA variation / TH (2 + 2) --
+    "swa_var_tomcat_mem_per_th",
+    "swa_var_sys_mem_per_th",
+    "swa_var_young_per_th",
+    "swa_var_old_per_th",
+    // -- 1 / SWA (3 + 2) --
+    "inv_swa_threads",
+    "inv_swa_tomcat_mem",
+    "inv_swa_sys_mem",
+    "inv_swa_young",
+    "inv_swa_old",
+    // -- Young/Old used / SWA (2) --
+    "young_used_per_swa",
+    "old_used_per_swa",
+    // -- Resource used (R) / SWA (3) --
+    "threads_per_swa",
+    "tomcat_mem_per_swa",
+    "sys_mem_per_swa",
+    // -- (1/SWA variation) / TH (2 + 2) --
+    "inv_swa_tomcat_mem_per_th",
+    "inv_swa_sys_mem_per_th",
+    "inv_swa_young_per_th",
+    "inv_swa_old_per_th",
+    // -- (R/SWA variation) / TH (2 + 2) --
+    "tomcat_mem_per_swa_per_th",
+    "sys_mem_per_swa_per_th",
+    "young_per_swa_per_th",
+    "old_per_swa_per_th",
+    // -- SWA Resource Used (4): response time, throughput, sys mem, tomcat mem --
+    "swa_used_response_time",
+    "swa_used_throughput",
+    "swa_used_sys_mem",
+    "swa_used_tomcat_mem",
+];
+
+/// Index of `name` in [`ALL_VARIABLES`], if it is a known variable.
+pub fn variable_index(name: &str) -> Option<usize> {
+    ALL_VARIABLES.iter().position(|&v| v == name)
+}
+
+/// Whether a variable describes the Java heap ("the variables related with
+/// the Java Heap evolution" kept by the paper's Experiment 4.3 selection).
+pub fn is_heap_variable(name: &str) -> bool {
+    name.contains("young") || name.contains("old")
+}
+
+/// Streaming computer of the full variable vector.
+///
+/// Feed checkpoints in time order with [`FeatureExtractor::push`]; each call
+/// returns the complete, catalogue-ordered variable vector for that
+/// checkpoint. State (sliding windows, rate trackers) is carried across
+/// calls, so use one extractor per monitored execution.
+#[derive(Debug, Clone)]
+pub struct FeatureExtractor {
+    window: usize,
+    threads: RateTracker,
+    tomcat_mem: RateTracker,
+    sys_mem: RateTracker,
+    young: RateTracker,
+    old: RateTracker,
+    swa_response: SlidingWindow,
+    swa_throughput: SlidingWindow,
+    swa_sys_mem: SlidingWindow,
+    swa_tomcat_mem: SlidingWindow,
+}
+
+impl FeatureExtractor {
+    /// Creates an extractor with sliding windows of `window` checkpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        FeatureExtractor {
+            window,
+            threads: RateTracker::new(window),
+            tomcat_mem: RateTracker::new(window),
+            sys_mem: RateTracker::new(window),
+            young: RateTracker::new(window),
+            old: RateTracker::new(window),
+            swa_response: SlidingWindow::new(window),
+            swa_throughput: SlidingWindow::new(window),
+            swa_sys_mem: SlidingWindow::new(window),
+            swa_tomcat_mem: SlidingWindow::new(window),
+        }
+    }
+
+    /// The configured window length `X`.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Resets all windowed state (e.g. after a rejuvenation).
+    pub fn reset(&mut self) {
+        *self = FeatureExtractor::new(self.window);
+    }
+
+    /// Consumes one checkpoint and returns the full variable vector in
+    /// [`ALL_VARIABLES`] order.
+    pub fn push(&mut self, s: &MetricSample) -> Vec<f64> {
+        let t = s.time_secs;
+        self.threads.observe(t, s.num_threads);
+        self.tomcat_mem.observe(t, s.tomcat_mem_mb);
+        self.sys_mem.observe(t, s.system_mem_used_mb);
+        self.young.observe(t, s.young_used_mb);
+        self.old.observe(t, s.old_used_mb);
+        self.swa_response.push(s.response_time_ms);
+        self.swa_throughput.push(s.throughput_rps);
+        self.swa_sys_mem.push(s.system_mem_used_mb);
+        self.swa_tomcat_mem.push(s.tomcat_mem_mb);
+
+        let th = s.throughput_rps.max(1e-6);
+        let v_threads = self.threads.smoothed_speed();
+        let v_tomcat = self.tomcat_mem.smoothed_speed();
+        let v_sys = self.sys_mem.smoothed_speed();
+        let v_young = self.young.smoothed_speed();
+        let v_old = self.old.smoothed_speed();
+
+        let per_swa = |level: f64, speed: f64| {
+            if speed <= 0.0 {
+                INVERSE_CAP
+            } else {
+                (level / speed).min(INVERSE_CAP)
+            }
+        };
+
+        vec![
+            s.throughput_rps,
+            s.workload_ebs,
+            s.response_time_ms,
+            s.system_load,
+            s.disk_used_mb,
+            s.swap_free_mb,
+            s.num_processes,
+            s.system_mem_used_mb,
+            s.tomcat_mem_mb,
+            s.num_threads,
+            s.http_connections,
+            s.mysql_connections,
+            s.young_max_mb,
+            s.old_max_mb,
+            s.young_used_mb,
+            s.old_used_mb,
+            100.0 * s.young_used_mb / s.young_max_mb.max(1e-6),
+            100.0 * s.old_used_mb / s.old_max_mb.max(1e-6),
+            v_young,
+            v_old,
+            v_threads,
+            v_tomcat,
+            v_sys,
+            v_tomcat / th,
+            v_sys / th,
+            v_young / th,
+            v_old / th,
+            self.threads.inverse_speed(INVERSE_CAP),
+            self.tomcat_mem.inverse_speed(INVERSE_CAP),
+            self.sys_mem.inverse_speed(INVERSE_CAP),
+            self.young.inverse_speed(INVERSE_CAP),
+            self.old.inverse_speed(INVERSE_CAP),
+            per_swa(s.young_used_mb, v_young),
+            per_swa(s.old_used_mb, v_old),
+            per_swa(s.num_threads, v_threads),
+            per_swa(s.tomcat_mem_mb, v_tomcat),
+            per_swa(s.system_mem_used_mb, v_sys),
+            self.tomcat_mem.inverse_speed(INVERSE_CAP) / th,
+            self.sys_mem.inverse_speed(INVERSE_CAP) / th,
+            self.young.inverse_speed(INVERSE_CAP) / th,
+            self.old.inverse_speed(INVERSE_CAP) / th,
+            per_swa(s.tomcat_mem_mb, v_tomcat) / th,
+            per_swa(s.system_mem_used_mb, v_sys) / th,
+            per_swa(s.young_used_mb, v_young) / th,
+            per_swa(s.old_used_mb, v_old) / th,
+            self.swa_response.mean(),
+            self.swa_throughput.mean(),
+            self.swa_sys_mem.mean(),
+            self.swa_tomcat_mem.mean(),
+        ]
+    }
+}
+
+impl Default for FeatureExtractor {
+    fn default() -> Self {
+        FeatureExtractor::new(DEFAULT_WINDOW)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(t: f64, tomcat_mem: f64, threads: f64) -> MetricSample {
+        MetricSample {
+            time_secs: t,
+            throughput_rps: 14.0,
+            workload_ebs: 100.0,
+            response_time_ms: 50.0,
+            system_load: 0.1,
+            disk_used_mb: 9500.0,
+            swap_free_mb: 1024.0,
+            num_processes: 82.0,
+            system_mem_used_mb: 700.0 + tomcat_mem,
+            tomcat_mem_mb: tomcat_mem,
+            num_threads: threads,
+            http_connections: 2.0,
+            mysql_connections: 2.0,
+            young_max_mb: 128.0,
+            old_max_mb: 256.0,
+            young_used_mb: 40.0,
+            old_used_mb: tomcat_mem / 2.0,
+            heap_used_mb: 40.0 + tomcat_mem / 2.0,
+            gc_minor: 1.0,
+            gc_major: 0.0,
+            old_resizes: 0.0,
+            refused: 0.0,
+        }
+    }
+
+    #[test]
+    fn vector_matches_catalogue_length_and_is_finite() {
+        let mut fx = FeatureExtractor::default();
+        for i in 0..20 {
+            let row = fx.push(&sample(i as f64 * 15.0, 300.0 + i as f64, 76.0));
+            assert_eq!(row.len(), ALL_VARIABLES.len());
+            assert!(row.iter().all(|v| v.is_finite()), "non-finite at step {i}: {row:?}");
+        }
+    }
+
+    #[test]
+    fn variable_indices_are_consistent() {
+        for (i, name) in ALL_VARIABLES.iter().enumerate() {
+            assert_eq!(variable_index(name), Some(i));
+        }
+        assert_eq!(variable_index("not_a_variable"), None);
+    }
+
+    #[test]
+    fn no_duplicate_variable_names() {
+        let mut names: Vec<&str> = ALL_VARIABLES.to_vec();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), ALL_VARIABLES.len());
+    }
+
+    #[test]
+    fn consumption_speed_is_computed() {
+        let mut fx = FeatureExtractor::new(4);
+        // Tomcat memory grows 15 MB per 15 s checkpoint = 1 MB/s.
+        let mut last = Vec::new();
+        for i in 0..10 {
+            last = fx.push(&sample(i as f64 * 15.0, 300.0 + 15.0 * i as f64, 76.0));
+        }
+        let idx = variable_index("swa_var_tomcat_mem").unwrap();
+        assert!((last[idx] - 1.0).abs() < 1e-9, "speed {} != 1.0 MB/s", last[idx]);
+        let inv = variable_index("inv_swa_tomcat_mem").unwrap();
+        assert!((last[inv] - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn idle_resource_speed_is_zero_and_inverse_capped() {
+        let mut fx = FeatureExtractor::new(4);
+        let mut last = Vec::new();
+        for i in 0..6 {
+            last = fx.push(&sample(i as f64 * 15.0, 300.0, 76.0));
+        }
+        assert_eq!(last[variable_index("swa_var_tomcat_mem").unwrap()], 0.0);
+        assert_eq!(last[variable_index("inv_swa_tomcat_mem").unwrap()], INVERSE_CAP);
+        assert_eq!(last[variable_index("tomcat_mem_per_swa").unwrap()], INVERSE_CAP);
+    }
+
+    #[test]
+    fn percentages_are_computed() {
+        let mut fx = FeatureExtractor::default();
+        let row = fx.push(&sample(0.0, 300.0, 76.0));
+        let young_pct = row[variable_index("young_pct_used").unwrap()];
+        assert!((young_pct - 100.0 * 40.0 / 128.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn heap_variable_classification() {
+        assert!(is_heap_variable("young_used"));
+        assert!(is_heap_variable("swa_var_old"));
+        assert!(is_heap_variable("old_per_swa_per_th"));
+        assert!(!is_heap_variable("tomcat_mem_used"));
+        assert!(!is_heap_variable("num_threads"));
+    }
+
+    #[test]
+    fn reset_clears_windows() {
+        let mut fx = FeatureExtractor::new(3);
+        for i in 0..5 {
+            fx.push(&sample(i as f64 * 15.0, 300.0 + 30.0 * i as f64, 76.0));
+        }
+        fx.reset();
+        let row = fx.push(&sample(100.0, 300.0, 76.0));
+        assert_eq!(row[variable_index("swa_var_tomcat_mem").unwrap()], 0.0);
+    }
+
+    #[test]
+    fn swa_levels_smooth() {
+        let mut fx = FeatureExtractor::new(2);
+        fx.push(&sample(0.0, 100.0, 76.0));
+        let row = fx.push(&sample(15.0, 300.0, 76.0));
+        let idx = variable_index("swa_used_tomcat_mem").unwrap();
+        assert_eq!(row[idx], 200.0, "mean of the last two levels");
+    }
+}

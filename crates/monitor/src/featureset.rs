@@ -1,0 +1,233 @@
+//! Per-experiment variable subsets — the columns of the paper's Table 2.
+//!
+//! Each experiment trains its model on a specific subset of the catalogue:
+//!
+//! - **Experiment 4.1** (deterministic aging): everything *except* the heap
+//!   internals — "In this experiment, we did not add the heap information."
+//! - **Experiments 4.2 / 4.4**: the full catalogue.
+//! - **Experiment 4.3 complete**: the full catalogue (which the paper found
+//!   performed poorly — "the model was paying too much attention to
+//!   irrelevant attributes").
+//! - **Experiment 4.3 feature-selected**: only "the variables related with
+//!   the Java Heap evolution".
+
+use crate::catalog::{self, ALL_VARIABLES, DEFAULT_WINDOW};
+use serde::{Deserialize, Serialize};
+
+/// A named subset of the variable catalogue plus the sliding-window length.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FeatureSet {
+    name: String,
+    variables: Vec<String>,
+    window: usize,
+}
+
+impl FeatureSet {
+    /// Creates a feature set from explicit variable names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `variables` is empty, contains an unknown name, or
+    /// `window == 0`.
+    pub fn custom(
+        name: impl Into<String>,
+        variables: Vec<String>,
+        window: usize,
+    ) -> Self {
+        assert!(!variables.is_empty(), "a feature set needs at least one variable");
+        assert!(window > 0, "sliding window must be positive");
+        for v in &variables {
+            assert!(
+                catalog::variable_index(v).is_some(),
+                "unknown variable `{v}` in feature set"
+            );
+        }
+        FeatureSet { name: name.into(), variables, window }
+    }
+
+    /// The complete catalogue.
+    pub fn full() -> Self {
+        Self::custom(
+            "full",
+            ALL_VARIABLES.iter().map(|s| s.to_string()).collect(),
+            DEFAULT_WINDOW,
+        )
+    }
+
+    /// Experiment 4.1: everything except heap internals.
+    pub fn exp41() -> Self {
+        Self::custom(
+            "exp4.1",
+            ALL_VARIABLES
+                .iter()
+                .filter(|v| !catalog::is_heap_variable(v))
+                .map(|s| s.to_string())
+                .collect(),
+            DEFAULT_WINDOW,
+        )
+    }
+
+    /// Experiment 4.2: the full catalogue.
+    pub fn exp42() -> Self {
+        FeatureSet { name: "exp4.2".into(), ..Self::full() }
+    }
+
+    /// Sliding-window length for Experiment 4.3: the paper notes the window
+    /// "must be set by considering the expected noise and the frequency of
+    /// change in our scenario", and in 4.3 the 20-minute acquire/release
+    /// waves *are* the noise — "M5P can manage the periodic pattern and
+    /// extract from that, the real trend". One full cycle (2 × 20 min at
+    /// 15 s checkpoints = 160) averages the waves out into the net leak
+    /// rate; longer windows only add lag (verified by the window ablation).
+    pub const EXP43_WINDOW: usize = 160;
+
+    /// Experiment 4.3, first attempt: the full catalogue (long window, see
+    /// [`FeatureSet::EXP43_WINDOW`]).
+    pub fn exp43_full() -> Self {
+        FeatureSet { name: "exp4.3-complete".into(), ..Self::full() }
+            .with_window(Self::EXP43_WINDOW)
+    }
+
+    /// Experiment 4.3 after the paper's expert selection: heap variables
+    /// only (long window, see [`FeatureSet::EXP43_WINDOW`]).
+    pub fn exp43_heap() -> Self {
+        Self::custom(
+            "exp4.3-heap-selected",
+            ALL_VARIABLES
+                .iter()
+                .filter(|v| catalog::is_heap_variable(v))
+                .map(|s| s.to_string())
+                .collect(),
+            Self::EXP43_WINDOW,
+        )
+    }
+
+    /// Experiment 4.4: the full catalogue.
+    pub fn exp44() -> Self {
+        FeatureSet { name: "exp4.4".into(), ..Self::full() }
+    }
+
+    /// The set's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The selected variable names, in catalogue order of selection.
+    pub fn variables(&self) -> &[String] {
+        &self.variables
+    }
+
+    /// Number of selected variables.
+    pub fn len(&self) -> usize {
+        self.variables.len()
+    }
+
+    /// Whether the set is empty (never true for a constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.variables.is_empty()
+    }
+
+    /// The sliding-window length `X` used for the derived variables.
+    pub fn window(&self) -> usize {
+        self.window
+    }
+
+    /// Returns a copy with a different sliding-window length (used by the
+    /// window-length ablation bench).
+    pub fn with_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "sliding window must be positive");
+        self.window = window;
+        self
+    }
+
+    /// Indices of the selected variables in the full catalogue, in
+    /// selection order.
+    pub fn catalogue_indices(&self) -> Vec<usize> {
+        self.variables
+            .iter()
+            .map(|v| catalog::variable_index(v).expect("validated at construction"))
+            .collect()
+    }
+
+    /// Projects a full catalogue row onto this feature set.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `full_row` does not have catalogue length.
+    pub fn project(&self, full_row: &[f64]) -> Vec<f64> {
+        assert_eq!(full_row.len(), ALL_VARIABLES.len(), "expected a full catalogue row");
+        self.catalogue_indices().iter().map(|&i| full_row[i]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn full_covers_catalogue() {
+        let fs = FeatureSet::full();
+        assert_eq!(fs.len(), ALL_VARIABLES.len());
+        assert_eq!(fs.window(), DEFAULT_WINDOW);
+    }
+
+    #[test]
+    fn exp41_has_no_heap_variables() {
+        let fs = FeatureSet::exp41();
+        assert!(fs.variables().iter().all(|v| !catalog::is_heap_variable(v)));
+        assert!(fs.len() < ALL_VARIABLES.len());
+        assert!(fs.variables().iter().any(|v| v == "tomcat_mem_used"));
+    }
+
+    #[test]
+    fn exp43_heap_has_only_heap_variables() {
+        let fs = FeatureSet::exp43_heap();
+        assert!(fs.variables().iter().all(|v| catalog::is_heap_variable(v)));
+        assert!(fs.len() >= 10, "heap block of Table 2 is substantial, got {}", fs.len());
+    }
+
+    #[test]
+    fn exp41_and_exp43_heap_partition_catalogue() {
+        let a = FeatureSet::exp41().len();
+        let b = FeatureSet::exp43_heap().len();
+        assert_eq!(a + b, ALL_VARIABLES.len());
+    }
+
+    #[test]
+    fn projection_selects_right_values() {
+        let fs = FeatureSet::custom(
+            "t",
+            vec!["workload".into(), "throughput".into()],
+            4,
+        );
+        let mut row = vec![0.0; ALL_VARIABLES.len()];
+        row[catalog::variable_index("throughput").unwrap()] = 14.0;
+        row[catalog::variable_index("workload").unwrap()] = 100.0;
+        assert_eq!(fs.project(&row), vec![100.0, 14.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown variable")]
+    fn unknown_variable_panics() {
+        let _ = FeatureSet::custom("bad", vec!["nope".into()], 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one variable")]
+    fn empty_set_panics() {
+        let _ = FeatureSet::custom("bad", vec![], 4);
+    }
+
+    #[test]
+    fn with_window_changes_only_window() {
+        let fs = FeatureSet::exp42().with_window(24);
+        assert_eq!(fs.window(), 24);
+        assert_eq!(fs.len(), ALL_VARIABLES.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "full catalogue row")]
+    fn project_rejects_short_rows() {
+        let _ = FeatureSet::full().project(&[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,162 @@
+//! Time-to-failure labelling and dataset construction.
+//!
+//! "Our model will be trained using failure executions" (Section 2.2):
+//! every checkpoint of a run-to-crash execution is labelled with the time
+//! remaining until the crash. Executions that never crash are labelled with
+//! the paper's cap: "we have trained our model to declare that the time
+//! until crash is 3 hours (standing for 'very long' or 'infinite') when
+//! there is no aging".
+
+use crate::catalog::FeatureExtractor;
+use crate::featureset::FeatureSet;
+use aging_dataset::Dataset;
+use aging_testbed::RunTrace;
+
+/// The paper's "infinite TTF" stand-in: 3 hours, in seconds.
+pub const TTF_CAP_SECS: f64 = 10_800.0;
+
+/// Labels every checkpoint of `trace` with its time to failure in seconds,
+/// capped at `cap_secs`. For non-crashing runs every label is `cap_secs`.
+pub fn label_ttf(trace: &RunTrace, cap_secs: f64) -> Vec<f64> {
+    trace
+        .samples
+        .iter()
+        .map(|s| trace.ttf_from(s.time_secs).unwrap_or(cap_secs).min(cap_secs))
+        .collect()
+}
+
+/// Builds a labelled dataset from several monitored executions.
+///
+/// Each trace gets a fresh [`FeatureExtractor`] (sliding-window state must
+/// not leak across executions); rows are the feature-set projection of the
+/// catalogue vector, targets are capped TTFs.
+pub fn build_dataset(traces: &[&RunTrace], features: &FeatureSet, cap_secs: f64) -> Dataset {
+    let mut ds = Dataset::new(features.variables().to_vec(), "time_to_failure");
+    for trace in traces {
+        let mut fx = FeatureExtractor::new(features.window());
+        let targets = label_ttf(trace, cap_secs);
+        for (sample, ttf) in trace.samples.iter().zip(targets) {
+            let full = fx.push(sample);
+            ds.push_row(features.project(&full), ttf)
+                .expect("catalogue rows are finite and arity-correct");
+        }
+    }
+    ds
+}
+
+/// Builds a dataset from one execution with caller-supplied targets (used
+/// when the ground truth comes from frozen-rate forks rather than the run's
+/// own crash time — Experiments 4.2 and 4.4).
+///
+/// # Panics
+///
+/// Panics if `targets.len() != trace.samples.len()`.
+pub fn build_dataset_with_targets(
+    trace: &RunTrace,
+    features: &FeatureSet,
+    targets: &[f64],
+) -> Dataset {
+    assert_eq!(
+        targets.len(),
+        trace.samples.len(),
+        "one target per checkpoint required"
+    );
+    let mut ds = Dataset::new(features.variables().to_vec(), "time_to_failure");
+    let mut fx = FeatureExtractor::new(features.window());
+    for (sample, &ttf) in trace.samples.iter().zip(targets) {
+        let full = fx.push(sample);
+        ds.push_row(features.project(&full), ttf)
+            .expect("catalogue rows are finite and arity-correct");
+    }
+    ds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_testbed::{MemLeakSpec, Scenario};
+
+    fn crashing_trace() -> RunTrace {
+        Scenario::builder("t")
+            .emulated_browsers(100)
+            .memory_leak(MemLeakSpec::new(15))
+            .run_to_crash()
+            .build()
+            .run(42)
+    }
+
+    fn idle_trace() -> RunTrace {
+        Scenario::builder("idle").emulated_browsers(50).duration_minutes(10).build().run(1)
+    }
+
+    #[test]
+    fn crash_labels_decrease_to_zero() {
+        let trace = crashing_trace();
+        let labels = label_ttf(&trace, TTF_CAP_SECS);
+        assert_eq!(labels.len(), trace.samples.len());
+        for w in labels.windows(2) {
+            assert!(w[1] <= w[0] + 1e-9, "TTF must decrease monotonically");
+        }
+        let last = *labels.last().unwrap();
+        assert!(last < 60.0, "last checkpoint is within a minute of the crash, got {last}");
+    }
+
+    #[test]
+    fn idle_labels_are_capped() {
+        let trace = idle_trace();
+        let labels = label_ttf(&trace, TTF_CAP_SECS);
+        assert!(labels.iter().all(|&t| t == TTF_CAP_SECS));
+    }
+
+    #[test]
+    fn long_crash_run_labels_are_capped_early() {
+        let trace = crashing_trace();
+        let labels = label_ttf(&trace, 100.0);
+        assert_eq!(labels[0], 100.0, "early labels hit the cap");
+    }
+
+    #[test]
+    fn dataset_shape_and_targets() {
+        let trace = crashing_trace();
+        let fs = FeatureSet::exp42();
+        let ds = build_dataset(&[&trace], &fs, TTF_CAP_SECS);
+        assert_eq!(ds.len(), trace.samples.len());
+        assert_eq!(ds.n_attributes(), fs.len());
+        assert_eq!(ds.target_name(), "time_to_failure");
+        assert_eq!(ds.targets(), label_ttf(&trace, TTF_CAP_SECS).as_slice());
+    }
+
+    #[test]
+    fn multiple_traces_concatenate() {
+        let a = idle_trace();
+        let b = idle_trace();
+        let fs = FeatureSet::exp41();
+        let ds = build_dataset(&[&a, &b], &fs, TTF_CAP_SECS);
+        assert_eq!(ds.len(), a.samples.len() + b.samples.len());
+    }
+
+    #[test]
+    fn custom_targets_dataset() {
+        let trace = idle_trace();
+        let targets: Vec<f64> = (0..trace.samples.len()).map(|i| i as f64).collect();
+        let ds = build_dataset_with_targets(&trace, &FeatureSet::exp42(), &targets);
+        assert_eq!(ds.targets(), targets.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "one target per checkpoint")]
+    fn mismatched_targets_panic() {
+        let trace = idle_trace();
+        let _ = build_dataset_with_targets(&trace, &FeatureSet::exp42(), &[1.0]);
+    }
+
+    #[test]
+    fn heap_feature_dataset_has_heap_columns_only() {
+        let trace = idle_trace();
+        let ds = build_dataset(&[&trace], &FeatureSet::exp43_heap(), TTF_CAP_SECS);
+        assert!(ds
+            .attribute_names()
+            .iter()
+            .all(|n| n.contains("young") || n.contains("old")));
+    }
+}

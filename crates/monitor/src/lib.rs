@@ -1,0 +1,46 @@
+//! Monitoring subsystem: turns raw simulator checkpoints into the paper's
+//! Table-2 variable vectors and labelled training datasets.
+//!
+//! The paper samples the testbed every 15 seconds and feeds M5P a vector of
+//! raw metrics plus *derived* variables, "where the most important variable
+//! we add is the consumption speed from every resource under monitoring …
+//! smoothed out using averaging over a sliding window of recent
+//! instantaneous measurements" (Section 2.2). This crate implements:
+//!
+//! - [`catalog`] — the full variable catalogue (every row of the paper's
+//!   Table 2) and the streaming [`catalog::FeatureExtractor`] that computes
+//!   it checkpoint by checkpoint,
+//! - [`featureset`] — the per-experiment variable subsets (Experiment 4.1
+//!   omits heap internals; Experiment 4.3's expert selection keeps *only*
+//!   the Java-heap variables),
+//! - [`label`] — time-to-failure labelling of run-to-crash executions
+//!   (non-aging executions are labelled with the paper's 3-hour "infinite"
+//!   cap) and the [`label::build_dataset`] bridge into `aging-dataset`.
+//!
+//! # Example
+//!
+//! ```
+//! use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+//! use aging_testbed::{MemLeakSpec, Scenario};
+//!
+//! let trace = Scenario::builder("train")
+//!     .emulated_browsers(100)
+//!     .memory_leak(MemLeakSpec::new(15))
+//!     .run_to_crash()
+//!     .build()
+//!     .run(1);
+//! let ds = build_dataset(&[&trace], &FeatureSet::exp42(), TTF_CAP_SECS);
+//! assert_eq!(ds.len(), trace.samples.len());
+//! assert_eq!(ds.target_name(), "time_to_failure");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod catalog;
+pub mod featureset;
+pub mod label;
+
+pub use catalog::FeatureExtractor;
+pub use featureset::FeatureSet;
+pub use label::{build_dataset, build_dataset_with_targets, label_ttf, TTF_CAP_SECS};

@@ -1,0 +1,285 @@
+//! Simulation parameters, with defaults mirroring Table 1 of the paper
+//! ("Machine Description"): a 4-way Xeon application server with 2 GB RAM
+//! running Tomcat under jdk1.5 with a 1 GB heap, a 2-way client/DB machine,
+//! TPC-W clients and MySQL 5.
+
+use crate::tpcw::TpcwMix;
+use serde::{Deserialize, Serialize};
+
+/// Generational JVM heap parameters (jdk1.5-style collector).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HeapConfig {
+    /// Maximum heap size in MB (`-Xmx`); the paper uses 1 GB.
+    pub max_mb: f64,
+    /// Young generation capacity in MB (fixed, jdk1.5 default ≈ max/8).
+    pub young_mb: f64,
+    /// Initial Old generation committed size in MB (a fraction of the
+    /// maximum; the Heap Management System grows it on demand — the Figure 1
+    /// staircase).
+    pub old_initial_mb: f64,
+    /// Old generation growth increment in MB applied when a full collection
+    /// leaves occupancy above [`HeapConfig::old_grow_threshold`].
+    pub old_grow_step_mb: f64,
+    /// Occupancy fraction after full GC that triggers an Old resize.
+    pub old_grow_threshold: f64,
+    /// Permanent generation size in MB (constant during the experiments,
+    /// as the paper observes for Figure 2).
+    pub perm_mb: f64,
+    /// Fraction of transient Young data that survives a minor collection
+    /// and is promoted to Old (short-lived request garbage mostly dies).
+    pub survivor_fraction: f64,
+    /// Fraction of *promoted* (non-leaked, non-live) Old data that a full
+    /// collection reclaims.
+    pub major_collect_fraction: f64,
+    /// Pause cost of a minor collection in milliseconds.
+    pub minor_gc_pause_ms: f64,
+    /// Pause cost of a major collection in milliseconds.
+    pub major_gc_pause_ms: f64,
+    /// Heap footprint of every Java thread in MB — "every Java Thread has
+    /// an impact over the Tomcat Memory, because the Java thread consumes
+    /// Java memory by itself" (Section 4.4). This couples the two aging
+    /// resources of Experiment 4.4.
+    pub thread_heap_mb: f64,
+    /// Interval of the periodic full collection in seconds (jdk1.5 runs an
+    /// RMI-DGC-triggered full GC on a timer). `0` disables it.
+    pub periodic_full_gc_secs: u64,
+}
+
+impl Default for HeapConfig {
+    fn default() -> Self {
+        HeapConfig {
+            max_mb: 1024.0,
+            young_mb: 128.0,
+            old_initial_mb: 256.0,
+            old_grow_step_mb: 192.0,
+            old_grow_threshold: 0.75,
+            perm_mb: 64.0,
+            survivor_fraction: 0.004,
+            major_collect_fraction: 0.95,
+            minor_gc_pause_ms: 40.0,
+            major_gc_pause_ms: 900.0,
+            thread_heap_mb: 0.25,
+            periodic_full_gc_secs: 1800,
+        }
+    }
+}
+
+/// Host operating-system parameters for the application-server machine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Physical RAM in MB (Table 1: 2 GB).
+    pub ram_mb: f64,
+    /// Swap space in MB.
+    pub swap_mb: f64,
+    /// Memory used by the OS and other processes, in MB.
+    pub base_os_mb: f64,
+    /// Resident memory of the co-located monitoring agents etc., in MB.
+    pub base_tomcat_rss_mb: f64,
+    /// Kernel limit on threads the Tomcat process may own; exceeding it
+    /// crashes the server (`OutOfMemoryError: unable to create new native
+    /// thread`).
+    pub max_process_threads: u64,
+    /// Native stack size per Java thread, in MB (jdk1.5 default -Xss).
+    pub thread_stack_mb: f64,
+    /// Baseline number of OS processes reported by the monitor.
+    pub base_processes: u64,
+    /// Disk capacity in MB (logs slowly consume it).
+    pub disk_mb: f64,
+    /// Initial disk usage in MB.
+    pub disk_used_mb: f64,
+    /// Log bytes written per request, in MB (drives slow disk growth).
+    pub log_mb_per_request: f64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            ram_mb: 2048.0,
+            swap_mb: 1024.0,
+            base_os_mb: 300.0,
+            base_tomcat_rss_mb: 90.0,
+            max_process_threads: 1400,
+            thread_stack_mb: 1.0,
+            base_processes: 82,
+            disk_mb: 70_000.0,
+            disk_used_mb: 9_500.0,
+            log_mb_per_request: 0.0006,
+        }
+    }
+}
+
+/// Tomcat + MySQL service parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ServerConfig {
+    /// Size of the Tomcat worker thread pool.
+    pub worker_threads: u64,
+    /// Threads Tomcat owns besides workers (acceptor, housekeeping, …).
+    pub housekeeping_threads: u64,
+    /// Maximum queued + active HTTP connections before refusals.
+    pub max_http_connections: u64,
+    /// MySQL connection pool size.
+    pub mysql_pool: u64,
+    /// Mean CPU service time of a non-search interaction, in ms.
+    pub base_service_ms: f64,
+    /// Mean CPU service time of a search interaction, in ms (heavier: it
+    /// runs the modified `TPCW_Search_request_servlet`).
+    pub search_service_ms: f64,
+    /// Mean DB query time, in ms.
+    pub db_query_ms: f64,
+    /// Transient Young-generation allocation per request, in MB.
+    pub alloc_per_request_mb: f64,
+    /// Live session state per emulated browser, in MB (held in Old).
+    pub session_mb_per_eb: f64,
+    /// Resident memory of the MySQL server process, in MB.
+    pub mysql_rss_mb: f64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            worker_threads: 64,
+            housekeeping_threads: 12,
+            max_http_connections: 256,
+            mysql_pool: 48,
+            base_service_ms: 18.0,
+            search_service_ms: 42.0,
+            db_query_ms: 22.0,
+            alloc_per_request_mb: 0.30,
+            session_mb_per_eb: 0.35,
+            mysql_rss_mb: 380.0,
+        }
+    }
+}
+
+/// TPC-W workload parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadConfig {
+    /// Number of concurrent emulated browsers (constant during a run, per
+    /// the TPC-W specification).
+    pub emulated_browsers: u64,
+    /// Mean think time between consecutive requests of one EB, in ms
+    /// (TPC-W: negative-exponential with 7 s mean).
+    pub think_time_mean_ms: f64,
+    /// Upper truncation of the think time, in ms (TPC-W: 70 s).
+    pub think_time_max_ms: f64,
+    /// The TPC-W interaction mix (the paper uses *Shopping* everywhere).
+    pub mix: TpcwMix,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            emulated_browsers: 100,
+            think_time_mean_ms: 7_000.0,
+            think_time_max_ms: 70_000.0,
+            mix: TpcwMix::Shopping,
+        }
+    }
+}
+
+/// Full simulator configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// JVM heap parameters.
+    pub heap: HeapConfig,
+    /// Host OS parameters.
+    pub system: SystemConfig,
+    /// Tomcat/MySQL parameters.
+    pub server: ServerConfig,
+    /// Workload parameters.
+    pub workload: WorkloadConfig,
+    /// Monitoring checkpoint interval in ms (the paper samples every 15 s).
+    pub checkpoint_interval_ms: u64,
+    /// Hard wall on simulated time in ms, so non-crashing runs terminate
+    /// (12 h by default).
+    pub max_sim_time_ms: u64,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            heap: HeapConfig::default(),
+            system: SystemConfig::default(),
+            server: ServerConfig::default(),
+            workload: WorkloadConfig::default(),
+            checkpoint_interval_ms: 15_000,
+            max_sim_time_ms: 12 * 3600 * 1000,
+        }
+    }
+}
+
+impl SimConfig {
+    /// Validates internal consistency (young + perm must fit in the heap,
+    /// pools must be non-empty, …). Returns a list of problems, empty when
+    /// the configuration is sound.
+    pub fn validate(&self) -> Vec<String> {
+        let mut problems = Vec::new();
+        let h = &self.heap;
+        if h.young_mb + h.perm_mb + h.old_initial_mb > h.max_mb {
+            problems.push(format!(
+                "initial heap zones ({} MB) exceed max heap {} MB",
+                h.young_mb + h.perm_mb + h.old_initial_mb,
+                h.max_mb
+            ));
+        }
+        if !(0.0..=1.0).contains(&h.survivor_fraction) {
+            problems.push("survivor_fraction outside [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&h.major_collect_fraction) {
+            problems.push("major_collect_fraction outside [0,1]".into());
+        }
+        if !(0.0..=1.0).contains(&h.old_grow_threshold) {
+            problems.push("old_grow_threshold outside [0,1]".into());
+        }
+        if self.server.worker_threads == 0 {
+            problems.push("worker_threads must be positive".into());
+        }
+        if self.workload.emulated_browsers == 0 {
+            problems.push("emulated_browsers must be positive".into());
+        }
+        if self.workload.think_time_mean_ms <= 0.0 {
+            problems.push("think_time_mean_ms must be positive".into());
+        }
+        if self.checkpoint_interval_ms == 0 {
+            problems.push("checkpoint_interval_ms must be positive".into());
+        }
+        problems
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_valid() {
+        assert!(SimConfig::default().validate().is_empty());
+    }
+
+    #[test]
+    fn default_matches_table1() {
+        let c = SimConfig::default();
+        assert_eq!(c.heap.max_mb, 1024.0, "jdk1.5 with 1GB heap");
+        assert_eq!(c.system.ram_mb, 2048.0, "2 GB RAM");
+        assert_eq!(c.checkpoint_interval_ms, 15_000, "15 s checkpoints");
+        assert_eq!(c.workload.think_time_mean_ms, 7_000.0, "TPC-W think time");
+    }
+
+    #[test]
+    fn validation_catches_oversized_zones() {
+        let mut c = SimConfig::default();
+        c.heap.old_initial_mb = 2000.0;
+        assert!(c.validate().iter().any(|p| p.contains("exceed max heap")));
+    }
+
+    #[test]
+    fn validation_catches_bad_fractions_and_zeros() {
+        let mut c = SimConfig::default();
+        c.heap.survivor_fraction = 1.5;
+        c.server.worker_threads = 0;
+        c.workload.emulated_browsers = 0;
+        c.checkpoint_interval_ms = 0;
+        let problems = c.validate();
+        assert!(problems.len() >= 4, "expected many problems, got {problems:?}");
+    }
+}

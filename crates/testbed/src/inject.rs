@@ -1,0 +1,267 @@
+//! The paper's aging fault injectors (Section 3).
+//!
+//! - **Memory**: "we have modified a servlet (`TPCW_Search_request_servlet`)
+//!   which computes a random number between 0 and N. This number determines
+//!   how many requests use the servlet before the next memory consumption
+//!   is injected." Smaller `N` ⇒ faster leak; the leak rate is
+//!   workload-dependent because it is driven by servlet visits.
+//! - **Threads**: "At every injection, the system injects a random number of
+//!   threads between 0 and M, and determines how much time occurs until the
+//!   next injection, a random number (in seconds) between 0 and T." Thread
+//!   injection is independent of the workload.
+//! - **Periodic pattern** (Experiment 4.3 / Figure 2): alternating
+//!   *acquire* and *release* phases; with a faster acquire rate than
+//!   release rate, memory is retained every cycle and the aging hides
+//!   inside the waves.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Parameters of the memory-leak injector: leak [`MemLeakSpec::chunk_mb`]
+/// every `U(0..=n)` search-servlet requests.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MemLeakSpec {
+    /// The paper's `N` (15, 30 or 75 in the experiments).
+    pub n: u32,
+    /// MB injected per leak event (the paper injects 1 MB).
+    pub chunk_mb: f64,
+}
+
+impl MemLeakSpec {
+    /// A 1 MB-per-event leak with the given `N`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn new(n: u32) -> Self {
+        assert!(n > 0, "N must be positive");
+        MemLeakSpec { n, chunk_mb: 1.0 }
+    }
+
+    /// Expected leak rate in MB per search request.
+    ///
+    /// One injection cycle is `countdown + 1` requests with
+    /// `countdown ~ U(0..=n)`, so the mean period is `n/2 + 1` requests.
+    pub fn expected_mb_per_search(&self) -> f64 {
+        self.chunk_mb / (self.n as f64 / 2.0 + 1.0)
+    }
+}
+
+/// Parameters of the thread-leak injector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ThreadLeakSpec {
+    /// The paper's `M`: up to `M` threads per injection (15, 30 or 45).
+    pub m: u32,
+    /// The paper's `T`: up to `T` seconds between injections (60, 90, 120).
+    pub t_secs: u32,
+}
+
+impl ThreadLeakSpec {
+    /// Creates a spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m == 0` or `t_secs == 0`.
+    pub fn new(m: u32, t_secs: u32) -> Self {
+        assert!(m > 0, "M must be positive");
+        assert!(t_secs > 0, "T must be positive");
+        ThreadLeakSpec { m, t_secs }
+    }
+
+    /// Expected injection rate in threads per second
+    /// (`E[U(0..=m)] / E[U(0..=t)]`).
+    pub fn expected_threads_per_sec(&self) -> f64 {
+        (self.m as f64 / 2.0) / (self.t_secs as f64 / 2.0)
+    }
+}
+
+/// Parameters of the periodic acquire/release pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeriodicSpec {
+    /// `N` during the acquire phase (paper: 30).
+    pub acquire_n: u32,
+    /// `N` during the release phase (paper: 75).
+    pub release_n: u32,
+    /// Length of each phase in seconds (paper: 20 minutes).
+    pub phase_secs: u64,
+    /// MB moved per event (paper: 1 MB).
+    pub chunk_mb: f64,
+}
+
+impl PeriodicSpec {
+    /// The paper's Experiment 4.3 pattern: acquire at `N = 30`, release at
+    /// `N = 75`, 20-minute phases, 1 MB chunks.
+    pub fn paper_exp43() -> Self {
+        PeriodicSpec { acquire_n: 30, release_n: 75, phase_secs: 20 * 60, chunk_mb: 1.0 }
+    }
+}
+
+/// Runtime state of the memory-leak injector: counts search-servlet visits
+/// down to the next leak event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemLeakInjector {
+    spec: MemLeakSpec,
+    countdown: u32,
+    events: u64,
+}
+
+impl MemLeakInjector {
+    /// Creates the injector, drawing the first countdown.
+    pub fn new<R: Rng>(spec: MemLeakSpec, rng: &mut R) -> Self {
+        let countdown = rng.gen_range(0..=spec.n);
+        MemLeakInjector { spec, countdown, events: 0 }
+    }
+
+    /// Called on every search-servlet request; returns the MB to inject now
+    /// (0.0 for most calls).
+    pub fn on_search_request<R: Rng>(&mut self, rng: &mut R) -> f64 {
+        if self.countdown == 0 {
+            self.countdown = rng.gen_range(0..=self.spec.n);
+            self.events += 1;
+            self.spec.chunk_mb
+        } else {
+            self.countdown -= 1;
+            0.0
+        }
+    }
+
+    /// Number of leak events fired so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The spec this injector runs.
+    pub fn spec(&self) -> MemLeakSpec {
+        self.spec
+    }
+}
+
+/// Runtime state of the thread-leak injector.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ThreadLeakInjector {
+    spec: ThreadLeakSpec,
+    events: u64,
+}
+
+impl ThreadLeakInjector {
+    /// Creates the injector.
+    pub fn new(spec: ThreadLeakSpec) -> Self {
+        ThreadLeakInjector { spec, events: 0 }
+    }
+
+    /// Delay until the next injection, in ms: `U(0..=T)` seconds.
+    pub fn next_delay_ms<R: Rng>(&self, rng: &mut R) -> u64 {
+        u64::from(rng.gen_range(0..=self.spec.t_secs)) * 1000
+    }
+
+    /// Number of threads to spawn at an injection instant: `U(0..=M)`.
+    pub fn injection_size<R: Rng>(&mut self, rng: &mut R) -> u64 {
+        self.events += 1;
+        u64::from(rng.gen_range(0..=self.spec.m))
+    }
+
+    /// Number of injection instants so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+
+    /// The spec this injector runs.
+    pub fn spec(&self) -> ThreadLeakSpec {
+        self.spec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    #[should_panic(expected = "N must be positive")]
+    fn zero_n_panics() {
+        let _ = MemLeakSpec::new(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "M must be positive")]
+    fn zero_m_panics() {
+        let _ = ThreadLeakSpec::new(0, 60);
+    }
+
+    #[test]
+    #[should_panic(expected = "T must be positive")]
+    fn zero_t_panics() {
+        let _ = ThreadLeakSpec::new(15, 0);
+    }
+
+    #[test]
+    fn mem_leak_rate_matches_expectation() {
+        let spec = MemLeakSpec::new(30);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut inj = MemLeakInjector::new(spec, &mut rng);
+        let searches = 200_000;
+        let total: f64 = (0..searches).map(|_| inj.on_search_request(&mut rng)).sum();
+        let per_search = total / searches as f64;
+        let expected = spec.expected_mb_per_search();
+        assert!(
+            (per_search - expected).abs() < expected * 0.05,
+            "measured {per_search} MB/search vs expected {expected}"
+        );
+        assert!(inj.events() > 0);
+    }
+
+    #[test]
+    fn smaller_n_leaks_faster() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let mut fast = MemLeakInjector::new(MemLeakSpec::new(15), &mut rng);
+        let mut slow = MemLeakInjector::new(MemLeakSpec::new(75), &mut rng);
+        let mut fast_total = 0.0;
+        let mut slow_total = 0.0;
+        for _ in 0..100_000 {
+            fast_total += fast.on_search_request(&mut rng);
+            slow_total += slow.on_search_request(&mut rng);
+        }
+        assert!(fast_total > slow_total * 3.0, "N=15 must leak ~5x faster than N=75");
+    }
+
+    #[test]
+    fn thread_injection_rates() {
+        let spec = ThreadLeakSpec::new(30, 90);
+        let mut rng = StdRng::seed_from_u64(13);
+        let mut inj = ThreadLeakInjector::new(spec);
+        let rounds = 50_000;
+        let mut threads = 0u64;
+        let mut time_ms = 0u64;
+        for _ in 0..rounds {
+            time_ms += inj.next_delay_ms(&mut rng);
+            threads += inj.injection_size(&mut rng);
+        }
+        let per_sec = threads as f64 / (time_ms as f64 / 1000.0);
+        let expected = spec.expected_threads_per_sec();
+        assert!(
+            (per_sec - expected).abs() < expected * 0.1,
+            "measured {per_sec} threads/s vs expected {expected}"
+        );
+        assert_eq!(inj.events(), rounds);
+    }
+
+    #[test]
+    fn periodic_spec_paper_values() {
+        let p = PeriodicSpec::paper_exp43();
+        assert_eq!(p.acquire_n, 30);
+        assert_eq!(p.release_n, 75);
+        assert_eq!(p.phase_secs, 1200);
+        assert_eq!(p.chunk_mb, 1.0);
+        // Acquire faster than release => net retention per cycle.
+        let acquire_rate = MemLeakSpec { n: p.acquire_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
+        let release_rate = MemLeakSpec { n: p.release_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
+        assert!(acquire_rate > release_rate * 2.0);
+    }
+
+    #[test]
+    fn expected_rates_formulae() {
+        assert!((MemLeakSpec::new(30).expected_mb_per_search() - 1.0 / 16.0).abs() < 1e-12);
+        assert!((ThreadLeakSpec::new(30, 90).expected_threads_per_sec() - 15.0 / 45.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,466 @@
+//! The generational Java heap model.
+//!
+//! This is the substrate behind both of the paper's motivating examples
+//! (Section 2.1):
+//!
+//! - **Example 1** (Figure 1): the Old zone starts at a fraction of the
+//!   maximum heap and the "Heap Management System resizes it, allocating
+//!   more memory to it if available" when a full collection leaves it too
+//!   occupied. Between resizes the used memory grows progressively; right
+//!   after a resize+collection the OS-level curve goes flat (freed objects
+//!   do not shrink the resident set), producing the staircase the paper
+//!   shows at 2150 s, 4350 s and 5150 s.
+//! - **Example 2** (Figure 2): the JVM-level view (`young + old` used) can
+//!   wave up and down while the OS-level view stays constant, because the
+//!   OS only sees the high-water mark ([`crate::os`]).
+//!
+//! The model tracks four kinds of Old-generation bytes separately:
+//! *promoted garbage* (reclaimable by a major collection), *live* data
+//! (sessions, thread footprints — reachable, never reclaimed while the
+//! owner exists), *leaked* data (the injected aging — never reclaimable)
+//! and the transient Young contents.
+
+use crate::config::HeapConfig;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Error raised when the heap cannot satisfy an allocation even after a
+/// full collection and a resize attempt: the JVM throws `OutOfMemoryError`
+/// and Tomcat crashes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OutOfMemory;
+
+impl fmt::Display for OutOfMemory {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "java.lang.OutOfMemoryError: Java heap space")
+    }
+}
+
+impl std::error::Error for OutOfMemory {}
+
+/// Counters describing collector activity since the last drain.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct GcActivity {
+    /// Minor (Young) collections.
+    pub minor: u64,
+    /// Major (full) collections.
+    pub major: u64,
+    /// Old-zone resize events.
+    pub resizes: u64,
+    /// Accumulated stop-the-world pause, in ms.
+    pub pause_ms: f64,
+}
+
+/// The generational heap.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heap {
+    config: HeapConfig,
+    young_used: f64,
+    old_committed: f64,
+    /// Promoted short-lived garbage: reclaimable by a major collection.
+    old_promoted: f64,
+    /// Live data (sessions, thread stacks' heap footprint): not reclaimable.
+    old_live: f64,
+    /// Injected leaks: never reclaimable.
+    old_leaked: f64,
+    /// Running maximum of `young_used + old_used`: what the OS has seen
+    /// touched (Linux RSS never shrinks on free).
+    touched_high_water: f64,
+    activity: GcActivity,
+    total_minor: u64,
+    total_major: u64,
+    total_resizes: u64,
+}
+
+impl Heap {
+    /// Creates a heap in its initial state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is internally inconsistent (initial zones
+    /// exceeding the maximum heap).
+    pub fn new(config: HeapConfig) -> Self {
+        assert!(
+            config.young_mb + config.perm_mb + config.old_initial_mb <= config.max_mb,
+            "initial heap zones exceed the maximum heap size"
+        );
+        Heap {
+            config,
+            young_used: 0.0,
+            old_committed: config.old_initial_mb,
+            old_promoted: 0.0,
+            old_live: 0.0,
+            old_leaked: 0.0,
+            touched_high_water: 0.0,
+            activity: GcActivity::default(),
+            total_minor: 0,
+            total_major: 0,
+            total_resizes: 0,
+        }
+    }
+
+    /// MB used in the Young generation.
+    pub fn young_used(&self) -> f64 {
+        self.young_used
+    }
+
+    /// Young generation capacity in MB.
+    pub fn young_capacity(&self) -> f64 {
+        self.config.young_mb
+    }
+
+    /// MB used in the Old generation (promoted + live + leaked).
+    pub fn old_used(&self) -> f64 {
+        self.old_promoted + self.old_live + self.old_leaked
+    }
+
+    /// Currently committed Old generation capacity in MB.
+    pub fn old_committed(&self) -> f64 {
+        self.old_committed
+    }
+
+    /// Maximum capacity the Old generation may ever reach, in MB.
+    pub fn old_max(&self) -> f64 {
+        self.config.max_mb - self.config.young_mb - self.config.perm_mb
+    }
+
+    /// Permanent generation size in MB (constant).
+    pub fn perm_mb(&self) -> f64 {
+        self.config.perm_mb
+    }
+
+    /// MB of injected, unreclaimable leak currently held.
+    pub fn leaked_mb(&self) -> f64 {
+        self.old_leaked
+    }
+
+    /// MB of live (reachable) Old data currently held.
+    pub fn live_mb(&self) -> f64 {
+        self.old_live
+    }
+
+    /// Total used heap from the JVM perspective (`young + old`), in MB —
+    /// the grey line of the paper's Figure 2.
+    pub fn used_total(&self) -> f64 {
+        self.young_used + self.old_used()
+    }
+
+    /// High-water mark of the touched heap, in MB — what the OS resident
+    /// set reflects (the dark line of Figure 2).
+    pub fn touched_high_water(&self) -> f64 {
+        self.touched_high_water
+    }
+
+    /// Lifetime minor collection count.
+    pub fn total_minor_gcs(&self) -> u64 {
+        self.total_minor
+    }
+
+    /// Lifetime major collection count.
+    pub fn total_major_gcs(&self) -> u64 {
+        self.total_major
+    }
+
+    /// Lifetime Old-zone resize count.
+    pub fn total_resizes(&self) -> u64 {
+        self.total_resizes
+    }
+
+    /// Drains and returns collector activity accumulated since the last
+    /// call (the simulator folds the pause into response times and the
+    /// monitor reports per-interval GC counts).
+    pub fn drain_activity(&mut self) -> GcActivity {
+        std::mem::take(&mut self.activity)
+    }
+
+    fn bump_high_water(&mut self) {
+        let used = self.used_total();
+        if used > self.touched_high_water {
+            self.touched_high_water = used;
+        }
+    }
+
+    /// Allocates `mb` of transient data in the Young generation (request
+    /// processing). Triggers a minor collection when Young fills, which may
+    /// cascade into a major collection and an Old resize.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the cascade cannot free enough space.
+    pub fn allocate_transient(&mut self, mb: f64) -> Result<(), OutOfMemory> {
+        debug_assert!(mb >= 0.0);
+        self.young_used += mb;
+        self.bump_high_water();
+        while self.young_used >= self.config.young_mb {
+            self.minor_gc()?;
+        }
+        Ok(())
+    }
+
+    /// Injects `mb` of *leaked* memory (the paper's modified search
+    /// servlet): allocated transient, but retained forever. The leak is
+    /// accounted directly in Old (where it ends up after surviving minor
+    /// collections).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when Old cannot hold the leak even after a
+    /// full collection and resize.
+    pub fn leak(&mut self, mb: f64) -> Result<(), OutOfMemory> {
+        debug_assert!(mb >= 0.0);
+        self.old_leaked += mb;
+        self.bump_high_water();
+        self.ensure_old_fits()
+    }
+
+    /// Releases up to `mb` of previously leaked memory (the release phase
+    /// of the paper's periodic pattern, Experiment 4.3). Returns the amount
+    /// actually released.
+    pub fn release_leaked(&mut self, mb: f64) -> f64 {
+        let released = mb.min(self.old_leaked);
+        self.old_leaked -= released;
+        released
+    }
+
+    /// Registers `mb` of long-lived reachable data (session state, thread
+    /// heap footprint).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when Old cannot hold it.
+    pub fn add_live(&mut self, mb: f64) -> Result<(), OutOfMemory> {
+        debug_assert!(mb >= 0.0);
+        self.old_live += mb;
+        self.bump_high_water();
+        self.ensure_old_fits()
+    }
+
+    /// Removes `mb` of long-lived data (e.g. a session expiring). Clamped
+    /// at zero.
+    pub fn remove_live(&mut self, mb: f64) {
+        self.old_live = (self.old_live - mb).max(0.0);
+    }
+
+    /// Forces a full collection (the jdk1.5 periodic RMI-DGC full GC):
+    /// reclaims promoted garbage regardless of occupancy. Unlike the
+    /// demand-driven path this never errors — it only frees memory.
+    pub fn full_gc(&mut self) {
+        self.old_promoted *= 1.0 - self.config.major_collect_fraction;
+        self.young_used = 0.0;
+        self.activity.major += 1;
+        self.total_major += 1;
+        self.activity.pause_ms += self.config.major_gc_pause_ms;
+    }
+
+    /// Minor collection: most of Young dies, a survivor fraction is
+    /// promoted to Old.
+    fn minor_gc(&mut self) -> Result<(), OutOfMemory> {
+        let survivors = self.young_used * self.config.survivor_fraction;
+        self.young_used = 0.0;
+        self.old_promoted += survivors;
+        self.activity.minor += 1;
+        self.total_minor += 1;
+        self.activity.pause_ms += self.config.minor_gc_pause_ms;
+        self.ensure_old_fits()
+    }
+
+    /// Runs major collections / resizes until Old fits its contents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfMemory`] when the contents cannot fit in the maximum
+    /// Old capacity even after collecting all reclaimable garbage.
+    fn ensure_old_fits(&mut self) -> Result<(), OutOfMemory> {
+        if self.old_used() < self.old_committed {
+            return Ok(());
+        }
+        // Major collection: reclaim promoted garbage.
+        self.old_promoted *= 1.0 - self.config.major_collect_fraction;
+        self.activity.major += 1;
+        self.total_major += 1;
+        self.activity.pause_ms += self.config.major_gc_pause_ms;
+
+        // Resize if still occupied beyond the growth threshold (the
+        // Figure 1 staircase) or if it plainly does not fit.
+        let occupancy = self.old_used() / self.old_committed;
+        if occupancy >= self.config.old_grow_threshold {
+            let target = (self.old_committed + self.config.old_grow_step_mb).min(self.old_max());
+            if target > self.old_committed {
+                self.old_committed = target;
+                self.activity.resizes += 1;
+                self.total_resizes += 1;
+            }
+        }
+        if self.old_used() >= self.old_committed && self.old_committed >= self.old_max() {
+            return Err(OutOfMemory);
+        }
+        if self.old_used() >= self.old_committed {
+            // Could not free or grow enough in one step; recurse (bounded:
+            // either committed grows or we error out above).
+            return self.ensure_old_fits();
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap() -> Heap {
+        Heap::new(HeapConfig::default())
+    }
+
+    #[test]
+    fn initial_state() {
+        let h = heap();
+        assert_eq!(h.young_used(), 0.0);
+        assert_eq!(h.old_used(), 0.0);
+        assert_eq!(h.old_committed(), 256.0);
+        assert_eq!(h.old_max(), 1024.0 - 128.0 - 64.0);
+        assert_eq!(h.used_total(), 0.0);
+        assert_eq!(h.touched_high_water(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed the maximum")]
+    fn inconsistent_config_panics() {
+        let cfg = HeapConfig { old_initial_mb: 2000.0, ..Default::default() };
+        let _ = Heap::new(cfg);
+    }
+
+    #[test]
+    fn transient_allocation_triggers_minor_gc() {
+        let mut h = heap();
+        for _ in 0..500 {
+            h.allocate_transient(0.3).unwrap();
+        }
+        assert!(h.total_minor_gcs() >= 1, "150 MB through a 128 MB young must GC");
+        assert!(h.young_used() < h.young_capacity());
+        // Survivors were promoted.
+        assert!(h.old_used() > 0.0);
+    }
+
+    #[test]
+    fn young_alone_never_ooms() {
+        let mut h = heap();
+        // 10 GB of transient traffic: all garbage, never exhausts the heap.
+        for _ in 0..40_000 {
+            h.allocate_transient(0.25).unwrap();
+        }
+        assert!(h.old_used() < h.old_max());
+    }
+
+    #[test]
+    fn leaks_accumulate_and_eventually_oom() {
+        let mut h = heap();
+        let mut leaked = 0.0;
+        let result = loop {
+            match h.leak(1.0) {
+                Ok(()) => leaked += 1.0,
+                Err(e) => break e,
+            }
+            assert!(leaked < 10_000.0, "leak must OOM before 10 GB");
+        };
+        assert_eq!(result, OutOfMemory);
+        // The heap must have died only after committing everything it could.
+        assert!((h.old_committed() - h.old_max()).abs() < 1e-9);
+        assert!(h.leaked_mb() >= h.old_max() - 1.0);
+    }
+
+    #[test]
+    fn old_resizes_in_steps() {
+        let mut h = heap();
+        let initial = h.old_committed();
+        for _ in 0..300 {
+            h.leak(1.0).unwrap();
+        }
+        assert!(h.old_committed() > initial, "300 MB of leak must force a resize");
+        assert!(h.total_resizes() >= 1);
+        assert_eq!(
+            h.old_committed(),
+            initial + h.total_resizes() as f64 * HeapConfig::default().old_grow_step_mb
+        );
+    }
+
+    #[test]
+    fn release_leaked_clamps() {
+        let mut h = heap();
+        h.leak(10.0).unwrap();
+        assert_eq!(h.release_leaked(4.0), 4.0);
+        assert_eq!(h.leaked_mb(), 6.0);
+        assert_eq!(h.release_leaked(100.0), 6.0);
+        assert_eq!(h.leaked_mb(), 0.0);
+    }
+
+    #[test]
+    fn live_data_add_remove() {
+        let mut h = heap();
+        h.add_live(50.0).unwrap();
+        assert_eq!(h.live_mb(), 50.0);
+        h.remove_live(20.0);
+        assert_eq!(h.live_mb(), 30.0);
+        h.remove_live(100.0);
+        assert_eq!(h.live_mb(), 0.0, "removal clamps at zero");
+    }
+
+    #[test]
+    fn high_water_is_monotone_and_tracks_usage() {
+        let mut h = heap();
+        h.leak(100.0).unwrap();
+        let hw1 = h.touched_high_water();
+        assert!(hw1 >= 100.0);
+        h.release_leaked(100.0);
+        assert_eq!(h.touched_high_water(), hw1, "high water never shrinks");
+        h.leak(50.0).unwrap();
+        assert_eq!(h.touched_high_water(), hw1, "below the mark: unchanged");
+        h.leak(100.0).unwrap();
+        assert!(h.touched_high_water() > hw1);
+    }
+
+    #[test]
+    fn gc_activity_drains() {
+        let mut h = heap();
+        for _ in 0..1000 {
+            h.allocate_transient(0.3).unwrap();
+        }
+        let act = h.drain_activity();
+        assert!(act.minor > 0);
+        assert!(act.pause_ms > 0.0);
+        let again = h.drain_activity();
+        assert_eq!(again.minor, 0);
+        assert_eq!(again.pause_ms, 0.0);
+    }
+
+    #[test]
+    fn major_gc_reclaims_promoted_garbage() {
+        let cfg = HeapConfig { survivor_fraction: 0.5, ..Default::default() };
+        let mut h = Heap::new(cfg);
+        // Heavy promotion: old fills with reclaimable garbage, majors run,
+        // but no OOM because the garbage dies.
+        for _ in 0..10_000 {
+            h.allocate_transient(0.4).unwrap();
+        }
+        assert!(h.total_major_gcs() >= 1);
+        assert!(h.old_used() < h.old_max());
+    }
+
+    #[test]
+    fn oom_with_mixed_live_and_leak() {
+        let mut h = heap();
+        h.add_live(300.0).unwrap();
+        let mut result = Ok(());
+        for _ in 0..600 {
+            result = h.leak(1.0);
+            if result.is_err() {
+                break;
+            }
+        }
+        assert_eq!(result, Err(OutOfMemory), "live + leak > old_max must OOM");
+    }
+
+    #[test]
+    fn display_of_oom_mentions_java() {
+        assert!(OutOfMemory.to_string().contains("OutOfMemoryError"));
+    }
+}

@@ -1,0 +1,159 @@
+//! The operating-system view of the application server.
+//!
+//! The paper's second motivating example (Figure 2) hinges on a Linux
+//! behaviour this module reproduces: "when an application frees up some
+//! memory, the system does not recover this memory automatically: it only
+//! recovers it when required by other applications. Due to this behavior,
+//! if we monitor the OS memory consumed by an application it may look
+//! constant along time, but if we observe the Java Heap Memory, the
+//! application is releasing and consuming memory."
+//!
+//! Accordingly, the Tomcat resident set reported here is built from the
+//! heap's *touched high-water mark*, not its current usage.
+
+use crate::config::SystemConfig;
+use crate::jvm::Heap;
+use serde::{Deserialize, Serialize};
+
+/// Host-level accounting for the application-server machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OsView {
+    config: SystemConfig,
+    disk_used_mb: f64,
+    mysql_rss_mb: f64,
+}
+
+impl OsView {
+    /// Creates the host view.
+    pub fn new(config: SystemConfig, mysql_rss_mb: f64) -> Self {
+        OsView { config, disk_used_mb: config.disk_used_mb, mysql_rss_mb }
+    }
+
+    /// The OS-perspective resident set of the Tomcat process in MB: base
+    /// RSS + permanent generation + heap high-water + native thread stacks.
+    ///
+    /// This is the paper's "Tomcat Memory used, OS perspective" (dark lines
+    /// of Figures 1 and 2): it never decreases when the JVM frees objects.
+    pub fn tomcat_rss_mb(&self, heap: &Heap, process_threads: u64) -> f64 {
+        self.config.base_tomcat_rss_mb
+            + heap.perm_mb()
+            + heap.touched_high_water()
+            + process_threads as f64 * self.config.thread_stack_mb
+    }
+
+    /// Total system memory used in MB (OS + MySQL + Tomcat).
+    pub fn system_mem_used_mb(&self, heap: &Heap, process_threads: u64) -> f64 {
+        self.config.base_os_mb + self.mysql_rss_mb + self.tomcat_rss_mb(heap, process_threads)
+    }
+
+    /// Free swap in MB: swap starts being consumed once physical RAM is
+    /// exhausted.
+    pub fn swap_free_mb(&self, heap: &Heap, process_threads: u64) -> f64 {
+        let used = self.system_mem_used_mb(heap, process_threads);
+        let overflow = (used - self.config.ram_mb).max(0.0);
+        (self.config.swap_mb - overflow).max(0.0)
+    }
+
+    /// Whether physical memory + swap are exhausted (the machine cannot
+    /// back any further allocation: the process is killed).
+    pub fn memory_exhausted(&self, heap: &Heap, process_threads: u64) -> bool {
+        self.system_mem_used_mb(heap, process_threads)
+            >= self.config.ram_mb + self.config.swap_mb
+    }
+
+    /// Whether the process exceeds the kernel thread limit.
+    pub fn thread_limit_exceeded(&self, process_threads: u64) -> bool {
+        process_threads > self.config.max_process_threads
+    }
+
+    /// Accounts log output for `requests` completed requests.
+    pub fn log_requests(&mut self, requests: u64) {
+        self.disk_used_mb = (self.disk_used_mb
+            + requests as f64 * self.config.log_mb_per_request)
+            .min(self.config.disk_mb);
+    }
+
+    /// Disk space used in MB.
+    pub fn disk_used_mb(&self) -> f64 {
+        self.disk_used_mb
+    }
+
+    /// Number of OS processes reported by the monitor.
+    pub fn num_processes(&self) -> u64 {
+        self.config.base_processes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeapConfig;
+
+    fn setup() -> (OsView, Heap) {
+        (OsView::new(SystemConfig::default(), 380.0), Heap::new(HeapConfig::default()))
+    }
+
+    #[test]
+    fn rss_tracks_high_water_not_current_usage() {
+        let (os, mut heap) = setup();
+        let before = os.tomcat_rss_mb(&heap, 76);
+        heap.leak(200.0).unwrap();
+        let grown = os.tomcat_rss_mb(&heap, 76);
+        assert!(grown >= before + 200.0);
+        heap.release_leaked(200.0);
+        assert_eq!(
+            os.tomcat_rss_mb(&heap, 76),
+            grown,
+            "freed JVM memory must not shrink the OS view (Figure 2)"
+        );
+    }
+
+    #[test]
+    fn threads_add_stack_memory() {
+        let (os, heap) = setup();
+        let a = os.tomcat_rss_mb(&heap, 100);
+        let b = os.tomcat_rss_mb(&heap, 300);
+        assert!((b - a - 200.0).abs() < 1e-9, "1 MB stack per thread");
+    }
+
+    #[test]
+    fn swap_consumed_after_ram() {
+        let (os, mut heap) = setup();
+        assert_eq!(os.swap_free_mb(&heap, 76), 1024.0, "no pressure: all swap free");
+        // Push the high-water near the heap max plus lots of threads.
+        heap.leak(800.0).unwrap();
+        let free = os.swap_free_mb(&heap, 1200);
+        assert!(free < 1024.0, "800 MB heap + 1200 threads must dip into swap");
+    }
+
+    #[test]
+    fn memory_exhaustion_boundary() {
+        let (os, mut heap) = setup();
+        assert!(!os.memory_exhausted(&heap, 76));
+        heap.leak(800.0).unwrap();
+        assert!(os.memory_exhausted(&heap, 1700), "heap + 1700 stacks > RAM + swap");
+    }
+
+    #[test]
+    fn thread_limit() {
+        let (os, _) = setup();
+        assert!(!os.thread_limit_exceeded(1400));
+        assert!(os.thread_limit_exceeded(1401));
+    }
+
+    #[test]
+    fn disk_grows_with_requests_and_saturates() {
+        let (mut os, _) = setup();
+        let before = os.disk_used_mb();
+        os.log_requests(10_000);
+        assert!(os.disk_used_mb() > before);
+        os.log_requests(u64::MAX / 1_000_000);
+        assert!(os.disk_used_mb() <= SystemConfig::default().disk_mb);
+    }
+
+    #[test]
+    fn process_count_is_stable() {
+        let (os, _) = setup();
+        assert_eq!(os.num_processes(), 82);
+    }
+}

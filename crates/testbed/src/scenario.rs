@@ -1,0 +1,401 @@
+//! Phase-structured experiment descriptions.
+//!
+//! Every experiment of the paper is a sequence of *phases*: intervals with
+//! fixed injection parameters, changed every 20–30 minutes (Experiments
+//! 4.2–4.4) or held constant for the whole run (Experiment 4.1). A
+//! [`Scenario`] bundles the simulator configuration with its phase list;
+//! [`ScenarioBuilder`] provides the vocabulary the repro harness uses to
+//! spell out each experiment.
+
+use crate::config::SimConfig;
+use crate::inject::{MemLeakSpec, PeriodicSpec, ThreadLeakSpec};
+use crate::sim::{RunTrace, Simulator};
+use serde::{Deserialize, Serialize};
+
+/// How memory is injected during a phase.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum MemInjection {
+    /// No memory injection.
+    None,
+    /// Unreleasable leak (the pure aging of Experiments 4.1, 4.2, 4.4).
+    Leak(MemLeakSpec),
+    /// Releasable acquisition (the acquire half of the periodic pattern).
+    Acquire(MemLeakSpec),
+    /// Release of previously acquired memory (the release half).
+    Release(MemLeakSpec),
+}
+
+/// One experiment phase: a duration (or "until crash") with fixed injection
+/// parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Phase {
+    /// Human-readable phase label (shows up in figures).
+    pub name: String,
+    /// Phase length in ms; `None` runs until crash or the simulation cap.
+    pub duration_ms: Option<u64>,
+    /// Memory injection mode.
+    pub mem: MemInjection,
+    /// Thread injection, if any.
+    pub threads: Option<ThreadLeakSpec>,
+}
+
+impl Phase {
+    /// A phase with no injection at all.
+    pub fn idle(name: impl Into<String>, duration_ms: Option<u64>) -> Self {
+        Phase { name: name.into(), duration_ms, mem: MemInjection::None, threads: None }
+    }
+
+    /// A memory-leak phase.
+    pub fn leak(name: impl Into<String>, duration_ms: Option<u64>, spec: MemLeakSpec) -> Self {
+        Phase { name: name.into(), duration_ms, mem: MemInjection::Leak(spec), threads: None }
+    }
+
+    /// Attaches a thread-leak injector to the phase.
+    pub fn with_threads(mut self, spec: ThreadLeakSpec) -> Self {
+        self.threads = Some(spec);
+        self
+    }
+}
+
+/// A complete experiment description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Experiment name (used in traces and reports).
+    pub name: String,
+    /// Simulator configuration.
+    pub config: SimConfig,
+    /// Ordered phase list; the last phase may be unbounded.
+    pub phases: Vec<Phase>,
+}
+
+impl Scenario {
+    /// Starts building a scenario with default (Table 1) configuration.
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            config: SimConfig::default(),
+            phases: Vec::new(),
+            whole_run_mem: None,
+            whole_run_threads: None,
+            until_crash: false,
+        }
+    }
+
+    /// Runs the scenario to completion under `seed` and returns the trace.
+    pub fn run(&self, seed: u64) -> RunTrace {
+        Simulator::new(self, seed).run_to_completion()
+    }
+}
+
+/// Builder for [`Scenario`]; see [`Scenario::builder`].
+///
+/// # Example
+///
+/// ```
+/// use aging_testbed::{MemLeakSpec, Scenario, ThreadLeakSpec};
+///
+/// // The paper's Experiment 4.4 shape: phases combining two resources.
+/// let scenario = Scenario::builder("exp44")
+///     .emulated_browsers(100)
+///     .idle_phase_minutes(30)
+///     .leak_phase_minutes(30, MemLeakSpec::new(30), Some(ThreadLeakSpec::new(30, 90)))
+///     .leak_phase_minutes(30, MemLeakSpec::new(15), Some(ThreadLeakSpec::new(15, 120)))
+///     .final_leak_phase(MemLeakSpec::new(75), Some(ThreadLeakSpec::new(45, 60)))
+///     .build();
+/// assert_eq!(scenario.phases.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    name: String,
+    config: SimConfig,
+    phases: Vec<Phase>,
+    whole_run_mem: Option<MemLeakSpec>,
+    whole_run_threads: Option<ThreadLeakSpec>,
+    until_crash: bool,
+}
+
+impl ScenarioBuilder {
+    /// Replaces the whole simulator configuration.
+    pub fn config(mut self, config: SimConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the number of TPC-W emulated browsers.
+    pub fn emulated_browsers(mut self, ebs: u64) -> Self {
+        self.config.workload.emulated_browsers = ebs;
+        self
+    }
+
+    /// Whole-run memory leak (Experiment 4.1 style). Mutually exclusive
+    /// with explicit phases.
+    pub fn memory_leak(mut self, spec: MemLeakSpec) -> Self {
+        self.whole_run_mem = Some(spec);
+        self
+    }
+
+    /// Whole-run thread leak. Mutually exclusive with explicit phases.
+    pub fn thread_leak(mut self, spec: ThreadLeakSpec) -> Self {
+        self.whole_run_threads = Some(spec);
+        self
+    }
+
+    /// Marks the run as ending at the crash (or the simulation-time cap).
+    pub fn run_to_crash(mut self) -> Self {
+        self.until_crash = true;
+        self
+    }
+
+    /// Bounds the whole run to `minutes` (for non-crashing executions such
+    /// as the one-hour no-injection training run of Experiment 4.2).
+    pub fn duration_minutes(mut self, minutes: u64) -> Self {
+        self.until_crash = false;
+        if self.phases.is_empty() {
+            self.phases.push(Phase {
+                name: "whole-run".into(),
+                duration_ms: Some(minutes * 60_000),
+                mem: MemInjection::None,
+                threads: None,
+            });
+        }
+        self
+    }
+
+    /// Appends an explicit phase.
+    pub fn phase(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Appends an idle (no-injection) phase of `minutes`.
+    pub fn idle_phase_minutes(mut self, minutes: u64) -> Self {
+        let idx = self.phases.len();
+        self.phases.push(Phase::idle(format!("phase-{idx}-idle"), Some(minutes * 60_000)));
+        self
+    }
+
+    /// Appends a bounded leak phase, optionally with thread injection.
+    pub fn leak_phase_minutes(
+        mut self,
+        minutes: u64,
+        mem: MemLeakSpec,
+        threads: Option<ThreadLeakSpec>,
+    ) -> Self {
+        let idx = self.phases.len();
+        self.phases.push(Phase {
+            name: format!("phase-{idx}-N{}", mem.n),
+            duration_ms: Some(minutes * 60_000),
+            mem: MemInjection::Leak(mem),
+            threads,
+        });
+        self
+    }
+
+    /// Appends an unbounded final leak phase (runs until crash).
+    pub fn final_leak_phase(
+        mut self,
+        mem: MemLeakSpec,
+        threads: Option<ThreadLeakSpec>,
+    ) -> Self {
+        let idx = self.phases.len();
+        self.phases.push(Phase {
+            name: format!("phase-{idx}-N{}-final", mem.n),
+            duration_ms: None,
+            mem: MemInjection::Leak(mem),
+            threads,
+        });
+        self.until_crash = true;
+        self
+    }
+
+    /// Appends `cycles` acquire/release cycles of the periodic pattern
+    /// (Experiment 4.3: retention happens naturally because the acquire
+    /// rate exceeds the release rate).
+    pub fn periodic_cycles(mut self, spec: PeriodicSpec, cycles: u32) -> Self {
+        for c in 0..cycles {
+            self.phases.push(Phase {
+                name: format!("cycle-{c}-acquire"),
+                duration_ms: Some(spec.phase_secs * 1000),
+                mem: MemInjection::Acquire(MemLeakSpec { n: spec.acquire_n, chunk_mb: spec.chunk_mb }),
+                threads: None,
+            });
+            self.phases.push(Phase {
+                name: format!("cycle-{c}-release"),
+                duration_ms: Some(spec.phase_secs * 1000),
+                mem: MemInjection::Release(MemLeakSpec { n: spec.release_n, chunk_mb: spec.chunk_mb }),
+                threads: None,
+            });
+        }
+        self
+    }
+
+    /// Appends `cycles` normal/acquire/release cycles where the release
+    /// phase drains everything (the paper's second motivating example /
+    /// Figure 2: the application "returns to the initial state").
+    pub fn periodic_cycles_no_retention(mut self, spec: PeriodicSpec, cycles: u32) -> Self {
+        for c in 0..cycles {
+            self.phases.push(Phase::idle(
+                format!("cycle-{c}-normal"),
+                Some(spec.phase_secs * 1000),
+            ));
+            self.phases.push(Phase {
+                name: format!("cycle-{c}-acquire"),
+                duration_ms: Some(spec.phase_secs * 1000),
+                mem: MemInjection::Acquire(MemLeakSpec { n: spec.acquire_n, chunk_mb: spec.chunk_mb }),
+                threads: None,
+            });
+            // A fast release (small N) drains the whole acquisition within
+            // the phase; release clamps at zero so nothing is retained.
+            self.phases.push(Phase {
+                name: format!("cycle-{c}-release"),
+                duration_ms: Some(spec.phase_secs * 1000),
+                mem: MemInjection::Release(MemLeakSpec { n: 8, chunk_mb: spec.chunk_mb }),
+                threads: None,
+            });
+        }
+        self
+    }
+
+    /// Finalises the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails validation, or if whole-run
+    /// injections are combined with explicit phases, or if a non-final
+    /// phase is unbounded.
+    pub fn build(self) -> Scenario {
+        let problems = self.config.validate();
+        assert!(problems.is_empty(), "invalid simulator configuration: {problems:?}");
+
+        let mut phases = self.phases;
+        if phases.is_empty() {
+            assert!(
+                self.until_crash,
+                "a scenario needs phases, a duration, or run_to_crash()"
+            );
+            phases.push(Phase {
+                name: "whole-run".into(),
+                duration_ms: None,
+                mem: self.whole_run_mem.map_or(MemInjection::None, MemInjection::Leak),
+                threads: self.whole_run_threads,
+            });
+        } else {
+            assert!(
+                self.whole_run_mem.is_none() && self.whole_run_threads.is_none(),
+                "whole-run injections cannot be combined with explicit phases"
+            );
+            let last = phases.len() - 1;
+            for (i, p) in phases.iter().enumerate() {
+                assert!(
+                    p.duration_ms.is_some() || i == last,
+                    "only the final phase may be unbounded (phase {i} is not)"
+                );
+            }
+        }
+        Scenario { name: self.name, config: self.config, phases }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn whole_run_leak_builds_single_phase() {
+        let s = Scenario::builder("t")
+            .emulated_browsers(50)
+            .memory_leak(MemLeakSpec::new(30))
+            .run_to_crash()
+            .build();
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.config.workload.emulated_browsers, 50);
+        assert!(matches!(s.phases[0].mem, MemInjection::Leak(spec) if spec.n == 30));
+        assert_eq!(s.phases[0].duration_ms, None);
+    }
+
+    #[test]
+    fn explicit_phases_keep_order() {
+        let s = Scenario::builder("exp42")
+            .idle_phase_minutes(20)
+            .leak_phase_minutes(20, MemLeakSpec::new(30), None)
+            .leak_phase_minutes(20, MemLeakSpec::new(15), None)
+            .final_leak_phase(MemLeakSpec::new(75), None)
+            .build();
+        assert_eq!(s.phases.len(), 4);
+        assert!(matches!(s.phases[0].mem, MemInjection::None));
+        assert!(matches!(s.phases[3].mem, MemInjection::Leak(spec) if spec.n == 75));
+        assert_eq!(s.phases[3].duration_ms, None);
+    }
+
+    #[test]
+    fn periodic_cycles_alternate() {
+        let s = Scenario::builder("exp43")
+            .periodic_cycles(PeriodicSpec::paper_exp43(), 3)
+            .run_to_crash()
+            .build();
+        // run_to_crash with explicit bounded phases is fine: the run just
+        // ends when phases are exhausted or the crash arrives first.
+        assert_eq!(s.phases.len(), 6);
+        assert!(matches!(s.phases[0].mem, MemInjection::Acquire(_)));
+        assert!(matches!(s.phases[1].mem, MemInjection::Release(_)));
+    }
+
+    #[test]
+    fn no_retention_cycles_have_three_subphases() {
+        let s = Scenario::builder("fig2")
+            .periodic_cycles_no_retention(PeriodicSpec::paper_exp43(), 2)
+            .build();
+        assert_eq!(s.phases.len(), 6);
+        assert!(matches!(s.phases[0].mem, MemInjection::None));
+        assert!(matches!(s.phases[1].mem, MemInjection::Acquire(_)));
+        assert!(matches!(s.phases[2].mem, MemInjection::Release(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs phases")]
+    fn empty_scenario_panics() {
+        let _ = Scenario::builder("nope").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "only the final phase may be unbounded")]
+    fn unbounded_middle_phase_panics() {
+        let _ = Scenario::builder("bad")
+            .phase(Phase::leak("p0", None, MemLeakSpec::new(30)))
+            .phase(Phase::idle("p1", Some(1000)))
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot be combined")]
+    fn whole_run_plus_phases_panics() {
+        let _ = Scenario::builder("bad")
+            .memory_leak(MemLeakSpec::new(30))
+            .idle_phase_minutes(10)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid simulator configuration")]
+    fn invalid_config_panics() {
+        let mut cfg = SimConfig::default();
+        cfg.workload.emulated_browsers = 0;
+        let _ = Scenario::builder("bad").config(cfg).run_to_crash().build();
+    }
+
+    #[test]
+    fn duration_minutes_builds_bounded_idle_run() {
+        let s = Scenario::builder("train-idle").duration_minutes(60).build();
+        assert_eq!(s.phases.len(), 1);
+        assert_eq!(s.phases[0].duration_ms, Some(3_600_000));
+        assert!(matches!(s.phases[0].mem, MemInjection::None));
+    }
+
+    #[test]
+    fn phase_with_threads() {
+        let p = Phase::leak("x", Some(1000), MemLeakSpec::new(15))
+            .with_threads(ThreadLeakSpec::new(30, 90));
+        assert!(p.threads.is_some());
+    }
+}

@@ -1,0 +1,254 @@
+//! The Tomcat application-server model: a bounded worker pool with a
+//! bounded accept queue, plus the MySQL connection pool.
+//!
+//! The server is a pure state machine; the event loop in [`crate::sim`]
+//! drives it. Service times grow with pool contention and absorb pending
+//! garbage-collection pauses, which is how heap pressure surfaces as the
+//! response-time degradation that often accompanies software aging
+//! (Section 1 of the paper).
+
+use crate::config::ServerConfig;
+use crate::tpcw::Interaction;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// One in-flight TPC-W interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Request {
+    /// Index of the emulated browser that issued it.
+    pub eb: u64,
+    /// Arrival timestamp in simulation ms.
+    pub arrival_ms: u64,
+    /// The TPC-W interaction being performed.
+    pub interaction: Interaction,
+}
+
+/// Outcome of offering a request to the server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admission {
+    /// A worker picked the request up immediately.
+    Served,
+    /// All workers busy; the request waits in the accept queue.
+    Queued,
+    /// Queue full: connection refused.
+    Refused,
+}
+
+/// The Tomcat worker pool and accept queue.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tomcat {
+    config: ServerConfig,
+    active: u64,
+    queue: VecDeque<Request>,
+    refused_total: u64,
+}
+
+impl Tomcat {
+    /// Creates an idle server.
+    pub fn new(config: ServerConfig) -> Self {
+        Tomcat { config, active: 0, queue: VecDeque::new(), refused_total: 0 }
+    }
+
+    /// Requests currently being serviced by workers.
+    pub fn active(&self) -> u64 {
+        self.active
+    }
+
+    /// Requests waiting in the accept queue.
+    pub fn queued(&self) -> u64 {
+        self.queue.len() as u64
+    }
+
+    /// Open HTTP connections (active + queued) — a Table-2 variable.
+    pub fn http_connections(&self) -> u64 {
+        self.active + self.queued()
+    }
+
+    /// Busy MySQL pool connections — a Table-2 variable. Every in-service
+    /// interaction holds one connection, saturating at the pool size.
+    pub fn mysql_connections(&self) -> u64 {
+        self.active.min(self.config.mysql_pool)
+    }
+
+    /// UNIX-style load proxy: runnable work per worker.
+    pub fn system_load(&self) -> f64 {
+        (self.active + self.queued()) as f64 / self.config.worker_threads as f64
+    }
+
+    /// Threads the Tomcat process owns (pre-spawned pool + housekeeping),
+    /// excluding injected leak threads.
+    pub fn base_threads(&self) -> u64 {
+        self.config.worker_threads + self.config.housekeeping_threads
+    }
+
+    /// Lifetime count of refused connections.
+    pub fn refused_total(&self) -> u64 {
+        self.refused_total
+    }
+
+    /// Offers a request.
+    pub fn offer(&mut self, request: Request) -> Admission {
+        if self.active < self.config.worker_threads {
+            self.active += 1;
+            Admission::Served
+        } else if self.http_connections() < self.config.max_http_connections {
+            self.queue.push_back(request);
+            Admission::Queued
+        } else {
+            self.refused_total += 1;
+            Admission::Refused
+        }
+    }
+
+    /// Completes one in-service request; if the queue is non-empty the next
+    /// request immediately enters service and is returned so the caller can
+    /// schedule its completion.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no request is in service.
+    pub fn complete(&mut self) -> Option<Request> {
+        assert!(self.active > 0, "complete() without an active request");
+        match self.queue.pop_front() {
+            Some(next) => Some(next), // worker moves straight to the next request
+            None => {
+                self.active -= 1;
+                None
+            }
+        }
+    }
+
+    /// Samples the total service time for a request in ms: per-interaction
+    /// CPU time scaled by pool contention, plus the interaction's DB
+    /// round-trip weight, plus any stop-the-world GC pause the caller
+    /// passes in, with ±20 % multiplicative jitter.
+    pub fn service_time_ms<R: Rng>(
+        &self,
+        interaction: Interaction,
+        pending_gc_pause_ms: f64,
+        rng: &mut R,
+    ) -> f64 {
+        let base = self.config.base_service_ms * interaction.cpu_weight();
+        let db = self.config.db_query_ms * interaction.db_weight();
+        let contention = 1.0 + self.active as f64 / self.config.worker_threads as f64;
+        let jitter = rng.gen_range(0.8..1.2);
+        (base * contention + db) * jitter + pending_gc_pause_ms
+    }
+
+    /// Transient Young-generation allocation per request, in MB.
+    pub fn alloc_per_request_mb(&self) -> f64 {
+        self.config.alloc_per_request_mb
+    }
+
+    /// Live session footprint for `ebs` emulated browsers, in MB.
+    pub fn session_footprint_mb(&self, ebs: u64) -> f64 {
+        ebs as f64 * self.config.session_mb_per_eb
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn server() -> Tomcat {
+        Tomcat::new(ServerConfig::default())
+    }
+
+    fn req(eb: u64) -> Request {
+        Request { eb, arrival_ms: 0, interaction: Interaction::Home }
+    }
+
+    #[test]
+    fn admits_until_workers_full_then_queues_then_refuses() {
+        let cfg = ServerConfig { worker_threads: 2, max_http_connections: 3, ..Default::default() };
+        let mut t = Tomcat::new(cfg);
+        assert_eq!(t.offer(req(0)), Admission::Served);
+        assert_eq!(t.offer(req(1)), Admission::Served);
+        assert_eq!(t.offer(req(2)), Admission::Queued);
+        assert_eq!(t.offer(req(3)), Admission::Refused);
+        assert_eq!(t.active(), 2);
+        assert_eq!(t.queued(), 1);
+        assert_eq!(t.http_connections(), 3);
+        assert_eq!(t.refused_total(), 1);
+    }
+
+    #[test]
+    fn completion_promotes_queued_request() {
+        let cfg = ServerConfig { worker_threads: 1, ..Default::default() };
+        let mut t = Tomcat::new(cfg);
+        t.offer(req(0));
+        t.offer(req(1));
+        let next = t.complete();
+        assert_eq!(next, Some(req(1)));
+        assert_eq!(t.active(), 1, "worker moved on to the queued request");
+        assert_eq!(t.complete(), None);
+        assert_eq!(t.active(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "without an active request")]
+    fn complete_on_idle_panics() {
+        server().complete();
+    }
+
+    #[test]
+    fn mysql_connections_saturate_at_pool() {
+        let cfg = ServerConfig { worker_threads: 100, mysql_pool: 10, ..Default::default() };
+        let mut t = Tomcat::new(cfg);
+        for i in 0..50 {
+            t.offer(req(i));
+        }
+        assert_eq!(t.mysql_connections(), 10);
+    }
+
+    #[test]
+    fn service_time_grows_with_contention() {
+        let mut t = server();
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut idle_avg = 0.0;
+        for _ in 0..200 {
+            idle_avg += t.service_time_ms(Interaction::Home, 0.0, &mut rng);
+        }
+        idle_avg /= 200.0;
+        for i in 0..60 {
+            t.offer(req(i));
+        }
+        let mut busy_avg = 0.0;
+        for _ in 0..200 {
+            busy_avg += t.service_time_ms(Interaction::Home, 0.0, &mut rng);
+        }
+        busy_avg /= 200.0;
+        assert!(busy_avg > idle_avg * 1.3, "contention must slow requests: {idle_avg} vs {busy_avg}");
+    }
+
+    #[test]
+    fn search_is_heavier_and_gc_pause_is_absorbed() {
+        let t = server();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut search = 0.0;
+        let mut browse = 0.0;
+        for _ in 0..300 {
+            search += t.service_time_ms(Interaction::SearchRequest, 0.0, &mut rng);
+            browse += t.service_time_ms(Interaction::Home, 0.0, &mut rng);
+        }
+        assert!(search > browse);
+        let with_pause = t.service_time_ms(Interaction::Home, 900.0, &mut rng);
+        assert!(with_pause >= 900.0);
+    }
+
+    #[test]
+    fn load_and_threads() {
+        let mut t = server();
+        assert_eq!(t.system_load(), 0.0);
+        for i in 0..32 {
+            t.offer(req(i));
+        }
+        assert!((t.system_load() - 0.5).abs() < 1e-9);
+        assert_eq!(t.base_threads(), 76);
+        assert!((t.session_footprint_mb(100) - 35.0).abs() < 1e-9);
+        assert_eq!(t.alloc_per_request_mb(), 0.30);
+    }
+}

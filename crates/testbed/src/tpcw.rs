@@ -1,0 +1,274 @@
+//! The TPC-W interaction set and workload mixes.
+//!
+//! TPC-W defines fourteen web interactions and three workload mixes —
+//! *Browsing*, *Shopping* and *Ordering* — that differ in how often each
+//! interaction occurs in steady state. The paper runs every experiment
+//! "using shopping distribution" (Section 3); the other two mixes are
+//! implemented for completeness and for workload-sensitivity studies.
+//!
+//! The frequencies below approximate the steady-state interaction
+//! frequencies of the TPC-W specification's mix matrices. The single
+//! distinction the aging experiments depend on is preserved exactly: the
+//! *Search Request* interaction executes the modified
+//! `TPCW_Search_request_servlet`, which is where memory leaks are injected.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// One of the fourteen TPC-W web interactions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum Interaction {
+    /// Store home page.
+    Home,
+    /// New-products listing.
+    NewProducts,
+    /// Best-sellers listing (heavy DB aggregation).
+    BestSellers,
+    /// Product detail page.
+    ProductDetail,
+    /// The search form — the paper's modified, leak-injecting servlet.
+    SearchRequest,
+    /// Search result listing (DB-heavy).
+    SearchResults,
+    /// Shopping cart view/update.
+    ShoppingCart,
+    /// Customer registration.
+    CustomerRegistration,
+    /// Buy request (begins checkout).
+    BuyRequest,
+    /// Buy confirm (completes checkout; transactional).
+    BuyConfirm,
+    /// Order inquiry form.
+    OrderInquiry,
+    /// Order display (looks up an order).
+    OrderDisplay,
+    /// Admin request form.
+    AdminRequest,
+    /// Admin confirm (updates the catalogue).
+    AdminConfirm,
+}
+
+/// All interactions, in a fixed order (used for tables and iteration).
+pub const ALL_INTERACTIONS: [Interaction; 14] = [
+    Interaction::Home,
+    Interaction::NewProducts,
+    Interaction::BestSellers,
+    Interaction::ProductDetail,
+    Interaction::SearchRequest,
+    Interaction::SearchResults,
+    Interaction::ShoppingCart,
+    Interaction::CustomerRegistration,
+    Interaction::BuyRequest,
+    Interaction::BuyConfirm,
+    Interaction::OrderInquiry,
+    Interaction::OrderDisplay,
+    Interaction::AdminRequest,
+    Interaction::AdminConfirm,
+];
+
+impl Interaction {
+    /// Whether this interaction executes the modified search servlet (the
+    /// memory-leak injection point).
+    pub fn hits_search_servlet(self) -> bool {
+        matches!(self, Interaction::SearchRequest)
+    }
+
+    /// Relative CPU cost of the servlet work (1.0 = a plain page).
+    pub fn cpu_weight(self) -> f64 {
+        match self {
+            Interaction::Home => 1.0,
+            Interaction::NewProducts => 1.2,
+            Interaction::BestSellers => 1.6,
+            Interaction::ProductDetail => 1.0,
+            Interaction::SearchRequest => 2.3, // the modified servlet computes the injection draw
+            Interaction::SearchResults => 1.8,
+            Interaction::ShoppingCart => 1.3,
+            Interaction::CustomerRegistration => 1.1,
+            Interaction::BuyRequest => 1.4,
+            Interaction::BuyConfirm => 1.9,
+            Interaction::OrderInquiry => 0.8,
+            Interaction::OrderDisplay => 1.2,
+            Interaction::AdminRequest => 0.9,
+            Interaction::AdminConfirm => 1.5,
+        }
+    }
+
+    /// Relative DB round-trip weight (1.0 = one indexed query).
+    pub fn db_weight(self) -> f64 {
+        match self {
+            Interaction::Home => 0.6,
+            Interaction::NewProducts => 1.4,
+            Interaction::BestSellers => 2.4, // top-k aggregation over recent orders
+            Interaction::ProductDetail => 0.8,
+            Interaction::SearchRequest => 0.4,
+            Interaction::SearchResults => 2.0,
+            Interaction::ShoppingCart => 1.1,
+            Interaction::CustomerRegistration => 0.7,
+            Interaction::BuyRequest => 1.2,
+            Interaction::BuyConfirm => 2.2, // transactional insert
+            Interaction::OrderInquiry => 0.3,
+            Interaction::OrderDisplay => 1.3,
+            Interaction::AdminRequest => 0.5,
+            Interaction::AdminConfirm => 1.6,
+        }
+    }
+}
+
+/// One of TPC-W's three workload mixes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TpcwMix {
+    /// Browsing-dominated (WIPSb).
+    Browsing,
+    /// The balanced default the paper uses everywhere (WIPS).
+    #[default]
+    Shopping,
+    /// Ordering-dominated (WIPSo).
+    Ordering,
+}
+
+impl TpcwMix {
+    /// Steady-state interaction frequencies (sum to 1.0), in
+    /// [`ALL_INTERACTIONS`] order.
+    pub fn frequencies(self) -> [f64; 14] {
+        match self {
+            TpcwMix::Browsing => [
+                0.2876, 0.1103, 0.1103, 0.2102, 0.1209, 0.1103, 0.0204, 0.0082, 0.0075, 0.0069,
+                0.0030, 0.0025, 0.0010, 0.0009,
+            ],
+            TpcwMix::Shopping => [
+                0.1600, 0.0500, 0.0500, 0.1700, 0.2000, 0.1700, 0.1160, 0.0300, 0.0260, 0.0120,
+                0.0075, 0.0066, 0.0010, 0.0009,
+            ],
+            TpcwMix::Ordering => [
+                0.0912, 0.0046, 0.0046, 0.1235, 0.1453, 0.1308, 0.1353, 0.1286, 0.1273, 0.1018,
+                0.0025, 0.0022, 0.0012, 0.0011,
+            ],
+        }
+    }
+
+    /// Probability that an interaction hits the search servlet under this
+    /// mix.
+    pub fn search_servlet_fraction(self) -> f64 {
+        let freqs = self.frequencies();
+        ALL_INTERACTIONS
+            .iter()
+            .zip(freqs)
+            .filter(|(i, _)| i.hits_search_servlet())
+            .map(|(_, f)| f)
+            .sum()
+    }
+
+    /// Samples an interaction according to the mix frequencies.
+    pub fn sample<R: Rng>(self, rng: &mut R) -> Interaction {
+        let mut u: f64 = rng.gen_range(0.0..1.0);
+        let freqs = self.frequencies();
+        for (interaction, f) in ALL_INTERACTIONS.iter().zip(freqs) {
+            if u < f {
+                return *interaction;
+            }
+            u -= f;
+        }
+        // Floating-point slack: the frequencies sum to ~1.0.
+        Interaction::Home
+    }
+
+    /// Mean CPU weight of an interaction under this mix.
+    pub fn mean_cpu_weight(self) -> f64 {
+        ALL_INTERACTIONS
+            .iter()
+            .zip(self.frequencies())
+            .map(|(i, f)| i.cpu_weight() * f)
+            .sum()
+    }
+
+    /// Mean DB weight of an interaction under this mix.
+    pub fn mean_db_weight(self) -> f64 {
+        ALL_INTERACTIONS
+            .iter()
+            .zip(self.frequencies())
+            .map(|(i, f)| i.db_weight() * f)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashMap;
+
+    #[test]
+    fn frequencies_sum_to_one() {
+        for mix in [TpcwMix::Browsing, TpcwMix::Shopping, TpcwMix::Ordering] {
+            let sum: f64 = mix.frequencies().iter().sum();
+            assert!((sum - 1.0).abs() < 1e-3, "{mix:?} frequencies sum to {sum}");
+        }
+    }
+
+    #[test]
+    fn shopping_search_fraction_is_twenty_percent() {
+        let f = TpcwMix::Shopping.search_servlet_fraction();
+        assert!((f - 0.20).abs() < 1e-9, "shopping mix search fraction {f}");
+    }
+
+    #[test]
+    fn browsing_searches_less_ordering_between() {
+        let b = TpcwMix::Browsing.search_servlet_fraction();
+        let s = TpcwMix::Shopping.search_servlet_fraction();
+        let o = TpcwMix::Ordering.search_servlet_fraction();
+        assert!(b < s, "browsing ({b}) searches less than shopping ({s})");
+        assert!(o < s && o > b);
+    }
+
+    #[test]
+    fn sampling_matches_frequencies() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mix = TpcwMix::Shopping;
+        let n = 200_000;
+        let mut counts: HashMap<Interaction, usize> = HashMap::new();
+        for _ in 0..n {
+            *counts.entry(mix.sample(&mut rng)).or_default() += 1;
+        }
+        for (interaction, expected) in ALL_INTERACTIONS.iter().zip(mix.frequencies()) {
+            let measured = *counts.get(interaction).unwrap_or(&0) as f64 / n as f64;
+            assert!(
+                (measured - expected).abs() < 0.01,
+                "{interaction:?}: measured {measured}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn ordering_mix_buys_more() {
+        let idx = |i: Interaction| ALL_INTERACTIONS.iter().position(|&x| x == i).unwrap();
+        let buy = idx(Interaction::BuyConfirm);
+        assert!(TpcwMix::Ordering.frequencies()[buy] > 10.0 * TpcwMix::Browsing.frequencies()[buy]);
+    }
+
+    #[test]
+    fn weights_are_positive_and_search_is_heavy() {
+        for i in ALL_INTERACTIONS {
+            assert!(i.cpu_weight() > 0.0);
+            assert!(i.db_weight() > 0.0);
+        }
+        assert!(Interaction::SearchRequest.cpu_weight() > Interaction::Home.cpu_weight());
+        assert!(Interaction::BestSellers.db_weight() > Interaction::Home.db_weight());
+    }
+
+    #[test]
+    fn only_search_request_hits_the_servlet() {
+        let hits: Vec<_> =
+            ALL_INTERACTIONS.iter().filter(|i| i.hits_search_servlet()).collect();
+        assert_eq!(hits, vec![&Interaction::SearchRequest]);
+    }
+
+    #[test]
+    fn mean_weights_are_sane() {
+        for mix in [TpcwMix::Browsing, TpcwMix::Shopping, TpcwMix::Ordering] {
+            assert!((0.5..3.0).contains(&mix.mean_cpu_weight()));
+            assert!((0.3..3.0).contains(&mix.mean_db_weight()));
+        }
+    }
+}

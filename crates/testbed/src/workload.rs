@@ -1,0 +1,119 @@
+//! TPC-W emulated browsers.
+//!
+//! TPC-W clients "access the web site in sessions … Between two consecutive
+//! requests from the same EB, TPC-W computes a thinking time". Think times
+//! follow the spec's truncated negative-exponential distribution (7 s mean,
+//! 70 s cap) and the interaction mix is the *shopping* distribution the
+//! paper uses throughout, reduced to the one distinction the experiments
+//! depend on: whether an interaction executes the (modified, leak-injecting)
+//! search servlet.
+
+use crate::config::WorkloadConfig;
+use crate::tpcw::{Interaction, TpcwMix};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// The emulated-browser population driving the server.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Workload {
+    config: WorkloadConfig,
+}
+
+impl Workload {
+    /// Creates a workload generator.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate (zero browsers or
+    /// non-positive think time).
+    pub fn new(config: WorkloadConfig) -> Self {
+        assert!(config.emulated_browsers > 0, "need at least one emulated browser");
+        assert!(config.think_time_mean_ms > 0.0, "think time mean must be positive");
+        Workload { config }
+    }
+
+    /// Number of concurrent emulated browsers (constant per TPC-W).
+    pub fn emulated_browsers(&self) -> u64 {
+        self.config.emulated_browsers
+    }
+
+    /// Samples a think time in ms: truncated negative exponential.
+    pub fn think_time_ms<R: Rng>(&self, rng: &mut R) -> f64 {
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let t = -self.config.think_time_mean_ms * u.ln();
+        t.min(self.config.think_time_max_ms)
+    }
+
+    /// Samples the next interaction from the configured TPC-W mix.
+    pub fn sample_interaction<R: Rng>(&self, rng: &mut R) -> Interaction {
+        self.config.mix.sample(rng)
+    }
+
+    /// The TPC-W mix in force.
+    pub fn mix(&self) -> TpcwMix {
+        self.config.mix
+    }
+
+    /// Expected steady-state request rate in requests/second (each EB
+    /// cycles think → request; service time is negligible next to the
+    /// think time).
+    pub fn expected_rps(&self) -> f64 {
+        self.config.emulated_browsers as f64 / (self.config.think_time_mean_ms / 1000.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn workload(ebs: u64) -> Workload {
+        Workload::new(WorkloadConfig { emulated_browsers: ebs, ..Default::default() })
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one emulated browser")]
+    fn zero_ebs_panics() {
+        let _ = Workload::new(WorkloadConfig { emulated_browsers: 0, ..Default::default() });
+    }
+
+    #[test]
+    fn think_time_mean_is_close_to_config() {
+        let w = workload(100);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 20_000;
+        let mean: f64 = (0..n).map(|_| w.think_time_ms(&mut rng)).sum::<f64>() / n as f64;
+        // Truncation at 70 s shaves a little off the 7 s mean.
+        assert!((6_300.0..7_300.0).contains(&mean), "mean think time {mean}");
+    }
+
+    #[test]
+    fn think_time_respects_truncation() {
+        let w = workload(1);
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50_000 {
+            let t = w.think_time_ms(&mut rng);
+            assert!(t > 0.0 && t <= 70_000.0);
+        }
+    }
+
+    #[test]
+    fn search_servlet_fraction_matches_shopping_mix() {
+        let w = workload(50);
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 50_000;
+        let hits = (0..n)
+            .filter(|_| w.sample_interaction(&mut rng).hits_search_servlet())
+            .count();
+        let frac = hits as f64 / n as f64;
+        assert!((0.185..0.215).contains(&frac), "search fraction {frac}");
+        assert_eq!(w.mix(), crate::tpcw::TpcwMix::Shopping);
+    }
+
+    #[test]
+    fn expected_rps_scales_with_population() {
+        assert!((workload(100).expected_rps() - 14.2857).abs() < 0.01);
+        assert!((workload(25).expected_rps() - 3.5714).abs() < 0.01);
+    }
+}

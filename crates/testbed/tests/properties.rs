@@ -1,0 +1,159 @@
+//! Property-based tests for the testbed: heap accounting invariants under
+//! arbitrary operation sequences, OS-view monotonicity, and simulator
+//! determinism across seeds and configurations.
+
+use aging_testbed::config::HeapConfig;
+use aging_testbed::jvm::Heap;
+use aging_testbed::{MemLeakSpec, Scenario};
+use proptest::prelude::*;
+
+/// A random heap operation.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    Transient(f64),
+    Leak(f64),
+    Release(f64),
+    AddLive(f64),
+    RemoveLive(f64),
+    FullGc,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0.01..2.0f64).prop_map(Op::Transient),
+        (0.01..4.0f64).prop_map(Op::Leak),
+        (0.01..8.0f64).prop_map(Op::Release),
+        (0.01..2.0f64).prop_map(Op::AddLive),
+        (0.01..4.0f64).prop_map(Op::RemoveLive),
+        Just(Op::FullGc),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn heap_invariants_hold_under_any_op_sequence(ops in prop::collection::vec(op_strategy(), 1..400)) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut live_added = 0.0f64;
+        for op in ops {
+            let result = match op {
+                Op::Transient(mb) => heap.allocate_transient(mb),
+                Op::Leak(mb) => heap.leak(mb),
+                Op::Release(mb) => {
+                    heap.release_leaked(mb);
+                    Ok(())
+                }
+                Op::AddLive(mb) => {
+                    live_added += mb;
+                    heap.add_live(mb)
+                }
+                Op::RemoveLive(mb) => {
+                    heap.remove_live(mb);
+                    Ok(())
+                }
+                Op::FullGc => {
+                    heap.full_gc();
+                    Ok(())
+                }
+            };
+            if result.is_err() {
+                // OutOfMemory is a legal terminal outcome; the invariants
+                // below must still hold at the moment of death.
+                break;
+            }
+            // Invariants (while alive):
+            prop_assert!(heap.young_used() < heap.young_capacity() + 1e-9);
+            prop_assert!(heap.old_committed() <= heap.old_max() + 1e-9);
+            prop_assert!(heap.old_used() >= 0.0);
+            prop_assert!(heap.leaked_mb() >= 0.0);
+            prop_assert!(heap.live_mb() >= 0.0);
+            prop_assert!(heap.live_mb() <= live_added + 1e-9);
+            prop_assert!(heap.used_total() <= heap.touched_high_water() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn heap_high_water_is_monotone(ops in prop::collection::vec(op_strategy(), 1..200)) {
+        let mut heap = Heap::new(HeapConfig::default());
+        let mut prev_hw = 0.0;
+        for op in ops {
+            let outcome = match op {
+                Op::Transient(mb) => heap.allocate_transient(mb),
+                Op::Leak(mb) => heap.leak(mb),
+                Op::Release(mb) => { heap.release_leaked(mb); Ok(()) }
+                Op::AddLive(mb) => heap.add_live(mb),
+                Op::RemoveLive(mb) => { heap.remove_live(mb); Ok(()) }
+                Op::FullGc => { heap.full_gc(); Ok(()) }
+            };
+            prop_assert!(heap.touched_high_water() >= prev_hw - 1e-9);
+            prev_hw = heap.touched_high_water();
+            if outcome.is_err() { break; }
+        }
+    }
+
+    #[test]
+    fn simulator_is_deterministic_across_configs(
+        seed in 0u64..1000,
+        ebs in 10u64..150,
+        n in 5u32..40,
+    ) {
+        let scenario = Scenario::builder("prop")
+            .emulated_browsers(ebs)
+            .memory_leak(MemLeakSpec::new(n))
+            .run_to_crash()
+            .build();
+        // Cap the run length for test speed: a small heap crashes quickly.
+        let mut cfg = scenario.config;
+        cfg.heap.max_mb = 256.0;
+        cfg.heap.young_mb = 48.0;
+        cfg.heap.old_initial_mb = 64.0;
+        cfg.heap.old_grow_step_mb = 48.0;
+        cfg.heap.perm_mb = 32.0;
+        let scenario = Scenario { config: cfg, ..scenario };
+        let a = scenario.run(seed);
+        let b = scenario.run(seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn crash_time_decreases_with_leak_aggressiveness(seed in 0u64..50) {
+        let run = |n: u32| {
+            let mut cfg = aging_testbed::SimConfig::default();
+            cfg.heap.max_mb = 256.0;
+            cfg.heap.young_mb = 48.0;
+            cfg.heap.old_initial_mb = 64.0;
+            cfg.heap.old_grow_step_mb = 48.0;
+            cfg.heap.perm_mb = 32.0;
+            Scenario::builder("prop-n")
+                .config(cfg)
+                .emulated_browsers(100)
+                .memory_leak(MemLeakSpec::new(n))
+                .run_to_crash()
+                .build()
+                .run(seed)
+        };
+        let fast = run(5).crash.expect("aggressive leak crashes").time_secs;
+        let slow = run(40).crash.expect("mild leak crashes").time_secs;
+        prop_assert!(fast < slow, "N=5 ({fast}s) must crash before N=40 ({slow}s)");
+    }
+
+    #[test]
+    fn samples_are_equally_spaced_and_finite(seed in 0u64..30) {
+        let trace = Scenario::builder("spacing")
+            .emulated_browsers(25)
+            .duration_minutes(10)
+            .build()
+            .run(seed);
+        prop_assert!(trace.samples.len() >= 38);
+        for w in trace.samples.windows(2) {
+            prop_assert!((w[1].time_secs - w[0].time_secs - 15.0).abs() < 1e-9);
+        }
+        for s in &trace.samples {
+            prop_assert!(s.throughput_rps.is_finite());
+            prop_assert!(s.tomcat_mem_mb.is_finite() && s.tomcat_mem_mb > 0.0);
+            prop_assert!(s.heap_used_mb >= 0.0);
+            prop_assert!(s.old_used_mb <= s.old_max_mb + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Aging masked by a periodic acquire/release pattern (the paper's
+//! Experiment 4.3 in miniature), including the expert feature selection
+//! that rescues the model: keep only the Java-heap variables, and use a
+//! sliding window long enough to average a whole acquire/release cycle.
+//!
+//! ```text
+//! cargo run --release --example masked_aging
+//! ```
+
+use software_aging::core::predictor::evaluate_regressor_on_trace;
+use software_aging::ml::eval::format_duration;
+use software_aging::ml::linreg::LinRegLearner;
+use software_aging::ml::m5p::M5pLearner;
+use software_aging::ml::Learner;
+use software_aging::monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use software_aging::testbed::{MemLeakSpec, PeriodicSpec, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Training: constant-rate executions only — no periodic pattern.
+    let mut traces = vec![Scenario::builder("train-idle")
+        .emulated_browsers(100)
+        .duration_minutes(60)
+        .build()
+        .run(21)];
+    for (i, n) in [15u32, 30, 75].into_iter().enumerate() {
+        traces.push(
+            Scenario::builder(format!("train-N{n}"))
+                .emulated_browsers(100)
+                .memory_leak(MemLeakSpec::new(n))
+                .run_to_crash()
+                .build()
+                .run(22 + i as u64),
+        );
+    }
+    let refs: Vec<_> = traces.iter().collect();
+
+    // Test: 20-minute acquire (N=30) / release (N=75) cycles. Acquisition
+    // outpaces release, so memory is retained every cycle: the server ages
+    // even though the memory curve waves up and down.
+    let test = Scenario::builder("masked")
+        .emulated_browsers(100)
+        .periodic_cycles(PeriodicSpec::paper_exp43(), 30)
+        .run_to_crash()
+        .build()
+        .run(99);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+    println!(
+        "masked-aging run crashed after {}\n",
+        format_duration(test.crash.expect("retention crashes the server").time_secs)
+    );
+
+    println!("{:<28} {:>14} {:>14} {:>14}", "model/features", "MAE", "S-MAE", "POST-MAE");
+    for features in [FeatureSet::exp43_full(), FeatureSet::exp43_heap()] {
+        let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+        let m5p = M5pLearner::paper_default().fit(&ds)?;
+        let lr = LinRegLearner::default().fit(&ds)?;
+        for (name, eval) in [
+            ("LinReg", evaluate_regressor_on_trace(&lr, &features, &test, &actuals)),
+            ("M5P", evaluate_regressor_on_trace(&m5p, &features, &test, &actuals)),
+        ] {
+            println!(
+                "{:<28} {:>14} {:>14} {:>14}",
+                format!("{} {}", features.name(), name),
+                format_duration(eval.mae),
+                format_duration(eval.s_mae),
+                eval.post_mae.map_or("n/a".into(), format_duration),
+            );
+        }
+    }
+    println!(
+        "\nThe heap-selected M5P extracts the net trend from the waves and is\n\
+         the only model that stays accurate in the critical last 10 minutes."
+    );
+    Ok(())
+}

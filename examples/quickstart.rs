@@ -1,0 +1,59 @@
+//! Quickstart: train an aging predictor on monitored run-to-crash
+//! executions and watch it predict the time to failure of a fresh run.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use software_aging::core::AgingPredictor;
+use software_aging::ml::eval::format_duration;
+use software_aging::monitor::FeatureSet;
+use software_aging::testbed::{MemLeakSpec, Scenario};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe a leaky deployment: a TPC-W bookstore on Tomcat where the
+    //    search servlet leaks 1 MB every ~N/2 visits (the paper's fault
+    //    injector with N = 15).
+    let train = Scenario::builder("quickstart-train")
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(15))
+        .run_to_crash()
+        .build();
+
+    // 2. Train an M5P model tree on one monitored run-to-crash execution.
+    let predictor = AgingPredictor::train(&[train], FeatureSet::exp42(), 42)?;
+    println!(
+        "trained on {} checkpoints; model tree has {} leaves / {} inner nodes",
+        predictor.n_training_instances(),
+        predictor.model().n_leaves(),
+        predictor.model().n_inner_nodes(),
+    );
+
+    // 3. Predict on a fresh execution (different seed => different run).
+    let test = Scenario::builder("quickstart-test")
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(15))
+        .run_to_crash()
+        .build();
+    let report = predictor.evaluate_scenario(&test, 1234)?;
+
+    let crash = report.trace.crash.expect("the leak crashes the server");
+    println!(
+        "test run crashed after {} ({:?})",
+        format_duration(crash.time_secs),
+        crash.kind
+    );
+    println!("prediction accuracy: {}", report.evaluation.summary());
+
+    // 4. Show a few checkpoints the way an operator would see them.
+    println!("\n   time    predicted TTF       true TTF");
+    for i in (0..report.predictions.len()).step_by(report.predictions.len() / 12) {
+        println!(
+            "{:>7.0}s  {:>14}  {:>13}",
+            report.trace.samples[i].time_secs,
+            format_duration(report.predictions[i]),
+            format_duration(report.actuals[i]),
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,57 @@
+//! # software-aging
+//!
+//! Facade crate for the reproduction of *"Adaptive on-line software aging
+//! prediction based on Machine Learning"* (Alonso, Torres, Berral, Gavaldà —
+//! DSN 2010).
+//!
+//! The workspace is organised bottom-up; this crate re-exports every layer
+//! so applications can depend on a single crate:
+//!
+//! - [`dataset`] — tabular data, statistics, sliding windows, CSV/ARFF I/O,
+//! - [`ml`] — M5P model trees, linear regression, regression trees, ARMA,
+//!   the naive Eq. (1) predictor, evaluation metrics, feature selection,
+//!   prediction boards and on-line wrappers,
+//! - [`testbed`] — the simulated three-tier TPC-W deployment (JVM heap with
+//!   GC and resizing, threads, OS memory view, Tomcat, MySQL, emulated
+//!   browsers, fault injectors),
+//! - [`monitor`] — 15-second checkpoints, the paper's Table-2 variable
+//!   catalogue, per-experiment feature sets and TTF labelling,
+//! - [`core`] — the end-to-end prediction framework: training on
+//!   run-to-crash executions, on-line adaptive prediction, root-cause
+//!   analysis and rejuvenation policies.
+//!
+//! # Quickstart
+//!
+//! ```no_run
+//! use software_aging::core::AgingPredictor;
+//! use software_aging::monitor::FeatureSet;
+//! use software_aging::testbed::{Scenario, MemLeakSpec};
+//!
+//! // Train on four run-to-crash executions at different workloads …
+//! let training: Vec<Scenario> = [25, 50, 100, 200]
+//!     .into_iter()
+//!     .map(|ebs| {
+//!         Scenario::builder(format!("train-{ebs}eb"))
+//!             .emulated_browsers(ebs)
+//!             .memory_leak(MemLeakSpec::new(30))
+//!             .run_to_crash()
+//!             .build()
+//!     })
+//!     .collect();
+//! let predictor = AgingPredictor::train(&training, FeatureSet::exp41(), 42).unwrap();
+//!
+//! // … then predict time-to-failure for a fresh execution.
+//! let test = Scenario::builder("test-75eb")
+//!     .emulated_browsers(75)
+//!     .memory_leak(MemLeakSpec::new(30))
+//!     .run_to_crash()
+//!     .build();
+//! let report = predictor.evaluate_scenario(&test, 7).unwrap();
+//! println!("{}", report.evaluation.summary());
+//! ```
+
+pub use aging_core as core;
+pub use aging_dataset as dataset;
+pub use aging_ml as ml;
+pub use aging_monitor as monitor;
+pub use aging_testbed as testbed;

@@ -1,0 +1,150 @@
+//! Cross-crate integration tests: the full pipeline from scenario
+//! description through simulation, monitoring, training and on-line
+//! prediction, at reduced scale so they run in normal CI time.
+
+use software_aging::core::AgingPredictor;
+use software_aging::ml::linreg::LinRegLearner;
+use software_aging::ml::m5p::M5pLearner;
+use software_aging::ml::Learner;
+use software_aging::monitor::{build_dataset, label_ttf, FeatureSet, TTF_CAP_SECS};
+use software_aging::testbed::{MemLeakSpec, Scenario, SimConfig};
+
+/// A quarter-size heap so runs crash in simulated minutes.
+fn small_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.heap.max_mb = 256.0;
+    cfg.heap.young_mb = 48.0;
+    cfg.heap.old_initial_mb = 64.0;
+    cfg.heap.old_grow_step_mb = 48.0;
+    cfg.heap.perm_mb = 32.0;
+    cfg
+}
+
+fn small_leak(name: &str, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .config(small_config())
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+#[test]
+fn full_pipeline_trains_and_predicts() {
+    let predictor = AgingPredictor::train(
+        &[small_leak("t1", 100, 10), small_leak("t2", 50, 10)],
+        FeatureSet::exp42(),
+        1,
+    )
+    .expect("training succeeds");
+    let report = predictor
+        .evaluate_scenario(&small_leak("test", 75, 10), 77)
+        .expect("evaluation succeeds");
+    assert!(report.evaluation.mae.is_finite());
+    let mean_ttf: f64 = report.actuals.iter().sum::<f64>() / report.actuals.len() as f64;
+    assert!(
+        report.evaluation.mae < mean_ttf,
+        "MAE {} should beat the trivial scale {mean_ttf}",
+        report.evaluation.mae
+    );
+    // Predictions are clamped into the physical range.
+    for &p in &report.predictions {
+        assert!((0.0..=TTF_CAP_SECS).contains(&p));
+    }
+}
+
+#[test]
+fn m5p_beats_linreg_on_unseen_workload() {
+    // The headline comparison of the paper's Table 3, at small scale: the
+    // piecewise-linear tree handles the GC-resize non-linearity better.
+    let features = FeatureSet::exp41();
+    let traces = [
+        small_leak("a", 150, 10).run(3),
+        small_leak("b", 50, 10).run(4),
+    ];
+    let refs: Vec<_> = traces.iter().collect();
+    let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
+    let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
+    let lr = LinRegLearner::default().fit(&ds).unwrap();
+
+    let test = small_leak("test", 100, 10).run(5);
+    let actuals = label_ttf(&test, TTF_CAP_SECS);
+    let e_m5p = software_aging::core::predictor::evaluate_regressor_on_trace(
+        &m5p, &features, &test, &actuals,
+    );
+    let e_lr = software_aging::core::predictor::evaluate_regressor_on_trace(
+        &lr, &features, &test, &actuals,
+    );
+    // At this reduced scale (a quarter-size heap, ~10-minute runs, only two
+    // training traces) both models land within ~2 minutes MAE and the
+    // piecewise-linear advantage is small; the full-scale Table 3 shape is
+    // asserted by the ignored experiment test in `aging-bench`. Here we
+    // check both are usable and M5P is in the same class.
+    assert!(e_m5p.mae <= e_lr.mae * 2.0 + 30.0, "M5P ({}) far worse than LinReg ({})", e_m5p.mae, e_lr.mae);
+    assert!(e_m5p.mae < 600.0, "M5P must predict within 10 minutes at this scale");
+    assert!(e_m5p.s_mae <= e_m5p.mae);
+}
+
+#[test]
+fn predictions_sharpen_towards_the_crash() {
+    let predictor =
+        AgingPredictor::train(&[small_leak("t", 100, 10)], FeatureSet::exp42(), 9).unwrap();
+    let report = predictor.evaluate_scenario(&small_leak("s", 100, 10), 10).unwrap();
+    let (pre, post) = (report.evaluation.pre_mae, report.evaluation.post_mae);
+    if let (Some(pre), Some(post)) = (pre, post) {
+        assert!(
+            post < pre * 2.0,
+            "POST-MAE ({post}) should not blow up relative to PRE-MAE ({pre})"
+        );
+    }
+}
+
+#[test]
+fn frozen_truth_equals_crash_labels_for_constant_rates() {
+    // For a constant-rate scenario the frozen-rate ground truth and the
+    // run's own crash labels must agree closely.
+    let predictor =
+        AgingPredictor::train(&[small_leak("t", 100, 10)], FeatureSet::exp42(), 11).unwrap();
+    let scenario = small_leak("s", 100, 10);
+    let frozen = predictor.evaluate_scenario_frozen_truth(&scenario, 12).unwrap();
+    let plain = predictor.evaluate_scenario(&scenario, 12).unwrap();
+    assert_eq!(frozen.actuals.len(), plain.actuals.len());
+    let mut diverged = 0;
+    for (f, p) in frozen.actuals.iter().zip(&plain.actuals) {
+        if (f - p).abs() > p.max(120.0) * 0.5 {
+            diverged += 1;
+        }
+    }
+    assert!(
+        diverged * 10 <= frozen.actuals.len(),
+        "{diverged}/{} frozen labels diverged badly from crash labels",
+        frozen.actuals.len()
+    );
+}
+
+#[test]
+fn training_dataset_shape_is_consistent() {
+    let trace = small_leak("t", 100, 10).run(13);
+    for fs in [FeatureSet::exp41(), FeatureSet::exp42(), FeatureSet::exp43_heap()] {
+        let ds = build_dataset(&[&trace], &fs, TTF_CAP_SECS);
+        assert_eq!(ds.len(), trace.samples.len());
+        assert_eq!(ds.n_attributes(), fs.len());
+        // Every value finite, every label within the cap.
+        for i in 0..ds.len() {
+            assert!(ds.row(i).values().iter().all(|v| v.is_finite()));
+            assert!((0.0..=TTF_CAP_SECS).contains(&ds.target(i)));
+        }
+    }
+}
+
+#[test]
+fn online_predictor_is_reusable_across_runs_after_reset() {
+    let predictor =
+        AgingPredictor::train(&[small_leak("t", 100, 10)], FeatureSet::exp42(), 14).unwrap();
+    let trace = small_leak("s", 100, 10).run(15);
+    let mut online = predictor.online();
+    let first: Vec<f64> = trace.samples.iter().map(|s| online.observe(s)).collect();
+    online.reset();
+    let second: Vec<f64> = trace.samples.iter().map(|s| online.observe(s)).collect();
+    assert_eq!(first, second, "reset must fully clear windowed state");
+}

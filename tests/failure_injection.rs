@@ -1,0 +1,153 @@
+//! Failure-injection integration tests: every crash mode is reachable,
+//! non-aging runs survive, and the scenario vocabulary covers the paper's
+//! experiment shapes.
+
+use software_aging::testbed::{
+    CrashKind, MemLeakSpec, PeriodicSpec, Scenario, SimConfig, ThreadLeakSpec,
+};
+
+fn small_config() -> SimConfig {
+    let mut cfg = SimConfig::default();
+    cfg.heap.max_mb = 256.0;
+    cfg.heap.young_mb = 48.0;
+    cfg.heap.old_initial_mb = 64.0;
+    cfg.heap.old_grow_step_mb = 48.0;
+    cfg.heap.perm_mb = 32.0;
+    cfg.system.max_process_threads = 250;
+    cfg
+}
+
+#[test]
+fn memory_leak_reaches_out_of_memory() {
+    let trace = Scenario::builder("oom")
+        .config(small_config())
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(10))
+        .run_to_crash()
+        .build()
+        .run(1);
+    assert_eq!(trace.crash.expect("must crash").kind, CrashKind::OutOfMemory);
+}
+
+#[test]
+fn thread_leak_reaches_thread_exhaustion() {
+    let trace = Scenario::builder("threads")
+        .config(small_config())
+        .emulated_browsers(50)
+        .thread_leak(ThreadLeakSpec::new(45, 30))
+        .run_to_crash()
+        .build()
+        .run(2);
+    let kind = trace.crash.expect("must crash").kind;
+    assert!(
+        matches!(kind, CrashKind::ThreadExhaustion | CrashKind::OutOfMemory),
+        "thread leak must exhaust threads or their heap footprint, got {kind:?}"
+    );
+}
+
+#[test]
+fn idle_server_survives() {
+    let trace = Scenario::builder("idle")
+        .config(small_config())
+        .emulated_browsers(100)
+        .duration_minutes(60)
+        .build()
+        .run(3);
+    assert!(trace.crash.is_none(), "no injection => no crash, got {:?}", trace.crash);
+}
+
+#[test]
+fn periodic_full_release_survives_but_retention_crashes() {
+    let spec = PeriodicSpec { acquire_n: 10, release_n: 25, phase_secs: 180, chunk_mb: 1.0 };
+    let no_retention = Scenario::builder("waves")
+        .config(small_config())
+        .emulated_browsers(100)
+        .periodic_cycles_no_retention(spec, 4)
+        .build()
+        .run(4);
+    assert!(no_retention.crash.is_none(), "full release must not age the server");
+
+    let retention = Scenario::builder("masked")
+        .config(small_config())
+        .emulated_browsers(100)
+        .periodic_cycles(spec, 60)
+        .run_to_crash()
+        .build()
+        .run(5);
+    let crash = retention.crash.expect("net retention must crash");
+    assert_eq!(crash.kind, CrashKind::OutOfMemory);
+    // The masked aging must survive at least one full acquire/release cycle
+    // (i.e. the release phase really does release).
+    assert!(crash.time_secs > 360.0, "crash at {}s is too early", crash.time_secs);
+}
+
+#[test]
+fn combined_injection_crashes_faster_than_either_alone() {
+    let mem_only = Scenario::builder("m")
+        .config(small_config())
+        .emulated_browsers(100)
+        .memory_leak(MemLeakSpec::new(20))
+        .run_to_crash()
+        .build()
+        .run(6)
+        .crash
+        .unwrap()
+        .time_secs;
+    let combined = Scenario::builder("mt")
+        .config(small_config())
+        .emulated_browsers(100)
+        .phase(
+            software_aging::testbed::Phase::leak("both", None, MemLeakSpec::new(20))
+                .with_threads(ThreadLeakSpec::new(30, 40)),
+        )
+        .run_to_crash()
+        .build()
+        .run(6)
+        .crash
+        .unwrap()
+        .time_secs;
+    assert!(
+        combined < mem_only,
+        "two resources must age faster: combined {combined} vs memory-only {mem_only}"
+    );
+}
+
+#[test]
+fn crash_time_scales_inversely_with_workload() {
+    let ttf = |ebs: u64| {
+        Scenario::builder(format!("w{ebs}"))
+            .config(small_config())
+            .emulated_browsers(ebs)
+            .memory_leak(MemLeakSpec::new(15))
+            .run_to_crash()
+            .build()
+            .run(7)
+            .crash
+            .unwrap()
+            .time_secs
+    };
+    let heavy = ttf(200);
+    let light = ttf(50);
+    assert!(
+        heavy * 2.0 < light,
+        "the leak is servlet-driven, so 4x the workload must crash much faster: {heavy} vs {light}"
+    );
+}
+
+#[test]
+fn trace_and_scenario_serialization_round_trip() {
+    let scenario = Scenario::builder("serde")
+        .config(small_config())
+        .emulated_browsers(50)
+        .duration_minutes(5)
+        .build();
+    let scenario_json = serde_json::to_string(&scenario).expect("scenario serializes");
+    let scenario_back: Scenario = serde_json::from_str(&scenario_json).expect("deserializes");
+    assert_eq!(scenario_back, scenario);
+
+    let trace = scenario.run(8);
+    let json = serde_json::to_string(&trace).expect("trace serializes");
+    let back: software_aging::testbed::RunTrace =
+        serde_json::from_str(&json).expect("trace deserializes");
+    assert_eq!(back, trace);
+}
