@@ -28,9 +28,7 @@ fn bench_leaf_size(c: &mut Criterion) {
     for m in [4usize, 10, 50] {
         group.bench_function(format!("min_instances_{m}"), |b| {
             b.iter(|| {
-                black_box(
-                    M5pLearner::default().with_min_instances(m).fit(&ds).unwrap().n_leaves(),
-                )
+                black_box(M5pLearner::default().with_min_instances(m).fit(&ds).unwrap().n_leaves())
             })
         });
     }

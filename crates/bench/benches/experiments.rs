@@ -69,9 +69,8 @@ fn bench_table3(c: &mut Criterion) {
             let e1 = aging_core::predictor::evaluate_regressor_on_trace(
                 &m5p, &features, &test, &actuals,
             );
-            let e2 = aging_core::predictor::evaluate_regressor_on_trace(
-                &lr, &features, &test, &actuals,
-            );
+            let e2 =
+                aging_core::predictor::evaluate_regressor_on_trace(&lr, &features, &test, &actuals);
             black_box((e1.mae, e2.mae))
         })
     });
@@ -100,10 +99,7 @@ fn bench_exp42(c: &mut Criterion) {
     group.bench_function("frozen_truth_evaluation", |b| {
         b.iter(|| {
             black_box(
-                predictor
-                    .evaluate_scenario_frozen_truth(&test, BASE_SEED + 4)
-                    .unwrap()
-                    .evaluation,
+                predictor.evaluate_scenario_frozen_truth(&test, BASE_SEED + 4).unwrap().evaluation,
             )
         })
     });

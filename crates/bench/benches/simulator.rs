@@ -8,10 +8,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn ten_minute_scenario(ebs: u64) -> Scenario {
-    Scenario::builder(format!("bench-{ebs}eb"))
-        .emulated_browsers(ebs)
-        .duration_minutes(10)
-        .build()
+    Scenario::builder(format!("bench-{ebs}eb")).emulated_browsers(ebs).duration_minutes(10).build()
 }
 
 fn bench_run_to_completion(c: &mut Criterion) {
@@ -19,9 +16,7 @@ fn bench_run_to_completion(c: &mut Criterion) {
     group.sample_size(10);
     for ebs in [25u64, 100, 200] {
         let scenario = ten_minute_scenario(ebs);
-        group.bench_function(format!("{ebs}eb"), |b| {
-            b.iter(|| black_box(scenario.run(BASE_SEED)))
-        });
+        group.bench_function(format!("{ebs}eb"), |b| b.iter(|| black_box(scenario.run(BASE_SEED))));
     }
     group.finish();
 }

@@ -39,9 +39,7 @@ fn bench_prediction(c: &mut Criterion) {
     let row: Vec<f64> = ds.row(ds.len() / 2).values().to_vec();
     let mut group = c.benchmark_group("predict");
     group.bench_function("m5p_smoothed", |b| b.iter(|| m5p.predict(black_box(&row))));
-    group.bench_function("linreg", |b| {
-        b.iter(|| Regressor::predict(&linreg, black_box(&row)))
-    });
+    group.bench_function("linreg", |b| b.iter(|| Regressor::predict(&linreg, black_box(&row))));
     group.finish();
 }
 

@@ -155,10 +155,7 @@ fn run_datasets() {
 fn run_catalog() {
     banner("Table 2: variable catalogue & per-experiment feature sets");
     use aging_monitor::FeatureSet;
-    println!(
-        "full catalogue ({} variables):",
-        aging_monitor::catalog::ALL_VARIABLES.len()
-    );
+    println!("full catalogue ({} variables):", aging_monitor::catalog::ALL_VARIABLES.len());
     for chunk in aging_monitor::catalog::ALL_VARIABLES.chunks(4) {
         println!("  {}", chunk.join(", "));
     }

@@ -33,7 +33,9 @@ fn main() -> ExitCode {
             }
         },
         _ => {
-            eprintln!("usage: simulate template | simulate run <scenario.json> [--seed N] [--out PREFIX]");
+            eprintln!(
+                "usage: simulate template | simulate run <scenario.json> [--seed N] [--out PREFIX]"
+            );
             ExitCode::from(2)
         }
     }

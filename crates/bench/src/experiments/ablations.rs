@@ -57,10 +57,8 @@ pub fn leaf_size_sweep() -> Vec<(usize, Evaluation)> {
     [4usize, 10, 20, 50, 100]
         .into_iter()
         .map(|m| {
-            let model = M5pLearner::default()
-                .with_min_instances(m)
-                .fit(&ds)
-                .expect("non-empty dataset");
+            let model =
+                M5pLearner::default().with_min_instances(m).fit(&ds).expect("non-empty dataset");
             let eval = evaluate_regressor_on_trace(&model, &features, &test, &actuals);
             (m, eval)
         })
@@ -82,11 +80,7 @@ pub fn smoothing_pruning_matrix() -> Vec<(String, Evaluation, usize)> {
             .fit(&ds)
             .expect("non-empty dataset");
         let eval = evaluate_regressor_on_trace(&model, &features, &test, &actuals);
-        out.push((
-            format!("smoothing={smooth} pruning={prune}"),
-            eval,
-            model.n_leaves(),
-        ));
+        out.push((format!("smoothing={smooth} pruning={prune}"), eval, model.n_leaves()));
     }
     out
 }
@@ -157,12 +151,7 @@ pub fn render_all() -> String {
 
     let rows: Vec<Vec<String>> = margin_sweep()
         .into_iter()
-        .map(|(m, smae)| {
-            vec![
-                format!("{:.0}%", m * 100.0),
-                aging_ml::eval::format_duration(smae),
-            ]
-        })
+        .map(|(m, smae)| vec![format!("{:.0}%", m * 100.0), aging_ml::eval::format_duration(smae)])
         .collect();
     out.push_str(&common::render_table(
         "Ablation: S-MAE security margin (paper uses 10%)",

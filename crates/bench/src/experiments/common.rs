@@ -31,8 +31,10 @@ pub fn thread_run(name: impl Into<String>, ebs: u64, m: u32, t: u32) -> Scenario
 /// three run-to-crash executions at N = 15, 30, 75, all at 100 EBs
 /// ("we trained the model with 4 executions (1710 instances)").
 pub fn exp42_training() -> Vec<Scenario> {
-    let mut runs =
-        vec![Scenario::builder("train-idle-1h").emulated_browsers(100).duration_minutes(60).build()];
+    let mut runs = vec![Scenario::builder("train-idle-1h")
+        .emulated_browsers(100)
+        .duration_minutes(60)
+        .build()];
     for n in [15, 30, 75] {
         runs.push(leak_run(format!("train-N{n}"), 100, n));
     }
@@ -64,8 +66,10 @@ pub fn exp42_test() -> Scenario {
 /// which implies its training data distinguished idleness; the 4.2 protocol
 /// (which the authors reused for 4.3) did so with exactly this run.
 pub fn exp44_training() -> Vec<Scenario> {
-    let mut runs =
-        vec![Scenario::builder("train-idle-1h").emulated_browsers(100).duration_minutes(60).build()];
+    let mut runs = vec![Scenario::builder("train-idle-1h")
+        .emulated_browsers(100)
+        .duration_minutes(60)
+        .build()];
     for n in [15, 30, 75] {
         runs.push(leak_run(format!("train-mem-N{n}"), 100, n));
     }

@@ -56,7 +56,9 @@ pub fn run() -> std::io::Result<Vec<ExportedDataset>> {
     let exp41_train: Vec<RunTrace> = [25u64, 50, 100, 200]
         .into_iter()
         .enumerate()
-        .map(|(i, ebs)| common::leak_run(format!("train-{ebs}eb"), ebs, 30).run(BASE_SEED + i as u64))
+        .map(|(i, ebs)| {
+            common::leak_run(format!("train-{ebs}eb"), ebs, 30).run(BASE_SEED + i as u64)
+        })
         .collect();
     let refs: Vec<&RunTrace> = exp41_train.iter().collect();
     export("exp41_train", &refs, &FeatureSet::exp41(), &mut out)?;
@@ -95,9 +97,7 @@ pub fn run() -> std::io::Result<Vec<ExportedDataset>> {
 pub fn render(files: &[ExportedDataset]) -> String {
     let rows: Vec<Vec<String>> = files
         .iter()
-        .map(|f| {
-            vec![f.path.clone(), f.instances.to_string(), f.attributes.to_string()]
-        })
+        .map(|f| vec![f.path.clone(), f.instances.to_string(), f.attributes.to_string()])
         .collect();
     common::render_table(
         "Exported WEKA-ARFF datasets (paper ref. [21])",

@@ -35,11 +35,8 @@ pub fn run() -> Exp41Result {
         .into_iter()
         .map(|ebs| common::leak_run(format!("train-{ebs}eb-N30"), ebs, 30))
         .collect();
-    let traces: Vec<RunTrace> = train_scenarios
-        .iter()
-        .enumerate()
-        .map(|(i, s)| s.run(BASE_SEED + i as u64))
-        .collect();
+    let traces: Vec<RunTrace> =
+        train_scenarios.iter().enumerate().map(|(i, s)| s.run(BASE_SEED + i as u64)).collect();
     let refs: Vec<&RunTrace> = traces.iter().collect();
     let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
 
@@ -62,8 +59,7 @@ pub fn run() -> Exp41Result {
             let actuals = label_ttf(&test, TTF_CAP_SECS);
             let mut online_m5p = aging_core::OnlineTtfPredictor::new(&m5p, features.clone());
             let mut online_lr = aging_core::OnlineTtfPredictor::new(&linreg, features.clone());
-            let seed_m5p: Vec<f64> =
-                test.samples.iter().map(|s| online_m5p.observe(s)).collect();
+            let seed_m5p: Vec<f64> = test.samples.iter().map(|s| online_m5p.observe(s)).collect();
             let seed_lr: Vec<f64> = test.samples.iter().map(|s| online_lr.observe(s)).collect();
             if seed == 0 {
                 let _ = common::write_series_csv(
@@ -105,11 +101,8 @@ pub fn render(result: &Exp41Result) -> String {
          (paper: 2776 instances, 33 leaves, 30 inner nodes)\n\n",
         result.instances, result.m5p_leaves, result.m5p_inner
     );
-    let rows: Vec<Vec<String>> = result
-        .rows
-        .iter()
-        .map(|(label, e)| common::metric_row(label, e))
-        .collect();
+    let rows: Vec<Vec<String>> =
+        result.rows.iter().map(|(label, e)| common::metric_row(label, e)).collect();
     out.push_str(&common::render_table(
         "Table 3",
         &["model", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],

@@ -39,28 +39,21 @@ pub struct Exp42Result {
 pub fn run() -> Exp42Result {
     let features = FeatureSet::exp42();
     let training = common::exp42_training();
-    let traces: Vec<RunTrace> = training
-        .iter()
-        .enumerate()
-        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
-        .collect();
+    let traces: Vec<RunTrace> =
+        training.iter().enumerate().map(|(i, s)| s.run(BASE_SEED + 10 + i as u64)).collect();
     let refs: Vec<&RunTrace> = traces.iter().collect();
     let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
 
-    let predictor = AgingPredictor::train_on_traces(
-        &M5pLearner::paper_default(),
-        &refs,
-        features.clone(),
-    )
-    .expect("training traces are non-empty");
+    let predictor =
+        AgingPredictor::train_on_traces(&M5pLearner::paper_default(), &refs, features.clone())
+            .expect("training traces are non-empty");
     let linreg = LinRegLearner::default().fit(&dataset).expect("non-empty dataset");
 
     // One frozen-truth pass; both models are evaluated against it.
     let report = predictor
         .evaluate_scenario_frozen_truth(&common::exp42_test(), BASE_SEED + 50)
         .expect("test run produces checkpoints");
-    let lr_eval =
-        evaluate_regressor_on_trace(&linreg, &features, &report.trace, &report.actuals);
+    let lr_eval = evaluate_regressor_on_trace(&linreg, &features, &report.trace, &report.actuals);
 
     let series = report
         .trace

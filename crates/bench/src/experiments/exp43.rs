@@ -51,11 +51,8 @@ pub fn test_scenario() -> Scenario {
 /// Runs the experiment end to end.
 pub fn run() -> Exp43Result {
     let training = common::exp42_training();
-    let traces: Vec<RunTrace> = training
-        .iter()
-        .enumerate()
-        .map(|(i, s)| s.run(BASE_SEED + 10 + i as u64))
-        .collect();
+    let traces: Vec<RunTrace> =
+        training.iter().enumerate().map(|(i, s)| s.run(BASE_SEED + 10 + i as u64)).collect();
     let refs: Vec<&RunTrace> = traces.iter().collect();
 
     let test = test_scenario().run(BASE_SEED + 60);
@@ -88,8 +85,7 @@ pub fn run() -> Exp43Result {
     }
 
     let warmup_secs = 40.0 * 60.0; // one acquire/release cycle
-    let tail: Vec<&(f64, f64, f64, f64)> =
-        series.iter().filter(|s| s.0 > warmup_secs).collect();
+    let tail: Vec<&(f64, f64, f64, f64)> = series.iter().filter(|s| s.0 > warmup_secs).collect();
     let heap_m5p_mae_after_warmup = if tail.is_empty() {
         f64::NAN
     } else {
@@ -148,11 +144,7 @@ mod tests {
     fn feature_selection_rescues_m5p() {
         let r = run();
         let get = |label: &str| {
-            r.rows
-                .iter()
-                .find(|(l, _)| l == label)
-                .map(|(_, e)| *e)
-                .expect("row present")
+            r.rows.iter().find(|(l, _)| l == label).map(|(_, e)| *e).expect("row present")
         };
         let m5p_heap = get("exp4.3-heap-selected M5P");
         let lr_heap = get("exp4.3-heap-selected LinReg");

@@ -44,27 +44,20 @@ pub struct Exp44Result {
 pub fn run() -> Exp44Result {
     let features = FeatureSet::exp44();
     let training = common::exp44_training();
-    let traces: Vec<RunTrace> = training
-        .iter()
-        .enumerate()
-        .map(|(i, s)| s.run(BASE_SEED + 20 + i as u64))
-        .collect();
+    let traces: Vec<RunTrace> =
+        training.iter().enumerate().map(|(i, s)| s.run(BASE_SEED + 20 + i as u64)).collect();
     let refs: Vec<&RunTrace> = traces.iter().collect();
     let dataset = build_dataset(&refs, &features, TTF_CAP_SECS);
 
-    let predictor = AgingPredictor::train_on_traces(
-        &M5pLearner::paper_default(),
-        &refs,
-        features.clone(),
-    )
-    .expect("training traces are non-empty");
+    let predictor =
+        AgingPredictor::train_on_traces(&M5pLearner::paper_default(), &refs, features.clone())
+            .expect("training traces are non-empty");
     let linreg = LinRegLearner::default().fit(&dataset).expect("non-empty dataset");
 
     let report = predictor
         .evaluate_scenario_frozen_truth(&common::exp44_test(), BASE_SEED + 70)
         .expect("test run produces checkpoints");
-    let lr_eval =
-        evaluate_regressor_on_trace(&linreg, &features, &report.trace, &report.actuals);
+    let lr_eval = evaluate_regressor_on_trace(&linreg, &features, &report.trace, &report.actuals);
 
     let series = report
         .trace
@@ -138,13 +131,9 @@ mod tests {
         let pre = r.m5p.pre_mae.expect("run is long, so PRE exists");
         assert!(post < pre, "prediction must sharpen near the crash: post {post} pre {pre}");
         // Root cause should implicate memory and/or threads.
-        assert!(r
-            .root_cause
-            .suspected
-            .iter()
-            .any(|c| matches!(
-                c,
-                ResourceCategory::Memory | ResourceCategory::Threads | ResourceCategory::JavaHeap
-            )));
+        assert!(r.root_cause.suspected.iter().any(|c| matches!(
+            c,
+            ResourceCategory::Memory | ResourceCategory::Threads | ResourceCategory::JavaHeap
+        )));
     }
 }

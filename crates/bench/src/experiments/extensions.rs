@@ -137,10 +137,7 @@ pub fn baselines() -> Vec<(String, Evaluation)> {
         };
         arma_preds.push(pred);
     }
-    rows.push((
-        "ARMA(2,1)".to_string(),
-        evaluate(&arma_preds, &actuals, &EvalConfig::default()),
-    ));
+    rows.push(("ARMA(2,1)".to_string(), evaluate(&arma_preds, &actuals, &EvalConfig::default())));
 
     // The prediction board (future work): consensus of the three learners.
     let board = PredictionBoard::new(
@@ -163,8 +160,7 @@ pub fn baselines() -> Vec<(String, Evaluation)> {
 
 /// Renders the baseline comparison.
 pub fn render_baselines(rows: &[(String, Evaluation)]) -> String {
-    let table: Vec<Vec<String>> =
-        rows.iter().map(|(l, e)| common::metric_row(l, e)).collect();
+    let table: Vec<Vec<String>> = rows.iter().map(|(l, e)| common::metric_row(l, e)).collect();
     common::render_table(
         "Baseline zoo on the dynamic scenario of Exp 4.2 (extensions)",
         &["model", "MAE", "S-MAE", "PRE-MAE", "POST-MAE"],
@@ -180,9 +176,8 @@ mod tests {
     #[ignore = "full experiment: run with --ignored (several simulated hours)"]
     fn m5p_wins_the_zoo_on_dynamic_aging() {
         let rows = baselines();
-        let get = |name: &str| {
-            rows.iter().find(|(l, _)| l == name).map(|(_, e)| *e).expect("present")
-        };
+        let get =
+            |name: &str| rows.iter().find(|(l, _)| l == name).map(|(_, e)| *e).expect("present");
         // On a changing-rate scenario M5P must not lose to the single
         // global linear model overall. (The naive Eq. (1) predictor can be
         // competitive on raw MAE *only* because the harness tells it which

@@ -44,9 +44,7 @@ pub fn fig1_from_trace(trace: &RunTrace) -> Fig1Result {
         trace
             .samples
             .iter()
-            .min_by(|a, b| {
-                (a.time_secs - t).abs().total_cmp(&(b.time_secs - t).abs())
-            })
+            .min_by(|a, b| (a.time_secs - t).abs().total_cmp(&(b.time_secs - t).abs()))
             .expect("non-empty trace")
     };
     let early = at(120.0);
@@ -81,7 +79,11 @@ pub fn render_fig1(r: &Fig1Result) -> String {
         r.resizes,
         r.naive_crash_secs,
         extra_min.abs(),
-        if extra_min >= 0.0 { "heap management bought extra lifetime" } else { "early flat zones made the naive rate optimistic" }
+        if extra_min >= 0.0 {
+            "heap management bought extra lifetime"
+        } else {
+            "early flat zones made the naive rate optimistic"
+        }
     );
     if let Ok(path) = csv {
         out.push_str(&format!("series written to {path}\n"));
@@ -114,22 +116,15 @@ pub fn fig2() -> Fig2Result {
 
 /// Computes the Figure 2 artefacts from an existing trace.
 pub fn fig2_from_trace(trace: &RunTrace) -> Fig2Result {
-    let series: Vec<(f64, f64, f64)> = trace
-        .samples
-        .iter()
-        .map(|s| (s.time_secs, s.tomcat_mem_mb, s.heap_used_mb))
-        .collect();
+    let series: Vec<(f64, f64, f64)> =
+        trace.samples.iter().map(|s| (s.time_secs, s.tomcat_mem_mb, s.heap_used_mb)).collect();
     let tail: Vec<_> = series.iter().filter(|s| s.0 > 3600.0).collect();
     let spread = |f: &dyn Fn(&(f64, f64, f64)) -> f64| {
         let lo = tail.iter().map(|s| f(s)).fold(f64::INFINITY, f64::min);
         let hi = tail.iter().map(|s| f(s)).fold(f64::NEG_INFINITY, f64::max);
         hi - lo
     };
-    Fig2Result {
-        os_spread_mb: spread(&|s| s.1),
-        jvm_spread_mb: spread(&|s| s.2),
-        series,
-    }
+    Fig2Result { os_spread_mb: spread(&|s| s.1), jvm_spread_mb: spread(&|s| s.2), series }
 }
 
 /// Renders Figure 2 and writes its CSV.

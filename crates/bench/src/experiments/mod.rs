@@ -2,10 +2,10 @@
 
 pub mod ablations;
 pub mod common;
+pub mod datasets;
 pub mod exp41;
 pub mod exp42;
 pub mod exp43;
-pub mod datasets;
 pub mod exp44;
 pub mod extensions;
 pub mod figures;

@@ -30,12 +30,8 @@ fn analyse(label: &str, trace: &RunTrace) -> SegmentationRow {
     // first promotions), which is not aging. The slope threshold of
     // 0.5 MB per 15 s checkpoint (~2 MB/min) separates the natural
     // high-water creep of a healthy server from a real leak.
-    let series: Vec<f64> = trace
-        .samples
-        .iter()
-        .filter(|s| s.time_secs > 1200.0)
-        .map(|s| s.tomcat_mem_mb)
-        .collect();
+    let series: Vec<f64> =
+        trace.samples.iter().filter(|s| s.time_secs > 1200.0).map(|s| s.tomcat_mem_mb).collect();
     let segments = segment_series(&series, 8.0);
     let diagnosis = diagnose(&series, 8.0, 0.5);
     SegmentationRow {

@@ -69,9 +69,7 @@ pub fn run() -> Vec<SophisticatedRow> {
         });
     };
 
-    bench("M5P (paper)", true, &|| {
-        M5pLearner::paper_default().fit_boxed(&dataset).expect("fits")
-    });
+    bench("M5P (paper)", true, &|| M5pLearner::paper_default().fit_boxed(&dataset).expect("fits"));
     bench("Bagged M5P x15", false, &|| {
         BaggingLearner::new(M5pLearner::paper_default(), 15, BASE_SEED)
             .fit_boxed(&dataset)
@@ -82,9 +80,7 @@ pub fn run() -> Vec<SophisticatedRow> {
             .fit_boxed(&dataset)
             .expect("fits")
     });
-    bench("5-NN weighted", false, &|| {
-        KnnLearner::default().fit_boxed(&dataset).expect("fits")
-    });
+    bench("5-NN weighted", false, &|| KnnLearner::default().fit_boxed(&dataset).expect("fits"));
     rows
 }
 
@@ -122,11 +118,8 @@ mod tests {
         // that M5P remains the only interpretable model.
         assert!(mae("Bagged") < mae("M5P (paper)") * 2.0);
         assert!(mae("GBRT") < mae("M5P (paper)") * 2.0);
-        let interpretable: Vec<&str> = rows
-            .iter()
-            .filter(|r| r.interpretable)
-            .map(|r| r.label.as_str())
-            .collect();
+        let interpretable: Vec<&str> =
+            rows.iter().filter(|r| r.interpretable).map(|r| r.label.as_str()).collect();
         assert_eq!(interpretable, vec!["M5P (paper)"]);
     }
 }

@@ -50,7 +50,7 @@ pub mod rejuvenation;
 pub mod rootcause;
 
 pub use error::CoreError;
-pub use online::OnlineTtfPredictor;
+pub use online::{clamp_ttf, OnlineTtfPredictor};
 pub use predictor::{AgingPredictor, EvalReport};
 pub use rejuvenation::{RejuvenationConfig, RejuvenationPolicy, RejuvenationReport};
 pub use rootcause::RootCauseReport;

@@ -11,6 +11,25 @@ use aging_ml::Regressor;
 use aging_monitor::{FeatureExtractor, FeatureSet, TTF_CAP_SECS};
 use aging_testbed::MetricSample;
 
+/// Clamps a raw model output into the physically meaningful TTF interval
+/// `[0, TTF_CAP_SECS]`.
+///
+/// NaN maps to the cap: degenerate leaf models can emit it (and
+/// `f64::clamp` *propagates* NaN), and a prediction with no information
+/// must read as "no crash in sight", never as an imminent-crash `0.0`
+/// that would trigger a spurious rejuvenation. Infinities keep their
+/// direction — `-∞` is the limit of "crash overdue" and saturates to
+/// `0.0` exactly like any large finite negative prediction, `+∞` to the
+/// cap. Shared by [`OnlineTtfPredictor`] and the fleet engine's batched
+/// path so both produce identical outputs.
+pub fn clamp_ttf(prediction: f64) -> f64 {
+    if prediction.is_nan() {
+        TTF_CAP_SECS
+    } else {
+        prediction.clamp(0.0, TTF_CAP_SECS)
+    }
+}
+
 /// Streams checkpoints through a fitted model, maintaining the derived
 /// (sliding-window) variables between calls.
 #[derive(Debug)]
@@ -35,12 +54,14 @@ impl<'m> OnlineTtfPredictor<'m> {
     /// Predictions are clamped to `[0, TTF_CAP_SECS]`: a time to failure is
     /// physically non-negative, and the training labels saturate at the
     /// paper's 3-hour "infinite" cap, so values outside that interval are
-    /// pure leaf-model extrapolation artefacts.
+    /// pure leaf-model extrapolation artefacts. NaN (which degenerate
+    /// leaf models can emit, and which `clamp` would propagate) saturates
+    /// to the cap — see [`clamp_ttf`].
     pub fn observe(&mut self, sample: &MetricSample) -> f64 {
         let full = self.extractor.push(sample);
         let row = self.features.project(&full);
         self.predictions += 1;
-        self.model.predict(&row).clamp(0.0, TTF_CAP_SECS)
+        clamp_ttf(self.model.predict(&row))
     }
 
     /// Number of checkpoints consumed so far.
@@ -84,14 +105,49 @@ mod tests {
         let mut online = OnlineTtfPredictor::new(&model, fs);
         for (i, sample) in trace.samples.iter().enumerate() {
             let streamed = online.observe(sample);
-            let batch = aging_ml::Regressor::predict(&model, ds.row(i).values())
-                .clamp(0.0, TTF_CAP_SECS);
+            let batch =
+                aging_ml::Regressor::predict(&model, ds.row(i).values()).clamp(0.0, TTF_CAP_SECS);
             assert!(
                 (streamed - batch).abs() < 1e-9,
                 "checkpoint {i}: streamed {streamed} vs batch {batch}"
             );
         }
         assert_eq!(online.observed(), trace.samples.len());
+    }
+
+    /// A stub model that always returns the same raw value, for exercising
+    /// the clamping path with degenerate outputs.
+    #[derive(Debug)]
+    struct ConstModel(f64);
+
+    impl Regressor for ConstModel {
+        fn predict(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+
+        fn name(&self) -> &'static str {
+            "Const"
+        }
+    }
+
+    #[test]
+    fn non_finite_predictions_saturate_to_the_cap() {
+        // Regression test: `f64::clamp` propagates NaN, so a degenerate
+        // leaf model used to leak NaN out of `observe`, poisoning every
+        // downstream consumer (policy debouncing, MAE accumulation).
+        let trace = Scenario::builder("s").emulated_browsers(20).duration_minutes(5).build().run(1);
+        for (raw, expected) in
+            [(f64::NAN, TTF_CAP_SECS), (f64::INFINITY, TTF_CAP_SECS), (f64::NEG_INFINITY, 0.0)]
+        {
+            let model = ConstModel(raw);
+            let mut online = OnlineTtfPredictor::new(&model, FeatureSet::exp42());
+            let got = online.observe(&trace.samples[0]);
+            assert_eq!(got, expected, "raw {raw} must saturate to {expected}, got {got}");
+        }
+        // Finite values keep the plain clamp semantics.
+        assert_eq!(clamp_ttf(-5.0), 0.0);
+        assert_eq!(clamp_ttf(123.0), 123.0);
+        assert_eq!(clamp_ttf(TTF_CAP_SECS + 1.0), TTF_CAP_SECS);
     }
 
     #[test]

@@ -99,12 +99,7 @@ impl AgingPredictor {
         }
         let n = dataset.len();
         let model = learner.fit(&dataset)?;
-        Ok(AgingPredictor {
-            model,
-            features,
-            n_training_instances: n,
-            training_runs: traces.len(),
-        })
+        Ok(AgingPredictor { model, features, n_training_instances: n, training_runs: traces.len() })
     }
 
     /// The fitted model tree.
@@ -141,7 +136,11 @@ impl AgingPredictor {
     ///
     /// Returns [`CoreError::EmptyTrainingData`] when the run produced no
     /// checkpoints.
-    pub fn evaluate_scenario(&self, scenario: &Scenario, seed: u64) -> Result<EvalReport, CoreError> {
+    pub fn evaluate_scenario(
+        &self,
+        scenario: &Scenario,
+        seed: u64,
+    ) -> Result<EvalReport, CoreError> {
         let trace = scenario.run(seed);
         self.evaluate_trace(trace)
     }
@@ -158,8 +157,7 @@ impl AgingPredictor {
         }
         let actuals = label_ttf(&trace, TTF_CAP_SECS);
         let mut online = self.online();
-        let predictions: Vec<f64> =
-            trace.samples.iter().map(|s| online.observe(s)).collect();
+        let predictions: Vec<f64> = trace.samples.iter().map(|s| online.observe(s)).collect();
         let evaluation = evaluate(&predictions, &actuals, &EvalConfig::default());
         Ok(EvalReport { trace, predictions, actuals, evaluation })
     }
@@ -185,15 +183,10 @@ impl AgingPredictor {
         let mut samples = Vec::new();
         let mut predictions = Vec::new();
         let mut actuals = Vec::new();
-        loop {
-            match sim.step() {
-                StepOutcome::Checkpoint(sample) => {
-                    predictions.push(online.observe(&sample));
-                    actuals.push(sim.frozen_time_to_crash(TTF_CAP_SECS));
-                    samples.push(sample);
-                }
-                StepOutcome::Crashed(_) | StepOutcome::Finished => break,
-            }
+        while let StepOutcome::Checkpoint(sample) = sim.step() {
+            predictions.push(online.observe(&sample));
+            actuals.push(sim.frozen_time_to_crash(TTF_CAP_SECS));
+            samples.push(sample);
         }
         if samples.is_empty() {
             return Err(CoreError::EmptyTrainingData);
@@ -260,13 +253,10 @@ mod tests {
         assert_eq!(predictor.training_runs(), 3);
         assert!(predictor.model().n_leaves() >= 1);
 
-        let report = predictor
-            .evaluate_scenario(&quick_scenario("test", 100, 15), 999)
-            .unwrap();
+        let report = predictor.evaluate_scenario(&quick_scenario("test", 100, 15), 999).unwrap();
         assert_eq!(report.predictions.len(), report.actuals.len());
         // The prediction should be usable: well under half the mean TTF.
-        let mean_ttf: f64 =
-            report.actuals.iter().sum::<f64>() / report.actuals.len() as f64;
+        let mean_ttf: f64 = report.actuals.iter().sum::<f64>() / report.actuals.len() as f64;
         assert!(
             report.evaluation.mae < mean_ttf * 0.5,
             "MAE {} vs mean TTF {mean_ttf}",

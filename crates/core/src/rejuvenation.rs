@@ -14,7 +14,7 @@ use aging_testbed::{Scenario, Simulator, StepOutcome};
 use serde::{Deserialize, Serialize};
 
 /// When to restart the server proactively.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum RejuvenationPolicy {
     /// Never rejuvenate: crashes are handled reactively.
@@ -35,7 +35,9 @@ pub enum RejuvenationPolicy {
 }
 
 impl RejuvenationPolicy {
-    fn label(&self) -> String {
+    /// Human-readable label used in [`RejuvenationReport::policy`] (and the
+    /// fleet engine's per-instance reports).
+    pub fn label(&self) -> String {
         match self {
             RejuvenationPolicy::Reactive => "reactive".into(),
             RejuvenationPolicy::TimeBased { interval_secs } => {
@@ -164,10 +166,8 @@ pub fn evaluate_policy(
                             }
                         }
                         RejuvenationPolicy::Predictive { threshold_secs, consecutive } => {
-                            let prediction = online
-                                .as_mut()
-                                .expect("validated above")
-                                .observe(&sample);
+                            let prediction =
+                                online.as_mut().expect("validated above").observe(&sample);
                             if seen > config.warmup_checkpoints && prediction < threshold_secs {
                                 below += 1;
                                 if below >= consecutive {
@@ -283,12 +283,8 @@ mod tests {
 
     #[test]
     fn predictive_policy_beats_reactive_availability() {
-        let predictor = AgingPredictor::train(
-            &[crashing_scenario()],
-            FeatureSet::exp42(),
-            77,
-        )
-        .unwrap();
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 77).unwrap();
         let cfg = short_config();
         let predictive = evaluate_policy(
             &crashing_scenario(),

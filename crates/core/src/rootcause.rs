@@ -120,10 +120,7 @@ mod tests {
     #[test]
     fn report_identifies_the_driving_attribute() {
         // Target driven by a memory-ish attribute; noise elsewhere.
-        let mut ds = Dataset::new(
-            vec!["tomcat_mem_used".into(), "disk_used".into()],
-            "ttf",
-        );
+        let mut ds = Dataset::new(vec!["tomcat_mem_used".into(), "disk_used".into()], "ttf");
         for i in 0..400 {
             let mem = i as f64;
             let ttf = if mem < 200.0 { 8000.0 - 10.0 * mem } else { 12000.0 - 30.0 * mem };

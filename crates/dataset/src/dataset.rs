@@ -117,14 +117,10 @@ impl Dataset {
             });
         }
         if let Some(bad) = values.iter().position(|v| !v.is_finite()) {
-            return Err(DatasetError::NonFinite {
-                column: self.attribute_names[bad].clone(),
-            });
+            return Err(DatasetError::NonFinite { column: self.attribute_names[bad].clone() });
         }
         if !target.is_finite() {
-            return Err(DatasetError::NonFinite {
-                column: self.target_name.clone(),
-            });
+            return Err(DatasetError::NonFinite { column: self.target_name.clone() });
         }
         self.values.extend_from_slice(&values);
         self.targets.push(target);
@@ -138,10 +134,7 @@ impl Dataset {
     /// Panics if `i >= self.len()`.
     pub fn row(&self, i: usize) -> RowView<'_> {
         let n = self.n_attributes();
-        RowView {
-            values: &self.values[i * n..(i + 1) * n],
-            target: self.targets[i],
-        }
+        RowView { values: &self.values[i * n..(i + 1) * n], target: self.targets[i] }
     }
 
     /// The target value of row `i`.
@@ -217,10 +210,8 @@ impl Dataset {
                     .ok_or_else(|| DatasetError::UnknownColumn(name.to_string()))?,
             );
         }
-        let mut out = Dataset::new(
-            names.iter().map(|s| s.to_string()).collect(),
-            self.target_name.clone(),
-        );
+        let mut out =
+            Dataset::new(names.iter().map(|s| s.to_string()).collect(), self.target_name.clone());
         for i in 0..self.len() {
             let row: Vec<f64> = idx.iter().map(|&c| self.value(i, c)).collect();
             out.push_row(row, self.targets[i])

@@ -49,10 +49,9 @@ pub fn write_csv<W: Write>(ds: &Dataset, mut w: W) -> Result<(), DatasetError> {
 /// numbers, ragged rows) and propagates I/O failures.
 pub fn read_csv<R: BufRead>(r: R) -> Result<Dataset, DatasetError> {
     let mut lines = r.lines().enumerate();
-    let (_, header) = lines.next().ok_or(DatasetError::Parse {
-        line: 1,
-        message: "empty input: missing header".into(),
-    })?;
+    let (_, header) = lines
+        .next()
+        .ok_or(DatasetError::Parse { line: 1, message: "empty input: missing header".into() })?;
     let header = header?;
     let mut cols: Vec<String> = header.split(',').map(|s| s.trim().to_string()).collect();
     if cols.len() < 2 {
@@ -85,10 +84,8 @@ pub fn read_csv<R: BufRead>(r: R) -> Result<Dataset, DatasetError> {
             });
         }
         let target = vals.pop().expect("non-empty row");
-        ds.push_row(vals, target).map_err(|e| DatasetError::Parse {
-            line: lineno,
-            message: e.to_string(),
-        })?;
+        ds.push_row(vals, target)
+            .map_err(|e| DatasetError::Parse { line: lineno, message: e.to_string() })?;
     }
     Ok(ds)
 }

@@ -6,12 +6,7 @@ use proptest::prelude::*;
 /// Finite, reasonably-sized floats that survive CSV round-trips exactly
 /// enough for comparison (we compare parsed values, not strings).
 fn finite_f64() -> impl Strategy<Value = f64> {
-    prop_oneof![
-        -1.0e9..1.0e9f64,
-        Just(0.0),
-        Just(-0.0),
-        -1.0..1.0f64,
-    ]
+    prop_oneof![-1.0e9..1.0e9f64, Just(0.0), Just(-0.0), -1.0..1.0f64,]
 }
 
 proptest! {

@@ -1,0 +1,110 @@
+//! Fleet configuration and per-instance specifications.
+
+use aging_core::{RejuvenationConfig, RejuvenationPolicy};
+use aging_testbed::Scenario;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One simulated deployment the fleet operates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceSpec {
+    /// Identifier carried into the per-instance report.
+    pub name: String,
+    /// The workload/fault scenario this deployment runs.
+    pub scenario: Scenario,
+    /// Restart policy applied to this deployment.
+    pub policy: RejuvenationPolicy,
+    /// Base RNG seed; service epoch `e` runs under `seed + e`, matching
+    /// `aging_core::rejuvenation::evaluate_policy`.
+    pub seed: u64,
+}
+
+/// Fleet-wide operating parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Worker threads the instances are sharded across. Capped at the
+    /// instance count at run time; at least 1.
+    pub shards: usize,
+    /// Downtime costs, horizon and predictive warm-up — shared with the
+    /// single-instance rejuvenation study so a 1-instance fleet reproduces
+    /// it exactly.
+    pub rejuvenation: RejuvenationConfig,
+    /// When an instance is proactively restarted, a frozen-rate fork of its
+    /// simulator decides whether a real crash was imminent within this many
+    /// simulated seconds (counted as a crash avoided). `0.0` disables the
+    /// counterfactual check (and `crashes_avoided` stays 0).
+    pub counterfactual_horizon_secs: f64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            shards: 4,
+            rejuvenation: RejuvenationConfig::default(),
+            counterfactual_horizon_secs: 3600.0,
+        }
+    }
+}
+
+/// Error raised when assembling or running a fleet.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum FleetError {
+    /// The fleet has no instances.
+    NoInstances,
+    /// A specification or configuration value is invalid.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for FleetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FleetError::NoInstances => write!(f, "fleet has no instances"),
+            FleetError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FleetError {}
+
+/// Validates a spec the way `evaluate_policy` validates its inputs.
+pub(crate) fn validate_spec(spec: &InstanceSpec) -> Result<(), FleetError> {
+    match spec.policy {
+        RejuvenationPolicy::Reactive => Ok(()),
+        RejuvenationPolicy::TimeBased { interval_secs } => {
+            if interval_secs <= 0.0 {
+                return Err(FleetError::InvalidParameter(format!(
+                    "instance `{}`: interval must be positive",
+                    spec.name
+                )));
+            }
+            Ok(())
+        }
+        RejuvenationPolicy::Predictive { threshold_secs, consecutive } => {
+            if threshold_secs <= 0.0 || consecutive == 0 {
+                return Err(FleetError::InvalidParameter(format!(
+                    "instance `{}`: predictive policy needs positive threshold and \
+                     consecutive count",
+                    spec.name
+                )));
+            }
+            Ok(())
+        }
+        _ => Ok(()),
+    }
+}
+
+pub(crate) fn validate_config(config: &FleetConfig) -> Result<(), FleetError> {
+    if config.shards == 0 {
+        return Err(FleetError::InvalidParameter("shards must be at least 1".into()));
+    }
+    if config.rejuvenation.horizon_secs <= 0.0 {
+        return Err(FleetError::InvalidParameter("horizon must be positive".into()));
+    }
+    if config.counterfactual_horizon_secs < 0.0 {
+        return Err(FleetError::InvalidParameter(
+            "counterfactual horizon must be non-negative".into(),
+        ));
+    }
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! The fleet engine: sharding, the worker pool and lock-step epochs.
+
+use crate::config::{validate_config, validate_spec, FleetConfig, FleetError, InstanceSpec};
+use crate::instance::Instance;
+use crate::report::{FleetReport, FleetTiming, InstanceReport};
+use crate::shard::Shard;
+use aging_core::{AgingPredictor, RejuvenationPolicy};
+use aging_ml::Regressor;
+use aging_monitor::FeatureSet;
+use aging_testbed::Scenario;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// A set of simulated deployments operated concurrently under a shared
+/// trained model.
+///
+/// Construction validates every spec; [`Fleet::run`] shards the instances
+/// across a fixed pool of worker threads and drives them in lock-step
+/// epochs of 15-second checkpoints, batching each shard's TTF inferences
+/// through [`Regressor::predict_batch`].
+#[derive(Debug)]
+pub struct Fleet {
+    specs: Vec<InstanceSpec>,
+    config: FleetConfig,
+}
+
+impl Fleet {
+    /// Assembles a fleet from explicit per-instance specs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::NoInstances`] for an empty spec list and
+    /// [`FleetError::InvalidParameter`] for degenerate policy or
+    /// configuration values (same rules as the single-instance
+    /// `evaluate_policy`).
+    pub fn new(specs: Vec<InstanceSpec>, config: FleetConfig) -> Result<Self, FleetError> {
+        if specs.is_empty() {
+            return Err(FleetError::NoInstances);
+        }
+        validate_config(&config)?;
+        for spec in &specs {
+            validate_spec(spec)?;
+        }
+        Ok(Fleet { specs, config })
+    }
+
+    /// Convenience constructor: `n` deployments of the same scenario and
+    /// policy, with seeds `base_seed, base_seed + 1, …` so every instance
+    /// ages along its own sample path.
+    ///
+    /// # Errors
+    ///
+    /// See [`Fleet::new`].
+    pub fn uniform(
+        scenario: &Scenario,
+        policy: RejuvenationPolicy,
+        n: usize,
+        base_seed: u64,
+        config: FleetConfig,
+    ) -> Result<Self, FleetError> {
+        let specs = (0..n)
+            .map(|i| InstanceSpec {
+                name: format!("{}-{i:04}", scenario.name),
+                scenario: scenario.clone(),
+                policy,
+                seed: base_seed.wrapping_add(i as u64),
+            })
+            .collect();
+        Fleet::new(specs, config)
+    }
+
+    /// Number of instances.
+    pub fn len(&self) -> usize {
+        self.specs.len()
+    }
+
+    /// Whether the fleet is empty (never true for a constructed fleet).
+    pub fn is_empty(&self) -> bool {
+        self.specs.is_empty()
+    }
+
+    /// The fleet configuration.
+    pub fn config(&self) -> &FleetConfig {
+        &self.config
+    }
+
+    /// Operates the fleet to its horizon with a trained predictor, sharing
+    /// its model and feature pipeline across all worker threads.
+    pub fn run_with_predictor(self, predictor: &AgingPredictor) -> FleetReport {
+        self.run(predictor.model(), predictor.features())
+    }
+
+    /// Operates the fleet to its horizon.
+    ///
+    /// `model` is shared by reference across the worker pool (it is `Sync`
+    /// by the `Regressor` contract); `features` must be the set the model
+    /// was trained on. The outcome is deterministic in the specs, seeds and
+    /// config — wall-clock [`FleetTiming`] is the only non-reproducible
+    /// part, and it is excluded from report equality.
+    pub fn run(self, model: &dyn Regressor, features: &FeatureSet) -> FleetReport {
+        let Fleet { specs, config } = self;
+        let n_instances = specs.len();
+        let n_shards = config.shards.min(n_instances).max(1);
+
+        // Round-robin instances over shards; the original index rides along
+        // so reports return in spec order regardless of sharding.
+        let mut shards: Vec<Shard> = {
+            let mut buckets: Vec<Vec<(usize, Instance)>> =
+                (0..n_shards).map(|_| Vec::new()).collect();
+            for (i, spec) in specs.into_iter().enumerate() {
+                buckets[i % n_shards].push((i, Instance::new(spec, features)));
+            }
+            buckets.into_iter().map(Shard::new).collect()
+        };
+
+        // Lock-step epoch loop. Every worker advances its shard by one
+        // checkpoint, then the fleet synchronises on a barrier. Liveness is
+        // accumulated into a parity-indexed counter pair: epoch `e` adds to
+        // `live[e % 2]`, and between the two barrier waits — when no thread
+        // can be writing either counter — the leader zeroes the counter the
+        // *next* epoch will use. Workers therefore agree on "anyone still
+        // live?" at every epoch and exit together.
+        //
+        // A panicking epoch (a model or simulator assertion) must not strand
+        // the sibling workers at the barrier, so each epoch runs under
+        // `catch_unwind`: the panicking worker still completes the epoch's
+        // two waits while raising the shared `panicked` flag, every worker
+        // exits at the epoch boundary, and the payload is rethrown on join.
+        let barrier = Barrier::new(n_shards);
+        let live = [AtomicU64::new(0), AtomicU64::new(0)];
+        let panicked = AtomicBool::new(false);
+        let started = Instant::now();
+
+        let epochs = std::thread::scope(|scope| {
+            let handles: Vec<_> = shards
+                .iter_mut()
+                .map(|shard| {
+                    let barrier = &barrier;
+                    let live = &live;
+                    let panicked = &panicked;
+                    let config = &config;
+                    scope.spawn(move || {
+                        let mut epoch = 0u64;
+                        loop {
+                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                shard.epoch(model, features, config) as u64
+                            }));
+                            let shard_live = match &outcome {
+                                Ok(n) => *n,
+                                Err(_) => {
+                                    panicked.store(true, Ordering::SeqCst);
+                                    0
+                                }
+                            };
+                            let parity = (epoch % 2) as usize;
+                            live[parity].fetch_add(shard_live, Ordering::SeqCst);
+                            let wait = barrier.wait();
+                            let keep_going = live[parity].load(Ordering::SeqCst) > 0
+                                && !panicked.load(Ordering::SeqCst);
+                            if wait.is_leader() {
+                                live[1 - parity].store(0, Ordering::SeqCst);
+                            }
+                            barrier.wait();
+                            epoch += 1;
+                            if let Err(payload) = outcome {
+                                std::panic::resume_unwind(payload);
+                            }
+                            if !keep_going {
+                                return epoch;
+                            }
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| match h.join() {
+                    Ok(epochs) => epochs,
+                    // Rethrow the worker's original payload to the caller.
+                    Err(payload) => std::panic::resume_unwind(payload),
+                })
+                .max()
+                .unwrap_or(0)
+        });
+
+        let wall_secs = started.elapsed().as_secs_f64();
+        let mut reports: Vec<(usize, InstanceReport)> = shards
+            .iter()
+            .flat_map(|s| s.instances.iter().map(|(i, inst)| (*i, inst.report())))
+            .collect();
+        reports.sort_by_key(|(i, _)| *i);
+        let instances: Vec<InstanceReport> = reports.into_iter().map(|(_, r)| r).collect();
+        let checkpoints: u64 = instances.iter().map(|i| i.checkpoints).sum();
+        let timing = FleetTiming {
+            wall_secs,
+            checkpoints_per_sec: if wall_secs > 0.0 { checkpoints as f64 / wall_secs } else { 0.0 },
+        };
+        FleetReport::aggregate(
+            instances,
+            n_shards,
+            epochs,
+            config.rejuvenation.horizon_secs,
+            timing,
+        )
+    }
+}

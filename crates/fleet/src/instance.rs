@@ -1,0 +1,217 @@
+//! One fleet-operated deployment: a simulator advanced checkpoint by
+//! checkpoint, with rejuvenation-policy accounting.
+//!
+//! The state machine is `aging_core::rejuvenation::evaluate_policy`
+//! unrolled into per-tick steps: where the single-instance study drives one
+//! simulator through an inner loop, a fleet [`Instance`] performs exactly
+//! one `Simulator::step` per fleet epoch and carries the epoch/policy state
+//! across ticks. Counters are accumulated in the same order, so a
+//! one-instance fleet reproduces the single-instance
+//! `RejuvenationReport` bit for bit (see `tests/properties.rs`).
+
+use crate::config::{FleetConfig, InstanceSpec};
+use crate::report::InstanceReport;
+use aging_core::{clamp_ttf, RejuvenationPolicy};
+use aging_monitor::{FeatureExtractor, FeatureSet};
+use aging_testbed::{Simulator, StepOutcome};
+
+/// What an instance did during one fleet tick.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Tick {
+    /// Nothing left to do: the instance reached its operating horizon.
+    Retired,
+    /// A checkpoint was consumed; no prediction is needed (reactive or
+    /// time-based policy, or an epoch boundary).
+    Advanced,
+    /// A checkpoint was consumed and this feature row awaits a batched
+    /// prediction; the caller must follow up with
+    /// [`Instance::apply_prediction`].
+    NeedsPrediction(Vec<f64>),
+}
+
+/// A single simulated deployment plus its fleet-side operating state.
+#[derive(Debug)]
+pub struct Instance {
+    spec: InstanceSpec,
+    extractor: FeatureExtractor,
+    // Epoch-of-service state (reset on every restart).
+    sim: Option<Box<Simulator>>,
+    epoch: u64,
+    epochs_started: u64,
+    seen: usize,
+    below: usize,
+    pending_uptime: f64,
+    // Operating-period accounting, mirroring `evaluate_policy`.
+    elapsed: f64,
+    crashes: u64,
+    rejuvenations: u64,
+    crashes_avoided: u64,
+    downtime: f64,
+    throughput_sum: f64,
+    throughput_n: u64,
+    checkpoints: u64,
+    retired: bool,
+}
+
+impl Instance {
+    pub(crate) fn new(spec: InstanceSpec, features: &FeatureSet) -> Self {
+        Instance {
+            extractor: FeatureExtractor::new(features.window()),
+            spec,
+            sim: None,
+            epoch: 0,
+            epochs_started: 0,
+            seen: 0,
+            below: 0,
+            pending_uptime: 0.0,
+            elapsed: 0.0,
+            crashes: 0,
+            rejuvenations: 0,
+            crashes_avoided: 0,
+            downtime: 0.0,
+            throughput_sum: 0.0,
+            throughput_n: 0,
+            checkpoints: 0,
+            retired: false,
+        }
+    }
+
+    /// Advances one checkpoint (or epoch-boundary event). Returns
+    /// [`Tick::NeedsPrediction`] when the predictive policy needs a TTF for
+    /// this checkpoint; the shard batches those rows across its instances.
+    pub(crate) fn advance(&mut self, config: &FleetConfig, features: &FeatureSet) -> Tick {
+        if self.retired {
+            return Tick::Retired;
+        }
+        let horizon = config.rejuvenation.horizon_secs;
+        if self.sim.is_none() {
+            // Outer `while elapsed < horizon` of the single-instance study.
+            if self.elapsed >= horizon {
+                self.retired = true;
+                return Tick::Retired;
+            }
+            self.sim = Some(Box::new(Simulator::new(
+                &self.spec.scenario,
+                self.spec.seed.wrapping_add(self.epoch),
+            )));
+            self.epochs_started += 1;
+            self.extractor.reset();
+            self.seen = 0;
+            self.below = 0;
+        }
+        let sim = self.sim.as_mut().expect("simulator created above");
+        match sim.step() {
+            StepOutcome::Checkpoint(sample) => {
+                self.seen += 1;
+                self.throughput_sum += sample.throughput_rps;
+                self.throughput_n += 1;
+                self.checkpoints += 1;
+                let uptime = sample.time_secs;
+                if self.elapsed + uptime >= horizon {
+                    self.elapsed += uptime;
+                    self.retired = true;
+                    self.sim = None;
+                    return Tick::Retired;
+                }
+                match self.spec.policy {
+                    RejuvenationPolicy::TimeBased { interval_secs } if uptime >= interval_secs => {
+                        self.rejuvenate(uptime, config);
+                        Tick::Advanced
+                    }
+                    RejuvenationPolicy::Predictive { .. } => {
+                        let full = self.extractor.push(&sample);
+                        // During warm-up the trigger discards the prediction
+                        // unconditionally (`below` is still 0), so skip the
+                        // inference entirely — the sliding-window state above
+                        // is what has to keep advancing. Behaviour-identical
+                        // to predicting and ignoring the result.
+                        if self.seen <= config.rejuvenation.warmup_checkpoints {
+                            return Tick::Advanced;
+                        }
+                        self.pending_uptime = uptime;
+                        Tick::NeedsPrediction(features.project(&full))
+                    }
+                    _ => Tick::Advanced,
+                }
+            }
+            StepOutcome::Crashed(crash) => {
+                self.crashes += 1;
+                self.downtime += config.rejuvenation.crash_downtime_secs;
+                self.elapsed += crash.time_secs + config.rejuvenation.crash_downtime_secs;
+                self.end_epoch();
+                Tick::Advanced
+            }
+            StepOutcome::Finished => {
+                let uptime = sim.time_ms() as f64 / 1000.0;
+                self.elapsed += uptime.max(1.0);
+                self.end_epoch();
+                Tick::Advanced
+            }
+        }
+    }
+
+    /// Second phase of a predictive tick: feeds the batched TTF prediction
+    /// back into the debounced threshold trigger.
+    pub(crate) fn apply_prediction(&mut self, raw_prediction: f64, config: &FleetConfig) {
+        let RejuvenationPolicy::Predictive { threshold_secs, consecutive } = self.spec.policy
+        else {
+            unreachable!("apply_prediction is only called after NeedsPrediction");
+        };
+        debug_assert!(
+            self.seen > config.rejuvenation.warmup_checkpoints,
+            "warm-up checkpoints never request predictions"
+        );
+        let prediction = clamp_ttf(raw_prediction);
+        if prediction < threshold_secs {
+            self.below += 1;
+            if self.below >= consecutive {
+                self.rejuvenate(self.pending_uptime, config);
+            }
+        } else {
+            self.below = 0;
+        }
+    }
+
+    fn rejuvenate(&mut self, uptime: f64, config: &FleetConfig) {
+        if config.counterfactual_horizon_secs > 0.0 {
+            let sim = self.sim.as_ref().expect("rejuvenation happens mid-epoch");
+            let ttf = sim.frozen_time_to_crash(config.counterfactual_horizon_secs);
+            if ttf < config.counterfactual_horizon_secs {
+                self.crashes_avoided += 1;
+            }
+        }
+        self.rejuvenations += 1;
+        self.downtime += config.rejuvenation.rejuvenation_downtime_secs;
+        self.elapsed += uptime + config.rejuvenation.rejuvenation_downtime_secs;
+        self.end_epoch();
+    }
+
+    fn end_epoch(&mut self) {
+        self.sim = None;
+        self.epoch += 1;
+    }
+
+    /// The instance's final accounting, shaped exactly like the
+    /// single-instance `RejuvenationReport` plus fleet extras.
+    pub(crate) fn report(&self) -> InstanceReport {
+        let horizon = self.elapsed.max(1.0);
+        let mean_rps = if self.throughput_n > 0 {
+            self.throughput_sum / self.throughput_n as f64
+        } else {
+            0.0
+        };
+        InstanceReport {
+            name: self.spec.name.clone(),
+            policy: self.spec.policy.label(),
+            horizon_secs: horizon,
+            crashes: self.crashes,
+            rejuvenations: self.rejuvenations,
+            crashes_avoided: self.crashes_avoided,
+            downtime_secs: self.downtime,
+            availability: ((horizon - self.downtime) / horizon).clamp(0.0, 1.0),
+            lost_requests: mean_rps * self.downtime,
+            checkpoints: self.checkpoints,
+            service_epochs: self.epochs_started,
+        }
+    }
+}

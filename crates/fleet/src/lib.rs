@@ -1,0 +1,276 @@
+//! Concurrent fleet-scale aging prediction and rejuvenation.
+//!
+//! The paper picked M5P because "it has low training and prediction costs
+//! and we will eventually want on-line processing" — and the seed's
+//! on-line loop (`aging_core::OnlineTtfPredictor` +
+//! `aging_core::rejuvenation::evaluate_policy`) operates exactly **one**
+//! server at a time. This crate scales that loop to production shape:
+//! a [`Fleet`] operates hundreds of independently-seeded simulated
+//! deployments ([`InstanceSpec`]) under one shared trained model.
+//!
+//! # Architecture
+//!
+//! - Instances are round-robined across a fixed pool of `shards` worker
+//!   threads (one [`std::thread`] per shard, no per-epoch respawning).
+//! - The fleet advances in **lock-step epochs**: every live instance
+//!   consumes one 15-second monitoring checkpoint per epoch, and the
+//!   workers synchronise on a barrier before the next epoch begins.
+//! - Within a shard, every checkpoint that needs a time-to-failure
+//!   estimate is collected into a feature matrix and resolved through one
+//!   [`aging_ml::Regressor::predict_batch`] call — the shared model is
+//!   `Sync`, so all shards read it concurrently without cloning it.
+//! - Each instance applies its own `RejuvenationPolicy` with the exact
+//!   accounting of the single-instance study: a 1-instance fleet
+//!   reproduces `evaluate_policy`'s `RejuvenationReport` field for field.
+//! - Per-instance outcomes fold into a [`FleetReport`]: availability,
+//!   crashes suffered/avoided (the latter via the paper's frozen-rate
+//!   fork as counterfactual), lost work, restart counts, and the engine's
+//!   wall-clock checkpoints/second throughput.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use aging_core::{AgingPredictor, RejuvenationPolicy};
+//! use aging_fleet::{Fleet, FleetConfig};
+//! use aging_monitor::FeatureSet;
+//! use aging_testbed::{MemLeakSpec, Scenario};
+//!
+//! let scenario = Scenario::builder("leaky")
+//!     .emulated_browsers(100)
+//!     .memory_leak(MemLeakSpec::new(15))
+//!     .run_to_crash()
+//!     .build();
+//! let predictor = AgingPredictor::train(&[scenario.clone()], FeatureSet::exp42(), 7)?;
+//! let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+//! let fleet = Fleet::uniform(&scenario, policy, 100, 1000, FleetConfig::default())?;
+//! let report = fleet.run_with_predictor(&predictor);
+//! println!("{report}");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod config;
+mod engine;
+mod instance;
+mod report;
+mod shard;
+
+pub use config::{FleetConfig, FleetError, InstanceSpec};
+pub use engine::Fleet;
+pub use instance::Instance;
+pub use report::{FleetReport, FleetTiming, InstanceReport};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
+    use aging_monitor::FeatureSet;
+    use aging_testbed::{MemLeakSpec, Scenario};
+
+    fn crashing_scenario() -> Scenario {
+        Scenario::builder("leaky")
+            .emulated_browsers(100)
+            .memory_leak(MemLeakSpec::new(15))
+            .run_to_crash()
+            .build()
+    }
+
+    fn short_config(shards: usize) -> FleetConfig {
+        FleetConfig {
+            shards,
+            rejuvenation: RejuvenationConfig { horizon_secs: 2.0 * 3600.0, ..Default::default() },
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn empty_fleet_is_rejected() {
+        assert!(matches!(
+            Fleet::new(Vec::new(), FleetConfig::default()),
+            Err(FleetError::NoInstances)
+        ));
+    }
+
+    #[test]
+    fn degenerate_parameters_are_rejected() {
+        let spec = |policy| InstanceSpec {
+            name: "x".into(),
+            scenario: crashing_scenario(),
+            policy,
+            seed: 1,
+        };
+        assert!(Fleet::new(
+            vec![spec(RejuvenationPolicy::TimeBased { interval_secs: 0.0 })],
+            FleetConfig::default(),
+        )
+        .is_err());
+        assert!(Fleet::new(
+            vec![spec(RejuvenationPolicy::Predictive { threshold_secs: 300.0, consecutive: 0 })],
+            FleetConfig::default(),
+        )
+        .is_err());
+        assert!(Fleet::new(
+            vec![spec(RejuvenationPolicy::Reactive)],
+            FleetConfig { shards: 0, ..Default::default() },
+        )
+        .is_err());
+        let bad_horizon = FleetConfig {
+            rejuvenation: RejuvenationConfig { horizon_secs: 0.0, ..Default::default() },
+            ..Default::default()
+        };
+        assert!(Fleet::new(vec![spec(RejuvenationPolicy::Reactive)], bad_horizon).is_err());
+    }
+
+    #[test]
+    fn reactive_fleet_suffers_crashes_on_every_instance() {
+        let fleet = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            6,
+            10,
+            short_config(3),
+        )
+        .unwrap();
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 99).unwrap();
+        let report = fleet.run_with_predictor(&predictor);
+        assert_eq!(report.instances.len(), 6);
+        assert_eq!(report.shards, 3);
+        assert_eq!(report.rejuvenations, 0);
+        for inst in &report.instances {
+            assert!(inst.crashes >= 1, "leaky instance must crash: {inst:?}");
+            assert!(inst.availability < 1.0);
+            assert!(inst.service_epochs >= inst.crashes, "{inst:?}");
+        }
+        assert!(report.epochs > 0);
+        assert_eq!(report.checkpoints, report.instances.iter().map(|i| i.checkpoints).sum::<u64>());
+    }
+
+    #[test]
+    fn predictive_fleet_avoids_crashes_and_counts_counterfactuals() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 77).unwrap();
+        let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+        let predictive = Fleet::uniform(&crashing_scenario(), policy, 4, 500, short_config(2))
+            .unwrap()
+            .run_with_predictor(&predictor);
+        let reactive = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            4,
+            500,
+            short_config(2),
+        )
+        .unwrap()
+        .run_with_predictor(&predictor);
+        assert!(
+            predictive.crashes < reactive.crashes,
+            "prediction must pre-empt crashes: {} vs {}",
+            predictive.crashes,
+            reactive.crashes
+        );
+        assert!(predictive.availability > reactive.availability);
+        assert!(predictive.rejuvenations > 0);
+        assert!(
+            predictive.crashes_avoided > 0,
+            "proactive restarts of a leaky server should pre-empt real crashes: {predictive}"
+        );
+        assert!(predictive.crashes_avoided <= predictive.rejuvenations);
+    }
+
+    #[test]
+    fn disabled_counterfactual_reports_zero_avoided() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 77).unwrap();
+        let mut config = short_config(2);
+        config.counterfactual_horizon_secs = 0.0;
+        let report = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::TimeBased { interval_secs: 900.0 },
+            3,
+            42,
+            config,
+        )
+        .unwrap()
+        .run_with_predictor(&predictor);
+        assert!(report.rejuvenations > 0);
+        assert_eq!(report.crashes_avoided, 0);
+    }
+
+    #[test]
+    fn report_orders_instances_by_spec_regardless_of_sharding() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 5).unwrap();
+        for shards in [1, 2, 5] {
+            let fleet = Fleet::uniform(
+                &crashing_scenario(),
+                RejuvenationPolicy::Reactive,
+                5,
+                0,
+                short_config(shards),
+            )
+            .unwrap();
+            let report = fleet.run_with_predictor(&predictor);
+            let names: Vec<&str> = report.instances.iter().map(|i| i.name.as_str()).collect();
+            assert_eq!(
+                names,
+                vec!["leaky-0000", "leaky-0001", "leaky-0002", "leaky-0003", "leaky-0004"],
+                "shards={shards}"
+            );
+        }
+    }
+
+    #[test]
+    fn worker_panic_propagates_instead_of_deadlocking() {
+        // A model assertion (e.g. feature-arity mismatch) fires inside one
+        // worker thread; the barrier protocol must let every worker drain
+        // out and the payload reach the caller, not strand the siblings.
+        #[derive(Debug)]
+        struct PanicModel;
+
+        impl aging_ml::Regressor for PanicModel {
+            fn predict(&self, _x: &[f64]) -> f64 {
+                panic!("model rejected the feature row");
+            }
+
+            fn name(&self) -> &'static str {
+                "Panic"
+            }
+        }
+
+        let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+        let fleet = Fleet::uniform(&crashing_scenario(), policy, 4, 1, short_config(2)).unwrap();
+        let features = FeatureSet::exp42();
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            fleet.run(&PanicModel, &features)
+        }));
+        let payload = outcome.expect_err("the worker panic must reach the caller");
+        let message = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(str::to_owned)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_default();
+        assert!(message.contains("model rejected"), "unexpected payload: {message}");
+    }
+
+    #[test]
+    fn display_summarises_the_fleet() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 5).unwrap();
+        let report = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            2,
+            3,
+            short_config(2),
+        )
+        .unwrap()
+        .run_with_predictor(&predictor);
+        let text = report.to_string();
+        assert!(text.contains("2 instances"), "{text}");
+        assert!(text.contains("checkpoints/s"), "{text}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Fleet-wide and per-instance outcome reports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Outcome of operating one instance over the horizon — the fields of the
+/// single-instance `RejuvenationReport`, plus fleet extras.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceReport {
+    /// Instance identifier from its spec.
+    pub name: String,
+    /// Policy description.
+    pub policy: String,
+    /// Operation period covered, seconds.
+    pub horizon_secs: f64,
+    /// Unplanned crashes suffered.
+    pub crashes: u64,
+    /// Planned restarts performed.
+    pub rejuvenations: u64,
+    /// Planned restarts whose frozen-rate counterfactual fork crashed
+    /// within the configured window (0 when the check is disabled).
+    pub crashes_avoided: u64,
+    /// Total downtime, seconds.
+    pub downtime_secs: f64,
+    /// Fraction of the horizon the service was up.
+    pub availability: f64,
+    /// Estimated requests lost during downtime.
+    pub lost_requests: f64,
+    /// Monitoring checkpoints consumed.
+    pub checkpoints: u64,
+    /// Service epochs started (initial start + every restart).
+    pub service_epochs: u64,
+}
+
+/// Wall-clock performance of a fleet run. Not part of the report's
+/// equality: two runs of the same fleet are *equal* when their simulated
+/// outcomes agree, however fast the hardware drove them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FleetTiming {
+    /// Wall-clock seconds the run took.
+    pub wall_secs: f64,
+    /// Monitoring checkpoints processed per wall-clock second across the
+    /// whole fleet — the engine's headline throughput number.
+    pub checkpoints_per_sec: f64,
+}
+
+/// Aggregated outcome of a fleet run.
+///
+/// `PartialEq` deliberately ignores [`FleetReport::timing`]: equality means
+/// "the same simulated outcome", which is what the determinism guarantee
+/// (same specs, seeds and config ⇒ same report) is about.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-instance outcomes, in spec order.
+    pub instances: Vec<InstanceReport>,
+    /// Worker threads used.
+    pub shards: usize,
+    /// Lock-step fleet epochs driven.
+    pub epochs: u64,
+    /// Configured operating horizon, seconds.
+    pub horizon_secs: f64,
+    /// Total unplanned crashes across the fleet.
+    pub crashes: u64,
+    /// Total planned restarts across the fleet.
+    pub rejuvenations: u64,
+    /// Total planned restarts that pre-empted an imminent crash.
+    pub crashes_avoided: u64,
+    /// Total downtime across the fleet, seconds.
+    pub downtime_secs: f64,
+    /// Mean per-instance availability.
+    pub availability: f64,
+    /// Total estimated requests lost to downtime.
+    pub lost_requests: f64,
+    /// Total monitoring checkpoints consumed.
+    pub checkpoints: u64,
+    /// Wall-clock performance (excluded from equality).
+    pub timing: FleetTiming,
+}
+
+impl PartialEq for FleetReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.instances == other.instances
+            && self.shards == other.shards
+            && self.epochs == other.epochs
+            && self.horizon_secs == other.horizon_secs
+            && self.crashes == other.crashes
+            && self.rejuvenations == other.rejuvenations
+            && self.crashes_avoided == other.crashes_avoided
+            && self.downtime_secs == other.downtime_secs
+            && self.availability == other.availability
+            && self.lost_requests == other.lost_requests
+            && self.checkpoints == other.checkpoints
+    }
+}
+
+impl FleetReport {
+    /// Builds the aggregate from per-instance outcomes.
+    pub(crate) fn aggregate(
+        instances: Vec<InstanceReport>,
+        shards: usize,
+        epochs: u64,
+        horizon_secs: f64,
+        timing: FleetTiming,
+    ) -> Self {
+        let n = instances.len().max(1) as f64;
+        FleetReport {
+            shards,
+            epochs,
+            horizon_secs,
+            crashes: instances.iter().map(|i| i.crashes).sum(),
+            rejuvenations: instances.iter().map(|i| i.rejuvenations).sum(),
+            crashes_avoided: instances.iter().map(|i| i.crashes_avoided).sum(),
+            downtime_secs: instances.iter().map(|i| i.downtime_secs).sum(),
+            availability: instances.iter().map(|i| i.availability).sum::<f64>() / n,
+            lost_requests: instances.iter().map(|i| i.lost_requests).sum(),
+            checkpoints: instances.iter().map(|i| i.checkpoints).sum(),
+            instances,
+            timing,
+        }
+    }
+}
+
+impl fmt::Display for FleetReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "fleet of {} instances across {} shards, {:.1} h horizon ({} lock-step epochs)",
+            self.instances.len(),
+            self.shards,
+            self.horizon_secs / 3600.0,
+            self.epochs
+        )?;
+        writeln!(f, "  availability       {:.4} (mean over instances)", self.availability)?;
+        writeln!(
+            f,
+            "  crashes suffered   {:<8} crashes avoided {}",
+            self.crashes, self.crashes_avoided
+        )?;
+        writeln!(
+            f,
+            "  rejuvenations      {:<8} downtime        {:.0} s",
+            self.rejuvenations, self.downtime_secs
+        )?;
+        writeln!(f, "  lost requests      {:.0}", self.lost_requests)?;
+        write!(
+            f,
+            "  throughput         {} checkpoints in {:.2} s wall = {:.0} checkpoints/s",
+            self.checkpoints, self.timing.wall_secs, self.timing.checkpoints_per_sec
+        )
+    }
+}

@@ -1,0 +1,55 @@
+//! A shard: the slice of the fleet one worker thread owns.
+
+use crate::config::FleetConfig;
+use crate::instance::{Instance, Tick};
+use aging_ml::Regressor;
+use aging_monitor::FeatureSet;
+
+/// A worker's instances plus reusable per-epoch buffers.
+#[derive(Debug)]
+pub(crate) struct Shard {
+    /// `(original fleet index, instance)` — the index restores spec order
+    /// when per-instance reports are folded back together.
+    pub(crate) instances: Vec<(usize, Instance)>,
+    rows: Vec<Vec<f64>>,
+    pending: Vec<usize>,
+}
+
+impl Shard {
+    pub(crate) fn new(instances: Vec<(usize, Instance)>) -> Self {
+        Shard { instances, rows: Vec::new(), pending: Vec::new() }
+    }
+
+    /// Drives every instance one checkpoint forward, then resolves all
+    /// pending TTF predictions through a single batched inference over the
+    /// shared model. Returns how many instances are still live.
+    pub(crate) fn epoch(
+        &mut self,
+        model: &dyn Regressor,
+        features: &FeatureSet,
+        config: &FleetConfig,
+    ) -> usize {
+        self.rows.clear();
+        self.pending.clear();
+        let mut live = 0usize;
+        for (slot, (_, instance)) in self.instances.iter_mut().enumerate() {
+            match instance.advance(config, features) {
+                Tick::Retired => {}
+                Tick::Advanced => live += 1,
+                Tick::NeedsPrediction(row) => {
+                    live += 1;
+                    self.rows.push(row);
+                    self.pending.push(slot);
+                }
+            }
+        }
+        if !self.rows.is_empty() {
+            let predictions = model.predict_batch(&self.rows);
+            debug_assert_eq!(predictions.len(), self.pending.len());
+            for (&slot, &prediction) in self.pending.iter().zip(&predictions) {
+                self.instances[slot].1.apply_prediction(prediction, config);
+            }
+        }
+        live
+    }
+}

@@ -74,8 +74,8 @@ impl ArmaModel {
             }
             y.push(series[t]);
         }
-        let coef = linalg::least_squares(&design, &y, rows, cols, 1e-8)
-            .ok_or(MlError::SingularSystem)?;
+        let coef =
+            linalg::least_squares(&design, &y, rows, cols, 1e-8).ok_or(MlError::SingularSystem)?;
 
         let intercept = coef[0];
         let ar = coef[1..1 + p].to_vec();
@@ -198,10 +198,7 @@ mod tests {
 
     #[test]
     fn rejects_degenerate_orders_and_short_series() {
-        assert!(matches!(
-            ArmaModel::fit(&[1.0; 50], 0, 0),
-            Err(MlError::InvalidParameter(_))
-        ));
+        assert!(matches!(ArmaModel::fit(&[1.0; 50], 0, 0), Err(MlError::InvalidParameter(_))));
         assert!(matches!(
             ArmaModel::fit(&[1.0, 2.0, 3.0], 2, 2),
             Err(MlError::TooFewInstances { .. })
@@ -223,9 +220,8 @@ mod tests {
 
     #[test]
     fn time_to_exhaustion_caps_for_flat_series() {
-        let series: Vec<f64> = (0..100)
-            .map(|i| 50.0 + if i % 2 == 0 { 0.1 } else { -0.1 })
-            .collect();
+        let series: Vec<f64> =
+            (0..100).map(|i| 50.0 + if i % 2 == 0 { 0.1 } else { -0.1 }).collect();
         let m = ArmaModel::fit(&series, 1, 1).unwrap();
         assert_eq!(m.time_to_exhaustion(1024.0, 15.0, 10_800.0), 10_800.0);
     }

@@ -58,7 +58,9 @@ impl PredictionBoard {
     /// Returns [`MlError::InvalidParameter`] when `members` is empty.
     pub fn new(members: Vec<Box<dyn Regressor>>, consensus: Consensus) -> Result<Self, MlError> {
         if members.is_empty() {
-            return Err(MlError::InvalidParameter("prediction board needs at least one member".into()));
+            return Err(MlError::InvalidParameter(
+                "prediction board needs at least one member".into(),
+            ));
         }
         Ok(PredictionBoard { members, consensus })
     }

@@ -210,7 +210,8 @@ mod tests {
     #[test]
     fn pre_post_split() {
         // Two instances deep before crash, one inside the last 10 minutes.
-        let e = evaluate(&[5000.0, 2000.0, 550.0], &[4800.0, 1900.0, 500.0], &EvalConfig::default());
+        let e =
+            evaluate(&[5000.0, 2000.0, 550.0], &[4800.0, 1900.0, 500.0], &EvalConfig::default());
         assert!((e.pre_mae.unwrap() - 150.0).abs() < 1e-9);
         assert!((e.post_mae.unwrap() - 50.0).abs() < 1e-9);
     }

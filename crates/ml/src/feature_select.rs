@@ -68,13 +68,12 @@ pub fn select_top_k(data: &Dataset, k: usize) -> Result<Dataset, MlError> {
 /// # Errors
 ///
 /// Returns [`MlError::InvalidParameter`] when no attribute matches.
-pub fn select_by_name(data: &Dataset, mut keep: impl FnMut(&str) -> bool) -> Result<Dataset, MlError> {
-    let names: Vec<&str> = data
-        .attribute_names()
-        .iter()
-        .map(String::as_str)
-        .filter(|n| keep(n))
-        .collect();
+pub fn select_by_name(
+    data: &Dataset,
+    mut keep: impl FnMut(&str) -> bool,
+) -> Result<Dataset, MlError> {
+    let names: Vec<&str> =
+        data.attribute_names().iter().map(String::as_str).filter(|n| keep(n)).collect();
     if names.is_empty() {
         return Err(MlError::InvalidParameter("name predicate matched no attribute".into()));
     }
@@ -105,11 +104,7 @@ where
     L::Model: 'static,
 {
     assert!(!holdout.is_empty(), "forward selection needs a non-empty holdout");
-    assert_eq!(
-        train.attribute_names(),
-        holdout.attribute_names(),
-        "train/holdout schema mismatch"
-    );
+    assert_eq!(train.attribute_names(), holdout.attribute_names(), "train/holdout schema mismatch");
     let mut selected: Vec<String> = Vec::new();
     let mut best_mae = f64::INFINITY;
 
@@ -198,8 +193,7 @@ mod tests {
     fn forward_selection_finds_the_signal() {
         let ds = mixed_data(300);
         let (train, holdout) = ds.split_at(200);
-        let picked =
-            forward_select(&LinRegLearner::default(), &train, &holdout, 3).unwrap();
+        let picked = forward_select(&LinRegLearner::default(), &train, &holdout, 3).unwrap();
         assert_eq!(picked[0], "heap_a", "strongest attribute must be picked first");
         assert!(!picked.contains(&"noise_c".to_string()) || picked.len() == 3);
     }
@@ -212,8 +206,7 @@ mod tests {
             ds.push_row(vec![i as f64, 0.0], 2.0 * i as f64).unwrap();
         }
         let (train, holdout) = ds.split_at(70);
-        let picked =
-            forward_select(&LinRegLearner::default(), &train, &holdout, 2).unwrap();
+        let picked = forward_select(&LinRegLearner::default(), &train, &holdout, 2).unwrap();
         assert_eq!(picked, vec!["x".to_string()]);
     }
 

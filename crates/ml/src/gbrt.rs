@@ -81,11 +81,8 @@ impl Learner for GbrtLearner {
         }
 
         let base = data.target_mean().expect("non-empty dataset");
-        let tree_learner = RegTreeLearner {
-            min_instances: self.min_instances,
-            pruning: false,
-            sd_fraction: 0.01,
-        };
+        let tree_learner =
+            RegTreeLearner { min_instances: self.min_instances, pruning: false, sd_fraction: 0.01 };
 
         let mut residuals: Vec<f64> = data.targets().iter().map(|t| t - base).collect();
         let mut stages = Vec::with_capacity(self.n_stages);
@@ -166,10 +163,7 @@ mod tests {
         assert!(GbrtLearner { learning_rate: 0.0, ..Default::default() }.fit(&ds).is_err());
         assert!(GbrtLearner { learning_rate: 1.5, ..Default::default() }.fit(&ds).is_err());
         let empty = Dataset::new(vec!["x".into()], "y");
-        assert!(matches!(
-            GbrtLearner::default().fit(&empty),
-            Err(MlError::EmptyTrainingSet)
-        ));
+        assert!(matches!(GbrtLearner::default().fit(&empty), Err(MlError::EmptyTrainingSet)));
     }
 
     #[test]

@@ -42,10 +42,7 @@ pub struct KnnModel {
 
 impl KnnModel {
     fn standardise(&self, x: &[f64]) -> Vec<f64> {
-        x.iter()
-            .enumerate()
-            .map(|(i, v)| (v - self.means[i]) / self.stds[i])
-            .collect()
+        x.iter().enumerate().map(|(i, v)| (v - self.means[i]) / self.stds[i]).collect()
     }
 }
 
@@ -182,10 +179,7 @@ mod tests {
     fn rejects_bad_input() {
         assert!(KnnLearner { k: 0, ..Default::default() }.fit(&grid()).is_err());
         let empty = Dataset::new(vec!["x".into()], "y");
-        assert!(matches!(
-            KnnLearner::default().fit(&empty),
-            Err(MlError::EmptyTrainingSet)
-        ));
+        assert!(matches!(KnnLearner::default().fit(&empty), Err(MlError::EmptyTrainingSet)));
     }
 
     #[test]

@@ -86,6 +86,24 @@ pub trait Regressor: std::fmt::Debug + Send + Sync {
     /// May panic if `x.len()` differs from the training arity.
     fn predict(&self, x: &[f64]) -> f64;
 
+    /// Predicts the target for every row of a feature matrix.
+    ///
+    /// `rows` are attribute vectors of the training arity; the result has
+    /// one prediction per row, in order, **bitwise-identical** to calling
+    /// [`Regressor::predict`] row by row (callers such as the fleet engine
+    /// rely on batched and per-sample paths being interchangeable).
+    ///
+    /// The default implementation maps [`Regressor::predict`]; models
+    /// whose per-call setup can be amortised across rows (e.g. M5P's
+    /// smoothing-path buffer) override it.
+    ///
+    /// # Panics
+    ///
+    /// May panic if any row's length differs from the training arity.
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        rows.iter().map(|row| self.predict(row)).collect()
+    }
+
     /// Short human-readable name of the model family (e.g. `"M5P"`).
     fn name(&self) -> &'static str;
 

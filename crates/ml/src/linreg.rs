@@ -27,7 +27,12 @@ pub struct LinearModel {
 impl LinearModel {
     /// The constant model `y = value` (used as the ultimate fallback and at
     /// unsplit M5P leaves).
-    pub fn constant(value: f64, attribute_names: Vec<String>, training_mae: f64, n_train: usize) -> Self {
+    pub fn constant(
+        value: f64,
+        attribute_names: Vec<String>,
+        training_mae: f64,
+        n_train: usize,
+    ) -> Self {
         LinearModel { attribute_names, terms: Vec::new(), intercept: value, training_mae, n_train }
     }
 
@@ -92,6 +97,20 @@ impl Regressor for LinearModel {
             y += coef * x[idx];
         }
         y
+    }
+
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        // Same arithmetic as `predict`, with the output preallocated and
+        // the sparse term list walked without per-row virtual dispatch.
+        let mut out = Vec::with_capacity(rows.len());
+        for row in rows {
+            let mut y = self.intercept;
+            for &(idx, coef) in &self.terms {
+                y += coef * row[idx];
+            }
+            out.push(y);
+        }
+        out
     }
 
     fn name(&self) -> &'static str {
@@ -297,10 +316,7 @@ mod tests {
     #[test]
     fn empty_dataset_is_an_error() {
         let ds = Dataset::new(vec!["a".into()], "y");
-        assert!(matches!(
-            LinRegLearner::default().fit(&ds),
-            Err(MlError::EmptyTrainingSet)
-        ));
+        assert!(matches!(LinRegLearner::default().fit(&ds), Err(MlError::EmptyTrainingSet)));
     }
 
     #[test]
@@ -338,12 +354,8 @@ mod tests {
         let used = m.used_attributes();
         assert!(used.contains(&"a"));
         // The noise term should have been eliminated or have a tiny coefficient.
-        let b_coef = m
-            .terms()
-            .iter()
-            .find(|&&(idx, _)| idx == 1)
-            .map(|&(_, c)| c.abs())
-            .unwrap_or(0.0);
+        let b_coef =
+            m.terms().iter().find(|&&(idx, _)| idx == 1).map(|&(_, c)| c.abs()).unwrap_or(0.0);
         assert!(b_coef < 0.5, "noise coefficient {b_coef} too large");
     }
 
@@ -371,6 +383,17 @@ mod tests {
         }
         let m = LinRegLearner::without_elimination().fit(&ds).unwrap();
         assert!((m.predict(&[10.0, 10.0]) - 40.0).abs() < 1e-2);
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_predict() {
+        let ds = linear_data(60);
+        let rows: Vec<Vec<f64>> = ds.iter().map(|r| r.values().to_vec()).collect();
+        let m = LinRegLearner::default().fit(&ds).unwrap();
+        let batch = m.predict_batch(&rows);
+        for (row, &b) in rows.iter().zip(&batch) {
+            assert!(m.predict(row).to_bits() == b.to_bits());
+        }
     }
 
     #[test]

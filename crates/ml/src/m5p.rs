@@ -277,8 +277,15 @@ impl M5pModel {
     }
 
     fn predict_smoothed(&self, x: &[f64]) -> f64 {
+        self.predict_smoothed_with(x, &mut Vec::new())
+    }
+
+    /// Smoothed prediction with a caller-provided path buffer, so batched
+    /// prediction amortises the allocation across rows. Arithmetic is
+    /// identical to the single-shot path.
+    fn predict_smoothed_with<'a>(&'a self, x: &[f64], path: &mut Vec<&'a Node>) -> f64 {
         // Collect the path of nodes from root to the chosen leaf.
-        let mut path: Vec<&Node> = Vec::new();
+        path.clear();
         let mut node = &self.root;
         loop {
             path.push(node);
@@ -323,6 +330,30 @@ impl Regressor for M5pModel {
         } else {
             self.predict_unsmoothed(x)
         }
+    }
+
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        // Reuse one smoothing-path buffer for the whole matrix: smoothing
+        // walks root→leaf through `path` for every prediction, and the
+        // per-call `Vec` allocation dominates single-row latency on the
+        // shallow trees the paper produces.
+        let mut path: Vec<&Node> = Vec::with_capacity(self.depth() + 1);
+        rows.iter()
+            .map(|row| {
+                assert_eq!(
+                    row.len(),
+                    self.attribute_names.len(),
+                    "M5P model expects {} attributes, got {}",
+                    self.attribute_names.len(),
+                    row.len()
+                );
+                if self.smoothing {
+                    self.predict_smoothed_with(row, &mut path)
+                } else {
+                    self.predict_unsmoothed(row)
+                }
+            })
+            .collect()
     }
 
     fn name(&self) -> &'static str {
@@ -407,7 +438,13 @@ impl M5pLearner {
                 debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
                 let left = self.grow(data, left_rows, root_sd);
                 let right = self.grow(data, right_rows, root_sd);
-                GrownNode::Split { attr, threshold, rows, left: Box::new(left), right: Box::new(right) }
+                GrownNode::Split {
+                    attr,
+                    threshold,
+                    rows,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                }
             }
             None => GrownNode::Leaf { rows },
         }
@@ -453,9 +490,8 @@ impl M5pLearner {
                 let r_sum = total - sum;
                 let r_sum_sq = total_sq - sum_sq;
                 let var_r = (r_sum_sq / nr - (r_sum / nr).powi(2)).max(0.0);
-                let sdr = parent_sd
-                    - (nl / n as f64) * var_l.sqrt()
-                    - (nr / n as f64) * var_r.sqrt();
+                let sdr =
+                    parent_sd - (nl / n as f64) * var_l.sqrt() - (nr / n as f64) * var_r.sqrt();
 
                 if sdr > best.map_or(0.0, |(s, _, _)| s) {
                     best = Some((sdr, attr, (v_prev + v_next) / 2.0));
@@ -637,6 +673,27 @@ mod tests {
         let m = M5pLearner::default().with_min_instances(50).fit(&ds).unwrap();
         // With 200 rows and >=50 per leaf, at most 4 leaves are possible.
         assert!(m.n_leaves() <= 4);
+    }
+
+    #[test]
+    fn predict_batch_is_bitwise_identical_to_predict() {
+        let ds = piecewise(400);
+        let rows: Vec<Vec<f64>> = ds.iter().map(|r| r.values().to_vec()).collect();
+        for smoothing in [true, false] {
+            let m = M5pLearner::default().with_smoothing(smoothing).fit(&ds).unwrap();
+            let batch = m.predict_batch(&rows);
+            assert_eq!(batch.len(), rows.len());
+            for (row, &b) in rows.iter().zip(&batch) {
+                let single = m.predict(row);
+                assert!(
+                    single.to_bits() == b.to_bits(),
+                    "smoothing={smoothing}: batch {b} != single {single}"
+                );
+            }
+        }
+        let empty: Vec<Vec<f64>> = Vec::new();
+        let m = M5pLearner::default().fit(&ds).unwrap();
+        assert!(m.predict_batch(&empty).is_empty());
     }
 
     #[test]

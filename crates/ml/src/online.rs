@@ -233,14 +233,8 @@ mod tests {
 
     #[test]
     fn works_with_m5p() {
-        let mut o = OnlineRegressor::new(
-            M5pLearner::default(),
-            vec!["x".into()],
-            "y",
-            200,
-            50,
-        )
-        .unwrap();
+        let mut o =
+            OnlineRegressor::new(M5pLearner::default(), vec!["x".into()], "y", 200, 50).unwrap();
         for i in 0..200 {
             let x = i as f64;
             let y = if x < 100.0 { x } else { 300.0 - 2.0 * x };

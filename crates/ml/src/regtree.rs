@@ -139,13 +139,8 @@ impl RegTreeLearner {
             rows.iter().partition(|&&i| data.value(i, attr) <= threshold);
         let left = self.grow(data, lrows, root_sd);
         let right = self.grow(data, rrows, root_sd);
-        let split = RtNode::Split {
-            attr,
-            threshold,
-            n,
-            left: Box::new(left),
-            right: Box::new(right),
-        };
+        let split =
+            RtNode::Split { attr, threshold, n, left: Box::new(left), right: Box::new(right) };
         if self.pruning {
             let as_leaf = leaf(&rows);
             if as_leaf.error() <= split.error() {

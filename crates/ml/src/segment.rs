@@ -146,12 +146,9 @@ pub fn diagnose(ys: &[f64], tolerance: f64, slope_threshold: f64) -> SeriesDiagn
     }
     let weighted_slope: f64 =
         segments.iter().map(|s| s.slope * s.len() as f64).sum::<f64>() / total as f64;
-    let drifting_fraction: f64 = segments
-        .iter()
-        .filter(|s| s.slope > slope_threshold)
-        .map(|s| s.len() as f64)
-        .sum::<f64>()
-        / total as f64;
+    let drifting_fraction: f64 =
+        segments.iter().filter(|s| s.slope > slope_threshold).map(|s| s.len() as f64).sum::<f64>()
+            / total as f64;
     if weighted_slope > slope_threshold && drifting_fraction > 0.5 {
         SeriesDiagnosis::Degrading { mean_slope: weighted_slope }
     } else {

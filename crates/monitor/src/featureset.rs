@@ -29,29 +29,18 @@ impl FeatureSet {
     ///
     /// Panics if `variables` is empty, contains an unknown name, or
     /// `window == 0`.
-    pub fn custom(
-        name: impl Into<String>,
-        variables: Vec<String>,
-        window: usize,
-    ) -> Self {
+    pub fn custom(name: impl Into<String>, variables: Vec<String>, window: usize) -> Self {
         assert!(!variables.is_empty(), "a feature set needs at least one variable");
         assert!(window > 0, "sliding window must be positive");
         for v in &variables {
-            assert!(
-                catalog::variable_index(v).is_some(),
-                "unknown variable `{v}` in feature set"
-            );
+            assert!(catalog::variable_index(v).is_some(), "unknown variable `{v}` in feature set");
         }
         FeatureSet { name: name.into(), variables, window }
     }
 
     /// The complete catalogue.
     pub fn full() -> Self {
-        Self::custom(
-            "full",
-            ALL_VARIABLES.iter().map(|s| s.to_string()).collect(),
-            DEFAULT_WINDOW,
-        )
+        Self::custom("full", ALL_VARIABLES.iter().map(|s| s.to_string()).collect(), DEFAULT_WINDOW)
     }
 
     /// Experiment 4.1: everything except heap internals.
@@ -195,11 +184,7 @@ mod tests {
 
     #[test]
     fn projection_selects_right_values() {
-        let fs = FeatureSet::custom(
-            "t",
-            vec!["workload".into(), "throughput".into()],
-            4,
-        );
+        let fs = FeatureSet::custom("t", vec!["workload".into(), "throughput".into()], 4);
         let mut row = vec![0.0; ALL_VARIABLES.len()];
         row[catalog::variable_index("throughput").unwrap()] = 14.0;
         row[catalog::variable_index("workload").unwrap()] = 100.0;

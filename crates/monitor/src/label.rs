@@ -56,11 +56,7 @@ pub fn build_dataset_with_targets(
     features: &FeatureSet,
     targets: &[f64],
 ) -> Dataset {
-    assert_eq!(
-        targets.len(),
-        trace.samples.len(),
-        "one target per checkpoint required"
-    );
+    assert_eq!(targets.len(), trace.samples.len(), "one target per checkpoint required");
     let mut ds = Dataset::new(features.variables().to_vec(), "time_to_failure");
     let mut fx = FeatureExtractor::new(features.window());
     for (sample, &ttf) in trace.samples.iter().zip(targets) {
@@ -154,9 +150,6 @@ mod tests {
     fn heap_feature_dataset_has_heap_columns_only() {
         let trace = idle_trace();
         let ds = build_dataset(&[&trace], &FeatureSet::exp43_heap(), TTF_CAP_SECS);
-        assert!(ds
-            .attribute_names()
-            .iter()
-            .all(|n| n.contains("young") || n.contains("old")));
+        assert!(ds.attribute_names().iter().all(|n| n.contains("young") || n.contains("old")));
     }
 }

@@ -254,14 +254,18 @@ mod tests {
         assert_eq!(p.phase_secs, 1200);
         assert_eq!(p.chunk_mb, 1.0);
         // Acquire faster than release => net retention per cycle.
-        let acquire_rate = MemLeakSpec { n: p.acquire_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
-        let release_rate = MemLeakSpec { n: p.release_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
+        let acquire_rate =
+            MemLeakSpec { n: p.acquire_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
+        let release_rate =
+            MemLeakSpec { n: p.release_n, chunk_mb: p.chunk_mb }.expected_mb_per_search();
         assert!(acquire_rate > release_rate * 2.0);
     }
 
     #[test]
     fn expected_rates_formulae() {
         assert!((MemLeakSpec::new(30).expected_mb_per_search() - 1.0 / 16.0).abs() < 1e-12);
-        assert!((ThreadLeakSpec::new(30, 90).expected_threads_per_sec() - 15.0 / 45.0).abs() < 1e-12);
+        assert!(
+            (ThreadLeakSpec::new(30, 90).expected_threads_per_sec() - 15.0 / 45.0).abs() < 1e-12
+        );
     }
 }

@@ -57,8 +57,7 @@ impl OsView {
     /// Whether physical memory + swap are exhausted (the machine cannot
     /// back any further allocation: the process is killed).
     pub fn memory_exhausted(&self, heap: &Heap, process_threads: u64) -> bool {
-        self.system_mem_used_mb(heap, process_threads)
-            >= self.config.ram_mb + self.config.swap_mb
+        self.system_mem_used_mb(heap, process_threads) >= self.config.ram_mb + self.config.swap_mb
     }
 
     /// Whether the process exceeds the kernel thread limit.
@@ -68,8 +67,7 @@ impl OsView {
 
     /// Accounts log output for `requests` completed requests.
     pub fn log_requests(&mut self, requests: u64) {
-        self.disk_used_mb = (self.disk_used_mb
-            + requests as f64 * self.config.log_mb_per_request)
+        self.disk_used_mb = (self.disk_used_mb + requests as f64 * self.config.log_mb_per_request)
             .min(self.config.disk_mb);
     }
 

@@ -193,11 +193,7 @@ impl ScenarioBuilder {
     }
 
     /// Appends an unbounded final leak phase (runs until crash).
-    pub fn final_leak_phase(
-        mut self,
-        mem: MemLeakSpec,
-        threads: Option<ThreadLeakSpec>,
-    ) -> Self {
+    pub fn final_leak_phase(mut self, mem: MemLeakSpec, threads: Option<ThreadLeakSpec>) -> Self {
         let idx = self.phases.len();
         self.phases.push(Phase {
             name: format!("phase-{idx}-N{}-final", mem.n),
@@ -217,13 +213,19 @@ impl ScenarioBuilder {
             self.phases.push(Phase {
                 name: format!("cycle-{c}-acquire"),
                 duration_ms: Some(spec.phase_secs * 1000),
-                mem: MemInjection::Acquire(MemLeakSpec { n: spec.acquire_n, chunk_mb: spec.chunk_mb }),
+                mem: MemInjection::Acquire(MemLeakSpec {
+                    n: spec.acquire_n,
+                    chunk_mb: spec.chunk_mb,
+                }),
                 threads: None,
             });
             self.phases.push(Phase {
                 name: format!("cycle-{c}-release"),
                 duration_ms: Some(spec.phase_secs * 1000),
-                mem: MemInjection::Release(MemLeakSpec { n: spec.release_n, chunk_mb: spec.chunk_mb }),
+                mem: MemInjection::Release(MemLeakSpec {
+                    n: spec.release_n,
+                    chunk_mb: spec.chunk_mb,
+                }),
                 threads: None,
             });
         }
@@ -235,14 +237,15 @@ impl ScenarioBuilder {
     /// Figure 2: the application "returns to the initial state").
     pub fn periodic_cycles_no_retention(mut self, spec: PeriodicSpec, cycles: u32) -> Self {
         for c in 0..cycles {
-            self.phases.push(Phase::idle(
-                format!("cycle-{c}-normal"),
-                Some(spec.phase_secs * 1000),
-            ));
+            self.phases
+                .push(Phase::idle(format!("cycle-{c}-normal"), Some(spec.phase_secs * 1000)));
             self.phases.push(Phase {
                 name: format!("cycle-{c}-acquire"),
                 duration_ms: Some(spec.phase_secs * 1000),
-                mem: MemInjection::Acquire(MemLeakSpec { n: spec.acquire_n, chunk_mb: spec.chunk_mb }),
+                mem: MemInjection::Acquire(MemLeakSpec {
+                    n: spec.acquire_n,
+                    chunk_mb: spec.chunk_mb,
+                }),
                 threads: None,
             });
             // A fast release (small N) drains the whole acquisition within
@@ -270,10 +273,7 @@ impl ScenarioBuilder {
 
         let mut phases = self.phases;
         if phases.is_empty() {
-            assert!(
-                self.until_crash,
-                "a scenario needs phases, a duration, or run_to_crash()"
-            );
+            assert!(self.until_crash, "a scenario needs phases, a duration, or run_to_crash()");
             phases.push(Phase {
                 name: "whole-run".into(),
                 duration_ms: None,

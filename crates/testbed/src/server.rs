@@ -221,7 +221,10 @@ mod tests {
             busy_avg += t.service_time_ms(Interaction::Home, 0.0, &mut rng);
         }
         busy_avg /= 200.0;
-        assert!(busy_avg > idle_avg * 1.3, "contention must slow requests: {idle_avg} vs {busy_avg}");
+        assert!(
+            busy_avg > idle_avg * 1.3,
+            "contention must slow requests: {idle_avg} vs {busy_avg}"
+        );
     }
 
     #[test]

@@ -241,8 +241,8 @@ impl Simulator {
         sim.enter_phase(0);
         // Stagger the emulated browsers over one mean think time.
         for eb in 0..sim.workload.emulated_browsers() {
-            let offset = sim.workload.think_time_ms(&mut sim.rng)
-                % sim.config.workload.think_time_mean_ms;
+            let offset =
+                sim.workload.think_time_ms(&mut sim.rng) % sim.config.workload.think_time_mean_ms;
             let interaction = sim.workload.sample_interaction(&mut sim.rng);
             sim.push(offset as u64, Event::Arrival { eb, interaction });
         }
@@ -433,11 +433,7 @@ impl Simulator {
                     self.interval.completed += 1;
                     self.interval.response_sum_ms += (self.time_ms - arrival_ms) as f64;
                     self.os.log_requests(1);
-                    if self
-                        .heap
-                        .allocate_transient(self.tomcat.alloc_per_request_mb())
-                        .is_err()
-                    {
+                    if self.heap.allocate_transient(self.tomcat.alloc_per_request_mb()).is_err() {
                         self.record_crash(CrashKind::OutOfMemory);
                     }
                     if interaction.hits_search_servlet() {
@@ -472,10 +468,7 @@ impl Simulator {
                     if self.keep_samples {
                         self.samples.push(sample);
                     }
-                    self.push(
-                        self.time_ms + self.config.checkpoint_interval_ms,
-                        Event::Checkpoint,
-                    );
+                    self.push(self.time_ms + self.config.checkpoint_interval_ms, Event::Checkpoint);
                     return StepOutcome::Checkpoint(sample);
                 }
                 Event::PeriodicGc => {
@@ -502,12 +495,7 @@ impl Simulator {
 
     /// Runs the scenario to its end and returns the trace.
     pub fn run_to_completion(mut self) -> RunTrace {
-        loop {
-            match self.step() {
-                StepOutcome::Checkpoint(_) => {}
-                StepOutcome::Crashed(_) | StepOutcome::Finished => break,
-            }
-        }
+        while let StepOutcome::Checkpoint(_) = self.step() {}
         RunTrace {
             scenario: self.scenario_name,
             seed: self.seed,
@@ -673,8 +661,7 @@ mod tests {
         assert!(trace.crash.is_none(), "no-retention pattern must not crash");
         // Skip the first cycle (warm-up): afterwards the OS view is flat
         // while the JVM view keeps oscillating.
-        let tail: Vec<_> =
-            trace.samples.iter().filter(|s| s.time_secs > 3600.0).collect();
+        let tail: Vec<_> = trace.samples.iter().filter(|s| s.time_secs > 3600.0).collect();
         let os_min = tail.iter().map(|s| s.tomcat_mem_mb).fold(f64::INFINITY, f64::min);
         let os_max = tail.iter().map(|s| s.tomcat_mem_mb).fold(0.0, f64::max);
         let jvm_min = tail.iter().map(|s| s.heap_used_mb).fold(f64::INFINITY, f64::min);
@@ -700,7 +687,11 @@ mod tests {
             .build();
         let trace = s.run(11);
         let crash = trace.crash.expect("net retention must exhaust the heap");
-        assert!(crash.time_secs > 3600.0, "crash at {}s: too fast for masked aging", crash.time_secs);
+        assert!(
+            crash.time_secs > 3600.0,
+            "crash at {}s: too fast for masked aging",
+            crash.time_secs
+        );
     }
 
     #[test]
@@ -727,25 +718,20 @@ mod tests {
         let mut sim = Simulator::new(&scenario, 13);
         let mut checked = 0;
         let real_crash = scenario.run(13).crash.unwrap().time_secs;
-        loop {
-            match sim.step() {
-                StepOutcome::Checkpoint(sample) => {
-                    if sample.time_secs >= 1200.0 && checked < 3 {
-                        let frozen = sim.frozen_time_to_crash(10_800.0);
-                        let actual = real_crash - sample.time_secs;
-                        let err = (frozen - actual).abs();
-                        assert!(
-                            err < actual.max(300.0) * 0.35 + 120.0,
-                            "frozen {frozen} vs actual {actual} at t={}",
-                            sample.time_secs
-                        );
-                        checked += 1;
-                    }
-                    if checked >= 3 {
-                        break;
-                    }
-                }
-                _ => break,
+        while let StepOutcome::Checkpoint(sample) = sim.step() {
+            if sample.time_secs >= 1200.0 && checked < 3 {
+                let frozen = sim.frozen_time_to_crash(10_800.0);
+                let actual = real_crash - sample.time_secs;
+                let err = (frozen - actual).abs();
+                assert!(
+                    err < actual.max(300.0) * 0.35 + 120.0,
+                    "frozen {frozen} vs actual {actual} at t={}",
+                    sample.time_secs
+                );
+                checked += 1;
+            }
+            if checked >= 3 {
+                break;
             }
         }
         assert_eq!(checked, 3, "expected three ground-truth checks");

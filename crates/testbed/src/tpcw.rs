@@ -175,20 +175,12 @@ impl TpcwMix {
 
     /// Mean CPU weight of an interaction under this mix.
     pub fn mean_cpu_weight(self) -> f64 {
-        ALL_INTERACTIONS
-            .iter()
-            .zip(self.frequencies())
-            .map(|(i, f)| i.cpu_weight() * f)
-            .sum()
+        ALL_INTERACTIONS.iter().zip(self.frequencies()).map(|(i, f)| i.cpu_weight() * f).sum()
     }
 
     /// Mean DB weight of an interaction under this mix.
     pub fn mean_db_weight(self) -> f64 {
-        ALL_INTERACTIONS
-            .iter()
-            .zip(self.frequencies())
-            .map(|(i, f)| i.db_weight() * f)
-            .sum()
+        ALL_INTERACTIONS.iter().zip(self.frequencies()).map(|(i, f)| i.db_weight() * f).sum()
     }
 }
 
@@ -259,8 +251,7 @@ mod tests {
 
     #[test]
     fn only_search_request_hits_the_servlet() {
-        let hits: Vec<_> =
-            ALL_INTERACTIONS.iter().filter(|i| i.hits_search_servlet()).collect();
+        let hits: Vec<_> = ALL_INTERACTIONS.iter().filter(|i| i.hits_search_servlet()).collect();
         assert_eq!(hits, vec![&Interaction::SearchRequest]);
     }
 

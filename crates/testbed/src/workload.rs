@@ -103,9 +103,7 @@ mod tests {
         let w = workload(50);
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let hits = (0..n)
-            .filter(|_| w.sample_interaction(&mut rng).hits_search_servlet())
-            .count();
+        let hits = (0..n).filter(|_| w.sample_interaction(&mut rng).hits_search_servlet()).count();
         let frac = hits as f64 / n as f64;
         assert!((0.185..0.215).contains(&frac), "search fraction {frac}");
         assert_eq!(w.mix(), crate::tpcw::TpcwMix::Shopping);

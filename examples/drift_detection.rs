@@ -18,10 +18,7 @@ fn analyse(label: &str, series: &[f64]) {
     for s in segments.iter().take(5) {
         println!(
             "    [{:>4}..{:>4})  slope {:+.3} MB/checkpoint  (max residual {:.1} MB)",
-            s.start,
-            s.end,
-            s.slope,
-            s.max_abs_err
+            s.start, s.end, s.slope, s.max_abs_err
         );
     }
     if matches!(diagnosis, SeriesDiagnosis::Degrading { .. }) {
@@ -33,20 +30,12 @@ fn analyse(label: &str, series: &[f64]) {
 fn memory_series(trace: &software_aging::testbed::RunTrace) -> Vec<f64> {
     // Skip the JVM warm-up: a fresh server's resident set always creeps
     // during its first minutes.
-    trace
-        .samples
-        .iter()
-        .filter(|s| s.time_secs > 1200.0)
-        .map(|s| s.tomcat_mem_mb)
-        .collect()
+    trace.samples.iter().filter(|s| s.time_secs > 1200.0).map(|s| s.tomcat_mem_mb).collect()
 }
 
 fn main() {
-    let healthy = Scenario::builder("healthy")
-        .emulated_browsers(100)
-        .duration_minutes(120)
-        .build()
-        .run(1);
+    let healthy =
+        Scenario::builder("healthy").emulated_browsers(100).duration_minutes(120).build().run(1);
     analyse("healthy server (2 h, no injection)", &memory_series(&healthy));
 
     let aging = Scenario::builder("aging")
@@ -62,8 +51,5 @@ fn main() {
         .periodic_cycles_no_retention(PeriodicSpec::paper_exp43(), 3)
         .build()
         .run(3);
-    analyse(
-        "periodic acquire/release (no net aging, OS view)",
-        &memory_series(&waving),
-    );
+    analyse("periodic acquire/release (no net aging, OS view)", &memory_series(&waving));
 }

@@ -15,10 +15,8 @@ use software_aging::testbed::{MemLeakSpec, Scenario};
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Training: one idle hour (labelled with the 3-hour "infinite" cap)
     // plus three constant-rate run-to-crash executions.
-    let mut training = vec![Scenario::builder("train-idle")
-        .emulated_browsers(100)
-        .duration_minutes(60)
-        .build()];
+    let mut training =
+        vec![Scenario::builder("train-idle").emulated_browsers(100).duration_minutes(60).build()];
     for n in [15u32, 30, 75] {
         training.push(
             Scenario::builder(format!("train-N{n}"))

@@ -1,0 +1,87 @@
+//! Fleet-scale operation: 120 simulated deployments with mixed workloads
+//! and leak severities, sharded across 6 worker threads, monitored and
+//! proactively rejuvenated by one shared M5P model over a simulated
+//! half-day.
+//!
+//! ```text
+//! cargo run --release --example fleet
+//! ```
+
+use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
+use software_aging::fleet::{Fleet, FleetConfig, InstanceSpec};
+use software_aging::monitor::FeatureSet;
+use software_aging::testbed::{MemLeakSpec, Scenario};
+
+fn leaky(name: impl Into<String>, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // One model serves the whole fleet: train it across the workload range
+    // it will see in production (Experiment 4.1 style).
+    println!("training the shared M5P model on four run-to-crash executions …");
+    let training: Vec<Scenario> = [50, 100, 150, 200]
+        .into_iter()
+        .map(|ebs| leaky(format!("train-{ebs}eb"), ebs, 15))
+        .collect();
+    let predictor = AgingPredictor::train(&training, FeatureSet::exp42(), 42)?;
+    println!(
+        "  {} leaves over {} training instances\n",
+        predictor.model().n_leaves(),
+        predictor.n_training_instances()
+    );
+
+    // 120 deployments: four (workload, leak-severity) service classes with
+    // 30 replicas each, every replica on its own sample path.
+    let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let mut specs = Vec::new();
+    for (group, (ebs, n)) in [(50, 15), (100, 15), (150, 30), (200, 30)].into_iter().enumerate() {
+        for replica in 0..30 {
+            let i = specs.len();
+            specs.push(InstanceSpec {
+                name: format!("svc-{ebs}eb-n{n}-{replica:02}"),
+                scenario: leaky(format!("svc-{ebs}eb-n{n}"), ebs, n),
+                policy,
+                seed: 10_000 + (group as u64) * 1000 + i as u64,
+            });
+        }
+    }
+
+    let config = FleetConfig {
+        shards: 6,
+        rejuvenation: RejuvenationConfig { horizon_secs: 12.0 * 3600.0, ..Default::default() },
+        counterfactual_horizon_secs: 3600.0,
+    };
+    let fleet = Fleet::new(specs, config)?;
+    println!(
+        "operating {} deployments across {} shards for {:.0} simulated hours …\n",
+        fleet.len(),
+        config.shards,
+        config.rejuvenation.horizon_secs / 3600.0
+    );
+    let report = fleet.run_with_predictor(&predictor);
+    println!("{report}\n");
+
+    // Worst and best instances by availability, for a quick fleet health view.
+    let mut by_availability = report.instances.clone();
+    by_availability.sort_by(|a, b| a.availability.total_cmp(&b.availability));
+    println!("lowest-availability deployments:");
+    for inst in by_availability.iter().take(3) {
+        println!(
+            "  {:<20} availability {:.4}  crashes {}  rejuvenations {} (avoided {})",
+            inst.name, inst.availability, inst.crashes, inst.rejuvenations, inst.crashes_avoided
+        );
+    }
+    println!("highest-availability deployments:");
+    for inst in by_availability.iter().rev().take(3) {
+        println!(
+            "  {:<20} availability {:.4}  crashes {}  rejuvenations {} (avoided {})",
+            inst.name, inst.availability, inst.crashes, inst.rejuvenations, inst.crashes_avoided
+        );
+    }
+    Ok(())
+}

@@ -38,11 +38,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let report = predictor.evaluate_scenario(&test, 1234)?;
 
     let crash = report.trace.crash.expect("the leak crashes the server");
-    println!(
-        "test run crashed after {} ({:?})",
-        format_duration(crash.time_secs),
-        crash.kind
-    );
+    println!("test run crashed after {} ({:?})", format_duration(crash.time_secs), crash.kind);
     println!("prediction accuracy: {}", report.evaluation.summary());
 
     // 4. Show a few checkpoints the way an operator would see them.

@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .run_to_crash()
         .build();
 
-    let predictor = AgingPredictor::train(&[scenario.clone()], FeatureSet::exp42(), 3)?;
+    let predictor = AgingPredictor::train(std::slice::from_ref(&scenario), FeatureSet::exp42(), 3)?;
     let config = RejuvenationConfig {
         horizon_secs: 24.0 * 3600.0,
         rejuvenation_downtime_secs: 60.0,

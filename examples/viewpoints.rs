@@ -18,10 +18,7 @@ fn spark(values: &[f64]) -> String {
     let lo = values.iter().copied().fold(f64::INFINITY, f64::min);
     let hi = values.iter().copied().fold(f64::NEG_INFINITY, f64::max);
     let span = (hi - lo).max(1e-9);
-    values
-        .iter()
-        .map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| GLYPHS[(((v - lo) / span) * 7.0).round() as usize]).collect()
 }
 
 fn downsample(values: Vec<f64>, n: usize) -> Vec<f64> {

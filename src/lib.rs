@@ -18,7 +18,12 @@
 //!   catalogue, per-experiment feature sets and TTF labelling,
 //! - [`core`] — the end-to-end prediction framework: training on
 //!   run-to-crash executions, on-line adaptive prediction, root-cause
-//!   analysis and rejuvenation policies.
+//!   analysis and rejuvenation policies,
+//! - [`fleet`] — the concurrent fleet engine: hundreds of independently
+//!   seeded deployments sharded across a worker-thread pool, driven in
+//!   lock-step 15-second epochs, batch-predicted through one shared model
+//!   ([`ml::Regressor::predict_batch`]) and proactively rejuvenated, with
+//!   fleet-wide availability / crashes-avoided / throughput reporting.
 //!
 //! # Quickstart
 //!
@@ -52,6 +57,7 @@
 
 pub use aging_core as core;
 pub use aging_dataset as dataset;
+pub use aging_fleet as fleet;
 pub use aging_ml as ml;
 pub use aging_monitor as monitor;
 pub use aging_testbed as testbed;

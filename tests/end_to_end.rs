@@ -37,9 +37,8 @@ fn full_pipeline_trains_and_predicts() {
         1,
     )
     .expect("training succeeds");
-    let report = predictor
-        .evaluate_scenario(&small_leak("test", 75, 10), 77)
-        .expect("evaluation succeeds");
+    let report =
+        predictor.evaluate_scenario(&small_leak("test", 75, 10), 77).expect("evaluation succeeds");
     assert!(report.evaluation.mae.is_finite());
     let mean_ttf: f64 = report.actuals.iter().sum::<f64>() / report.actuals.len() as f64;
     assert!(
@@ -58,10 +57,7 @@ fn m5p_beats_linreg_on_unseen_workload() {
     // The headline comparison of the paper's Table 3, at small scale: the
     // piecewise-linear tree handles the GC-resize non-linearity better.
     let features = FeatureSet::exp41();
-    let traces = [
-        small_leak("a", 150, 10).run(3),
-        small_leak("b", 50, 10).run(4),
-    ];
+    let traces = [small_leak("a", 150, 10).run(3), small_leak("b", 50, 10).run(4)];
     let refs: Vec<_> = traces.iter().collect();
     let ds = build_dataset(&refs, &features, TTF_CAP_SECS);
     let m5p = M5pLearner::paper_default().fit(&ds).unwrap();
@@ -80,7 +76,12 @@ fn m5p_beats_linreg_on_unseen_workload() {
     // piecewise-linear advantage is small; the full-scale Table 3 shape is
     // asserted by the ignored experiment test in `aging-bench`. Here we
     // check both are usable and M5P is in the same class.
-    assert!(e_m5p.mae <= e_lr.mae * 2.0 + 30.0, "M5P ({}) far worse than LinReg ({})", e_m5p.mae, e_lr.mae);
+    assert!(
+        e_m5p.mae <= e_lr.mae * 2.0 + 30.0,
+        "M5P ({}) far worse than LinReg ({})",
+        e_m5p.mae,
+        e_lr.mae
+    );
     assert!(e_m5p.mae < 600.0, "M5P must predict within 10 minutes at this scale");
     assert!(e_m5p.s_mae <= e_m5p.mae);
 }

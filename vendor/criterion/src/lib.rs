@@ -1,0 +1,262 @@
+//! Minimal offline stand-in for `criterion` (see `vendor/README.md`).
+//!
+//! Implements the API surface this workspace's benches use —
+//! [`criterion_group!`] / [`criterion_main!`], [`Criterion::bench_function`],
+//! benchmark groups with `sample_size`, and `Bencher::{iter, iter_batched}` —
+//! with real wall-clock measurement: per sample the routine runs in a timed
+//! batch, and the mean/min/max per-iteration times are printed. No
+//! statistics engine, no HTML reports.
+//!
+//! Like upstream criterion, when the binary is run without the `--bench`
+//! argument (as `cargo test` does for `harness = false` bench targets)
+//! every routine executes once as a smoke test instead of being measured.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortises setup cost; the stand-in treats every
+/// variant the same (one setup per measured invocation).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measure: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // cargo bench passes `--bench`; cargo test does not. Match
+        // criterion's behaviour of smoke-testing under cargo test.
+        let measure = std::env::args().any(|a| a == "--bench");
+        Criterion { sample_size: 30, measure }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `routine` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, self.measure, routine);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), sample_size: self.sample_size, criterion: self }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the target measurement time. Accepted for API compatibility;
+    /// the stand-in's budget is fixed per sample.
+    pub fn measurement_time(&mut self, _time: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `routine` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_one(&full, self.sample_size, self.criterion.measure, routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; runs and times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+    measure: bool,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if !self.measure {
+            black_box(routine());
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` with a fresh `setup` product per invocation; setup
+    /// time is excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        if !self.measure {
+            black_box(routine(setup()));
+            self.elapsed = Duration::from_nanos(1);
+            return;
+        }
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Runs one benchmark: calibrates an iteration count so a sample takes a
+/// measurable slice of time, then times `sample_size` samples.
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, sample_size: usize, measure: bool, mut routine: F) {
+    if !measure {
+        let mut b = Bencher { iters: 1, elapsed: Duration::ZERO, measure: false };
+        routine(&mut b);
+        println!("{id}: smoke-tested (run with `cargo bench` to measure)");
+        return;
+    }
+
+    // Calibration: find how many iterations fit in ~50 ms, starting from 1.
+    let mut iters = 1u64;
+    let per_iter = loop {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO, measure: true };
+        routine(&mut b);
+        let per_iter = b.elapsed.as_secs_f64() / iters as f64;
+        if b.elapsed >= Duration::from_millis(50) || per_iter > 0.25 {
+            break per_iter;
+        }
+        iters = iters.saturating_mul(2);
+    };
+    // Budget ~2 s of measurement across the samples, at least 1 iter each.
+    let budget_per_sample = 2.0 / sample_size as f64;
+    let iters = ((budget_per_sample / per_iter.max(1e-12)) as u64).clamp(1, 1_000_000);
+
+    let mut times = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters, elapsed: Duration::ZERO, measure: true };
+        routine(&mut b);
+        times.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    times.sort_by(f64::total_cmp);
+    let min = times[0];
+    let median = times[times.len() / 2];
+    let max = times[times.len() - 1];
+    println!(
+        "{id:<60} time: [{} {} {}] ({} samples × {} iters)",
+        fmt_time(min),
+        fmt_time(median),
+        fmt_time(max),
+        sample_size,
+        iters
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.4} s")
+    } else if secs >= 1e-3 {
+        format!("{:.4} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.4} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+/// Declares a function that runs the listed benchmark targets.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+
+    #[test]
+    fn smoke_mode_runs_each_routine_once() {
+        let calls = Cell::new(0u32);
+        let mut c = Criterion { sample_size: 10, measure: false };
+        c.bench_function("counts", |b| b.iter(|| calls.set(calls.get() + 1)));
+        assert_eq!(calls.get(), 1, "smoke mode must run the routine exactly once");
+    }
+
+    #[test]
+    fn measure_mode_reports_sane_timing() {
+        let mut c = Criterion { sample_size: 5, measure: true };
+        let mut group = c.benchmark_group("g");
+        group.sample_size(5);
+        group
+            .bench_function("spin", |b| b.iter(|| std::hint::black_box((0..1000u64).sum::<u64>())));
+        group.finish();
+    }
+
+    #[test]
+    fn iter_batched_consumes_fresh_inputs() {
+        let mut produced = 0u32;
+        let mut b = Bencher { iters: 4, elapsed: Duration::ZERO, measure: true };
+        b.iter_batched(
+            || {
+                produced += 1;
+                vec![produced]
+            },
+            |v| v.into_iter().sum::<u32>(),
+            BatchSize::SmallInput,
+        );
+        assert_eq!(produced, 4, "one setup per measured iteration");
+    }
+}

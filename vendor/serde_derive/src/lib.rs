@@ -1,0 +1,455 @@
+//! Minimal offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Derives the vendored `serde` crate's value-tree `Serialize` /
+//! `Deserialize` traits for plain (non-generic) structs and enums, with the
+//! representation `serde_json` would use: structs as objects, newtype
+//! structs as their inner value, tuple structs as arrays, unit enum
+//! variants as strings and data-carrying variants as externally tagged
+//! single-key objects.
+//!
+//! Implemented with nothing but `proc_macro` token iteration — no `syn` or
+//! `quote` — because the build environment has no crates.io access. Serde
+//! field attributes (`#[serde(...)]`) are not supported and the macro
+//! fails loudly on generic types rather than producing wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(item) => item,
+        Err(message) => {
+            return format!("::core::compile_error!({message:?});")
+                .parse()
+                .expect("compile_error snippet parses");
+        }
+    };
+    let code = match mode {
+        Mode::Serialize => gen_serialize(&item),
+        Mode::Deserialize => gen_deserialize(&item),
+    };
+    code.parse().unwrap_or_else(|e| panic!("generated code failed to parse: {e}\n{code}"))
+}
+
+// ---------------------------------------------------------------------------
+// Input model
+// ---------------------------------------------------------------------------
+
+enum Fields {
+    Unit,
+    /// Tuple fields; only the arity matters.
+    Tuple(usize),
+    /// Named fields, in declaration order.
+    Named(Vec<String>),
+}
+
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut pos = 0;
+    skip_attrs_and_vis(&tokens, &mut pos);
+
+    let keyword = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err("expected `struct` or `enum`".to_string()),
+    };
+    pos += 1;
+    let name = match tokens.get(pos) {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        _ => return Err(format!("expected a name after `{keyword}`")),
+    };
+    pos += 1;
+    if matches!(tokens.get(pos), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        return Err(format!(
+            "vendored serde_derive does not support generic types (deriving for `{name}`)"
+        ));
+    }
+
+    match keyword.as_str() {
+        "struct" => {
+            let fields = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    Fields::Named(parse_named_fields(g.stream())?)
+                }
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    Fields::Tuple(count_top_level_commas_arity(g.stream()))
+                }
+                Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                _ => return Err(format!("unsupported struct body for `{name}`")),
+            };
+            Ok(Item::Struct { name, fields })
+        }
+        "enum" => {
+            let body = match tokens.get(pos) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+                _ => return Err(format!("expected enum body for `{name}`")),
+            };
+            Ok(Item::Enum { name, variants: parse_variants(body)? })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+/// Advances past `#[...]` attributes and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], pos: &mut usize) {
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // `#`
+                if matches!(tokens.get(*pos), Some(TokenTree::Group(_))) {
+                    *pos += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `(crate)` etc.
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+/// Arity of a tuple-struct / tuple-variant body: top-level commas + 1,
+/// where "top level" ignores commas nested in `<...>` generic arguments
+/// (commas inside parenthesized groups are invisible here anyway).
+fn count_top_level_commas_arity(stream: TokenStream) -> usize {
+    let mut arity = 0usize;
+    let mut angle_depth = 0i32;
+    let mut saw_any = false;
+    for tt in stream {
+        saw_any = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => arity += 1,
+                _ => {}
+            }
+        }
+    }
+    if !saw_any {
+        return 0;
+    }
+    arity + 1
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut fields = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected field name, found `{other}`")),
+        };
+        pos += 1;
+        match tokens.get(pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => pos += 1,
+            _ => return Err(format!("expected `:` after field `{name}`")),
+        }
+        skip_type(&tokens, &mut pos);
+        fields.push(name);
+    }
+    Ok(fields)
+}
+
+/// Advances past a type, stopping after the top-level `,` (or at end).
+fn skip_type(tokens: &[TokenTree], pos: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(tt) = tokens.get(*pos) {
+        if let TokenTree::Punct(p) = tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    *pos += 1;
+                    return;
+                }
+                _ => {}
+            }
+        }
+        *pos += 1;
+    }
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut pos = 0;
+    let mut variants = Vec::new();
+    while pos < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut pos);
+        if pos >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[pos] {
+            TokenTree::Ident(i) => i.to_string(),
+            other => return Err(format!("expected variant name, found `{other}`")),
+        };
+        pos += 1;
+        let fields = match tokens.get(pos) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                pos += 1;
+                Fields::Named(parse_named_fields(g.stream())?)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                pos += 1;
+                Fields::Tuple(count_top_level_commas_arity(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Skip an optional `= discriminant` up to the separating comma.
+        while let Some(tt) = tokens.get(pos) {
+            pos += 1;
+            if matches!(tt, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, fields });
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => "::serde::Value::Null".to_string(),
+                Fields::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let items: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                        .collect();
+                    format!("::serde::Value::Arr(::std::vec::Vec::from([{}]))", items.join(", "))
+                }
+                Fields::Named(names) => obj_expr(names, |f| format!("&self.{f}")),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    let tag = format!("::std::string::String::from(\"{vname}\")");
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vname} => ::serde::Value::Str({tag}),")
+                        }
+                        Fields::Tuple(n) => {
+                            let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::to_value(f0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!(
+                                    "::serde::Value::Arr(::std::vec::Vec::from([{}]))",
+                                    items.join(", ")
+                                )
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Value::Obj(\
+                                 ::std::vec::Vec::from([({tag}, {payload})])),",
+                                binds = binds.join(", ")
+                            )
+                        }
+                        Fields::Named(fields) => {
+                            let payload = obj_expr(fields, |f| f.to_string());
+                            format!(
+                                "{name}::{vname} {{ {fields} }} => ::serde::Value::Obj(\
+                                 ::std::vec::Vec::from([({tag}, {payload})])),",
+                                fields = fields.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}",
+                arms = arms.join("\n")
+            )
+        }
+    }
+}
+
+/// `Value::Obj(Vec::from([("f", to_value(<expr>)), ...]))`.
+fn obj_expr(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
+                expr(f)
+            )
+        })
+        .collect();
+    format!(
+        "::serde::Value::Obj(::std::vec::Vec::<(::std::string::String, ::serde::Value)>::from([{}]))",
+        entries.join(", ")
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Unit => format!(
+                    "match v {{\n\
+                         ::serde::Value::Null => ::std::result::Result::Ok({name}),\n\
+                         other => ::std::result::Result::Err(\
+                             ::serde::DeError::mismatch(\"null for unit struct {name}\", other)),\n\
+                     }}"
+                ),
+                Fields::Tuple(1) => format!(
+                    "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+                ),
+                Fields::Tuple(n) => tuple_payload_de(name, *n, "v", name),
+                Fields::Named(names) => named_payload_de(name, names, "v", name),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),",
+                        vname = v.name
+                    )
+                })
+                .collect();
+            let data_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| !matches!(v.fields, Fields::Unit))
+                .map(|v| {
+                    let vname = &v.name;
+                    let ctor = format!("{name}::{vname}");
+                    let body = match &v.fields {
+                        Fields::Unit => unreachable!("filtered out above"),
+                        Fields::Tuple(1) => format!(
+                            "::std::result::Result::Ok({ctor}(\
+                             ::serde::Deserialize::from_value(payload)?))"
+                        ),
+                        Fields::Tuple(n) => tuple_payload_de(&ctor, *n, "payload", name),
+                        Fields::Named(fields) => named_payload_de(&ctor, fields, "payload", name),
+                    };
+                    format!("\"{vname}\" => {{ {body} }}")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match v {{\n\
+                             ::serde::Value::Str(s) => match s.as_str() {{\n\
+                                 {unit_arms}\n\
+                                 other => ::std::result::Result::Err(::serde::DeError::new(\
+                                     ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                             }},\n\
+                             ::serde::Value::Obj(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, payload) = &entries[0];\n\
+                                 match tag.as_str() {{\n\
+                                     {data_arms}\n\
+                                     other => ::std::result::Result::Err(::serde::DeError::new(\
+                                         ::std::format!(\"unknown {name} variant `{{other}}`\"))),\n\
+                                 }}\n\
+                             }}\n\
+                             other => ::std::result::Result::Err(\
+                                 ::serde::DeError::mismatch(\"{name} variant\", other)),\n\
+                         }}\n\
+                     }}\n\
+                 }}",
+                unit_arms = unit_arms.join("\n"),
+                data_arms = data_arms.join("\n")
+            )
+        }
+    }
+}
+
+/// Deserializes `ctor(f0, .., fN)` from an N-element array in `src`.
+fn tuple_payload_de(ctor: &str, arity: usize, src: &str, type_name: &str) -> String {
+    let items: Vec<String> =
+        (0..arity).map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?")).collect();
+    format!(
+        "match {src} {{\n\
+             ::serde::Value::Arr(items) if items.len() == {arity} => \
+                 ::std::result::Result::Ok({ctor}({items})),\n\
+             other => ::std::result::Result::Err(\
+                 ::serde::DeError::mismatch(\"{arity}-element array for {type_name}\", other)),\n\
+         }}",
+        items = items.join(", ")
+    )
+}
+
+/// Deserializes `ctor { f: .. }` from an object in `src`.
+fn named_payload_de(ctor: &str, fields: &[String], src: &str, type_name: &str) -> String {
+    let inits: Vec<String> =
+        fields.iter().map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,")).collect();
+    format!(
+        "{{\n\
+             let obj = {src}.as_obj().ok_or_else(|| \
+                 ::serde::DeError::mismatch(\"object for {type_name}\", {src}))?;\n\
+             ::std::result::Result::Ok({ctor} {{ {inits} }})\n\
+         }}",
+        inits = inits.join(" ")
+    )
+}

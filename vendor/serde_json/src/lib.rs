@@ -1,0 +1,152 @@
+//! Minimal offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! A thin text layer over the vendored `serde` crate's JSON value tree:
+//! [`to_string`], [`to_string_pretty`] and [`from_str`] with an [`Error`]
+//! type that satisfies `Box<dyn std::error::Error>` call sites.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+
+pub use serde::Value;
+
+/// Error returned by JSON serialization or deserialization.
+#[derive(Debug, Clone)]
+pub struct Error {
+    inner: serde::DeError,
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error: {}", self.inner)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(inner: serde::DeError) -> Self {
+        Error { inner }
+    }
+}
+
+/// Serializes `value` as compact JSON.
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::format_value(&value.to_value(), None))
+}
+
+/// Serializes `value` as pretty-printed JSON (2-space indent, like
+/// upstream's default).
+///
+/// # Errors
+///
+/// Never fails for the types in this workspace; the `Result` mirrors the
+/// upstream signature.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(serde::format_value(&value.to_value(), Some(2)))
+}
+
+/// Parses JSON text into `T`.
+///
+/// # Errors
+///
+/// Returns [`Error`] on malformed JSON or a shape mismatch.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    let value = serde::parse_value(text)?;
+    Ok(T::from_value(&value)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use serde::{Deserialize, Serialize};
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        label: String,
+        weight: Option<f64>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Kind {
+        Plain,
+        Weighted(f64),
+        Pair(u32, u32),
+        Configured { retries: u8, verbose: bool },
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Outer {
+        name: String,
+        seed: u64,
+        offset: i64,
+        ratio: f64,
+        kinds: Vec<Kind>,
+        inner: Inner,
+        boxed: Box<Inner>,
+        pairs: Vec<(usize, f64)>,
+        missing: Option<u32>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Wrapper(f64);
+
+    fn sample() -> Outer {
+        Outer {
+            name: "fleet \"α\"\n".to_string(),
+            seed: u64::MAX,
+            offset: -123,
+            ratio: 0.1 + 0.2,
+            kinds: vec![
+                Kind::Plain,
+                Kind::Weighted(2.5),
+                Kind::Pair(3, 4),
+                Kind::Configured { retries: 3, verbose: true },
+            ],
+            inner: Inner { label: "x".into(), weight: Some(1.25) },
+            boxed: Box::new(Inner { label: "y".into(), weight: None }),
+            pairs: vec![(0, 1.5), (7, -2.0)],
+            missing: None,
+        }
+    }
+
+    #[test]
+    fn derived_types_round_trip_compact_and_pretty() {
+        let value = sample();
+        let compact = super::to_string(&value).unwrap();
+        assert_eq!(super::from_str::<Outer>(&compact).unwrap(), value);
+        let pretty = super::to_string_pretty(&value).unwrap();
+        assert_eq!(super::from_str::<Outer>(&pretty).unwrap(), value);
+        assert!(pretty.contains('\n'), "pretty output is indented");
+    }
+
+    #[test]
+    fn representation_matches_serde_json_conventions() {
+        let compact = super::to_string(&sample()).unwrap();
+        assert!(compact.contains("\"Plain\""), "unit variant as string: {compact}");
+        assert!(compact.contains("{\"Weighted\":2.5}"), "newtype variant tagged: {compact}");
+        assert!(compact.contains("{\"Pair\":[3,4]}"), "tuple variant as array: {compact}");
+        assert!(compact.contains("\"missing\":null"), "None as null: {compact}");
+        assert_eq!(super::to_string(&Wrapper(4.5)).unwrap(), "4.5", "newtype struct unwraps");
+        assert_eq!(super::from_str::<Wrapper>("4.5").unwrap(), Wrapper(4.5));
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(super::from_str::<Outer>("{\"name\":3}").is_err());
+        assert!(super::from_str::<Outer>("not json").is_err());
+        let err = super::from_str::<Kind>("\"Nope\"").unwrap_err();
+        assert!(err.to_string().contains("unknown Kind variant"), "{err}");
+    }
+
+    #[test]
+    fn u64_seeds_round_trip_exactly() {
+        let text = super::to_string(&u64::MAX).unwrap();
+        assert_eq!(text, "18446744073709551615");
+        assert_eq!(super::from_str::<u64>(&text).unwrap(), u64::MAX);
+    }
+}
