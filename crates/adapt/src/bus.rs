@@ -1,0 +1,192 @@
+//! The checkpoint bus: asynchronous ingestion of labelled monitoring data.
+//!
+//! A production deployment does not hand checkpoints to the analysis
+//! subsystem in lock-step function calls — monitors push them over a
+//! transport and the analysis side drains at its own pace. The
+//! [`CheckpointBus`] is that transport: a multi-producer channel carrying
+//! [`CheckpointBatch`]es from any number of sources (fleet shards, external
+//! monitor streams, replayed traces) to one consumer (normally the
+//! retrainer thread of [`crate::AdaptiveService`]). Sending never blocks
+//! the producer, so the fleet's worker pool is fully decoupled from
+//! retraining.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One monitoring checkpoint with its ground-truth label, ready for the
+/// sliding training buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LabelledCheckpoint {
+    /// Feature row, in the adaptation service's feature-set order.
+    pub features: Vec<f64>,
+    /// True (retrospective) time to failure in seconds, capped by the
+    /// producer at its labelling horizon.
+    pub ttf_secs: f64,
+    /// The TTF the serving model predicted at this checkpoint, if one was
+    /// made — the drift monitor turns `|predicted − ttf|` into its error
+    /// signal.
+    pub predicted_ttf_secs: Option<f64>,
+}
+
+impl LabelledCheckpoint {
+    /// Absolute prediction error in seconds, if a prediction was made.
+    pub fn abs_error_secs(&self) -> Option<f64> {
+        self.predicted_ttf_secs.map(|p| (p - self.ttf_secs).abs())
+    }
+}
+
+/// A batch of labelled checkpoints from one source — typically one
+/// completed (crashed or proactively restarted) service epoch of one
+/// instance, labelled retrospectively.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CheckpointBatch {
+    /// Producer identifier (instance name, stream name, …).
+    pub source: String,
+    /// The labelled checkpoints, in time order.
+    pub checkpoints: Vec<LabelledCheckpoint>,
+}
+
+/// Sending half of the bus. Cheap to clone — every shard/producer holds its
+/// own handle.
+#[derive(Debug, Clone)]
+pub struct CheckpointBus {
+    tx: Sender<CheckpointBatch>,
+    enqueued: Arc<AtomicU64>,
+}
+
+impl CheckpointBus {
+    /// Creates a connected bus/receiver pair.
+    pub fn channel() -> (CheckpointBus, BusReceiver) {
+        let (tx, rx) = mpsc::channel();
+        (CheckpointBus { tx, enqueued: Arc::new(AtomicU64::new(0)) }, BusReceiver { rx })
+    }
+
+    /// Publishes a batch. Returns `false` when the consumer is gone (the
+    /// service shut down) — producers treat that as "adaptation disabled"
+    /// and keep operating on their pinned model.
+    pub fn publish(&self, batch: CheckpointBatch) -> bool {
+        let n = batch.checkpoints.len() as u64;
+        let sent = self.tx.send(batch).is_ok();
+        if sent {
+            self.enqueued.fetch_add(n, Ordering::Relaxed);
+        }
+        sent
+    }
+
+    /// Total checkpoints successfully published across all clones of this
+    /// bus — together with the consumer's ingested count, this lets tests
+    /// and examples wait for the bus to drain.
+    pub fn enqueued_checkpoints(&self) -> u64 {
+        self.enqueued.load(Ordering::Relaxed)
+    }
+}
+
+/// Error returned by [`BusReceiver::recv_timeout`] once every producer
+/// handle has been dropped and the queue is drained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BusDisconnected;
+
+impl std::fmt::Display for BusDisconnected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all checkpoint-bus producers disconnected")
+    }
+}
+
+impl std::error::Error for BusDisconnected {}
+
+/// Receiving half of the bus, owned by the retraining consumer.
+#[derive(Debug)]
+pub struct BusReceiver {
+    rx: Receiver<CheckpointBatch>,
+}
+
+impl BusReceiver {
+    /// Blocks for the next batch until `timeout`; `Ok(None)` on timeout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BusDisconnected`] when every producer hung up and the
+    /// queue is drained.
+    pub fn recv_timeout(
+        &self,
+        timeout: Duration,
+    ) -> Result<Option<CheckpointBatch>, BusDisconnected> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(batch) => Ok(Some(batch)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => Err(BusDisconnected),
+        }
+    }
+
+    /// Drains whatever is queued right now without blocking.
+    pub fn drain(&self) -> Vec<CheckpointBatch> {
+        let mut out = Vec::new();
+        while let Ok(batch) = self.rx.try_recv() {
+            out.push(batch);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(ttf: f64, pred: Option<f64>) -> LabelledCheckpoint {
+        LabelledCheckpoint { features: vec![1.0, 2.0], ttf_secs: ttf, predicted_ttf_secs: pred }
+    }
+
+    #[test]
+    fn batches_arrive_in_order_per_producer() {
+        let (bus, rx) = CheckpointBus::channel();
+        for i in 0..5 {
+            assert!(bus.publish(CheckpointBatch {
+                source: format!("s{i}"),
+                checkpoints: vec![cp(i as f64, None)],
+            }));
+        }
+        let got = rx.drain();
+        assert_eq!(got.len(), 5);
+        assert_eq!(got[0].source, "s0");
+        assert_eq!(got[4].source, "s4");
+    }
+
+    #[test]
+    fn clones_share_the_channel() {
+        let (bus, rx) = CheckpointBus::channel();
+        let bus2 = bus.clone();
+        std::thread::scope(|scope| {
+            scope
+                .spawn(|| bus.publish(CheckpointBatch { source: "a".into(), checkpoints: vec![] }));
+            scope.spawn(|| {
+                bus2.publish(CheckpointBatch { source: "b".into(), checkpoints: vec![] })
+            });
+        });
+        let mut sources: Vec<String> = rx.drain().into_iter().map(|b| b.source).collect();
+        sources.sort();
+        assert_eq!(sources, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn publish_reports_consumer_gone() {
+        let (bus, rx) = CheckpointBus::channel();
+        drop(rx);
+        assert!(!bus.publish(CheckpointBatch { source: "x".into(), checkpoints: vec![] }));
+    }
+
+    #[test]
+    fn recv_timeout_distinguishes_empty_from_closed() {
+        let (bus, rx) = CheckpointBus::channel();
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Ok(None));
+        drop(bus);
+        assert_eq!(rx.recv_timeout(Duration::from_millis(1)), Err(BusDisconnected));
+    }
+
+    #[test]
+    fn abs_error_requires_a_prediction() {
+        assert_eq!(cp(100.0, None).abs_error_secs(), None);
+        assert_eq!(cp(100.0, Some(40.0)).abs_error_secs(), Some(60.0));
+    }
+}

@@ -1,0 +1,315 @@
+//! Drift detection over the serving model's prediction-error stream.
+//!
+//! The paper's central claim is that an *adaptive* predictor — retrained
+//! on recent checkpoints — beats a static model once the workload moves
+//! away from the training regime. The [`DriftMonitor`] decides *when* that
+//! has happened by fusing two signals over the stream of retrospective
+//! prediction errors:
+//!
+//! - an **error-level** test: an exponentially weighted moving average of
+//!   the absolute TTF error crossing an absolute threshold means the model
+//!   is simply wrong in the current regime, however it got there;
+//! - an **error-trend** test: [`aging_ml::segment::diagnose`] over the
+//!   recent error window returning `Degrading` means the error is growing
+//!   steadily — the drift signature of Cherkasova et al.'s change
+//!   detection, catching a deteriorating model *before* it breaches the
+//!   absolute level.
+//!
+//! Either signal fires a [`DriftEvent`]; a cooldown then suppresses repeat
+//! triggers until the retrained model has had a chance to produce fresh
+//! errors.
+
+use aging_ml::segment::{diagnose, SeriesDiagnosis};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Tuning for the [`DriftMonitor`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DriftConfig {
+    /// Master switch: when `false`, [`DriftMonitor::observe`] never fires
+    /// (the service degenerates to a frozen-model server, which is what
+    /// the single-instance parity guarantee relies on).
+    pub enabled: bool,
+    /// EWMA smoothing factor in `(0, 1]`; higher reacts faster.
+    pub ewma_alpha: f64,
+    /// Error level (seconds of absolute TTF error, EWMA-smoothed) above
+    /// which the model counts as drifted.
+    pub error_threshold_secs: f64,
+    /// Minimum observations before any trigger — a fresh monitor must not
+    /// fire on its first few samples.
+    pub min_observations: usize,
+    /// Length of the recent-error window handed to the trend test.
+    pub trend_window: usize,
+    /// Residual tolerance (seconds) for the piecewise-linear fit of the
+    /// trend test.
+    pub trend_tolerance_secs: f64,
+    /// Slope (seconds of error growth per observation) above which the
+    /// trend test reports degradation.
+    pub trend_slope_threshold: f64,
+    /// Observations to swallow after a trigger before re-arming.
+    pub cooldown_observations: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            enabled: true,
+            ewma_alpha: 0.1,
+            error_threshold_secs: 900.0,
+            min_observations: 30,
+            trend_window: 64,
+            trend_tolerance_secs: 600.0,
+            trend_slope_threshold: 10.0,
+            cooldown_observations: 50,
+        }
+    }
+}
+
+impl DriftConfig {
+    /// A configuration that never triggers (frozen-model behaviour).
+    pub fn disabled() -> Self {
+        DriftConfig { enabled: false, ..Default::default() }
+    }
+
+    /// Panics with a message when a parameter is degenerate.
+    pub(crate) fn validate(&self) {
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0, 1], got {}",
+            self.ewma_alpha
+        );
+        assert!(self.error_threshold_secs > 0.0, "error threshold must be positive");
+        assert!(self.trend_window >= 2, "trend window needs at least 2 observations");
+        assert!(self.trend_tolerance_secs > 0.0, "trend tolerance must be positive");
+        assert!(
+            self.trend_slope_threshold >= 0.0 && self.trend_slope_threshold.is_finite(),
+            "trend slope threshold must be finite and non-negative (a negative value would \
+             classify flat error series as drifting)"
+        );
+    }
+}
+
+/// Why the monitor decided the model has drifted.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum DriftEvent {
+    /// The error EWMA breached the absolute threshold.
+    ErrorLevel {
+        /// The EWMA value at the trigger, seconds.
+        ewma_secs: f64,
+    },
+    /// The recent error window diagnoses as steadily degrading.
+    ErrorTrend {
+        /// Length-weighted mean error growth, seconds per observation.
+        mean_slope: f64,
+    },
+}
+
+/// Streaming drift detector; see the module docs.
+#[derive(Debug, Clone)]
+pub struct DriftMonitor {
+    config: DriftConfig,
+    ewma: Option<f64>,
+    recent: VecDeque<f64>,
+    observations: u64,
+    since_trigger: usize,
+    events: u64,
+}
+
+impl DriftMonitor {
+    /// Creates a monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration values (non-positive thresholds,
+    /// `ewma_alpha` outside `(0, 1]`, a trend window below 2).
+    pub fn new(config: DriftConfig) -> Self {
+        config.validate();
+        DriftMonitor {
+            config,
+            ewma: None,
+            recent: VecDeque::with_capacity(config.trend_window),
+            observations: 0,
+            since_trigger: usize::MAX,
+            events: 0,
+        }
+    }
+
+    /// Feeds one absolute prediction error (seconds); returns the drift
+    /// event when this observation tips the decision.
+    ///
+    /// Non-finite errors are counted but excluded from both the EWMA and
+    /// the trend window (a poisoned error sample must not trigger — or
+    /// mask — a fleet-wide retrain).
+    pub fn observe(&mut self, abs_error_secs: f64) -> Option<DriftEvent> {
+        self.observations += 1;
+        self.since_trigger = self.since_trigger.saturating_add(1);
+        if abs_error_secs.is_finite() {
+            let alpha = self.config.ewma_alpha;
+            self.ewma = Some(match self.ewma {
+                None => abs_error_secs,
+                Some(prev) => alpha * abs_error_secs + (1.0 - alpha) * prev,
+            });
+            if self.recent.len() == self.config.trend_window {
+                self.recent.pop_front();
+            }
+            self.recent.push_back(abs_error_secs);
+        }
+        if !self.config.enabled
+            || self.observations < self.config.min_observations as u64
+            || self.since_trigger < self.config.cooldown_observations
+        {
+            return None;
+        }
+        let event = self.decide();
+        if event.is_some() {
+            self.events += 1;
+            self.since_trigger = 0;
+        }
+        event
+    }
+
+    fn decide(&self) -> Option<DriftEvent> {
+        if let Some(ewma) = self.ewma {
+            if ewma > self.config.error_threshold_secs {
+                return Some(DriftEvent::ErrorLevel { ewma_secs: ewma });
+            }
+        }
+        if self.recent.len() >= self.config.trend_window {
+            let series: Vec<f64> = self.recent.iter().copied().collect();
+            if let SeriesDiagnosis::Degrading { mean_slope } = diagnose(
+                &series,
+                self.config.trend_tolerance_secs,
+                self.config.trend_slope_threshold,
+            ) {
+                return Some(DriftEvent::ErrorTrend { mean_slope });
+            }
+        }
+        None
+    }
+
+    /// The smoothed absolute error, seconds (`None` before the first
+    /// finite observation).
+    pub fn error_ewma_secs(&self) -> Option<f64> {
+        self.ewma
+    }
+
+    /// Total observations consumed.
+    pub fn observations(&self) -> u64 {
+        self.observations
+    }
+
+    /// Drift events fired so far.
+    pub fn events(&self) -> u64 {
+        self.events
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> DriftConfig {
+        DriftConfig {
+            enabled: true,
+            ewma_alpha: 0.2,
+            error_threshold_secs: 500.0,
+            min_observations: 10,
+            trend_window: 16,
+            trend_tolerance_secs: 50.0,
+            trend_slope_threshold: 5.0,
+            cooldown_observations: 20,
+        }
+    }
+
+    #[test]
+    fn small_errors_never_trigger() {
+        let mut m = DriftMonitor::new(quick_config());
+        for _ in 0..500 {
+            assert_eq!(m.observe(50.0), None);
+        }
+        assert_eq!(m.events(), 0);
+    }
+
+    #[test]
+    fn error_level_breach_triggers_once_per_cooldown() {
+        let mut m = DriftMonitor::new(quick_config());
+        let mut events = Vec::new();
+        for _ in 0..60 {
+            if let Some(e) = m.observe(3000.0) {
+                events.push(e);
+            }
+        }
+        assert!(!events.is_empty(), "sustained huge errors must trigger");
+        assert!(matches!(events[0], DriftEvent::ErrorLevel { ewma_secs } if ewma_secs > 500.0));
+        // Cooldown throttles: at most one event per 20 observations.
+        assert!(events.len() <= 3, "cooldown must throttle, got {}", events.len());
+    }
+
+    #[test]
+    fn growing_error_triggers_trend_before_level() {
+        // Errors climbing 20 s per observation: the EWMA lags well below
+        // the 500 s level for a while, but the trend test sees the slope.
+        let mut m = DriftMonitor::new(quick_config());
+        let mut first = None;
+        for i in 0..100 {
+            if let Some(e) = m.observe(20.0 * i as f64) {
+                first = Some((i, e));
+                break;
+            }
+        }
+        let (at, event) = first.expect("steady growth must trigger");
+        match event {
+            DriftEvent::ErrorTrend { mean_slope } => {
+                assert!((mean_slope - 20.0).abs() < 2.0, "slope ≈ 20, got {mean_slope}");
+            }
+            DriftEvent::ErrorLevel { .. } => panic!("trend must fire before the level breach"),
+        }
+        assert!(at >= 15, "needs a full trend window first");
+    }
+
+    #[test]
+    fn disabled_monitor_never_fires() {
+        let mut m = DriftMonitor::new(DriftConfig::disabled());
+        for i in 0..200 {
+            assert_eq!(m.observe(1e6 + i as f64), None);
+        }
+        assert_eq!(m.events(), 0);
+        assert!(m.error_ewma_secs().unwrap() > 0.0, "statistics still accumulate");
+    }
+
+    #[test]
+    fn non_finite_errors_are_ignored_by_the_statistics() {
+        let mut m = DriftMonitor::new(quick_config());
+        for _ in 0..30 {
+            m.observe(100.0);
+        }
+        let before = m.error_ewma_secs().unwrap();
+        m.observe(f64::NAN);
+        m.observe(f64::INFINITY);
+        assert_eq!(m.error_ewma_secs().unwrap(), before);
+        assert_eq!(m.observations(), 32);
+    }
+
+    #[test]
+    fn min_observations_gates_the_first_trigger() {
+        let mut m = DriftMonitor::new(quick_config());
+        for i in 0..9 {
+            assert_eq!(m.observe(5000.0), None, "observation {i} must be gated");
+        }
+        assert!(m.observe(5000.0).is_some(), "gate lifts at min_observations");
+    }
+
+    #[test]
+    #[should_panic(expected = "ewma_alpha")]
+    fn degenerate_alpha_rejected() {
+        let _ = DriftMonitor::new(DriftConfig { ewma_alpha: 0.0, ..Default::default() });
+    }
+
+    #[test]
+    #[should_panic(expected = "trend slope threshold")]
+    fn negative_slope_threshold_rejected() {
+        let _ =
+            DriftMonitor::new(DriftConfig { trend_slope_threshold: -1.0, ..Default::default() });
+    }
+}

@@ -1,0 +1,325 @@
+//! Drift-triggered online retraining for fleet-scale aging prediction.
+//!
+//! The source paper's core claim is that *adaptive* on-line aging
+//! prediction — periodically retraining the model on a sliding window of
+//! recent checkpoints — beats a static model under dynamic workloads. The
+//! fleet engine scales the paper's single-instance loop to hundreds of
+//! deployments, but against one frozen model; this crate supplies the
+//! adaptation side as a standalone service:
+//!
+//! ```text
+//!  monitor streams / fleet shards
+//!        │  CheckpointBatch (labelled, retrospective)
+//!        ▼
+//!  [CheckpointBus]  — mpsc, never blocks producers
+//!        │
+//!        ▼
+//!  retrainer thread ──► DriftMonitor (error EWMA ⊕ segment::diagnose)
+//!        │                    │ drift event
+//!        │                    ▼
+//!        └──► OnlineRegressor sliding buffer ──► learner.fit_dyn()
+//!                                                     │ new model
+//!                                                     ▼
+//!  [ModelService] — Arc<dyn Regressor> + generation counter
+//!        ▲ snapshot()/generation()           hot swap, wait-free readers
+//!        │
+//!  prediction consumers (fleet shards pin one snapshot per epoch)
+//! ```
+//!
+//! - [`CheckpointBus`] decouples checkpoint arrival from epoch processing:
+//!   producers publish [`CheckpointBatch`]es and move on.
+//! - [`DriftMonitor`] fuses an absolute error-level test (EWMA of the TTF
+//!   prediction error) with the error-*trend* test built on
+//!   [`aging_ml::segment::diagnose`].
+//! - [`ModelService`] owns successive model generations behind
+//!   `Arc<dyn Regressor>`; consumers poll one atomic and re-pin on change.
+//! - [`AdaptiveService`] wires all three to a background retrainer thread
+//!   over any [`aging_ml::DynLearner`] (M5P, linear regression, GBRT, …),
+//!   so retraining never pauses the threads that serve predictions.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod bus;
+mod drift;
+mod service;
+
+pub use bus::{BusDisconnected, BusReceiver, CheckpointBatch, CheckpointBus, LabelledCheckpoint};
+pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
+pub use service::{AdaptConfig, AdaptationStats, AdaptiveService, ModelService, ModelSnapshot};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_dataset::Dataset;
+    use aging_ml::gbrt::GbrtLearner;
+    use aging_ml::linreg::LinRegLearner;
+    use aging_ml::m5p::M5pLearner;
+    use aging_ml::{DynLearner, Learner, Regressor};
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    /// y = 2x over [0, n): the "old regime".
+    fn line_dataset(n: usize, slope: f64) -> Dataset {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..n {
+            ds.push_row(vec![i as f64], slope * i as f64).unwrap();
+        }
+        ds
+    }
+
+    fn initial_model() -> Arc<dyn Regressor> {
+        Arc::from(LinRegLearner::default().fit_boxed(&line_dataset(50, 2.0)).unwrap())
+    }
+
+    fn batch(xs: impl IntoIterator<Item = (f64, f64, Option<f64>)>) -> CheckpointBatch {
+        CheckpointBatch {
+            source: "test".into(),
+            checkpoints: xs
+                .into_iter()
+                .map(|(x, y, pred)| LabelledCheckpoint {
+                    features: vec![x],
+                    ttf_secs: y,
+                    predicted_ttf_secs: pred,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn model_service_generations_are_monotone_and_pinned() {
+        let service = ModelService::new(initial_model());
+        assert_eq!(service.generation(), 0);
+        let pinned = service.snapshot();
+        assert_eq!(pinned.generation, 0);
+        let g1 = service.publish(initial_model());
+        assert_eq!(g1, 1);
+        assert_eq!(service.generation(), 1);
+        // The old pin keeps working — publish never invalidates readers.
+        assert!(pinned.model.predict(&[10.0]).is_finite());
+        let fresh = service.snapshot();
+        assert_eq!(fresh.generation, 1);
+    }
+
+    #[test]
+    fn model_service_swaps_under_concurrent_readers() {
+        let service = Arc::new(ModelService::new(initial_model()));
+        let publisher = {
+            let service = Arc::clone(&service);
+            std::thread::spawn(move || {
+                for _ in 0..100 {
+                    service.publish(initial_model());
+                }
+            })
+        };
+        let mut last = 0;
+        for _ in 0..1000 {
+            let snap = service.snapshot();
+            assert!(snap.generation >= last, "generations must be monotone to one reader");
+            last = snap.generation;
+            assert!(snap.model.predict(&[3.0]).is_finite());
+        }
+        publisher.join().unwrap();
+        assert_eq!(service.generation(), 100);
+    }
+
+    /// Drift on the error stream triggers a retrain on the buffered regime
+    /// and publishes a new generation whose predictions track it.
+    fn drifts_and_retrains_with(learner: Arc<dyn DynLearner>) {
+        let config = AdaptConfig {
+            drift: DriftConfig {
+                enabled: true,
+                ewma_alpha: 0.3,
+                error_threshold_secs: 100.0,
+                min_observations: 10,
+                trend_window: 32,
+                trend_tolerance_secs: 100.0,
+                trend_slope_threshold: 5.0,
+                cooldown_observations: 30,
+            },
+            buffer_capacity: 512,
+            min_buffer_to_retrain: 50,
+            retrain_every: None,
+        };
+        let service = AdaptiveService::spawn(learner, vec!["x".into()], initial_model(), config);
+        let bus = service.bus();
+        // New regime: y = -3x + 600. The initial model (y = 2x) is off by
+        // hundreds of seconds, so the EWMA breaches quickly.
+        let truth = |x: f64| 600.0 - 3.0 * x;
+        let stale = |x: f64| 2.0 * x;
+        for chunk in 0..8 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.5;
+                (x, truth(x), Some(stale(x)))
+            });
+            assert!(bus.publish(batch(xs)));
+        }
+        assert!(service.quiesce(Duration::from_secs(30)), "bus must drain");
+        let stats = service.stats();
+        assert!(stats.drift_events >= 1, "drift must fire: {stats:?}");
+        assert!(stats.retrains >= 1, "drift must cause a retrain: {stats:?}");
+        assert!(stats.generations_published >= 1);
+        let snap = service.model_service().snapshot();
+        assert!(snap.generation >= 1);
+        let pred = snap.model.predict(&[40.0]);
+        let want = truth(40.0);
+        assert!(
+            (pred - want).abs() < (stale(40.0) - want).abs(),
+            "generation {} must beat the stale model: pred {pred}, truth {want}",
+            snap.generation
+        );
+        let final_stats = service.shutdown();
+        assert_eq!(final_stats.ingested_checkpoints, 256);
+    }
+
+    #[test]
+    fn drifts_and_retrains_with_linreg() {
+        drifts_and_retrains_with(Arc::new(LinRegLearner::default()));
+    }
+
+    #[test]
+    fn drifts_and_retrains_with_m5p() {
+        drifts_and_retrains_with(Arc::new(M5pLearner::default()));
+    }
+
+    #[test]
+    fn drifts_and_retrains_with_gbrt() {
+        drifts_and_retrains_with(Arc::new(GbrtLearner::default()));
+    }
+
+    #[test]
+    fn disabled_drift_stays_on_generation_zero() {
+        let config = AdaptConfig {
+            drift: DriftConfig::disabled(),
+            min_buffer_to_retrain: 10,
+            ..Default::default()
+        };
+        let service = AdaptiveService::spawn(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+            config,
+        );
+        let bus = service.bus();
+        for _ in 0..5 {
+            bus.publish(batch((0..50).map(|i| (i as f64, 9999.0, Some(0.0)))));
+        }
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = service.shutdown();
+        assert_eq!(stats.generations_published, 0, "disabled drift must never publish");
+        assert_eq!(stats.retrains, 0);
+        assert!(stats.ingested_checkpoints == 250);
+        assert!(stats.error_ewma_secs > 0.0, "statistics still flow");
+    }
+
+    #[test]
+    fn scheduled_retraining_works_without_drift() {
+        let config = AdaptConfig {
+            drift: DriftConfig::disabled(),
+            buffer_capacity: 256,
+            min_buffer_to_retrain: 20,
+            retrain_every: Some(40),
+        };
+        let service = AdaptiveService::spawn(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+            config,
+        );
+        let bus = service.bus();
+        for chunk in 0..4 {
+            bus.publish(batch((0..40).map(|i| {
+                let x = (chunk * 40 + i) as f64;
+                (x, 5.0 * x, None)
+            })));
+        }
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = service.shutdown();
+        assert!(stats.retrains >= 3, "periodic schedule must retrain: {stats:?}");
+        assert_eq!(stats.drift_events, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "min_buffer_to_retrain")]
+    fn min_buffer_above_capacity_rejected() {
+        let _ = AdaptiveService::spawn(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+            AdaptConfig { buffer_capacity: 100, min_buffer_to_retrain: 200, ..Default::default() },
+        );
+    }
+
+    #[test]
+    fn early_drift_trigger_stays_pending_until_buffer_fills() {
+        // The drift event fires while the buffer is far below the retrain
+        // gate; once enough labelled data has accumulated the retrain must
+        // still happen — the trigger is sticky, not batch-local.
+        let config = AdaptConfig {
+            drift: DriftConfig {
+                enabled: true,
+                ewma_alpha: 0.5,
+                error_threshold_secs: 100.0,
+                min_observations: 5,
+                trend_window: 64,
+                trend_tolerance_secs: 100.0,
+                trend_slope_threshold: 5.0,
+                // One shot: the cooldown outlasts the whole test, so the
+                // only trigger is the early one.
+                cooldown_observations: 10_000,
+            },
+            buffer_capacity: 512,
+            min_buffer_to_retrain: 100,
+            retrain_every: None,
+        };
+        let service = AdaptiveService::spawn(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+            config,
+        );
+        let bus = service.bus();
+        // 10 huge-error checkpoints: drift fires, buffer is only 10 deep.
+        bus.publish(batch((0..10).map(|i| (i as f64, 5000.0, Some(0.0)))));
+        assert!(service.quiesce(Duration::from_secs(30)));
+        assert_eq!(service.stats().retrains, 0, "gate must hold the retrain back");
+        assert!(service.stats().drift_events >= 1, "the trigger itself must have fired");
+        // Quiet labelled data (no predictions → no new drift): crossing
+        // the gate must release the pending retrain.
+        for chunk in 0..3 {
+            bus.publish(batch((0..40).map(|i| {
+                let x = (10 + chunk * 40 + i) as f64;
+                (x, 2.0 * x, None)
+            })));
+        }
+        assert!(service.quiesce(Duration::from_secs(30)));
+        let stats = service.shutdown();
+        assert!(
+            stats.retrains >= 1,
+            "pending drift trigger must fire once the buffer fills: {stats:?}"
+        );
+    }
+
+    #[test]
+    fn mismatched_arity_checkpoints_are_dropped_not_fatal() {
+        let service = AdaptiveService::spawn(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+            AdaptConfig::default(),
+        );
+        let bus = service.bus();
+        bus.publish(CheckpointBatch {
+            source: "bad".into(),
+            checkpoints: vec![LabelledCheckpoint {
+                features: vec![1.0, 2.0, 3.0],
+                ttf_secs: 10.0,
+                predicted_ttf_secs: None,
+            }],
+        });
+        assert!(service.quiesce(Duration::from_secs(10)));
+        let stats = service.shutdown();
+        assert_eq!(stats.ingested_checkpoints, 1);
+        assert_eq!(stats.buffered, 0, "bad-arity rows never enter the buffer");
+    }
+}

@@ -1,0 +1,382 @@
+//! The model service: generation-counted hot model swap, and the
+//! background retrainer that feeds it.
+
+use crate::bus::{BusReceiver, CheckpointBatch, CheckpointBus};
+use crate::drift::{DriftConfig, DriftMonitor};
+use aging_ml::online::OnlineRegressor;
+use aging_ml::{DynLearner, Regressor};
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// A pinned view of the serving model: the model `Arc` plus the generation
+/// it belongs to. Consumers pin one snapshot per unit of work (the fleet
+/// pins per epoch) so a mid-batch publish can never mix two models inside
+/// one batch.
+#[derive(Debug, Clone)]
+pub struct ModelSnapshot {
+    /// Generation number; the initial model is generation 0.
+    pub generation: u64,
+    /// The serving model.
+    pub model: Arc<dyn Regressor>,
+}
+
+/// Owns successive model generations behind an `Arc<dyn Regressor>`.
+///
+/// Readers poll [`ModelService::generation`] (one atomic load) and only
+/// take the read lock to re-[`snapshot`](ModelService::snapshot) when the
+/// number moved, so steady-state serving costs nothing beyond the load.
+/// Publishing is wait-free for readers holding an old snapshot: the swap
+/// replaces the `Arc`, it never blocks in-flight predictions.
+#[derive(Debug)]
+pub struct ModelService {
+    slot: RwLock<ModelSnapshot>,
+    generation: AtomicU64,
+}
+
+impl ModelService {
+    /// Creates a service serving `initial` as generation 0.
+    pub fn new(initial: Arc<dyn Regressor>) -> Self {
+        ModelService {
+            slot: RwLock::new(ModelSnapshot { generation: 0, model: initial }),
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// The current generation number (cheap: one atomic load).
+    pub fn generation(&self) -> u64 {
+        self.generation.load(Ordering::Acquire)
+    }
+
+    /// A consistent `(generation, model)` pair.
+    pub fn snapshot(&self) -> ModelSnapshot {
+        self.slot.read().expect("model slot poisoned").clone()
+    }
+
+    /// Publishes a new model generation; returns its number.
+    pub fn publish(&self, model: Arc<dyn Regressor>) -> u64 {
+        let mut slot = self.slot.write().expect("model slot poisoned");
+        let generation = slot.generation + 1;
+        *slot = ModelSnapshot { generation, model };
+        self.generation.store(generation, Ordering::Release);
+        generation
+    }
+}
+
+/// Configuration of the adaptation service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptConfig {
+    /// Drift detection tuning (see [`DriftConfig`]); `enabled: false`
+    /// freezes the service at generation 0.
+    pub drift: DriftConfig,
+    /// Capacity of the sliding training buffer (labelled checkpoints;
+    /// oldest evicted first).
+    pub buffer_capacity: usize,
+    /// A drift trigger is only *honoured* once at least this many labelled
+    /// checkpoints are buffered — retraining on a handful of rows would
+    /// publish a worse model than the one that drifted. A trigger that
+    /// arrives earlier stays pending and fires as soon as the buffer
+    /// reaches this size. Must not exceed `buffer_capacity` (the FIFO
+    /// could never satisfy it).
+    pub min_buffer_to_retrain: usize,
+    /// Optionally also retrain every `n` ingested checkpoints regardless of
+    /// drift (the paper's plain periodic adaptation); `None` retrains on
+    /// drift only.
+    pub retrain_every: Option<usize>,
+}
+
+impl Default for AdaptConfig {
+    fn default() -> Self {
+        AdaptConfig {
+            drift: DriftConfig::default(),
+            buffer_capacity: 4096,
+            min_buffer_to_retrain: 200,
+            retrain_every: None,
+        }
+    }
+}
+
+/// Counters describing what the adaptation service has done so far.
+///
+/// All fields are monotone except `error_ewma_secs` and `buffered`; the
+/// struct is safe to snapshot at any time while the service runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AdaptationStats {
+    /// Labelled checkpoints ingested from the bus.
+    pub ingested_checkpoints: u64,
+    /// Drift events the monitor fired.
+    pub drift_events: u64,
+    /// Successful retrains.
+    pub retrains: u64,
+    /// Retrains that failed (e.g. a degenerate buffer); the previous
+    /// generation keeps serving.
+    pub failed_retrains: u64,
+    /// Model generations published (== successful retrains).
+    pub generations_published: u64,
+    /// Current serving generation.
+    pub generation: u64,
+    /// Labelled checkpoints currently in the sliding buffer.
+    pub buffered: u64,
+    /// Current smoothed absolute TTF error, seconds (0 before the first
+    /// labelled prediction arrives).
+    pub error_ewma_secs: f64,
+}
+
+#[derive(Debug, Default)]
+struct SharedCounters {
+    ingested: AtomicU64,
+    drift_events: AtomicU64,
+    retrains: AtomicU64,
+    failed_retrains: AtomicU64,
+    buffered: AtomicU64,
+    error_ewma_bits: AtomicU64,
+}
+
+/// The drift-triggered online retraining service.
+///
+/// Owns a [`ModelService`] (the serving side) and a background retrainer
+/// thread (the learning side), connected to producers by a
+/// [`CheckpointBus`]. Labelled checkpoints stream in; the retrainer feeds
+/// them to an [`OnlineRegressor`] sliding buffer and a [`DriftMonitor`];
+/// when drift fires (or a periodic schedule comes due) it refits the
+/// learner on the buffer and publishes the result as a new generation —
+/// all without ever blocking the threads that serve predictions.
+///
+/// # Example
+///
+/// ```
+/// use aging_adapt::{AdaptConfig, AdaptiveService, CheckpointBatch, LabelledCheckpoint};
+/// use aging_ml::linreg::LinRegLearner;
+/// use aging_ml::{DynLearner, Learner, Regressor};
+/// use std::sync::Arc;
+///
+/// // Initial model: y = x fitted on a tiny dataset.
+/// let mut ds = aging_dataset::Dataset::new(vec!["x".into()], "y");
+/// for i in 0..20 {
+///     ds.push_row(vec![i as f64], i as f64)?;
+/// }
+/// let initial: Arc<dyn Regressor> = Arc::from(LinRegLearner::default().fit_boxed(&ds)?);
+/// let learner: Arc<dyn DynLearner> = Arc::new(LinRegLearner::default());
+/// let service = AdaptiveService::spawn(
+///     learner,
+///     vec!["x".into()],
+///     initial,
+///     AdaptConfig::default(),
+/// );
+/// assert_eq!(service.model_service().generation(), 0);
+/// let stats = service.shutdown();
+/// assert_eq!(stats.generations_published, 0);
+/// # Ok::<(), aging_ml::MlError>(())
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveService {
+    models: Arc<ModelService>,
+    bus: CheckpointBus,
+    counters: Arc<SharedCounters>,
+    stop: Arc<AtomicBool>,
+    worker: Option<JoinHandle<()>>,
+}
+
+impl AdaptiveService {
+    /// Spawns the retrainer thread and returns the running service.
+    ///
+    /// `feature_names` are the attribute names of the rows producers will
+    /// publish (the feature set's variables, in order); `initial` serves as
+    /// generation 0 until the first retrain.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (zero buffer capacity, bad drift
+    /// parameters).
+    pub fn spawn(
+        learner: Arc<dyn DynLearner>,
+        feature_names: Vec<String>,
+        initial: Arc<dyn Regressor>,
+        config: AdaptConfig,
+    ) -> Self {
+        assert!(config.buffer_capacity > 0, "buffer capacity must be positive");
+        assert!(
+            config.min_buffer_to_retrain <= config.buffer_capacity,
+            "min_buffer_to_retrain ({}) exceeds buffer_capacity ({}): the sliding buffer \
+             could never reach the retrain gate and every drift trigger would be swallowed",
+            config.min_buffer_to_retrain,
+            config.buffer_capacity
+        );
+        config.drift.validate();
+        let models = Arc::new(ModelService::new(initial));
+        let (bus, rx) = CheckpointBus::channel();
+        let counters = Arc::new(SharedCounters::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let worker = {
+            let models = Arc::clone(&models);
+            let counters = Arc::clone(&counters);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || {
+                retrainer(learner, feature_names, config, rx, models, counters, stop)
+            })
+        };
+        AdaptiveService { models, bus, counters, stop, worker: Some(worker) }
+    }
+
+    /// The serving side: snapshot/pin models, poll generations.
+    pub fn model_service(&self) -> &ModelService {
+        &self.models
+    }
+
+    /// A shared handle to the serving side (for consumers that outlive the
+    /// service's borrow).
+    pub fn model_service_arc(&self) -> Arc<ModelService> {
+        Arc::clone(&self.models)
+    }
+
+    /// A producer handle on the ingestion bus (clone freely).
+    pub fn bus(&self) -> CheckpointBus {
+        self.bus.clone()
+    }
+
+    /// Current counters; safe to call at any time.
+    pub fn stats(&self) -> AdaptationStats {
+        AdaptationStats {
+            ingested_checkpoints: self.counters.ingested.load(Ordering::Relaxed),
+            drift_events: self.counters.drift_events.load(Ordering::Relaxed),
+            retrains: self.counters.retrains.load(Ordering::Relaxed),
+            failed_retrains: self.counters.failed_retrains.load(Ordering::Relaxed),
+            generations_published: self.models.generation(),
+            generation: self.models.generation(),
+            buffered: self.counters.buffered.load(Ordering::Relaxed),
+            error_ewma_secs: f64::from_bits(self.counters.error_ewma_bits.load(Ordering::Relaxed)),
+        }
+    }
+
+    /// Waits for the retrainer to drain the bus: blocks until every
+    /// checkpoint published *before* this call has been ingested (bounded
+    /// by `timeout`). Returns `true` when the bus drained in time.
+    ///
+    /// Only meant for deterministic tests and examples — production
+    /// callers never need to wait on the learning side.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let target = self.bus.enqueued_checkpoints();
+        let deadline = std::time::Instant::now() + timeout;
+        while self.counters.ingested.load(Ordering::Relaxed) < target {
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        true
+    }
+
+    /// Stops the retrainer, joins it and returns the final stats.
+    ///
+    /// Every batch queued on the bus before the call is still ingested
+    /// before the retrainer exits; batches published afterwards (by
+    /// surviving producer clones) go nowhere, which those producers see as
+    /// `publish` returning `false`.
+    pub fn shutdown(mut self) -> AdaptationStats {
+        self.join_worker()
+    }
+
+    fn join_worker(&mut self) -> AdaptationStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(worker) = self.worker.take() {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for AdaptiveService {
+    fn drop(&mut self) {
+        if self.worker.is_some() {
+            self.join_worker();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn retrainer(
+    learner: Arc<dyn DynLearner>,
+    feature_names: Vec<String>,
+    config: AdaptConfig,
+    rx: BusReceiver,
+    models: Arc<ModelService>,
+    counters: Arc<SharedCounters>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut online = OnlineRegressor::new(
+        learner,
+        feature_names,
+        "time_to_failure",
+        config.buffer_capacity,
+        // Periodic retraining is handled explicitly below so drift and
+        // schedule can share the min-buffer gate; the wrapper's own
+        // trigger is parked out of reach.
+        usize::MAX,
+    )
+    .expect("positive capacity and interval validated above");
+    let mut monitor = DriftMonitor::new(config.drift);
+    let mut since_scheduled: usize = 0;
+    // Sticky across batches: a drift event that fires while the buffer is
+    // still below the retrain gate must not be forgotten — it stays
+    // pending and the retrain happens as soon as enough labelled data has
+    // accumulated.
+    let mut retrain_due = false;
+
+    let mut process = |batch: CheckpointBatch| {
+        for cp in batch.checkpoints {
+            if let Some(err) = cp.abs_error_secs() {
+                if monitor.observe(err).is_some() {
+                    counters.drift_events.fetch_add(1, Ordering::Relaxed);
+                    retrain_due = true;
+                }
+                if let Some(ewma) = monitor.error_ewma_secs() {
+                    counters.error_ewma_bits.store(ewma.to_bits(), Ordering::Relaxed);
+                }
+            }
+            if online.observe(cp.features, cp.ttf_secs).is_ok() {
+                counters.buffered.store(online.buffered() as u64, Ordering::Relaxed);
+            }
+            counters.ingested.fetch_add(1, Ordering::Relaxed);
+            since_scheduled += 1;
+            // The periodic schedule is independent of the drift switch:
+            // `retrain_every` with drift disabled is plain periodic
+            // adaptation, drift without a schedule is event-driven only.
+            if config.retrain_every.is_some_and(|every| since_scheduled >= every) {
+                retrain_due = true;
+            }
+        }
+        if retrain_due && online.buffered() >= config.min_buffer_to_retrain {
+            retrain_due = false;
+            since_scheduled = 0;
+            match online.retrain() {
+                Ok(()) => {
+                    let model = online.model().expect("retrain just fitted a model").clone();
+                    models.publish(model);
+                    counters.retrains.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    };
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            // Shutdown: drain whatever was queued before the flag, then
+            // exit — queued work is never thrown away.
+            for batch in rx.drain() {
+                process(batch);
+            }
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(batch)) => process(batch),
+            Ok(None) => {}
+            // All producers hung up and the queue is drained.
+            Err(crate::BusDisconnected) => return,
+        }
+    }
+}

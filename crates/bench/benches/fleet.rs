@@ -9,7 +9,7 @@
 
 use aging_core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use aging_fleet::{Fleet, FleetConfig};
-use aging_ml::Regressor;
+use aging_ml::{FeatureMatrix, Regressor};
 use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
 use aging_testbed::{MemLeakSpec, Scenario};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -53,6 +53,15 @@ fn bench_batched_vs_per_sample(c: &mut Criterion) {
         });
         group.bench_function(format!("predict_batch_{rows}rows"), |b| {
             b.iter(|| black_box(model.predict_batch(black_box(&matrix))))
+        });
+        // The flat row-major path the shard hot loop actually uses: same
+        // rows, one contiguous buffer, no per-row Vec.
+        let mut flat = FeatureMatrix::with_capacity(matrix[0].len(), rows);
+        for row in &matrix {
+            flat.push_row(row);
+        }
+        group.bench_function(format!("predict_matrix_{rows}rows"), |b| {
+            b.iter(|| black_box(model.predict_matrix(black_box(&flat))))
         });
     }
     group.finish();

@@ -15,7 +15,7 @@
 //!   baselines   Extension: regression tree / naive / ARMA / board zoo
 //!   ablations   Extension: window, leaf size, smoothing, margin sweeps
 //!   sophisticated Extension: bagging / boosting / kNN trade-off study
-//!   segmentation  Extension: piecewise-LR drift detection (rel. work [15])
+//!   segmentation  Extension: piecewise-LR drift detection (rel. work \[15\])
 //!   mixes       Extension: TPC-W Browsing/Shopping/Ordering sensitivity
 //!   datasets    Export every experiment dataset in WEKA-ARFF format
 //!   catalog     Print the Table 2 variable catalogue and feature sets

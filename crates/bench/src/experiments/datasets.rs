@@ -1,7 +1,7 @@
 //! WEKA-ARFF dataset export.
 //!
 //! The original paper published its training and test sets "in WEKA format"
-//! (ref. [21]); this target regenerates the equivalent artefacts from our
+//! (ref. \[21\]); this target regenerates the equivalent artefacts from our
 //! testbed so results can be compared or re-analysed with WEKA or any other
 //! toolchain: one ARFF file per experiment role under `results/datasets/`.
 

@@ -1,7 +1,7 @@
 //! Extension studies beyond the paper's core evaluation, drawn from its
 //! introduction, related-work and future-work sections:
 //!
-//! - **Rejuvenation policies** (intro + TR extension [29]): reactive vs
+//! - **Rejuvenation policies** (intro + TR extension \[29\]): reactive vs
 //!   time-based vs predictive rejuvenation, with availability accounting.
 //! - **Baseline zoo** (related work): the regression tree from the authors'
 //!   preliminary study, the naive Eq. (1) predictor, and the ARMA

@@ -1,7 +1,7 @@
 //! Drift detection via piecewise-linear segmentation — demonstrating the
-//! paper's positioning against Cherkasova et al. (ref. [15]): their
+//! paper's positioning against Cherkasova et al. (ref. \[15\]): their
 //! framework assumes a system that "admits a static model … that does not
-//! degrade or drift over time", while the paper "concentrate[s] on systems
+//! degrade or drift over time", while the paper "concentrate\[s\] on systems
 //! that can degrade".
 //!
 //! We segment the Tomcat memory series of three runs — healthy, aging, and

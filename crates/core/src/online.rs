@@ -69,6 +69,21 @@ impl<'m> OnlineTtfPredictor<'m> {
         self.predictions
     }
 
+    /// Hot-swaps the model mid-stream, keeping the sliding-window feature
+    /// state intact.
+    ///
+    /// This is the single-instance form of the fleet's generation swap: an
+    /// adaptation service retrains on recent checkpoints and publishes a
+    /// new model, and the streaming predictor continues from the very next
+    /// checkpoint without losing its derived-variable windows (the new
+    /// model was trained on the same feature pipeline, so the window state
+    /// remains valid).
+    ///
+    /// The new model must consume the same [`FeatureSet`] as the old one.
+    pub fn swap_model(&mut self, model: &'m dyn Regressor) {
+        self.model = model;
+    }
+
     /// Resets the sliding-window state (after a rejuvenation: the restarted
     /// process shares no history with the old one).
     pub fn reset(&mut self) {
@@ -148,6 +163,20 @@ mod tests {
         assert_eq!(clamp_ttf(-5.0), 0.0);
         assert_eq!(clamp_ttf(123.0), 123.0);
         assert_eq!(clamp_ttf(TTF_CAP_SECS + 1.0), TTF_CAP_SECS);
+    }
+
+    #[test]
+    fn swap_model_keeps_window_state() {
+        // Two constant models: after the swap, predictions come from the
+        // new model immediately, and the window state is untouched (the
+        // swap is invisible to the extractor).
+        let trace = Scenario::builder("s").emulated_browsers(20).duration_minutes(5).build().run(2);
+        let (a, b) = (ConstModel(100.0), ConstModel(200.0));
+        let mut online = OnlineTtfPredictor::new(&a, FeatureSet::exp42());
+        assert_eq!(online.observe(&trace.samples[0]), 100.0);
+        online.swap_model(&b);
+        assert_eq!(online.observe(&trace.samples[1]), 200.0);
+        assert_eq!(online.observed(), 2);
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! and *predictive/proactive* ("system metrics are continuously monitored
 //! and the rejuvenation action is triggered when a crash … seems to
 //! approach"), arguing the predictive approach reduces the number of
-//! rejuvenation actions. The TR extension [29] builds exactly this layer on
+//! rejuvenation actions. The TR extension \[29\] builds exactly this layer on
 //! top of the M5P predictor; this module reproduces it and quantifies the
 //! trade-off with availability and lost-work accounting.
 

@@ -5,6 +5,25 @@ use aging_testbed::Scenario;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
+/// A fleet-level workload change: from the given operating time onwards,
+/// every *new* service epoch of the instance runs the shifted scenario
+/// instead of the original one.
+///
+/// This models a production regime change (a traffic migration, a deploy
+/// with a different leak signature) that happens while the fleet operates
+/// — the situation where a frozen model goes stale and the paper's
+/// adaptive retraining pays off. The shift applies at service-epoch
+/// boundaries because a restart is when a deployment picks up its new
+/// configuration; an epoch in flight keeps its scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadShift {
+    /// Operating time (seconds of instance `elapsed` time) after which new
+    /// service epochs use the shifted scenario.
+    pub after_secs: f64,
+    /// The scenario that takes over.
+    pub scenario: Scenario,
+}
+
 /// One simulated deployment the fleet operates.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct InstanceSpec {
@@ -17,6 +36,20 @@ pub struct InstanceSpec {
     /// Base RNG seed; service epoch `e` runs under `seed + e`, matching
     /// `aging_core::rejuvenation::evaluate_policy`.
     pub seed: u64,
+    /// Optional mid-run workload change (see [`WorkloadShift`]).
+    pub shift: Option<WorkloadShift>,
+}
+
+impl InstanceSpec {
+    /// A spec with no workload shift.
+    pub fn new(
+        name: impl Into<String>,
+        scenario: Scenario,
+        policy: RejuvenationPolicy,
+        seed: u64,
+    ) -> Self {
+        InstanceSpec { name: name.into(), scenario, policy, seed, shift: None }
+    }
 }
 
 /// Fleet-wide operating parameters.
@@ -69,6 +102,14 @@ impl std::error::Error for FleetError {}
 
 /// Validates a spec the way `evaluate_policy` validates its inputs.
 pub(crate) fn validate_spec(spec: &InstanceSpec) -> Result<(), FleetError> {
+    if let Some(shift) = &spec.shift {
+        if !shift.after_secs.is_finite() || shift.after_secs < 0.0 {
+            return Err(FleetError::InvalidParameter(format!(
+                "instance `{}`: shift time must be finite and non-negative",
+                spec.name
+            )));
+        }
+    }
     match spec.policy {
         RejuvenationPolicy::Reactive => Ok(()),
         RejuvenationPolicy::TimeBased { interval_secs } => {

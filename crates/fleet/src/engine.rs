@@ -4,6 +4,7 @@ use crate::config::{validate_config, validate_spec, FleetConfig, FleetError, Ins
 use crate::instance::Instance;
 use crate::report::{FleetReport, FleetTiming, InstanceReport};
 use crate::shard::Shard;
+use aging_adapt::{AdaptiveService, CheckpointBus, ModelService};
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
@@ -13,13 +14,30 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Barrier;
 use std::time::Instant;
 
+/// Where the worker threads get their model from.
+///
+/// A frozen binding serves one `&dyn Regressor` for the whole run (the
+/// original engine behaviour, bit-exact with `evaluate_policy`). An
+/// adaptive binding resolves batched TTF queries through a
+/// [`ModelService`]: each worker *pins* a model snapshot per epoch —
+/// polling the generation counter costs one atomic load — and re-pins at
+/// the next epoch boundary after a publish, so one epoch's batch is always
+/// served by exactly one model generation.
+enum ModelBinding<'a> {
+    Frozen(&'a dyn Regressor),
+    Adaptive(&'a ModelService),
+}
+
 /// A set of simulated deployments operated concurrently under a shared
 /// trained model.
 ///
 /// Construction validates every spec; [`Fleet::run`] shards the instances
 /// across a fixed pool of worker threads and drives them in lock-step
 /// epochs of 15-second checkpoints, batching each shard's TTF inferences
-/// through [`Regressor::predict_batch`].
+/// through [`Regressor::predict_matrix`] over a flat reusable
+/// [`aging_ml::FeatureMatrix`]. [`Fleet::run_adaptive`] runs the same loop
+/// against an [`AdaptiveService`], streaming labelled crash epochs to its
+/// retrainer and hot-swapping model generations between epochs.
 #[derive(Debug)]
 pub struct Fleet {
     specs: Vec<InstanceSpec>,
@@ -66,6 +84,7 @@ impl Fleet {
                 scenario: scenario.clone(),
                 policy,
                 seed: base_seed.wrapping_add(i as u64),
+                shift: None,
             })
             .collect();
         Fleet::new(specs, config)
@@ -92,7 +111,7 @@ impl Fleet {
         self.run(predictor.model(), predictor.features())
     }
 
-    /// Operates the fleet to its horizon.
+    /// Operates the fleet to its horizon with one frozen model.
     ///
     /// `model` is shared by reference across the worker pool (it is `Sync`
     /// by the `Regressor` contract); `features` must be the set the model
@@ -100,6 +119,42 @@ impl Fleet {
     /// config — wall-clock [`FleetTiming`] is the only non-reproducible
     /// part, and it is excluded from report equality.
     pub fn run(self, model: &dyn Regressor, features: &FeatureSet) -> FleetReport {
+        self.run_bound(ModelBinding::Frozen(model), features, None)
+    }
+
+    /// Operates the fleet against a live [`AdaptiveService`]: shards
+    /// resolve their batched TTF queries through the service's current
+    /// model generation (pinned per epoch) and stream labelled crash
+    /// epochs onto its [`CheckpointBus`], so the service retrains and
+    /// publishes new generations *while the fleet keeps running* — worker
+    /// threads never pause for training.
+    ///
+    /// With drift triggering disabled ([`aging_adapt::DriftConfig`]
+    /// `enabled: false` and no periodic schedule) the service never leaves
+    /// generation 0 and this is outcome-identical to [`Fleet::run`] on the
+    /// initial model.
+    ///
+    /// The returned report carries [`aging_adapt::AdaptationStats`]
+    /// snapshotted at the end of the run. Because retraining proceeds
+    /// concurrently with epoch processing, adaptive outcomes are *not*
+    /// bit-deterministic across runs — which epoch first sees a new
+    /// generation depends on thread scheduling.
+    pub fn run_adaptive(self, service: &AdaptiveService, features: &FeatureSet) -> FleetReport {
+        let mut report = self.run_bound(
+            ModelBinding::Adaptive(service.model_service()),
+            features,
+            Some(service.bus()),
+        );
+        report.adaptation = Some(service.stats());
+        report
+    }
+
+    fn run_bound(
+        self,
+        binding: ModelBinding<'_>,
+        features: &FeatureSet,
+        bus: Option<CheckpointBus>,
+    ) -> FleetReport {
         let Fleet { specs, config } = self;
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
@@ -112,7 +167,10 @@ impl Fleet {
             for (i, spec) in specs.into_iter().enumerate() {
                 buckets[i % n_shards].push((i, Instance::new(spec, features)));
             }
-            buckets.into_iter().map(Shard::new).collect()
+            buckets
+                .into_iter()
+                .map(|bucket| Shard::new(bucket, features.len(), bus.clone()))
+                .collect()
         };
 
         // Lock-step epoch loop. Every worker advances its shard by one
@@ -132,6 +190,7 @@ impl Fleet {
         let live = [AtomicU64::new(0), AtomicU64::new(0)];
         let panicked = AtomicBool::new(false);
         let started = Instant::now();
+        let binding = &binding;
 
         let epochs = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -142,10 +201,30 @@ impl Fleet {
                     let panicked = &panicked;
                     let config = &config;
                     scope.spawn(move || {
+                        // Adaptive runs pin one model snapshot per epoch:
+                        // the pin is refreshed at epoch boundaries only,
+                        // and only when the generation counter moved, so a
+                        // publish mid-epoch never splits a batch across
+                        // two models.
+                        let mut pinned = match binding {
+                            ModelBinding::Frozen(_) => None,
+                            ModelBinding::Adaptive(service) => Some(service.snapshot()),
+                        };
                         let mut epoch = 0u64;
                         loop {
+                            let model: &dyn Regressor = match binding {
+                                ModelBinding::Frozen(model) => *model,
+                                ModelBinding::Adaptive(service) => {
+                                    let pin =
+                                        pinned.as_mut().expect("adaptive pin set before the loop");
+                                    if service.generation() != pin.generation {
+                                        *pin = service.snapshot();
+                                    }
+                                    pin.model.as_ref()
+                                }
+                            };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                shard.epoch(model, features, config) as u64
+                                shard.epoch(model, config) as u64
                             }));
                             let shard_live = match &outcome {
                                 Ok(n) => *n,

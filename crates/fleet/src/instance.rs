@@ -8,25 +8,49 @@
 //! across ticks. Counters are accumulated in the same order, so a
 //! one-instance fleet reproduces the single-instance
 //! `RejuvenationReport` bit for bit (see `tests/properties.rs`).
+//!
+//! On top of the policy loop the instance keeps a per-service-epoch
+//! *prediction history* — `(checkpoint uptime, predicted TTF)` plus,
+//! when the fleet runs adaptively, the feature rows themselves. When the
+//! epoch ends the history is labelled retrospectively: a crash labels
+//! every checkpoint with its exact time to failure (and queues the rows
+//! for the adaptation service), a proactive restart labels it against the
+//! frozen-rate counterfactual fork. Both feed the instance's TTF-error
+//! accounting; only crash epochs — the paper's "failure executions" —
+//! become training data.
 
 use crate::config::{FleetConfig, InstanceSpec};
 use crate::report::InstanceReport;
+use aging_adapt::{CheckpointBatch, LabelledCheckpoint};
 use aging_core::{clamp_ttf, RejuvenationPolicy};
-use aging_monitor::{FeatureExtractor, FeatureSet};
+use aging_ml::FeatureMatrix;
+use aging_monitor::{FeatureExtractor, FeatureSet, TTF_CAP_SECS};
 use aging_testbed::{Simulator, StepOutcome};
 
 /// What an instance did during one fleet tick.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub(crate) enum Tick {
     /// Nothing left to do: the instance reached its operating horizon.
     Retired,
     /// A checkpoint was consumed; no prediction is needed (reactive or
     /// time-based policy, or an epoch boundary).
     Advanced,
-    /// A checkpoint was consumed and this feature row awaits a batched
-    /// prediction; the caller must follow up with
+    /// A checkpoint was consumed and its feature row was appended to the
+    /// shard's batch matrix; the caller must follow up with
     /// [`Instance::apply_prediction`].
-    NeedsPrediction(Vec<f64>),
+    NeedsPrediction,
+}
+
+/// How one service epoch ended, for retrospective labelling.
+enum EpochEnd {
+    /// Unplanned crash at this uptime: exact TTF labels.
+    Crashed { crash_uptime: f64 },
+    /// Proactive restart whose counterfactual fork reported this time to
+    /// crash from the restart instant, saturating at `cap` (the configured
+    /// counterfactual horizon).
+    Rejuvenated { fork_ttf: f64, at_uptime: f64, cap: f64 },
+    /// Scenario finished or horizon reached: no ground truth, no labels.
+    Unlabelled,
 }
 
 /// A single simulated deployment plus its fleet-side operating state.
@@ -34,6 +58,9 @@ pub(crate) enum Tick {
 pub struct Instance {
     spec: InstanceSpec,
     extractor: FeatureExtractor,
+    /// Catalogue indices of the feature set, cached so the per-checkpoint
+    /// projection is a gather instead of repeated name lookups.
+    feature_indices: Vec<usize>,
     // Epoch-of-service state (reset on every restart).
     sim: Option<Box<Simulator>>,
     epoch: u64,
@@ -41,6 +68,11 @@ pub struct Instance {
     seen: usize,
     below: usize,
     pending_uptime: f64,
+    // Per-epoch prediction history for retrospective labelling.
+    history_uptimes: Vec<f64>,
+    history_predictions: Vec<f64>,
+    history_rows: Vec<Vec<f64>>,
+    outbox: Vec<LabelledCheckpoint>,
     // Operating-period accounting, mirroring `evaluate_policy`.
     elapsed: f64,
     crashes: u64,
@@ -50,6 +82,8 @@ pub struct Instance {
     throughput_sum: f64,
     throughput_n: u64,
     checkpoints: u64,
+    ttf_error_sum: f64,
+    ttf_error_count: u64,
     retired: bool,
 }
 
@@ -57,6 +91,7 @@ impl Instance {
     pub(crate) fn new(spec: InstanceSpec, features: &FeatureSet) -> Self {
         Instance {
             extractor: FeatureExtractor::new(features.window()),
+            feature_indices: features.catalogue_indices(),
             spec,
             sim: None,
             epoch: 0,
@@ -64,6 +99,10 @@ impl Instance {
             seen: 0,
             below: 0,
             pending_uptime: 0.0,
+            history_uptimes: Vec::new(),
+            history_predictions: Vec::new(),
+            history_rows: Vec::new(),
+            outbox: Vec::new(),
             elapsed: 0.0,
             crashes: 0,
             rejuvenations: 0,
@@ -72,14 +111,23 @@ impl Instance {
             throughput_sum: 0.0,
             throughput_n: 0,
             checkpoints: 0,
+            ttf_error_sum: 0.0,
+            ttf_error_count: 0,
             retired: false,
         }
     }
 
     /// Advances one checkpoint (or epoch-boundary event). Returns
     /// [`Tick::NeedsPrediction`] when the predictive policy needs a TTF for
-    /// this checkpoint; the shard batches those rows across its instances.
-    pub(crate) fn advance(&mut self, config: &FleetConfig, features: &FeatureSet) -> Tick {
+    /// this checkpoint; the row has then been appended to `matrix` and the
+    /// shard batches it with its siblings. With `collect` set, completed
+    /// crash epochs queue labelled training data for the adaptation bus.
+    pub(crate) fn advance(
+        &mut self,
+        config: &FleetConfig,
+        matrix: &mut FeatureMatrix,
+        collect: bool,
+    ) -> Tick {
         if self.retired {
             return Tick::Retired;
         }
@@ -90,10 +138,15 @@ impl Instance {
                 self.retired = true;
                 return Tick::Retired;
             }
-            self.sim = Some(Box::new(Simulator::new(
-                &self.spec.scenario,
-                self.spec.seed.wrapping_add(self.epoch),
-            )));
+            // A fleet-level workload shift takes effect at service-epoch
+            // boundaries: restarts pick up the new regime, epochs in
+            // flight keep theirs.
+            let scenario = match &self.spec.shift {
+                Some(shift) if self.elapsed >= shift.after_secs => &shift.scenario,
+                _ => &self.spec.scenario,
+            };
+            self.sim =
+                Some(Box::new(Simulator::new(scenario, self.spec.seed.wrapping_add(self.epoch))));
             self.epochs_started += 1;
             self.extractor.reset();
             self.seen = 0;
@@ -110,12 +163,12 @@ impl Instance {
                 if self.elapsed + uptime >= horizon {
                     self.elapsed += uptime;
                     self.retired = true;
-                    self.sim = None;
+                    self.end_epoch(EpochEnd::Unlabelled, false);
                     return Tick::Retired;
                 }
                 match self.spec.policy {
                     RejuvenationPolicy::TimeBased { interval_secs } if uptime >= interval_secs => {
-                        self.rejuvenate(uptime, config);
+                        self.rejuvenate(uptime, config, collect);
                         Tick::Advanced
                     }
                     RejuvenationPolicy::Predictive { .. } => {
@@ -129,7 +182,10 @@ impl Instance {
                             return Tick::Advanced;
                         }
                         self.pending_uptime = uptime;
-                        Tick::NeedsPrediction(features.project(&full))
+                        matrix.push_row_with(|buf| {
+                            buf.extend(self.feature_indices.iter().map(|&i| full[i]));
+                        });
+                        Tick::NeedsPrediction
                     }
                     _ => Tick::Advanced,
                 }
@@ -138,21 +194,29 @@ impl Instance {
                 self.crashes += 1;
                 self.downtime += config.rejuvenation.crash_downtime_secs;
                 self.elapsed += crash.time_secs + config.rejuvenation.crash_downtime_secs;
-                self.end_epoch();
+                self.end_epoch(EpochEnd::Crashed { crash_uptime: crash.time_secs }, collect);
                 Tick::Advanced
             }
             StepOutcome::Finished => {
                 let uptime = sim.time_ms() as f64 / 1000.0;
                 self.elapsed += uptime.max(1.0);
-                self.end_epoch();
+                self.end_epoch(EpochEnd::Unlabelled, false);
                 Tick::Advanced
             }
         }
     }
 
     /// Second phase of a predictive tick: feeds the batched TTF prediction
-    /// back into the debounced threshold trigger.
-    pub(crate) fn apply_prediction(&mut self, raw_prediction: f64, config: &FleetConfig) {
+    /// back into the debounced threshold trigger. `row` is the feature row
+    /// this instance appended during [`Instance::advance`], handed back by
+    /// the shard so crash epochs can be replayed as training data.
+    pub(crate) fn apply_prediction(
+        &mut self,
+        raw_prediction: f64,
+        row: &[f64],
+        config: &FleetConfig,
+        collect: bool,
+    ) {
         let RejuvenationPolicy::Predictive { threshold_secs, consecutive } = self.spec.policy
         else {
             unreachable!("apply_prediction is only called after NeedsPrediction");
@@ -162,33 +226,96 @@ impl Instance {
             "warm-up checkpoints never request predictions"
         );
         let prediction = clamp_ttf(raw_prediction);
+        self.history_uptimes.push(self.pending_uptime);
+        self.history_predictions.push(prediction);
+        if collect {
+            self.history_rows.push(row.to_vec());
+        }
         if prediction < threshold_secs {
             self.below += 1;
             if self.below >= consecutive {
-                self.rejuvenate(self.pending_uptime, config);
+                self.rejuvenate(self.pending_uptime, config, collect);
             }
         } else {
             self.below = 0;
         }
     }
 
-    fn rejuvenate(&mut self, uptime: f64, config: &FleetConfig) {
+    fn rejuvenate(&mut self, uptime: f64, config: &FleetConfig, collect: bool) {
+        let mut end = EpochEnd::Unlabelled;
         if config.counterfactual_horizon_secs > 0.0 {
             let sim = self.sim.as_ref().expect("rejuvenation happens mid-epoch");
             let ttf = sim.frozen_time_to_crash(config.counterfactual_horizon_secs);
             if ttf < config.counterfactual_horizon_secs {
                 self.crashes_avoided += 1;
             }
+            end = EpochEnd::Rejuvenated {
+                fork_ttf: ttf,
+                at_uptime: uptime,
+                cap: config.counterfactual_horizon_secs,
+            };
         }
         self.rejuvenations += 1;
         self.downtime += config.rejuvenation.rejuvenation_downtime_secs;
         self.elapsed += uptime + config.rejuvenation.rejuvenation_downtime_secs;
-        self.end_epoch();
+        self.end_epoch(end, collect);
     }
 
-    fn end_epoch(&mut self) {
+    /// Closes the current service epoch: labels the prediction history
+    /// retrospectively, folds the errors into the TTF-error accounting,
+    /// queues crash-epoch training data when collecting, and clears the
+    /// epoch state.
+    fn end_epoch(&mut self, end: EpochEnd, collect: bool) {
+        match end {
+            EpochEnd::Crashed { crash_uptime } => {
+                for (i, (&t, &pred)) in
+                    self.history_uptimes.iter().zip(&self.history_predictions).enumerate()
+                {
+                    let actual = (crash_uptime - t).clamp(0.0, TTF_CAP_SECS);
+                    self.ttf_error_sum += (pred - actual).abs();
+                    self.ttf_error_count += 1;
+                    if collect {
+                        self.outbox.push(LabelledCheckpoint {
+                            features: std::mem::take(&mut self.history_rows[i]),
+                            ttf_secs: actual,
+                            predicted_ttf_secs: Some(pred),
+                        });
+                    }
+                }
+            }
+            EpochEnd::Rejuvenated { fork_ttf, at_uptime, cap } => {
+                // The frozen-rate fork gives the time to crash from the
+                // restart instant, saturating at the counterfactual
+                // horizon; earlier checkpoints sit `at_uptime - t` further
+                // out. Errors are measured inside that window — both sides
+                // clamped to the horizon — so "prediction and truth both
+                // far from crashing" scores zero instead of penalising the
+                // cap.
+                for (&t, &pred) in self.history_uptimes.iter().zip(&self.history_predictions) {
+                    let actual = (fork_ttf + (at_uptime - t).max(0.0)).min(cap);
+                    self.ttf_error_sum += (pred.min(cap) - actual).abs();
+                    self.ttf_error_count += 1;
+                }
+            }
+            EpochEnd::Unlabelled => {}
+        }
+        self.history_uptimes.clear();
+        self.history_predictions.clear();
+        self.history_rows.clear();
         self.sim = None;
         self.epoch += 1;
+    }
+
+    /// Drains labelled training checkpoints queued by completed crash
+    /// epochs (empty unless the fleet runs adaptively).
+    pub(crate) fn take_labelled(&mut self) -> Option<CheckpointBatch> {
+        if self.outbox.is_empty() {
+            return None;
+        }
+        Some(CheckpointBatch {
+            source: self.spec.name.clone(),
+            checkpoints: std::mem::take(&mut self.outbox),
+        })
     }
 
     /// The instance's final accounting, shaped exactly like the
@@ -212,6 +339,8 @@ impl Instance {
             lost_requests: mean_rps * self.downtime,
             checkpoints: self.checkpoints,
             service_epochs: self.epochs_started,
+            ttf_error_sum_secs: self.ttf_error_sum,
+            ttf_error_count: self.ttf_error_count,
         }
     }
 }

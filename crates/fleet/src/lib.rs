@@ -16,16 +16,30 @@
 //!   consumes one 15-second monitoring checkpoint per epoch, and the
 //!   workers synchronise on a barrier before the next epoch begins.
 //! - Within a shard, every checkpoint that needs a time-to-failure
-//!   estimate is collected into a feature matrix and resolved through one
-//!   [`aging_ml::Regressor::predict_batch`] call — the shared model is
+//!   estimate is projected straight into a flat row-major
+//!   [`aging_ml::FeatureMatrix`] (reused across epochs — no per-row
+//!   allocations) and resolved through one
+//!   [`aging_ml::Regressor::predict_matrix`] call — the shared model is
 //!   `Sync`, so all shards read it concurrently without cloning it.
 //! - Each instance applies its own `RejuvenationPolicy` with the exact
 //!   accounting of the single-instance study: a 1-instance fleet
 //!   reproduces `evaluate_policy`'s `RejuvenationReport` field for field.
 //! - Per-instance outcomes fold into a [`FleetReport`]: availability,
 //!   crashes suffered/avoided (the latter via the paper's frozen-rate
-//!   fork as counterfactual), lost work, restart counts, and the engine's
-//!   wall-clock checkpoints/second throughput.
+//!   fork as counterfactual), lost work, restart counts, retrospective
+//!   TTF-prediction error, and the engine's wall-clock
+//!   checkpoints/second throughput.
+//!
+//! # Adaptation
+//!
+//! [`Fleet::run_adaptive`] connects the same epoch loop to an
+//! [`aging_adapt::AdaptiveService`]: completed crash epochs are labelled
+//! retrospectively and streamed onto the service's checkpoint bus, the
+//! service retrains on drift and publishes new model generations, and
+//! every worker re-pins its model snapshot at the next epoch boundary —
+//! retraining never pauses the pool. A fleet-level [`WorkloadShift`] can
+//! move instances to a different scenario mid-run to exercise exactly the
+//! dynamic-workload regime the paper's adaptive claim is about.
 //!
 //! # Example
 //!
@@ -57,7 +71,7 @@ mod instance;
 mod report;
 mod shard;
 
-pub use config::{FleetConfig, FleetError, InstanceSpec};
+pub use config::{FleetConfig, FleetError, InstanceSpec, WorkloadShift};
 pub use engine::Fleet;
 pub use instance::Instance;
 pub use report::{FleetReport, FleetTiming, InstanceReport};
@@ -95,12 +109,7 @@ mod tests {
 
     #[test]
     fn degenerate_parameters_are_rejected() {
-        let spec = |policy| InstanceSpec {
-            name: "x".into(),
-            scenario: crashing_scenario(),
-            policy,
-            seed: 1,
-        };
+        let spec = |policy| InstanceSpec::new("x", crashing_scenario(), policy, 1);
         assert!(Fleet::new(
             vec![spec(RejuvenationPolicy::TimeBased { interval_secs: 0.0 })],
             FleetConfig::default(),

@@ -1,5 +1,6 @@
 //! Fleet-wide and per-instance outcome reports.
 
+use aging_adapt::AdaptationStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -30,6 +31,24 @@ pub struct InstanceReport {
     pub checkpoints: u64,
     /// Service epochs started (initial start + every restart).
     pub service_epochs: u64,
+    /// Sum of absolute TTF prediction errors over retrospectively labelled
+    /// checkpoints (crash epochs against the real crash time, proactive
+    /// restarts against the frozen-rate counterfactual fork).
+    pub ttf_error_sum_secs: f64,
+    /// Number of labelled predictions behind `ttf_error_sum_secs`.
+    pub ttf_error_count: u64,
+}
+
+impl InstanceReport {
+    /// Mean absolute TTF prediction error over this instance's labelled
+    /// checkpoints, seconds (0 when nothing could be labelled).
+    pub fn mean_ttf_error_secs(&self) -> f64 {
+        if self.ttf_error_count > 0 {
+            self.ttf_error_sum_secs / self.ttf_error_count as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Wall-clock performance of a fleet run. Not part of the report's
@@ -46,9 +65,12 @@ pub struct FleetTiming {
 
 /// Aggregated outcome of a fleet run.
 ///
-/// `PartialEq` deliberately ignores [`FleetReport::timing`]: equality means
-/// "the same simulated outcome", which is what the determinism guarantee
-/// (same specs, seeds and config ⇒ same report) is about.
+/// `PartialEq` deliberately ignores [`FleetReport::timing`] and
+/// [`FleetReport::adaptation`]: equality means "the same simulated
+/// outcome", which is what the determinism guarantee (same specs, seeds
+/// and config ⇒ same report) is about — wall-clock speed and the
+/// adaptation service's concurrent counters both legitimately vary between
+/// otherwise identical runs.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct FleetReport {
     /// Per-instance outcomes, in spec order.
@@ -73,6 +95,14 @@ pub struct FleetReport {
     pub lost_requests: f64,
     /// Total monitoring checkpoints consumed.
     pub checkpoints: u64,
+    /// Mean absolute TTF prediction error across every labelled checkpoint
+    /// of the fleet, seconds (0 when nothing could be labelled).
+    pub mean_ttf_error_secs: f64,
+    /// Labelled predictions behind `mean_ttf_error_secs`.
+    pub ttf_error_count: u64,
+    /// Adaptation-service counters for [`crate::Fleet::run_adaptive`] runs
+    /// (`None` for frozen-model runs; excluded from equality).
+    pub adaptation: Option<AdaptationStats>,
     /// Wall-clock performance (excluded from equality).
     pub timing: FleetTiming,
 }
@@ -90,6 +120,8 @@ impl PartialEq for FleetReport {
             && self.availability == other.availability
             && self.lost_requests == other.lost_requests
             && self.checkpoints == other.checkpoints
+            && self.mean_ttf_error_secs == other.mean_ttf_error_secs
+            && self.ttf_error_count == other.ttf_error_count
     }
 }
 
@@ -103,6 +135,8 @@ impl FleetReport {
         timing: FleetTiming,
     ) -> Self {
         let n = instances.len().max(1) as f64;
+        let ttf_error_count: u64 = instances.iter().map(|i| i.ttf_error_count).sum();
+        let ttf_error_sum: f64 = instances.iter().map(|i| i.ttf_error_sum_secs).sum();
         FleetReport {
             shards,
             epochs,
@@ -114,9 +148,28 @@ impl FleetReport {
             availability: instances.iter().map(|i| i.availability).sum::<f64>() / n,
             lost_requests: instances.iter().map(|i| i.lost_requests).sum(),
             checkpoints: instances.iter().map(|i| i.checkpoints).sum(),
+            mean_ttf_error_secs: if ttf_error_count > 0 {
+                ttf_error_sum / ttf_error_count as f64
+            } else {
+                0.0
+            },
+            ttf_error_count,
+            adaptation: None,
             instances,
             timing,
         }
+    }
+
+    /// Serializes the report (including adaptation stats, when present) as
+    /// pretty-printed JSON — the machine-readable `BENCH_*.json` format of
+    /// the fleet benches and examples.
+    ///
+    /// # Errors
+    ///
+    /// Propagates serializer errors (none occur for this type in
+    /// practice).
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 }
 
@@ -142,6 +195,23 @@ impl fmt::Display for FleetReport {
             self.rejuvenations, self.downtime_secs
         )?;
         writeln!(f, "  lost requests      {:.0}", self.lost_requests)?;
+        writeln!(
+            f,
+            "  TTF error          {:.0} s mean abs over {} labelled predictions",
+            self.mean_ttf_error_secs, self.ttf_error_count
+        )?;
+        if let Some(adaptation) = &self.adaptation {
+            writeln!(
+                f,
+                "  adaptation         gen {}  retrains {}  drift events {}  \
+                 ingested {}  error EWMA {:.0} s",
+                adaptation.generation,
+                adaptation.retrains,
+                adaptation.drift_events,
+                adaptation.ingested_checkpoints,
+                adaptation.error_ewma_secs
+            )?;
+        }
         write!(
             f,
             "  throughput         {} checkpoints in {:.2} s wall = {:.0} checkpoints/s",

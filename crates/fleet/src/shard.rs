@@ -2,8 +2,8 @@
 
 use crate::config::FleetConfig;
 use crate::instance::{Instance, Tick};
-use aging_ml::Regressor;
-use aging_monitor::FeatureSet;
+use aging_adapt::CheckpointBus;
+use aging_ml::{FeatureMatrix, Regressor};
 
 /// A worker's instances plus reusable per-epoch buffers.
 #[derive(Debug)]
@@ -11,43 +11,68 @@ pub(crate) struct Shard {
     /// `(original fleet index, instance)` — the index restores spec order
     /// when per-instance reports are folded back together.
     pub(crate) instances: Vec<(usize, Instance)>,
-    rows: Vec<Vec<f64>>,
+    /// Flat row-major batch of this epoch's pending feature rows: the
+    /// buffer is cleared and refilled every epoch, so steady-state epochs
+    /// perform no per-row allocations at all.
+    matrix: FeatureMatrix,
     pending: Vec<usize>,
+    /// Producer handle on the adaptation bus; `None` for frozen runs.
+    bus: Option<CheckpointBus>,
 }
 
 impl Shard {
-    pub(crate) fn new(instances: Vec<(usize, Instance)>) -> Self {
-        Shard { instances, rows: Vec::new(), pending: Vec::new() }
+    pub(crate) fn new(
+        instances: Vec<(usize, Instance)>,
+        n_features: usize,
+        bus: Option<CheckpointBus>,
+    ) -> Self {
+        let capacity = instances.len();
+        Shard {
+            instances,
+            matrix: FeatureMatrix::with_capacity(n_features, capacity),
+            pending: Vec::with_capacity(capacity),
+            bus,
+        }
     }
 
     /// Drives every instance one checkpoint forward, then resolves all
     /// pending TTF predictions through a single batched inference over the
     /// shared model. Returns how many instances are still live.
-    pub(crate) fn epoch(
-        &mut self,
-        model: &dyn Regressor,
-        features: &FeatureSet,
-        config: &FleetConfig,
-    ) -> usize {
-        self.rows.clear();
+    pub(crate) fn epoch(&mut self, model: &dyn Regressor, config: &FleetConfig) -> usize {
+        self.matrix.clear();
         self.pending.clear();
+        let collect = self.bus.is_some();
         let mut live = 0usize;
         for (slot, (_, instance)) in self.instances.iter_mut().enumerate() {
-            match instance.advance(config, features) {
+            match instance.advance(config, &mut self.matrix, collect) {
                 Tick::Retired => {}
                 Tick::Advanced => live += 1,
-                Tick::NeedsPrediction(row) => {
+                Tick::NeedsPrediction => {
                     live += 1;
-                    self.rows.push(row);
                     self.pending.push(slot);
                 }
             }
         }
-        if !self.rows.is_empty() {
-            let predictions = model.predict_batch(&self.rows);
+        if !self.matrix.is_empty() {
+            let predictions = model.predict_matrix(&self.matrix);
             debug_assert_eq!(predictions.len(), self.pending.len());
-            for (&slot, &prediction) in self.pending.iter().zip(&predictions) {
-                self.instances[slot].1.apply_prediction(prediction, config);
+            for (row_idx, (&slot, &prediction)) in self.pending.iter().zip(&predictions).enumerate()
+            {
+                self.instances[slot].1.apply_prediction(
+                    prediction,
+                    self.matrix.row(row_idx),
+                    config,
+                    collect,
+                );
+            }
+        }
+        if let Some(bus) = &self.bus {
+            for (_, instance) in &mut self.instances {
+                if let Some(batch) = instance.take_labelled() {
+                    // A `false` return means the adaptation service is
+                    // gone; the fleet keeps operating on its pinned model.
+                    let _ = bus.publish(batch);
+                }
             }
         }
         live

@@ -106,12 +106,7 @@ fn single_instance_fleet_matches_evaluate_policy_exactly() {
                 counterfactual_horizon_secs: 3600.0,
             };
             let report = Fleet::new(
-                vec![InstanceSpec {
-                    name: "solo".into(),
-                    scenario: scenario.clone(),
-                    policy,
-                    seed,
-                }],
+                vec![InstanceSpec::new("solo", scenario.clone(), policy, seed)],
                 fleet_config,
             )
             .unwrap()
@@ -158,24 +153,19 @@ fn mixed_policy_fleet_reports_each_instance_under_its_own_policy() {
     let predictor = trained_predictor();
     let scenario = crashing_scenario();
     let specs = vec![
-        InstanceSpec {
-            name: "reactive".into(),
-            scenario: scenario.clone(),
-            policy: RejuvenationPolicy::Reactive,
-            seed: 7,
-        },
-        InstanceSpec {
-            name: "time-based".into(),
-            scenario: scenario.clone(),
-            policy: RejuvenationPolicy::TimeBased { interval_secs: 900.0 },
-            seed: 7,
-        },
-        InstanceSpec {
-            name: "predictive".into(),
+        InstanceSpec::new("reactive", scenario.clone(), RejuvenationPolicy::Reactive, 7),
+        InstanceSpec::new(
+            "time-based",
+            scenario.clone(),
+            RejuvenationPolicy::TimeBased { interval_secs: 900.0 },
+            7,
+        ),
+        InstanceSpec::new(
+            "predictive",
             scenario,
-            policy: RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 },
-            seed: 7,
-        },
+            RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 },
+            7,
+        ),
     ];
     let report = Fleet::new(specs, config(3, 2.0)).unwrap().run_with_predictor(&predictor);
     let [reactive, time_based, predictive] = &report.instances[..] else {

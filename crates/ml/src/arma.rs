@@ -1,7 +1,7 @@
 //! ARMA time-series models — the related-work comparator.
 //!
 //! Li, Vaidyanathan & Trivedi ("An Approach for Estimation of Software Aging
-//! in a Web Server", ref. [26] of the paper) estimate resource exhaustion
+//! in a Web Server", ref. \[26\] of the paper) estimate resource exhaustion
 //! with ARMA models over the monitored resource series. The paper argues its
 //! ML approach is more general because ARMA assumes a fixed aging trend;
 //! implementing ARMA lets the benches demonstrate that claim.

@@ -1,7 +1,7 @@
 //! Bootstrap aggregation (bagging) over any base learner.
 //!
 //! The paper's Section 1 names bagging among the "more sophisticated ML
-//! techniques [that] can surely obtain better accuracy" than a single M5P,
+//! techniques \[that\] can surely obtain better accuracy" than a single M5P,
 //! at the cost of interpretability and training time. This module lets the
 //! benches test that claim: [`BaggingLearner`] fits `n_members` base models
 //! on bootstrap resamples and averages their predictions.

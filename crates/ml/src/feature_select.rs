@@ -2,7 +2,7 @@
 //!
 //! The paper's first attempt at the periodic-pattern scenario performed
 //! poorly because "the model was paying too much attention to irrelevant
-//! attributes"; following Hoffmann, Trivedi & Malek (ref. [22]) the authors
+//! attributes"; following Hoffmann, Trivedi & Malek (ref. \[22\]) the authors
 //! re-trained using only the variables related to the Java heap, which
 //! rescued the accuracy. This module provides:
 //!

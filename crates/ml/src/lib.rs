@@ -27,7 +27,9 @@
 //! - [`segment`]: the piecewise-linear anomaly/change detector of the
 //!   related work (Cherkasova et al., DSN'08),
 //! - [`online`]: an adaptive on-line wrapper that retrains on a sliding
-//!   buffer of recent checkpoints.
+//!   buffer of recent checkpoints,
+//! - [`matrix`]: contiguous row-major feature matrices for allocation-free
+//!   batched inference ([`Regressor::predict_matrix`]).
 //!
 //! # Quickstart
 //!
@@ -60,6 +62,7 @@ pub mod knn;
 pub(crate) mod linalg;
 pub mod linreg;
 pub mod m5p;
+pub mod matrix;
 pub mod naive;
 pub mod online;
 pub mod regtree;
@@ -67,8 +70,10 @@ pub mod segment;
 
 mod error;
 pub use error::MlError;
+pub use matrix::FeatureMatrix;
 
 use aging_dataset::Dataset;
+use std::sync::Arc;
 
 /// A fitted regression model: maps an attribute vector to a real prediction.
 ///
@@ -102,6 +107,20 @@ pub trait Regressor: std::fmt::Debug + Send + Sync {
     /// May panic if any row's length differs from the training arity.
     fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
         rows.iter().map(|row| self.predict(row)).collect()
+    }
+
+    /// Predicts the target for every row of a contiguous row-major
+    /// [`FeatureMatrix`] — the allocation-free variant of
+    /// [`Regressor::predict_batch`] used by the fleet shard hot loop.
+    ///
+    /// The same bitwise-identity contract applies: the result must equal
+    /// calling [`Regressor::predict`] on every row in order.
+    ///
+    /// # Panics
+    ///
+    /// May panic if the matrix width differs from the training arity.
+    fn predict_matrix(&self, matrix: &FeatureMatrix) -> Vec<f64> {
+        matrix.rows().map(|row| self.predict(row)).collect()
     }
 
     /// Short human-readable name of the model family (e.g. `"M5P"`).
@@ -138,5 +157,70 @@ pub trait Learner {
         Self::Model: 'static,
     {
         Ok(Box::new(self.fit(data)?))
+    }
+}
+
+/// An object-safe training handle: the learner-agnostic counterpart of
+/// [`Learner`], usable behind `Arc<dyn DynLearner>`.
+///
+/// [`Learner`] carries an associated `Model` type and therefore cannot be a
+/// trait object; services that must be generic over the training algorithm
+/// at *runtime* (e.g. a fleet model service that can be backed by M5P,
+/// linear regression or GBRT from the same code path) hold a
+/// `Arc<dyn DynLearner>` instead. Every `Learner` whose model type is
+/// `'static` gets this implementation for free via the blanket impl.
+pub trait DynLearner: std::fmt::Debug + Send + Sync {
+    /// Fits a boxed model to `data`.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Learner::fit`].
+    fn fit_dyn(&self, data: &Dataset) -> Result<Box<dyn Regressor>, MlError>;
+}
+
+impl<L> DynLearner for L
+where
+    L: Learner + std::fmt::Debug + Send + Sync,
+    L::Model: 'static,
+{
+    fn fit_dyn(&self, data: &Dataset) -> Result<Box<dyn Regressor>, MlError> {
+        self.fit_boxed(data)
+    }
+}
+
+impl Regressor for Arc<dyn Regressor> {
+    fn predict(&self, x: &[f64]) -> f64 {
+        (**self).predict(x)
+    }
+
+    fn predict_batch(&self, rows: &[Vec<f64>]) -> Vec<f64> {
+        (**self).predict_batch(rows)
+    }
+
+    fn predict_matrix(&self, matrix: &FeatureMatrix) -> Vec<f64> {
+        (**self).predict_matrix(matrix)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+
+    fn describe(&self) -> String {
+        (**self).describe()
+    }
+}
+
+/// A shared [`DynLearner`] is itself a [`Learner`] producing shared models,
+/// so generic wrappers such as [`online::OnlineRegressor`] work unchanged
+/// over a runtime-chosen algorithm.
+impl Learner for Arc<dyn DynLearner> {
+    type Model = Arc<dyn Regressor>;
+
+    fn fit(&self, data: &Dataset) -> Result<Self::Model, MlError> {
+        // Explicit double-deref: `Arc<dyn DynLearner>` also satisfies the
+        // blanket `DynLearner` impl (it is itself a `Learner`), and plain
+        // `self.fit_dyn(...)` would resolve to that impl and recurse
+        // forever instead of reaching the inner trait object.
+        (**self).fit_dyn(data).map(Arc::from)
     }
 }

@@ -113,6 +113,18 @@ impl Regressor for LinearModel {
         out
     }
 
+    fn predict_matrix(&self, matrix: &crate::FeatureMatrix) -> Vec<f64> {
+        let mut out = Vec::with_capacity(matrix.n_rows());
+        for row in matrix.rows() {
+            let mut y = self.intercept;
+            for &(idx, coef) in &self.terms {
+                y += coef * row[idx];
+            }
+            out.push(y);
+        }
+        out
+    }
+
     fn name(&self) -> &'static str {
         "LinearRegression"
     }

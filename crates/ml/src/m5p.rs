@@ -356,6 +356,29 @@ impl Regressor for M5pModel {
             .collect()
     }
 
+    fn predict_matrix(&self, matrix: &crate::FeatureMatrix) -> Vec<f64> {
+        // Same amortisation as `predict_batch`, over the flat row-major
+        // layout the fleet shards refill each epoch.
+        assert_eq!(
+            matrix.n_cols(),
+            self.attribute_names.len(),
+            "M5P model expects {} attributes, got {}",
+            self.attribute_names.len(),
+            matrix.n_cols()
+        );
+        let mut path: Vec<&Node> = Vec::with_capacity(self.depth() + 1);
+        matrix
+            .rows()
+            .map(|row| {
+                if self.smoothing {
+                    self.predict_smoothed_with(row, &mut path)
+                } else {
+                    self.predict_unsmoothed(row)
+                }
+            })
+            .collect()
+    }
+
     fn name(&self) -> &'static str {
         "M5P"
     }

@@ -1,7 +1,7 @@
 //! Adaptive on-line learning wrapper.
 //!
 //! The paper's title promises *on-line* prediction and motivates M5P partly
-//! by its "low training and prediction costs [since] we will eventually
+//! by its "low training and prediction costs \[since\] we will eventually
 //! want on-line processing". [`OnlineRegressor`] wraps any batch
 //! [`Learner`] into an on-line one: labelled checkpoints stream in, are kept
 //! in a bounded FIFO buffer, and the model is refitted every

@@ -1,5 +1,5 @@
 //! Plain regression trees (constant leaves) — the "Decision Trees"
-//! comparator from the authors' preliminary study (ICAS'09, ref. [14] of
+//! comparator from the authors' preliminary study (ICAS'09, ref. \[14\] of
 //! the paper), which M5P outperformed.
 //!
 //! Growth is identical to M5P's (standard-deviation-reduction splits);

@@ -1,12 +1,12 @@
 //! Piecewise-linear series segmentation — the related-work comparator of
 //! Cherkasova et al. ("Anomaly? Application Change? or Workload Change?",
-//! DSN'08, ref. [15] of the paper).
+//! DSN'08, ref. \[15\] of the paper).
 //!
-//! That framework "divide[s] the sequence of recorded data into several
+//! That framework "divide\[s\] the sequence of recorded data into several
 //! segments using the Linear Regression error. If for some period it is
 //! impossible to obtain any Linear Regression with acceptable error at all,
 //! the conclusion is that the system is suffering some type of anomaly."
-//! The paper positions itself as complementary: [15] assumes a statically
+//! The paper positions itself as complementary: \[15\] assumes a statically
 //! modellable system between changes, while aging systems *drift*. This
 //! module implements the segmentation so the benches can demonstrate that
 //! distinction: an aging trace segments into pieces whose slopes share a
@@ -47,6 +47,10 @@ impl Segment {
 /// best-fit line over it keeps every residual within `tolerance`; when a
 /// point cannot be absorbed a new segment starts there.
 ///
+/// Non-finite samples are treated as missing observations: they are covered
+/// by whatever segment spans their index but constrain neither the fit nor
+/// the tolerance test (see [`diagnose`]).
+///
 /// # Panics
 ///
 /// Panics if `tolerance` is not positive or `ys` is empty.
@@ -76,21 +80,36 @@ pub fn segment_series(ys: &[f64], tolerance: f64) -> Vec<Segment> {
 }
 
 /// Least-squares line over `ys[start..end]` (in absolute index coords).
+///
+/// Non-finite samples (NaN, ±∞ — e.g. a monitoring gap or a divided-by-zero
+/// derived variable) are treated as *missing*: they contribute to neither
+/// the normal equations nor the residual test, so a single bad checkpoint
+/// cannot poison the slope or force a spurious segment break. A window with
+/// no finite samples at all fits the zero line with zero error.
 fn fit(ys: &[f64], start: usize, end: usize) -> Segment {
-    let n = (end - start) as f64;
     if end - start == 1 {
-        return Segment { start, end, slope: 0.0, intercept: ys[start], max_abs_err: 0.0 };
+        let y = ys[start];
+        let intercept = if y.is_finite() { y } else { 0.0 };
+        return Segment { start, end, slope: 0.0, intercept, max_abs_err: 0.0 };
     }
+    let mut n = 0.0;
     let mut sx = 0.0;
     let mut sy = 0.0;
     let mut sxx = 0.0;
     let mut sxy = 0.0;
     for (i, &y) in ys[start..end].iter().enumerate() {
+        if !y.is_finite() {
+            continue;
+        }
         let x = (start + i) as f64;
+        n += 1.0;
         sx += x;
         sy += y;
         sxx += x * x;
         sxy += x * y;
+    }
+    if n == 0.0 {
+        return Segment { start, end, slope: 0.0, intercept: 0.0, max_abs_err: 0.0 };
     }
     let denom = n * sxx - sx * sx;
     let (slope, intercept) = if denom.abs() < 1e-12 {
@@ -102,6 +121,7 @@ fn fit(ys: &[f64], start: usize, end: usize) -> Segment {
     let max_abs_err = ys[start..end]
         .iter()
         .enumerate()
+        .filter(|(_, y)| y.is_finite())
         .map(|(i, &y)| (y - (intercept + slope * (start + i) as f64)).abs())
         .fold(0.0, f64::max);
     Segment { start, end, slope, intercept, max_abs_err }
@@ -121,7 +141,7 @@ pub enum SeriesDiagnosis {
         mean_slope: f64,
     },
     /// The series needs many short segments: no locally linear model holds
-    /// for long — an anomaly in the sense of [15].
+    /// for long — an anomaly in the sense of \[15\].
     Anomalous {
         /// Mean segment length in points.
         mean_segment_len: f64,
@@ -133,6 +153,12 @@ pub enum SeriesDiagnosis {
 /// `tolerance` is the acceptable residual (same units as `ys`);
 /// `slope_threshold` separates "flat" from "drifting" slopes (units per
 /// index step).
+///
+/// NaN or infinite samples are skipped as missing observations rather than
+/// poisoning the fitted slopes (a single NaN used to break every
+/// containing segment *and* propagate into the length-weighted mean slope,
+/// turning any series into `Stable` by NaN-comparison fallthrough). A
+/// series with no finite samples at all diagnoses as `Stable`.
 ///
 /// # Panics
 ///
@@ -240,6 +266,81 @@ mod tests {
             }
             other => panic!("expected Degrading, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn constant_series_is_one_flat_segment() {
+        let ys = vec![42.0; 80];
+        let segs = segment_series(&ys, 0.5);
+        assert_eq!(segs.len(), 1);
+        assert_eq!(segs[0].slope, 0.0);
+        assert!((segs[0].intercept - 42.0).abs() < 1e-9);
+        assert_eq!(segs[0].max_abs_err, 0.0);
+        assert_eq!(diagnose(&ys, 0.5, 0.05), SeriesDiagnosis::Stable);
+    }
+
+    #[test]
+    fn short_series_do_not_panic() {
+        let one = segment_series(&[7.0], 1.0);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one[0].intercept, 7.0);
+        assert_eq!(diagnose(&[7.0], 1.0, 0.05), SeriesDiagnosis::Stable);
+
+        let two = segment_series(&[1.0, 2.0], 1.0);
+        assert_eq!(two[0].start, 0);
+        assert_eq!(two.last().unwrap().end, 2);
+        // Two rising points *are* a unit-slope drift; the point is only
+        // that the degenerate length does not panic or emit non-finite
+        // numbers.
+        match diagnose(&[1.0, 2.0], 1.0, 0.05) {
+            SeriesDiagnosis::Degrading { mean_slope } => assert!((mean_slope - 1.0).abs() < 1e-9),
+            other => panic!("expected Degrading, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nan_samples_do_not_poison_the_fit() {
+        // A clean slope-2 line with every 10th sample lost to NaN: the
+        // series must still segment as one piece with slope ≈ 2 and finite
+        // residuals, and diagnose as Degrading.
+        let ys: Vec<f64> =
+            (0..120).map(|i| if i % 10 == 3 { f64::NAN } else { 5.0 + 2.0 * i as f64 }).collect();
+        let segs = segment_series(&ys, 1.0);
+        assert_eq!(segs.len(), 1, "NaN gaps must not force segment breaks: {segs:?}");
+        assert!((segs[0].slope - 2.0).abs() < 1e-6);
+        assert!(segs[0].max_abs_err.is_finite());
+        match diagnose(&ys, 1.0, 0.05) {
+            SeriesDiagnosis::Degrading { mean_slope } => {
+                assert!((mean_slope - 2.0).abs() < 1e-6);
+            }
+            other => panic!("expected Degrading, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinities_are_treated_as_missing() {
+        let mut ys: Vec<f64> = (0..60).map(|i| 100.0 + 0.01 * i as f64).collect();
+        ys[10] = f64::INFINITY;
+        ys[40] = f64::NEG_INFINITY;
+        let segs = segment_series(&ys, 2.0);
+        assert_eq!(segs.len(), 1);
+        assert!(segs[0].slope.is_finite());
+        assert!(segs[0].max_abs_err <= 2.0);
+        assert_eq!(diagnose(&ys, 2.0, 0.05), SeriesDiagnosis::Stable);
+    }
+
+    #[test]
+    fn all_nan_series_is_stable() {
+        let ys = vec![f64::NAN; 30];
+        let segs = segment_series(&ys, 1.0);
+        assert_eq!(segs[0].start, 0);
+        assert_eq!(segs.last().unwrap().end, 30);
+        for s in &segs {
+            assert!(s.slope.is_finite());
+            assert!(s.intercept.is_finite());
+            assert!(s.max_abs_err.is_finite());
+        }
+        assert_eq!(diagnose(&ys, 1.0, 0.05), SeriesDiagnosis::Stable);
     }
 
     #[test]

@@ -1,0 +1,146 @@
+//! Adaptive vs frozen prediction under a mid-run workload shift.
+//!
+//! The paper's thesis in one experiment: a fleet is trained for a
+//! slow-aging regime, then the workload shifts mid-run to an aggressive
+//! leak the model has never seen. The frozen model keeps mispredicting for
+//! the rest of the horizon; the adaptive service notices the drift in its
+//! prediction errors, retrains on the labelled crash epochs streaming in
+//! over the checkpoint bus, and hot-swaps new model generations into the
+//! running fleet — without ever pausing the worker pool.
+//!
+//! ```text
+//! cargo run --release --example adaptive_fleet [-- --instances 36 \
+//!     --shards 4 --hours 8 --json [PATH]]
+//! ```
+//!
+//! `--json` writes both reports (default path `BENCH_adaptive_fleet.json`).
+
+use serde::Serialize;
+use software_aging::adapt::{AdaptConfig, AdaptiveService, DriftConfig};
+use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
+use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
+use software_aging::ml::m5p::M5pLearner;
+use software_aging::ml::{DynLearner, Regressor};
+use software_aging::monitor::FeatureSet;
+use software_aging::testbed::Scenario;
+use std::sync::Arc;
+
+mod common;
+use common::{leaky, parse_args, FleetArgs};
+
+/// Both runs of the comparison, as written by `--json`.
+#[derive(Debug, Serialize)]
+struct AdaptiveBench {
+    frozen: FleetReport,
+    adaptive: FleetReport,
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defaults = FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None };
+    let args = parse_args(defaults, "BENCH_adaptive_fleet.json").inspect_err(|_| {
+        eprintln!("usage: adaptive_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
+    })?;
+
+    // The training regime: slow leaks (N = 75) across a workload range.
+    println!("training the shared M5P model on the slow-leak regime …");
+    let training: Vec<Scenario> =
+        [75u64, 100, 125].into_iter().map(|ebs| leaky(format!("train-{ebs}eb"), ebs, 75)).collect();
+    let features = FeatureSet::exp42();
+    let predictor = AgingPredictor::train(&training, features.clone(), 42)?;
+
+    // The shift: a quarter into the horizon, every restart lands on an
+    // aggressive leak (N = 15 at 150 EBs) the model has never seen.
+    let before = leaky("slow-leak", 100, 75);
+    let after = leaky("fast-leak", 150, 15);
+    let shift_secs = args.hours * 3600.0 * 0.25;
+    let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let specs: Vec<InstanceSpec> = (0..args.instances)
+        .map(|i| InstanceSpec {
+            name: format!("svc-{i:03}"),
+            scenario: before.clone(),
+            policy,
+            seed: 5_000 + i as u64,
+            shift: Some(WorkloadShift { after_secs: shift_secs, scenario: after.clone() }),
+        })
+        .collect();
+    let config = FleetConfig {
+        shards: args.shards,
+        rejuvenation: RejuvenationConfig {
+            horizon_secs: args.hours * 3600.0,
+            ..Default::default()
+        },
+        counterfactual_horizon_secs: 3600.0,
+    };
+    println!(
+        "{} deployments, {:.0} h horizon, workload shifts {:.0} h in\n",
+        args.instances,
+        args.hours,
+        shift_secs / 3600.0
+    );
+
+    // Run 1: the frozen model rides out the shift.
+    println!("── frozen model ──");
+    let frozen_report = Fleet::new(specs.clone(), config)?.run_with_predictor(&predictor);
+    println!("{frozen_report}\n");
+
+    // Run 2: same fleet, same seeds, but the model is served by the
+    // adaptation service: drift in the prediction errors triggers
+    // retraining on the labelled crash epochs, and new generations are
+    // hot-swapped into the epoch loop.
+    println!("── adaptive service ──");
+    let learner: Arc<dyn DynLearner> = Arc::new(M5pLearner::paper_default());
+    let initial: Arc<dyn Regressor> = Arc::new(predictor.model().clone());
+    let service = AdaptiveService::spawn(
+        learner,
+        features.variables().to_vec(),
+        initial,
+        AdaptConfig {
+            drift: DriftConfig {
+                error_threshold_secs: 600.0,
+                min_observations: 40,
+                cooldown_observations: 120,
+                ..Default::default()
+            },
+            buffer_capacity: 2048,
+            min_buffer_to_retrain: 120,
+            retrain_every: None,
+        },
+    );
+    let adaptive_report = Fleet::new(specs, config)?.run_adaptive(&service, &features);
+    println!("{adaptive_report}\n");
+    let stats = service.shutdown();
+
+    println!("── static vs adaptive ──");
+    println!(
+        "  mean TTF error     {:>8.0} s   →   {:>8.0} s  ({:.1}× lower)",
+        frozen_report.mean_ttf_error_secs,
+        adaptive_report.mean_ttf_error_secs,
+        frozen_report.mean_ttf_error_secs / adaptive_report.mean_ttf_error_secs.max(1.0)
+    );
+    println!(
+        "  crashes suffered   {:>8}     →   {:>8}",
+        frozen_report.crashes, adaptive_report.crashes
+    );
+    println!(
+        "  crashes avoided    {:>8}     →   {:>8}",
+        frozen_report.crashes_avoided, adaptive_report.crashes_avoided
+    );
+    println!(
+        "  availability       {:>8.4}     →   {:>8.4}",
+        frozen_report.availability, adaptive_report.availability
+    );
+    println!(
+        "  model generations  {} published over {} retrains ({} drift events, {} checkpoints ingested)",
+        stats.generations_published,
+        stats.retrains,
+        stats.drift_events,
+        stats.ingested_checkpoints
+    );
+
+    if let Some(path) = &args.json {
+        let bench = AdaptiveBench { frozen: frozen_report, adaptive: adaptive_report };
+        std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}

@@ -1,0 +1,71 @@
+//! Shared plumbing for the fleet examples: the leaky-scenario helper and
+//! the `--instances/--shards/--hours/--json` CLI parser.
+//!
+//! Lives in a subdirectory so cargo does not treat it as an example
+//! target; each example pulls it in with `mod common;`.
+
+use software_aging::testbed::{MemLeakSpec, Scenario};
+
+/// A run-to-crash TPC-W scenario leaking through the search servlet.
+pub fn leaky(name: impl Into<String>, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+/// Common fleet-example parameters.
+pub struct FleetArgs {
+    /// Deployments to operate.
+    pub instances: usize,
+    /// Worker threads.
+    pub shards: usize,
+    /// Operating horizon in simulated hours.
+    pub hours: f64,
+    /// Write the machine-readable report here when set.
+    pub json: Option<String>,
+}
+
+/// Parses `--instances N --shards N --hours H [--json [PATH]]` on top of
+/// per-example defaults; a bare `--json` uses `json_default`.
+pub fn parse_args(defaults: FleetArgs, json_default: &str) -> Result<FleetArgs, String> {
+    let mut args = defaults;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> Result<&String, String> {
+            argv.get(i + 1).ok_or_else(|| format!("{} needs a value", argv[i]))
+        };
+        match argv[i].as_str() {
+            "--instances" => {
+                args.instances = value(i)?.parse().map_err(|e| format!("--instances: {e}"))?;
+                i += 2;
+            }
+            "--shards" => {
+                args.shards = value(i)?.parse().map_err(|e| format!("--shards: {e}"))?;
+                i += 2;
+            }
+            "--hours" => {
+                args.hours = value(i)?.parse().map_err(|e| format!("--hours: {e}"))?;
+                i += 2;
+            }
+            "--json" => match argv.get(i + 1) {
+                // Optional value: a bare `--json` uses the default path.
+                Some(path) if !path.starts_with("--") => {
+                    args.json = Some(path.clone());
+                    i += 2;
+                }
+                _ => {
+                    args.json = Some(json_default.to_string());
+                    i += 1;
+                }
+            },
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if args.instances == 0 || args.shards == 0 || args.hours <= 0.0 {
+        return Err("instances, shards and hours must be positive".into());
+    }
+    Ok(args)
+}

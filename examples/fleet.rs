@@ -1,26 +1,36 @@
-//! Fleet-scale operation: 120 simulated deployments with mixed workloads
-//! and leak severities, sharded across 6 worker threads, monitored and
-//! proactively rejuvenated by one shared M5P model over a simulated
-//! half-day.
+//! Fleet-scale operation: simulated deployments with mixed workloads and
+//! leak severities, sharded across worker threads, monitored and
+//! proactively rejuvenated by one shared M5P model.
 //!
 //! ```text
-//! cargo run --release --example fleet
+//! cargo run --release --example fleet [-- --instances 120 --shards 6 \
+//!     --hours 12 --json [PATH]]
 //! ```
+//!
+//! `--json` writes the machine-readable [`FleetReport`] (default path
+//! `BENCH_fleet.json`) so bench trajectories can be tracked across
+//! commits.
 
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
-use software_aging::fleet::{Fleet, FleetConfig, InstanceSpec};
+use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec};
 use software_aging::monitor::FeatureSet;
-use software_aging::testbed::{MemLeakSpec, Scenario};
+use software_aging::testbed::Scenario;
 
-fn leaky(name: impl Into<String>, ebs: u64, n: u32) -> Scenario {
-    Scenario::builder(name)
-        .emulated_browsers(ebs)
-        .memory_leak(MemLeakSpec::new(n))
-        .run_to_crash()
-        .build()
+mod common;
+use common::{leaky, parse_args, FleetArgs};
+
+fn write_json(report: &FleetReport, path: &str) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, report.to_json()?)?;
+    println!("wrote {path}");
+    Ok(())
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defaults = FleetArgs { instances: 120, shards: 6, hours: 12.0, json: None };
+    let args = parse_args(defaults, "BENCH_fleet.json").inspect_err(|_| {
+        eprintln!("usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
+    })?;
+
     // One model serves the whole fleet: train it across the workload range
     // it will see in production (Experiment 4.1 style).
     println!("training the shared M5P model on four run-to-crash executions …");
@@ -35,25 +45,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         predictor.n_training_instances()
     );
 
-    // 120 deployments: four (workload, leak-severity) service classes with
-    // 30 replicas each, every replica on its own sample path.
+    // Deployments in four (workload, leak-severity) service classes,
+    // every replica on its own sample path.
     let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let classes = [(50u64, 15u32), (100, 15), (150, 30), (200, 30)];
     let mut specs = Vec::new();
-    for (group, (ebs, n)) in [(50, 15), (100, 15), (150, 30), (200, 30)].into_iter().enumerate() {
-        for replica in 0..30 {
-            let i = specs.len();
-            specs.push(InstanceSpec {
-                name: format!("svc-{ebs}eb-n{n}-{replica:02}"),
-                scenario: leaky(format!("svc-{ebs}eb-n{n}"), ebs, n),
-                policy,
-                seed: 10_000 + (group as u64) * 1000 + i as u64,
-            });
-        }
+    while specs.len() < args.instances {
+        let (group, (ebs, n)) = {
+            let g = specs.len() % classes.len();
+            (g, classes[g])
+        };
+        let i = specs.len();
+        specs.push(InstanceSpec::new(
+            format!("svc-{ebs}eb-n{n}-{i:03}"),
+            leaky(format!("svc-{ebs}eb-n{n}"), ebs, n),
+            policy,
+            10_000 + (group as u64) * 1000 + i as u64,
+        ));
     }
 
     let config = FleetConfig {
-        shards: 6,
-        rejuvenation: RejuvenationConfig { horizon_secs: 12.0 * 3600.0, ..Default::default() },
+        shards: args.shards,
+        rejuvenation: RejuvenationConfig {
+            horizon_secs: args.hours * 3600.0,
+            ..Default::default()
+        },
         counterfactual_horizon_secs: 3600.0,
     };
     let fleet = Fleet::new(specs, config)?;
@@ -82,6 +98,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "  {:<20} availability {:.4}  crashes {}  rejuvenations {} (avoided {})",
             inst.name, inst.availability, inst.crashes, inst.rejuvenations, inst.crashes_avoided
         );
+    }
+
+    if let Some(path) = &args.json {
+        write_json(&report, path)?;
     }
     Ok(())
 }

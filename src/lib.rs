@@ -22,8 +22,13 @@
 //! - [`fleet`] — the concurrent fleet engine: hundreds of independently
 //!   seeded deployments sharded across a worker-thread pool, driven in
 //!   lock-step 15-second epochs, batch-predicted through one shared model
-//!   ([`ml::Regressor::predict_batch`]) and proactively rejuvenated, with
-//!   fleet-wide availability / crashes-avoided / throughput reporting.
+//!   ([`ml::Regressor::predict_matrix`] over flat reusable feature
+//!   matrices) and proactively rejuvenated, with fleet-wide availability /
+//!   crashes-avoided / TTF-error / throughput reporting,
+//! - [`adapt`] — the drift-triggered online retraining service: async
+//!   checkpoint ingestion over a channel bus, prediction-error drift
+//!   detection (EWMA ⊕ segmentation trend), sliding-buffer retraining on
+//!   any learner and hot model-generation swap into the running fleet.
 //!
 //! # Quickstart
 //!
@@ -55,6 +60,7 @@
 //! println!("{}", report.evaluation.summary());
 //! ```
 
+pub use aging_adapt as adapt;
 pub use aging_core as core;
 pub use aging_dataset as dataset;
 pub use aging_fleet as fleet;

@@ -206,7 +206,7 @@ pub mod prop {
     pub mod collection {
         use super::super::{Strategy, TestRng};
 
-        /// Sizes accepted by [`vec`]: an exact count or a range.
+        /// Sizes accepted by [`vec()`]: an exact count or a range.
         pub trait IntoSizeRange {
             /// Draws a length.
             fn sample_len(&self, rng: &mut TestRng) -> usize;
@@ -237,7 +237,7 @@ pub mod prop {
             VecStrategy { element, size }
         }
 
-        /// The result of [`vec`].
+        /// The result of [`vec()`].
         pub struct VecStrategy<S, R> {
             element: S,
             size: R,
