@@ -1,19 +1,95 @@
-//! The checkpoint bus: asynchronous ingestion of labelled monitoring data.
+//! The checkpoint bus: asynchronous, *bounded* ingestion of labelled
+//! monitoring data.
 //!
 //! A production deployment does not hand checkpoints to the analysis
 //! subsystem in lock-step function calls — monitors push them over a
 //! transport and the analysis side drains at its own pace. The
-//! [`CheckpointBus`] is that transport: a multi-producer channel carrying
+//! [`CheckpointBus`] is that transport: a multi-producer ring carrying
 //! [`CheckpointBatch`]es from any number of sources (fleet shards, external
 //! monitor streams, replayed traces) to one consumer (normally the
-//! retrainer thread of [`crate::AdaptiveService`]). Sending never blocks
-//! the producer, so the fleet's worker pool is fully decoupled from
-//! retraining.
+//! retraining side of [`crate::AdaptiveService`] or
+//! [`crate::AdaptiveRouter`]). Sending never blocks the producer, so the
+//! fleet's worker pool is fully decoupled from retraining.
+//!
+//! # Back-pressure
+//!
+//! The ring holds at most `capacity` batches. When a publish finds the
+//! ring full — a stalled or slow retrainer at fleet scale — the bus sheds
+//! load instead of growing: it drops the **oldest batch of the source with
+//! the most batches queued** (ties broken towards the front of the ring).
+//! Two consequences, both deliberate:
+//!
+//! - **bounded memory**: however long the consumer stalls, the bus never
+//!   holds more than `capacity` batches (see the property tests);
+//! - **per-source fairness**: a skewed producer sheds its *own* history
+//!   first — a quiet shard's rare labelled epochs survive a neighbour's
+//!   flood, so light service classes keep their training signal.
+//!
+//! Dropped data is counted, never silent: [`CheckpointBus::dropped_batches`]
+//! / [`CheckpointBus::dropped_checkpoints`] feed `AdaptationStats` and the
+//! fleet report.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender};
-use std::sync::Arc;
-use std::time::Duration;
+use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Default ring capacity (batches) for [`CheckpointBus::channel`].
+pub const DEFAULT_BUS_CAPACITY: usize = 1024;
+
+/// Identifies which adaptation domain a checkpoint batch (and, fleet-side,
+/// an instance) belongs to.
+///
+/// Heterogeneous fleets run mixed scenarios with different aging
+/// signatures — a memory-leak class and a swap-thrash class must not
+/// pollute each other's training buffers. Producers tag every
+/// [`CheckpointBatch`] with a class; the [`crate::AdaptiveRouter`] keeps
+/// one model service, drift monitor and sliding buffer per class. A class
+/// is orthogonal to the scenario: operators group deployments however
+/// their aging behaviour clusters.
+#[derive(
+    Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
+pub struct ServiceClass(String);
+
+impl ServiceClass {
+    /// Creates a class from any string-ish id.
+    pub fn new(id: impl Into<String>) -> Self {
+        ServiceClass(id.into())
+    }
+
+    /// The class id.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl Default for ServiceClass {
+    /// The implicit class of a homogeneous fleet (`"default"`), used by
+    /// every spec and batch that never names one.
+    fn default() -> Self {
+        ServiceClass("default".into())
+    }
+}
+
+impl fmt::Display for ServiceClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for ServiceClass {
+    fn from(id: &str) -> Self {
+        ServiceClass::new(id)
+    }
+}
+
+impl From<String> for ServiceClass {
+    fn from(id: String) -> Self {
+        ServiceClass(id)
+    }
+}
 
 /// One monitoring checkpoint with its ground-truth label, ready for the
 /// sliding training buffer.
@@ -42,54 +118,187 @@ impl LabelledCheckpoint {
 /// instance, labelled retrospectively.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CheckpointBatch {
-    /// Producer identifier (instance name, stream name, …).
+    /// Producer identifier (instance name, stream name, …) — the fairness
+    /// domain of the bounded ring's drop policy.
     pub source: String,
+    /// Which per-class adaptation domain the batch belongs to; consumers
+    /// without class routing ignore it.
+    pub class: ServiceClass,
     /// The labelled checkpoints, in time order.
     pub checkpoints: Vec<LabelledCheckpoint>,
 }
 
+/// Ring state behind the mutex.
+#[derive(Debug)]
+struct BusState {
+    queue: VecDeque<CheckpointBatch>,
+    /// Checkpoints currently queued (sum over `queue`).
+    queued_checkpoints: u64,
+    /// Batches queued per source — the fairness accounting.
+    per_source: HashMap<String, usize>,
+    consumer_alive: bool,
+}
+
+#[derive(Debug)]
+struct BusShared {
+    state: Mutex<BusState>,
+    available: Condvar,
+    capacity: usize,
+    /// Producer handles alive (bus clones).
+    producers: AtomicUsize,
+    /// Checkpoints accepted by `publish` across all producers, *including*
+    /// any later shed by the drop policy.
+    enqueued: AtomicU64,
+    dropped_batches: AtomicU64,
+    dropped_checkpoints: AtomicU64,
+}
+
 /// Sending half of the bus. Cheap to clone — every shard/producer holds its
 /// own handle.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CheckpointBus {
-    tx: Sender<CheckpointBatch>,
-    enqueued: Arc<AtomicU64>,
+    shared: Arc<BusShared>,
+}
+
+impl Clone for CheckpointBus {
+    fn clone(&self) -> Self {
+        self.shared.producers.fetch_add(1, Ordering::Relaxed);
+        CheckpointBus { shared: Arc::clone(&self.shared) }
+    }
+}
+
+impl Drop for CheckpointBus {
+    fn drop(&mut self) {
+        if self.shared.producers.fetch_sub(1, Ordering::AcqRel) == 1 {
+            // Last producer gone: wake the consumer so a blocked
+            // `recv_timeout` can report the disconnect immediately.
+            let _guard = self.shared.state.lock().expect("bus state poisoned");
+            self.shared.available.notify_all();
+        }
+    }
 }
 
 impl CheckpointBus {
-    /// Creates a connected bus/receiver pair.
+    /// Creates a connected bus/receiver pair with the default ring
+    /// capacity ([`DEFAULT_BUS_CAPACITY`] batches).
     pub fn channel() -> (CheckpointBus, BusReceiver) {
-        let (tx, rx) = mpsc::channel();
-        (CheckpointBus { tx, enqueued: Arc::new(AtomicU64::new(0)) }, BusReceiver { rx })
+        CheckpointBus::bounded(DEFAULT_BUS_CAPACITY)
     }
 
-    /// Publishes a batch. Returns `false` when the consumer is gone (the
-    /// service shut down) — producers treat that as "adaptation disabled"
-    /// and keep operating on their pinned model.
+    /// Creates a connected bus/receiver pair whose ring holds at most
+    /// `capacity` batches (see the module docs for the drop policy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero — a ring that can hold nothing would
+    /// silently discard every publish.
+    pub fn bounded(capacity: usize) -> (CheckpointBus, BusReceiver) {
+        assert!(capacity > 0, "bus capacity must be positive");
+        let shared = Arc::new(BusShared {
+            state: Mutex::new(BusState {
+                queue: VecDeque::new(),
+                queued_checkpoints: 0,
+                per_source: HashMap::new(),
+                consumer_alive: true,
+            }),
+            available: Condvar::new(),
+            capacity,
+            producers: AtomicUsize::new(1),
+            enqueued: AtomicU64::new(0),
+            dropped_batches: AtomicU64::new(0),
+            dropped_checkpoints: AtomicU64::new(0),
+        });
+        (CheckpointBus { shared: Arc::clone(&shared) }, BusReceiver { shared })
+    }
+
+    /// Publishes a batch; never blocks. Returns `false` when the consumer
+    /// is gone (the service shut down) — producers treat that as
+    /// "adaptation disabled" and keep operating on their pinned model.
+    ///
+    /// When the ring is full the publish still succeeds: the oldest batch
+    /// of the most-queued source is shed to make room (counted in
+    /// [`CheckpointBus::dropped_batches`]).
     pub fn publish(&self, batch: CheckpointBatch) -> bool {
         let n = batch.checkpoints.len() as u64;
-        let sent = self.tx.send(batch).is_ok();
-        if sent {
-            self.enqueued.fetch_add(n, Ordering::Relaxed);
+        let mut state = self.shared.state.lock().expect("bus state poisoned");
+        if !state.consumer_alive {
+            return false;
         }
-        sent
+        *state.per_source.entry(batch.source.clone()).or_insert(0) += 1;
+        state.queued_checkpoints += n;
+        state.queue.push_back(batch);
+        self.shared.enqueued.fetch_add(n, Ordering::Relaxed);
+        if state.queue.len() > self.shared.capacity {
+            self.shed_one(&mut state);
+        }
+        self.shared.available.notify_one();
+        true
     }
 
-    /// Total checkpoints successfully published across all clones of this
-    /// bus — together with the consumer's ingested count, this lets tests
-    /// and examples wait for the bus to drain.
+    /// Drops the oldest batch of the heaviest source (most batches
+    /// queued); ties resolve to whichever tied source has the older batch,
+    /// i.e. the scan from the front wins.
+    fn shed_one(&self, state: &mut BusState) {
+        let heaviest = *state.per_source.values().max().expect("queue is non-empty");
+        let victim = state
+            .queue
+            .iter()
+            .position(|b| state.per_source[&b.source] == heaviest)
+            .expect("some queued batch belongs to the heaviest source");
+        let batch = state.queue.remove(victim).expect("index from position");
+        let count = state.per_source.get_mut(&batch.source).expect("source was counted");
+        *count -= 1;
+        if *count == 0 {
+            state.per_source.remove(&batch.source);
+        }
+        state.queued_checkpoints -= batch.checkpoints.len() as u64;
+        self.shared.dropped_batches.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .dropped_checkpoints
+            .fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
+    }
+
+    /// Total checkpoints accepted by `publish` across all clones of this
+    /// bus, including any later shed by the drop policy. Together with the
+    /// consumer's ingested count and [`CheckpointBus::dropped_checkpoints`]
+    /// this lets tests and examples wait for the bus to drain.
     pub fn enqueued_checkpoints(&self) -> u64 {
-        self.enqueued.load(Ordering::Relaxed)
+        self.shared.enqueued.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints shed by the bounded ring's drop policy so far.
+    pub fn dropped_checkpoints(&self) -> u64 {
+        self.shared.dropped_checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Batches shed by the bounded ring's drop policy so far.
+    pub fn dropped_batches(&self) -> u64 {
+        self.shared.dropped_batches.load(Ordering::Relaxed)
+    }
+
+    /// Batches currently queued (≤ [`CheckpointBus::capacity`], always).
+    pub fn queued_batches(&self) -> usize {
+        self.shared.state.lock().expect("bus state poisoned").queue.len()
+    }
+
+    /// Checkpoints currently queued.
+    pub fn queued_checkpoints(&self) -> u64 {
+        self.shared.state.lock().expect("bus state poisoned").queued_checkpoints
+    }
+
+    /// The ring capacity, in batches.
+    pub fn capacity(&self) -> usize {
+        self.shared.capacity
     }
 }
 
 /// Error returned by [`BusReceiver::recv_timeout`] once every producer
-/// handle has been dropped and the queue is drained.
+/// handle has been dropped and the ring is drained.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BusDisconnected;
 
-impl std::fmt::Display for BusDisconnected {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+impl fmt::Display for BusDisconnected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "all checkpoint-bus producers disconnected")
     }
 }
@@ -99,31 +308,72 @@ impl std::error::Error for BusDisconnected {}
 /// Receiving half of the bus, owned by the retraining consumer.
 #[derive(Debug)]
 pub struct BusReceiver {
-    rx: Receiver<CheckpointBatch>,
+    shared: Arc<BusShared>,
+}
+
+impl Drop for BusReceiver {
+    fn drop(&mut self) {
+        let mut state = self.shared.state.lock().expect("bus state poisoned");
+        state.consumer_alive = false;
+    }
 }
 
 impl BusReceiver {
+    fn pop(state: &mut BusState) -> Option<CheckpointBatch> {
+        let batch = state.queue.pop_front()?;
+        state.queued_checkpoints -= batch.checkpoints.len() as u64;
+        let count = state.per_source.get_mut(&batch.source).expect("source was counted");
+        *count -= 1;
+        if *count == 0 {
+            state.per_source.remove(&batch.source);
+        }
+        Some(batch)
+    }
+
     /// Blocks for the next batch until `timeout`; `Ok(None)` on timeout.
     ///
     /// # Errors
     ///
     /// Returns [`BusDisconnected`] when every producer hung up and the
-    /// queue is drained.
+    /// ring is drained.
     pub fn recv_timeout(
         &self,
         timeout: Duration,
     ) -> Result<Option<CheckpointBatch>, BusDisconnected> {
-        match self.rx.recv_timeout(timeout) {
-            Ok(batch) => Ok(Some(batch)),
-            Err(RecvTimeoutError::Timeout) => Ok(None),
-            Err(RecvTimeoutError::Disconnected) => Err(BusDisconnected),
+        let deadline = Instant::now() + timeout;
+        let mut state = self.shared.state.lock().expect("bus state poisoned");
+        loop {
+            if let Some(batch) = Self::pop(&mut state) {
+                return Ok(Some(batch));
+            }
+            if self.shared.producers.load(Ordering::Acquire) == 0 {
+                return Err(BusDisconnected);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Ok(None);
+            }
+            let (next, result) = self
+                .shared
+                .available
+                .wait_timeout(state, deadline - now)
+                .expect("bus state poisoned");
+            state = next;
+            if result.timed_out() && state.queue.is_empty() {
+                // Re-check the disconnect before reporting an empty wait.
+                if self.shared.producers.load(Ordering::Acquire) == 0 {
+                    return Err(BusDisconnected);
+                }
+                return Ok(None);
+            }
         }
     }
 
     /// Drains whatever is queued right now without blocking.
     pub fn drain(&self) -> Vec<CheckpointBatch> {
-        let mut out = Vec::new();
-        while let Ok(batch) = self.rx.try_recv() {
+        let mut state = self.shared.state.lock().expect("bus state poisoned");
+        let mut out = Vec::with_capacity(state.queue.len());
+        while let Some(batch) = Self::pop(&mut state) {
             out.push(batch);
         }
         out
@@ -138,14 +388,15 @@ mod tests {
         LabelledCheckpoint { features: vec![1.0, 2.0], ttf_secs: ttf, predicted_ttf_secs: pred }
     }
 
+    fn batch(source: &str, checkpoints: Vec<LabelledCheckpoint>) -> CheckpointBatch {
+        CheckpointBatch { source: source.into(), class: ServiceClass::default(), checkpoints }
+    }
+
     #[test]
     fn batches_arrive_in_order_per_producer() {
         let (bus, rx) = CheckpointBus::channel();
         for i in 0..5 {
-            assert!(bus.publish(CheckpointBatch {
-                source: format!("s{i}"),
-                checkpoints: vec![cp(i as f64, None)],
-            }));
+            assert!(bus.publish(batch(&format!("s{i}"), vec![cp(i as f64, None)])));
         }
         let got = rx.drain();
         assert_eq!(got.len(), 5);
@@ -158,11 +409,8 @@ mod tests {
         let (bus, rx) = CheckpointBus::channel();
         let bus2 = bus.clone();
         std::thread::scope(|scope| {
-            scope
-                .spawn(|| bus.publish(CheckpointBatch { source: "a".into(), checkpoints: vec![] }));
-            scope.spawn(|| {
-                bus2.publish(CheckpointBatch { source: "b".into(), checkpoints: vec![] })
-            });
+            scope.spawn(|| bus.publish(batch("a", vec![])));
+            scope.spawn(|| bus2.publish(batch("b", vec![])));
         });
         let mut sources: Vec<String> = rx.drain().into_iter().map(|b| b.source).collect();
         sources.sort();
@@ -173,7 +421,7 @@ mod tests {
     fn publish_reports_consumer_gone() {
         let (bus, rx) = CheckpointBus::channel();
         drop(rx);
-        assert!(!bus.publish(CheckpointBatch { source: "x".into(), checkpoints: vec![] }));
+        assert!(!bus.publish(batch("x", vec![])));
     }
 
     #[test]
@@ -188,5 +436,62 @@ mod tests {
     fn abs_error_requires_a_prediction() {
         assert_eq!(cp(100.0, None).abs_error_secs(), None);
         assert_eq!(cp(100.0, Some(40.0)).abs_error_secs(), Some(60.0));
+    }
+
+    #[test]
+    fn full_ring_sheds_oldest_of_single_source() {
+        let (bus, rx) = CheckpointBus::bounded(3);
+        for i in 0..7 {
+            assert!(bus.publish(batch("s", vec![cp(i as f64, None)])));
+            assert!(bus.queued_batches() <= 3);
+        }
+        assert_eq!(bus.dropped_batches(), 4);
+        assert_eq!(bus.dropped_checkpoints(), 4);
+        let kept: Vec<f64> = rx.drain().iter().map(|b| b.checkpoints[0].ttf_secs).collect();
+        assert_eq!(kept, vec![4.0, 5.0, 6.0], "the most recent batches survive, in order");
+    }
+
+    #[test]
+    fn skewed_producer_sheds_its_own_batches_first() {
+        let (bus, rx) = CheckpointBus::bounded(6);
+        // Two quiet batches, then a flood from one noisy source.
+        bus.publish(batch("quiet", vec![cp(1.0, None)]));
+        bus.publish(batch("quiet", vec![cp(2.0, None)]));
+        for i in 0..20 {
+            bus.publish(batch("noisy", vec![cp(100.0 + i as f64, None)]));
+        }
+        let got = rx.drain();
+        let quiet: Vec<f64> =
+            got.iter().filter(|b| b.source == "quiet").map(|b| b.checkpoints[0].ttf_secs).collect();
+        assert_eq!(quiet, vec![1.0, 2.0], "the quiet source's history must survive the flood");
+        assert_eq!(got.len(), 6);
+        assert_eq!(bus.dropped_batches(), 16, "every shed batch came from the noisy source");
+    }
+
+    #[test]
+    fn disconnect_after_drop_still_drains_queued_batches() {
+        let (bus, rx) = CheckpointBus::bounded(8);
+        for i in 0..4 {
+            bus.publish(batch("s", vec![cp(i as f64, None)]));
+        }
+        drop(bus);
+        for i in 0..4 {
+            let got = rx.recv_timeout(Duration::from_millis(5)).unwrap().unwrap();
+            assert_eq!(got.checkpoints[0].ttf_secs, i as f64);
+        }
+        assert_eq!(rx.recv_timeout(Duration::from_millis(5)), Err(BusDisconnected));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_rejected() {
+        let _ = CheckpointBus::bounded(0);
+    }
+
+    #[test]
+    fn service_class_defaults_and_displays() {
+        assert_eq!(ServiceClass::default().as_str(), "default");
+        assert_eq!(ServiceClass::from("db").to_string(), "db");
+        assert_eq!(ServiceClass::new(String::from("web")), ServiceClass::from("web"));
     }
 }

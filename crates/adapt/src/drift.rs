@@ -139,22 +139,24 @@ impl DriftMonitor {
     /// event when this observation tips the decision.
     ///
     /// Non-finite errors are counted but excluded from both the EWMA and
-    /// the trend window (a poisoned error sample must not trigger — or
-    /// mask — a fleet-wide retrain).
+    /// the trend window, and they can never be the observation that fires
+    /// the event (a poisoned error sample must not trigger — or mask — a
+    /// fleet-wide retrain; the decision waits for the next finite sample).
     pub fn observe(&mut self, abs_error_secs: f64) -> Option<DriftEvent> {
         self.observations += 1;
         self.since_trigger = self.since_trigger.saturating_add(1);
-        if abs_error_secs.is_finite() {
-            let alpha = self.config.ewma_alpha;
-            self.ewma = Some(match self.ewma {
-                None => abs_error_secs,
-                Some(prev) => alpha * abs_error_secs + (1.0 - alpha) * prev,
-            });
-            if self.recent.len() == self.config.trend_window {
-                self.recent.pop_front();
-            }
-            self.recent.push_back(abs_error_secs);
+        if !abs_error_secs.is_finite() {
+            return None;
         }
+        let alpha = self.config.ewma_alpha;
+        self.ewma = Some(match self.ewma {
+            None => abs_error_secs,
+            Some(prev) => alpha * abs_error_secs + (1.0 - alpha) * prev,
+        });
+        if self.recent.len() == self.config.trend_window {
+            self.recent.pop_front();
+        }
+        self.recent.push_back(abs_error_secs);
         if !self.config.enabled
             || self.observations < self.config.min_observations as u64
             || self.since_trigger < self.config.cooldown_observations
@@ -266,6 +268,80 @@ mod tests {
             DriftEvent::ErrorLevel { .. } => panic!("trend must fire before the level breach"),
         }
         assert!(at >= 15, "needs a full trend window first");
+    }
+
+    #[test]
+    fn stationary_noisy_errors_never_trigger() {
+        // A stationary error stream with deterministic "noise" riding well
+        // below the threshold: neither the level test (EWMA ≈ 150 « 500)
+        // nor the trend test (zero long-run slope) may ever fire.
+        // Alternating jitter: flat long-run level, no sustained slope, and
+        // the ±40 s amplitude sits inside the trend test's tolerance.
+        let mut m = DriftMonitor::new(quick_config());
+        for i in 0..2000 {
+            let noise = if i % 2 == 0 { 40.0 } else { -40.0 };
+            assert_eq!(m.observe(150.0 + noise), None, "observation {i} fired spuriously");
+        }
+        assert_eq!(m.events(), 0);
+        let ewma = m.error_ewma_secs().unwrap();
+        assert!((ewma - 150.0).abs() < 60.0, "EWMA must hover near the mean, got {ewma}");
+    }
+
+    #[test]
+    fn error_level_step_fires_after_the_step() {
+        // Quiet regime, then an injected step in the error level: the
+        // event must fire — and only after the step.
+        let mut m = DriftMonitor::new(quick_config());
+        for _ in 0..200 {
+            assert_eq!(m.observe(100.0), None, "pre-step observations must stay quiet");
+        }
+        let mut fired_at = None;
+        for i in 0..50 {
+            if m.observe(2500.0).is_some() {
+                fired_at = Some(i);
+                break;
+            }
+        }
+        let at = fired_at.expect("an error-level step must trigger drift");
+        assert!(at < 20, "the step must register promptly, took {at} observations");
+    }
+
+    /// Mirror of the `segment::diagnose` non-finite fix at the monitor
+    /// level: a monitor fed NaN/inf garbage in between must behave
+    /// *identically* to one that never saw it — same EWMA, same trend
+    /// window, same decisions.
+    #[test]
+    fn non_finite_errors_leave_the_monitor_equivalent_to_a_clean_one() {
+        let mut clean = DriftMonitor::new(quick_config());
+        let mut dirty = DriftMonitor::new(quick_config());
+        let mut clean_events = 0;
+        let mut dirty_events = 0;
+        for i in 0..120 {
+            // A ramp that eventually trends into a trigger.
+            let err = 30.0 * i as f64;
+            if clean.observe(err).is_some() {
+                clean_events += 1;
+            }
+            if dirty.observe(err).is_some() {
+                dirty_events += 1;
+            }
+            // Poison only the dirty monitor, every third observation.
+            if i % 3 == 0 {
+                assert_eq!(dirty.observe(f64::NAN), None, "NaN must never trigger");
+                assert_eq!(dirty.observe(f64::INFINITY), None, "inf must never trigger");
+                assert_eq!(dirty.observe(f64::NEG_INFINITY), None);
+            }
+        }
+        assert_eq!(
+            clean.error_ewma_secs().unwrap().to_bits(),
+            dirty.error_ewma_secs().unwrap().to_bits(),
+            "the EWMA must be bit-identical with and without non-finite noise"
+        );
+        // Both streams see the same finite ramp, so both must detect it;
+        // only event *timing* may differ (poisoned samples still tick the
+        // cooldown counter).
+        assert!(clean_events >= 1, "the ramp must trigger the clean monitor");
+        assert!(dirty_events >= 1, "the ramp must trigger the poisoned monitor too");
     }
 
     #[test]

@@ -9,9 +9,9 @@
 //!
 //! ```text
 //!  monitor streams / fleet shards
-//!        │  CheckpointBatch (labelled, retrospective)
+//!        │  CheckpointBatch (labelled, retrospective, class-tagged)
 //!        ▼
-//!  [CheckpointBus]  — mpsc, never blocks producers
+//!  [CheckpointBus]  — bounded ring, drop-oldest, per-source fair
 //!        │
 //!        ▼
 //!  retrainer thread ──► DriftMonitor (error EWMA ⊕ segment::diagnose)
@@ -27,7 +27,9 @@
 //! ```
 //!
 //! - [`CheckpointBus`] decouples checkpoint arrival from epoch processing:
-//!   producers publish [`CheckpointBatch`]es and move on.
+//!   producers publish [`CheckpointBatch`]es and move on. The ring is
+//!   *bounded*: a stalled retrainer sheds the heaviest source's oldest
+//!   batches (counted, never silent) instead of growing without bound.
 //! - [`DriftMonitor`] fuses an absolute error-level test (EWMA of the TTF
 //!   prediction error) with the error-*trend* test built on
 //!   [`aging_ml::segment::diagnose`].
@@ -36,16 +38,27 @@
 //! - [`AdaptiveService`] wires all three to a background retrainer thread
 //!   over any [`aging_ml::DynLearner`] (M5P, linear regression, GBRT, …),
 //!   so retraining never pauses the threads that serve predictions.
+//! - [`AdaptiveRouter`] scales the same design to **heterogeneous
+//!   fleets**: one model service + drift monitor + sliding buffer per
+//!   [`ServiceClass`], fed from the shared bounded bus and refitted on a
+//!   fixed retrainer pool (N classes ≠ N threads) — a memory-leak class
+//!   and a swap-thrash class adapt independently without polluting each
+//!   other's training buffers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod bus;
 mod drift;
+mod router;
 mod service;
 
-pub use bus::{BusDisconnected, BusReceiver, CheckpointBatch, CheckpointBus, LabelledCheckpoint};
+pub use bus::{
+    BusDisconnected, BusReceiver, CheckpointBatch, CheckpointBus, LabelledCheckpoint, ServiceClass,
+    DEFAULT_BUS_CAPACITY,
+};
 pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
+pub use router::{AdaptiveRouter, ClassAdaptation, ClassSpec, RouterConfig, RouterStats};
 pub use service::{AdaptConfig, AdaptationStats, AdaptiveService, ModelService, ModelSnapshot};
 
 #[cfg(test)]
@@ -75,6 +88,7 @@ mod tests {
     fn batch(xs: impl IntoIterator<Item = (f64, f64, Option<f64>)>) -> CheckpointBatch {
         CheckpointBatch {
             source: "test".into(),
+            class: ServiceClass::default(),
             checkpoints: xs
                 .into_iter()
                 .map(|(x, y, pred)| LabelledCheckpoint {
@@ -99,6 +113,75 @@ mod tests {
         assert!(pinned.model.predict(&[10.0]).is_finite());
         let fresh = service.snapshot();
         assert_eq!(fresh.generation, 1);
+    }
+
+    /// A constant model whose prediction encodes which generation it was
+    /// published as — the probe for snapshot-pairing races.
+    #[derive(Debug)]
+    struct Tagged(f64);
+
+    impl Regressor for Tagged {
+        fn predict(&self, _x: &[f64]) -> f64 {
+            self.0
+        }
+
+        fn name(&self) -> &'static str {
+            "Tagged"
+        }
+    }
+
+    /// Loom-style pairing stress: one publisher races many snapshotters.
+    /// Publishing generation `g` installs a model that predicts `g`, so
+    /// any torn read — a generation number paired with another
+    /// generation's `Arc` — shows up as a prediction mismatch.
+    #[test]
+    fn snapshot_is_atomic_under_publish_storm() {
+        let service = Arc::new(ModelService::new(Arc::new(Tagged(0.0))));
+        let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let service = Arc::clone(&service);
+                let stop = Arc::clone(&stop);
+                scope.spawn(move || {
+                    let mut pin = service.snapshot();
+                    let mut last = 0u64;
+                    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+                        let snap = service.snapshot();
+                        assert_eq!(
+                            snap.model.predict(&[]),
+                            snap.generation as f64,
+                            "snapshot paired generation {} with another generation's model",
+                            snap.generation
+                        );
+                        assert!(snap.generation >= last, "generations ran backwards");
+                        last = snap.generation;
+                        // The refresh path must uphold the same pairing.
+                        service.refresh(&mut pin);
+                        assert_eq!(pin.model.predict(&[]), pin.generation as f64);
+                    }
+                });
+            }
+            // The publisher tags each model with the generation number the
+            // next publish will assign (single publisher ⇒ predictable).
+            for g in 1..=2000u64 {
+                service.publish(Arc::new(Tagged(g as f64)));
+            }
+            stop.store(true, std::sync::atomic::Ordering::Release);
+        });
+        assert_eq!(service.generation(), 2000);
+        assert_eq!(service.snapshot().model.predict(&[]), 2000.0);
+    }
+
+    #[test]
+    fn refresh_is_a_noop_until_a_publish_lands() {
+        let service = ModelService::new(initial_model());
+        let mut pin = service.snapshot();
+        assert!(!service.refresh(&mut pin), "no publish yet: the pin must not move");
+        assert_eq!(pin.generation, 0);
+        service.publish(initial_model());
+        assert!(service.refresh(&mut pin));
+        assert_eq!(pin.generation, 1);
+        assert!(!service.refresh(&mut pin), "already current");
     }
 
     #[test]
@@ -140,6 +223,7 @@ mod tests {
             buffer_capacity: 512,
             min_buffer_to_retrain: 50,
             retrain_every: None,
+            bus_capacity: DEFAULT_BUS_CAPACITY,
         };
         let service = AdaptiveService::spawn(learner, vec!["x".into()], initial_model(), config);
         let bus = service.bus();
@@ -219,6 +303,7 @@ mod tests {
             buffer_capacity: 256,
             min_buffer_to_retrain: 20,
             retrain_every: Some(40),
+            bus_capacity: DEFAULT_BUS_CAPACITY,
         };
         let service = AdaptiveService::spawn(
             Arc::new(LinRegLearner::default()),
@@ -271,6 +356,7 @@ mod tests {
             buffer_capacity: 512,
             min_buffer_to_retrain: 100,
             retrain_every: None,
+            bus_capacity: DEFAULT_BUS_CAPACITY,
         };
         let service = AdaptiveService::spawn(
             Arc::new(LinRegLearner::default()),
@@ -311,6 +397,7 @@ mod tests {
         let bus = service.bus();
         bus.publish(CheckpointBatch {
             source: "bad".into(),
+            class: ServiceClass::default(),
             checkpoints: vec![LabelledCheckpoint {
                 features: vec![1.0, 2.0, 3.0],
                 ttf_secs: 10.0,

@@ -1,0 +1,712 @@
+//! Class-routed adaptation for heterogeneous fleets.
+//!
+//! One [`crate::AdaptiveService`] fits one model for the *whole* fleet —
+//! fine while every deployment ages the same way, wrong the moment a
+//! memory-leak class and a swap-thrash class share a training buffer: each
+//! class's labelled epochs drag the other's model towards the average of
+//! two regimes. The [`AdaptiveRouter`] is the heterogeneous counterpart:
+//!
+//! ```text
+//!  shards / monitor streams          (CheckpointBatch tagged with class)
+//!        │
+//!        ▼
+//!  [CheckpointBus] — bounded ring, drop-oldest, per-source fair
+//!        │
+//!        ▼
+//!  ingest thread ── routes by ServiceClass ──┬─► class A: DriftMonitor + buffer
+//!        │                                   ├─► class B: DriftMonitor + buffer
+//!        │ refit jobs (class, buffer snapshot)└─► …
+//!        ▼
+//!  shared retrainer pool (fixed worker threads — N classes ≠ N threads)
+//!        │ fitted model
+//!        ▼
+//!  per-class [ModelService] — consumers pin per-class snapshots per epoch
+//! ```
+//!
+//! The ingest thread owns every per-class drift monitor and sliding
+//! buffer, so routing needs no locks; only the *fitting* — the expensive
+//! part — fans out to the worker pool. One refit job per class can be in
+//! flight at a time: a slow learner never piles up stale jobs, it just
+//! leaves the class's sticky retrain trigger pending.
+
+use crate::bus::{BusReceiver, CheckpointBatch, CheckpointBus, ServiceClass};
+use crate::service::{AdaptConfig, AdaptationStats, ModelService};
+use crate::DriftMonitor;
+use aging_dataset::Dataset;
+use aging_ml::{DynLearner, Regressor};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Everything one service class needs from the router: how to train, what
+/// to serve first, and how to decide the model has drifted.
+#[derive(Debug, Clone)]
+pub struct ClassSpec {
+    /// Training algorithm for this class's refits (learners are stateless;
+    /// classes may share one `Arc`).
+    pub learner: Arc<dyn DynLearner>,
+    /// The model served as generation 0 until the first refit.
+    pub initial: Arc<dyn Regressor>,
+    /// Per-class adaptation tuning. `bus_capacity` is ignored here — the
+    /// ring is shared and sized by [`RouterConfig::bus_capacity`].
+    pub config: AdaptConfig,
+}
+
+/// Router-wide tuning.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RouterConfig {
+    /// Fixed size of the shared retrainer pool. Refit jobs from every
+    /// class queue onto these workers, so a fleet with 50 classes still
+    /// runs 2 training threads.
+    pub retrainer_threads: usize,
+    /// Capacity (in batches) of the shared bounded ingestion ring.
+    pub bus_capacity: usize,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig { retrainer_threads: 2, bus_capacity: crate::DEFAULT_BUS_CAPACITY }
+    }
+}
+
+/// One class's adaptation counters inside a [`RouterStats`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassAdaptation {
+    /// The service class.
+    pub class: ServiceClass,
+    /// Its counters, shaped exactly like the single-service stats.
+    pub stats: AdaptationStats,
+}
+
+/// Counters describing what the router has done so far, per class and in
+/// aggregate. Safe to snapshot at any time while the router runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouterStats {
+    /// Per-class counters, in registration order.
+    pub classes: Vec<ClassAdaptation>,
+    /// Labelled checkpoints ingested across all classes.
+    pub ingested_checkpoints: u64,
+    /// Checkpoints shed by the bounded ring (bus-level, before routing —
+    /// not attributable to a class).
+    pub dropped_checkpoints: u64,
+    /// Checkpoints whose batch named a class no service is registered for;
+    /// counted and discarded.
+    pub unrouted_checkpoints: u64,
+    /// Model generations published across all classes.
+    pub generations_published: u64,
+}
+
+impl RouterStats {
+    /// The counters of one class, if registered.
+    pub fn class(&self, class: &ServiceClass) -> Option<&AdaptationStats> {
+        self.classes.iter().find(|c| &c.class == class).map(|c| &c.stats)
+    }
+}
+
+/// Per-class state shared between the ingest thread, the worker pool and
+/// stats readers.
+#[derive(Debug)]
+struct ClassShared {
+    class: ServiceClass,
+    service: Arc<ModelService>,
+    learner: Arc<dyn DynLearner>,
+    ingested: AtomicU64,
+    drift_events: AtomicU64,
+    retrains: AtomicU64,
+    failed_retrains: AtomicU64,
+    buffered: AtomicU64,
+    error_ewma_bits: AtomicU64,
+    /// At most one refit job per class in flight on the pool.
+    inflight: AtomicBool,
+}
+
+#[derive(Debug)]
+struct RouterShared {
+    classes: Vec<Arc<ClassShared>>,
+    unrouted: AtomicU64,
+    jobs_enqueued: AtomicU64,
+    jobs_done: AtomicU64,
+}
+
+/// A snapshot of one class's sliding buffer, ready for a pool worker to
+/// fit. Snapshotting at enqueue time keeps the live buffer on the ingest
+/// thread — the worker trains on a consistent regime even while new
+/// checkpoints keep streaming in.
+struct RefitJob {
+    class_idx: usize,
+    dataset: Dataset,
+}
+
+/// Ingest-thread-local per-class adaptation state (no locks: one thread
+/// owns all of it).
+struct ClassState {
+    config: AdaptConfig,
+    monitor: DriftMonitor,
+    buffer: VecDeque<(Vec<f64>, f64)>,
+    retrain_due: bool,
+    since_scheduled: usize,
+}
+
+/// The class-routed adaptation service: one [`ModelService`] +
+/// [`DriftMonitor`] + sliding buffer per [`ServiceClass`], fed from one
+/// bounded [`CheckpointBus`] and retrained on a fixed shared worker pool.
+///
+/// # Example
+///
+/// ```
+/// use aging_adapt::{AdaptConfig, AdaptiveRouter, ClassSpec, RouterConfig, ServiceClass};
+/// use aging_ml::linreg::LinRegLearner;
+/// use aging_ml::{DynLearner, Learner, Regressor};
+/// use std::sync::Arc;
+///
+/// let mut ds = aging_dataset::Dataset::new(vec!["x".into()], "y");
+/// for i in 0..20 {
+///     ds.push_row(vec![i as f64], i as f64)?;
+/// }
+/// let initial: Arc<dyn Regressor> = Arc::from(LinRegLearner::default().fit_boxed(&ds)?);
+/// let learner: Arc<dyn DynLearner> = Arc::new(LinRegLearner::default());
+/// let spec = ClassSpec { learner, initial, config: AdaptConfig::default() };
+/// let router = AdaptiveRouter::spawn(
+///     vec![(ServiceClass::new("web"), spec.clone()), (ServiceClass::new("db"), spec)],
+///     vec!["x".into()],
+///     RouterConfig::default(),
+/// );
+/// assert_eq!(router.model_service(&ServiceClass::new("db")).unwrap().generation(), 0);
+/// let stats = router.shutdown();
+/// assert_eq!(stats.generations_published, 0);
+/// # Ok::<(), aging_ml::MlError>(())
+/// ```
+#[derive(Debug)]
+pub struct AdaptiveRouter {
+    bus: CheckpointBus,
+    shared: Arc<RouterShared>,
+    index: HashMap<ServiceClass, usize>,
+    stop: Arc<AtomicBool>,
+    ingest: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl AdaptiveRouter {
+    /// Spawns the ingest thread and the shared retrainer pool and returns
+    /// the running router.
+    ///
+    /// `feature_names` are the attribute names of the rows producers will
+    /// publish (the feature set's variables, in order) — shared by every
+    /// class, since a fleet extracts one feature catalogue.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicated class list, a zero-sized pool or
+    /// ring, and any degenerate per-class [`AdaptConfig`].
+    pub fn spawn(
+        classes: Vec<(ServiceClass, ClassSpec)>,
+        feature_names: Vec<String>,
+        config: RouterConfig,
+    ) -> Self {
+        assert!(!classes.is_empty(), "router needs at least one service class");
+        assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
+        assert!(config.bus_capacity > 0, "bus capacity must be positive");
+
+        let mut index = HashMap::new();
+        let mut shared_classes = Vec::with_capacity(classes.len());
+        let mut states = Vec::with_capacity(classes.len());
+        for (i, (class, spec)) in classes.into_iter().enumerate() {
+            // Not `validate()`: the per-class `bus_capacity` really is
+            // ignored (the ring is shared), as the `ClassSpec` docs say.
+            spec.config.validate_adaptation();
+            assert!(
+                index.insert(class.clone(), i).is_none(),
+                "service class `{class}` registered twice"
+            );
+            shared_classes.push(Arc::new(ClassShared {
+                class,
+                service: Arc::new(ModelService::new(spec.initial)),
+                learner: spec.learner,
+                ingested: AtomicU64::new(0),
+                drift_events: AtomicU64::new(0),
+                retrains: AtomicU64::new(0),
+                failed_retrains: AtomicU64::new(0),
+                buffered: AtomicU64::new(0),
+                error_ewma_bits: AtomicU64::new(0),
+                inflight: AtomicBool::new(false),
+            }));
+            states.push(ClassState {
+                monitor: DriftMonitor::new(spec.config.drift),
+                buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
+                retrain_due: false,
+                since_scheduled: 0,
+                config: spec.config,
+            });
+        }
+        let shared = Arc::new(RouterShared {
+            classes: shared_classes,
+            unrouted: AtomicU64::new(0),
+            jobs_enqueued: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+        });
+
+        let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
+        let (job_tx, job_rx) = std::sync::mpsc::channel::<RefitJob>();
+        let job_rx = Arc::new(Mutex::new(job_rx));
+        let stop = Arc::new(AtomicBool::new(false));
+
+        let workers: Vec<JoinHandle<()>> = (0..config.retrainer_threads)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let job_rx = Arc::clone(&job_rx);
+                std::thread::spawn(move || refit_worker(shared, job_rx))
+            })
+            .collect();
+        let ingest = {
+            let shared = Arc::clone(&shared);
+            let stop = Arc::clone(&stop);
+            std::thread::spawn(move || ingest(rx, states, feature_names, shared, job_tx, stop))
+        };
+
+        AdaptiveRouter { bus, shared, index, stop, ingest: Some(ingest), workers }
+    }
+
+    /// A producer handle on the shared ingestion ring (clone freely).
+    pub fn bus(&self) -> CheckpointBus {
+        self.bus.clone()
+    }
+
+    /// The serving side of one class, or `None` when the class is not
+    /// registered.
+    pub fn model_service(&self, class: &ServiceClass) -> Option<Arc<ModelService>> {
+        self.index.get(class).map(|&i| Arc::clone(&self.shared.classes[i].service))
+    }
+
+    /// The registered classes, in registration order.
+    pub fn classes(&self) -> Vec<ServiceClass> {
+        self.shared.classes.iter().map(|c| c.class.clone()).collect()
+    }
+
+    /// Current counters, per class and aggregate; safe to call at any
+    /// time.
+    pub fn stats(&self) -> RouterStats {
+        let classes: Vec<ClassAdaptation> = self
+            .shared
+            .classes
+            .iter()
+            .map(|c| {
+                // One load: a concurrent publish must not make the two
+                // generation-valued fields of one snapshot disagree.
+                let generation = c.service.generation();
+                ClassAdaptation {
+                    class: c.class.clone(),
+                    stats: AdaptationStats {
+                        ingested_checkpoints: c.ingested.load(Ordering::Relaxed),
+                        drift_events: c.drift_events.load(Ordering::Relaxed),
+                        retrains: c.retrains.load(Ordering::Relaxed),
+                        failed_retrains: c.failed_retrains.load(Ordering::Relaxed),
+                        generations_published: generation,
+                        generation,
+                        buffered: c.buffered.load(Ordering::Relaxed),
+                        dropped_checkpoints: 0,
+                        error_ewma_secs: f64::from_bits(c.error_ewma_bits.load(Ordering::Relaxed)),
+                    },
+                }
+            })
+            .collect();
+        RouterStats {
+            ingested_checkpoints: classes.iter().map(|c| c.stats.ingested_checkpoints).sum(),
+            generations_published: classes.iter().map(|c| c.stats.generations_published).sum(),
+            dropped_checkpoints: self.bus.dropped_checkpoints(),
+            unrouted_checkpoints: self.shared.unrouted.load(Ordering::Relaxed),
+            classes,
+        }
+    }
+
+    /// Waits until every checkpoint published *before* this call has been
+    /// ingested (or shed by the ring) **and** the retrainer pool has
+    /// finished every job that ingestion enqueued — so generation counters
+    /// are settled. Returns `true` when both happened within `timeout`.
+    ///
+    /// Only meant for deterministic tests and examples.
+    pub fn quiesce(&self, timeout: Duration) -> bool {
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            // Read `dropped` BEFORE `enqueued`: drops racing in between
+            // then inflate the target (wait a little longer) instead of
+            // deflating it (return before pre-call checkpoints drained).
+            let dropped = self.bus.dropped_checkpoints();
+            let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
+            let routed: u64 =
+                self.shared.classes.iter().map(|c| c.ingested.load(Ordering::Relaxed)).sum::<u64>()
+                    + self.shared.unrouted.load(Ordering::Relaxed);
+            // Order matters: the bus must be drained before the job
+            // counters can be final for everything published so far.
+            if routed >= target
+                && self.shared.jobs_done.load(Ordering::Relaxed)
+                    >= self.shared.jobs_enqueued.load(Ordering::Relaxed)
+            {
+                return true;
+            }
+            if std::time::Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+    }
+
+    /// Stops ingestion and the pool, joins every thread and returns the
+    /// final stats. Batches queued on the ring before the call are still
+    /// ingested, and every refit job they trigger still completes.
+    pub fn shutdown(mut self) -> RouterStats {
+        self.join_all()
+    }
+
+    fn join_all(&mut self) -> RouterStats {
+        self.stop.store(true, Ordering::Release);
+        if let Some(ingest) = self.ingest.take() {
+            let _ = ingest.join();
+        }
+        // The ingest thread owned the only job sender; its exit hangs up
+        // the queue and the workers drain what is left, then stop.
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        self.stats()
+    }
+}
+
+impl Drop for AdaptiveRouter {
+    fn drop(&mut self) {
+        if self.ingest.is_some() || !self.workers.is_empty() {
+            self.join_all();
+        }
+    }
+}
+
+/// The ingest loop: drain the ring, route checkpoints to their class's
+/// drift monitor and sliding buffer, snapshot-and-enqueue refit jobs when
+/// a class's trigger and gate line up.
+fn ingest(
+    rx: BusReceiver,
+    mut states: Vec<ClassState>,
+    feature_names: Vec<String>,
+    shared: Arc<RouterShared>,
+    job_tx: Sender<RefitJob>,
+    stop: Arc<AtomicBool>,
+) {
+    let index: HashMap<ServiceClass, usize> =
+        shared.classes.iter().enumerate().map(|(i, c)| (c.class.clone(), i)).collect();
+
+    let mut process = |batch: CheckpointBatch| {
+        let Some(&class_idx) = index.get(&batch.class) else {
+            shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        let state = &mut states[class_idx];
+        let class = &shared.classes[class_idx];
+        let n_checkpoints = batch.checkpoints.len() as u64;
+        for cp in batch.checkpoints {
+            if let Some(err) = cp.abs_error_secs() {
+                if state.monitor.observe(err).is_some() {
+                    class.drift_events.fetch_add(1, Ordering::Relaxed);
+                    // Sticky: an early trigger waits for the buffer gate
+                    // (and for any in-flight refit) instead of vanishing.
+                    state.retrain_due = true;
+                }
+                if let Some(ewma) = state.monitor.error_ewma_secs() {
+                    class.error_ewma_bits.store(ewma.to_bits(), Ordering::Relaxed);
+                }
+            }
+            if cp.features.len() == feature_names.len() {
+                if state.buffer.len() == state.config.buffer_capacity {
+                    state.buffer.pop_front();
+                }
+                state.buffer.push_back((cp.features, cp.ttf_secs));
+                class.buffered.store(state.buffer.len() as u64, Ordering::Relaxed);
+            }
+            state.since_scheduled += 1;
+            if state.config.retrain_every.is_some_and(|every| state.since_scheduled >= every) {
+                state.retrain_due = true;
+            }
+        }
+        if state.retrain_due
+            && state.buffer.len() >= state.config.min_buffer_to_retrain
+            && !class.inflight.swap(true, Ordering::AcqRel)
+        {
+            let mut dataset = Dataset::new(feature_names.clone(), "time_to_failure");
+            for (row, ttf) in &state.buffer {
+                dataset.push_row(row.clone(), *ttf).expect("arity checked on buffering");
+            }
+            if job_tx.send(RefitJob { class_idx, dataset }).is_ok() {
+                shared.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+                state.retrain_due = false;
+                state.since_scheduled = 0;
+            } else {
+                // Pool gone (shutdown mid-drain): nothing to retrain on.
+                class.inflight.store(false, Ordering::Release);
+            }
+        }
+        // Counted last so `quiesce` can rely on "all ingested" implying
+        // "every refit job those checkpoints trigger is already enqueued".
+        class.ingested.fetch_add(n_checkpoints, Ordering::Relaxed);
+    };
+
+    loop {
+        if stop.load(Ordering::Acquire) {
+            for batch in rx.drain() {
+                process(batch);
+            }
+            return;
+        }
+        match rx.recv_timeout(Duration::from_millis(20)) {
+            Ok(Some(batch)) => process(batch),
+            Ok(None) => {}
+            Err(crate::BusDisconnected) => return,
+        }
+    }
+}
+
+/// One pool worker: pull refit jobs, fit, publish into the class's model
+/// service.
+fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>>) {
+    loop {
+        // Hold the lock only for the blocking receive — fitting runs
+        // unlocked so the pool really works jobs in parallel.
+        let job = match job_rx.lock().expect("job queue poisoned").recv() {
+            Ok(job) => job,
+            Err(_) => return,
+        };
+        let class = &shared.classes[job.class_idx];
+        match class.learner.fit_dyn(&job.dataset) {
+            Ok(model) => {
+                class.service.publish(Arc::from(model));
+                class.retrains.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                class.failed_retrains.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        class.inflight.store(false, Ordering::Release);
+        shared.jobs_done.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{DriftConfig, LabelledCheckpoint};
+    use aging_ml::linreg::LinRegLearner;
+    use aging_ml::Learner;
+
+    fn line_model(slope: f64) -> Arc<dyn Regressor> {
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for i in 0..30 {
+            ds.push_row(vec![i as f64], slope * i as f64).unwrap();
+        }
+        Arc::from(LinRegLearner::default().fit_boxed(&ds).unwrap())
+    }
+
+    fn quick_adapt(threshold: f64) -> AdaptConfig {
+        AdaptConfig {
+            drift: DriftConfig {
+                enabled: true,
+                ewma_alpha: 0.4,
+                error_threshold_secs: threshold,
+                min_observations: 8,
+                trend_window: 64,
+                trend_tolerance_secs: 100.0,
+                trend_slope_threshold: 5.0,
+                cooldown_observations: 40,
+            },
+            buffer_capacity: 512,
+            min_buffer_to_retrain: 40,
+            retrain_every: None,
+            bus_capacity: 256,
+        }
+    }
+
+    fn spec(slope: f64, threshold: f64) -> ClassSpec {
+        ClassSpec {
+            learner: Arc::new(LinRegLearner::default()),
+            initial: line_model(slope),
+            config: quick_adapt(threshold),
+        }
+    }
+
+    fn batch(
+        class: &ServiceClass,
+        xs: impl IntoIterator<Item = (f64, f64, Option<f64>)>,
+    ) -> CheckpointBatch {
+        CheckpointBatch {
+            source: format!("src-{class}"),
+            class: class.clone(),
+            checkpoints: xs
+                .into_iter()
+                .map(|(x, y, pred)| LabelledCheckpoint {
+                    features: vec![x],
+                    ttf_secs: y,
+                    predicted_ttf_secs: pred,
+                })
+                .collect(),
+        }
+    }
+
+    /// The isolation claim in miniature: class A's regime shifts and only
+    /// class A retrains; class B's buffer, drift monitor and generation
+    /// counter never notice.
+    #[test]
+    fn shifted_class_retrains_without_touching_the_other() {
+        let a = ServiceClass::new("leaky");
+        let b = ServiceClass::new("stable");
+        let router = AdaptiveRouter::spawn(
+            vec![(a.clone(), spec(2.0, 150.0)), (b.clone(), spec(1.0, 150.0))],
+            vec!["x".into()],
+            RouterConfig { retrainer_threads: 2, bus_capacity: 128 },
+        );
+        let bus = router.bus();
+        // Class A: truth shifts to y = -2x + 500, served by stale y = 2x.
+        let truth_a = |x: f64| 500.0 - 2.0 * x;
+        for chunk in 0..6 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, truth_a(x), Some(2.0 * x))
+            });
+            assert!(bus.publish(batch(&a, xs)));
+        }
+        // Class B: the model is exact, errors are zero.
+        for chunk in 0..6 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, x, Some(x))
+            });
+            assert!(bus.publish(batch(&b, xs)));
+        }
+        assert!(router.quiesce(Duration::from_secs(30)), "bus + pool must settle");
+        let stats = router.shutdown();
+        let sa = stats.class(&a).unwrap();
+        let sb = stats.class(&b).unwrap();
+        assert!(sa.drift_events >= 1, "class A must drift: {sa:?}");
+        assert!(sa.retrains >= 1, "class A must retrain: {sa:?}");
+        assert!(sa.generations_published >= 1);
+        assert_eq!(sb.drift_events, 0, "class B must stay quiet: {sb:?}");
+        assert_eq!(sb.generations_published, 0);
+        assert_eq!(sa.ingested_checkpoints, 192);
+        assert_eq!(sb.ingested_checkpoints, 192);
+        assert_eq!(stats.unrouted_checkpoints, 0);
+    }
+
+    #[test]
+    fn per_class_models_track_their_own_regime() {
+        let a = ServiceClass::new("a");
+        let b = ServiceClass::new("b");
+        let router = AdaptiveRouter::spawn(
+            vec![(a.clone(), spec(1.0, 100.0)), (b.clone(), spec(1.0, 100.0))],
+            vec!["x".into()],
+            RouterConfig::default(),
+        );
+        let bus = router.bus();
+        // Different ground truths per class, both far from the initial fit.
+        let truth_a = |x: f64| 5.0 * x + 100.0;
+        let truth_b = |x: f64| -4.0 * x + 900.0;
+        for chunk in 0..5 {
+            bus.publish(batch(
+                &a,
+                (0..40).map(|i| {
+                    let x = (chunk * 40 + i) as f64 * 0.2;
+                    (x, truth_a(x), Some(x))
+                }),
+            ));
+            bus.publish(batch(
+                &b,
+                (0..40).map(|i| {
+                    let x = (chunk * 40 + i) as f64 * 0.2;
+                    (x, truth_b(x), Some(x))
+                }),
+            ));
+        }
+        assert!(router.quiesce(Duration::from_secs(30)));
+        let model_a = router.model_service(&a).unwrap().snapshot();
+        let model_b = router.model_service(&b).unwrap().snapshot();
+        assert!(model_a.generation >= 1 && model_b.generation >= 1);
+        let (pa, pb) = (model_a.model.predict(&[10.0]), model_b.model.predict(&[10.0]));
+        assert!((pa - truth_a(10.0)).abs() < 40.0, "class A tracks its regime: {pa}");
+        assert!((pb - truth_b(10.0)).abs() < 40.0, "class B tracks its regime: {pb}");
+        router.shutdown();
+    }
+
+    #[test]
+    fn unrouted_classes_are_counted_and_discarded() {
+        let router = AdaptiveRouter::spawn(
+            vec![(ServiceClass::new("known"), spec(1.0, 100.0))],
+            vec!["x".into()],
+            RouterConfig::default(),
+        );
+        let bus = router.bus();
+        bus.publish(batch(&ServiceClass::new("unknown"), (0..7).map(|i| (i as f64, 1.0, None))));
+        assert!(router.quiesce(Duration::from_secs(10)));
+        let stats = router.shutdown();
+        assert_eq!(stats.unrouted_checkpoints, 7);
+        assert_eq!(stats.ingested_checkpoints, 0);
+    }
+
+    #[test]
+    fn many_classes_share_a_bounded_pool() {
+        // 8 classes, 2 workers: every class still gets its refit — the
+        // pool serialises, nothing deadlocks, nothing is lost.
+        let classes: Vec<(ServiceClass, ClassSpec)> = (0..8)
+            .map(|i| {
+                let mut config = quick_adapt(80.0);
+                config.retrain_every = Some(50);
+                config.drift = DriftConfig::disabled();
+                config.min_buffer_to_retrain = 40;
+                (
+                    ServiceClass::new(format!("c{i}")),
+                    ClassSpec {
+                        learner: Arc::new(LinRegLearner::default()),
+                        initial: line_model(1.0),
+                        config,
+                    },
+                )
+            })
+            .collect();
+        let names: Vec<ServiceClass> = classes.iter().map(|(c, _)| c.clone()).collect();
+        let router = AdaptiveRouter::spawn(
+            classes,
+            vec!["x".into()],
+            RouterConfig { retrainer_threads: 2, bus_capacity: 512 },
+        );
+        let bus = router.bus();
+        for class in &names {
+            bus.publish(batch(class, (0..60).map(|i| (i as f64, 3.0 * i as f64, None))));
+        }
+        assert!(router.quiesce(Duration::from_secs(60)));
+        let stats = router.shutdown();
+        for class in &names {
+            let s = stats.class(class).unwrap();
+            assert!(s.retrains >= 1, "class {class} must have retrained: {s:?}");
+        }
+        assert_eq!(
+            stats.generations_published,
+            stats.classes.iter().map(|c| c.stats.retrains).sum::<u64>()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_class_rejected() {
+        let _ = AdaptiveRouter::spawn(
+            vec![
+                (ServiceClass::new("x"), spec(1.0, 100.0)),
+                (ServiceClass::new("x"), spec(1.0, 100.0)),
+            ],
+            vec!["x".into()],
+            RouterConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one service class")]
+    fn empty_router_rejected() {
+        let _ = AdaptiveRouter::spawn(Vec::new(), vec!["x".into()], RouterConfig::default());
+    }
+}

@@ -27,9 +27,20 @@ pub struct ModelSnapshot {
 ///
 /// Readers poll [`ModelService::generation`] (one atomic load) and only
 /// take the read lock to re-[`snapshot`](ModelService::snapshot) when the
-/// number moved, so steady-state serving costs nothing beyond the load.
-/// Publishing is wait-free for readers holding an old snapshot: the swap
-/// replaces the `Arc`, it never blocks in-flight predictions.
+/// number moved — [`ModelService::refresh`] packages that pattern as one
+/// call. Publishing is wait-free for readers holding an old snapshot: the
+/// swap replaces the `Arc`, it never blocks in-flight predictions.
+///
+/// # Consistency
+///
+/// The `(generation, model)` pair lives in **one** lock-protected slot and
+/// every read of it happens under a single lock acquisition
+/// ([`ModelService::snapshot`]) — a reader can never observe generation
+/// `n` paired with the model of generation `m ≠ n`. The separate atomic
+/// counter is a fast-path *hint* only; it is updated while the write lock
+/// is still held, so it never runs ahead of what `snapshot` can return.
+/// The publish/snapshot stress tests hammer exactly this pairing from
+/// concurrent threads.
 #[derive(Debug)]
 pub struct ModelService {
     slot: RwLock<ModelSnapshot>,
@@ -50,9 +61,22 @@ impl ModelService {
         self.generation.load(Ordering::Acquire)
     }
 
-    /// A consistent `(generation, model)` pair.
+    /// A consistent `(generation, model)` pair, read under one lock
+    /// acquisition.
     pub fn snapshot(&self) -> ModelSnapshot {
         self.slot.read().expect("model slot poisoned").clone()
+    }
+
+    /// Re-pins `pin` when a newer generation has been published; returns
+    /// whether the pin moved. The epoch-boundary idiom of the fleet
+    /// workers: one atomic load when nothing changed, one consistent
+    /// snapshot when something did.
+    pub fn refresh(&self, pin: &mut ModelSnapshot) -> bool {
+        if self.generation() == pin.generation {
+            return false;
+        }
+        *pin = self.snapshot();
+        true
     }
 
     /// Publishes a new model generation; returns its number.
@@ -60,6 +84,9 @@ impl ModelService {
         let mut slot = self.slot.write().expect("model slot poisoned");
         let generation = slot.generation + 1;
         *slot = ModelSnapshot { generation, model };
+        // Publish the hint while still holding the write lock: a reader
+        // that sees the new number is guaranteed to find (at least) the
+        // matching pair in the slot.
         self.generation.store(generation, Ordering::Release);
         generation
     }
@@ -85,6 +112,10 @@ pub struct AdaptConfig {
     /// drift (the paper's plain periodic adaptation); `None` retrains on
     /// drift only.
     pub retrain_every: Option<usize>,
+    /// Capacity (in batches) of the bounded ingestion ring the service
+    /// creates — the back-pressure bound under a stalled retrainer. See
+    /// [`crate::CheckpointBus::bounded`] for the drop-oldest semantics.
+    pub bus_capacity: usize,
 }
 
 impl Default for AdaptConfig {
@@ -94,7 +125,34 @@ impl Default for AdaptConfig {
             buffer_capacity: 4096,
             min_buffer_to_retrain: 200,
             retrain_every: None,
+            bus_capacity: crate::DEFAULT_BUS_CAPACITY,
         }
+    }
+}
+
+impl AdaptConfig {
+    /// Panics with a message when an adaptation parameter (drift tuning,
+    /// buffer sizing) is degenerate. `bus_capacity` is deliberately *not*
+    /// checked here: the per-class router ignores it (its ring is shared),
+    /// so only consumers that actually build a ring from this config
+    /// validate it.
+    pub(crate) fn validate_adaptation(&self) {
+        assert!(self.buffer_capacity > 0, "buffer capacity must be positive");
+        assert!(
+            self.min_buffer_to_retrain <= self.buffer_capacity,
+            "min_buffer_to_retrain ({}) exceeds buffer_capacity ({}): the sliding buffer \
+             could never reach the retrain gate and every drift trigger would be swallowed",
+            self.min_buffer_to_retrain,
+            self.buffer_capacity
+        );
+        self.drift.validate();
+    }
+
+    /// Full validation for consumers that also size their ingestion ring
+    /// from this config ([`AdaptiveService::spawn`]).
+    pub(crate) fn validate(&self) {
+        self.validate_adaptation();
+        assert!(self.bus_capacity > 0, "bus capacity must be positive");
     }
 }
 
@@ -119,6 +177,11 @@ pub struct AdaptationStats {
     pub generation: u64,
     /// Labelled checkpoints currently in the sliding buffer.
     pub buffered: u64,
+    /// Checkpoints shed by the bounded ingestion ring's drop-oldest policy
+    /// (a stalled or slow retrainer sheds history instead of growing
+    /// memory). For class-routed runs the drop happens before routing, so
+    /// the total lives on `RouterStats` and this stays 0 per class.
+    pub dropped_checkpoints: u64,
     /// Current smoothed absolute TTF error, seconds (0 before the first
     /// labelled prediction arrives).
     pub error_ewma_secs: f64,
@@ -196,17 +259,9 @@ impl AdaptiveService {
         initial: Arc<dyn Regressor>,
         config: AdaptConfig,
     ) -> Self {
-        assert!(config.buffer_capacity > 0, "buffer capacity must be positive");
-        assert!(
-            config.min_buffer_to_retrain <= config.buffer_capacity,
-            "min_buffer_to_retrain ({}) exceeds buffer_capacity ({}): the sliding buffer \
-             could never reach the retrain gate and every drift trigger would be swallowed",
-            config.min_buffer_to_retrain,
-            config.buffer_capacity
-        );
-        config.drift.validate();
+        config.validate();
         let models = Arc::new(ModelService::new(initial));
-        let (bus, rx) = CheckpointBus::channel();
+        let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
         let counters = Arc::new(SharedCounters::default());
         let stop = Arc::new(AtomicBool::new(false));
         let worker = {
@@ -246,26 +301,35 @@ impl AdaptiveService {
             generations_published: self.models.generation(),
             generation: self.models.generation(),
             buffered: self.counters.buffered.load(Ordering::Relaxed),
+            dropped_checkpoints: self.bus.dropped_checkpoints(),
             error_ewma_secs: f64::from_bits(self.counters.error_ewma_bits.load(Ordering::Relaxed)),
         }
     }
 
     /// Waits for the retrainer to drain the bus: blocks until every
-    /// checkpoint published *before* this call has been ingested (bounded
-    /// by `timeout`). Returns `true` when the bus drained in time.
+    /// checkpoint published *before* this call has been ingested or shed
+    /// by the bounded ring (bounded by `timeout`). Returns `true` when the
+    /// bus drained in time.
     ///
     /// Only meant for deterministic tests and examples — production
     /// callers never need to wait on the learning side.
     pub fn quiesce(&self, timeout: Duration) -> bool {
-        let target = self.bus.enqueued_checkpoints();
         let deadline = std::time::Instant::now() + timeout;
-        while self.counters.ingested.load(Ordering::Relaxed) < target {
+        loop {
+            // Shed checkpoints will never be ingested; the ring keeps
+            // counting them, so re-resolve the target every pass. `dropped`
+            // is read BEFORE `enqueued` so a drop racing in between makes
+            // the target conservative (wait longer), never premature.
+            let dropped = self.bus.dropped_checkpoints();
+            let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
+            if self.counters.ingested.load(Ordering::Relaxed) >= target {
+                return true;
+            }
             if std::time::Instant::now() >= deadline {
                 return false;
             }
             std::thread::sleep(Duration::from_millis(1));
         }
-        true
     }
 
     /// Stops the retrainer, joins it and returns the final stats.

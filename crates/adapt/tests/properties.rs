@@ -1,0 +1,189 @@
+//! Property-based guarantees of the bounded checkpoint bus — the
+//! back-pressure contract a 10k-instance fleet relies on:
+//!
+//! 1. **bounded memory**: with a stalled consumer (never draining), the
+//!    ring never holds more than `capacity` batches, whatever the publish
+//!    pattern;
+//! 2. **drop-oldest ordering**: a single overflowing source keeps exactly
+//!    its most recent `capacity` batches, in publish order;
+//! 3. **per-source fairness**: a light producer's batches survive a heavy
+//!    neighbour's flood — sheds always come out of the heaviest source;
+//! 4. **drain-after-disconnect**: batches queued before the last producer
+//!    hangs up are still delivered, then the receiver sees the disconnect.
+
+use aging_adapt::{
+    BusDisconnected, CheckpointBatch, CheckpointBus, LabelledCheckpoint, ServiceClass,
+};
+use proptest::prelude::*;
+use std::time::Duration;
+
+/// A one-checkpoint batch whose `ttf_secs` encodes a publish sequence
+/// number, so ordering survives the trip through the ring.
+fn tagged(source: &str, seq: u64, n_checkpoints: usize) -> CheckpointBatch {
+    CheckpointBatch {
+        source: source.into(),
+        class: ServiceClass::default(),
+        checkpoints: (0..n_checkpoints.max(1))
+            .map(|i| LabelledCheckpoint {
+                features: vec![i as f64],
+                ttf_secs: seq as f64,
+                predicted_ttf_secs: None,
+            })
+            .collect(),
+    }
+}
+
+fn seq_of(batch: &CheckpointBatch) -> u64 {
+    batch.checkpoints[0].ttf_secs as u64
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 1: a stalled retrainer (the receiver exists but never
+    // drains) can never make the ring exceed its capacity, and the
+    // queued/accepted/dropped accounting always balances.
+    #[test]
+    fn capacity_never_exceeded_under_stalled_consumer(
+        capacity in 1usize..24,
+        publishes in prop::collection::vec((0u8..4, 1usize..5), 1..150),
+    ) {
+        let (bus, _stalled_rx) = CheckpointBus::bounded(capacity);
+        for (seq, (source, n)) in publishes.iter().enumerate() {
+            prop_assert!(bus.publish(tagged(&format!("s{source}"), seq as u64, *n)));
+            prop_assert!(
+                bus.queued_batches() <= capacity,
+                "ring grew past capacity {} (now {})",
+                capacity,
+                bus.queued_batches()
+            );
+            prop_assert_eq!(
+                bus.enqueued_checkpoints() - bus.dropped_checkpoints(),
+                bus.queued_checkpoints(),
+                "accepted − dropped must equal queued while nothing drains"
+            );
+        }
+        prop_assert_eq!(bus.capacity(), capacity);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 2: one source overflowing the ring keeps exactly the
+    // most recent `capacity` batches, still in publish order.
+    #[test]
+    fn drop_oldest_keeps_the_most_recent_in_order(
+        capacity in 1usize..16,
+        total in 1usize..60,
+    ) {
+        let (bus, rx) = CheckpointBus::bounded(capacity);
+        for seq in 0..total {
+            bus.publish(tagged("solo", seq as u64, 1));
+        }
+        let kept: Vec<u64> = rx.drain().iter().map(seq_of).collect();
+        let expect: Vec<u64> =
+            (total.saturating_sub(capacity)..total).map(|s| s as u64).collect();
+        prop_assert_eq!(kept, expect);
+        prop_assert_eq!(bus.dropped_batches() as usize, total.saturating_sub(capacity));
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 3: a light producer whose queue share stays below the
+    // heavy one's is never the shed victim — its whole history survives a
+    // flood 3× the ring size, in order.
+    #[test]
+    fn light_producer_survives_a_skewed_flood(
+        capacity in 4usize..24,
+        light_raw in 1usize..32,
+        flood_factor in 2usize..4,
+    ) {
+        // Strictly fewer light batches than half the ring: the heavy
+        // source always holds the (strict) majority once the ring fills,
+        // so every shed hits the heavy source.
+        let light_total = 1 + light_raw % (capacity / 2).max(1);
+        prop_assert!(light_total <= capacity / 2);
+        let (bus, rx) = CheckpointBus::bounded(capacity);
+        for seq in 0..light_total {
+            bus.publish(tagged("light", seq as u64, 1));
+        }
+        for seq in 0..capacity * flood_factor {
+            bus.publish(tagged("heavy", (1000 + seq) as u64, 1));
+        }
+        let got = rx.drain();
+        let light_kept: Vec<u64> =
+            got.iter().filter(|b| b.source == "light").map(seq_of).collect();
+        let expect: Vec<u64> = (0..light_total as u64).collect();
+        prop_assert_eq!(light_kept, expect, "the light source's history must survive");
+        prop_assert_eq!(got.len(), capacity, "the ring was full when drained");
+        // Everything shed was the heavy source's, and its survivors are
+        // its most recent batches, in order.
+        let heavy_kept: Vec<u64> =
+            got.iter().filter(|b| b.source == "heavy").map(seq_of).collect();
+        let heavy_total = capacity * flood_factor;
+        let expect_heavy: Vec<u64> = (0..heavy_total)
+            .skip(heavy_total - (capacity - light_total))
+            .map(|s| (1000 + s) as u64)
+            .collect();
+        prop_assert_eq!(heavy_kept, expect_heavy);
+    }
+
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 4: dropping every producer loses nothing that was
+    // queued — the receiver drains all of it, then sees the disconnect.
+    #[test]
+    fn queued_batches_survive_producer_disconnect(
+        capacity in 1usize..16,
+        queued in 1usize..16,
+    ) {
+        let queued = queued.min(capacity);
+        let (bus, rx) = CheckpointBus::bounded(capacity);
+        let clone = bus.clone();
+        for seq in 0..queued {
+            clone.publish(tagged("s", seq as u64, 2));
+        }
+        drop(bus);
+        drop(clone);
+        for seq in 0..queued {
+            let got = rx.recv_timeout(Duration::from_millis(10)).unwrap();
+            let batch = got.expect("queued batch must still be delivered");
+            prop_assert_eq!(seq_of(&batch), seq as u64);
+        }
+        prop_assert_eq!(
+            rx.recv_timeout(Duration::from_millis(10)),
+            Err(BusDisconnected)
+        );
+    }
+}
+
+/// The acceptance scenario spelled out: a retrainer that stalls forever
+/// while 8 shards keep publishing for a long time leaves the bus holding
+/// only `capacity` batches — memory stays bounded, the newest data per
+/// source is what survives.
+#[test]
+fn stalled_retrainer_cannot_grow_memory() {
+    let capacity = 32;
+    let (bus, _stalled_rx) = CheckpointBus::bounded(capacity);
+    for round in 0..500u64 {
+        for shard in 0..8 {
+            bus.publish(tagged(&format!("shard-{shard}"), round, 3));
+        }
+        assert!(bus.queued_batches() <= capacity);
+    }
+    assert_eq!(bus.queued_batches(), capacity);
+    assert_eq!(bus.enqueued_checkpoints(), 500 * 8 * 3);
+    assert_eq!(bus.dropped_checkpoints(), (500 * 8 - capacity as u64) * 3);
+    // Fairness at equilibrium: no shard monopolises the ring — each holds
+    // exactly its share.
+    let queued = bus.queued_checkpoints();
+    assert_eq!(queued, capacity as u64 * 3);
+}

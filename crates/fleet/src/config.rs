@@ -1,5 +1,6 @@
 //! Fleet configuration and per-instance specifications.
 
+use aging_adapt::ServiceClass;
 use aging_core::{RejuvenationConfig, RejuvenationPolicy};
 use aging_testbed::Scenario;
 use serde::{Deserialize, Serialize};
@@ -38,17 +39,35 @@ pub struct InstanceSpec {
     pub seed: u64,
     /// Optional mid-run workload change (see [`WorkloadShift`]).
     pub shift: Option<WorkloadShift>,
+    /// Which adaptation domain this deployment belongs to. Homogeneous
+    /// fleets leave the default; heterogeneous fleets group instances by
+    /// aging signature so [`crate::Fleet::run_routed`] serves and retrains
+    /// each class with its own model.
+    pub class: ServiceClass,
 }
 
 impl InstanceSpec {
-    /// A spec with no workload shift.
+    /// A spec with no workload shift, in the default service class.
     pub fn new(
         name: impl Into<String>,
         scenario: Scenario,
         policy: RejuvenationPolicy,
         seed: u64,
     ) -> Self {
-        InstanceSpec { name: name.into(), scenario, policy, seed, shift: None }
+        InstanceSpec {
+            name: name.into(),
+            scenario,
+            policy,
+            seed,
+            shift: None,
+            class: ServiceClass::default(),
+        }
+    }
+
+    /// Moves the spec into `class` (builder-style).
+    pub fn with_class(mut self, class: impl Into<ServiceClass>) -> Self {
+        self.class = class.into();
+        self
     }
 }
 

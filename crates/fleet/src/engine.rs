@@ -3,41 +3,48 @@
 use crate::config::{validate_config, validate_spec, FleetConfig, FleetError, InstanceSpec};
 use crate::instance::Instance;
 use crate::report::{FleetReport, FleetTiming, InstanceReport};
-use crate::shard::Shard;
-use aging_adapt::{AdaptiveService, CheckpointBus, ModelService};
+use crate::shard::{EpochModels, Shard};
+use aging_adapt::{
+    AdaptiveRouter, AdaptiveService, CheckpointBus, ModelService, ModelSnapshot, ServiceClass,
+};
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
 use aging_testbed::Scenario;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Barrier;
+use std::sync::{Arc, Barrier};
 use std::time::Instant;
 
-/// Where the worker threads get their model from.
+/// Where the worker threads get their models from.
 ///
 /// A frozen binding serves one `&dyn Regressor` for the whole run (the
 /// original engine behaviour, bit-exact with `evaluate_policy`). An
-/// adaptive binding resolves batched TTF queries through a
-/// [`ModelService`]: each worker *pins* a model snapshot per epoch —
-/// polling the generation counter costs one atomic load — and re-pins at
-/// the next epoch boundary after a publish, so one epoch's batch is always
-/// served by exactly one model generation.
+/// adaptive binding resolves batched TTF queries through one
+/// [`ModelService`] shared by every class; a routed binding holds one
+/// service **per class** (`services` is indexed by the fleet's class
+/// table). Either way each worker *pins* its model snapshots per epoch —
+/// polling a generation counter costs one atomic load per class — and
+/// re-pins at the next epoch boundary after a publish, so one epoch's
+/// batch is always served by exactly one generation per class.
 enum ModelBinding<'a> {
     Frozen(&'a dyn Regressor),
     Adaptive(&'a ModelService),
+    Routed(Vec<Arc<ModelService>>),
 }
 
-/// A set of simulated deployments operated concurrently under a shared
-/// trained model.
+/// A set of simulated deployments operated concurrently under shared
+/// trained models.
 ///
 /// Construction validates every spec; [`Fleet::run`] shards the instances
 /// across a fixed pool of worker threads and drives them in lock-step
 /// epochs of 15-second checkpoints, batching each shard's TTF inferences
-/// through [`Regressor::predict_matrix`] over a flat reusable
-/// [`aging_ml::FeatureMatrix`]. [`Fleet::run_adaptive`] runs the same loop
-/// against an [`AdaptiveService`], streaming labelled crash epochs to its
-/// retrainer and hot-swapping model generations between epochs.
+/// through [`Regressor::predict_matrix`] over flat reusable
+/// [`aging_ml::FeatureMatrix`]es (one per service class).
+/// [`Fleet::run_adaptive`] runs the same loop against an
+/// [`AdaptiveService`]; [`Fleet::run_routed`] runs it against an
+/// [`AdaptiveRouter`], giving every [`ServiceClass`] its own adapting
+/// model.
 #[derive(Debug)]
 pub struct Fleet {
     specs: Vec<InstanceSpec>,
@@ -79,12 +86,13 @@ impl Fleet {
         config: FleetConfig,
     ) -> Result<Self, FleetError> {
         let specs = (0..n)
-            .map(|i| InstanceSpec {
-                name: format!("{}-{i:04}", scenario.name),
-                scenario: scenario.clone(),
-                policy,
-                seed: base_seed.wrapping_add(i as u64),
-                shift: None,
+            .map(|i| {
+                InstanceSpec::new(
+                    format!("{}-{i:04}", scenario.name),
+                    scenario.clone(),
+                    policy,
+                    base_seed.wrapping_add(i as u64),
+                )
             })
             .collect();
         Fleet::new(specs, config)
@@ -103,6 +111,18 @@ impl Fleet {
     /// The fleet configuration.
     pub fn config(&self) -> &FleetConfig {
         &self.config
+    }
+
+    /// The distinct service classes of this fleet, in first-appearance
+    /// order over the specs — the class table every routed run indexes.
+    pub fn classes(&self) -> Vec<ServiceClass> {
+        let mut classes: Vec<ServiceClass> = Vec::new();
+        for spec in &self.specs {
+            if !classes.contains(&spec.class) {
+                classes.push(spec.class.clone());
+            }
+        }
+        classes
     }
 
     /// Operates the fleet to its horizon with a trained predictor, sharing
@@ -127,7 +147,9 @@ impl Fleet {
     /// model generation (pinned per epoch) and stream labelled crash
     /// epochs onto its [`CheckpointBus`], so the service retrains and
     /// publishes new generations *while the fleet keeps running* — worker
-    /// threads never pause for training.
+    /// threads never pause for training. Every class of the fleet is
+    /// served by the one service (use [`Fleet::run_routed`] for per-class
+    /// models).
     ///
     /// With drift triggering disabled ([`aging_adapt::DriftConfig`]
     /// `enabled: false` and no periodic schedule) the service never leaves
@@ -149,12 +171,56 @@ impl Fleet {
         report
     }
 
+    /// Operates a heterogeneous fleet against an [`AdaptiveRouter`]: every
+    /// instance's TTF queries resolve through **its class's** model
+    /// service (pinned per worker epoch, re-pinned on generation change),
+    /// and labelled crash epochs stream onto the router's bounded bus
+    /// tagged with their class — so a workload shift in one class retrains
+    /// that class's model while every other class keeps its own.
+    ///
+    /// The report carries the router's per-class
+    /// [`aging_adapt::RouterStats`] (and the aggregate in
+    /// `report.adaptation` is left `None` — classes don't share counters).
+    /// The stats are snapshotted the moment the run returns, while the
+    /// router may still be draining the last epochs' batches and fitting
+    /// their refits; callers that need settled numbers should
+    /// [`AdaptiveRouter::quiesce`] and re-read `router.stats()` (and may
+    /// overwrite `report.routing` with the result).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidParameter`] when some instance's class
+    /// has no registered model service on the router.
+    pub fn run_routed(
+        self,
+        router: &AdaptiveRouter,
+        features: &FeatureSet,
+    ) -> Result<FleetReport, FleetError> {
+        let services: Vec<Arc<ModelService>> = self
+            .classes()
+            .iter()
+            .map(|class| {
+                router.model_service(class).ok_or_else(|| {
+                    FleetError::InvalidParameter(format!(
+                        "no model service registered for service class `{class}`"
+                    ))
+                })
+            })
+            .collect::<Result<_, _>>()?;
+        let mut report =
+            self.run_bound(ModelBinding::Routed(services), features, Some(router.bus()));
+        report.routing = Some(router.stats());
+        Ok(report)
+    }
+
     fn run_bound(
         self,
         binding: ModelBinding<'_>,
         features: &FeatureSet,
         bus: Option<CheckpointBus>,
     ) -> FleetReport {
+        let classes = self.classes();
+        let n_classes = classes.len();
         let Fleet { specs, config } = self;
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
@@ -165,11 +231,15 @@ impl Fleet {
             let mut buckets: Vec<Vec<(usize, Instance)>> =
                 (0..n_shards).map(|_| Vec::new()).collect();
             for (i, spec) in specs.into_iter().enumerate() {
-                buckets[i % n_shards].push((i, Instance::new(spec, features)));
+                let class_idx = classes
+                    .iter()
+                    .position(|c| c == &spec.class)
+                    .expect("class table built from these specs");
+                buckets[i % n_shards].push((i, Instance::new(spec, features, class_idx)));
             }
             buckets
                 .into_iter()
-                .map(|bucket| Shard::new(bucket, features.len(), bus.clone()))
+                .map(|bucket| Shard::new(bucket, features.len(), n_classes, bus.clone()))
                 .collect()
         };
 
@@ -201,30 +271,42 @@ impl Fleet {
                     let panicked = &panicked;
                     let config = &config;
                     scope.spawn(move || {
-                        // Adaptive runs pin one model snapshot per epoch:
-                        // the pin is refreshed at epoch boundaries only,
-                        // and only when the generation counter moved, so a
-                        // publish mid-epoch never splits a batch across
-                        // two models.
-                        let mut pinned = match binding {
-                            ModelBinding::Frozen(_) => None,
-                            ModelBinding::Adaptive(service) => Some(service.snapshot()),
+                        // Adaptive/routed runs pin one model snapshot per
+                        // class per epoch: pins are refreshed at epoch
+                        // boundaries only, and only when the generation
+                        // counter moved, so a publish mid-epoch never
+                        // splits a batch across two models.
+                        let mut pins: Vec<ModelSnapshot> = match binding {
+                            ModelBinding::Frozen(_) => Vec::new(),
+                            ModelBinding::Adaptive(service) => vec![service.snapshot()],
+                            ModelBinding::Routed(services) => {
+                                services.iter().map(|s| s.snapshot()).collect()
+                            }
                         };
                         let mut epoch = 0u64;
                         loop {
-                            let model: &dyn Regressor = match binding {
-                                ModelBinding::Frozen(model) => *model,
+                            match binding {
+                                ModelBinding::Frozen(_) => {}
                                 ModelBinding::Adaptive(service) => {
-                                    let pin =
-                                        pinned.as_mut().expect("adaptive pin set before the loop");
-                                    if service.generation() != pin.generation {
-                                        *pin = service.snapshot();
-                                    }
-                                    pin.model.as_ref()
+                                    service.refresh(&mut pins[0]);
                                 }
+                                ModelBinding::Routed(services) => {
+                                    for (service, pin) in services.iter().zip(&mut pins) {
+                                        service.refresh(pin);
+                                    }
+                                }
+                            }
+                            // The model table this epoch serves from —
+                            // borrows of `pins`, no per-epoch allocation.
+                            let models = match binding {
+                                ModelBinding::Frozen(model) => EpochModels::Uniform(*model),
+                                ModelBinding::Adaptive(_) => {
+                                    EpochModels::Uniform(pins[0].model.as_ref())
+                                }
+                                ModelBinding::Routed(_) => EpochModels::PerClass(&pins),
                             };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                shard.epoch(model, config) as u64
+                                shard.epoch(models, config) as u64
                             }));
                             let shard_live = match &outcome {
                                 Ok(n) => *n,

@@ -61,6 +61,9 @@ pub struct Instance {
     /// Catalogue indices of the feature set, cached so the per-checkpoint
     /// projection is a gather instead of repeated name lookups.
     feature_indices: Vec<usize>,
+    /// Index of `spec.class` in the fleet's class table — the shard uses
+    /// it to pick this instance's batch matrix and model pin.
+    class_idx: usize,
     // Epoch-of-service state (reset on every restart).
     sim: Option<Box<Simulator>>,
     epoch: u64,
@@ -88,10 +91,11 @@ pub struct Instance {
 }
 
 impl Instance {
-    pub(crate) fn new(spec: InstanceSpec, features: &FeatureSet) -> Self {
+    pub(crate) fn new(spec: InstanceSpec, features: &FeatureSet, class_idx: usize) -> Self {
         Instance {
             extractor: FeatureExtractor::new(features.window()),
             feature_indices: features.catalogue_indices(),
+            class_idx,
             spec,
             sim: None,
             epoch: 0,
@@ -306,14 +310,21 @@ impl Instance {
         self.epoch += 1;
     }
 
+    /// Index of this instance's service class in the fleet's class table.
+    pub(crate) fn class_idx(&self) -> usize {
+        self.class_idx
+    }
+
     /// Drains labelled training checkpoints queued by completed crash
-    /// epochs (empty unless the fleet runs adaptively).
+    /// epochs (empty unless the fleet runs adaptively), tagged with the
+    /// instance's service class so the router trains the right model.
     pub(crate) fn take_labelled(&mut self) -> Option<CheckpointBatch> {
         if self.outbox.is_empty() {
             return None;
         }
         Some(CheckpointBatch {
             source: self.spec.name.clone(),
+            class: self.spec.class.clone(),
             checkpoints: std::mem::take(&mut self.outbox),
         })
     }
@@ -329,6 +340,7 @@ impl Instance {
         };
         InstanceReport {
             name: self.spec.name.clone(),
+            class: self.spec.class.to_string(),
             policy: self.spec.policy.label(),
             horizon_secs: horizon,
             crashes: self.crashes,

@@ -41,6 +41,13 @@
 //! move instances to a different scenario mid-run to exercise exactly the
 //! dynamic-workload regime the paper's adaptive claim is about.
 //!
+//! Heterogeneous fleets go through [`Fleet::run_routed`] instead: specs
+//! carry a [`ServiceClass`], shards keep one batch matrix per class and
+//! tag outgoing checkpoints with it, and an
+//! [`aging_adapt::AdaptiveRouter`] serves/retrains one model per class
+//! over a shared retrainer pool — a workload shift in one class adapts
+//! that class alone.
+//!
 //! # Example
 //!
 //! ```no_run
@@ -75,6 +82,11 @@ pub use config::{FleetConfig, FleetError, InstanceSpec, WorkloadShift};
 pub use engine::Fleet;
 pub use instance::Instance;
 pub use report::{FleetReport, FleetTiming, InstanceReport};
+
+// The class vocabulary of heterogeneous fleets lives in `aging_adapt`
+// (checkpoint batches carry it); re-exported so fleet callers need not
+// name that crate.
+pub use aging_adapt::ServiceClass;
 
 #[cfg(test)]
 mod tests {

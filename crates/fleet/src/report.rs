@@ -1,6 +1,6 @@
 //! Fleet-wide and per-instance outcome reports.
 
-use aging_adapt::AdaptationStats;
+use aging_adapt::{AdaptationStats, RouterStats};
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -10,6 +10,8 @@ use std::fmt;
 pub struct InstanceReport {
     /// Instance identifier from its spec.
     pub name: String,
+    /// Service class from its spec (`"default"` for homogeneous fleets).
+    pub class: String,
     /// Policy description.
     pub policy: String,
     /// Operation period covered, seconds.
@@ -103,6 +105,9 @@ pub struct FleetReport {
     /// Adaptation-service counters for [`crate::Fleet::run_adaptive`] runs
     /// (`None` for frozen-model runs; excluded from equality).
     pub adaptation: Option<AdaptationStats>,
+    /// Per-class router counters for [`crate::Fleet::run_routed`] runs
+    /// (`None` otherwise; excluded from equality).
+    pub routing: Option<RouterStats>,
     /// Wall-clock performance (excluded from equality).
     pub timing: FleetTiming,
 }
@@ -155,8 +160,25 @@ impl FleetReport {
             },
             ttf_error_count,
             adaptation: None,
+            routing: None,
             instances,
             timing,
+        }
+    }
+
+    /// Mean absolute TTF prediction error over the labelled checkpoints of
+    /// one service class, seconds (0 when nothing in that class could be
+    /// labelled).
+    pub fn class_mean_ttf_error_secs(&self, class: &str) -> f64 {
+        let (sum, count) = self
+            .instances
+            .iter()
+            .filter(|i| i.class == class)
+            .fold((0.0, 0u64), |(s, c), i| (s + i.ttf_error_sum_secs, c + i.ttf_error_count));
+        if count > 0 {
+            sum / count as f64
+        } else {
+            0.0
         }
     }
 
@@ -204,13 +226,40 @@ impl fmt::Display for FleetReport {
             writeln!(
                 f,
                 "  adaptation         gen {}  retrains {}  drift events {}  \
-                 ingested {}  error EWMA {:.0} s",
+                 ingested {}  dropped {}  error EWMA {:.0} s",
                 adaptation.generation,
                 adaptation.retrains,
                 adaptation.drift_events,
                 adaptation.ingested_checkpoints,
+                adaptation.dropped_checkpoints,
                 adaptation.error_ewma_secs
             )?;
+        }
+        if let Some(routing) = &self.routing {
+            writeln!(
+                f,
+                "  routing            {} classes  {} generations  ingested {}  \
+                 dropped {}  unrouted {}",
+                routing.classes.len(),
+                routing.generations_published,
+                routing.ingested_checkpoints,
+                routing.dropped_checkpoints,
+                routing.unrouted_checkpoints
+            )?;
+            for entry in &routing.classes {
+                writeln!(
+                    f,
+                    "    class {:<12} gen {}  retrains {}  drift events {}  ingested {}  \
+                     error {:.0} s (fleet mean {:.0} s)",
+                    entry.class,
+                    entry.stats.generation,
+                    entry.stats.retrains,
+                    entry.stats.drift_events,
+                    entry.stats.ingested_checkpoints,
+                    entry.stats.error_ewma_secs,
+                    self.class_mean_ttf_error_secs(entry.class.as_str())
+                )?;
+            }
         }
         write!(
             f,

@@ -2,20 +2,49 @@
 
 use crate::config::FleetConfig;
 use crate::instance::{Instance, Tick};
-use aging_adapt::CheckpointBus;
+use aging_adapt::{CheckpointBus, ModelSnapshot};
 use aging_ml::{FeatureMatrix, Regressor};
 
+/// The model table one epoch serves from, resolved per class without any
+/// per-epoch allocation: homogeneous bindings answer every class with the
+/// one model, routed bindings index the worker's per-class snapshot pins.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum EpochModels<'a> {
+    /// Frozen and single-service adaptive runs: one model for all classes.
+    Uniform(&'a dyn Regressor),
+    /// Routed runs: the worker's pins, indexed by fleet class.
+    PerClass(&'a [ModelSnapshot]),
+}
+
+impl EpochModels<'_> {
+    fn class(&self, class_idx: usize) -> &dyn Regressor {
+        match self {
+            EpochModels::Uniform(model) => *model,
+            EpochModels::PerClass(pins) => pins[class_idx].model.as_ref(),
+        }
+    }
+}
+
 /// A worker's instances plus reusable per-epoch buffers.
+///
+/// Heterogeneous fleets serve different model generations to different
+/// service classes, so the shard keeps one batch matrix per fleet class:
+/// each epoch's pending rows land in their class's matrix and resolve
+/// through that class's pinned model. A single-class fleet degenerates to
+/// exactly the old one-matrix behaviour (same row order, same single
+/// `predict_matrix` call per epoch).
 #[derive(Debug)]
 pub(crate) struct Shard {
     /// `(original fleet index, instance)` — the index restores spec order
     /// when per-instance reports are folded back together.
     pub(crate) instances: Vec<(usize, Instance)>,
-    /// Flat row-major batch of this epoch's pending feature rows: the
-    /// buffer is cleared and refilled every epoch, so steady-state epochs
-    /// perform no per-row allocations at all.
-    matrix: FeatureMatrix,
-    pending: Vec<usize>,
+    /// Flat row-major batches of this epoch's pending feature rows, one
+    /// per fleet class; cleared and refilled every epoch, so steady-state
+    /// epochs perform no per-row allocations at all.
+    matrices: Vec<FeatureMatrix>,
+    /// Per class, which instance slots appended a row this epoch (row `i`
+    /// of `matrices[c]` belongs to `pending[c][i]`).
+    pending: Vec<Vec<usize>>,
     /// Producer handle on the adaptation bus; `None` for frozen runs.
     bus: Option<CheckpointBus>,
 }
@@ -24,43 +53,56 @@ impl Shard {
     pub(crate) fn new(
         instances: Vec<(usize, Instance)>,
         n_features: usize,
+        n_classes: usize,
         bus: Option<CheckpointBus>,
     ) -> Self {
         let capacity = instances.len();
         Shard {
             instances,
-            matrix: FeatureMatrix::with_capacity(n_features, capacity),
-            pending: Vec::with_capacity(capacity),
+            matrices: (0..n_classes)
+                .map(|_| FeatureMatrix::with_capacity(n_features, capacity))
+                .collect(),
+            pending: (0..n_classes).map(|_| Vec::with_capacity(capacity)).collect(),
             bus,
         }
     }
 
     /// Drives every instance one checkpoint forward, then resolves all
-    /// pending TTF predictions through a single batched inference over the
-    /// shared model. Returns how many instances are still live.
-    pub(crate) fn epoch(&mut self, model: &dyn Regressor, config: &FleetConfig) -> usize {
-        self.matrix.clear();
-        self.pending.clear();
+    /// pending TTF predictions with one batched inference per service
+    /// class over that class's model. Returns how many instances are
+    /// still live.
+    pub(crate) fn epoch(&mut self, models: EpochModels<'_>, config: &FleetConfig) -> usize {
+        for matrix in &mut self.matrices {
+            matrix.clear();
+        }
+        for pending in &mut self.pending {
+            pending.clear();
+        }
         let collect = self.bus.is_some();
         let mut live = 0usize;
         for (slot, (_, instance)) in self.instances.iter_mut().enumerate() {
-            match instance.advance(config, &mut self.matrix, collect) {
+            let class = instance.class_idx();
+            match instance.advance(config, &mut self.matrices[class], collect) {
                 Tick::Retired => {}
                 Tick::Advanced => live += 1,
                 Tick::NeedsPrediction => {
                     live += 1;
-                    self.pending.push(slot);
+                    self.pending[class].push(slot);
                 }
             }
         }
-        if !self.matrix.is_empty() {
-            let predictions = model.predict_matrix(&self.matrix);
-            debug_assert_eq!(predictions.len(), self.pending.len());
-            for (row_idx, (&slot, &prediction)) in self.pending.iter().zip(&predictions).enumerate()
+        for (class, matrix) in self.matrices.iter().enumerate() {
+            if matrix.is_empty() {
+                continue;
+            }
+            let predictions = models.class(class).predict_matrix(matrix);
+            debug_assert_eq!(predictions.len(), self.pending[class].len());
+            for (row_idx, (&slot, &prediction)) in
+                self.pending[class].iter().zip(&predictions).enumerate()
             {
                 self.instances[slot].1.apply_prediction(
                     prediction,
-                    self.matrix.row(row_idx),
+                    matrix.row(row_idx),
                     config,
                     collect,
                 );

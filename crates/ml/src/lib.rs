@@ -224,3 +224,57 @@ impl Learner for Arc<dyn DynLearner> {
         (**self).fit_dyn(data).map(Arc::from)
     }
 }
+
+/// Declarative learner choice for runtime-configured model services.
+///
+/// Per-class adaptation (a router serving heterogeneous service classes)
+/// needs to name a training algorithm in *configuration* — a spec file, a
+/// JSON fleet description — rather than in code. `LearnerKind` is that
+/// name: a serialisable tag that [`LearnerKind::learner`] turns into a
+/// ready [`DynLearner`] with the defaults this workspace uses everywhere
+/// (M5P with the paper's settings; baseline linear regression; GBRT).
+///
+/// # Example
+///
+/// ```
+/// use aging_ml::LearnerKind;
+///
+/// let learner = LearnerKind::M5p.learner();
+/// let mut ds = aging_dataset::Dataset::new(vec!["x".into()], "y");
+/// for i in 0..40 {
+///     ds.push_row(vec![i as f64], 3.0 * i as f64)?;
+/// }
+/// let model = learner.fit_dyn(&ds)?;
+/// assert!((model.predict(&[10.0]) - 30.0).abs() < 1.0);
+/// # Ok::<(), aging_ml::MlError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum LearnerKind {
+    /// M5P model trees with the paper's settings
+    /// (`m5p::M5pLearner::paper_default`).
+    M5p,
+    /// The linear-regression baseline (`linreg::LinRegLearner::default`).
+    LinReg,
+    /// Gradient-boosted regression trees (`gbrt::GbrtLearner::default`).
+    Gbrt,
+}
+
+impl LearnerKind {
+    /// Builds a fresh shared learner of this kind.
+    pub fn learner(&self) -> Arc<dyn DynLearner> {
+        match self {
+            LearnerKind::M5p => Arc::new(m5p::M5pLearner::paper_default()),
+            LearnerKind::LinReg => Arc::new(linreg::LinRegLearner::default()),
+            LearnerKind::Gbrt => Arc::new(gbrt::GbrtLearner::default()),
+        }
+    }
+
+    /// The kind's display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            LearnerKind::M5p => "M5P",
+            LearnerKind::LinReg => "LinearRegression",
+            LearnerKind::Gbrt => "GBRT",
+        }
+    }
+}

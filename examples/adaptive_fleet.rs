@@ -61,6 +61,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             policy,
             seed: 5_000 + i as u64,
             shift: Some(WorkloadShift { after_secs: shift_secs, scenario: after.clone() }),
+            class: Default::default(),
         })
         .collect();
     let config = FleetConfig {
@@ -104,6 +105,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             buffer_capacity: 2048,
             min_buffer_to_retrain: 120,
             retrain_every: None,
+            ..Default::default()
         },
     );
     let adaptive_report = Fleet::new(specs, config)?.run_adaptive(&service, &features);

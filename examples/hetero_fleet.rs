@@ -1,0 +1,189 @@
+//! Heterogeneous fleet: per-class adaptive model services under a shift
+//! injected into one class only.
+//!
+//! Two service classes share one fleet: a "leak" class whose workload
+//! shifts to an aggressive leak a quarter into the horizon, and a
+//! "steady" class that never changes. A single global model would let the
+//! shifted class drag the steady class's predictions around; the
+//! [`AdaptiveRouter`] keeps one model service, drift monitor and sliding
+//! buffer per class over a shared retrainer pool, so the shift retrains
+//! the leak class alone — the steady class stays on generation 0 and its
+//! outcomes are identical to a fleet that never contained the other class.
+//!
+//! ```text
+//! cargo run --release --example hetero_fleet [-- --instances 24 \
+//!     --shards 4 --hours 6 --json [PATH]]
+//! ```
+//!
+//! Two thirds of `--instances` form the shifting class, one third the
+//! steady class. `--json` writes both reports (default path
+//! `BENCH_hetero.json`).
+
+use serde::Serialize;
+use software_aging::adapt::{
+    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, RouterConfig, ServiceClass,
+};
+use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
+use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
+use software_aging::ml::{LearnerKind, Regressor};
+use software_aging::monitor::FeatureSet;
+use software_aging::testbed::Scenario;
+use std::sync::Arc;
+use std::time::Duration;
+
+mod common;
+use common::{leaky, parse_args, FleetArgs};
+
+/// Both runs of the comparison, as written by `--json`.
+#[derive(Debug, Serialize)]
+struct HeteroBench {
+    frozen: FleetReport,
+    routed: FleetReport,
+}
+
+fn specs(n_leak: usize, n_steady: usize, horizon_secs: f64) -> Vec<InstanceSpec> {
+    let before = leaky("slow-leak", 100, 75);
+    let after = leaky("fast-leak", 150, 15);
+    let steady = leaky("steady-leak", 100, 30);
+    let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let leak_class = (0..n_leak).map(move |i| InstanceSpec {
+        name: format!("leak-{i:03}"),
+        scenario: before.clone(),
+        policy,
+        seed: 5_000 + i as u64,
+        shift: Some(WorkloadShift { after_secs: horizon_secs * 0.25, scenario: after.clone() }),
+        class: ServiceClass::new("leak"),
+    });
+    let steady_class = (0..n_steady).map(move |i| {
+        InstanceSpec::new(format!("steady-{i:03}"), steady.clone(), policy, 9_000 + i as u64)
+            .with_class("steady")
+    });
+    leak_class.chain(steady_class).collect()
+}
+
+fn class_configs(
+    features: &FeatureSet,
+    drift_enabled: bool,
+) -> Result<Vec<(ServiceClass, ClassSpec)>, Box<dyn std::error::Error>> {
+    // Per-class initial models, each trained for its own regime.
+    let leak_training: Vec<Scenario> =
+        [75u64, 100, 125].into_iter().map(|ebs| leaky(format!("train-{ebs}eb"), ebs, 75)).collect();
+    let leak_model: Arc<dyn Regressor> =
+        Arc::new(AgingPredictor::train(&leak_training, features.clone(), 42)?.model().clone());
+    let steady_model: Arc<dyn Regressor> = Arc::new(
+        AgingPredictor::train(&[leaky("steady-train", 100, 45)], features.clone(), 42)?
+            .model()
+            .clone(),
+    );
+    let drift = |threshold: f64| {
+        if drift_enabled {
+            DriftConfig {
+                error_threshold_secs: threshold,
+                min_observations: 40,
+                cooldown_observations: 120,
+                ..Default::default()
+            }
+        } else {
+            DriftConfig::disabled()
+        }
+    };
+    let adapt = |threshold: f64| AdaptConfig {
+        drift: drift(threshold),
+        buffer_capacity: 2048,
+        min_buffer_to_retrain: 120,
+        retrain_every: None,
+        ..Default::default()
+    };
+    Ok(vec![
+        (
+            ServiceClass::new("leak"),
+            ClassSpec {
+                learner: LearnerKind::M5p.learner(),
+                initial: leak_model,
+                config: adapt(600.0),
+            },
+        ),
+        (
+            ServiceClass::new("steady"),
+            ClassSpec {
+                learner: LearnerKind::M5p.learner(),
+                initial: steady_model,
+                config: adapt(3600.0),
+            },
+        ),
+    ])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None };
+    let args = parse_args(defaults, "BENCH_hetero.json").inspect_err(|_| {
+        eprintln!("usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
+    })?;
+    let n_leak = (args.instances * 2 / 3).max(1);
+    let n_steady = (args.instances - n_leak).max(1);
+    let horizon = args.hours * 3600.0;
+    let features = FeatureSet::exp42();
+    let config = FleetConfig {
+        shards: args.shards,
+        rejuvenation: RejuvenationConfig { horizon_secs: horizon, ..Default::default() },
+        counterfactual_horizon_secs: 3600.0,
+    };
+    println!(
+        "training per-class models … ({n_leak} shifting + {n_steady} steady deployments, \
+         {:.0} h horizon)\n",
+        args.hours
+    );
+
+    // Run 1: per-class frozen baseline (drift disabled — every class rides
+    // out the shift on its generation-0 model).
+    println!("── frozen per-class models ──");
+    let frozen_router =
+        AdaptiveRouter::spawn(class_configs(&features, false)?, features.variables().to_vec(), {
+            RouterConfig { retrainer_threads: 2, ..Default::default() }
+        });
+    let frozen = Fleet::new(specs(n_leak, n_steady, horizon), config)?
+        .run_routed(&frozen_router, &features)?;
+    frozen_router.shutdown();
+    println!("{frozen}\n");
+
+    // Run 2: same fleet and seeds, class-routed adaptation live.
+    println!("── class-routed adaptation ──");
+    let router =
+        AdaptiveRouter::spawn(class_configs(&features, true)?, features.variables().to_vec(), {
+            RouterConfig { retrainer_threads: 2, ..Default::default() }
+        });
+    let mut routed =
+        Fleet::new(specs(n_leak, n_steady, horizon), config)?.run_routed(&router, &features)?;
+    router.quiesce(Duration::from_secs(30));
+    let stats = router.shutdown();
+    // `run_routed` snapshots the stats mid-drain; replace them with the
+    // settled post-quiesce numbers so console and JSON artifact agree.
+    routed.routing = Some(stats.clone());
+    println!("{routed}\n");
+
+    println!("── frozen vs routed, per class ──");
+    for class in ["leak", "steady"] {
+        let frozen_err = frozen.class_mean_ttf_error_secs(class);
+        let routed_err = routed.class_mean_ttf_error_secs(class);
+        let s = stats.class(&ServiceClass::new(class)).expect("registered class");
+        println!(
+            "  {class:<8} TTF error {frozen_err:>7.0} s → {routed_err:>7.0} s  \
+             ({:.1}× lower)   gen {}  retrains {}  drift events {}",
+            frozen_err / routed_err.max(1.0),
+            s.generation,
+            s.retrains,
+            s.drift_events,
+        );
+    }
+    println!(
+        "  bus: {} checkpoints ingested, {} dropped, {} unrouted",
+        stats.ingested_checkpoints, stats.dropped_checkpoints, stats.unrouted_checkpoints
+    );
+
+    if let Some(path) = &args.json {
+        let bench = HeteroBench { frozen, routed };
+        std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;
+        println!("\nwrote {path}");
+    }
+    Ok(())
+}

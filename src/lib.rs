@@ -25,10 +25,13 @@
 //!   ([`ml::Regressor::predict_matrix`] over flat reusable feature
 //!   matrices) and proactively rejuvenated, with fleet-wide availability /
 //!   crashes-avoided / TTF-error / throughput reporting,
-//! - [`adapt`] — the drift-triggered online retraining service: async
-//!   checkpoint ingestion over a channel bus, prediction-error drift
-//!   detection (EWMA ⊕ segmentation trend), sliding-buffer retraining on
-//!   any learner and hot model-generation swap into the running fleet.
+//! - [`adapt`] — the drift-triggered online retraining service: bounded
+//!   checkpoint ingestion (drop-oldest ring with per-source fairness),
+//!   prediction-error drift detection (EWMA ⊕ segmentation trend),
+//!   sliding-buffer retraining on any learner, hot model-generation swap
+//!   into the running fleet, and class-routed adaptation for
+//!   heterogeneous fleets (one model service per `ServiceClass` over a
+//!   shared retrainer pool).
 //!
 //! # Quickstart
 //!

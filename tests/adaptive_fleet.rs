@@ -39,6 +39,7 @@ fn shifting_specs(n: usize, horizon_secs: f64) -> Vec<InstanceSpec> {
             policy,
             seed: 5_000 + i as u64,
             shift: Some(WorkloadShift { after_secs: horizon_secs * 0.25, scenario: after.clone() }),
+            class: Default::default(),
         })
         .collect()
 }
@@ -94,6 +95,7 @@ fn adaptive_fleet_beats_frozen_model_under_workload_shift() {
             buffer_capacity: 2048,
             min_buffer_to_retrain: 120,
             retrain_every: None,
+            ..Default::default()
         },
     );
     let adaptive = Fleet::new(shifting_specs(n_instances, horizon), config)

@@ -1,0 +1,312 @@
+//! End-to-end guarantees of class-routed adaptation (ISSUE 3 acceptance):
+//!
+//! 1. in a heterogeneous two-class fleet with a workload shift injected
+//!    into class A only, the router adapts class A (≥ 5× lower mean TTF
+//!    error than the frozen per-class baseline) while class B's outcomes
+//!    and generation count are **bit-identical** to a fleet that never
+//!    contained class A at all — the shifted class cannot pollute its
+//!    neighbour's model;
+//! 2. a single-class routed run with drift disabled is bit-identical to
+//!    the frozen engine, so the routed path inherits the
+//!    `evaluate_policy` parity chain;
+//! 3. routing is deterministic: same specs and seeds produce identical
+//!    per-class generations and fleet outcomes across different shard
+//!    counts.
+
+use software_aging::adapt::{
+    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, RouterConfig, ServiceClass,
+};
+use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
+use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
+use software_aging::ml::{LearnerKind, Regressor};
+use software_aging::monitor::FeatureSet;
+use software_aging::testbed::{MemLeakSpec, Scenario};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn leaky(name: &str, ebs: u64, n: u32) -> Scenario {
+    Scenario::builder(name)
+        .emulated_browsers(ebs)
+        .memory_leak(MemLeakSpec::new(n))
+        .run_to_crash()
+        .build()
+}
+
+const POLICY: RejuvenationPolicy =
+    RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+
+fn fleet_config(horizon_secs: f64, shards: usize) -> FleetConfig {
+    FleetConfig {
+        shards,
+        rejuvenation: RejuvenationConfig { horizon_secs, ..Default::default() },
+        counterfactual_horizon_secs: 3600.0,
+    }
+}
+
+/// Class A ("leak"): trained on slow leaks, shifted onto a fast leak a
+/// quarter into the horizon — the class that must adapt.
+fn class_a_specs(n: usize, horizon_secs: f64) -> Vec<InstanceSpec> {
+    let before = leaky("slow-leak", 100, 75);
+    let after = leaky("fast-leak", 150, 15);
+    (0..n)
+        .map(|i| InstanceSpec {
+            name: format!("a-{i:03}"),
+            scenario: before.clone(),
+            policy: POLICY,
+            seed: 5_000 + i as u64,
+            shift: Some(WorkloadShift { after_secs: horizon_secs * 0.25, scenario: after.clone() }),
+            class: ServiceClass::new("leak"),
+        })
+        .collect()
+}
+
+/// Class B ("steady"): a different aging signature, no shift — the class
+/// that must stay untouched. Its model is trained on a slightly *slower*
+/// leak than it serves (N = 45 vs N = 30), so a few predictions miss and
+/// real crash epochs keep feeding its buffer and drift monitor — the
+/// isolation guarantee is exercised on a live pipeline, not a dormant one.
+fn class_b_specs(n: usize) -> Vec<InstanceSpec> {
+    let scenario = leaky("steady-leak", 100, 30);
+    (0..n)
+        .map(|i| {
+            InstanceSpec::new(format!("b-{i:03}"), scenario.clone(), POLICY, 9_000 + i as u64)
+                .with_class("steady")
+        })
+        .collect()
+}
+
+fn initial_model_a(features: &FeatureSet) -> Arc<dyn Regressor> {
+    let training = vec![
+        leaky("train-75eb", 75, 75),
+        leaky("train-100eb", 100, 75),
+        leaky("train-125eb", 125, 75),
+    ];
+    let predictor = AgingPredictor::train(&training, features.clone(), 42).unwrap();
+    Arc::new(predictor.model().clone())
+}
+
+fn initial_model_b(features: &FeatureSet) -> Arc<dyn Regressor> {
+    let predictor =
+        AgingPredictor::train(&[leaky("steady-train", 100, 45)], features.clone(), 42).unwrap();
+    Arc::new(predictor.model().clone())
+}
+
+/// Class A's adaptation tuning (mirrors the single-service shift test).
+fn adapt_a(drift_enabled: bool) -> AdaptConfig {
+    AdaptConfig {
+        drift: if drift_enabled {
+            DriftConfig {
+                error_threshold_secs: 600.0,
+                min_observations: 40,
+                cooldown_observations: 120,
+                ..Default::default()
+            }
+        } else {
+            DriftConfig::disabled()
+        },
+        buffer_capacity: 2048,
+        min_buffer_to_retrain: 120,
+        retrain_every: None,
+        ..Default::default()
+    }
+}
+
+/// Class B's tuning: drift detection *live* but thresholds sized for its
+/// stationary regime, so only a genuine regime change would fire. The
+/// isolation guarantee below relies on routing, not on disabling B.
+fn adapt_b(drift_enabled: bool) -> AdaptConfig {
+    AdaptConfig {
+        drift: if drift_enabled {
+            DriftConfig {
+                error_threshold_secs: 3600.0,
+                min_observations: 40,
+                trend_slope_threshold: 50.0,
+                cooldown_observations: 120,
+                ..Default::default()
+            }
+        } else {
+            DriftConfig::disabled()
+        },
+        buffer_capacity: 2048,
+        min_buffer_to_retrain: 120,
+        retrain_every: None,
+        ..Default::default()
+    }
+}
+
+fn spawn_router(features: &FeatureSet, drift_enabled: bool) -> AdaptiveRouter {
+    AdaptiveRouter::spawn(
+        vec![
+            (
+                ServiceClass::new("leak"),
+                ClassSpec {
+                    learner: LearnerKind::M5p.learner(),
+                    initial: initial_model_a(features),
+                    config: adapt_a(drift_enabled),
+                },
+            ),
+            (
+                ServiceClass::new("steady"),
+                ClassSpec {
+                    learner: LearnerKind::M5p.learner(),
+                    initial: initial_model_b(features),
+                    config: adapt_b(drift_enabled),
+                },
+            ),
+        ],
+        features.variables().to_vec(),
+        RouterConfig { retrainer_threads: 2, ..Default::default() },
+    )
+}
+
+fn assert_bit_identical(a: &FleetReport, b: &FleetReport, what: &str) {
+    assert_eq!(a, b, "{what}: outcome mismatch");
+    for (x, y) in a.instances.iter().zip(&b.instances) {
+        assert_eq!(x.name, y.name, "{what}");
+        assert_eq!(x.downtime_secs.to_bits(), y.downtime_secs.to_bits(), "{what}: {}", x.name);
+        assert_eq!(
+            x.ttf_error_sum_secs.to_bits(),
+            y.ttf_error_sum_secs.to_bits(),
+            "{what}: {}",
+            x.name
+        );
+        assert_eq!(x.lost_requests.to_bits(), y.lost_requests.to_bits(), "{what}: {}", x.name);
+    }
+}
+
+#[test]
+fn shifted_class_adapts_while_the_steady_class_is_untouched() {
+    let features = FeatureSet::exp42();
+    let horizon = 6.0 * 3600.0;
+    let config = fleet_config(horizon, 4);
+    let specs: Vec<InstanceSpec> =
+        class_a_specs(20, horizon).into_iter().chain(class_b_specs(8)).collect();
+
+    // Frozen per-class baseline: the same router topology with drift
+    // disabled, so each class serves its generation-0 model throughout.
+    let frozen_router = spawn_router(&features, false);
+    let frozen =
+        Fleet::new(specs.clone(), config).unwrap().run_routed(&frozen_router, &features).unwrap();
+    frozen_router.shutdown();
+    let frozen_a = frozen.class_mean_ttf_error_secs("leak");
+    assert!(frozen_a > 0.0, "the shifted class must produce labelled errors: {frozen}");
+
+    // Adaptive run: same specs and seeds, class-routed retraining live.
+    let router = spawn_router(&features, true);
+    let adaptive = Fleet::new(specs, config).unwrap().run_routed(&router, &features).unwrap();
+    assert!(router.quiesce(Duration::from_secs(60)), "router must settle");
+    let stats = router.shutdown();
+
+    // Class A registered the shift and retrained.
+    let sa = stats.class(&ServiceClass::new("leak")).unwrap();
+    assert!(sa.drift_events >= 1, "class A must drift: {sa:?}");
+    assert!(sa.retrains >= 1, "class A must retrain: {sa:?}");
+    assert!(sa.generations_published >= 1);
+
+    // The acceptance bound: class A's mean TTF error improves ≥ 5× over
+    // the frozen per-class baseline.
+    let adaptive_a = adaptive.class_mean_ttf_error_secs("leak");
+    assert!(
+        adaptive_a * 5.0 <= frozen_a,
+        "class A must improve ≥ 5×: frozen {frozen_a:.0}s vs adaptive {adaptive_a:.0}s ({stats:?})"
+    );
+
+    // Class B never left generation 0 — its live drift monitor saw a
+    // stationary error stream.
+    let sb = stats.class(&ServiceClass::new("steady")).unwrap();
+    assert_eq!(sb.generations_published, 0, "class B must stay frozen: {sb:?}");
+    assert_eq!(sb.drift_events, 0, "class B must not drift: {sb:?}");
+    assert!(sb.ingested_checkpoints > 0, "class B's crash epochs still flow to its buffer");
+    assert_eq!(stats.unrouted_checkpoints, 0);
+
+    // Isolation, bit-exact: class B's instances came out of the shared
+    // heterogeneous run *identical* to a run where class A never existed.
+    let b_router = spawn_router(&features, true);
+    let b_only =
+        Fleet::new(class_b_specs(8), config).unwrap().run_routed(&b_router, &features).unwrap();
+    assert!(b_router.quiesce(Duration::from_secs(60)));
+    let b_stats = b_router.shutdown();
+    let sb_solo = b_stats.class(&ServiceClass::new("steady")).unwrap();
+    assert_eq!(
+        sb.generations_published, sb_solo.generations_published,
+        "class B's generation count must match its no-shift run"
+    );
+    assert_eq!(sb.ingested_checkpoints, sb_solo.ingested_checkpoints);
+    let b_from_hetero: Vec<_> =
+        adaptive.instances.iter().filter(|i| i.class == "steady").cloned().collect();
+    assert_eq!(b_from_hetero.len(), 8);
+    for (x, y) in b_from_hetero.iter().zip(&b_only.instances) {
+        assert_eq!(x, y, "class B instance {} must be untouched by class A's shift", x.name);
+        assert_eq!(x.ttf_error_sum_secs.to_bits(), y.ttf_error_sum_secs.to_bits(), "{}", x.name);
+    }
+}
+
+#[test]
+fn single_class_routed_run_is_bit_identical_to_the_frozen_engine() {
+    let features = FeatureSet::exp42();
+    let scenario = leaky("leaky", 100, 15);
+    let predictor =
+        AgingPredictor::train(std::slice::from_ref(&scenario), features.clone(), 77).unwrap();
+    let config = fleet_config(3.0 * 3600.0, 4);
+    let specs: Vec<InstanceSpec> = (0..6)
+        .map(|i| InstanceSpec::new(format!("svc-{i}"), scenario.clone(), POLICY, 900 + i as u64))
+        .collect();
+
+    let frozen = Fleet::new(specs.clone(), config).unwrap().run_with_predictor(&predictor);
+
+    let router = AdaptiveRouter::spawn(
+        vec![(
+            ServiceClass::default(),
+            ClassSpec {
+                learner: LearnerKind::M5p.learner(),
+                initial: Arc::new(predictor.model().clone()),
+                config: AdaptConfig { drift: DriftConfig::disabled(), ..Default::default() },
+            },
+        )],
+        features.variables().to_vec(),
+        RouterConfig::default(),
+    );
+    let routed = Fleet::new(specs, config).unwrap().run_routed(&router, &features).unwrap();
+    let stats = router.shutdown();
+
+    assert_eq!(stats.generations_published, 0);
+    assert_bit_identical(&frozen, &routed, "single-class routed vs frozen");
+    let routing = routed.routing.expect("routed runs carry per-class stats");
+    assert_eq!(routing.classes.len(), 1);
+    assert_eq!(routing.dropped_checkpoints, 0, "the bounded bus must keep up here");
+}
+
+#[test]
+fn routing_is_deterministic_across_shard_counts() {
+    let features = FeatureSet::exp42();
+    let horizon = 2.0 * 3600.0;
+    let build_specs = || -> Vec<InstanceSpec> {
+        class_a_specs(6, horizon).into_iter().chain(class_b_specs(4)).collect()
+    };
+
+    let run = |shards: usize| -> (FleetReport, Vec<(ServiceClass, u64, u64)>) {
+        let router = spawn_router(&features, false);
+        let report = Fleet::new(build_specs(), fleet_config(horizon, shards))
+            .unwrap()
+            .run_routed(&router, &features)
+            .unwrap();
+        assert!(router.quiesce(Duration::from_secs(60)));
+        let stats = router.shutdown();
+        assert_eq!(stats.dropped_checkpoints, 0);
+        let per_class = stats
+            .classes
+            .iter()
+            .map(|c| (c.class.clone(), c.stats.generations_published, c.stats.ingested_checkpoints))
+            .collect();
+        (report, per_class)
+    };
+
+    let (one, classes_one) = run(1);
+    let (five, classes_five) = run(5);
+    assert_eq!(one.instances, five.instances, "sharding must not change routed outcomes");
+    assert_eq!(one.epochs, five.epochs);
+    assert_eq!(
+        classes_one, classes_five,
+        "per-class generations and ingestion must be shard-independent"
+    );
+}
