@@ -38,6 +38,12 @@ use std::time::{Duration, Instant};
 /// Default ring capacity (batches) for [`CheckpointBus::channel`].
 pub const DEFAULT_BUS_CAPACITY: usize = 1024;
 
+/// Most distinct [`ServiceClass`] tags the per-class shed attribution
+/// tracks — the memory bound for the attribution map under a producer
+/// that invents class names (sheds of classes beyond the cap still count
+/// in the fleet-wide totals).
+pub const DROP_ATTRIBUTION_CLASS_CAP: usize = 1024;
+
 /// Identifies which adaptation domain a checkpoint batch (and, fleet-side,
 /// an instance) belongs to.
 ///
@@ -104,9 +110,54 @@ pub struct LabelledCheckpoint {
     /// made — the drift monitor turns `|predicted − ttf|` into its error
     /// signal.
     pub predicted_ttf_secs: Option<f64>,
+    /// The model generation that produced `predicted_ttf_secs`, when the
+    /// producer knows it (the fleet tags every prediction with its pinned
+    /// snapshot's generation). Retrospective labelling means a batch can
+    /// mix generations — an epoch that straddles a model swap carries
+    /// both — and self-tuning threshold policies use this tag to derive
+    /// thresholds only from errors attributable to the *current*
+    /// generation. `None` (external producers) is treated as current.
+    pub predicted_generation: Option<u64>,
+    /// Monitor-only observations feed the drift monitor and threshold
+    /// policies but never the training buffer. The fleet labels
+    /// proactive-restart epochs against their counterfactual fork this
+    /// way: the error signal is real, but the fork's horizon-capped TTF
+    /// would bias the regression if it were trained on — and without
+    /// these observations a well-adapted class (whose crashes have become
+    /// rare) would starve its own drift detection and self-tuning.
+    pub monitor_only: bool,
 }
 
 impl LabelledCheckpoint {
+    /// A trainable checkpoint with no generation attribution (external
+    /// producers; fleet-side batches tag generations explicitly).
+    pub fn new(features: Vec<f64>, ttf_secs: f64, predicted_ttf_secs: Option<f64>) -> Self {
+        LabelledCheckpoint {
+            features,
+            ttf_secs,
+            predicted_ttf_secs,
+            predicted_generation: None,
+            monitor_only: false,
+        }
+    }
+
+    /// A monitor-only error observation (no feature row, never trained
+    /// on): `predicted` against `actual`, attributed to the generation
+    /// that predicted.
+    pub fn monitor_observation(
+        actual_ttf_secs: f64,
+        predicted_ttf_secs: f64,
+        predicted_generation: Option<u64>,
+    ) -> Self {
+        LabelledCheckpoint {
+            features: Vec::new(),
+            ttf_secs: actual_ttf_secs,
+            predicted_ttf_secs: Some(predicted_ttf_secs),
+            predicted_generation,
+            monitor_only: true,
+        }
+    }
+
     /// Absolute prediction error in seconds, if a prediction was made.
     pub fn abs_error_secs(&self) -> Option<f64> {
         self.predicted_ttf_secs.map(|p| (p - self.ttf_secs).abs())
@@ -136,6 +187,10 @@ struct BusState {
     queued_checkpoints: u64,
     /// Batches queued per source — the fairness accounting.
     per_source: HashMap<String, usize>,
+    /// Checkpoints shed so far, attributed to the [`ServiceClass`] of the
+    /// batch they rode in on (the shed happens *before* routing, so this
+    /// is the only place the class tag of a dropped batch survives).
+    dropped_per_class: HashMap<ServiceClass, u64>,
     consumer_alive: bool,
 }
 
@@ -199,6 +254,7 @@ impl CheckpointBus {
                 queue: VecDeque::new(),
                 queued_checkpoints: 0,
                 per_source: HashMap::new(),
+                dropped_per_class: HashMap::new(),
                 consumer_alive: true,
             }),
             available: Condvar::new(),
@@ -252,6 +308,18 @@ impl CheckpointBus {
             state.per_source.remove(&batch.source);
         }
         state.queued_checkpoints -= batch.checkpoints.len() as u64;
+        // The attribution map is keyed by producer-supplied class tags, so
+        // it must stay bounded like everything else on this bus: beyond
+        // the cap, sheds of *new* classes are counted only in the
+        // fleet-wide total (classes already tracked keep attributing).
+        // Real fleets register a handful of classes; only a misbehaving
+        // producer inventing class names per batch ever hits this.
+        if state.dropped_per_class.contains_key(&batch.class)
+            || state.dropped_per_class.len() < DROP_ATTRIBUTION_CLASS_CAP
+        {
+            *state.dropped_per_class.entry(batch.class).or_insert(0) +=
+                batch.checkpoints.len() as u64;
+        }
         self.shared.dropped_batches.fetch_add(1, Ordering::Relaxed);
         self.shared
             .dropped_checkpoints
@@ -269,6 +337,34 @@ impl CheckpointBus {
     /// Checkpoints shed by the bounded ring's drop policy so far.
     pub fn dropped_checkpoints(&self) -> u64 {
         self.shared.dropped_checkpoints.load(Ordering::Relaxed)
+    }
+
+    /// Checkpoints shed so far that were tagged with `class` — the
+    /// per-class attribution behind `RouterStats`' per-class
+    /// `dropped_checkpoints`. Sums (over every class that ever published)
+    /// to [`CheckpointBus::dropped_checkpoints`].
+    pub fn dropped_checkpoints_for(&self, class: &ServiceClass) -> u64 {
+        self.shared
+            .state
+            .lock()
+            .expect("bus state poisoned")
+            .dropped_per_class
+            .get(class)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of the per-class shed attribution (classes in unspecified
+    /// order; only classes with at least one dropped checkpoint appear).
+    pub fn dropped_checkpoints_by_class(&self) -> Vec<(ServiceClass, u64)> {
+        self.shared
+            .state
+            .lock()
+            .expect("bus state poisoned")
+            .dropped_per_class
+            .iter()
+            .map(|(class, &n)| (class.clone(), n))
+            .collect()
     }
 
     /// Batches shed by the bounded ring's drop policy so far.
@@ -385,7 +481,7 @@ mod tests {
     use super::*;
 
     fn cp(ttf: f64, pred: Option<f64>) -> LabelledCheckpoint {
-        LabelledCheckpoint { features: vec![1.0, 2.0], ttf_secs: ttf, predicted_ttf_secs: pred }
+        LabelledCheckpoint::new(vec![1.0, 2.0], ttf, pred)
     }
 
     fn batch(source: &str, checkpoints: Vec<LabelledCheckpoint>) -> CheckpointBatch {
@@ -486,6 +582,32 @@ mod tests {
     #[should_panic(expected = "capacity")]
     fn zero_capacity_rejected() {
         let _ = CheckpointBus::bounded(0);
+    }
+
+    #[test]
+    fn sheds_are_attributed_to_the_dropped_batch_class() {
+        let (bus, _stalled_rx) = CheckpointBus::bounded(2);
+        let classed = |class: &str, source: &str, n: usize| CheckpointBatch {
+            source: source.into(),
+            class: ServiceClass::new(class),
+            checkpoints: vec![cp(1.0, None); n],
+        };
+        // One "web" batch, then a "db" flood from one heavy source: every
+        // shed comes out of the heavy source, i.e. the "db" class.
+        bus.publish(classed("web", "quiet", 3));
+        for _ in 0..6 {
+            bus.publish(classed("db", "noisy", 2));
+        }
+        assert_eq!(bus.dropped_checkpoints_for(&ServiceClass::new("db")), 10);
+        assert_eq!(bus.dropped_checkpoints_for(&ServiceClass::new("web")), 0);
+        assert_eq!(bus.dropped_checkpoints_for(&ServiceClass::new("never-seen")), 0);
+        let by_class = bus.dropped_checkpoints_by_class();
+        assert_eq!(by_class, vec![(ServiceClass::new("db"), 10)]);
+        assert_eq!(
+            by_class.iter().map(|(_, n)| n).sum::<u64>(),
+            bus.dropped_checkpoints(),
+            "per-class attribution must sum to the fleet-wide total"
+        );
     }
 
     #[test]

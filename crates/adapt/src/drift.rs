@@ -196,6 +196,38 @@ impl DriftMonitor {
         self.ewma
     }
 
+    /// The error level (seconds) currently in force for the level test.
+    pub fn error_threshold_secs(&self) -> f64 {
+        self.config.error_threshold_secs
+    }
+
+    /// Moves the error-level threshold — the hook self-tuning
+    /// [`crate::ThresholdPolicy`] implementations use to re-derive the
+    /// level from observed error quantiles on every publish. Takes effect
+    /// from the next observation; EWMA, trend window and cooldown state
+    /// are untouched.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `secs` is non-finite or non-positive (the
+    /// [`crate::AdaptationPipeline`] sanitises policy output before
+    /// calling this).
+    pub fn set_error_threshold_secs(&mut self, secs: f64) {
+        assert!(secs.is_finite() && secs > 0.0, "error threshold must be finite and positive");
+        self.config.error_threshold_secs = secs;
+    }
+
+    /// The monitor's rolling window of finite absolute errors (oldest
+    /// first; at most [`DriftConfig::trend_window`] entries) — the series
+    /// the *trend test* diagnoses, exposed for observability. Note this
+    /// is **not** the window threshold policies derive from: the
+    /// [`crate::AdaptationPipeline`] hands policies its own
+    /// generation-filtered post-publish window, precisely so stale
+    /// stragglers in this rolling window cannot contaminate a derivation.
+    pub fn recent_errors(&self) -> Vec<f64> {
+        self.recent.iter().copied().collect()
+    }
+
     /// Total observations consumed.
     pub fn observations(&self) -> u64 {
         self.observations
@@ -374,6 +406,47 @@ mod tests {
             assert_eq!(m.observe(5000.0), None, "observation {i} must be gated");
         }
         assert!(m.observe(5000.0).is_some(), "gate lifts at min_observations");
+    }
+
+    #[test]
+    fn moving_the_level_threshold_takes_effect_immediately() {
+        let mut m = DriftMonitor::new(quick_config());
+        for _ in 0..50 {
+            assert_eq!(m.observe(300.0), None, "300 s sits under the 500 s level");
+        }
+        assert_eq!(m.error_threshold_secs(), 500.0);
+        // A self-tuning policy lowers the bar below the current EWMA: the
+        // very next observation must fire the level test.
+        m.set_error_threshold_secs(200.0);
+        assert!(matches!(m.observe(300.0), Some(DriftEvent::ErrorLevel { .. })));
+        // And raising it re-quiets the monitor (cooldown aside).
+        m.set_error_threshold_secs(5_000.0);
+        for _ in 0..100 {
+            m.observe(300.0);
+        }
+        assert_eq!(m.events(), 1, "only the lowered-bar event may have fired");
+    }
+
+    #[test]
+    fn recent_errors_exposes_the_finite_window_oldest_first() {
+        let mut m = DriftMonitor::new(quick_config());
+        m.observe(1.0);
+        m.observe(f64::NAN);
+        m.observe(2.0);
+        m.observe(f64::INFINITY);
+        m.observe(3.0);
+        assert_eq!(m.recent_errors(), vec![1.0, 2.0, 3.0]);
+        for i in 0..100 {
+            m.observe(i as f64);
+        }
+        assert_eq!(m.recent_errors().len(), quick_config().trend_window);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn non_finite_threshold_update_rejected() {
+        let mut m = DriftMonitor::new(quick_config());
+        m.set_error_threshold_secs(f64::NAN);
     }
 
     #[test]

@@ -11,45 +11,58 @@
 //!  monitor streams / fleet shards
 //!        │  CheckpointBatch (labelled, retrospective, class-tagged)
 //!        ▼
-//!  [CheckpointBus]  — bounded ring, drop-oldest, per-source fair
-//!        │
+//!  [CheckpointBus]  — bounded ring, drop-oldest, per-source fair,
+//!        │            sheds attributed per class
 //!        ▼
-//!  retrainer thread ──► DriftMonitor (error EWMA ⊕ segment::diagnose)
-//!        │                    │ drift event
-//!        │                    ▼
-//!        └──► OnlineRegressor sliding buffer ──► learner.fit_dyn()
-//!                                                     │ new model
-//!                                                     ▼
+//!  [AdaptationPipeline]  — ONE state machine for every retrainer:
+//!        │   DriftMonitor (error EWMA ⊕ segment::diagnose) → sticky
+//!        │   trigger → buffer gate → RetrainAction → ThresholdPolicy
+//!        │                                                │ new model
+//!        ▼                                                ▼
 //!  [ModelService] — Arc<dyn Regressor> + generation counter
-//!        ▲ snapshot()/generation()           hot swap, wait-free readers
-//!        │
+//!        ▲ snapshot()/generation()/rejuvenation_threshold_secs()
+//!        │                                  hot swap, wait-free readers
 //!  prediction consumers (fleet shards pin one snapshot per epoch)
 //! ```
 //!
 //! - [`CheckpointBus`] decouples checkpoint arrival from epoch processing:
 //!   producers publish [`CheckpointBatch`]es and move on. The ring is
 //!   *bounded*: a stalled retrainer sheds the heaviest source's oldest
-//!   batches (counted, never silent) instead of growing without bound.
-//! - [`DriftMonitor`] fuses an absolute error-level test (EWMA of the TTF
-//!   prediction error) with the error-*trend* test built on
-//!   [`aging_ml::segment::diagnose`].
+//!   batches (counted — fleet-wide and per [`ServiceClass`] — never
+//!   silent) instead of growing without bound.
+//! - [`AdaptationPipeline`] is the paper's observe → detect → retrain →
+//!   republish loop as one reusable state machine, parameterised over
+//!   exactly the retrain *action* ([`RetrainAction`]): the
+//!   [`DriftMonitor`] fuses an absolute error-level test with the
+//!   error-*trend* test built on [`aging_ml::segment::diagnose`]; a drift
+//!   event (or periodic schedule) sets a sticky trigger that releases
+//!   once the sliding buffer passes the retrain gate.
+//! - [`ThresholdPolicy`] makes the operating thresholds self-tuning:
+//!   [`FixedThresholds`] reproduces the configured constants bit for bit,
+//!   [`QuantileAdaptive`] re-derives the drift level *and* the predictive
+//!   rejuvenation threshold from each class's observed error quantiles on
+//!   every publish.
 //! - [`ModelService`] owns successive model generations behind
-//!   `Arc<dyn Regressor>`; consumers poll one atomic and re-pin on change.
-//! - [`AdaptiveService`] wires all three to a background retrainer thread
-//!   over any [`aging_ml::DynLearner`] (M5P, linear regression, GBRT, …),
-//!   so retraining never pauses the threads that serve predictions.
-//! - [`AdaptiveRouter`] scales the same design to **heterogeneous
-//!   fleets**: one model service + drift monitor + sliding buffer per
-//!   [`ServiceClass`], fed from the shared bounded bus and refitted on a
-//!   fixed retrainer pool (N classes ≠ N threads) — a memory-leak class
-//!   and a swap-thrash class adapt independently without polluting each
-//!   other's training buffers.
+//!   `Arc<dyn Regressor>` plus the effective rejuvenation threshold;
+//!   consumers poll one atomic and re-pin on change.
+//! - [`AdaptiveService`] runs the pipeline on a background thread with a
+//!   **synchronous in-thread** retrain over any [`aging_ml::DynLearner`]
+//!   (M5P, linear regression, GBRT, …), so retraining never pauses the
+//!   threads that serve predictions.
+//! - [`AdaptiveRouter`] runs one pipeline per [`ServiceClass`] for
+//!   **heterogeneous fleets**, fed from the shared bounded bus with a
+//!   **pooled asynchronous** retrain action (≤ 1 in-flight refit per
+//!   class on a fixed worker pool; N classes ≠ N threads) — a memory-leak
+//!   class and a swap-thrash class adapt independently without polluting
+//!   each other's training buffers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
 mod bus;
 mod drift;
+pub mod pipeline;
+pub mod policy;
 mod router;
 mod service;
 
@@ -58,8 +71,16 @@ pub use bus::{
     DEFAULT_BUS_CAPACITY,
 };
 pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
-pub use router::{AdaptiveRouter, ClassAdaptation, ClassSpec, RouterConfig, RouterStats};
-pub use service::{AdaptConfig, AdaptationStats, AdaptiveService, ModelService, ModelSnapshot};
+pub use pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
+pub use policy::{FixedThresholds, QuantileAdaptive, ThresholdPolicy, Thresholds};
+pub use router::{
+    AdaptiveRouter, AdaptiveRouterBuilder, ClassAdaptation, ClassSpec, ClassSpecBuilder,
+    RouterConfig, RouterConfigBuilder, RouterStats,
+};
+pub use service::{
+    AdaptConfig, AdaptConfigBuilder, AdaptationStats, AdaptiveService, AdaptiveServiceBuilder,
+    ModelService, ModelSnapshot,
+};
 
 #[cfg(test)]
 mod tests {
@@ -91,11 +112,7 @@ mod tests {
             class: ServiceClass::default(),
             checkpoints: xs
                 .into_iter()
-                .map(|(x, y, pred)| LabelledCheckpoint {
-                    features: vec![x],
-                    ttf_secs: y,
-                    predicted_ttf_secs: pred,
-                })
+                .map(|(x, y, pred)| LabelledCheckpoint::new(vec![x], y, pred))
                 .collect(),
         }
     }
@@ -225,7 +242,9 @@ mod tests {
             retrain_every: None,
             bus_capacity: DEFAULT_BUS_CAPACITY,
         };
-        let service = AdaptiveService::spawn(learner, vec!["x".into()], initial_model(), config);
+        let service = AdaptiveService::builder(learner, vec!["x".into()], initial_model())
+            .config(config)
+            .spawn();
         let bus = service.bus();
         // New regime: y = -3x + 600. The initial model (y = 2x) is off by
         // hundreds of seconds, so the EWMA breaches quickly.
@@ -278,12 +297,13 @@ mod tests {
             min_buffer_to_retrain: 10,
             ..Default::default()
         };
-        let service = AdaptiveService::spawn(
+        let service = AdaptiveService::builder(
             Arc::new(LinRegLearner::default()),
             vec!["x".into()],
             initial_model(),
-            config,
-        );
+        )
+        .config(config)
+        .spawn();
         let bus = service.bus();
         for _ in 0..5 {
             bus.publish(batch((0..50).map(|i| (i as f64, 9999.0, Some(0.0)))));
@@ -305,12 +325,13 @@ mod tests {
             retrain_every: Some(40),
             bus_capacity: DEFAULT_BUS_CAPACITY,
         };
-        let service = AdaptiveService::spawn(
+        let service = AdaptiveService::builder(
             Arc::new(LinRegLearner::default()),
             vec!["x".into()],
             initial_model(),
-            config,
-        );
+        )
+        .config(config)
+        .spawn();
         let bus = service.bus();
         for chunk in 0..4 {
             bus.publish(batch((0..40).map(|i| {
@@ -327,12 +348,31 @@ mod tests {
     #[test]
     #[should_panic(expected = "min_buffer_to_retrain")]
     fn min_buffer_above_capacity_rejected() {
-        let _ = AdaptiveService::spawn(
+        let _ = AdaptiveService::builder(
             Arc::new(LinRegLearner::default()),
             vec!["x".into()],
             initial_model(),
-            AdaptConfig { buffer_capacity: 100, min_buffer_to_retrain: 200, ..Default::default() },
-        );
+        )
+        .config(AdaptConfig {
+            buffer_capacity: 100,
+            min_buffer_to_retrain: 200,
+            ..Default::default()
+        })
+        .spawn();
+    }
+
+    /// A degenerate self-tuning policy must be rejected on the caller's
+    /// thread at spawn time — not panic silently inside the retrainer.
+    #[test]
+    #[should_panic(expected = "drift margin")]
+    fn degenerate_policy_rejected_at_spawn() {
+        let _ = AdaptiveService::builder(
+            Arc::new(LinRegLearner::default()),
+            vec!["x".into()],
+            initial_model(),
+        )
+        .policy(Arc::new(QuantileAdaptive { drift_margin: 0.5, ..Default::default() }))
+        .spawn();
     }
 
     #[test]
@@ -358,12 +398,13 @@ mod tests {
             retrain_every: None,
             bus_capacity: DEFAULT_BUS_CAPACITY,
         };
-        let service = AdaptiveService::spawn(
+        let service = AdaptiveService::builder(
             Arc::new(LinRegLearner::default()),
             vec!["x".into()],
             initial_model(),
-            config,
-        );
+        )
+        .config(config)
+        .spawn();
         let bus = service.bus();
         // 10 huge-error checkpoints: drift fires, buffer is only 10 deep.
         bus.publish(batch((0..10).map(|i| (i as f64, 5000.0, Some(0.0)))));
@@ -388,21 +429,17 @@ mod tests {
 
     #[test]
     fn mismatched_arity_checkpoints_are_dropped_not_fatal() {
-        let service = AdaptiveService::spawn(
+        let service = AdaptiveService::builder(
             Arc::new(LinRegLearner::default()),
             vec!["x".into()],
             initial_model(),
-            AdaptConfig::default(),
-        );
+        )
+        .spawn();
         let bus = service.bus();
         bus.publish(CheckpointBatch {
             source: "bad".into(),
             class: ServiceClass::default(),
-            checkpoints: vec![LabelledCheckpoint {
-                features: vec![1.0, 2.0, 3.0],
-                ttf_secs: 10.0,
-                predicted_ttf_secs: None,
-            }],
+            checkpoints: vec![LabelledCheckpoint::new(vec![1.0, 2.0, 3.0], 10.0, None)],
         });
         assert!(service.quiesce(Duration::from_secs(10)));
         let stats = service.shutdown();

@@ -1,0 +1,367 @@
+//! Pluggable self-tuning threshold policies for the adaptation pipeline.
+//!
+//! Two thresholds govern the paper's observe → detect → retrain → act
+//! loop, and both started life as hand-picked constants:
+//!
+//! - the **drift level** ([`crate::DriftConfig::error_threshold_secs`]):
+//!   the smoothed absolute TTF error above which the serving model counts
+//!   as stale and a retrain fires;
+//! - the **rejuvenation trigger** (`RejuvenationPolicy::Predictive`'s
+//!   `threshold_secs`, the paper's 420 s): the predicted TTF below which a
+//!   deployment proactively restarts.
+//!
+//! Hand-picking works for one service; it does not scale to a
+//! heterogeneous fleet where every [`crate::ServiceClass`] has its own
+//! error regime. A [`ThresholdPolicy`] closes the loop instead: **every
+//! model publish arms a derivation** — the
+//! [`crate::AdaptationPipeline`] collects the absolute errors
+//! attributable to the newly published generation (via each checkpoint's
+//! generation tag) and consults the policy until it answers, then applies
+//! the derived thresholds — to the drift monitor immediately, and to the
+//! serving side through
+//! [`crate::ModelService::rejuvenation_threshold_secs`], which the fleet
+//! engine re-reads at every epoch boundary.
+//!
+//! [`FixedThresholds`] reproduces the constant behaviour exactly (it never
+//! moves anything — the bit-identical default). [`QuantileAdaptive`]
+//! re-derives both thresholds from the observed error quantiles, so a
+//! class whose natural error level is 2000 s and a class whose level is
+//! 100 s both get a drift bar just above their own noise floor — no
+//! per-class constants in any spec.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The pair of operating thresholds a policy controls.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Thresholds {
+    /// Drift error-level threshold in force, seconds of smoothed absolute
+    /// TTF error (see [`crate::DriftConfig::error_threshold_secs`]).
+    pub error_threshold_secs: f64,
+    /// Effective predictive-rejuvenation threshold, seconds of predicted
+    /// TTF. `None` leaves each instance's configured policy threshold in
+    /// force; `Some` overrides it fleet-side from the next epoch on.
+    pub rejuvenation_threshold_secs: Option<f64>,
+}
+
+/// Decides the operating thresholds from the observed error stream.
+///
+/// Implementations must be [`Send`]`+`[`Sync`]: one policy instance may be
+/// shared by several classes (each pipeline consults it with its *own*
+/// error window and current thresholds, so a shared instance still tunes
+/// every class independently). Every publish *arms* a derivation: from
+/// then on the pipeline consults the policy after each batch with the
+/// finite errors observed **since that publish** — the new generation's
+/// regime, not the stale errors that triggered the retrain — until the
+/// policy returns an update, which disarms it until the next publish.
+/// Returning `None` on a still-too-small window (see
+/// [`QuantileAdaptive::min_samples`]) is how a policy waits for enough
+/// evidence.
+pub trait ThresholdPolicy: fmt::Debug + Send + Sync {
+    /// Derives new thresholds from the finite absolute TTF errors
+    /// observed since the last publish (`recent_errors`, oldest first;
+    /// possibly empty) and the thresholds currently in force. Return
+    /// `None` to keep `current` (and be consulted again as more errors
+    /// arrive).
+    ///
+    /// Non-finite values returned here are ignored by the pipeline (the
+    /// current thresholds stay in force), so a policy bug can never poison
+    /// the drift monitor.
+    fn on_publish(&self, recent_errors: &[f64], current: &Thresholds) -> Option<Thresholds>;
+
+    /// Whether this policy never derives anything ([`FixedThresholds`]).
+    /// The pipeline skips arming and all fresh-window bookkeeping for
+    /// identity policies — the default configuration must not pay a
+    /// per-checkpoint cost for a feature it does not use.
+    fn is_identity(&self) -> bool {
+        false
+    }
+
+    /// Checks the policy's parameters; called once when a pipeline is
+    /// built (service/router spawn time), so configuration mistakes
+    /// surface before any thread runs.
+    ///
+    /// # Panics
+    ///
+    /// Implementations should panic with a message on degenerate
+    /// parameters (see [`QuantileAdaptive::validate`]); the default
+    /// accepts everything.
+    fn validate(&self) {}
+
+    /// Short human-readable tag for reports and examples.
+    fn name(&self) -> &'static str {
+        "custom"
+    }
+}
+
+/// The identity policy: thresholds never move.
+///
+/// With `FixedThresholds` the pipeline behaves exactly like the
+/// constant-threshold retrainers it replaced — the equivalence suites pin
+/// this down bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FixedThresholds;
+
+impl ThresholdPolicy for FixedThresholds {
+    fn on_publish(&self, _recent_errors: &[f64], _current: &Thresholds) -> Option<Thresholds> {
+        None
+    }
+
+    fn is_identity(&self) -> bool {
+        true
+    }
+
+    fn name(&self) -> &'static str {
+        "fixed"
+    }
+}
+
+/// Self-tuning thresholds derived from observed error quantiles.
+///
+/// After every publish, once the new generation has produced at least
+/// [`QuantileAdaptive::min_samples`] finite errors:
+///
+/// - the **drift level** becomes `drift_margin ×
+///   quantile(errors, drift_quantile)` — the bar sits a margin above the
+///   class's own recent noise floor, so only a genuine regime change (not
+///   the steady-state error level) re-triggers drift;
+/// - the **rejuvenation trigger** becomes `rejuvenation_slack_secs +
+///   quantile(errors, rejuvenation_quantile)` — the sloppier the model
+///   currently is, the earlier the restart fires, compensating prediction
+///   error with safety margin (the paper's fixed 420 s ≈ 300 s slack +
+///   a ~120 s typical error).
+///
+/// Both anchors default to the **median**: right after a model swap the
+/// error stream still carries epoch-spanning stragglers labelled by the
+/// old generation (retrospective labelling mixes pre-swap predictions
+/// into post-swap batches), and the median shrugs off that contamination
+/// where a high quantile would chase it. The margin, not the quantile,
+/// provides the headroom.
+///
+/// Both results are clamped into `[min_threshold_secs,
+/// max_threshold_secs]`, so the thresholds are always finite and positive
+/// whatever the error stream does; non-finite samples are ignored. The
+/// property tests pin down finiteness, clamping, idempotence on constant
+/// streams and monotonicity in the quantile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QuantileAdaptive {
+    /// Quantile of the recent-error window that anchors the drift level
+    /// (in `[0, 1]`).
+    pub drift_quantile: f64,
+    /// Multiplier lifting the drift level above the anchor quantile
+    /// (must be ≥ 1 to keep the bar above the observed noise).
+    pub drift_margin: f64,
+    /// Quantile of the recent-error window that anchors the rejuvenation
+    /// trigger (in `[0, 1]`).
+    pub rejuvenation_quantile: f64,
+    /// Base safety margin (seconds of predicted TTF) added to the
+    /// rejuvenation anchor.
+    pub rejuvenation_slack_secs: f64,
+    /// Below this many finite errors in the window the policy keeps the
+    /// current thresholds (a handful of samples is noise, not a regime).
+    pub min_samples: usize,
+    /// Lower clamp for both derived thresholds, seconds.
+    pub min_threshold_secs: f64,
+    /// Upper clamp for the derived drift level, seconds.
+    pub max_threshold_secs: f64,
+    /// Upper clamp for the derived rejuvenation trigger, seconds. Kept
+    /// much tighter than the drift clamp: the observable error stream is
+    /// *crash-biased* (only mispredicted epochs crash and get labelled),
+    /// so an uncapped `slack + quantile` would schedule restarts absurdly
+    /// early whenever the model is sloppy. The cap bounds how far before
+    /// a predicted crash a restart may fire.
+    pub max_rejuvenation_threshold_secs: f64,
+}
+
+impl Default for QuantileAdaptive {
+    fn default() -> Self {
+        QuantileAdaptive {
+            drift_quantile: 0.5,
+            drift_margin: 4.0,
+            rejuvenation_quantile: 0.5,
+            rejuvenation_slack_secs: 300.0,
+            min_samples: 32,
+            min_threshold_secs: 60.0,
+            max_threshold_secs: 86_400.0,
+            max_rejuvenation_threshold_secs: 900.0,
+        }
+    }
+}
+
+impl QuantileAdaptive {
+    /// Checks the parameters; the pipeline calls this (through
+    /// [`ThresholdPolicy::validate`]) when a service or router spawns, so
+    /// configuration mistakes surface before any thread runs. The policy
+    /// itself never panics mid-run — its arithmetic is clamped and
+    /// NaN-proof, and the pipeline rejects non-finite output anyway.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a message when a parameter is degenerate: quantiles
+    /// outside `[0, 1]`, a sub-unit drift margin, negative slack, or an
+    /// empty/unbounded clamp interval.
+    pub fn validate(&self) {
+        assert!(
+            (0.0..=1.0).contains(&self.drift_quantile)
+                && (0.0..=1.0).contains(&self.rejuvenation_quantile),
+            "quantiles must lie in [0, 1]"
+        );
+        assert!(
+            self.drift_margin.is_finite() && self.drift_margin >= 1.0,
+            "drift margin must be finite and ≥ 1 (a sub-unit margin would pin the drift \
+             level below the observed noise and retrain forever)"
+        );
+        assert!(
+            self.rejuvenation_slack_secs.is_finite() && self.rejuvenation_slack_secs >= 0.0,
+            "rejuvenation slack must be finite and non-negative"
+        );
+        assert!(
+            self.min_threshold_secs > 0.0
+                && self.max_threshold_secs.is_finite()
+                && self.min_threshold_secs <= self.max_threshold_secs,
+            "threshold clamp must satisfy 0 < min ≤ max < ∞"
+        );
+        assert!(
+            self.max_rejuvenation_threshold_secs.is_finite()
+                && self.min_threshold_secs <= self.max_rejuvenation_threshold_secs,
+            "rejuvenation cap must be finite and at least the lower clamp"
+        );
+    }
+
+    /// Nearest-rank quantile over the *finite* entries of `errors`;
+    /// `None` when fewer than `min_samples` finite entries exist.
+    ///
+    /// Monotone in `q` (a higher quantile never yields a smaller value)
+    /// and insensitive to NaN/inf lacing by construction.
+    fn finite_quantile(&self, errors: &[f64], q: f64) -> Option<f64> {
+        let mut finite: Vec<f64> = errors.iter().copied().filter(|e| e.is_finite()).collect();
+        if finite.len() < self.min_samples.max(1) {
+            return None;
+        }
+        finite.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+        let idx = ((finite.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+        Some(finite[idx])
+    }
+
+    fn clamp(&self, secs: f64) -> f64 {
+        secs.clamp(self.min_threshold_secs, self.max_threshold_secs)
+    }
+
+    fn clamp_rejuvenation(&self, secs: f64) -> f64 {
+        secs.clamp(self.min_threshold_secs, self.max_rejuvenation_threshold_secs)
+    }
+}
+
+impl ThresholdPolicy for QuantileAdaptive {
+    fn validate(&self) {
+        QuantileAdaptive::validate(self);
+    }
+
+    fn on_publish(&self, recent_errors: &[f64], current: &Thresholds) -> Option<Thresholds> {
+        let drift_anchor = self.finite_quantile(recent_errors, self.drift_quantile)?;
+        let rejuvenation_anchor = self
+            .finite_quantile(recent_errors, self.rejuvenation_quantile)
+            .expect("same window, lower-or-equal sample requirement");
+        let derived = Thresholds {
+            error_threshold_secs: self.clamp(self.drift_margin * drift_anchor),
+            rejuvenation_threshold_secs: Some(
+                self.clamp_rejuvenation(self.rejuvenation_slack_secs + rejuvenation_anchor),
+            ),
+        };
+        if derived == *current {
+            None
+        } else {
+            Some(derived)
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "quantile-adaptive"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn current() -> Thresholds {
+        Thresholds { error_threshold_secs: 900.0, rejuvenation_threshold_secs: None }
+    }
+
+    #[test]
+    fn fixed_policy_never_moves() {
+        let policy = FixedThresholds;
+        assert_eq!(policy.on_publish(&[1.0, 2.0, 3.0], &current()), None);
+        assert_eq!(policy.on_publish(&[], &current()), None);
+        assert_eq!(policy.name(), "fixed");
+    }
+
+    #[test]
+    fn quantile_policy_waits_for_min_samples() {
+        let policy = QuantileAdaptive { min_samples: 10, ..Default::default() };
+        assert_eq!(policy.on_publish(&[100.0; 9], &current()), None, "9 < min_samples");
+        assert!(policy.on_publish(&[100.0; 10], &current()).is_some());
+    }
+
+    #[test]
+    fn constant_stream_derives_margin_times_level() {
+        let policy = QuantileAdaptive::default();
+        let errors = [120.0; 64];
+        let t = policy.on_publish(&errors, &current()).expect("enough samples");
+        assert_eq!(t.error_threshold_secs, 480.0, "4 × the constant level");
+        assert_eq!(t.rejuvenation_threshold_secs, Some(420.0), "300 s slack + the level");
+        // Idempotent: publishing again from the same stream keeps the
+        // thresholds (reported as "no change").
+        assert_eq!(policy.on_publish(&errors, &t), None);
+    }
+
+    #[test]
+    fn nan_and_inf_samples_are_ignored() {
+        let policy = QuantileAdaptive { min_samples: 4, ..Default::default() };
+        let clean = [80.0, 80.0, 80.0, 80.0];
+        let dirty = [f64::NAN, 80.0, f64::INFINITY, 80.0, 80.0, f64::NEG_INFINITY, 80.0, f64::NAN];
+        let a = policy.on_publish(&clean, &current()).unwrap();
+        let b = policy.on_publish(&dirty, &current()).unwrap();
+        assert_eq!(a, b, "non-finite lacing must not move the derived thresholds");
+        assert!(a.error_threshold_secs.is_finite());
+    }
+
+    #[test]
+    fn all_nan_window_keeps_current() {
+        let policy = QuantileAdaptive { min_samples: 2, ..Default::default() };
+        assert_eq!(policy.on_publish(&[f64::NAN; 32], &current()), None);
+    }
+
+    #[test]
+    fn clamps_apply_to_both_thresholds() {
+        let policy = QuantileAdaptive {
+            min_threshold_secs: 200.0,
+            max_threshold_secs: 5_000.0,
+            max_rejuvenation_threshold_secs: 500.0,
+            min_samples: 1,
+            ..Default::default()
+        };
+        let low = policy.on_publish(&[1.0; 8], &current()).unwrap();
+        assert_eq!(low.error_threshold_secs, 200.0);
+        assert_eq!(low.rejuvenation_threshold_secs, Some(301.0), "300 s slack + 1 s anchor");
+        let high = policy.on_publish(&[1e9; 8], &current()).unwrap();
+        assert_eq!(high.error_threshold_secs, 5_000.0, "drift level hits its own cap");
+        assert_eq!(
+            high.rejuvenation_threshold_secs,
+            Some(500.0),
+            "the rejuvenation trigger has a tighter cap than the drift level"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "quantiles")]
+    fn degenerate_quantile_rejected() {
+        QuantileAdaptive { drift_quantile: 1.5, ..Default::default() }.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "drift margin")]
+    fn sub_unit_margin_rejected() {
+        QuantileAdaptive { drift_margin: 0.5, ..Default::default() }.validate();
+    }
+}

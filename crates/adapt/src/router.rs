@@ -10,11 +10,11 @@
 //!  shards / monitor streams          (CheckpointBatch tagged with class)
 //!        │
 //!        ▼
-//!  [CheckpointBus] — bounded ring, drop-oldest, per-source fair
-//!        │
+//!  [CheckpointBus] — bounded ring, drop-oldest, per-source fair,
+//!        │            sheds attributed to the dropped batch's class
 //!        ▼
-//!  ingest thread ── routes by ServiceClass ──┬─► class A: DriftMonitor + buffer
-//!        │                                   ├─► class B: DriftMonitor + buffer
+//!  ingest thread ── routes by ServiceClass ──┬─► class A: AdaptationPipeline
+//!        │                                   ├─► class B: AdaptationPipeline
 //!        │ refit jobs (class, buffer snapshot)└─► …
 //!        ▼
 //!  shared retrainer pool (fixed worker threads — N classes ≠ N threads)
@@ -23,15 +23,20 @@
 //!  per-class [ModelService] — consumers pin per-class snapshots per epoch
 //! ```
 //!
-//! The ingest thread owns every per-class drift monitor and sliding
-//! buffer, so routing needs no locks; only the *fitting* — the expensive
-//! part — fans out to the worker pool. One refit job per class can be in
-//! flight at a time: a slow learner never piles up stale jobs, it just
-//! leaves the class's sticky retrain trigger pending.
+//! Every class runs the **same** [`AdaptationPipeline`] state machine as
+//! the single-service retrainer — drift-observe, sticky trigger, buffer
+//! gate, threshold policy — parameterised with the pooled
+//! [`RetrainAction`](crate::RetrainAction): the trigger snapshots the
+//! class's sliding buffer into a [`RefitJob`] for the shared worker pool,
+//! with at most one job per class in flight. A slow learner never piles up
+//! stale jobs; it just leaves the class's sticky trigger pending. The
+//! ingest thread owns every per-class pipeline, so routing needs no locks;
+//! only the *fitting* — the expensive part — fans out to the pool.
 
 use crate::bus::{BusReceiver, CheckpointBatch, CheckpointBus, ServiceClass};
+use crate::pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
+use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use crate::service::{AdaptConfig, AdaptationStats, ModelService};
-use crate::DriftMonitor;
 use aging_dataset::Dataset;
 use aging_ml::{DynLearner, Regressor};
 use serde::{Deserialize, Serialize};
@@ -43,8 +48,12 @@ use std::thread::JoinHandle;
 use std::time::Duration;
 
 /// Everything one service class needs from the router: how to train, what
-/// to serve first, and how to decide the model has drifted.
+/// to serve first, how to decide the model has drifted, and how its
+/// thresholds self-tune. Build with [`ClassSpec::builder`]; the struct is
+/// `#[non_exhaustive]` (read fields freely, construct through the
+/// builder).
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct ClassSpec {
     /// Training algorithm for this class's refits (learners are stateless;
     /// classes may share one `Arc`).
@@ -54,10 +63,59 @@ pub struct ClassSpec {
     /// Per-class adaptation tuning. `bus_capacity` is ignored here — the
     /// ring is shared and sized by [`RouterConfig::bus_capacity`].
     pub config: AdaptConfig,
+    /// Threshold policy for this class (defaults to [`FixedThresholds`]).
+    /// Classes may share one `Arc` — each class's pipeline consults it
+    /// with its own error window, so a shared policy still tunes every
+    /// class independently.
+    pub policy: Arc<dyn ThresholdPolicy>,
 }
 
-/// Router-wide tuning.
+impl ClassSpec {
+    /// Starts building a spec from its two mandatory parts; config
+    /// defaults to [`AdaptConfig::default`], policy to
+    /// [`FixedThresholds`].
+    pub fn builder(learner: Arc<dyn DynLearner>, initial: Arc<dyn Regressor>) -> ClassSpecBuilder {
+        ClassSpecBuilder {
+            spec: ClassSpec {
+                learner,
+                initial,
+                config: AdaptConfig::default(),
+                policy: Arc::new(FixedThresholds),
+            },
+        }
+    }
+}
+
+/// Builder for [`ClassSpec`].
+#[derive(Debug, Clone)]
+pub struct ClassSpecBuilder {
+    spec: ClassSpec,
+}
+
+impl ClassSpecBuilder {
+    /// Sets the per-class adaptation tuning.
+    pub fn config(mut self, config: AdaptConfig) -> Self {
+        self.spec.config = config;
+        self
+    }
+
+    /// Sets the self-tuning threshold policy.
+    pub fn policy(mut self, policy: Arc<dyn ThresholdPolicy>) -> Self {
+        self.spec.policy = policy;
+        self
+    }
+
+    /// Finishes the spec.
+    pub fn build(self) -> ClassSpec {
+        self.spec
+    }
+}
+
+/// Router-wide tuning. Build with [`RouterConfig::builder`]; the struct is
+/// `#[non_exhaustive]` (read fields freely, construct through the
+/// builder).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct RouterConfig {
     /// Fixed size of the shared retrainer pool. Refit jobs from every
     /// class queue onto these workers, so a fleet with 50 classes still
@@ -70,6 +128,44 @@ pub struct RouterConfig {
 impl Default for RouterConfig {
     fn default() -> Self {
         RouterConfig { retrainer_threads: 2, bus_capacity: crate::DEFAULT_BUS_CAPACITY }
+    }
+}
+
+impl RouterConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> RouterConfigBuilder {
+        RouterConfigBuilder { config: RouterConfig::default() }
+    }
+}
+
+/// Builder for [`RouterConfig`].
+#[derive(Debug, Clone)]
+pub struct RouterConfigBuilder {
+    config: RouterConfig,
+}
+
+impl RouterConfigBuilder {
+    /// Sets the shared retrainer pool size.
+    pub fn retrainer_threads(mut self, threads: usize) -> Self {
+        self.config.retrainer_threads = threads;
+        self
+    }
+
+    /// Sets the shared bounded ring capacity, in batches.
+    pub fn bus_capacity(mut self, capacity: usize) -> Self {
+        self.config.bus_capacity = capacity;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero-sized pool or ring.
+    pub fn build(self) -> RouterConfig {
+        assert!(self.config.retrainer_threads > 0, "retrainer pool must have at least one thread");
+        assert!(self.config.bus_capacity > 0, "bus capacity must be positive");
+        self.config
     }
 }
 
@@ -86,12 +182,15 @@ pub struct ClassAdaptation {
 /// aggregate. Safe to snapshot at any time while the router runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouterStats {
-    /// Per-class counters, in registration order.
+    /// Per-class counters, in registration order. Each class's
+    /// `dropped_checkpoints` attributes the bounded ring's sheds to the
+    /// class of the dropped batch.
     pub classes: Vec<ClassAdaptation>,
     /// Labelled checkpoints ingested across all classes.
     pub ingested_checkpoints: u64,
-    /// Checkpoints shed by the bounded ring (bus-level, before routing —
-    /// not attributable to a class).
+    /// Checkpoints shed by the bounded ring across *all* classes —
+    /// including batches naming classes no service is registered for, so
+    /// this can exceed the per-class sum.
     pub dropped_checkpoints: u64,
     /// Checkpoints whose batch named a class no service is registered for;
     /// counted and discarded.
@@ -114,12 +213,7 @@ struct ClassShared {
     class: ServiceClass,
     service: Arc<ModelService>,
     learner: Arc<dyn DynLearner>,
-    ingested: AtomicU64,
-    drift_events: AtomicU64,
-    retrains: AtomicU64,
-    failed_retrains: AtomicU64,
-    buffered: AtomicU64,
-    error_ewma_bits: AtomicU64,
+    counters: Arc<PipelineCounters>,
     /// At most one refit job per class in flight on the pool.
     inflight: AtomicBool,
 }
@@ -141,24 +235,86 @@ struct RefitJob {
     dataset: Dataset,
 }
 
-/// Ingest-thread-local per-class adaptation state (no locks: one thread
-/// owns all of it).
-struct ClassState {
-    config: AdaptConfig,
-    monitor: DriftMonitor,
+/// The pooled [`RetrainAction`](crate::RetrainAction): a plain sliding
+/// buffer on the ingest thread; the retrain snapshots it into a
+/// [`RefitJob`] for the shared worker pool, gated on the class's
+/// one-in-flight flag. The publish (and the retrain counters) happen on
+/// the worker when the fit completes.
+struct PooledRetrain {
+    class_idx: usize,
+    capacity: usize,
+    arity: usize,
     buffer: VecDeque<(Vec<f64>, f64)>,
-    retrain_due: bool,
-    since_scheduled: usize,
+    feature_names: Arc<Vec<String>>,
+    shared: Arc<RouterShared>,
+    job_tx: Sender<RefitJob>,
+}
+
+impl std::fmt::Debug for PooledRetrain {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PooledRetrain")
+            .field("class_idx", &self.class_idx)
+            .field("buffered", &self.buffer.len())
+            .finish_non_exhaustive()
+    }
+}
+
+impl RetrainAction for PooledRetrain {
+    fn buffer(&mut self, features: Vec<f64>, ttf_secs: f64) -> Option<usize> {
+        if features.len() != self.arity {
+            return None;
+        }
+        if self.buffer.len() == self.capacity {
+            self.buffer.pop_front();
+        }
+        self.buffer.push_back((features, ttf_secs));
+        Some(self.buffer.len())
+    }
+
+    fn buffered(&self) -> usize {
+        self.buffer.len()
+    }
+
+    fn retrain(&mut self) -> RetrainDisposition {
+        let class = &self.shared.classes[self.class_idx];
+        if class.inflight.swap(true, Ordering::AcqRel) {
+            // A refit for this class is already running; the sticky
+            // trigger stays pending and the next batch retries.
+            return RetrainDisposition::Deferred;
+        }
+        let mut dataset = Dataset::new(self.feature_names.as_ref().clone(), "time_to_failure");
+        for (row, ttf) in &self.buffer {
+            dataset.push_row(row.clone(), *ttf).expect("arity checked on buffering");
+        }
+        if self.job_tx.send(RefitJob { class_idx: self.class_idx, dataset }).is_ok() {
+            self.shared.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
+            RetrainDisposition::Enqueued
+        } else {
+            // Pool gone (shutdown mid-drain): nothing to retrain on.
+            class.inflight.store(false, Ordering::Release);
+            RetrainDisposition::Deferred
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.shared.classes[self.class_idx].service.generation()
+    }
+
+    fn apply_thresholds(&mut self, thresholds: &Thresholds) {
+        if let Some(secs) = thresholds.rejuvenation_threshold_secs {
+            self.shared.classes[self.class_idx].service.set_rejuvenation_threshold_secs(secs);
+        }
+    }
 }
 
 /// The class-routed adaptation service: one [`ModelService`] +
-/// [`DriftMonitor`] + sliding buffer per [`ServiceClass`], fed from one
-/// bounded [`CheckpointBus`] and retrained on a fixed shared worker pool.
+/// [`AdaptationPipeline`] per [`ServiceClass`], fed from one bounded
+/// [`CheckpointBus`] and retrained on a fixed shared worker pool.
 ///
 /// # Example
 ///
 /// ```
-/// use aging_adapt::{AdaptConfig, AdaptiveRouter, ClassSpec, RouterConfig, ServiceClass};
+/// use aging_adapt::{AdaptiveRouter, ClassSpec, ServiceClass};
 /// use aging_ml::linreg::LinRegLearner;
 /// use aging_ml::{DynLearner, Learner, Regressor};
 /// use std::sync::Arc;
@@ -169,12 +325,11 @@ struct ClassState {
 /// }
 /// let initial: Arc<dyn Regressor> = Arc::from(LinRegLearner::default().fit_boxed(&ds)?);
 /// let learner: Arc<dyn DynLearner> = Arc::new(LinRegLearner::default());
-/// let spec = ClassSpec { learner, initial, config: AdaptConfig::default() };
-/// let router = AdaptiveRouter::spawn(
-///     vec![(ServiceClass::new("web"), spec.clone()), (ServiceClass::new("db"), spec)],
-///     vec!["x".into()],
-///     RouterConfig::default(),
-/// );
+/// let spec = ClassSpec::builder(learner, initial).build();
+/// let router = AdaptiveRouter::builder(vec!["x".into()])
+///     .class(ServiceClass::new("web"), spec.clone())
+///     .class(ServiceClass::new("db"), spec)
+///     .spawn();
 /// assert_eq!(router.model_service(&ServiceClass::new("db")).unwrap().generation(), 0);
 /// let stats = router.shutdown();
 /// assert_eq!(stats.generations_published, 0);
@@ -190,57 +345,72 @@ pub struct AdaptiveRouter {
     workers: Vec<JoinHandle<()>>,
 }
 
-impl AdaptiveRouter {
+/// Builder for [`AdaptiveRouter`] — classes are registered one by one (or
+/// in bulk) and the router spawns with its ingest thread and worker pool
+/// running.
+#[derive(Debug)]
+pub struct AdaptiveRouterBuilder {
+    feature_names: Vec<String>,
+    config: RouterConfig,
+    classes: Vec<(ServiceClass, ClassSpec)>,
+}
+
+impl AdaptiveRouterBuilder {
+    /// Sets the router-wide tuning (defaults to
+    /// [`RouterConfig::default`]).
+    pub fn config(mut self, config: RouterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Registers one service class.
+    pub fn class(mut self, class: ServiceClass, spec: ClassSpec) -> Self {
+        self.classes.push((class, spec));
+        self
+    }
+
+    /// Registers several service classes at once (registration order is
+    /// preserved — it is the order `RouterStats.classes` reports in).
+    pub fn classes(mut self, classes: impl IntoIterator<Item = (ServiceClass, ClassSpec)>) -> Self {
+        self.classes.extend(classes);
+        self
+    }
+
     /// Spawns the ingest thread and the shared retrainer pool and returns
     /// the running router.
-    ///
-    /// `feature_names` are the attribute names of the rows producers will
-    /// publish (the feature set's variables, in order) — shared by every
-    /// class, since a fleet extracts one feature catalogue.
     ///
     /// # Panics
     ///
     /// Panics on an empty or duplicated class list, a zero-sized pool or
     /// ring, and any degenerate per-class [`AdaptConfig`].
-    pub fn spawn(
-        classes: Vec<(ServiceClass, ClassSpec)>,
-        feature_names: Vec<String>,
-        config: RouterConfig,
-    ) -> Self {
+    pub fn spawn(self) -> AdaptiveRouter {
+        let AdaptiveRouterBuilder { feature_names, config, classes } = self;
         assert!(!classes.is_empty(), "router needs at least one service class");
         assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
         assert!(config.bus_capacity > 0, "bus capacity must be positive");
 
         let mut index = HashMap::new();
         let mut shared_classes = Vec::with_capacity(classes.len());
-        let mut states = Vec::with_capacity(classes.len());
+        let mut specs = Vec::with_capacity(classes.len());
         for (i, (class, spec)) in classes.into_iter().enumerate() {
             // Not `validate()`: the per-class `bus_capacity` really is
             // ignored (the ring is shared), as the `ClassSpec` docs say.
             spec.config.validate_adaptation();
+            // On the caller's thread — the per-class pipelines re-validate
+            // on the ingest thread, where a panic would be silent.
+            spec.policy.validate();
             assert!(
                 index.insert(class.clone(), i).is_none(),
                 "service class `{class}` registered twice"
             );
             shared_classes.push(Arc::new(ClassShared {
                 class,
-                service: Arc::new(ModelService::new(spec.initial)),
-                learner: spec.learner,
-                ingested: AtomicU64::new(0),
-                drift_events: AtomicU64::new(0),
-                retrains: AtomicU64::new(0),
-                failed_retrains: AtomicU64::new(0),
-                buffered: AtomicU64::new(0),
-                error_ewma_bits: AtomicU64::new(0),
+                service: Arc::new(ModelService::new(Arc::clone(&spec.initial))),
+                learner: Arc::clone(&spec.learner),
+                counters: Arc::new(PipelineCounters::new(spec.config.drift.error_threshold_secs)),
                 inflight: AtomicBool::new(false),
             }));
-            states.push(ClassState {
-                monitor: DriftMonitor::new(spec.config.drift),
-                buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
-                retrain_due: false,
-                since_scheduled: 0,
-                config: spec.config,
-            });
+            specs.push(spec);
         }
         let shared = Arc::new(RouterShared {
             classes: shared_classes,
@@ -264,10 +434,44 @@ impl AdaptiveRouter {
         let ingest = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || ingest(rx, states, feature_names, shared, job_tx, stop))
+            std::thread::spawn(move || ingest(rx, specs, feature_names, shared, job_tx, stop))
         };
 
         AdaptiveRouter { bus, shared, index, stop, ingest: Some(ingest), workers }
+    }
+}
+
+impl AdaptiveRouter {
+    /// Starts building a router. `feature_names` are the attribute names
+    /// of the rows producers will publish (the feature set's variables, in
+    /// order) — shared by every class, since a fleet extracts one feature
+    /// catalogue.
+    pub fn builder(feature_names: Vec<String>) -> AdaptiveRouterBuilder {
+        AdaptiveRouterBuilder {
+            feature_names,
+            config: RouterConfig::default(),
+            classes: Vec::new(),
+        }
+    }
+
+    /// Spawns the ingest thread and the shared retrainer pool and returns
+    /// the running router.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty or duplicated class list, a zero-sized pool or
+    /// ring, and any degenerate per-class [`AdaptConfig`].
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AdaptiveRouter::builder(feature_names).classes(classes)\
+                .config(config).spawn()"
+    )]
+    pub fn spawn(
+        classes: Vec<(ServiceClass, ClassSpec)>,
+        feature_names: Vec<String>,
+        config: RouterConfig,
+    ) -> Self {
+        AdaptiveRouter::builder(feature_names).classes(classes).config(config).spawn()
     }
 
     /// A producer handle on the shared ingestion ring (clone freely).
@@ -287,30 +491,25 @@ impl AdaptiveRouter {
     }
 
     /// Current counters, per class and aggregate; safe to call at any
-    /// time.
+    /// time. Each class's `dropped_checkpoints` attributes the shared
+    /// ring's sheds to the class of the dropped batch.
     pub fn stats(&self) -> RouterStats {
+        // One lock acquisition for the whole per-class shed attribution —
+        // a 50-class fleet must not take the producers' bus mutex 50
+        // times per stats call.
+        let dropped_by_class: HashMap<ServiceClass, u64> =
+            self.bus.dropped_checkpoints_by_class().into_iter().collect();
         let classes: Vec<ClassAdaptation> = self
             .shared
             .classes
             .iter()
-            .map(|c| {
-                // One load: a concurrent publish must not make the two
-                // generation-valued fields of one snapshot disagree.
-                let generation = c.service.generation();
-                ClassAdaptation {
-                    class: c.class.clone(),
-                    stats: AdaptationStats {
-                        ingested_checkpoints: c.ingested.load(Ordering::Relaxed),
-                        drift_events: c.drift_events.load(Ordering::Relaxed),
-                        retrains: c.retrains.load(Ordering::Relaxed),
-                        failed_retrains: c.failed_retrains.load(Ordering::Relaxed),
-                        generations_published: generation,
-                        generation,
-                        buffered: c.buffered.load(Ordering::Relaxed),
-                        dropped_checkpoints: 0,
-                        error_ewma_secs: f64::from_bits(c.error_ewma_bits.load(Ordering::Relaxed)),
-                    },
-                }
+            .map(|c| ClassAdaptation {
+                class: c.class.clone(),
+                stats: AdaptationStats::from_counters(
+                    &c.counters,
+                    c.service.generation(),
+                    dropped_by_class.get(&c.class).copied().unwrap_or(0),
+                ),
             })
             .collect();
         RouterStats {
@@ -337,7 +536,7 @@ impl AdaptiveRouter {
             let dropped = self.bus.dropped_checkpoints();
             let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
             let routed: u64 =
-                self.shared.classes.iter().map(|c| c.ingested.load(Ordering::Relaxed)).sum::<u64>()
+                self.shared.classes.iter().map(|c| c.counters.ingested()).sum::<u64>()
                     + self.shared.unrouted.load(Ordering::Relaxed);
             // Order matters: the bus must be drained before the job
             // counters can be final for everything published so far.
@@ -383,12 +582,12 @@ impl Drop for AdaptiveRouter {
     }
 }
 
-/// The ingest loop: drain the ring, route checkpoints to their class's
-/// drift monitor and sliding buffer, snapshot-and-enqueue refit jobs when
-/// a class's trigger and gate line up.
+/// The ingest loop: drain the ring and route every batch into its class's
+/// [`AdaptationPipeline`]; the pipelines' pooled retrain actions snapshot
+/// and enqueue refit jobs when a class's trigger and gate line up.
 fn ingest(
     rx: BusReceiver,
-    mut states: Vec<ClassState>,
+    specs: Vec<ClassSpec>,
     feature_names: Vec<String>,
     shared: Arc<RouterShared>,
     job_tx: Sender<RefitJob>,
@@ -396,59 +595,39 @@ fn ingest(
 ) {
     let index: HashMap<ServiceClass, usize> =
         shared.classes.iter().enumerate().map(|(i, c)| (c.class.clone(), i)).collect();
+    let feature_names = Arc::new(feature_names);
+    let mut pipelines: Vec<AdaptationPipeline<PooledRetrain>> = specs
+        .into_iter()
+        .enumerate()
+        .map(|(class_idx, spec)| {
+            let action = PooledRetrain {
+                class_idx,
+                capacity: spec.config.buffer_capacity,
+                arity: feature_names.len(),
+                buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
+                feature_names: Arc::clone(&feature_names),
+                shared: Arc::clone(&shared),
+                job_tx: job_tx.clone(),
+            };
+            AdaptationPipeline::with_counters(
+                &spec.config,
+                spec.policy,
+                Arc::clone(&shared.classes[class_idx].counters),
+                action,
+            )
+        })
+        .collect();
+    // `pipelines` holds clones of the sender; drop the original so worker
+    // shutdown still hinges on the ingest thread (and its pipelines)
+    // exiting.
+    drop(job_tx);
 
     let mut process = |batch: CheckpointBatch| {
         let Some(&class_idx) = index.get(&batch.class) else {
             shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
             return;
         };
-        let state = &mut states[class_idx];
-        let class = &shared.classes[class_idx];
-        let n_checkpoints = batch.checkpoints.len() as u64;
-        for cp in batch.checkpoints {
-            if let Some(err) = cp.abs_error_secs() {
-                if state.monitor.observe(err).is_some() {
-                    class.drift_events.fetch_add(1, Ordering::Relaxed);
-                    // Sticky: an early trigger waits for the buffer gate
-                    // (and for any in-flight refit) instead of vanishing.
-                    state.retrain_due = true;
-                }
-                if let Some(ewma) = state.monitor.error_ewma_secs() {
-                    class.error_ewma_bits.store(ewma.to_bits(), Ordering::Relaxed);
-                }
-            }
-            if cp.features.len() == feature_names.len() {
-                if state.buffer.len() == state.config.buffer_capacity {
-                    state.buffer.pop_front();
-                }
-                state.buffer.push_back((cp.features, cp.ttf_secs));
-                class.buffered.store(state.buffer.len() as u64, Ordering::Relaxed);
-            }
-            state.since_scheduled += 1;
-            if state.config.retrain_every.is_some_and(|every| state.since_scheduled >= every) {
-                state.retrain_due = true;
-            }
-        }
-        if state.retrain_due
-            && state.buffer.len() >= state.config.min_buffer_to_retrain
-            && !class.inflight.swap(true, Ordering::AcqRel)
-        {
-            let mut dataset = Dataset::new(feature_names.clone(), "time_to_failure");
-            for (row, ttf) in &state.buffer {
-                dataset.push_row(row.clone(), *ttf).expect("arity checked on buffering");
-            }
-            if job_tx.send(RefitJob { class_idx, dataset }).is_ok() {
-                shared.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
-                state.retrain_due = false;
-                state.since_scheduled = 0;
-            } else {
-                // Pool gone (shutdown mid-drain): nothing to retrain on.
-                class.inflight.store(false, Ordering::Release);
-            }
-        }
-        // Counted last so `quiesce` can rely on "all ingested" implying
-        // "every refit job those checkpoints trigger is already enqueued".
-        class.ingested.fetch_add(n_checkpoints, Ordering::Relaxed);
+        pipelines[class_idx].ingest(batch.checkpoints);
     };
 
     loop {
@@ -467,7 +646,7 @@ fn ingest(
 }
 
 /// One pool worker: pull refit jobs, fit, publish into the class's model
-/// service.
+/// service and bump its pipeline counters.
 fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>>) {
     loop {
         // Hold the lock only for the blocking receive — fitting runs
@@ -480,10 +659,10 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
         match class.learner.fit_dyn(&job.dataset) {
             Ok(model) => {
                 class.service.publish(Arc::from(model));
-                class.retrains.fetch_add(1, Ordering::Relaxed);
+                class.counters.retrains.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
-                class.failed_retrains.fetch_add(1, Ordering::Relaxed);
+                class.counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
             }
         }
         class.inflight.store(false, Ordering::Release);
@@ -494,7 +673,7 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::{DriftConfig, LabelledCheckpoint};
+    use crate::{DriftConfig, LabelledCheckpoint, QuantileAdaptive};
     use aging_ml::linreg::LinRegLearner;
     use aging_ml::Learner;
 
@@ -507,8 +686,8 @@ mod tests {
     }
 
     fn quick_adapt(threshold: f64) -> AdaptConfig {
-        AdaptConfig {
-            drift: DriftConfig {
+        AdaptConfig::builder()
+            .drift(DriftConfig {
                 enabled: true,
                 ewma_alpha: 0.4,
                 error_threshold_secs: threshold,
@@ -517,20 +696,17 @@ mod tests {
                 trend_tolerance_secs: 100.0,
                 trend_slope_threshold: 5.0,
                 cooldown_observations: 40,
-            },
-            buffer_capacity: 512,
-            min_buffer_to_retrain: 40,
-            retrain_every: None,
-            bus_capacity: 256,
-        }
+            })
+            .buffer_capacity(512)
+            .min_buffer_to_retrain(40)
+            .bus_capacity(256)
+            .build()
     }
 
     fn spec(slope: f64, threshold: f64) -> ClassSpec {
-        ClassSpec {
-            learner: Arc::new(LinRegLearner::default()),
-            initial: line_model(slope),
-            config: quick_adapt(threshold),
-        }
+        ClassSpec::builder(Arc::new(LinRegLearner::default()), line_model(slope))
+            .config(quick_adapt(threshold))
+            .build()
     }
 
     fn batch(
@@ -542,11 +718,7 @@ mod tests {
             class: class.clone(),
             checkpoints: xs
                 .into_iter()
-                .map(|(x, y, pred)| LabelledCheckpoint {
-                    features: vec![x],
-                    ttf_secs: y,
-                    predicted_ttf_secs: pred,
-                })
+                .map(|(x, y, pred)| LabelledCheckpoint::new(vec![x], y, pred))
                 .collect(),
         }
     }
@@ -558,11 +730,11 @@ mod tests {
     fn shifted_class_retrains_without_touching_the_other() {
         let a = ServiceClass::new("leaky");
         let b = ServiceClass::new("stable");
-        let router = AdaptiveRouter::spawn(
-            vec![(a.clone(), spec(2.0, 150.0)), (b.clone(), spec(1.0, 150.0))],
-            vec!["x".into()],
-            RouterConfig { retrainer_threads: 2, bus_capacity: 128 },
-        );
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(a.clone(), spec(2.0, 150.0))
+            .class(b.clone(), spec(1.0, 150.0))
+            .config(RouterConfig::builder().retrainer_threads(2).bus_capacity(128).build())
+            .spawn();
         let bus = router.bus();
         // Class A: truth shifts to y = -2x + 500, served by stale y = 2x.
         let truth_a = |x: f64| 500.0 - 2.0 * x;
@@ -599,11 +771,10 @@ mod tests {
     fn per_class_models_track_their_own_regime() {
         let a = ServiceClass::new("a");
         let b = ServiceClass::new("b");
-        let router = AdaptiveRouter::spawn(
-            vec![(a.clone(), spec(1.0, 100.0)), (b.clone(), spec(1.0, 100.0))],
-            vec!["x".into()],
-            RouterConfig::default(),
-        );
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(a.clone(), spec(1.0, 100.0))
+            .class(b.clone(), spec(1.0, 100.0))
+            .spawn();
         let bus = router.bus();
         // Different ground truths per class, both far from the initial fit.
         let truth_a = |x: f64| 5.0 * x + 100.0;
@@ -636,11 +807,9 @@ mod tests {
 
     #[test]
     fn unrouted_classes_are_counted_and_discarded() {
-        let router = AdaptiveRouter::spawn(
-            vec![(ServiceClass::new("known"), spec(1.0, 100.0))],
-            vec!["x".into()],
-            RouterConfig::default(),
-        );
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(ServiceClass::new("known"), spec(1.0, 100.0))
+            .spawn();
         let bus = router.bus();
         bus.publish(batch(&ServiceClass::new("unknown"), (0..7).map(|i| (i as f64, 1.0, None))));
         assert!(router.quiesce(Duration::from_secs(10)));
@@ -655,26 +824,26 @@ mod tests {
         // pool serialises, nothing deadlocks, nothing is lost.
         let classes: Vec<(ServiceClass, ClassSpec)> = (0..8)
             .map(|i| {
-                let mut config = quick_adapt(80.0);
-                config.retrain_every = Some(50);
-                config.drift = DriftConfig::disabled();
-                config.min_buffer_to_retrain = 40;
+                let config = AdaptConfig::builder()
+                    .drift(DriftConfig::disabled())
+                    .buffer_capacity(512)
+                    .min_buffer_to_retrain(40)
+                    .retrain_every(50)
+                    .bus_capacity(256)
+                    .build();
                 (
                     ServiceClass::new(format!("c{i}")),
-                    ClassSpec {
-                        learner: Arc::new(LinRegLearner::default()),
-                        initial: line_model(1.0),
-                        config,
-                    },
+                    ClassSpec::builder(Arc::new(LinRegLearner::default()), line_model(1.0))
+                        .config(config)
+                        .build(),
                 )
             })
             .collect();
         let names: Vec<ServiceClass> = classes.iter().map(|(c, _)| c.clone()).collect();
-        let router = AdaptiveRouter::spawn(
-            classes,
-            vec!["x".into()],
-            RouterConfig { retrainer_threads: 2, bus_capacity: 512 },
-        );
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .classes(classes)
+            .config(RouterConfig::builder().retrainer_threads(2).bus_capacity(512).build())
+            .spawn();
         let bus = router.bus();
         for class in &names {
             bus.publish(batch(class, (0..60).map(|i| (i as f64, 3.0 * i as f64, None))));
@@ -691,22 +860,67 @@ mod tests {
         );
     }
 
+    /// A quantile policy on the router: after the first publish, the
+    /// class's effective thresholds must reflect its own error window and
+    /// the rejuvenation override must surface on its model service.
+    #[test]
+    fn quantile_policy_surfaces_per_class_thresholds() {
+        let a = ServiceClass::new("tuned");
+        let policy = Arc::new(QuantileAdaptive { min_samples: 8, ..Default::default() });
+        // One-shot drift (the cooldown outlasts the test): exactly one
+        // publish, so the policy's post-publish derivation is never reset
+        // by a second generation landing mid-stabilisation.
+        let mut config = quick_adapt(150.0);
+        config.drift.cooldown_observations = 10_000;
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(
+                a.clone(),
+                ClassSpec::builder(Arc::new(LinRegLearner::default()), line_model(2.0))
+                    .config(config)
+                    .policy(policy)
+                    .build(),
+            )
+            .spawn();
+        let bus = router.bus();
+        // Stale model y = 2x, truth shifted: large errors → drift →
+        // enqueue → refit lands. Quiescing between chunks makes the
+        // landing deterministic; the chunks that follow it provide the
+        // fresh post-publish error window the policy derives from.
+        let truth = |x: f64| 500.0 - 2.0 * x;
+        for chunk in 0..8 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, truth(x), Some(2.0 * x))
+            });
+            bus.publish(batch(&a, xs));
+            assert!(router.quiesce(Duration::from_secs(30)));
+        }
+        let stats = router.shutdown();
+        let sa = stats.class(&a).unwrap();
+        assert!(sa.retrains >= 1, "{sa:?}");
+        assert_ne!(
+            sa.effective_error_threshold_secs, 150.0,
+            "the drift level must have been re-derived from the error window: {sa:?}"
+        );
+        assert!(sa.effective_error_threshold_secs.is_finite());
+        assert!(
+            sa.effective_rejuvenation_threshold_secs.is_some(),
+            "the rejuvenation override must surface in the stats: {sa:?}"
+        );
+    }
+
     #[test]
     #[should_panic(expected = "registered twice")]
     fn duplicate_class_rejected() {
-        let _ = AdaptiveRouter::spawn(
-            vec![
-                (ServiceClass::new("x"), spec(1.0, 100.0)),
-                (ServiceClass::new("x"), spec(1.0, 100.0)),
-            ],
-            vec!["x".into()],
-            RouterConfig::default(),
-        );
+        let _ = AdaptiveRouter::builder(vec!["x".into()])
+            .class(ServiceClass::new("x"), spec(1.0, 100.0))
+            .class(ServiceClass::new("x"), spec(1.0, 100.0))
+            .spawn();
     }
 
     #[test]
     #[should_panic(expected = "at least one service class")]
     fn empty_router_rejected() {
-        let _ = AdaptiveRouter::spawn(Vec::new(), vec!["x".into()], RouterConfig::default());
+        let _ = AdaptiveRouter::builder(vec!["x".into()]).spawn();
     }
 }

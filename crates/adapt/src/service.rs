@@ -1,8 +1,12 @@
 //! The model service: generation-counted hot model swap, and the
-//! background retrainer that feeds it.
+//! background retrainer that feeds it — a thin wrapper around the shared
+//! [`AdaptationPipeline`] with a synchronous in-thread
+//! [`RetrainAction`](crate::RetrainAction).
 
-use crate::bus::{BusReceiver, CheckpointBatch, CheckpointBus};
-use crate::drift::{DriftConfig, DriftMonitor};
+use crate::bus::{BusReceiver, CheckpointBus};
+use crate::drift::DriftConfig;
+use crate::pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
+use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use aging_ml::online::OnlineRegressor;
 use aging_ml::{DynLearner, Regressor};
 use serde::{Deserialize, Serialize};
@@ -31,6 +35,13 @@ pub struct ModelSnapshot {
 /// call. Publishing is wait-free for readers holding an old snapshot: the
 /// swap replaces the `Arc`, it never blocks in-flight predictions.
 ///
+/// Besides models, the service carries the **effective rejuvenation
+/// threshold** ([`ModelService::rejuvenation_threshold_secs`]): a
+/// self-tuning [`ThresholdPolicy`] publishes its derived predictive
+/// threshold here alongside the generations, and the fleet engine re-reads
+/// it at every epoch boundary — `None` (the fixed-policy state) leaves
+/// each instance's configured threshold untouched.
+///
 /// # Consistency
 ///
 /// The `(generation, model)` pair lives in **one** lock-protected slot and
@@ -45,14 +56,19 @@ pub struct ModelSnapshot {
 pub struct ModelService {
     slot: RwLock<ModelSnapshot>,
     generation: AtomicU64,
+    /// Bits of the effective rejuvenation threshold; NaN bits mean "no
+    /// override" (readers see `None`).
+    rejuvenation_threshold_bits: AtomicU64,
 }
 
 impl ModelService {
-    /// Creates a service serving `initial` as generation 0.
+    /// Creates a service serving `initial` as generation 0, with no
+    /// rejuvenation-threshold override.
     pub fn new(initial: Arc<dyn Regressor>) -> Self {
         ModelService {
             slot: RwLock::new(ModelSnapshot { generation: 0, model: initial }),
             generation: AtomicU64::new(0),
+            rejuvenation_threshold_bits: AtomicU64::new(f64::NAN.to_bits()),
         }
     }
 
@@ -90,10 +106,31 @@ impl ModelService {
         self.generation.store(generation, Ordering::Release);
         generation
     }
+
+    /// The effective predictive-rejuvenation threshold (seconds of
+    /// predicted TTF), or `None` while no self-tuning policy has published
+    /// one. Fleet workers read this once per epoch per class.
+    pub fn rejuvenation_threshold_secs(&self) -> Option<f64> {
+        let secs = f64::from_bits(self.rejuvenation_threshold_bits.load(Ordering::Relaxed));
+        secs.is_finite().then_some(secs)
+    }
+
+    /// Publishes a rejuvenation-threshold override (policy side; consumers
+    /// pick it up at their next epoch boundary). Non-finite or
+    /// non-positive values are ignored.
+    pub fn set_rejuvenation_threshold_secs(&self, secs: f64) {
+        if secs.is_finite() && secs > 0.0 {
+            self.rejuvenation_threshold_bits.store(secs.to_bits(), Ordering::Relaxed);
+        }
+    }
 }
 
-/// Configuration of the adaptation service.
+/// Configuration of the adaptation pipeline. Build with
+/// [`AdaptConfig::builder`]; the struct is `#[non_exhaustive]` so fields
+/// can grow without breaking call sites (read fields freely, construct
+/// through the builder).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
 pub struct AdaptConfig {
     /// Drift detection tuning (see [`DriftConfig`]); `enabled: false`
     /// freezes the service at generation 0.
@@ -131,6 +168,11 @@ impl Default for AdaptConfig {
 }
 
 impl AdaptConfig {
+    /// Starts a builder from the defaults.
+    pub fn builder() -> AdaptConfigBuilder {
+        AdaptConfigBuilder { config: AdaptConfig::default() }
+    }
+
     /// Panics with a message when an adaptation parameter (drift tuning,
     /// buffer sizing) is degenerate. `bus_capacity` is deliberately *not*
     /// checked here: the per-class router ignores it (its ring is shared),
@@ -149,17 +191,75 @@ impl AdaptConfig {
     }
 
     /// Full validation for consumers that also size their ingestion ring
-    /// from this config ([`AdaptiveService::spawn`]).
+    /// from this config ([`AdaptiveServiceBuilder::spawn`]).
     pub(crate) fn validate(&self) {
         self.validate_adaptation();
         assert!(self.bus_capacity > 0, "bus capacity must be positive");
     }
 }
 
-/// Counters describing what the adaptation service has done so far.
+/// Builder for [`AdaptConfig`] — the one way to construct a non-default
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct AdaptConfigBuilder {
+    config: AdaptConfig,
+}
+
+impl AdaptConfigBuilder {
+    /// Sets the drift detection tuning.
+    pub fn drift(mut self, drift: DriftConfig) -> Self {
+        self.config.drift = drift;
+        self
+    }
+
+    /// Sets the sliding training buffer capacity.
+    pub fn buffer_capacity(mut self, capacity: usize) -> Self {
+        self.config.buffer_capacity = capacity;
+        self
+    }
+
+    /// Sets the minimum buffered checkpoints before a trigger is honoured.
+    pub fn min_buffer_to_retrain(mut self, min: usize) -> Self {
+        self.config.min_buffer_to_retrain = min;
+        self
+    }
+
+    /// Also retrain every `n` ingested checkpoints regardless of drift.
+    pub fn retrain_every(mut self, every: usize) -> Self {
+        self.config.retrain_every = Some(every);
+        self
+    }
+
+    /// Retrain on drift (or never, with drift disabled) — clears any
+    /// periodic schedule.
+    pub fn drift_only(mut self) -> Self {
+        self.config.retrain_every = None;
+        self
+    }
+
+    /// Sets the bounded ingestion ring capacity, in batches.
+    pub fn bus_capacity(mut self, capacity: usize) -> Self {
+        self.config.bus_capacity = capacity;
+        self
+    }
+
+    /// Finishes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the parameters are degenerate (zero capacities, a
+    /// retrain gate above the buffer capacity, bad drift tuning).
+    pub fn build(self) -> AdaptConfig {
+        self.config.validate();
+        self.config
+    }
+}
+
+/// Counters describing what an adaptation pipeline has done so far.
 ///
-/// All fields are monotone except `error_ewma_secs` and `buffered`; the
-/// struct is safe to snapshot at any time while the service runs.
+/// All fields are monotone except `buffered`, `error_ewma_secs` and the
+/// effective thresholds; the struct is safe to snapshot at any time while
+/// the service runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct AdaptationStats {
     /// Labelled checkpoints ingested from the bus.
@@ -179,38 +279,103 @@ pub struct AdaptationStats {
     pub buffered: u64,
     /// Checkpoints shed by the bounded ingestion ring's drop-oldest policy
     /// (a stalled or slow retrainer sheds history instead of growing
-    /// memory). For class-routed runs the drop happens before routing, so
-    /// the total lives on `RouterStats` and this stays 0 per class.
+    /// memory). Class-routed runs attribute each shed to the class of the
+    /// dropped batch; `RouterStats`' fleet-wide total additionally counts
+    /// shed batches naming *unregistered* classes, so it can exceed the
+    /// sum over the registered classes' rows.
     pub dropped_checkpoints: u64,
     /// Current smoothed absolute TTF error, seconds (0 before the first
     /// labelled prediction arrives).
     pub error_ewma_secs: f64,
+    /// Drift error-level threshold in force when snapshotted, seconds —
+    /// the configured constant under [`FixedThresholds`], self-tuned under
+    /// an adaptive [`ThresholdPolicy`].
+    pub effective_error_threshold_secs: f64,
+    /// Rejuvenation-threshold override in force, seconds (`None` until a
+    /// self-tuning policy publishes one).
+    pub effective_rejuvenation_threshold_secs: Option<f64>,
 }
 
-#[derive(Debug, Default)]
-struct SharedCounters {
-    ingested: AtomicU64,
-    drift_events: AtomicU64,
-    retrains: AtomicU64,
-    failed_retrains: AtomicU64,
-    buffered: AtomicU64,
-    error_ewma_bits: AtomicU64,
+impl AdaptationStats {
+    /// Builds the stats snapshot shared by the service and the per-class
+    /// router entries.
+    pub(crate) fn from_counters(
+        counters: &PipelineCounters,
+        generation: u64,
+        dropped_checkpoints: u64,
+    ) -> Self {
+        AdaptationStats {
+            ingested_checkpoints: counters.ingested(),
+            drift_events: counters.drift_events(),
+            retrains: counters.retrains(),
+            failed_retrains: counters.failed_retrains(),
+            generations_published: generation,
+            generation,
+            buffered: counters.buffered(),
+            dropped_checkpoints,
+            error_ewma_secs: counters.error_ewma_secs(),
+            effective_error_threshold_secs: counters.effective_error_threshold_secs(),
+            effective_rejuvenation_threshold_secs: counters.effective_rejuvenation_threshold_secs(),
+        }
+    }
+}
+
+/// The synchronous [`RetrainAction`]: buffer into an [`OnlineRegressor`],
+/// fit in-thread, publish straight into the [`ModelService`].
+#[derive(Debug)]
+struct InThreadRetrain {
+    online: OnlineRegressor<Arc<dyn DynLearner>>,
+    models: Arc<ModelService>,
+}
+
+impl RetrainAction for InThreadRetrain {
+    fn buffer(&mut self, features: Vec<f64>, ttf_secs: f64) -> Option<usize> {
+        self.online.observe(features, ttf_secs).ok().map(|_| self.online.buffered())
+    }
+
+    fn buffered(&self) -> usize {
+        self.online.buffered()
+    }
+
+    fn retrain(&mut self) -> RetrainDisposition {
+        match self.online.retrain() {
+            Ok(()) => {
+                let model = self.online.model().expect("retrain just fitted a model").clone();
+                self.models.publish(model);
+                RetrainDisposition::Published
+            }
+            Err(_) => RetrainDisposition::Failed,
+        }
+    }
+
+    fn generation(&self) -> u64 {
+        self.models.generation()
+    }
+
+    fn apply_thresholds(&mut self, thresholds: &Thresholds) {
+        if let Some(secs) = thresholds.rejuvenation_threshold_secs {
+            self.models.set_rejuvenation_threshold_secs(secs);
+        }
+    }
 }
 
 /// The drift-triggered online retraining service.
 ///
 /// Owns a [`ModelService`] (the serving side) and a background retrainer
-/// thread (the learning side), connected to producers by a
-/// [`CheckpointBus`]. Labelled checkpoints stream in; the retrainer feeds
-/// them to an [`OnlineRegressor`] sliding buffer and a [`DriftMonitor`];
-/// when drift fires (or a periodic schedule comes due) it refits the
-/// learner on the buffer and publishes the result as a new generation —
-/// all without ever blocking the threads that serve predictions.
+/// thread running an [`AdaptationPipeline`] with a synchronous in-thread
+/// retrain action (the learning side), connected to producers by a
+/// [`CheckpointBus`]. Labelled checkpoints stream in; the pipeline feeds
+/// them to an [`OnlineRegressor`] sliding buffer and a
+/// [`crate::DriftMonitor`]; when drift fires (or a periodic schedule comes
+/// due) it refits the learner on the buffer and publishes the result as a
+/// new generation — all without ever blocking the threads that serve
+/// predictions. An optional self-tuning [`ThresholdPolicy`] re-derives the
+/// operating thresholds on every publish.
 ///
 /// # Example
 ///
 /// ```
-/// use aging_adapt::{AdaptConfig, AdaptiveService, CheckpointBatch, LabelledCheckpoint};
+/// use aging_adapt::{AdaptiveService, CheckpointBatch, LabelledCheckpoint};
 /// use aging_ml::linreg::LinRegLearner;
 /// use aging_ml::{DynLearner, Learner, Regressor};
 /// use std::sync::Arc;
@@ -222,12 +387,8 @@ struct SharedCounters {
 /// }
 /// let initial: Arc<dyn Regressor> = Arc::from(LinRegLearner::default().fit_boxed(&ds)?);
 /// let learner: Arc<dyn DynLearner> = Arc::new(LinRegLearner::default());
-/// let service = AdaptiveService::spawn(
-///     learner,
-///     vec!["x".into()],
-///     initial,
-///     AdaptConfig::default(),
-/// );
+/// let service =
+///     AdaptiveService::builder(learner, vec!["x".into()], initial).spawn();
 /// assert_eq!(service.model_service().generation(), 0);
 /// let stats = service.shutdown();
 /// assert_eq!(stats.generations_published, 0);
@@ -237,45 +398,108 @@ struct SharedCounters {
 pub struct AdaptiveService {
     models: Arc<ModelService>,
     bus: CheckpointBus,
-    counters: Arc<SharedCounters>,
+    counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
 }
 
-impl AdaptiveService {
+/// Builder for [`AdaptiveService`] — learner, feature names and initial
+/// model are mandatory (the constructor arguments); configuration and
+/// threshold policy are optional.
+#[derive(Debug)]
+pub struct AdaptiveServiceBuilder {
+    learner: Arc<dyn DynLearner>,
+    feature_names: Vec<String>,
+    initial: Arc<dyn Regressor>,
+    config: AdaptConfig,
+    policy: Arc<dyn ThresholdPolicy>,
+}
+
+impl AdaptiveServiceBuilder {
+    /// Sets the adaptation configuration (defaults to
+    /// [`AdaptConfig::default`]).
+    pub fn config(mut self, config: AdaptConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Sets the self-tuning threshold policy (defaults to
+    /// [`FixedThresholds`], which reproduces the configured constants
+    /// exactly).
+    pub fn policy(mut self, policy: Arc<dyn ThresholdPolicy>) -> Self {
+        self.policy = policy;
+        self
+    }
+
     /// Spawns the retrainer thread and returns the running service.
-    ///
-    /// `feature_names` are the attribute names of the rows producers will
-    /// publish (the feature set's variables, in order); `initial` serves as
-    /// generation 0 until the first retrain.
     ///
     /// # Panics
     ///
     /// Panics on degenerate configuration (zero buffer capacity, bad drift
     /// parameters).
-    pub fn spawn(
-        learner: Arc<dyn DynLearner>,
-        feature_names: Vec<String>,
-        initial: Arc<dyn Regressor>,
-        config: AdaptConfig,
-    ) -> Self {
+    pub fn spawn(self) -> AdaptiveService {
+        let AdaptiveServiceBuilder { learner, feature_names, initial, config, policy } = self;
         config.validate();
+        // Validate on the caller's thread: the pipeline re-validates when
+        // it is built, but that happens on the retrainer thread where a
+        // panic would be silent.
+        policy.validate();
         let models = Arc::new(ModelService::new(initial));
         let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
-        let counters = Arc::new(SharedCounters::default());
+        let counters = Arc::new(PipelineCounters::new(config.drift.error_threshold_secs));
         let stop = Arc::new(AtomicBool::new(false));
         let worker = {
             let models = Arc::clone(&models);
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                retrainer(learner, feature_names, config, rx, models, counters, stop)
+                retrainer(learner, feature_names, config, policy, rx, models, counters, stop)
             })
         };
         AdaptiveService { models, bus, counters, stop, worker: Some(worker) }
     }
+}
 
-    /// The serving side: snapshot/pin models, poll generations.
+impl AdaptiveService {
+    /// Starts building a service: `feature_names` are the attribute names
+    /// of the rows producers will publish (the feature set's variables, in
+    /// order); `initial` serves as generation 0 until the first retrain.
+    pub fn builder(
+        learner: Arc<dyn DynLearner>,
+        feature_names: Vec<String>,
+        initial: Arc<dyn Regressor>,
+    ) -> AdaptiveServiceBuilder {
+        AdaptiveServiceBuilder {
+            learner,
+            feature_names,
+            initial,
+            config: AdaptConfig::default(),
+            policy: Arc::new(FixedThresholds),
+        }
+    }
+
+    /// Spawns the retrainer thread and returns the running service.
+    ///
+    /// # Panics
+    ///
+    /// Panics on degenerate configuration (zero buffer capacity, bad drift
+    /// parameters).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use AdaptiveService::builder(learner, feature_names, initial)\
+                .config(config).spawn()"
+    )]
+    pub fn spawn(
+        learner: Arc<dyn DynLearner>,
+        feature_names: Vec<String>,
+        initial: Arc<dyn Regressor>,
+        config: AdaptConfig,
+    ) -> Self {
+        AdaptiveService::builder(learner, feature_names, initial).config(config).spawn()
+    }
+
+    /// The serving side: snapshot/pin models, poll generations, read the
+    /// effective rejuvenation threshold.
     pub fn model_service(&self) -> &ModelService {
         &self.models
     }
@@ -293,23 +517,21 @@ impl AdaptiveService {
 
     /// Current counters; safe to call at any time.
     pub fn stats(&self) -> AdaptationStats {
-        AdaptationStats {
-            ingested_checkpoints: self.counters.ingested.load(Ordering::Relaxed),
-            drift_events: self.counters.drift_events.load(Ordering::Relaxed),
-            retrains: self.counters.retrains.load(Ordering::Relaxed),
-            failed_retrains: self.counters.failed_retrains.load(Ordering::Relaxed),
-            generations_published: self.models.generation(),
-            generation: self.models.generation(),
-            buffered: self.counters.buffered.load(Ordering::Relaxed),
-            dropped_checkpoints: self.bus.dropped_checkpoints(),
-            error_ewma_secs: f64::from_bits(self.counters.error_ewma_bits.load(Ordering::Relaxed)),
-        }
+        AdaptationStats::from_counters(
+            &self.counters,
+            self.models.generation(),
+            self.bus.dropped_checkpoints(),
+        )
     }
 
     /// Waits for the retrainer to drain the bus: blocks until every
     /// checkpoint published *before* this call has been ingested or shed
     /// by the bounded ring (bounded by `timeout`). Returns `true` when the
     /// bus drained in time.
+    ///
+    /// Because the pipeline counts a batch as ingested only *after* its
+    /// retrain gate ran, a `true` return also means every retrain those
+    /// checkpoints triggered has completed and published.
     ///
     /// Only meant for deterministic tests and examples — production
     /// callers never need to wait on the learning side.
@@ -322,7 +544,7 @@ impl AdaptiveService {
             // the target conservative (wait longer), never premature.
             let dropped = self.bus.dropped_checkpoints();
             let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
-            if self.counters.ingested.load(Ordering::Relaxed) >= target {
+            if self.counters.ingested() >= target {
                 return true;
             }
             if std::time::Instant::now() >= deadline {
@@ -364,80 +586,37 @@ fn retrainer(
     learner: Arc<dyn DynLearner>,
     feature_names: Vec<String>,
     config: AdaptConfig,
+    policy: Arc<dyn ThresholdPolicy>,
     rx: BusReceiver,
     models: Arc<ModelService>,
-    counters: Arc<SharedCounters>,
+    counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
 ) {
-    let mut online = OnlineRegressor::new(
+    let online = OnlineRegressor::new(
         learner,
         feature_names,
         "time_to_failure",
         config.buffer_capacity,
-        // Periodic retraining is handled explicitly below so drift and
-        // schedule can share the min-buffer gate; the wrapper's own
-        // trigger is parked out of reach.
+        // Periodic retraining is the pipeline's job so drift and schedule
+        // share the min-buffer gate; the wrapper's own trigger is parked
+        // out of reach.
         usize::MAX,
     )
     .expect("positive capacity and interval validated above");
-    let mut monitor = DriftMonitor::new(config.drift);
-    let mut since_scheduled: usize = 0;
-    // Sticky across batches: a drift event that fires while the buffer is
-    // still below the retrain gate must not be forgotten — it stays
-    // pending and the retrain happens as soon as enough labelled data has
-    // accumulated.
-    let mut retrain_due = false;
-
-    let mut process = |batch: CheckpointBatch| {
-        for cp in batch.checkpoints {
-            if let Some(err) = cp.abs_error_secs() {
-                if monitor.observe(err).is_some() {
-                    counters.drift_events.fetch_add(1, Ordering::Relaxed);
-                    retrain_due = true;
-                }
-                if let Some(ewma) = monitor.error_ewma_secs() {
-                    counters.error_ewma_bits.store(ewma.to_bits(), Ordering::Relaxed);
-                }
-            }
-            if online.observe(cp.features, cp.ttf_secs).is_ok() {
-                counters.buffered.store(online.buffered() as u64, Ordering::Relaxed);
-            }
-            counters.ingested.fetch_add(1, Ordering::Relaxed);
-            since_scheduled += 1;
-            // The periodic schedule is independent of the drift switch:
-            // `retrain_every` with drift disabled is plain periodic
-            // adaptation, drift without a schedule is event-driven only.
-            if config.retrain_every.is_some_and(|every| since_scheduled >= every) {
-                retrain_due = true;
-            }
-        }
-        if retrain_due && online.buffered() >= config.min_buffer_to_retrain {
-            retrain_due = false;
-            since_scheduled = 0;
-            match online.retrain() {
-                Ok(()) => {
-                    let model = online.model().expect("retrain just fitted a model").clone();
-                    models.publish(model);
-                    counters.retrains.fetch_add(1, Ordering::Relaxed);
-                }
-                Err(_) => {
-                    counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
-                }
-            }
-        }
-    };
+    let action = InThreadRetrain { online, models };
+    let mut pipeline = AdaptationPipeline::with_counters(&config, policy, counters, action);
 
     loop {
         if stop.load(Ordering::Acquire) {
             // Shutdown: drain whatever was queued before the flag, then
             // exit — queued work is never thrown away.
             for batch in rx.drain() {
-                process(batch);
+                pipeline.ingest(batch.checkpoints);
             }
             return;
         }
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(Some(batch)) => process(batch),
+            Ok(Some(batch)) => pipeline.ingest(batch.checkpoints),
             Ok(None) => {}
             // All producers hung up and the queue is drained.
             Err(crate::BusDisconnected) => return,

@@ -9,10 +9,18 @@
 //! 3. **per-source fairness**: a light producer's batches survive a heavy
 //!    neighbour's flood — sheds always come out of the heaviest source;
 //! 4. **drain-after-disconnect**: batches queued before the last producer
-//!    hangs up are still delivered, then the receiver sees the disconnect.
+//!    hangs up are still delivered, then the receiver sees the disconnect;
+//! 5. **per-class shed attribution**: every dropped checkpoint is booked
+//!    against the class of its batch, and the per-class books always sum
+//!    to the fleet-wide total —
+//!
+//! plus the self-tuning [`QuantileAdaptive`] threshold policy's contract:
+//! derived thresholds are always finite, clamped, monotone in the quantile
+//! and insensitive to NaN/inf lacing, for any error stream.
 
 use aging_adapt::{
-    BusDisconnected, CheckpointBatch, CheckpointBus, LabelledCheckpoint, ServiceClass,
+    BusDisconnected, CheckpointBatch, CheckpointBus, LabelledCheckpoint, QuantileAdaptive,
+    ServiceClass, ThresholdPolicy, Thresholds,
 };
 use proptest::prelude::*;
 use std::time::Duration;
@@ -24,11 +32,7 @@ fn tagged(source: &str, seq: u64, n_checkpoints: usize) -> CheckpointBatch {
         source: source.into(),
         class: ServiceClass::default(),
         checkpoints: (0..n_checkpoints.max(1))
-            .map(|i| LabelledCheckpoint {
-                features: vec![i as f64],
-                ttf_secs: seq as f64,
-                predicted_ttf_secs: None,
-            })
+            .map(|i| LabelledCheckpoint::new(vec![i as f64], seq as f64, None))
             .collect(),
     }
 }
@@ -162,6 +166,156 @@ proptest! {
             rx.recv_timeout(Duration::from_millis(10)),
             Err(BusDisconnected)
         );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 5: whatever mix of classes and sources floods the ring,
+    /// the per-class shed attribution books every dropped checkpoint
+    /// against the class of the batch it rode in on, and the per-class
+    /// books sum exactly to the fleet-wide total. (The `///` comments in
+    /// this file also double as a live regression check for the vendored
+    /// `proptest!` doc-comment fix.)
+    #[test]
+    fn per_class_shed_attribution_balances(
+        capacity in 1usize..12,
+        publishes in prop::collection::vec((0u8..3, 0u8..3, 1usize..4), 1..120),
+    ) {
+        let (bus, _stalled_rx) = CheckpointBus::bounded(capacity);
+        let class_of = |c: u8| ServiceClass::new(format!("class-{c}"));
+        for (seq, (class, source, n)) in publishes.iter().enumerate() {
+            let mut batch = tagged(&format!("s{source}"), seq as u64, *n);
+            batch.class = class_of(*class);
+            prop_assert!(bus.publish(batch));
+            let by_class = bus.dropped_checkpoints_by_class();
+            prop_assert_eq!(
+                by_class.iter().map(|(_, n)| n).sum::<u64>(),
+                bus.dropped_checkpoints(),
+                "per-class attribution must sum to the total at every step"
+            );
+        }
+        for c in 0u8..3 {
+            prop_assert_eq!(
+                bus.dropped_checkpoints_for(&class_of(c)),
+                bus.dropped_checkpoints_by_class()
+                    .into_iter()
+                    .find(|(class, _)| class == &class_of(c))
+                    .map(|(_, n)| n)
+                    .unwrap_or(0)
+            );
+        }
+        // Nothing was invented: accepted − dropped == still queued.
+        prop_assert_eq!(
+            bus.enqueued_checkpoints() - bus.dropped_checkpoints(),
+            bus.queued_checkpoints()
+        );
+    }
+}
+
+fn current_thresholds() -> Thresholds {
+    Thresholds { error_threshold_secs: 900.0, rejuvenation_threshold_secs: None }
+}
+
+/// Interleaves NaN/inf poison into a finite error stream at positions
+/// chosen by the lacing mask.
+fn lace(errors: &[f64], mask: &[u8]) -> Vec<f64> {
+    let mut out = Vec::with_capacity(errors.len() * 2);
+    for (i, &e) in errors.iter().enumerate() {
+        out.push(e);
+        match mask.get(i % mask.len().max(1)) {
+            Some(1) => out.push(f64::NAN),
+            Some(2) => out.push(f64::INFINITY),
+            Some(3) => out.push(f64::NEG_INFINITY),
+            _ => {}
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever the error stream — including NaN/inf lacing — a derived
+    /// threshold pair is always finite and inside the clamp interval.
+    #[test]
+    fn quantile_thresholds_stay_finite_and_clamped(
+        errors in prop::collection::vec(0.0f64..1e7, 1..80),
+        mask in prop::collection::vec(0u8..4, 1..6),
+        q in 0.0f64..1.0,
+    ) {
+        let policy = QuantileAdaptive {
+            drift_quantile: q,
+            min_samples: 1,
+            ..Default::default()
+        };
+        let laced = lace(&errors, &mask);
+        if let Some(t) = policy.on_publish(&laced, &current_thresholds()) {
+            prop_assert!(t.error_threshold_secs.is_finite());
+            prop_assert!(
+                (policy.min_threshold_secs..=policy.max_threshold_secs)
+                    .contains(&t.error_threshold_secs),
+                "drift level {} escaped the clamp",
+                t.error_threshold_secs
+            );
+            let r = t.rejuvenation_threshold_secs.expect("derived together");
+            prop_assert!(
+                (policy.min_threshold_secs..=policy.max_rejuvenation_threshold_secs)
+                    .contains(&r),
+                "rejuvenation trigger {} escaped its clamp",
+                r
+            );
+        }
+    }
+
+    /// The derived drift level is monotone in the anchor quantile: a
+    /// higher quantile of the same window never yields a smaller level.
+    #[test]
+    fn quantile_thresholds_are_monotone_in_the_quantile(
+        errors in prop::collection::vec(0.0f64..1e6, 4..64),
+        q_lo in 0.0f64..1.0,
+        q_hi in 0.0f64..1.0,
+    ) {
+        let (q_lo, q_hi) = if q_lo <= q_hi { (q_lo, q_hi) } else { (q_hi, q_lo) };
+        let at = |q: f64| {
+            QuantileAdaptive { drift_quantile: q, min_samples: 1, ..Default::default() }
+                .on_publish(&errors, &current_thresholds())
+                .expect("enough finite samples")
+                .error_threshold_secs
+        };
+        prop_assert!(
+            at(q_lo) <= at(q_hi),
+            "quantile {} gave a higher level than quantile {}",
+            q_lo,
+            q_hi
+        );
+    }
+
+    /// On a constant error stream the derived thresholds are exactly the
+    /// clamped closed form — NaN lacing changes nothing — and re-deriving
+    /// from the already-derived state reports "no change" (idempotence:
+    /// a constant regime never oscillates its thresholds).
+    #[test]
+    fn quantile_thresholds_are_idempotent_on_constant_streams(
+        level in 1.0f64..1e6,
+        n in 4usize..64,
+        mask in prop::collection::vec(0u8..4, 1..6),
+    ) {
+        let policy = QuantileAdaptive { min_samples: 2, ..Default::default() };
+        let stream = lace(&vec![level; n], &mask);
+        let t = policy
+            .on_publish(&stream, &current_thresholds())
+            .expect("enough finite samples");
+        let clamp = |x: f64| x.clamp(policy.min_threshold_secs, policy.max_threshold_secs);
+        let clamp_rejuvenation =
+            |x: f64| x.clamp(policy.min_threshold_secs, policy.max_rejuvenation_threshold_secs);
+        prop_assert_eq!(t.error_threshold_secs, clamp(policy.drift_margin * level));
+        prop_assert_eq!(
+            t.rejuvenation_threshold_secs,
+            Some(clamp_rejuvenation(policy.rejuvenation_slack_secs + level))
+        );
+        prop_assert_eq!(policy.on_publish(&stream, &t), None, "must be idempotent");
     }
 }
 

@@ -160,7 +160,15 @@ impl Fleet {
     /// snapshotted at the end of the run. Because retraining proceeds
     /// concurrently with epoch processing, adaptive outcomes are *not*
     /// bit-deterministic across runs — which epoch first sees a new
-    /// generation depends on thread scheduling.
+    /// generation depends on thread scheduling. (For the same reason,
+    /// drift-*enabled* runs are not comparable checkpoint-for-checkpoint
+    /// across versions either: the labelled stream now also carries one
+    /// monitor-only counterfactual observation per proactive restart,
+    /// which feeds drift detection — deliberately, so an adapted fleet
+    /// whose crashes have become rare keeps its detection and
+    /// self-tuning alive. The bit-exact guarantees are the drift-DISABLED
+    /// identities asserted by the integration tests, which are
+    /// unaffected.)
     pub fn run_adaptive(self, service: &AdaptiveService, features: &FeatureSet) -> FleetReport {
         let mut report = self.run_bound(
             ModelBinding::Adaptive(service.model_service()),
@@ -283,30 +291,47 @@ impl Fleet {
                                 services.iter().map(|s| s.snapshot()).collect()
                             }
                         };
+                        // Effective rejuvenation thresholds follow the same
+                        // epoch-boundary discipline as the pins: read once
+                        // per class per epoch from the class's model
+                        // service, so a self-tuning policy's update lands
+                        // at an epoch edge, never mid-batch. All `None`
+                        // (the fixed-policy state) leaves the spec
+                        // thresholds in force — bit-identical to the
+                        // pre-policy engine.
+                        let mut thresholds: Vec<Option<f64>> = vec![None; n_classes];
                         let mut epoch = 0u64;
                         loop {
                             match binding {
                                 ModelBinding::Frozen(_) => {}
                                 ModelBinding::Adaptive(service) => {
                                     service.refresh(&mut pins[0]);
+                                    // One service serves every class.
+                                    thresholds.fill(service.rejuvenation_threshold_secs());
                                 }
                                 ModelBinding::Routed(services) => {
-                                    for (service, pin) in services.iter().zip(&mut pins) {
+                                    for ((service, pin), threshold) in
+                                        services.iter().zip(&mut pins).zip(&mut thresholds)
+                                    {
                                         service.refresh(pin);
+                                        *threshold = service.rejuvenation_threshold_secs();
                                     }
                                 }
                             }
                             // The model table this epoch serves from —
                             // borrows of `pins`, no per-epoch allocation.
                             let models = match binding {
-                                ModelBinding::Frozen(model) => EpochModels::Uniform(*model),
-                                ModelBinding::Adaptive(_) => {
-                                    EpochModels::Uniform(pins[0].model.as_ref())
+                                ModelBinding::Frozen(model) => {
+                                    EpochModels::Uniform { model: *model, generation: 0 }
                                 }
+                                ModelBinding::Adaptive(_) => EpochModels::Uniform {
+                                    model: pins[0].model.as_ref(),
+                                    generation: pins[0].generation,
+                                },
                                 ModelBinding::Routed(_) => EpochModels::PerClass(&pins),
                             };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                shard.epoch(models, config) as u64
+                                shard.epoch(models, &thresholds, config) as u64
                             }));
                             let shard_live = match &outcome {
                                 Ok(n) => *n,

@@ -17,7 +17,11 @@
 //! for the adaptation service), a proactive restart labels it against the
 //! frozen-rate counterfactual fork. Both feed the instance's TTF-error
 //! accounting; only crash epochs — the paper's "failure executions" —
-//! become training data.
+//! become training data, while each proactive restart queues a single
+//! *monitor-only* observation (the restart-triggering prediction vs the
+//! fork) so drift detection and self-tuning threshold policies stay fed
+//! once adaptation has made crashes rare. Every label carries the model
+//! generation that made its prediction.
 
 use crate::config::{FleetConfig, InstanceSpec};
 use crate::report::InstanceReport;
@@ -75,6 +79,11 @@ pub struct Instance {
     history_uptimes: Vec<f64>,
     history_predictions: Vec<f64>,
     history_rows: Vec<Vec<f64>>,
+    /// Model generation behind each prediction (kept only while
+    /// collecting, like the rows): training labels carry it so the
+    /// adaptation side can attribute errors to the generation that made
+    /// them — an epoch straddling a hot swap mixes generations.
+    history_generations: Vec<u64>,
     outbox: Vec<LabelledCheckpoint>,
     // Operating-period accounting, mirroring `evaluate_policy`.
     elapsed: f64,
@@ -106,6 +115,7 @@ impl Instance {
             history_uptimes: Vec::new(),
             history_predictions: Vec::new(),
             history_rows: Vec::new(),
+            history_generations: Vec::new(),
             outbox: Vec::new(),
             elapsed: 0.0,
             crashes: 0,
@@ -214,17 +224,26 @@ impl Instance {
     /// back into the debounced threshold trigger. `row` is the feature row
     /// this instance appended during [`Instance::advance`], handed back by
     /// the shard so crash epochs can be replayed as training data.
+    ///
+    /// `threshold_override` is the class's effective rejuvenation
+    /// threshold published by a self-tuning
+    /// [`aging_adapt::ThresholdPolicy`] (read once per epoch from the
+    /// class's model service); `None` — always, under the fixed policy —
+    /// leaves the spec's configured threshold in force, bit for bit.
     pub(crate) fn apply_prediction(
         &mut self,
         raw_prediction: f64,
         row: &[f64],
         config: &FleetConfig,
         collect: bool,
+        threshold_override: Option<f64>,
+        model_generation: u64,
     ) {
         let RejuvenationPolicy::Predictive { threshold_secs, consecutive } = self.spec.policy
         else {
             unreachable!("apply_prediction is only called after NeedsPrediction");
         };
+        let threshold_secs = threshold_override.unwrap_or(threshold_secs);
         debug_assert!(
             self.seen > config.rejuvenation.warmup_checkpoints,
             "warm-up checkpoints never request predictions"
@@ -234,6 +253,7 @@ impl Instance {
         self.history_predictions.push(prediction);
         if collect {
             self.history_rows.push(row.to_vec());
+            self.history_generations.push(model_generation);
         }
         if prediction < threshold_secs {
             self.below += 1;
@@ -283,6 +303,8 @@ impl Instance {
                             features: std::mem::take(&mut self.history_rows[i]),
                             ttf_secs: actual,
                             predicted_ttf_secs: Some(pred),
+                            predicted_generation: Some(self.history_generations[i]),
+                            monitor_only: false,
                         });
                     }
                 }
@@ -300,12 +322,29 @@ impl Instance {
                     self.ttf_error_sum += (pred.min(cap) - actual).abs();
                     self.ttf_error_count += 1;
                 }
+                // One monitor-only observation per proactive restart: the
+                // prediction that *triggered* it, against the fork's
+                // counterfactual crash time. This keeps drift detection
+                // and self-tuning policies fed once adaptation has
+                // (correctly) made crash epochs rare, without flooding
+                // the analysis side with correlated within-epoch samples
+                // — and the horizon-capped label never enters the
+                // training buffer.
+                if collect && !self.history_predictions.is_empty() {
+                    let pred = *self.history_predictions.last().expect("non-empty");
+                    self.outbox.push(LabelledCheckpoint::monitor_observation(
+                        fork_ttf.min(cap),
+                        pred.min(cap),
+                        self.history_generations.last().copied(),
+                    ));
+                }
             }
             EpochEnd::Unlabelled => {}
         }
         self.history_uptimes.clear();
         self.history_predictions.clear();
         self.history_rows.clear();
+        self.history_generations.clear();
         self.sim = None;
         self.epoch += 1;
     }

@@ -195,6 +195,24 @@ impl FleetReport {
     }
 }
 
+/// Formats the effective operating thresholds of one adaptation pipeline.
+/// The drift level always prints (a self-tuning policy may move it
+/// without publishing a rejuvenation override); the rejuvenation trigger
+/// shows its override when one is in force, otherwise that each spec's
+/// configured threshold rules.
+fn effective_thresholds(stats: &AdaptationStats) -> String {
+    match stats.effective_rejuvenation_threshold_secs {
+        Some(rejuvenate) => format!(
+            "  thresholds drift {:.0} s / rejuvenate {:.0} s",
+            stats.effective_error_threshold_secs, rejuvenate
+        ),
+        None => format!(
+            "  thresholds drift {:.0} s / rejuvenate per spec",
+            stats.effective_error_threshold_secs
+        ),
+    }
+}
+
 impl fmt::Display for FleetReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
@@ -226,13 +244,14 @@ impl fmt::Display for FleetReport {
             writeln!(
                 f,
                 "  adaptation         gen {}  retrains {}  drift events {}  \
-                 ingested {}  dropped {}  error EWMA {:.0} s",
+                 ingested {}  dropped {}  error EWMA {:.0} s{}",
                 adaptation.generation,
                 adaptation.retrains,
                 adaptation.drift_events,
                 adaptation.ingested_checkpoints,
                 adaptation.dropped_checkpoints,
-                adaptation.error_ewma_secs
+                adaptation.error_ewma_secs,
+                effective_thresholds(adaptation)
             )?;
         }
         if let Some(routing) = &self.routing {
@@ -250,14 +269,16 @@ impl fmt::Display for FleetReport {
                 writeln!(
                     f,
                     "    class {:<12} gen {}  retrains {}  drift events {}  ingested {}  \
-                     error {:.0} s (fleet mean {:.0} s)",
+                     dropped {}  error {:.0} s (fleet mean {:.0} s){}",
                     entry.class,
                     entry.stats.generation,
                     entry.stats.retrains,
                     entry.stats.drift_events,
                     entry.stats.ingested_checkpoints,
+                    entry.stats.dropped_checkpoints,
                     entry.stats.error_ewma_secs,
-                    self.class_mean_ttf_error_secs(entry.class.as_str())
+                    self.class_mean_ttf_error_secs(entry.class.as_str()),
+                    effective_thresholds(&entry.stats)
                 )?;
             }
         }

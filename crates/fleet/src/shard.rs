@@ -8,10 +8,19 @@ use aging_ml::{FeatureMatrix, Regressor};
 /// The model table one epoch serves from, resolved per class without any
 /// per-epoch allocation: homogeneous bindings answer every class with the
 /// one model, routed bindings index the worker's per-class snapshot pins.
+/// Each entry also knows its model *generation* — labelled training data
+/// carries it so the adaptation side can attribute every prediction error
+/// to the generation that made it.
 #[derive(Debug, Clone, Copy)]
 pub(crate) enum EpochModels<'a> {
-    /// Frozen and single-service adaptive runs: one model for all classes.
-    Uniform(&'a dyn Regressor),
+    /// Frozen and single-service adaptive runs: one model (and one
+    /// generation — 0 for frozen runs) for all classes.
+    Uniform {
+        /// The model every class serves from this epoch.
+        model: &'a dyn Regressor,
+        /// Its generation (the pinned snapshot's for adaptive runs).
+        generation: u64,
+    },
     /// Routed runs: the worker's pins, indexed by fleet class.
     PerClass(&'a [ModelSnapshot]),
 }
@@ -19,8 +28,15 @@ pub(crate) enum EpochModels<'a> {
 impl EpochModels<'_> {
     fn class(&self, class_idx: usize) -> &dyn Regressor {
         match self {
-            EpochModels::Uniform(model) => *model,
+            EpochModels::Uniform { model, .. } => *model,
             EpochModels::PerClass(pins) => pins[class_idx].model.as_ref(),
+        }
+    }
+
+    fn generation(&self, class_idx: usize) -> u64 {
+        match self {
+            EpochModels::Uniform { generation, .. } => *generation,
+            EpochModels::PerClass(pins) => pins[class_idx].generation,
         }
     }
 }
@@ -71,7 +87,17 @@ impl Shard {
     /// pending TTF predictions with one batched inference per service
     /// class over that class's model. Returns how many instances are
     /// still live.
-    pub(crate) fn epoch(&mut self, models: EpochModels<'_>, config: &FleetConfig) -> usize {
+    ///
+    /// `threshold_overrides` carries each fleet class's effective
+    /// rejuvenation threshold for this epoch (read from the class's model
+    /// service at the epoch boundary, like the model pins); `None` entries
+    /// leave the spec-configured thresholds in force.
+    pub(crate) fn epoch(
+        &mut self,
+        models: EpochModels<'_>,
+        threshold_overrides: &[Option<f64>],
+        config: &FleetConfig,
+    ) -> usize {
         for matrix in &mut self.matrices {
             matrix.clear();
         }
@@ -97,6 +123,8 @@ impl Shard {
             }
             let predictions = models.class(class).predict_matrix(matrix);
             debug_assert_eq!(predictions.len(), self.pending[class].len());
+            let threshold_override = threshold_overrides.get(class).copied().flatten();
+            let generation = models.generation(class);
             for (row_idx, (&slot, &prediction)) in
                 self.pending[class].iter().zip(&predictions).enumerate()
             {
@@ -105,6 +133,8 @@ impl Shard {
                     matrix.row(row_idx),
                     config,
                     collect,
+                    threshold_override,
+                    generation,
                 );
             }
         }

@@ -91,23 +91,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── adaptive service ──");
     let learner: Arc<dyn DynLearner> = Arc::new(M5pLearner::paper_default());
     let initial: Arc<dyn Regressor> = Arc::new(predictor.model().clone());
-    let service = AdaptiveService::spawn(
-        learner,
-        features.variables().to_vec(),
-        initial,
-        AdaptConfig {
-            drift: DriftConfig {
-                error_threshold_secs: 600.0,
-                min_observations: 40,
-                cooldown_observations: 120,
-                ..Default::default()
-            },
-            buffer_capacity: 2048,
-            min_buffer_to_retrain: 120,
-            retrain_every: None,
-            ..Default::default()
-        },
-    );
+    let service = AdaptiveService::builder(learner, features.variables().to_vec(), initial)
+        .config(
+            AdaptConfig::builder()
+                .drift(DriftConfig {
+                    error_threshold_secs: 600.0,
+                    min_observations: 40,
+                    cooldown_observations: 120,
+                    ..Default::default()
+                })
+                .buffer_capacity(2048)
+                .min_buffer_to_retrain(120)
+                .build(),
+        )
+        .spawn();
     let adaptive_report = Fleet::new(specs, config)?.run_adaptive(&service, &features);
     println!("{adaptive_report}\n");
     let stats = service.shutdown();

@@ -1,27 +1,29 @@
-//! Heterogeneous fleet: per-class adaptive model services under a shift
-//! injected into one class only.
+//! Self-tuning thresholds: a heterogeneous fleet with **no hand-picked
+//! per-class constants**.
 //!
-//! Two service classes share one fleet: a "leak" class whose workload
-//! shifts to an aggressive leak a quarter into the horizon, and a
-//! "steady" class that never changes. A single global model would let the
-//! shifted class drag the steady class's predictions around; the
-//! [`AdaptiveRouter`] keeps one model service, drift monitor and sliding
-//! buffer per class over a shared retrainer pool, so the shift retrains
-//! the leak class alone — the steady class stays on generation 0 and its
-//! outcomes are identical to a fleet that never contained the other class.
+//! The hetero_fleet example needs an operator who knows that the "leak"
+//! class wants a 600 s drift level and the "steady" class a 3600 s one.
+//! This example deletes that knowledge: both classes share **one**
+//! `AdaptConfig` (the default 900 s drift level) and **one**
+//! [`QuantileAdaptive`] policy `Arc`. After every model publish, each
+//! class's [`aging_adapt::AdaptationPipeline`] re-derives its own drift
+//! level and predictive-rejuvenation trigger from the error quantiles
+//! *that class* observed under the new generation — heterogeneous tuning
+//! becomes self-service.
 //!
 //! ```text
-//! cargo run --release --example hetero_fleet [-- --instances 24 \
+//! cargo run --release --example self_tuning_fleet [-- --instances 24 \
 //!     --shards 4 --hours 6 --json [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
 //! steady class. `--json` writes both reports (default path
-//! `BENCH_hetero.json`).
+//! `BENCH_self_tuning.json`).
 
 use serde::Serialize;
 use software_aging::adapt::{
-    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, RouterConfig, ServiceClass,
+    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, QuantileAdaptive, RouterConfig,
+    ServiceClass, ThresholdPolicy,
 };
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
@@ -36,9 +38,9 @@ use common::{leaky, parse_args, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
-struct HeteroBench {
+struct SelfTuningBench {
     frozen: FleetReport,
-    routed: FleetReport,
+    self_tuned: FleetReport,
 }
 
 fn specs(n_leak: usize, n_steady: usize, horizon_secs: f64) -> Vec<InstanceSpec> {
@@ -61,11 +63,12 @@ fn specs(n_leak: usize, n_steady: usize, horizon_secs: f64) -> Vec<InstanceSpec>
     leak_class.chain(steady_class).collect()
 }
 
+/// Both classes get the SAME config — the whole point. `drift_enabled:
+/// false` is the frozen baseline.
 fn class_configs(
     features: &FeatureSet,
     drift_enabled: bool,
 ) -> Result<Vec<(ServiceClass, ClassSpec)>, Box<dyn std::error::Error>> {
-    // Per-class initial models, each trained for its own regime.
     let leak_training: Vec<Scenario> =
         [75u64, 100, 125].into_iter().map(|ebs| leaky(format!("train-{ebs}eb"), ebs, 75)).collect();
     let leak_model: Arc<dyn Regressor> =
@@ -75,34 +78,33 @@ fn class_configs(
             .model()
             .clone(),
     );
-    let drift = |threshold: f64| {
-        if drift_enabled {
-            DriftConfig {
-                error_threshold_secs: threshold,
-                min_observations: 40,
-                cooldown_observations: 120,
-                ..Default::default()
-            }
+    // ONE shared adaptation config: default drift level (900 s), nothing
+    // tuned per class.
+    let shared = AdaptConfig::builder()
+        .drift(if drift_enabled {
+            DriftConfig { min_observations: 40, cooldown_observations: 120, ..Default::default() }
         } else {
             DriftConfig::disabled()
-        }
-    };
-    let adapt = |threshold: f64| {
-        AdaptConfig::builder()
-            .drift(drift(threshold))
-            .buffer_capacity(2048)
-            .min_buffer_to_retrain(120)
-            .build()
-    };
+        })
+        .buffer_capacity(2048)
+        .min_buffer_to_retrain(120)
+        .build();
+    // ONE shared policy instance: each class's pipeline consults it with
+    // its own error window, so it still tunes every class independently.
+    let policy: Arc<dyn ThresholdPolicy> = Arc::new(QuantileAdaptive::default());
     Ok(vec![
         (
             ServiceClass::new("leak"),
-            ClassSpec::builder(LearnerKind::M5p.learner(), leak_model).config(adapt(600.0)).build(),
+            ClassSpec::builder(LearnerKind::M5p.learner(), leak_model)
+                .config(shared)
+                .policy(Arc::clone(&policy))
+                .build(),
         ),
         (
             ServiceClass::new("steady"),
             ClassSpec::builder(LearnerKind::M5p.learner(), steady_model)
-                .config(adapt(3600.0))
+                .config(shared)
+                .policy(policy)
                 .build(),
         ),
     ])
@@ -110,8 +112,10 @@ fn class_configs(
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None };
-    let args = parse_args(defaults, "BENCH_hetero.json").inspect_err(|_| {
-        eprintln!("usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
+    let args = parse_args(defaults, "BENCH_self_tuning.json").inspect_err(|_| {
+        eprintln!(
+            "usage: self_tuning_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]"
+        );
     })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
@@ -124,12 +128,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     println!(
         "training per-class models … ({n_leak} shifting + {n_steady} steady deployments, \
-         {:.0} h horizon)\n",
+         {:.0} h horizon, zero hand-picked thresholds)\n",
         args.hours
     );
 
-    // Run 1: per-class frozen baseline (drift disabled — every class rides
-    // out the shift on its generation-0 model).
+    // Run 1: per-class frozen baseline (drift disabled — every class
+    // rides out the shift on its generation-0 model).
     println!("── frozen per-class models ──");
     let frozen_router = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, false)?)
@@ -140,33 +144,37 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     frozen_router.shutdown();
     println!("{frozen}\n");
 
-    // Run 2: same fleet and seeds, class-routed adaptation live.
-    println!("── class-routed adaptation ──");
+    // Run 2: same fleet and seeds, one shared config + one shared
+    // QuantileAdaptive policy — every class derives its own thresholds.
+    println!("── self-tuning thresholds (shared config, shared policy) ──");
     let router = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
         .config(RouterConfig::builder().retrainer_threads(2).build())
         .spawn();
-    let mut routed =
+    let mut self_tuned =
         Fleet::new(specs(n_leak, n_steady, horizon), config)?.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
     let stats = router.shutdown();
     // `run_routed` snapshots the stats mid-drain; replace them with the
     // settled post-quiesce numbers so console and JSON artifact agree.
-    routed.routing = Some(stats.clone());
-    println!("{routed}\n");
+    self_tuned.routing = Some(stats.clone());
+    println!("{self_tuned}\n");
 
-    println!("── frozen vs routed, per class ──");
+    println!("── frozen vs self-tuned, per class ──");
     for class in ["leak", "steady"] {
         let frozen_err = frozen.class_mean_ttf_error_secs(class);
-        let routed_err = routed.class_mean_ttf_error_secs(class);
+        let tuned_err = self_tuned.class_mean_ttf_error_secs(class);
         let s = stats.class(&ServiceClass::new(class)).expect("registered class");
+        let rejuvenate = s
+            .effective_rejuvenation_threshold_secs
+            .map_or("spec (420 s)".to_string(), |t| format!("{t:.0} s"));
         println!(
-            "  {class:<8} TTF error {frozen_err:>7.0} s → {routed_err:>7.0} s  \
-             ({:.1}× lower)   gen {}  retrains {}  drift events {}",
-            frozen_err / routed_err.max(1.0),
+            "  {class:<8} TTF error {frozen_err:>7.0} s → {tuned_err:>7.0} s  \
+             ({:.1}× lower)   gen {}  drift level {:.0} s  rejuvenate {}",
+            frozen_err / tuned_err.max(1.0),
             s.generation,
-            s.retrains,
-            s.drift_events,
+            s.effective_error_threshold_secs,
+            rejuvenate,
         );
     }
     println!(
@@ -175,7 +183,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     if let Some(path) = &args.json {
-        let bench = HeteroBench { frozen, routed };
+        let bench = SelfTuningBench { frozen, self_tuned };
         std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;
         println!("\nwrote {path}");
     }

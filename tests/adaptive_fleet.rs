@@ -81,23 +81,20 @@ fn adaptive_fleet_beats_frozen_model_under_workload_shift() {
     // Adaptive run: same specs and seeds, model served by the service.
     let learner: Arc<dyn DynLearner> = Arc::new(M5pLearner::paper_default());
     let initial: Arc<dyn Regressor> = Arc::new(predictor.model().clone());
-    let service = AdaptiveService::spawn(
-        learner,
-        features.variables().to_vec(),
-        initial,
-        AdaptConfig {
-            drift: DriftConfig {
-                error_threshold_secs: 600.0,
-                min_observations: 40,
-                cooldown_observations: 120,
-                ..Default::default()
-            },
-            buffer_capacity: 2048,
-            min_buffer_to_retrain: 120,
-            retrain_every: None,
-            ..Default::default()
-        },
-    );
+    let service = AdaptiveService::builder(learner, features.variables().to_vec(), initial)
+        .config(
+            AdaptConfig::builder()
+                .drift(DriftConfig {
+                    error_threshold_secs: 600.0,
+                    min_observations: 40,
+                    cooldown_observations: 120,
+                    ..Default::default()
+                })
+                .buffer_capacity(2048)
+                .min_buffer_to_retrain(120)
+                .build(),
+        )
+        .spawn();
     let adaptive = Fleet::new(shifting_specs(n_instances, horizon), config)
         .unwrap()
         .run_adaptive(&service, &features);
@@ -139,12 +136,13 @@ fn run_adaptive_with_drift_disabled_matches_frozen_run_exactly() {
 
     let frozen = Fleet::new(specs.clone(), config).unwrap().run_with_predictor(&predictor);
 
-    let service = AdaptiveService::spawn(
+    let service = AdaptiveService::builder(
         Arc::new(M5pLearner::paper_default()),
         features.variables().to_vec(),
         Arc::new(predictor.model().clone()),
-        AdaptConfig { drift: DriftConfig::disabled(), ..Default::default() },
-    );
+    )
+    .config(AdaptConfig::builder().drift(DriftConfig::disabled()).build())
+    .spawn();
     let adaptive = Fleet::new(specs, config).unwrap().run_adaptive(&service, &features);
     let stats = service.shutdown();
 
@@ -176,12 +174,13 @@ fn single_instance_adaptive_parity_with_evaluate_policy() {
         let single =
             evaluate_policy(&scenario, policy, Some(&predictor), &rejuvenation, seed).unwrap();
 
-        let service = AdaptiveService::spawn(
+        let service = AdaptiveService::builder(
             Arc::new(M5pLearner::paper_default()),
             features.variables().to_vec(),
             Arc::new(predictor.model().clone()),
-            AdaptConfig { drift: DriftConfig::disabled(), ..Default::default() },
-        );
+        )
+        .config(AdaptConfig::builder().drift(DriftConfig::disabled()).build())
+        .spawn();
         let config = FleetConfig { shards: 1, rejuvenation, counterfactual_horizon_secs: 3600.0 };
         let report =
             Fleet::new(vec![InstanceSpec::new("solo", scenario.clone(), policy, seed)], config)

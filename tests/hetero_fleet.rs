@@ -14,7 +14,8 @@
 //!    counts.
 
 use software_aging::adapt::{
-    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, RouterConfig, ServiceClass,
+    AdaptConfig, AdaptiveRouter, ClassSpec, DriftConfig, QuantileAdaptive, RouterConfig,
+    ServiceClass, ThresholdPolicy,
 };
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
@@ -93,8 +94,8 @@ fn initial_model_b(features: &FeatureSet) -> Arc<dyn Regressor> {
 
 /// Class A's adaptation tuning (mirrors the single-service shift test).
 fn adapt_a(drift_enabled: bool) -> AdaptConfig {
-    AdaptConfig {
-        drift: if drift_enabled {
+    AdaptConfig::builder()
+        .drift(if drift_enabled {
             DriftConfig {
                 error_threshold_secs: 600.0,
                 min_observations: 40,
@@ -103,20 +104,18 @@ fn adapt_a(drift_enabled: bool) -> AdaptConfig {
             }
         } else {
             DriftConfig::disabled()
-        },
-        buffer_capacity: 2048,
-        min_buffer_to_retrain: 120,
-        retrain_every: None,
-        ..Default::default()
-    }
+        })
+        .buffer_capacity(2048)
+        .min_buffer_to_retrain(120)
+        .build()
 }
 
 /// Class B's tuning: drift detection *live* but thresholds sized for its
 /// stationary regime, so only a genuine regime change would fire. The
 /// isolation guarantee below relies on routing, not on disabling B.
 fn adapt_b(drift_enabled: bool) -> AdaptConfig {
-    AdaptConfig {
-        drift: if drift_enabled {
+    AdaptConfig::builder()
+        .drift(if drift_enabled {
             DriftConfig {
                 error_threshold_secs: 3600.0,
                 min_observations: 40,
@@ -126,37 +125,28 @@ fn adapt_b(drift_enabled: bool) -> AdaptConfig {
             }
         } else {
             DriftConfig::disabled()
-        },
-        buffer_capacity: 2048,
-        min_buffer_to_retrain: 120,
-        retrain_every: None,
-        ..Default::default()
-    }
+        })
+        .buffer_capacity(2048)
+        .min_buffer_to_retrain(120)
+        .build()
 }
 
 fn spawn_router(features: &FeatureSet, drift_enabled: bool) -> AdaptiveRouter {
-    AdaptiveRouter::spawn(
-        vec![
-            (
-                ServiceClass::new("leak"),
-                ClassSpec {
-                    learner: LearnerKind::M5p.learner(),
-                    initial: initial_model_a(features),
-                    config: adapt_a(drift_enabled),
-                },
-            ),
-            (
-                ServiceClass::new("steady"),
-                ClassSpec {
-                    learner: LearnerKind::M5p.learner(),
-                    initial: initial_model_b(features),
-                    config: adapt_b(drift_enabled),
-                },
-            ),
-        ],
-        features.variables().to_vec(),
-        RouterConfig { retrainer_threads: 2, ..Default::default() },
-    )
+    AdaptiveRouter::builder(features.variables().to_vec())
+        .class(
+            ServiceClass::new("leak"),
+            ClassSpec::builder(LearnerKind::M5p.learner(), initial_model_a(features))
+                .config(adapt_a(drift_enabled))
+                .build(),
+        )
+        .class(
+            ServiceClass::new("steady"),
+            ClassSpec::builder(LearnerKind::M5p.learner(), initial_model_b(features))
+                .config(adapt_b(drift_enabled))
+                .build(),
+        )
+        .config(RouterConfig::builder().retrainer_threads(2).build())
+        .spawn()
 }
 
 fn assert_bit_identical(a: &FleetReport, b: &FleetReport, what: &str) {
@@ -254,18 +244,14 @@ fn single_class_routed_run_is_bit_identical_to_the_frozen_engine() {
 
     let frozen = Fleet::new(specs.clone(), config).unwrap().run_with_predictor(&predictor);
 
-    let router = AdaptiveRouter::spawn(
-        vec![(
+    let router = AdaptiveRouter::builder(features.variables().to_vec())
+        .class(
             ServiceClass::default(),
-            ClassSpec {
-                learner: LearnerKind::M5p.learner(),
-                initial: Arc::new(predictor.model().clone()),
-                config: AdaptConfig { drift: DriftConfig::disabled(), ..Default::default() },
-            },
-        )],
-        features.variables().to_vec(),
-        RouterConfig::default(),
-    );
+            ClassSpec::builder(LearnerKind::M5p.learner(), Arc::new(predictor.model().clone()))
+                .config(AdaptConfig::builder().drift(DriftConfig::disabled()).build())
+                .build(),
+        )
+        .spawn();
     let routed = Fleet::new(specs, config).unwrap().run_routed(&router, &features).unwrap();
     let stats = router.shutdown();
 
@@ -274,6 +260,96 @@ fn single_class_routed_run_is_bit_identical_to_the_frozen_engine() {
     let routing = routed.routing.expect("routed runs carry per-class stats");
     assert_eq!(routing.classes.len(), 1);
     assert_eq!(routing.dropped_checkpoints, 0, "the bounded bus must keep up here");
+}
+
+/// The self-tuning acceptance (ISSUE 4): with `QuantileAdaptive`, a
+/// heterogeneous-shift fleet whose spec contains **no per-class threshold
+/// constants** — every class shares one `AdaptConfig` with the default
+/// drift level and one shared policy `Arc` — ends up with per-class error
+/// no worse than the hand-picked PR 3 thresholds (600 s for the shifting
+/// class, 3600 s for the steady one), because each class's pipeline
+/// re-derives its own thresholds from its own error quantiles on every
+/// publish.
+#[test]
+fn quantile_adaptive_matches_hand_picked_per_class_thresholds() {
+    let features = FeatureSet::exp42();
+    let horizon = 6.0 * 3600.0;
+    let config = fleet_config(horizon, 4);
+    let specs: Vec<InstanceSpec> =
+        class_a_specs(20, horizon).into_iter().chain(class_b_specs(8)).collect();
+
+    // Baseline: the hand-picked per-class thresholds of PR 3.
+    let hand_picked_router = spawn_router(&features, true);
+    let hand_picked = Fleet::new(specs.clone(), config)
+        .unwrap()
+        .run_routed(&hand_picked_router, &features)
+        .unwrap();
+    assert!(hand_picked_router.quiesce(Duration::from_secs(60)));
+    hand_picked_router.shutdown();
+
+    // Self-tuned: ONE shared config (default 900 s drift level — not
+    // hand-picked for either class) and ONE shared policy for every class.
+    let shared_config = AdaptConfig::builder()
+        .drift(DriftConfig {
+            min_observations: 40,
+            cooldown_observations: 120,
+            ..Default::default()
+        })
+        .buffer_capacity(2048)
+        .min_buffer_to_retrain(120)
+        .build();
+    let policy: Arc<dyn ThresholdPolicy> = Arc::new(QuantileAdaptive::default());
+    let self_tuned_router = AdaptiveRouter::builder(features.variables().to_vec())
+        .class(
+            ServiceClass::new("leak"),
+            ClassSpec::builder(LearnerKind::M5p.learner(), initial_model_a(&features))
+                .config(shared_config)
+                .policy(Arc::clone(&policy))
+                .build(),
+        )
+        .class(
+            ServiceClass::new("steady"),
+            ClassSpec::builder(LearnerKind::M5p.learner(), initial_model_b(&features))
+                .config(shared_config)
+                .policy(policy)
+                .build(),
+        )
+        .config(RouterConfig::builder().retrainer_threads(2).build())
+        .spawn();
+    let self_tuned =
+        Fleet::new(specs, config).unwrap().run_routed(&self_tuned_router, &features).unwrap();
+    assert!(self_tuned_router.quiesce(Duration::from_secs(60)));
+    let stats = self_tuned_router.shutdown();
+
+    // Both classes adapted under the shared starting threshold…
+    let leak = stats.class(&ServiceClass::new("leak")).unwrap();
+    assert!(leak.retrains >= 1, "the shifted class must retrain: {leak:?}");
+    // …and the policy moved the thresholds per class, from the one shared
+    // constant to values reflecting each class's own error regime.
+    let steady = stats.class(&ServiceClass::new("steady")).unwrap();
+    if steady.retrains >= 1 {
+        assert!(
+            steady.effective_error_threshold_secs != leak.effective_error_threshold_secs,
+            "classes sharing one config must still tune apart: {stats:?}"
+        );
+    }
+    assert!(
+        leak.effective_rejuvenation_threshold_secs.is_some(),
+        "the shifted class must have self-tuned its rejuvenation trigger: {leak:?}"
+    );
+
+    // The acceptance bound: per-class error no worse than the hand-picked
+    // thresholds (adaptive runs are not bit-deterministic, so allow a
+    // small scheduling tolerance).
+    for class in ["leak", "steady"] {
+        let hand = hand_picked.class_mean_ttf_error_secs(class);
+        let tuned = self_tuned.class_mean_ttf_error_secs(class);
+        assert!(
+            tuned <= hand * 1.15,
+            "class {class}: self-tuned error {tuned:.0}s must be no worse than the \
+             hand-picked {hand:.0}s ({stats:?})"
+        );
+    }
 }
 
 #[test]

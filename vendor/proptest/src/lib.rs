@@ -299,16 +299,21 @@ macro_rules! prop_oneof {
 
 /// Declares property tests. Each argument is sampled from its strategy for
 /// every generated case; `prop_assert*` failures report the case index.
+///
+/// Attributes on the test functions — including `///` doc comments, which
+/// the compiler rewrites into `#[doc = "…"]` — are passed through to the
+/// generated function, so `#[test]` must still be written (as with the
+/// real proptest) and documentation is allowed above it.
 #[macro_export]
 macro_rules! proptest {
     (#![proptest_config($config:expr)] $($rest:tt)*) => {
         $crate::proptest!(@with_config ($config) $($rest)*);
     };
     (@with_config ($config:expr)
-     $(#[test] fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
+     $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block)*
     ) => {
         $(
-            #[test]
+            $(#[$meta])*
             fn $name() {
                 let config: $crate::ProptestConfig = $config;
                 let mut rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
@@ -327,6 +332,20 @@ macro_rules! proptest {
                 }
             }
         )*
+    };
+    // Any `@with_config` invocation the arm above could not parse lands
+    // here and stops with a real error. Without this arm the malformed
+    // input would fall through to the catch-all below, which wraps it in
+    // *another* `@with_config (…)` prefix and recurses forever — the
+    // historical footgun where a stray token before `#[test]` hung the
+    // compiler instead of reporting anything.
+    (@with_config $($rest:tt)*) => {
+        ::std::compile_error!(
+            "proptest! could not parse its test functions; expected \
+             `$(#[attr])* fn name(arg in strategy, …) { … }` items \
+             (attributes and /// doc comments are allowed, `#[test]` is \
+             still required for the function to run as a test)"
+        );
     };
     ($($rest:tt)*) => {
         $crate::proptest!(@with_config ($crate::ProptestConfig::default()) $($rest)*);
@@ -374,6 +393,25 @@ mod tests {
             ],
         ) {
             prop_assert!(v == -10 || v == 42 || (5..7).contains(&v), "unexpected {v}");
+        }
+
+        /// Regression test for the doc-comment footgun: this `///` comment
+        /// expands to `#[doc = "…"]` in front of `#[test]`, which the old
+        /// macro could not match — the catch-all arm then re-wrapped the
+        /// input in `@with_config` prefixes forever and the compiler hung.
+        /// Compiling (and running) this test is the fix's proof.
+        #[test]
+        fn doc_comments_before_test_are_accepted(x in 0u32..100) {
+            prop_assert!(x < 100);
+        }
+    }
+
+    // The pass-through also keeps non-doc attributes working.
+    proptest! {
+        #[test]
+        #[allow(clippy::eq_op)]
+        fn non_doc_attributes_pass_through(x in 0i64..10) {
+            prop_assert_eq!(x, x);
         }
     }
 }
