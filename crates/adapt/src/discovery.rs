@@ -1,0 +1,974 @@
+//! Automatic service-class discovery: cluster instances by their observed
+//! aging signature.
+//!
+//! PR 3/4 gave every [`crate::ServiceClass`] its own adaptation pipeline
+//! and self-tuned thresholds — but the classes themselves were still
+//! operator-assigned. This module closes that loop:
+//!
+//! ```text
+//!  per-instance labelled-checkpoint stream
+//!        │ SignatureAccumulator (one per instance)
+//!        ▼
+//!  aging-signature vector  — error quantiles ⊕ drift-EWMA level ⊕
+//!        │                   segmentation trend slope ⊕ root-cause mix
+//!        ▼
+//!  ClassDiscovery::evaluate — standardise ⊕ seeded k-means
+//!        │                    (silhouette-gated split, centroid-distance
+//!        │                    merge; at most one structural change per
+//!        ▼                    evaluation, so partitions cannot oscillate)
+//!  DiscoveryOutcome — stable class ids, new classes (with the nearest
+//!                     existing class to inherit a model from), retirements
+//! ```
+//!
+//! The signature is deliberately built from the same machinery the rest of
+//! the adaptation stack trusts: error quantiles through
+//! [`aging_dataset::stats::quantile`] (which treats non-finite values as
+//! missing observations), the trend through
+//! [`aging_ml::segment::diagnose`], and clustering through
+//! [`aging_ml::cluster`]. Every signature component is **finite by
+//! construction** whatever the error stream carries — the property tests
+//! lace the streams with NaN/±inf to pin this down.
+//!
+//! Class ids handed out by [`ClassDiscovery`] are stable across
+//! evaluations: clusters are matched to existing classes by centroid
+//! distance, so "the leak class" keeps its id (and therefore its router
+//! pipeline, model generations and threshold state) from one epoch
+//! boundary to the next. Unmatched clusters become *new* classes seeded
+//! from the nearest existing one; unmatched classes are *retired* into the
+//! class that absorbed their members.
+
+use crate::bus::LabelledCheckpoint;
+use aging_dataset::stats;
+use aging_ml::cluster::{
+    apply_standardisation, kmeans, kmeans_from, silhouette, standardise, Clustering, KMeansConfig,
+};
+use aging_ml::segment::{diagnose, SeriesDiagnosis};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// Resource categories of the root-cause mix — the same buckets
+/// `aging_core::rootcause` reports (duplicated here because the adapt
+/// crate sits below `aging_core` in the dependency graph): Java heap,
+/// process/system memory, threads, load signals, everything else.
+pub const N_RESOURCE_CATEGORIES: usize = 5;
+
+/// Classifies a Table-2 variable name into one of the
+/// [`N_RESOURCE_CATEGORIES`] root-cause buckets (mirrors
+/// `aging_core::rootcause::categorize`).
+fn resource_category(variable: &str) -> usize {
+    if variable.contains("young") || variable.contains("old") {
+        0 // Java heap
+    } else if variable.contains("mem") || variable.contains("swap") {
+        1 // memory
+    } else if variable.contains("thread") {
+        2 // threads
+    } else if variable.contains("throughput")
+        || variable.contains("response")
+        || variable.contains("load")
+        || variable.contains("workload")
+        || variable.contains("connections")
+    {
+        3 // load
+    } else {
+        4 // other
+    }
+}
+
+/// Tuning for the per-instance [`SignatureAccumulator`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SignatureConfig {
+    /// Sliding window of recent finite absolute errors the quantiles and
+    /// trend are computed over — the window is what makes the signature
+    /// track the *current* regime after a workload shift.
+    pub error_window: usize,
+    /// EWMA smoothing factor in `(0, 1]` for the drift-level component.
+    pub ewma_alpha: f64,
+    /// Residual tolerance (seconds) for the trend segmentation.
+    pub trend_tolerance_secs: f64,
+    /// Slope threshold (seconds per observation) above which the trend
+    /// component reports degradation.
+    pub trend_slope_threshold: f64,
+    /// Minimum finite errors before the accumulator produces a signature
+    /// (an instance with two labelled checkpoints is noise, not a regime).
+    pub min_errors: usize,
+    /// Clamp for error-derived components, seconds — keeps one absurd
+    /// label from dominating the standardised space.
+    pub error_cap_secs: f64,
+}
+
+impl Default for SignatureConfig {
+    fn default() -> Self {
+        SignatureConfig {
+            error_window: 256,
+            ewma_alpha: 0.2,
+            trend_tolerance_secs: 600.0,
+            trend_slope_threshold: 10.0,
+            min_errors: 12,
+            error_cap_secs: 10_800.0,
+        }
+    }
+}
+
+impl SignatureConfig {
+    /// Panics with a message when a parameter is degenerate.
+    pub fn validate(&self) {
+        assert!(self.error_window >= 2, "error window needs at least 2 observations");
+        assert!(
+            self.ewma_alpha > 0.0 && self.ewma_alpha <= 1.0,
+            "ewma_alpha must be in (0, 1], got {}",
+            self.ewma_alpha
+        );
+        assert!(self.trend_tolerance_secs > 0.0, "trend tolerance must be positive");
+        assert!(
+            self.trend_slope_threshold >= 0.0 && self.trend_slope_threshold.is_finite(),
+            "trend slope threshold must be finite and non-negative"
+        );
+        assert!(self.min_errors >= 1, "min_errors must be at least 1");
+        assert!(
+            self.error_cap_secs.is_finite() && self.error_cap_secs > 0.0,
+            "error cap must be finite and positive"
+        );
+    }
+}
+
+/// Number of components in an aging-signature vector: three error
+/// quantiles, the EWMA level, the trend slope, and the root-cause mix.
+pub const SIGNATURE_DIM: usize = 5 + N_RESOURCE_CATEGORIES;
+
+/// Streams one instance's labelled checkpoints into an aging-signature
+/// vector:
+///
+/// `[q25, q50, q90 of recent |error|, error EWMA, trend slope,
+///   mix(heap), mix(memory), mix(threads), mix(load), mix(other)]`
+///
+/// The root-cause mix is a per-category **monotonicity index** of the
+/// feature columns' checkpoint-to-checkpoint deltas: `Σdelta / Σ|delta|`,
+/// bounded in `[-1, 1]`. A genuinely leaking resource moves in one
+/// direction and scores near `±1`; a churning one (GC sawtooth, load
+/// oscillation) cancels itself toward `0` — so instances cluster by
+/// *what* is aging, not only by how badly the model mispredicts, and the
+/// index is stable where a normalised net-drift mix would flip sign on
+/// churn noise.
+///
+/// Non-finite errors and feature deltas are skipped (missing
+/// observations), so every produced signature is finite whatever the
+/// stream carries.
+#[derive(Debug, Clone)]
+pub struct SignatureAccumulator {
+    config: SignatureConfig,
+    /// Root-cause bucket of each feature column.
+    categories: Vec<usize>,
+    errors: VecDeque<f64>,
+    ewma: Option<f64>,
+    prev_row: Option<Vec<f64>>,
+    cat_delta_sum: [f64; N_RESOURCE_CATEGORIES],
+    cat_delta_abs: [f64; N_RESOURCE_CATEGORIES],
+}
+
+impl SignatureAccumulator {
+    /// Creates an accumulator for an instance whose feature rows follow
+    /// `feature_names` (the fleet's feature-set variables, in order).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate [`SignatureConfig`].
+    pub fn new(config: SignatureConfig, feature_names: &[String]) -> Self {
+        config.validate();
+        SignatureAccumulator {
+            config,
+            categories: feature_names.iter().map(|n| resource_category(n)).collect(),
+            errors: VecDeque::with_capacity(config.error_window),
+            ewma: None,
+            prev_row: None,
+            cat_delta_sum: [0.0; N_RESOURCE_CATEGORIES],
+            cat_delta_abs: [0.0; N_RESOURCE_CATEGORIES],
+        }
+    }
+
+    /// Feeds one labelled checkpoint (typically just before it is queued
+    /// for the adaptation bus).
+    pub fn observe(&mut self, cp: &LabelledCheckpoint) {
+        if let Some(err) = cp.abs_error_secs() {
+            self.observe_error(err);
+        }
+        if !cp.monitor_only {
+            self.observe_row(&cp.features);
+        }
+    }
+
+    /// Feeds one absolute prediction error (seconds). Unlike the bus —
+    /// where proactive-restart epochs deliberately contribute a single
+    /// monitor observation each, to keep correlated within-epoch samples
+    /// from flooding fleet-wide drift detection — the accumulator is
+    /// **per instance**, so the fleet feeds it every counterfactually
+    /// labelled checkpoint: under a well-tuned predictive policy crashes
+    /// are rare, and restart epochs are where the signature's error
+    /// evidence comes from. Non-finite errors are skipped.
+    pub fn observe_error(&mut self, abs_error_secs: f64) {
+        if !abs_error_secs.is_finite() {
+            return;
+        }
+        let err = abs_error_secs.clamp(0.0, self.config.error_cap_secs);
+        if self.errors.len() == self.config.error_window {
+            self.errors.pop_front();
+        }
+        self.errors.push_back(err);
+        let alpha = self.config.ewma_alpha;
+        self.ewma = Some(match self.ewma {
+            None => err,
+            Some(prev) => alpha * err + (1.0 - alpha) * prev,
+        });
+    }
+
+    /// Feeds one feature row (root-cause-mix evidence). Rows of the wrong
+    /// arity are skipped; non-finite deltas are skipped.
+    pub fn observe_row(&mut self, row: &[f64]) {
+        if row.len() != self.categories.len() {
+            return;
+        }
+        if let Some(prev) = &self.prev_row {
+            for ((&cat, v), p) in self.categories.iter().zip(row).zip(prev) {
+                let delta = v - p;
+                if delta.is_finite() {
+                    self.cat_delta_sum[cat] += delta;
+                    self.cat_delta_abs[cat] += delta.abs();
+                }
+            }
+        }
+        self.prev_row = Some(row.to_vec());
+    }
+
+    /// Marks a service-epoch boundary: consecutive rows of *different*
+    /// epochs must not contribute a growth delta (a restart resets every
+    /// resource, and the spurious negative jump would wash out the mix).
+    pub fn epoch_boundary(&mut self) {
+        self.prev_row = None;
+    }
+
+    /// Finite errors observed so far (bounded by the window).
+    pub fn observed_errors(&self) -> usize {
+        self.errors.len()
+    }
+
+    /// The signature vector, or `None` while fewer than
+    /// [`SignatureConfig::min_errors`] finite errors have been observed.
+    /// Every component is finite.
+    pub fn signature(&self) -> Option<Vec<f64>> {
+        if self.errors.len() < self.config.min_errors {
+            return None;
+        }
+        let errors: Vec<f64> = self.errors.iter().copied().collect();
+        let quantile = |q: f64| stats::quantile(&errors, q).unwrap_or(0.0);
+        let cap = self.config.error_cap_secs;
+        let slope = match diagnose(
+            &errors,
+            self.config.trend_tolerance_secs,
+            self.config.trend_slope_threshold,
+        ) {
+            SeriesDiagnosis::Degrading { mean_slope } => mean_slope.clamp(-cap, cap),
+            _ => 0.0,
+        };
+        let mut signature =
+            vec![quantile(0.25), quantile(0.5), quantile(0.9), self.ewma.unwrap_or(0.0), slope];
+        // Root-cause mix: the per-category monotonicity index (see the
+        // type docs) — `0` when a category never moved or pure churn.
+        signature.extend((0..N_RESOURCE_CATEGORIES).map(|c| {
+            if self.cat_delta_abs[c] > 0.0 {
+                self.cat_delta_sum[c] / self.cat_delta_abs[c]
+            } else {
+                0.0
+            }
+        }));
+        debug_assert_eq!(signature.len(), SIGNATURE_DIM);
+        debug_assert!(signature.iter().all(|v| v.is_finite()));
+        Some(signature)
+    }
+}
+
+/// Tuning for the [`ClassDiscovery`] engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryConfig {
+    /// Hard cap on simultaneously active classes.
+    pub max_classes: usize,
+    /// A structural change is only accepted when every resulting cluster
+    /// keeps at least this many members (one outlier instance must not
+    /// spawn a class of its own).
+    pub min_members: usize,
+    /// A split (k → k+1) is only accepted when the k+1 clustering's mean
+    /// silhouette reaches this value *and* beats the k clustering's — the
+    /// shape half of the gate that keeps a stationary fleet from being
+    /// carved up.
+    pub split_silhouette_gate: f64,
+    /// The scale half of the split gate: every pair of candidate
+    /// centroids must differ by at least this **relative raw-space
+    /// separation** (`‖a − b‖ / (‖a‖ + ‖b‖)`). Standardisation stretches
+    /// any noise to unit variance, so a silhouette alone would happily
+    /// split a fleet whose signatures differ by a few seconds; this gate
+    /// demands the regimes differ *materially*.
+    pub split_separation: f64,
+    /// Two active classes whose centroids fall below this relative
+    /// raw-space separation are merged (k → k−1): the regimes have
+    /// converged and separate models would just halve each one's training
+    /// data. Keep it well under [`DiscoveryConfig::split_separation`] —
+    /// the hysteresis band is what prevents split/merge oscillation.
+    pub merge_separation: f64,
+    /// Fraction of the fleet that must have a ready signature before any
+    /// clustering runs. Early in a run only a handful of instances have
+    /// completed labelled epochs, and a split decided on that unlucky
+    /// sample — then faithfully *tracked* by the warm-started clustering
+    /// — poisons the partition for good. Below the gate, ready instances
+    /// are assigned to the nearest existing class and nothing else moves.
+    pub min_ready_fraction: f64,
+    /// Seed for the deterministic k-means initialisation.
+    pub seed: u64,
+    /// Lloyd-iteration cap per k-means run.
+    pub kmeans_iters: usize,
+}
+
+impl Default for DiscoveryConfig {
+    fn default() -> Self {
+        DiscoveryConfig {
+            max_classes: 4,
+            min_members: 2,
+            split_silhouette_gate: 0.5,
+            split_separation: 0.2,
+            merge_separation: 0.08,
+            min_ready_fraction: 0.5,
+            seed: 42,
+            kmeans_iters: 64,
+        }
+    }
+}
+
+impl DiscoveryConfig {
+    /// Panics with a message when a parameter is degenerate.
+    pub fn validate(&self) {
+        assert!(self.max_classes >= 1, "max_classes must be at least 1");
+        assert!(self.min_members >= 1, "min_members must be at least 1");
+        assert!(
+            self.split_silhouette_gate > 0.0 && self.split_silhouette_gate <= 1.0,
+            "split gate must lie in (0, 1] (silhouettes at or below 0 mean no structure)"
+        );
+        assert!(
+            self.split_separation.is_finite() && self.split_separation > 0.0,
+            "split separation must be finite and positive"
+        );
+        assert!(
+            self.merge_separation.is_finite()
+                && self.merge_separation >= 0.0
+                && self.merge_separation < self.split_separation,
+            "merge separation must be finite, non-negative and below the split separation \
+             (the hysteresis band prevents split/merge oscillation)"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.min_ready_fraction),
+            "min_ready_fraction must lie in [0, 1]"
+        );
+        assert!(self.kmeans_iters >= 1, "kmeans_iters must be at least 1");
+    }
+}
+
+/// A class created by the latest [`ClassDiscovery::evaluate`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NewClass {
+    /// The stable id of the new class.
+    pub id: usize,
+    /// The existing class whose centroid sat nearest — the one whose
+    /// published model the new class should inherit as generation 0
+    /// (`None` only for the very first class of a bootstrap).
+    pub seeded_from: Option<usize>,
+}
+
+/// A class retired by the latest [`ClassDiscovery::evaluate`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Retirement {
+    /// The retired class.
+    pub id: usize,
+    /// The surviving class that absorbed its members — the router merge
+    /// target.
+    pub into: usize,
+}
+
+/// What one evaluation decided.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiscoveryOutcome {
+    /// Per instance (same order as the input): the stable class id the
+    /// instance belongs to, or `None` when the instance has no signature
+    /// yet (the caller keeps its current class, re-mapped through
+    /// `retired` when that class just went away).
+    pub assignment: Vec<Option<usize>>,
+    /// Classes created this evaluation, in id order.
+    pub new_classes: Vec<NewClass>,
+    /// Classes retired this evaluation.
+    pub retired: Vec<Retirement>,
+    /// Active classes after this evaluation.
+    pub active_classes: usize,
+    /// Mean silhouette of the adopted clustering (0 for a single class).
+    pub silhouette: f64,
+}
+
+#[derive(Debug, Clone)]
+struct ClassState {
+    /// Raw-space centroid from the last evaluation that saw this class
+    /// (`None` for a freshly bootstrapped class that never clustered).
+    centroid: Option<Vec<f64>>,
+    retired: bool,
+}
+
+/// The discovery engine: owns the stable class ids and their centroids,
+/// and turns batches of instance signatures into partition decisions.
+///
+/// Deterministic by construction — seeded k-means, index-ordered tie
+/// breaks — so the same signature streams yield the same partition
+/// whatever thread count or shard layout produced them.
+#[derive(Debug, Clone)]
+pub struct ClassDiscovery {
+    config: DiscoveryConfig,
+    classes: Vec<ClassState>,
+    evaluations: u64,
+    splits: u64,
+    merges: u64,
+}
+
+impl ClassDiscovery {
+    /// Creates an engine with one active class (id 0) — the seed class
+    /// every instance starts in.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate [`DiscoveryConfig`].
+    pub fn new(config: DiscoveryConfig) -> Self {
+        config.validate();
+        ClassDiscovery {
+            config,
+            classes: vec![ClassState { centroid: None, retired: false }],
+            evaluations: 0,
+            splits: 0,
+            merges: 0,
+        }
+    }
+
+    /// Total classes ever created (retired included); ids are `0..count`.
+    pub fn class_count(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Whether a class id is retired.
+    pub fn is_retired(&self, id: usize) -> bool {
+        self.classes.get(id).is_none_or(|c| c.retired)
+    }
+
+    /// Evaluations run so far.
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Accepted splits so far.
+    pub fn splits(&self) -> u64 {
+        self.splits
+    }
+
+    /// Accepted merges so far.
+    pub fn merges(&self) -> u64 {
+        self.merges
+    }
+
+    fn active_ids(&self) -> Vec<usize> {
+        (0..self.classes.len()).filter(|&i| !self.classes[i].retired).collect()
+    }
+
+    /// Re-evaluates the partition over one signature per instance (`None`
+    /// entries = instance not ready). At most one structural change — a
+    /// split or a merge — is applied per call, which is what makes the
+    /// partition stable on a stationary fleet: a change only happens when
+    /// its gate clears, and the next evaluation starts from the adopted
+    /// structure.
+    pub fn evaluate(&mut self, signatures: &[Option<Vec<f64>>]) -> DiscoveryOutcome {
+        self.evaluations += 1;
+        let mut outcome = DiscoveryOutcome {
+            assignment: vec![None; signatures.len()],
+            new_classes: Vec::new(),
+            retired: Vec::new(),
+            active_classes: self.active_ids().len(),
+            silhouette: 0.0,
+        };
+        let ready: Vec<(usize, &[f64])> = signatures
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.as_deref().map(|s| (i, s)))
+            .collect();
+        if ready.is_empty() {
+            return outcome;
+        }
+        let raw: Vec<Vec<f64>> = ready.iter().map(|(_, s)| s.to_vec()).collect();
+        let (std_points, scales) =
+            standardise(&raw).expect("signatures are finite by construction");
+
+        let active = self.active_ids();
+        let k_cur = active.len().max(1);
+        // Too few ready instances to support the current structure — or
+        // too small a fraction of the fleet to be a representative sample:
+        // assign to the nearest existing centroid, change nothing.
+        let required_ready =
+            (signatures.len() as f64 * self.config.min_ready_fraction).ceil() as usize;
+        if ready.len() < (k_cur * self.config.min_members).max(2).max(required_ready) {
+            for ((instance, _), point) in ready.iter().zip(&std_points) {
+                outcome.assignment[*instance] = Some(self.nearest_active(point, &scales));
+            }
+            return outcome;
+        }
+
+        let kconf = KMeansConfig { seed: self.config.seed, max_iters: self.config.kmeans_iters };
+        // Warm-start the current-k clustering from last evaluation's class
+        // centroids whenever they exist: the clustering then *tracks* the
+        // slowly moving regimes instead of re-rolling k-means++ against
+        // drifted points and hopping to a different local optimum (which
+        // would masquerade as a structural change).
+        let warm: Option<Vec<Vec<f64>>> = active
+            .iter()
+            .map(|&id| {
+                self.classes[id].centroid.as_ref().map(|raw| apply_standardisation(raw, &scales))
+            })
+            .collect();
+        let base = match warm {
+            Some(centroids) if centroids.len() == k_cur => {
+                kmeans_from(&std_points, centroids, self.config.kmeans_iters)
+                    .expect("validated points and centroids")
+            }
+            _ => kmeans(&std_points, k_cur, kconf).expect("validated points"),
+        };
+        let base_sil = silhouette(&std_points, &base.assignments).expect("validated");
+
+        // At most one structural change per evaluation: try the split,
+        // else consider a merge, else keep the structure.
+        let mut adopted = base;
+        let mut adopted_sil = base_sil;
+        let can_split =
+            k_cur < self.config.max_classes && ready.len() >= (k_cur + 1) * self.config.min_members;
+        if can_split {
+            let cand = kmeans(&std_points, k_cur + 1, kconf).expect("validated points");
+            if cand.k() == k_cur + 1 {
+                let sil = silhouette(&std_points, &cand.assignments).expect("validated");
+                let smallest = cand.sizes().into_iter().min().unwrap_or(0);
+                let separation =
+                    min_relative_separation(&cluster_raw_centroids(&raw, &cand, &scales));
+                if sil >= self.config.split_silhouette_gate
+                    && sil > adopted_sil
+                    && smallest >= self.config.min_members
+                    && separation >= self.config.split_separation
+                {
+                    adopted = cand;
+                    adopted_sil = sil;
+                    self.splits += 1;
+                }
+            }
+        }
+        if adopted.k() == k_cur && k_cur > 1 {
+            let separation =
+                min_relative_separation(&cluster_raw_centroids(&raw, &adopted, &scales));
+            if separation < self.config.merge_separation {
+                adopted = kmeans(&std_points, k_cur - 1, kconf).expect("validated points");
+                adopted_sil = silhouette(&std_points, &adopted.assignments).expect("validated");
+                self.merges += 1;
+            }
+        }
+        outcome.silhouette = adopted_sil;
+
+        // Raw-space centroids of the adopted clusters (k-means ran in
+        // standardised space; persistent centroids live in raw space so
+        // the next evaluation can re-standardise them consistently).
+        let raw_centroids = cluster_raw_centroids(&raw, &adopted, &scales);
+
+        // Match adopted clusters to existing active classes by centroid
+        // distance (greedy, deterministic). A class that never clustered
+        // (fresh bootstrap) matches last but matches.
+        let matches = self.match_clusters(&adopted, &scales, &active);
+
+        // Unmatched clusters become new classes, seeded from the nearest
+        // existing class (model inheritance).
+        let mut cluster_to_id: Vec<Option<usize>> = matches.clone();
+        for (cluster, slot) in cluster_to_id.iter_mut().enumerate() {
+            if slot.is_none() {
+                let id = self.classes.len();
+                let seeded_from =
+                    self.nearest_class_to(&adopted.centroids[cluster], &scales, &active);
+                self.classes.push(ClassState { centroid: None, retired: false });
+                outcome.new_classes.push(NewClass { id, seeded_from });
+                *slot = Some(id);
+            }
+        }
+        // Every matched or created class takes its cluster's raw centroid.
+        for (cluster, id) in cluster_to_id.iter().enumerate() {
+            let id = id.expect("every cluster mapped above");
+            self.classes[id].centroid = Some(raw_centroids[cluster].clone());
+        }
+        // Active classes no cluster claimed are retired into the class
+        // that sits nearest to their last known centroid.
+        let surviving: Vec<usize> = cluster_to_id.iter().map(|id| id.expect("mapped")).collect();
+        for &id in &active {
+            if surviving.contains(&id) {
+                continue;
+            }
+            let into =
+                self.nearest_surviving(id, &adopted, &scales, &surviving).unwrap_or(surviving[0]);
+            self.classes[id].retired = true;
+            outcome.retired.push(Retirement { id, into });
+        }
+
+        for ((instance, _), &cluster) in ready.iter().zip(&adopted.assignments) {
+            outcome.assignment[*instance] = Some(surviving[cluster]);
+        }
+        outcome.active_classes = self.active_ids().len();
+        outcome
+    }
+
+    /// Greedy minimum-distance matching of adopted clusters to active
+    /// classes; returns, per cluster, the matched class id (or `None`).
+    fn match_clusters(
+        &self,
+        adopted: &Clustering,
+        scales: &[(f64, f64)],
+        active: &[usize],
+    ) -> Vec<Option<usize>> {
+        let mut pairs: Vec<(f64, usize, usize)> = Vec::new();
+        for (cluster, centroid) in adopted.centroids.iter().enumerate() {
+            for &id in active {
+                let d = match &self.classes[id].centroid {
+                    Some(raw) => {
+                        let std = apply_standardisation(raw, scales);
+                        centroid
+                            .iter()
+                            .zip(&std)
+                            .map(|(x, y)| (x - y) * (x - y))
+                            .sum::<f64>()
+                            .sqrt()
+                    }
+                    // A class that never clustered matches anything, last.
+                    None => f64::MAX,
+                };
+                pairs.push((d, cluster, id));
+            }
+        }
+        pairs.sort_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)).then(a.2.cmp(&b.2)));
+        let mut cluster_match: Vec<Option<usize>> = vec![None; adopted.k()];
+        let mut class_used = vec![false; self.classes.len()];
+        for (_, cluster, id) in pairs {
+            if cluster_match[cluster].is_none() && !class_used[id] {
+                cluster_match[cluster] = Some(id);
+                class_used[id] = true;
+            }
+        }
+        cluster_match
+    }
+
+    /// The active class whose centroid sits nearest to a standardised
+    /// point (classes without a centroid lose all ties); falls back to the
+    /// lowest active id.
+    fn nearest_active(&self, point: &[f64], scales: &[(f64, f64)]) -> usize {
+        let active = self.active_ids();
+        self.nearest_class_to(point, scales, &active)
+            .unwrap_or_else(|| *active.first().expect("at least one active class at all times"))
+    }
+
+    fn nearest_class_to(
+        &self,
+        point: &[f64],
+        scales: &[(f64, f64)],
+        active: &[usize],
+    ) -> Option<usize> {
+        active
+            .iter()
+            .filter_map(|&id| {
+                self.classes[id].centroid.as_ref().map(|raw| {
+                    let std = apply_standardisation(raw, scales);
+                    let d: f64 =
+                        point.iter().zip(&std).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+                    (d, id)
+                })
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, id)| id)
+    }
+
+    /// The surviving class nearest to a retiree's last known centroid.
+    fn nearest_surviving(
+        &self,
+        id: usize,
+        adopted: &Clustering,
+        scales: &[(f64, f64)],
+        surviving: &[usize],
+    ) -> Option<usize> {
+        let raw = self.classes[id].centroid.as_ref()?;
+        let std = apply_standardisation(raw, scales);
+        adopted
+            .centroids
+            .iter()
+            .enumerate()
+            .map(|(cluster, c)| {
+                let d: f64 = std.iter().zip(c).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt();
+                (d, surviving[cluster])
+            })
+            .min_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)))
+            .map(|(_, id)| id)
+    }
+}
+
+/// Smallest pairwise relative separation `‖a − b‖ / (‖a‖ + ‖b‖)` among
+/// raw-space centroids — the scale-aware gate quantity (`∞` for fewer
+/// than two centroids).
+fn min_relative_separation(centroids: &[Vec<f64>]) -> f64 {
+    let norm = |v: &[f64]| v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let mut min = f64::INFINITY;
+    for a in 0..centroids.len() {
+        for b in (a + 1)..centroids.len() {
+            let d: f64 = centroids[a]
+                .iter()
+                .zip(&centroids[b])
+                .map(|(x, y)| (x - y) * (x - y))
+                .sum::<f64>()
+                .sqrt();
+            let scale = norm(&centroids[a]) + norm(&centroids[b]);
+            min = min.min(if scale > 0.0 { d / scale } else { 0.0 });
+        }
+    }
+    min
+}
+
+/// Mean of the raw member points per cluster. Clusters k-means left empty
+/// (exact-duplicate points) fall back to their standardised centroid
+/// **de-standardised** through `scales`, so every class keeps a finite
+/// centroid in raw (seconds-scale) space.
+fn cluster_raw_centroids(
+    raw: &[Vec<f64>],
+    clustering: &Clustering,
+    scales: &[(f64, f64)],
+) -> Vec<Vec<f64>> {
+    let dim = raw.first().map_or(0, Vec::len);
+    let mut sums = vec![vec![0.0f64; dim]; clustering.k()];
+    let mut counts = vec![0usize; clustering.k()];
+    for (point, &a) in raw.iter().zip(&clustering.assignments) {
+        counts[a] += 1;
+        for (s, v) in sums[a].iter_mut().zip(point) {
+            *s += v;
+        }
+    }
+    sums.into_iter()
+        .zip(&counts)
+        .zip(&clustering.centroids)
+        .map(|((sum, &count), std_centroid)| {
+            if count > 0 {
+                sum.into_iter().map(|s| s / count as f64).collect()
+            } else {
+                std_centroid.iter().zip(scales).map(|(v, (m, sd))| v * sd + m).collect()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cp(err: f64) -> LabelledCheckpoint {
+        LabelledCheckpoint::new(vec![1.0, 2.0], 100.0, Some(100.0 + err))
+    }
+
+    fn features() -> Vec<String> {
+        vec!["sys_mem_used".into(), "num_threads".into()]
+    }
+
+    #[test]
+    fn signature_needs_min_errors() {
+        let mut acc = SignatureAccumulator::new(
+            SignatureConfig { min_errors: 5, ..Default::default() },
+            &features(),
+        );
+        for _ in 0..4 {
+            acc.observe(&cp(100.0));
+        }
+        assert!(acc.signature().is_none());
+        acc.observe(&cp(100.0));
+        let sig = acc.signature().expect("5 errors reach the gate");
+        assert_eq!(sig.len(), SIGNATURE_DIM);
+        assert!(sig.iter().all(|v| v.is_finite()));
+        assert_eq!(sig[1], 100.0, "median of a constant stream");
+    }
+
+    #[test]
+    fn nan_laced_stream_stays_finite() {
+        let mut acc = SignatureAccumulator::new(
+            SignatureConfig { min_errors: 4, ..Default::default() },
+            &features(),
+        );
+        for i in 0..40 {
+            acc.observe(&cp(if i % 3 == 0 { f64::NAN } else { 50.0 + i as f64 }));
+            acc.observe(&LabelledCheckpoint::new(
+                vec![f64::INFINITY, f64::NAN],
+                f64::NAN,
+                Some(f64::NEG_INFINITY),
+            ));
+        }
+        let sig = acc.signature().expect("finite errors got through");
+        assert!(sig.iter().all(|v| v.is_finite()), "{sig:?}");
+    }
+
+    #[test]
+    fn root_cause_mix_localises_the_growing_resource() {
+        let mut acc = SignatureAccumulator::new(
+            SignatureConfig { min_errors: 2, ..Default::default() },
+            &features(),
+        );
+        // Memory grows 10 MB per checkpoint, threads are flat.
+        for i in 0..20 {
+            let mut c = cp(30.0);
+            c.features = vec![1000.0 + 10.0 * i as f64, 50.0];
+            acc.observe(&c);
+        }
+        let sig = acc.signature().unwrap();
+        let mix = &sig[5..];
+        assert!(mix[1] > 0.9, "memory bucket must dominate: {mix:?}");
+        assert!(mix[2].abs() < 0.1, "threads bucket must stay flat: {mix:?}");
+    }
+
+    #[test]
+    fn epoch_boundary_suppresses_restart_deltas() {
+        let mut with_boundary = SignatureAccumulator::new(
+            SignatureConfig { min_errors: 1, ..Default::default() },
+            &features(),
+        );
+        let mut without = with_boundary.clone();
+        // Memory is *flat within every epoch* but each restart lands on a
+        // different baseline: the only memory "growth" an accumulator can
+        // see is the spurious cross-epoch jump.
+        let epoch = |acc: &mut SignatureAccumulator, baseline: f64, boundary: bool| {
+            for _ in 0..10 {
+                let mut c = cp(30.0);
+                c.features = vec![baseline, 50.0];
+                acc.observe(&c);
+            }
+            if boundary {
+                acc.epoch_boundary();
+            }
+        };
+        epoch(&mut with_boundary, 1000.0, true);
+        epoch(&mut with_boundary, 2000.0, true);
+        epoch(&mut without, 1000.0, false);
+        epoch(&mut without, 2000.0, false);
+        let clean = with_boundary.signature().unwrap()[5 + 1];
+        let dirty = without.signature().unwrap()[5 + 1];
+        assert_eq!(clean, 0.0, "nothing grows within an epoch");
+        assert!(dirty > 0.9, "the restart jump masquerades as memory growth: {dirty}");
+    }
+
+    fn sig(level: f64, mix_mem: f64) -> Vec<f64> {
+        vec![level, level, level * 1.2, level, 0.0, 0.0, mix_mem, 1.0 - mix_mem, 0.0, 0.0]
+    }
+
+    #[test]
+    fn two_regimes_split_once_and_stay_split() {
+        let mut discovery = ClassDiscovery::new(DiscoveryConfig::default());
+        let signatures: Vec<Option<Vec<f64>>> =
+            (0..12).map(|i| Some(if i < 6 { sig(100.0, 1.0) } else { sig(3000.0, 0.0) })).collect();
+        let first = discovery.evaluate(&signatures);
+        assert_eq!(first.active_classes, 2, "two regimes must split: {first:?}");
+        assert_eq!(first.new_classes.len(), 1);
+        assert_eq!(discovery.splits(), 1);
+        let low = first.assignment[0].unwrap();
+        let high = first.assignment[6].unwrap();
+        assert_ne!(low, high);
+        assert!(first.assignment[..6].iter().all(|a| *a == Some(low)));
+        assert!(first.assignment[6..].iter().all(|a| *a == Some(high)));
+        // Re-evaluating the same signatures must change nothing: same
+        // ids, no new classes, no retirements, no extra splits.
+        let second = discovery.evaluate(&signatures);
+        assert_eq!(second.assignment, first.assignment, "partition must be stable");
+        assert!(second.new_classes.is_empty() && second.retired.is_empty());
+        assert_eq!(discovery.splits(), 1);
+        assert_eq!(discovery.merges(), 0);
+    }
+
+    #[test]
+    fn stationary_fleet_never_splits() {
+        let mut discovery = ClassDiscovery::new(DiscoveryConfig::default());
+        for round in 0..5 {
+            // One tight regime with per-instance jitter.
+            let signatures: Vec<Option<Vec<f64>>> =
+                (0..10).map(|i| Some(sig(500.0 + (i % 3) as f64 + round as f64, 0.8))).collect();
+            let outcome = discovery.evaluate(&signatures);
+            assert_eq!(outcome.active_classes, 1, "round {round}: {outcome:?}");
+        }
+        assert_eq!(discovery.splits(), 0);
+        assert_eq!(discovery.merges(), 0);
+        assert_eq!(discovery.class_count(), 1);
+    }
+
+    #[test]
+    fn converged_regimes_merge_back() {
+        let mut discovery = ClassDiscovery::new(DiscoveryConfig::default());
+        let split_round: Vec<Option<Vec<f64>>> =
+            (0..12).map(|i| Some(if i < 6 { sig(100.0, 1.0) } else { sig(3000.0, 0.0) })).collect();
+        let split = discovery.evaluate(&split_round);
+        assert_eq!(split.active_classes, 2);
+        // The regimes converge: every instance now looks the same.
+        let converged: Vec<Option<Vec<f64>>> =
+            (0..12).map(|i| Some(sig(500.0 + (i % 2) as f64, 0.5))).collect();
+        let merged = discovery.evaluate(&converged);
+        assert_eq!(merged.active_classes, 1, "{merged:?}");
+        assert_eq!(merged.retired.len(), 1);
+        assert_eq!(discovery.merges(), 1);
+        let survivor = merged.assignment[0].unwrap();
+        assert!(merged.assignment.iter().all(|a| *a == Some(survivor)));
+        let retirement = merged.retired[0];
+        assert_eq!(retirement.into, survivor);
+        assert!(discovery.is_retired(retirement.id));
+    }
+
+    #[test]
+    fn evaluation_is_deterministic() {
+        let signatures: Vec<Option<Vec<f64>>> = (0..14)
+            .map(|i| {
+                Some(if i % 2 == 0 {
+                    sig(80.0 + i as f64, 0.9)
+                } else {
+                    sig(2500.0 - i as f64, 0.1)
+                })
+            })
+            .collect();
+        let run = || {
+            let mut d = ClassDiscovery::new(DiscoveryConfig::default());
+            let a = d.evaluate(&signatures);
+            let b = d.evaluate(&signatures);
+            (a, b, d.class_count())
+        };
+        assert_eq!(run(), run(), "same streams must yield the same partition");
+    }
+
+    #[test]
+    fn not_ready_instances_keep_none() {
+        let mut discovery = ClassDiscovery::new(DiscoveryConfig::default());
+        let signatures = vec![Some(sig(100.0, 1.0)), None, Some(sig(120.0, 1.0))];
+        let outcome = discovery.evaluate(&signatures);
+        assert!(outcome.assignment[1].is_none());
+        assert_eq!(outcome.assignment[0], Some(0));
+        assert_eq!(outcome.active_classes, 1);
+    }
+
+    #[test]
+    fn max_classes_caps_the_structure() {
+        let config = DiscoveryConfig { max_classes: 2, ..Default::default() };
+        let mut discovery = ClassDiscovery::new(config);
+        // Three clearly distinct regimes, but the cap is 2.
+        let signatures: Vec<Option<Vec<f64>>> = (0..15)
+            .map(|i| {
+                Some(match i % 3 {
+                    0 => sig(50.0, 1.0),
+                    1 => sig(1500.0, 0.5),
+                    _ => sig(9000.0, 0.0),
+                })
+            })
+            .collect();
+        discovery.evaluate(&signatures);
+        let outcome = discovery.evaluate(&signatures);
+        assert!(outcome.active_classes <= 2, "{outcome:?}");
+    }
+}

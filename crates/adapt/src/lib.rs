@@ -60,6 +60,7 @@
 #![forbid(unsafe_code)]
 
 mod bus;
+pub mod discovery;
 mod drift;
 pub mod pipeline;
 pub mod policy;
@@ -75,7 +76,7 @@ pub use pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainD
 pub use policy::{FixedThresholds, QuantileAdaptive, ThresholdPolicy, Thresholds};
 pub use router::{
     AdaptiveRouter, AdaptiveRouterBuilder, ClassAdaptation, ClassSpec, ClassSpecBuilder,
-    RouterConfig, RouterConfigBuilder, RouterStats,
+    RouterConfig, RouterConfigBuilder, RouterError, RouterStats,
 };
 pub use service::{
     AdaptConfig, AdaptConfigBuilder, AdaptationStats, AdaptiveService, AdaptiveServiceBuilder,

@@ -435,6 +435,13 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
     pub fn action_mut(&mut self) -> &mut A {
         &mut self.action
     }
+
+    /// Consumes the pipeline and returns its retrain action — how a
+    /// retired class's sliding buffer is recovered for draining into a
+    /// merge target.
+    pub fn into_action(self) -> A {
+        self.action
+    }
 }
 
 #[cfg(test)]

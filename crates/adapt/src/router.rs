@@ -41,9 +41,10 @@ use aging_dataset::Dataset;
 use aging_ml::{DynLearner, Regressor};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, RwLock};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -169,11 +170,43 @@ impl RouterConfigBuilder {
     }
 }
 
+/// An error from the router's dynamic class registry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouterError {
+    /// The class is already registered (names must be unique for the whole
+    /// router lifetime, retired classes included).
+    DuplicateClass(ServiceClass),
+    /// The named class has never been registered.
+    UnknownClass(ServiceClass),
+    /// The operation needs a live class but the named one is retired.
+    RetiredClass(ServiceClass),
+    /// A class cannot be retired into itself.
+    SelfMerge(ServiceClass),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::DuplicateClass(c) => write!(f, "service class `{c}` registered twice"),
+            RouterError::UnknownClass(c) => write!(f, "service class `{c}` is not registered"),
+            RouterError::RetiredClass(c) => write!(f, "service class `{c}` is retired"),
+            RouterError::SelfMerge(c) => write!(f, "cannot retire class `{c}` into itself"),
+        }
+    }
+}
+
+impl std::error::Error for RouterError {}
+
 /// One class's adaptation counters inside a [`RouterStats`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ClassAdaptation {
     /// The service class.
     pub class: ServiceClass,
+    /// Whether the class has been retired (its buffer was drained into a
+    /// merge target and new batches naming it route there). Counters stay
+    /// frozen at their retirement values.
+    pub retired: bool,
     /// Its counters, shaped exactly like the single-service stats.
     pub stats: AdaptationStats,
 }
@@ -182,10 +215,16 @@ pub struct ClassAdaptation {
 /// aggregate. Safe to snapshot at any time while the router runs.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RouterStats {
-    /// Per-class counters, in registration order. Each class's
-    /// `dropped_checkpoints` attributes the bounded ring's sheds to the
-    /// class of the dropped batch.
+    /// Per-class counters, in registration order (retired classes stay
+    /// listed, flagged). Each class's `dropped_checkpoints` attributes the
+    /// bounded ring's sheds to the class of the dropped batch.
     pub classes: Vec<ClassAdaptation>,
+    /// Classes registered after spawn through
+    /// [`AdaptiveRouter::register_class`] (class discovery's dynamic
+    /// registrations; build-time classes are not counted).
+    pub dynamic_registrations: u64,
+    /// Classes retired through [`AdaptiveRouter::retire_class`].
+    pub retired_classes: u64,
     /// Labelled checkpoints ingested across all classes.
     pub ingested_checkpoints: u64,
     /// Checkpoints shed by the bounded ring across *all* classes —
@@ -214,16 +253,50 @@ struct ClassShared {
     service: Arc<ModelService>,
     learner: Arc<dyn DynLearner>,
     counters: Arc<PipelineCounters>,
+    /// The full spec, kept so the ingest thread can build the class's
+    /// pipeline when it discovers a dynamically registered entry.
+    spec: ClassSpec,
     /// At most one refit job per class in flight on the pool.
     inflight: AtomicBool,
+    /// Set by [`AdaptiveRouter::retire_class`]; the ingest thread drains
+    /// the class's buffer into its merge target and drops its pipeline.
+    retired: AtomicBool,
+}
+
+/// The class registry: slots are append-only (a retired class keeps its
+/// index so in-flight refit jobs and consumer pins stay valid), and the
+/// name index always points at the slot batches should *route to* — a
+/// retirement re-points the retired name at its merge target.
+#[derive(Debug, Default)]
+struct ClassTable {
+    classes: Vec<Arc<ClassShared>>,
+    index: HashMap<ServiceClass, usize>,
 }
 
 #[derive(Debug)]
 struct RouterShared {
-    classes: Vec<Arc<ClassShared>>,
+    table: RwLock<ClassTable>,
     unrouted: AtomicU64,
     jobs_enqueued: AtomicU64,
     jobs_done: AtomicU64,
+    dynamic_registrations: AtomicU64,
+    retirements: AtomicU64,
+}
+
+impl RouterShared {
+    fn class(&self, idx: usize) -> Arc<ClassShared> {
+        Arc::clone(&self.table.read().expect("class table poisoned").classes[idx])
+    }
+}
+
+/// Control messages from the router handle to the ingest thread (class
+/// *registration* needs none — the ingest thread notices new table entries
+/// by length and builds their pipelines itself).
+#[derive(Debug)]
+enum RouterCtrl {
+    /// Drain class `from`'s training buffer into class `into` and drop
+    /// `from`'s pipeline.
+    Retire { from: usize, into: usize },
 }
 
 /// A snapshot of one class's sliding buffer, ready for a pool worker to
@@ -276,7 +349,7 @@ impl RetrainAction for PooledRetrain {
     }
 
     fn retrain(&mut self) -> RetrainDisposition {
-        let class = &self.shared.classes[self.class_idx];
+        let class = self.shared.class(self.class_idx);
         if class.inflight.swap(true, Ordering::AcqRel) {
             // A refit for this class is already running; the sticky
             // trigger stays pending and the next batch retries.
@@ -297,12 +370,12 @@ impl RetrainAction for PooledRetrain {
     }
 
     fn generation(&self) -> u64 {
-        self.shared.classes[self.class_idx].service.generation()
+        self.shared.class(self.class_idx).service.generation()
     }
 
     fn apply_thresholds(&mut self, thresholds: &Thresholds) {
         if let Some(secs) = thresholds.rejuvenation_threshold_secs {
-            self.shared.classes[self.class_idx].service.set_rejuvenation_threshold_secs(secs);
+            self.shared.class(self.class_idx).service.set_rejuvenation_threshold_secs(secs);
         }
     }
 }
@@ -339,7 +412,7 @@ impl RetrainAction for PooledRetrain {
 pub struct AdaptiveRouter {
     bus: CheckpointBus,
     shared: Arc<RouterShared>,
-    index: HashMap<ServiceClass, usize>,
+    ctrl_tx: Sender<RouterCtrl>,
     stop: Arc<AtomicBool>,
     ingest: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
@@ -389,38 +462,26 @@ impl AdaptiveRouterBuilder {
         assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
         assert!(config.bus_capacity > 0, "bus capacity must be positive");
 
-        let mut index = HashMap::new();
-        let mut shared_classes = Vec::with_capacity(classes.len());
-        let mut specs = Vec::with_capacity(classes.len());
-        for (i, (class, spec)) in classes.into_iter().enumerate() {
-            // Not `validate()`: the per-class `bus_capacity` really is
-            // ignored (the ring is shared), as the `ClassSpec` docs say.
-            spec.config.validate_adaptation();
-            // On the caller's thread — the per-class pipelines re-validate
-            // on the ingest thread, where a panic would be silent.
-            spec.policy.validate();
-            assert!(
-                index.insert(class.clone(), i).is_none(),
-                "service class `{class}` registered twice"
-            );
-            shared_classes.push(Arc::new(ClassShared {
-                class,
-                service: Arc::new(ModelService::new(Arc::clone(&spec.initial))),
-                learner: Arc::clone(&spec.learner),
-                counters: Arc::new(PipelineCounters::new(spec.config.drift.error_threshold_secs)),
-                inflight: AtomicBool::new(false),
-            }));
-            specs.push(spec);
+        let mut table = ClassTable::default();
+        for (class, spec) in classes {
+            assert!(!table.index.contains_key(&class), "service class `{class}` registered twice");
+            // On the caller's thread — the ingest thread builds the
+            // per-class pipelines, where a validation panic would be
+            // silent.
+            table.push(make_class_shared(class, spec));
         }
         let shared = Arc::new(RouterShared {
-            classes: shared_classes,
+            table: RwLock::new(table),
             unrouted: AtomicU64::new(0),
             jobs_enqueued: AtomicU64::new(0),
             jobs_done: AtomicU64::new(0),
+            dynamic_registrations: AtomicU64::new(0),
+            retirements: AtomicU64::new(0),
         });
 
         let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
         let (job_tx, job_rx) = std::sync::mpsc::channel::<RefitJob>();
+        let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel::<RouterCtrl>();
         let job_rx = Arc::new(Mutex::new(job_rx));
         let stop = Arc::new(AtomicBool::new(false));
 
@@ -434,10 +495,41 @@ impl AdaptiveRouterBuilder {
         let ingest = {
             let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || ingest(rx, specs, feature_names, shared, job_tx, stop))
+            std::thread::spawn(move || ingest(rx, ctrl_rx, feature_names, shared, job_tx, stop))
         };
 
-        AdaptiveRouter { bus, shared, index, stop, ingest: Some(ingest), workers }
+        AdaptiveRouter { bus, shared, ctrl_tx, stop, ingest: Some(ingest), workers }
+    }
+}
+
+/// Validates a spec and builds its shared per-class state (service,
+/// counters, flags). Used by both build-time registration and
+/// [`AdaptiveRouter::register_class`].
+///
+/// # Panics
+///
+/// Panics on a degenerate per-class [`AdaptConfig`] or threshold policy.
+fn make_class_shared(class: ServiceClass, spec: ClassSpec) -> Arc<ClassShared> {
+    // Not `validate()`: the per-class `bus_capacity` really is ignored
+    // (the ring is shared), as the `ClassSpec` docs say.
+    spec.config.validate_adaptation();
+    spec.policy.validate();
+    Arc::new(ClassShared {
+        class,
+        service: Arc::new(ModelService::new(Arc::clone(&spec.initial))),
+        learner: Arc::clone(&spec.learner),
+        counters: Arc::new(PipelineCounters::new(spec.config.drift.error_threshold_secs)),
+        spec,
+        inflight: AtomicBool::new(false),
+        retired: AtomicBool::new(false),
+    })
+}
+
+impl ClassTable {
+    fn push(&mut self, shared: Arc<ClassShared>) {
+        let idx = self.classes.len();
+        self.index.insert(shared.class.clone(), idx);
+        self.classes.push(shared);
     }
 }
 
@@ -479,15 +571,105 @@ impl AdaptiveRouter {
         self.bus.clone()
     }
 
-    /// The serving side of one class, or `None` when the class is not
-    /// registered.
-    pub fn model_service(&self, class: &ServiceClass) -> Option<Arc<ModelService>> {
-        self.index.get(class).map(|&i| Arc::clone(&self.shared.classes[i].service))
+    /// Registers a new service class **while the router runs** — the
+    /// dynamic side of automatic class discovery. The class serves
+    /// `spec.initial` as generation 0 immediately (the returned
+    /// [`ModelService`] is live before this call returns); the ingest
+    /// thread builds the class's adaptation pipeline before it routes the
+    /// first batch naming the class.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::DuplicateClass`] when the name was ever registered
+    /// (including retired classes — names are unique for the router's
+    /// lifetime).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate per-class [`AdaptConfig`] or threshold
+    /// policy, exactly like build-time registration.
+    pub fn register_class(
+        &self,
+        class: ServiceClass,
+        spec: ClassSpec,
+    ) -> Result<Arc<ModelService>, RouterError> {
+        let shared = make_class_shared(class.clone(), spec);
+        let service = Arc::clone(&shared.service);
+        let mut table = self.shared.table.write().expect("class table poisoned");
+        // Names stay unique across retirements: the index re-points a
+        // retired name at its merge target, so a containment check alone
+        // would miss collisions with retired slots.
+        if table.classes.iter().any(|c| c.class == class) {
+            return Err(RouterError::DuplicateClass(class));
+        }
+        table.push(shared);
+        drop(table);
+        self.shared.dynamic_registrations.fetch_add(1, Ordering::Relaxed);
+        Ok(service)
     }
 
-    /// The registered classes, in registration order.
+    /// Retires a class, merging it into `into`: the class's sliding
+    /// training buffer is drained into the merge target's (on the ingest
+    /// thread, preserving single-threaded pipeline ownership), its
+    /// pipeline is dropped, and batches naming the retired class route to
+    /// the target from now on. Counters freeze at their retirement
+    /// values; the retired class's [`ModelService`] keeps serving its
+    /// last generation so consumers holding pins stay valid while they
+    /// re-route.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownClass`] when either name was never
+    /// registered, [`RouterError::RetiredClass`] when either side is
+    /// already retired, [`RouterError::SelfMerge`] when `class == into`.
+    pub fn retire_class(
+        &self,
+        class: &ServiceClass,
+        into: &ServiceClass,
+    ) -> Result<(), RouterError> {
+        if class == into {
+            return Err(RouterError::SelfMerge(class.clone()));
+        }
+        let mut table = self.shared.table.write().expect("class table poisoned");
+        let from_idx = table
+            .classes
+            .iter()
+            .position(|c| &c.class == class)
+            .ok_or_else(|| RouterError::UnknownClass(class.clone()))?;
+        let into_idx = table
+            .classes
+            .iter()
+            .position(|c| &c.class == into)
+            .ok_or_else(|| RouterError::UnknownClass(into.clone()))?;
+        if table.classes[from_idx].retired.load(Ordering::Acquire) {
+            return Err(RouterError::RetiredClass(class.clone()));
+        }
+        if table.classes[into_idx].retired.load(Ordering::Acquire) {
+            return Err(RouterError::RetiredClass(into.clone()));
+        }
+        table.classes[from_idx].retired.store(true, Ordering::Release);
+        // Future batches naming the retired class route to the target.
+        table.index.insert(class.clone(), into_idx);
+        drop(table);
+        self.shared.retirements.fetch_add(1, Ordering::Relaxed);
+        // The drain itself runs on the ingest thread; a hung-up channel
+        // means the router is shutting down and the buffer dies with it.
+        let _ = self.ctrl_tx.send(RouterCtrl::Retire { from: from_idx, into: into_idx });
+        Ok(())
+    }
+
+    /// The serving side of one class, or `None` when the class is not
+    /// registered. For a retired class this returns its **merge target's**
+    /// service — the model that now serves the retired class's traffic.
+    pub fn model_service(&self, class: &ServiceClass) -> Option<Arc<ModelService>> {
+        let table = self.shared.table.read().expect("class table poisoned");
+        table.index.get(class).map(|&i| Arc::clone(&table.classes[i].service))
+    }
+
+    /// The registered classes, in registration order (retired included).
     pub fn classes(&self) -> Vec<ServiceClass> {
-        self.shared.classes.iter().map(|c| c.class.clone()).collect()
+        let table = self.shared.table.read().expect("class table poisoned");
+        table.classes.iter().map(|c| c.class.clone()).collect()
     }
 
     /// Current counters, per class and aggregate; safe to call at any
@@ -499,12 +681,13 @@ impl AdaptiveRouter {
         // times per stats call.
         let dropped_by_class: HashMap<ServiceClass, u64> =
             self.bus.dropped_checkpoints_by_class().into_iter().collect();
-        let classes: Vec<ClassAdaptation> = self
-            .shared
+        let table = self.shared.table.read().expect("class table poisoned");
+        let classes: Vec<ClassAdaptation> = table
             .classes
             .iter()
             .map(|c| ClassAdaptation {
                 class: c.class.clone(),
+                retired: c.retired.load(Ordering::Acquire),
                 stats: AdaptationStats::from_counters(
                     &c.counters,
                     c.service.generation(),
@@ -512,11 +695,14 @@ impl AdaptiveRouter {
                 ),
             })
             .collect();
+        drop(table);
         RouterStats {
             ingested_checkpoints: classes.iter().map(|c| c.stats.ingested_checkpoints).sum(),
             generations_published: classes.iter().map(|c| c.stats.generations_published).sum(),
             dropped_checkpoints: self.bus.dropped_checkpoints(),
             unrouted_checkpoints: self.shared.unrouted.load(Ordering::Relaxed),
+            dynamic_registrations: self.shared.dynamic_registrations.load(Ordering::Relaxed),
+            retired_classes: self.shared.retirements.load(Ordering::Relaxed),
             classes,
         }
     }
@@ -535,9 +721,11 @@ impl AdaptiveRouter {
             // deflating it (return before pre-call checkpoints drained).
             let dropped = self.bus.dropped_checkpoints();
             let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
-            let routed: u64 =
-                self.shared.classes.iter().map(|c| c.counters.ingested()).sum::<u64>()
-                    + self.shared.unrouted.load(Ordering::Relaxed);
+            let ingested: u64 = {
+                let table = self.shared.table.read().expect("class table poisoned");
+                table.classes.iter().map(|c| c.counters.ingested()).sum()
+            };
+            let routed: u64 = ingested + self.shared.unrouted.load(Ordering::Relaxed);
             // Order matters: the bus must be drained before the job
             // counters can be final for everything published so far.
             if routed >= target
@@ -582,63 +770,128 @@ impl Drop for AdaptiveRouter {
     }
 }
 
+/// The per-class pipelines the ingest thread owns, indexed like the shared
+/// class table. `None` marks a retired-and-drained slot.
+struct IngestPipelines {
+    pipelines: Vec<Option<AdaptationPipeline<PooledRetrain>>>,
+    feature_names: Arc<Vec<String>>,
+    shared: Arc<RouterShared>,
+    job_tx: Sender<RefitJob>,
+}
+
+impl IngestPipelines {
+    /// Builds pipelines for every class table entry this thread has not
+    /// seen yet — how dynamically registered classes come alive. The
+    /// table is append-only, so a length check suffices.
+    fn sync(&mut self) {
+        let table = self.shared.table.read().expect("class table poisoned");
+        while self.pipelines.len() < table.classes.len() {
+            let class_idx = self.pipelines.len();
+            let spec = table.classes[class_idx].spec.clone();
+            let action = PooledRetrain {
+                class_idx,
+                capacity: spec.config.buffer_capacity,
+                arity: self.feature_names.len(),
+                buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
+                feature_names: Arc::clone(&self.feature_names),
+                shared: Arc::clone(&self.shared),
+                job_tx: self.job_tx.clone(),
+            };
+            self.pipelines.push(Some(AdaptationPipeline::with_counters(
+                &spec.config,
+                Arc::clone(&spec.policy),
+                Arc::clone(&table.classes[class_idx].counters),
+                action,
+            )));
+        }
+    }
+
+    /// Routes one batch into its class's pipeline (building pipelines for
+    /// freshly registered classes on demand).
+    fn process(&mut self, batch: CheckpointBatch) {
+        let class_idx = {
+            let table = self.shared.table.read().expect("class table poisoned");
+            table.index.get(&batch.class).copied()
+        };
+        let Some(class_idx) = class_idx else {
+            self.shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
+            return;
+        };
+        if class_idx >= self.pipelines.len() {
+            self.sync();
+        }
+        match self.pipelines.get_mut(class_idx).and_then(Option::as_mut) {
+            Some(pipeline) => pipeline.ingest(batch.checkpoints),
+            // A drained slot the index still pointed at for one racing
+            // batch; the retirement re-pointed the index, so this cannot
+            // recur — count rather than lose silently.
+            None => {
+                self.shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Applies a retirement: drain `from`'s sliding buffer into `into`'s
+    /// and drop `from`'s pipeline. Drift state and counters of the target
+    /// are untouched — merged rows are training history, not fresh error
+    /// observations.
+    fn retire(&mut self, from: usize, into: usize) {
+        self.sync();
+        let Some(retired) = self.pipelines.get_mut(from).and_then(Option::take) else {
+            return;
+        };
+        let rows = retired.into_action().buffer;
+        if let Some(target) = self.pipelines.get_mut(into).and_then(Option::as_mut) {
+            for (row, ttf) in rows {
+                target.action_mut().buffer(row, ttf);
+            }
+            let buffered = target.action().buffered() as u64;
+            self.shared.class(into).counters.buffered.store(buffered, Ordering::Relaxed);
+        }
+    }
+}
+
 /// The ingest loop: drain the ring and route every batch into its class's
 /// [`AdaptationPipeline`]; the pipelines' pooled retrain actions snapshot
-/// and enqueue refit jobs when a class's trigger and gate line up.
+/// and enqueue refit jobs when a class's trigger and gate line up. Control
+/// messages (retirements) and new class table entries are picked up
+/// between batches.
 fn ingest(
     rx: BusReceiver,
-    specs: Vec<ClassSpec>,
+    ctrl_rx: Receiver<RouterCtrl>,
     feature_names: Vec<String>,
     shared: Arc<RouterShared>,
     job_tx: Sender<RefitJob>,
     stop: Arc<AtomicBool>,
 ) {
-    let index: HashMap<ServiceClass, usize> =
-        shared.classes.iter().enumerate().map(|(i, c)| (c.class.clone(), i)).collect();
-    let feature_names = Arc::new(feature_names);
-    let mut pipelines: Vec<AdaptationPipeline<PooledRetrain>> = specs
-        .into_iter()
-        .enumerate()
-        .map(|(class_idx, spec)| {
-            let action = PooledRetrain {
-                class_idx,
-                capacity: spec.config.buffer_capacity,
-                arity: feature_names.len(),
-                buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
-                feature_names: Arc::clone(&feature_names),
-                shared: Arc::clone(&shared),
-                job_tx: job_tx.clone(),
-            };
-            AdaptationPipeline::with_counters(
-                &spec.config,
-                spec.policy,
-                Arc::clone(&shared.classes[class_idx].counters),
-                action,
-            )
-        })
-        .collect();
-    // `pipelines` holds clones of the sender; drop the original so worker
-    // shutdown still hinges on the ingest thread (and its pipelines)
-    // exiting.
-    drop(job_tx);
+    // `IngestPipelines` owns the only long-lived job sender (the actions
+    // hold clones), so worker shutdown still hinges on the ingest thread
+    // exiting and dropping it.
+    let mut pipelines = IngestPipelines {
+        pipelines: Vec::new(),
+        feature_names: Arc::new(feature_names),
+        shared,
+        job_tx,
+    };
+    pipelines.sync();
 
-    let mut process = |batch: CheckpointBatch| {
-        let Some(&class_idx) = index.get(&batch.class) else {
-            shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
-            return;
-        };
-        pipelines[class_idx].ingest(batch.checkpoints);
+    let drain_ctrl = |pipelines: &mut IngestPipelines| {
+        while let Ok(RouterCtrl::Retire { from, into }) = ctrl_rx.try_recv() {
+            pipelines.retire(from, into);
+        }
     };
 
     loop {
+        drain_ctrl(&mut pipelines);
         if stop.load(Ordering::Acquire) {
             for batch in rx.drain() {
-                process(batch);
+                pipelines.process(batch);
             }
+            drain_ctrl(&mut pipelines);
             return;
         }
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(Some(batch)) => process(batch),
+            Ok(Some(batch)) => pipelines.process(batch),
             Ok(None) => {}
             Err(crate::BusDisconnected) => return,
         }
@@ -655,7 +908,7 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
             Ok(job) => job,
             Err(_) => return,
         };
-        let class = &shared.classes[job.class_idx];
+        let class = shared.class(job.class_idx);
         match class.learner.fit_dyn(&job.dataset) {
             Ok(model) => {
                 class.service.publish(Arc::from(model));
@@ -907,6 +1160,90 @@ mod tests {
             sa.effective_rejuvenation_threshold_secs.is_some(),
             "the rejuvenation override must surface in the stats: {sa:?}"
         );
+    }
+
+    /// Dynamic registration: a class added while the router runs serves
+    /// its initial model immediately and adapts like a built-in class.
+    #[test]
+    fn dynamically_registered_class_adapts() {
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(ServiceClass::new("seed"), spec(1.0, 150.0))
+            .spawn();
+        let discovered = ServiceClass::new("discovered-1");
+        let service = router.register_class(discovered.clone(), spec(2.0, 150.0)).unwrap();
+        assert_eq!(service.generation(), 0);
+        assert!(
+            matches!(
+                router.register_class(discovered.clone(), spec(2.0, 150.0)),
+                Err(RouterError::DuplicateClass(_))
+            ),
+            "names must stay unique"
+        );
+        let bus = router.bus();
+        // Shifted truth against the stale y = 2x initial: drift → refit.
+        let truth = |x: f64| 500.0 - 2.0 * x;
+        for chunk in 0..6 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, truth(x), Some(2.0 * x))
+            });
+            assert!(bus.publish(batch(&discovered, xs)));
+        }
+        assert!(router.quiesce(Duration::from_secs(30)));
+        let stats = router.shutdown();
+        assert_eq!(stats.dynamic_registrations, 1);
+        let sd = stats.class(&discovered).unwrap();
+        assert!(sd.retrains >= 1, "the dynamic class must retrain: {sd:?}");
+        assert_eq!(sd.ingested_checkpoints, 192);
+        assert_eq!(stats.unrouted_checkpoints, 0);
+    }
+
+    /// Retirement: the retired class's buffer drains into the merge
+    /// target, future batches naming it route there, and the stats flag
+    /// it.
+    #[test]
+    fn retired_class_drains_into_the_merge_target() {
+        let a = ServiceClass::new("a");
+        let b = ServiceClass::new("b");
+        // Drift disabled: only buffers move, no refits muddy the counts.
+        let quiet = AdaptConfig::builder()
+            .drift(DriftConfig::disabled())
+            .buffer_capacity(512)
+            .min_buffer_to_retrain(40)
+            .build();
+        let make_spec = || {
+            ClassSpec::builder(Arc::new(LinRegLearner::default()), line_model(1.0))
+                .config(quiet)
+                .build()
+        };
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(a.clone(), make_spec())
+            .class(b.clone(), make_spec())
+            .spawn();
+        let bus = router.bus();
+        bus.publish(batch(&a, (0..30).map(|i| (i as f64, i as f64, None))));
+        bus.publish(batch(&b, (0..10).map(|i| (i as f64, i as f64, None))));
+        assert!(router.quiesce(Duration::from_secs(10)));
+
+        assert!(matches!(router.retire_class(&a, &a), Err(RouterError::SelfMerge(_))));
+        assert!(matches!(
+            router.retire_class(&ServiceClass::new("nope"), &b),
+            Err(RouterError::UnknownClass(_))
+        ));
+        router.retire_class(&a, &b).unwrap();
+        assert!(matches!(router.retire_class(&a, &b), Err(RouterError::RetiredClass(_))));
+        // Batches still naming the retired class must land in the target.
+        bus.publish(batch(&a, (0..5).map(|i| (i as f64, i as f64, None))));
+        assert!(router.quiesce(Duration::from_secs(10)));
+        let stats = router.shutdown();
+        assert_eq!(stats.retired_classes, 1);
+        let sa = stats.classes.iter().find(|c| c.class == a).unwrap();
+        let sb = stats.classes.iter().find(|c| c.class == b).unwrap();
+        assert!(sa.retired && !sb.retired);
+        assert_eq!(sa.stats.ingested_checkpoints, 30, "counters freeze at retirement");
+        assert_eq!(sb.stats.ingested_checkpoints, 15, "post-retirement batches route to b");
+        assert_eq!(sb.stats.buffered, 45, "a's 30 drained rows + b's own 15: {sb:?}");
+        assert_eq!(stats.unrouted_checkpoints, 0);
     }
 
     #[test]

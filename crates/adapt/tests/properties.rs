@@ -341,3 +341,96 @@ fn stalled_retrainer_cannot_grow_memory() {
     let queued = bus.queued_checkpoints();
     assert_eq!(queued, capacity as u64 * 3);
 }
+
+/// Class-discovery signatures: whatever garbage the labelled stream
+/// carries — NaN labels, ±inf predictions, ragged or poisoned feature
+/// rows — a produced aging-signature vector is always fully finite, and
+/// identical to the signature of the same stream with the garbage
+/// removed. (ISSUE 5: NaN/edge-case hardening across the stats and
+/// learner layers.)
+mod signature_properties {
+    use aging_adapt::discovery::{SignatureAccumulator, SignatureConfig, SIGNATURE_DIM};
+    use aging_adapt::LabelledCheckpoint;
+    use proptest::prelude::*;
+
+    fn feature_names() -> Vec<String> {
+        vec!["sys_mem_used".into(), "num_threads".into(), "throughput".into()]
+    }
+
+    fn poison(kind: u8) -> f64 {
+        match kind {
+            0 => f64::NAN,
+            1 => f64::INFINITY,
+            _ => f64::NEG_INFINITY,
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Signatures are finite under arbitrary NaN/inf lacing.
+        #[test]
+        fn signatures_are_finite_under_nan_laced_streams(
+            errors in prop::collection::vec((0.0..20_000.0f64, 0u8..2, 0u8..3), 12..120),
+            poison_rows in 0u8..2,
+        ) {
+            let config = SignatureConfig::default();
+            let mut acc = SignatureAccumulator::new(config, &feature_names());
+            let mut clean = SignatureAccumulator::new(config, &feature_names());
+            let poison_rows = poison_rows == 1;
+            let mut base = 1_000.0;
+            for (i, &(err, poisoned, kind)) in errors.iter().enumerate() {
+                let poisoned = poisoned == 1;
+                base += 7.0;
+                let row = vec![base, 40.0, 900.0];
+                let mut cp = LabelledCheckpoint::new(row.clone(), 600.0, Some(600.0 + err));
+                if poisoned {
+                    // Poison the label, the prediction or a feature.
+                    match kind {
+                        0 => cp.ttf_secs = poison(kind),
+                        1 => cp.predicted_ttf_secs = Some(poison(kind)),
+                        _ => {
+                            if poison_rows {
+                                cp.features[i % 3] = poison(kind);
+                            }
+                        }
+                    }
+                }
+                acc.observe(&cp);
+                if !poisoned || (kind == 2 && !poison_rows) {
+                    clean.observe(&LabelledCheckpoint::new(row, 600.0, Some(600.0 + err)));
+                }
+                if i % 16 == 15 {
+                    acc.epoch_boundary();
+                    clean.epoch_boundary();
+                }
+            }
+            if let Some(sig) = acc.signature() {
+                prop_assert_eq!(sig.len(), SIGNATURE_DIM);
+                for (i, v) in sig.iter().enumerate() {
+                    prop_assert!(v.is_finite(), "component {i} not finite: {v}");
+                }
+            }
+        }
+
+        /// An entirely poisoned stream never produces a signature at all
+        /// (no finite errors ⇒ below the readiness gate), and never
+        /// panics.
+        #[test]
+        fn fully_poisoned_stream_yields_no_signature(
+            kinds in prop::collection::vec(0u8..3, 1..200),
+        ) {
+            let mut acc = SignatureAccumulator::new(SignatureConfig::default(), &feature_names());
+            for &kind in &kinds {
+                let cp = LabelledCheckpoint::new(
+                    vec![poison(kind); 3],
+                    poison(kind),
+                    Some(poison(kind.wrapping_add(1) % 3)),
+                );
+                acc.observe(&cp);
+            }
+            prop_assert_eq!(acc.observed_errors(), 0);
+            prop_assert!(acc.signature().is_none());
+        }
+    }
+}

@@ -65,17 +65,24 @@ pub fn correlation(xs: &[f64], ys: &[f64]) -> f64 {
 
 /// Linear interpolation quantile (`q` in `[0, 1]`) of `xs`.
 ///
-/// Returns `None` for an empty slice.
+/// Non-finite values are treated as **missing observations** — the same
+/// convention the segmentation and drift layers use — and never enter the
+/// order statistics. Sorting with `total_cmp` alone would place NaNs
+/// *after* `+inf`, silently poisoning every high quantile (and the median
+/// of NaN-heavy input); filtering keeps one stray NaN in a monitoring
+/// stream from corrupting every threshold derived from it.
+///
+/// Returns `None` for an empty slice or when no finite value remains.
 ///
 /// # Panics
 ///
 /// Panics if `q` is outside `[0, 1]`.
 pub fn quantile(xs: &[f64], q: f64) -> Option<f64> {
     assert!((0.0..=1.0).contains(&q), "quantile level {q} outside [0,1]");
-    if xs.is_empty() {
+    let mut sorted: Vec<f64> = xs.iter().copied().filter(|x| x.is_finite()).collect();
+    if sorted.is_empty() {
         return None;
     }
-    let mut sorted = xs.to_vec();
     sorted.sort_by(f64::total_cmp);
     let pos = q * (sorted.len() - 1) as f64;
     let lo = pos.floor() as usize;
@@ -234,6 +241,36 @@ mod tests {
     #[should_panic(expected = "outside")]
     fn quantile_rejects_bad_level() {
         let _ = quantile(&[1.0], 1.5);
+    }
+
+    #[test]
+    fn quantile_treats_non_finite_as_missing() {
+        // `total_cmp` sorts NaN after +inf, so before the fix one stray NaN
+        // poisoned every high quantile: quantile(&[1, 2, NaN], 1.0) was NaN.
+        let clean = [1.0, 2.0, 3.0, 4.0];
+        let laced = [f64::NAN, 1.0, f64::INFINITY, 2.0, 3.0, f64::NEG_INFINITY, 4.0, f64::NAN];
+        for q in [0.0, 0.25, 0.5, 0.9, 1.0] {
+            assert_eq!(
+                quantile(&laced, q),
+                quantile(&clean, q),
+                "q={q}: non-finite lacing must not move the quantile"
+            );
+            assert!(quantile(&laced, q).unwrap().is_finite());
+        }
+        assert_eq!(quantile(&laced, 1.0), Some(4.0), "the top quantile must not be NaN/inf");
+    }
+
+    #[test]
+    fn median_of_nan_heavy_input_stays_finite() {
+        // Majority-NaN input: the median of the *finite* survivors.
+        let xs = [f64::NAN, f64::NAN, 10.0, f64::NAN, 20.0, f64::NAN, f64::NAN];
+        assert_eq!(median(&xs), Some(15.0));
+    }
+
+    #[test]
+    fn all_non_finite_input_yields_none() {
+        assert_eq!(quantile(&[f64::NAN, f64::INFINITY, f64::NEG_INFINITY], 0.5), None);
+        assert_eq!(median(&[f64::NAN]), None);
     }
 
     #[test]

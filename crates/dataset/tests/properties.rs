@@ -131,4 +131,27 @@ proptest! {
         let q75 = stats::quantile(&values, 0.75).unwrap();
         prop_assert!(q25 <= q50 && q50 <= q75);
     }
+
+    #[test]
+    fn quantile_is_insensitive_to_non_finite_lacing(
+        values in prop::collection::vec(-1.0e6..1.0e6f64, 1..60),
+        lacing in prop::collection::vec((0usize..60, 0u8..3), 0..20),
+        q in 0.0..=1.0f64,
+    ) {
+        // Splice NaN/±inf at arbitrary positions: every quantile must be
+        // identical to the clean stream's (non-finite = missing
+        // observation, the segment/drift convention).
+        let mut laced = values.clone();
+        for (pos, kind) in lacing {
+            let poison = match kind {
+                0 => f64::NAN,
+                1 => f64::INFINITY,
+                _ => f64::NEG_INFINITY,
+            };
+            laced.insert(pos.min(laced.len()), poison);
+        }
+        let clean = stats::quantile(&values, q).unwrap();
+        let poisoned = stats::quantile(&laced, q).unwrap();
+        prop_assert_eq!(clean.to_bits(), poisoned.to_bits());
+    }
 }

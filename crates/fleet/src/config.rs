@@ -1,6 +1,7 @@
 //! Fleet configuration and per-instance specifications.
 
-use aging_adapt::ServiceClass;
+use aging_adapt::discovery::{DiscoveryConfig, SignatureConfig};
+use aging_adapt::{ClassSpec, RouterConfig, ServiceClass};
 use aging_core::{RejuvenationConfig, RejuvenationPolicy};
 use aging_testbed::Scenario;
 use serde::{Deserialize, Serialize};
@@ -96,6 +97,58 @@ impl Default for FleetConfig {
             counterfactual_horizon_secs: 3600.0,
         }
     }
+}
+
+/// Everything a [`crate::Fleet::run_discovered`] run needs besides the
+/// fleet itself: how each discovered class adapts, how signatures are
+/// summarised, how the partition is re-evaluated, and how often.
+///
+/// The fleet starts with **zero operator-assigned classes**: every
+/// instance begins in the seed class `discovered-0`, served by
+/// `template.initial`. At every reassessment boundary the discovery
+/// engine clusters the instances' aging signatures; new classes spawn a
+/// fresh adaptation pipeline from `template` (inheriting the nearest
+/// centroid's currently published model as generation 0), and retired
+/// classes drain their training buffer into their merge target.
+#[derive(Debug, Clone)]
+pub struct DiscoverySetup {
+    /// Learner, adaptation config and threshold policy every discovered
+    /// class runs with; `template.initial` seeds `discovered-0`.
+    pub template: ClassSpec,
+    /// Router-wide tuning (retrainer pool, bus capacity).
+    pub router: RouterConfig,
+    /// Partition engine tuning (split/merge gates, seed).
+    pub discovery: DiscoveryConfig,
+    /// Per-instance aging-signature tuning.
+    pub signature: SignatureConfig,
+    /// Fleet epochs between partition re-evaluations. Assignments only
+    /// change at these boundaries — an instance's class is pinned within
+    /// an epoch exactly like its model snapshot.
+    pub reassess_every_epochs: u64,
+}
+
+impl DiscoverySetup {
+    /// A setup with the default discovery/signature/router tuning and a
+    /// reassessment every 240 fleet epochs (one simulated hour of 15 s
+    /// checkpoints).
+    pub fn new(template: ClassSpec) -> Self {
+        DiscoverySetup {
+            template,
+            router: RouterConfig::default(),
+            discovery: DiscoveryConfig::default(),
+            signature: SignatureConfig::default(),
+            reassess_every_epochs: 240,
+        }
+    }
+}
+
+pub(crate) fn validate_discovery(setup: &DiscoverySetup) -> Result<(), FleetError> {
+    if setup.reassess_every_epochs == 0 {
+        return Err(FleetError::InvalidParameter(
+            "discovery reassessment interval must be at least one epoch".into(),
+        ));
+    }
+    Ok(())
 }
 
 /// Error raised when assembling or running a fleet.

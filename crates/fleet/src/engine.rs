@@ -1,20 +1,28 @@
 //! The fleet engine: sharding, the worker pool and lock-step epochs.
 
-use crate::config::{validate_config, validate_spec, FleetConfig, FleetError, InstanceSpec};
+use crate::config::{
+    validate_config, validate_discovery, validate_spec, DiscoverySetup, FleetConfig, FleetError,
+    InstanceSpec,
+};
 use crate::instance::Instance;
-use crate::report::{FleetReport, FleetTiming, InstanceReport};
+use crate::report::{
+    DiscoveredClass, DiscoveryEvaluation, DiscoveryReport, FleetReport, FleetTiming, InstanceReport,
+};
 use crate::shard::{EpochModels, Shard};
+use aging_adapt::discovery::{ClassDiscovery, SignatureAccumulator};
 use aging_adapt::{
-    AdaptiveRouter, AdaptiveService, CheckpointBus, ModelService, ModelSnapshot, ServiceClass,
+    AdaptiveRouter, AdaptiveService, CheckpointBus, ClassSpec, ModelService, ModelSnapshot,
+    ServiceClass,
 };
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
 use aging_testbed::Scenario;
+use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Barrier, Mutex, RwLock};
+use std::time::{Duration, Instant};
 
 /// Where the worker threads get their models from.
 ///
@@ -31,6 +39,169 @@ enum ModelBinding<'a> {
     Frozen(&'a dyn Regressor),
     Adaptive(&'a ModelService),
     Routed(Vec<Arc<ModelService>>),
+    /// Class-discovery runs: the class table grows mid-run, so workers
+    /// sync their pins from the shared runtime at epoch boundaries.
+    Discovered(&'a DiscoveryRuntime<'a>),
+}
+
+/// Shared coordination state of a [`Fleet::run_discovered`] run.
+///
+/// Workers write instance signatures before the epoch barrier; the
+/// barrier leader re-evaluates the partition between the two barrier
+/// waits (the only single-threaded window of the epoch protocol) and
+/// publishes the new assignment through `version`; every worker applies
+/// it at the top of the next epoch — so an instance's class, like its
+/// model snapshot, is pinned within an epoch.
+struct DiscoveryRuntime<'a> {
+    router: &'a AdaptiveRouter,
+    setup: &'a DiscoverySetup,
+    /// The fleet-side class table, indexed by discovery class id:
+    /// `(class name, serving side)`. Append-only — retired classes keep
+    /// their slot so worker pins stay aligned.
+    classes: RwLock<Vec<(ServiceClass, Arc<ModelService>)>>,
+    /// Current class id per instance (spec order).
+    assignment: Vec<AtomicUsize>,
+    /// Latest signature per instance (spec order), refreshed at
+    /// reassessment boundaries.
+    signatures: Vec<Mutex<Option<Vec<f64>>>>,
+    discovery: Mutex<ClassDiscovery>,
+    reassignments: AtomicU64,
+    /// Per-evaluation timeline, folded into the final report.
+    log: Mutex<Vec<DiscoveryEvaluation>>,
+    /// Bumped after every discovery step; workers re-sync when it moves.
+    version: AtomicU64,
+    /// A panic raised inside the leader's discovery step — caught so the
+    /// barrier protocol can drain, rethrown to the caller after join.
+    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+}
+
+impl DiscoveryRuntime<'_> {
+    /// One partition re-evaluation, run by the barrier leader while every
+    /// worker is parked between the epoch's two barrier waits.
+    /// `epochs_done` is the number of completed fleet epochs.
+    fn step(&self, epochs_done: u64) {
+        let signatures: Vec<Option<Vec<f64>>> = self
+            .signatures
+            .iter()
+            .map(|m| m.lock().expect("signature slot poisoned").clone())
+            .collect();
+        let ready = signatures.iter().filter(|s| s.is_some()).count();
+        let outcome =
+            self.discovery.lock().expect("discovery engine poisoned").evaluate(&signatures);
+
+        // New classes first, so every id the assignment references exists
+        // before any worker can observe the new version.
+        if !outcome.new_classes.is_empty() {
+            let mut classes = self.classes.write().expect("class table poisoned");
+            for nc in &outcome.new_classes {
+                // Inherit the nearest centroid's currently *published*
+                // model as generation 0 — the best prior the fleet has
+                // for a regime that just split off.
+                let initial = match nc.seeded_from {
+                    Some(src) => classes[src].1.snapshot().model,
+                    None => Arc::clone(&self.setup.template.initial),
+                };
+                let name = ServiceClass::new(format!("discovered-{}", nc.id));
+                let spec = ClassSpec::builder(Arc::clone(&self.setup.template.learner), initial)
+                    .config(self.setup.template.config)
+                    .policy(Arc::clone(&self.setup.template.policy))
+                    .build();
+                let service = self
+                    .router
+                    .register_class(name.clone(), spec)
+                    .expect("discovery ids are unique for the router's lifetime");
+                assert_eq!(classes.len(), nc.id, "class table must align with discovery ids");
+                classes.push((name, service));
+            }
+        }
+
+        // Re-point instances. Not-ready instances keep their class unless
+        // it was just retired, in which case they follow the merge.
+        let retired_into: HashMap<usize, usize> =
+            outcome.retired.iter().map(|r| (r.id, r.into)).collect();
+        for (i, slot) in outcome.assignment.iter().enumerate() {
+            let current = self.assignment[i].load(Ordering::Relaxed);
+            let next = match slot {
+                Some(id) => *id,
+                None => retired_into.get(&current).copied().unwrap_or(current),
+            };
+            if next != current {
+                self.assignment[i].store(next, Ordering::Relaxed);
+                self.reassignments.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+
+        // Retire on the router last: assignments already point away, so
+        // the drained buffer lands in the target before its next batch.
+        if !outcome.retired.is_empty() {
+            let classes = self.classes.read().expect("class table poisoned");
+            for r in &outcome.retired {
+                let (from, _) = &classes[r.id];
+                let (into, _) = &classes[r.into];
+                self.router.retire_class(from, into).expect("both classes are registered");
+            }
+        }
+        self.version.fetch_add(1, Ordering::Release);
+
+        // Timeline entry: what this evaluation decided, plus a live
+        // snapshot of each class's adaptation counters.
+        let stats = self.router.stats();
+        let classes = self.classes.read().expect("class table poisoned");
+        let entry = DiscoveryEvaluation {
+            epoch: epochs_done,
+            ready_instances: ready,
+            active_classes: outcome.active_classes,
+            silhouette: outcome.silhouette,
+            new_classes: outcome
+                .new_classes
+                .iter()
+                .map(|nc| classes[nc.id].0.to_string())
+                .collect(),
+            retired_classes: outcome.retired.iter().map(|r| classes[r.id].0.to_string()).collect(),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            class_drift_events: stats
+                .classes
+                .iter()
+                .map(|c| (c.class.to_string(), c.stats.drift_events))
+                .collect(),
+            class_generations: stats
+                .classes
+                .iter()
+                .map(|c| (c.class.to_string(), c.stats.generation))
+                .collect(),
+        };
+        drop(classes);
+        self.log.lock().expect("log poisoned").push(entry);
+    }
+
+    /// The final discovery report (after the run has joined).
+    fn report(&self, n_instances: usize) -> DiscoveryReport {
+        let classes = self.classes.read().expect("class table poisoned");
+        let discovery = self.discovery.lock().expect("discovery engine poisoned");
+        let assignment: Vec<usize> =
+            (0..n_instances).map(|i| self.assignment[i].load(Ordering::Relaxed)).collect();
+        let mut members = vec![0usize; classes.len()];
+        for &id in &assignment {
+            members[id] += 1;
+        }
+        DiscoveryReport {
+            classes: classes
+                .iter()
+                .enumerate()
+                .map(|(id, (name, _))| DiscoveredClass {
+                    class: name.to_string(),
+                    members: members[id],
+                    retired: discovery.is_retired(id),
+                })
+                .collect(),
+            evaluations_log: self.log.lock().expect("log poisoned").clone(),
+            assignment: assignment.iter().map(|&id| classes[id].0.to_string()).collect(),
+            reassignments: self.reassignments.load(Ordering::Relaxed),
+            evaluations: discovery.evaluations(),
+            splits: discovery.splits(),
+            merges: discovery.merges(),
+        }
+    }
 }
 
 /// A set of simulated deployments operated concurrently under shared
@@ -221,13 +392,95 @@ impl Fleet {
         Ok(report)
     }
 
+    /// Operates the fleet with **no operator-assigned classes**: every
+    /// instance starts in the seed class `discovered-0` (spec classes are
+    /// ignored), served by `setup.template.initial`. Each instance's
+    /// labelled-checkpoint stream is summarised into an aging-signature
+    /// vector, and at every `setup.reassess_every_epochs` boundary the
+    /// discovery engine re-clusters the fleet: a silhouette- and
+    /// separation-gated split spawns a new class (with its own
+    /// [`aging_adapt::AdaptationPipeline`] seeded from the nearest
+    /// centroid's published model), converged classes merge back, and
+    /// instances are re-routed — all at epoch boundaries, with the same
+    /// pin discipline as the models.
+    ///
+    /// The returned report carries the discovered partition in
+    /// [`FleetReport::discovery`] and the per-class router counters in
+    /// [`FleetReport::routing`] (quiesced, so the numbers are settled).
+    /// With drift disabled in the template, outcomes and partitions are
+    /// deterministic in the specs, seeds and config — shard count
+    /// included.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidParameter`] for a zero reassessment
+    /// interval.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate template config, threshold policy, router
+    /// config or discovery config — the same panics the router builder
+    /// and discovery constructors raise.
+    pub fn run_discovered(
+        self,
+        setup: &DiscoverySetup,
+        features: &FeatureSet,
+    ) -> Result<FleetReport, FleetError> {
+        validate_discovery(setup)?;
+        let seed_class = ServiceClass::new("discovered-0");
+        let router = AdaptiveRouter::builder(features.variables().to_vec())
+            .class(seed_class.clone(), setup.template.clone())
+            .config(setup.router)
+            .spawn();
+        let n = self.specs.len();
+        let (mut report, discovery_report) = {
+            let runtime = DiscoveryRuntime {
+                router: &router,
+                setup,
+                classes: RwLock::new(vec![(
+                    seed_class.clone(),
+                    router.model_service(&seed_class).expect("seed class registered above"),
+                )]),
+                assignment: (0..n).map(|_| AtomicUsize::new(0)).collect(),
+                signatures: (0..n).map(|_| Mutex::new(None)).collect(),
+                discovery: Mutex::new(ClassDiscovery::new(setup.discovery)),
+                reassignments: AtomicU64::new(0),
+                log: Mutex::new(Vec::new()),
+                version: AtomicU64::new(0),
+                panic_payload: Mutex::new(None),
+            };
+            let report =
+                self.run_bound(ModelBinding::Discovered(&runtime), features, Some(router.bus()));
+            // Rethrow a caught leader panic BEFORE touching the runtime's
+            // mutexes: the panic may have poisoned them mid-step, and a
+            // poison panic out of `report()` would mask the real payload.
+            if let Some(payload) = runtime.panic_payload.lock().expect("payload slot").take() {
+                std::panic::resume_unwind(payload);
+            }
+            (report, runtime.report(n))
+        };
+        report.discovery = Some(discovery_report);
+        // Settle the learning side so the reported counters are final.
+        router.quiesce(Duration::from_secs(60));
+        report.routing = Some(router.stats());
+        router.shutdown();
+        Ok(report)
+    }
+
     fn run_bound(
         self,
         binding: ModelBinding<'_>,
         features: &FeatureSet,
         bus: Option<CheckpointBus>,
     ) -> FleetReport {
-        let classes = self.classes();
+        // Discovered runs ignore the specs' operator classes: everything
+        // starts in the seed class and the table grows as regimes appear.
+        let classes = match &binding {
+            ModelBinding::Discovered(runtime) => {
+                vec![runtime.classes.read().expect("class table poisoned")[0].0.clone()]
+            }
+            _ => self.classes(),
+        };
         let n_classes = classes.len();
         let Fleet { specs, config } = self;
         let n_instances = specs.len();
@@ -239,11 +492,27 @@ impl Fleet {
             let mut buckets: Vec<Vec<(usize, Instance)>> =
                 (0..n_shards).map(|_| Vec::new()).collect();
             for (i, spec) in specs.into_iter().enumerate() {
-                let class_idx = classes
-                    .iter()
-                    .position(|c| c == &spec.class)
-                    .expect("class table built from these specs");
-                buckets[i % n_shards].push((i, Instance::new(spec, features, class_idx)));
+                let instance = match &binding {
+                    ModelBinding::Discovered(runtime) => {
+                        let mut instance = Instance::new(spec, features, 0);
+                        instance.enable_discovery(
+                            SignatureAccumulator::new(
+                                runtime.setup.signature,
+                                features.variables(),
+                            ),
+                            classes[0].clone(),
+                        );
+                        instance
+                    }
+                    _ => {
+                        let class_idx = classes
+                            .iter()
+                            .position(|c| c == &spec.class)
+                            .expect("class table built from these specs");
+                        Instance::new(spec, features, class_idx)
+                    }
+                };
+                buckets[i % n_shards].push((i, instance));
             }
             buckets
                 .into_iter()
@@ -290,7 +559,27 @@ impl Fleet {
                             ModelBinding::Routed(services) => {
                                 services.iter().map(|s| s.snapshot()).collect()
                             }
+                            ModelBinding::Discovered(runtime) => runtime
+                                .classes
+                                .read()
+                                .expect("class table poisoned")
+                                .iter()
+                                .map(|(_, s)| s.snapshot())
+                                .collect(),
                         };
+                        // Discovered runs: this worker's view of the class
+                        // table, re-synced when the runtime version moves.
+                        let mut services: Vec<Arc<ModelService>> = match binding {
+                            ModelBinding::Discovered(runtime) => runtime
+                                .classes
+                                .read()
+                                .expect("class table poisoned")
+                                .iter()
+                                .map(|(_, s)| Arc::clone(s))
+                                .collect(),
+                            _ => Vec::new(),
+                        };
+                        let mut seen_version = 0u64;
                         // Effective rejuvenation thresholds follow the same
                         // epoch-boundary discipline as the pins: read once
                         // per class per epoch from the class's model
@@ -317,6 +606,37 @@ impl Fleet {
                                         *threshold = service.rejuvenation_threshold_secs();
                                     }
                                 }
+                                ModelBinding::Discovered(runtime) => {
+                                    // Apply the leader's latest partition —
+                                    // new classes, retirements, re-routed
+                                    // instances — exactly at this epoch
+                                    // boundary.
+                                    let version = runtime.version.load(Ordering::Acquire);
+                                    if version != seen_version {
+                                        seen_version = version;
+                                        let table =
+                                            runtime.classes.read().expect("class table poisoned");
+                                        for (orig, instance) in shard.instances.iter_mut() {
+                                            let id =
+                                                runtime.assignment[*orig].load(Ordering::Relaxed);
+                                            instance.set_class(id, table[id].0.clone());
+                                        }
+                                        while services.len() < table.len() {
+                                            let (_, service) = &table[services.len()];
+                                            pins.push(service.snapshot());
+                                            services.push(Arc::clone(service));
+                                        }
+                                        drop(table);
+                                        shard.ensure_classes(services.len());
+                                        thresholds.resize(services.len(), None);
+                                    }
+                                    for ((service, pin), threshold) in
+                                        services.iter().zip(&mut pins).zip(&mut thresholds)
+                                    {
+                                        service.refresh(pin);
+                                        *threshold = service.rejuvenation_threshold_secs();
+                                    }
+                                }
                             }
                             // The model table this epoch serves from —
                             // borrows of `pins`, no per-epoch allocation.
@@ -328,7 +648,9 @@ impl Fleet {
                                     model: pins[0].model.as_ref(),
                                     generation: pins[0].generation,
                                 },
-                                ModelBinding::Routed(_) => EpochModels::PerClass(&pins),
+                                ModelBinding::Routed(_) | ModelBinding::Discovered(_) => {
+                                    EpochModels::PerClass(&pins)
+                                }
                             };
                             let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
                                 shard.epoch(models, &thresholds, config) as u64
@@ -340,6 +662,25 @@ impl Fleet {
                                     0
                                 }
                             };
+                            // Reassessment boundary: publish this shard's
+                            // signatures before the barrier so the leader
+                            // sees every instance's latest stream.
+                            let reassess = match binding {
+                                ModelBinding::Discovered(runtime) => {
+                                    (epoch + 1) % runtime.setup.reassess_every_epochs == 0
+                                }
+                                _ => false,
+                            };
+                            if reassess {
+                                if let ModelBinding::Discovered(runtime) = binding {
+                                    for (orig, instance) in shard.instances.iter() {
+                                        *runtime.signatures[*orig]
+                                            .lock()
+                                            .expect("signature slot poisoned") =
+                                            instance.signature();
+                                    }
+                                }
+                            }
                             let parity = (epoch % 2) as usize;
                             live[parity].fetch_add(shard_live, Ordering::SeqCst);
                             let wait = barrier.wait();
@@ -347,6 +688,26 @@ impl Fleet {
                                 && !panicked.load(Ordering::SeqCst);
                             if wait.is_leader() {
                                 live[1 - parity].store(0, Ordering::SeqCst);
+                                // The inter-barrier window is the epoch
+                                // protocol's only single-threaded section:
+                                // the leader re-evaluates the partition
+                                // here, every other worker parked at the
+                                // second wait. A panicking step must not
+                                // strand them — catch, flag, rethrow after
+                                // join.
+                                if reassess && keep_going {
+                                    if let ModelBinding::Discovered(runtime) = binding {
+                                        if let Err(payload) =
+                                            std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                                runtime.step(epoch + 1)
+                                            }))
+                                        {
+                                            panicked.store(true, Ordering::SeqCst);
+                                            *runtime.panic_payload.lock().expect("payload slot") =
+                                                Some(payload);
+                                        }
+                                    }
+                                }
                             }
                             barrier.wait();
                             epoch += 1;

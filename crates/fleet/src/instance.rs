@@ -25,7 +25,8 @@
 
 use crate::config::{FleetConfig, InstanceSpec};
 use crate::report::InstanceReport;
-use aging_adapt::{CheckpointBatch, LabelledCheckpoint};
+use aging_adapt::discovery::SignatureAccumulator;
+use aging_adapt::{CheckpointBatch, LabelledCheckpoint, ServiceClass};
 use aging_core::{clamp_ttf, RejuvenationPolicy};
 use aging_ml::FeatureMatrix;
 use aging_monitor::{FeatureExtractor, FeatureSet, TTF_CAP_SECS};
@@ -65,9 +66,18 @@ pub struct Instance {
     /// Catalogue indices of the feature set, cached so the per-checkpoint
     /// projection is a gather instead of repeated name lookups.
     feature_indices: Vec<usize>,
-    /// Index of `spec.class` in the fleet's class table — the shard uses
-    /// it to pick this instance's batch matrix and model pin.
+    /// Index of the instance's class in the fleet's class table — the
+    /// shard uses it to pick this instance's batch matrix and model pin.
+    /// Fixed for routed runs; discovered runs re-point it at epoch
+    /// boundaries ([`Instance::set_class`]).
     class_idx: usize,
+    /// The class outgoing checkpoint batches are tagged with. Equal to
+    /// `spec.class` except under class discovery, where it tracks the
+    /// instance's current discovered class.
+    current_class: ServiceClass,
+    /// Aging-signature accumulator, present only when the fleet runs
+    /// under class discovery.
+    discovery: Option<SignatureAccumulator>,
     // Epoch-of-service state (reset on every restart).
     sim: Option<Box<Simulator>>,
     epoch: u64,
@@ -105,6 +115,8 @@ impl Instance {
             extractor: FeatureExtractor::new(features.window()),
             feature_indices: features.catalogue_indices(),
             class_idx,
+            current_class: spec.class.clone(),
+            discovery: None,
             spec,
             sim: None,
             epoch: 0,
@@ -299,13 +311,17 @@ impl Instance {
                     self.ttf_error_sum += (pred - actual).abs();
                     self.ttf_error_count += 1;
                     if collect {
-                        self.outbox.push(LabelledCheckpoint {
+                        let cp = LabelledCheckpoint {
                             features: std::mem::take(&mut self.history_rows[i]),
                             ttf_secs: actual,
                             predicted_ttf_secs: Some(pred),
                             predicted_generation: Some(self.history_generations[i]),
                             monitor_only: false,
-                        });
+                        };
+                        if let Some(acc) = &mut self.discovery {
+                            acc.observe(&cp);
+                        }
+                        self.outbox.push(cp);
                     }
                 }
             }
@@ -319,8 +335,23 @@ impl Instance {
                 // cap.
                 for (&t, &pred) in self.history_uptimes.iter().zip(&self.history_predictions) {
                     let actual = (fork_ttf + (at_uptime - t).max(0.0)).min(cap);
-                    self.ttf_error_sum += (pred.min(cap) - actual).abs();
+                    let error = (pred.min(cap) - actual).abs();
+                    self.ttf_error_sum += error;
                     self.ttf_error_count += 1;
+                    // The signature accumulator is per instance, so it can
+                    // afford what the fleet-wide bus cannot: every
+                    // counterfactually labelled checkpoint of a proactive
+                    // restart. Restart epochs dominate under a well-tuned
+                    // policy — without them a healthy instance would never
+                    // produce a signature.
+                    if let Some(acc) = self.discovery.as_mut() {
+                        acc.observe_error(error);
+                    }
+                }
+                if let Some(acc) = self.discovery.as_mut() {
+                    for row in &self.history_rows {
+                        acc.observe_row(row);
+                    }
                 }
                 // One monitor-only observation per proactive restart: the
                 // prediction that *triggered* it, against the fork's
@@ -332,6 +363,11 @@ impl Instance {
                 // training buffer.
                 if collect && !self.history_predictions.is_empty() {
                     let pred = *self.history_predictions.last().expect("non-empty");
+                    // Not fed to the signature accumulator: the per-
+                    // checkpoint loop above already observed this exact
+                    // error (its last entry is the trigger checkpoint),
+                    // and a duplicate would bias the signature's
+                    // quantiles toward restart-trigger errors.
                     self.outbox.push(LabelledCheckpoint::monitor_observation(
                         fork_ttf.min(cap),
                         pred.min(cap),
@@ -347,11 +383,38 @@ impl Instance {
         self.history_generations.clear();
         self.sim = None;
         self.epoch += 1;
+        if let Some(acc) = &mut self.discovery {
+            // A restart resets every resource; the next epoch's first row
+            // must not contribute a growth delta against this epoch's last.
+            acc.epoch_boundary();
+        }
     }
 
     /// Index of this instance's service class in the fleet's class table.
     pub(crate) fn class_idx(&self) -> usize {
         self.class_idx
+    }
+
+    /// Attaches a class-discovery signature accumulator and places the
+    /// instance in the seed discovered class (run-discovered construction;
+    /// the spec's operator class, if any, is deliberately ignored).
+    pub(crate) fn enable_discovery(&mut self, acc: SignatureAccumulator, seed_class: ServiceClass) {
+        self.discovery = Some(acc);
+        self.current_class = seed_class;
+    }
+
+    /// Re-points the instance at a (possibly newly discovered) class.
+    /// Called at fleet-epoch boundaries only — the same pin discipline as
+    /// the models, so one epoch's batch is never split across classes.
+    pub(crate) fn set_class(&mut self, class_idx: usize, class: ServiceClass) {
+        self.class_idx = class_idx;
+        self.current_class = class;
+    }
+
+    /// The instance's aging-signature vector, when discovery is enabled
+    /// and enough labelled errors have been observed.
+    pub(crate) fn signature(&self) -> Option<Vec<f64>> {
+        self.discovery.as_ref().and_then(SignatureAccumulator::signature)
     }
 
     /// Drains labelled training checkpoints queued by completed crash
@@ -363,7 +426,7 @@ impl Instance {
         }
         Some(CheckpointBatch {
             source: self.spec.name.clone(),
-            class: self.spec.class.clone(),
+            class: self.current_class.clone(),
             checkpoints: std::mem::take(&mut self.outbox),
         })
     }
@@ -379,7 +442,7 @@ impl Instance {
         };
         InstanceReport {
             name: self.spec.name.clone(),
-            class: self.spec.class.to_string(),
+            class: self.current_class.to_string(),
             policy: self.spec.policy.label(),
             horizon_secs: horizon,
             crashes: self.crashes,

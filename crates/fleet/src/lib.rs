@@ -78,10 +78,10 @@ mod instance;
 mod report;
 mod shard;
 
-pub use config::{FleetConfig, FleetError, InstanceSpec, WorkloadShift};
+pub use config::{DiscoverySetup, FleetConfig, FleetError, InstanceSpec, WorkloadShift};
 pub use engine::Fleet;
 pub use instance::Instance;
-pub use report::{FleetReport, FleetTiming, InstanceReport};
+pub use report::{DiscoveredClass, DiscoveryReport, FleetReport, FleetTiming, InstanceReport};
 
 // The class vocabulary of heterogeneous fleets lives in `aging_adapt`
 // (checkpoint batches carry it); re-exported so fleet callers need not

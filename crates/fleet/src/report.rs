@@ -53,6 +53,67 @@ impl InstanceReport {
     }
 }
 
+/// One discovered class in a [`DiscoveryReport`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveredClass {
+    /// The class name (`discovered-N`).
+    pub class: String,
+    /// Instances assigned to it when the run ended.
+    pub members: usize,
+    /// Whether the class was retired (merged away) before the run ended.
+    pub retired: bool,
+}
+
+/// One partition re-evaluation inside a [`DiscoveryReport`] — the
+/// time-resolved view an end-of-run counter cannot give (e.g. "did the
+/// steady class drift *after* the split separated it from the shifted
+/// one?").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryEvaluation {
+    /// Fleet epochs completed when the evaluation ran.
+    pub epoch: u64,
+    /// Instances with a ready signature.
+    pub ready_instances: usize,
+    /// Active classes after the evaluation.
+    pub active_classes: usize,
+    /// Mean silhouette of the adopted clustering (0 for a single class).
+    pub silhouette: f64,
+    /// Classes created by this evaluation.
+    pub new_classes: Vec<String>,
+    /// Classes retired by this evaluation.
+    pub retired_classes: Vec<String>,
+    /// Cumulative instance reassignments after this evaluation.
+    pub reassignments: u64,
+    /// Router-side drift events per class at evaluation time (classes in
+    /// registration order). Snapshotted from live counters, so a batch
+    /// still in flight on the bus may land one entry later.
+    pub class_drift_events: Vec<(String, u64)>,
+    /// Router-side model generations per class at evaluation time.
+    pub class_generations: Vec<(String, u64)>,
+}
+
+/// What automatic class discovery did during a
+/// [`crate::Fleet::run_discovered`] run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DiscoveryReport {
+    /// Every class ever discovered, in creation order (retired included).
+    pub classes: Vec<DiscoveredClass>,
+    /// The per-evaluation timeline (one entry per reassessment boundary).
+    pub evaluations_log: Vec<DiscoveryEvaluation>,
+    /// Final class per instance, in spec order — the discovered
+    /// partition.
+    pub assignment: Vec<String>,
+    /// Instance-to-class changes applied over the run (the initial
+    /// seeding into `discovered-0` is not counted).
+    pub reassignments: u64,
+    /// Partition re-evaluations run (one per reassessment boundary).
+    pub evaluations: u64,
+    /// Accepted splits.
+    pub splits: u64,
+    /// Accepted merges.
+    pub merges: u64,
+}
+
 /// Wall-clock performance of a fleet run. Not part of the report's
 /// equality: two runs of the same fleet are *equal* when their simulated
 /// outcomes agree, however fast the hardware drove them.
@@ -105,9 +166,14 @@ pub struct FleetReport {
     /// Adaptation-service counters for [`crate::Fleet::run_adaptive`] runs
     /// (`None` for frozen-model runs; excluded from equality).
     pub adaptation: Option<AdaptationStats>,
-    /// Per-class router counters for [`crate::Fleet::run_routed`] runs
-    /// (`None` otherwise; excluded from equality).
+    /// Per-class router counters for [`crate::Fleet::run_routed`] and
+    /// [`crate::Fleet::run_discovered`] runs (`None` otherwise; excluded
+    /// from equality).
     pub routing: Option<RouterStats>,
+    /// The discovered partition for [`crate::Fleet::run_discovered`] runs
+    /// (`None` otherwise; excluded from equality — compare it directly in
+    /// determinism tests).
+    pub discovery: Option<DiscoveryReport>,
     /// Wall-clock performance (excluded from equality).
     pub timing: FleetTiming,
 }
@@ -161,6 +227,7 @@ impl FleetReport {
             ttf_error_count,
             adaptation: None,
             routing: None,
+            discovery: None,
             instances,
             timing,
         }
@@ -269,7 +336,7 @@ impl fmt::Display for FleetReport {
                 writeln!(
                     f,
                     "    class {:<12} gen {}  retrains {}  drift events {}  ingested {}  \
-                     dropped {}  error {:.0} s (fleet mean {:.0} s){}",
+                     dropped {}  error {:.0} s (fleet mean {:.0} s){}{}",
                     entry.class,
                     entry.stats.generation,
                     entry.stats.retrains,
@@ -278,7 +345,30 @@ impl fmt::Display for FleetReport {
                     entry.stats.dropped_checkpoints,
                     entry.stats.error_ewma_secs,
                     self.class_mean_ttf_error_secs(entry.class.as_str()),
-                    effective_thresholds(&entry.stats)
+                    effective_thresholds(&entry.stats),
+                    if entry.retired { "  [retired]" } else { "" }
+                )?;
+            }
+        }
+        if let Some(discovery) = &self.discovery {
+            writeln!(
+                f,
+                "  discovery          {} classes ({} retired)  {} evaluations  \
+                 {} splits  {} merges  {} reassignments",
+                discovery.classes.len(),
+                discovery.classes.iter().filter(|c| c.retired).count(),
+                discovery.evaluations,
+                discovery.splits,
+                discovery.merges,
+                discovery.reassignments
+            )?;
+            for class in &discovery.classes {
+                writeln!(
+                    f,
+                    "    {:<18} {} members{}",
+                    class.class,
+                    class.members,
+                    if class.retired { "  [retired]" } else { "" }
                 )?;
             }
         }

@@ -61,6 +61,9 @@ pub(crate) struct Shard {
     /// Per class, which instance slots appended a row this epoch (row `i`
     /// of `matrices[c]` belongs to `pending[c][i]`).
     pending: Vec<Vec<usize>>,
+    /// Feature arity, kept so [`Shard::ensure_classes`] can size the
+    /// matrices of dynamically discovered classes.
+    n_features: usize,
     /// Producer handle on the adaptation bus; `None` for frozen runs.
     bus: Option<CheckpointBus>,
 }
@@ -79,7 +82,19 @@ impl Shard {
                 .map(|_| FeatureMatrix::with_capacity(n_features, capacity))
                 .collect(),
             pending: (0..n_classes).map(|_| Vec::with_capacity(capacity)).collect(),
+            n_features,
             bus,
+        }
+    }
+
+    /// Grows the per-class batch buffers to `n_classes` (class discovery
+    /// registers classes mid-run; the table is append-only, so existing
+    /// matrices keep their slots). Called at epoch boundaries only.
+    pub(crate) fn ensure_classes(&mut self, n_classes: usize) {
+        let capacity = self.instances.len();
+        while self.matrices.len() < n_classes {
+            self.matrices.push(FeatureMatrix::with_capacity(self.n_features, capacity));
+            self.pending.push(Vec::with_capacity(capacity));
         }
     }
 

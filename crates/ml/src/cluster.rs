@@ -1,0 +1,466 @@
+//! Seeded k-means clustering over standardised feature vectors.
+//!
+//! Built for **automatic class discovery**: the adaptation layer
+//! summarises every fleet instance into an aging-signature vector and
+//! clusters the signatures to decide which deployments should share a
+//! model. The requirements that shape this module:
+//!
+//! - **determinism** — the fleet re-evaluates partitions at epoch
+//!   boundaries and must produce the same partition for the same streams
+//!   whatever the shard count, so initialisation is k-means++ driven by a
+//!   caller-supplied seed (through the vendored deterministic
+//!   [`rand::rngs::StdRng`]) and every tie is broken by index order;
+//! - **finite-input contract** — signature builders guarantee finite
+//!   vectors (NaN-laced error streams are filtered upstream), and this
+//!   module *enforces* the contract with an [`MlError::InvalidParameter`]
+//!   instead of silently propagating NaN distances into every centroid;
+//! - **scale-invariance** — callers standardise columns first
+//!   ([`standardise`]) so a quantile measured in thousands of seconds
+//!   cannot drown a slope measured in seconds per checkpoint.
+//!
+//! [`silhouette`] scores a clustering (the split/merge gate of the
+//! discovery engine): `+1` means tight, well-separated clusters, values
+//! near `0` mean the structure is not real.
+
+use crate::MlError;
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Tuning for [`kmeans`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KMeansConfig {
+    /// RNG seed for the k-means++ initialisation — same seed, same points,
+    /// same clustering.
+    pub seed: u64,
+    /// Lloyd-iteration cap (convergence usually takes far fewer).
+    pub max_iters: usize,
+}
+
+impl Default for KMeansConfig {
+    fn default() -> Self {
+        KMeansConfig { seed: 42, max_iters: 64 }
+    }
+}
+
+/// A fitted clustering: `assignments[i]` is the cluster of `points[i]`,
+/// `centroids[c]` the mean of cluster `c`. Clusters are non-empty except
+/// when the points contain exact duplicates that cannot support `k`
+/// distinct centroids (see [`kmeans`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Clustering {
+    /// Cluster centroids, in cluster-index order.
+    pub centroids: Vec<Vec<f64>>,
+    /// Per-point cluster index.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances of every point to its centroid.
+    pub inertia: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Points per cluster, in cluster-index order.
+    pub fn sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.centroids.len()];
+        for &a in &self.assignments {
+            sizes[a] += 1;
+        }
+        sizes
+    }
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Validates the shared preconditions of [`kmeans`] and [`silhouette`].
+fn validate_points(points: &[Vec<f64>]) -> Result<usize, MlError> {
+    let Some(first) = points.first() else {
+        return Err(MlError::EmptyTrainingSet);
+    };
+    let dim = first.len();
+    for (i, p) in points.iter().enumerate() {
+        if p.len() != dim {
+            return Err(MlError::InvalidParameter(format!(
+                "point {i} has {} components, expected {dim}",
+                p.len()
+            )));
+        }
+        if let Some(j) = p.iter().position(|v| !v.is_finite()) {
+            return Err(MlError::InvalidParameter(format!(
+                "point {i} component {j} is not finite; filter missing observations upstream"
+            )));
+        }
+    }
+    Ok(dim)
+}
+
+/// Seeded k-means (k-means++ initialisation, Lloyd iterations) over
+/// `points`. `k` is clamped to the number of points. An emptied cluster is
+/// re-seeded to the point farthest from its centroid (deterministically),
+/// so clusters only stay empty when the points are exact duplicates.
+///
+/// # Errors
+///
+/// [`MlError::EmptyTrainingSet`] for no points,
+/// [`MlError::InvalidParameter`] for `k == 0`, ragged rows or non-finite
+/// components.
+pub fn kmeans(points: &[Vec<f64>], k: usize, config: KMeansConfig) -> Result<Clustering, MlError> {
+    validate_points(points)?;
+    if k == 0 {
+        return Err(MlError::InvalidParameter("k must be positive".into()));
+    }
+    let n = points.len();
+    let k = k.min(n);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+
+    // k-means++: first centroid uniform, the rest sampled proportionally
+    // to squared distance from the nearest chosen centroid.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.gen_range(0..n)].clone());
+    let mut nearest_sq: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = nearest_sq.iter().sum();
+        let next = if total > 0.0 {
+            // Inverse-CDF draw over the squared-distance weights.
+            let mut draw = rng.gen_range(0.0..total);
+            let mut chosen = n - 1;
+            for (i, &w) in nearest_sq.iter().enumerate() {
+                if draw < w {
+                    chosen = i;
+                    break;
+                }
+                draw -= w;
+            }
+            chosen
+        } else {
+            // All remaining points coincide with a centroid: any index
+            // works, the duplicate centroid will own an empty set and the
+            // re-seed below keeps the invariant.
+            rng.gen_range(0..n)
+        };
+        centroids.push(points[next].clone());
+        for (d, p) in nearest_sq.iter_mut().zip(points) {
+            *d = d.min(sq_dist(p, centroids.last().expect("just pushed")));
+        }
+    }
+
+    lloyd(points, centroids, config.max_iters)
+}
+
+/// Lloyd iterations from **caller-supplied** starting centroids — the
+/// warm-start entry point. A tracker re-evaluating a slowly drifting
+/// population (class discovery at epoch boundaries) starts from last
+/// round's centroids instead of a fresh k-means++ draw: the clustering
+/// tracks the regimes instead of hopping between local optima as the
+/// points move.
+///
+/// # Errors
+///
+/// Same validation as [`kmeans`], plus dimensionality checks on the
+/// centroids.
+pub fn kmeans_from(
+    points: &[Vec<f64>],
+    centroids: Vec<Vec<f64>>,
+    max_iters: usize,
+) -> Result<Clustering, MlError> {
+    let dim = validate_points(points)?;
+    if centroids.is_empty() {
+        return Err(MlError::InvalidParameter("need at least one starting centroid".into()));
+    }
+    for (i, c) in centroids.iter().enumerate() {
+        if c.len() != dim {
+            return Err(MlError::InvalidParameter(format!(
+                "centroid {i} has {} components, expected {dim}",
+                c.len()
+            )));
+        }
+        if c.iter().any(|v| !v.is_finite()) {
+            return Err(MlError::InvalidParameter(format!("centroid {i} is not finite")));
+        }
+    }
+    lloyd(points, centroids, max_iters)
+}
+
+fn lloyd(
+    points: &[Vec<f64>],
+    mut centroids: Vec<Vec<f64>>,
+    max_iters: usize,
+) -> Result<Clustering, MlError> {
+    let n = points.len();
+    let dim = points[0].len();
+    let mut assignments = vec![0usize; n];
+    for _ in 0..max_iters.max(1) {
+        // Assign: nearest centroid, ties to the lower index.
+        let mut moved = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0usize;
+            let mut best_d = f64::INFINITY;
+            for (c, centroid) in centroids.iter().enumerate() {
+                let d = sq_dist(p, centroid);
+                if d < best_d {
+                    best_d = d;
+                    best = c;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                moved = true;
+            }
+        }
+        // Update: centroid = member mean.
+        let k_now = centroids.len();
+        let mut sums = vec![vec![0.0f64; dim]; k_now];
+        let mut counts = vec![0usize; k_now];
+        for (p, &a) in points.iter().zip(&assignments) {
+            counts[a] += 1;
+            for (s, v) in sums[a].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k_now {
+            if counts[c] > 0 {
+                for (cv, s) in centroids[c].iter_mut().zip(&sums[c]) {
+                    *cv = s / counts[c] as f64;
+                }
+            }
+        }
+        // An emptied cluster is re-seeded to the point farthest from its
+        // own (freshly updated) centroid — deterministic, lowest index on
+        // ties — so k only shrinks when points are exact duplicates.
+        for c in 0..k_now {
+            if counts[c] == 0 {
+                let farthest = (0..n)
+                    .max_by(|&i, &j| {
+                        let di = sq_dist(&points[i], &centroids[assignments[i]]);
+                        let dj = sq_dist(&points[j], &centroids[assignments[j]]);
+                        di.total_cmp(&dj).then_with(|| j.cmp(&i))
+                    })
+                    .expect("points non-empty");
+                if sq_dist(&points[farthest], &centroids[assignments[farthest]]) > 0.0 {
+                    centroids[c] = points[farthest].clone();
+                    moved = true;
+                }
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+
+    // One final assignment pass: the loop can exhaust `max_iters` right
+    // after an empty-cluster re-seed mutated a centroid, and the returned
+    // assignments must always be consistent with the returned centroids.
+    for (i, p) in points.iter().enumerate() {
+        let mut best = 0usize;
+        let mut best_d = f64::INFINITY;
+        for (c, centroid) in centroids.iter().enumerate() {
+            let d = sq_dist(p, centroid);
+            if d < best_d {
+                best_d = d;
+                best = c;
+            }
+        }
+        assignments[i] = best;
+    }
+
+    let inertia = points.iter().zip(&assignments).map(|(p, &a)| sq_dist(p, &centroids[a])).sum();
+    Ok(Clustering { centroids, assignments, inertia })
+}
+
+/// Mean silhouette coefficient of a clustering, in `[-1, 1]`.
+///
+/// For each point: `a` = mean distance to its own cluster's other members,
+/// `b` = smallest mean distance to another cluster; the silhouette is
+/// `(b − a) / max(a, b)`. Singleton clusters score `0` for their point
+/// (no within-cluster evidence), and a clustering with fewer than two
+/// clusters — no separation to measure — scores `0.0`.
+///
+/// # Errors
+///
+/// Same input validation as [`kmeans`], plus a length check on
+/// `assignments`.
+pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, MlError> {
+    validate_points(points)?;
+    if assignments.len() != points.len() {
+        return Err(MlError::InvalidParameter(format!(
+            "{} assignments for {} points",
+            assignments.len(),
+            points.len()
+        )));
+    }
+    let k = assignments.iter().copied().max().map_or(0, |m| m + 1);
+    if k < 2 {
+        return Ok(0.0);
+    }
+    let mut sizes = vec![0usize; k];
+    for &a in assignments {
+        sizes[a] += 1;
+    }
+    let n = points.len();
+    let mut total = 0.0;
+    for i in 0..n {
+        let own = assignments[i];
+        if sizes[own] <= 1 {
+            continue; // singleton: s(i) = 0 contributes nothing
+        }
+        // Mean distance from point i to every cluster.
+        let mut dist_sum = vec![0.0f64; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            dist_sum[assignments[j]] += sq_dist(&points[i], &points[j]).sqrt();
+        }
+        let a = dist_sum[own] / (sizes[own] - 1) as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && sizes[c] > 0)
+            .map(|c| dist_sum[c] / sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            let denom = a.max(b);
+            if denom > 0.0 {
+                total += (b - a) / denom;
+            }
+        }
+    }
+    Ok(total / n as f64)
+}
+
+/// Per-column `(mean, standard deviation)` pairs produced by
+/// [`standardise`] and consumed by [`apply_standardisation`].
+pub type ColumnScales = Vec<(f64, f64)>;
+
+/// Column-wise z-score standardisation: returns the standardised points
+/// plus the per-column `(mean, std)` used, with constant columns given a
+/// unit deviation so they divide out to zero instead of NaN.
+///
+/// # Errors
+///
+/// Same input validation as [`kmeans`].
+pub fn standardise(points: &[Vec<f64>]) -> Result<(Vec<Vec<f64>>, ColumnScales), MlError> {
+    let dim = validate_points(points)?;
+    let n = points.len() as f64;
+    let mut scales = Vec::with_capacity(dim);
+    for c in 0..dim {
+        let mean = points.iter().map(|p| p[c]).sum::<f64>() / n;
+        let var = points.iter().map(|p| (p[c] - mean) * (p[c] - mean)).sum::<f64>() / n;
+        let std = var.sqrt();
+        scales.push((mean, if std > 1e-12 { std } else { 1.0 }));
+    }
+    let standardised = points
+        .iter()
+        .map(|p| p.iter().zip(&scales).map(|(v, (m, s))| (v - m) / s).collect())
+        .collect();
+    Ok((standardised, scales))
+}
+
+/// Applies a previously computed standardisation to one vector (e.g. a
+/// stored raw-space centroid compared against freshly standardised
+/// signatures).
+pub fn apply_standardisation(point: &[f64], scales: &[(f64, f64)]) -> Vec<f64> {
+    point.iter().zip(scales).map(|(v, (m, s))| (v - m) / s).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(cx: f64, cy: f64, n: usize, spread: f64) -> Vec<Vec<f64>> {
+        // Deterministic lattice jitter — no RNG needed for test data.
+        (0..n)
+            .map(|i| {
+                let dx = ((i % 3) as f64 - 1.0) * spread;
+                let dy = ((i % 5) as f64 - 2.0) * spread * 0.5;
+                vec![cx + dx, cy + dy]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn two_blobs_separate_cleanly() {
+        let mut points = blob(0.0, 0.0, 12, 0.3);
+        points.extend(blob(10.0, 10.0, 12, 0.3));
+        let clustering = kmeans(&points, 2, KMeansConfig::default()).unwrap();
+        let first = clustering.assignments[0];
+        assert!(clustering.assignments[..12].iter().all(|&a| a == first));
+        assert!(clustering.assignments[12..].iter().all(|&a| a != first));
+        let s = silhouette(&points, &clustering.assignments).unwrap();
+        assert!(s > 0.8, "well-separated blobs must score high, got {s}");
+    }
+
+    #[test]
+    fn same_seed_same_clustering() {
+        let mut points = blob(0.0, 0.0, 10, 0.5);
+        points.extend(blob(6.0, -3.0, 7, 0.5));
+        points.extend(blob(-5.0, 8.0, 9, 0.5));
+        let a = kmeans(&points, 3, KMeansConfig { seed: 7, max_iters: 64 }).unwrap();
+        let b = kmeans(&points, 3, KMeansConfig { seed: 7, max_iters: 64 }).unwrap();
+        assert_eq!(a, b, "same seed and points must reproduce bit-identically");
+    }
+
+    #[test]
+    fn k_is_clamped_to_the_point_count() {
+        let points = vec![vec![0.0], vec![1.0]];
+        let clustering = kmeans(&points, 10, KMeansConfig::default()).unwrap();
+        assert_eq!(clustering.k(), 2);
+        assert!(clustering.sizes().iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn duplicate_points_keep_every_cluster_non_empty() {
+        let points = vec![vec![3.0, 3.0]; 8];
+        let clustering = kmeans(&points, 3, KMeansConfig::default()).unwrap();
+        assert_eq!(clustering.k(), 3);
+        assert_eq!(clustering.inertia, 0.0);
+    }
+
+    #[test]
+    fn forced_split_of_one_blob_scores_low() {
+        let points = blob(0.0, 0.0, 30, 0.4);
+        let natural =
+            silhouette(&points, &kmeans(&points, 2, KMeansConfig::default()).unwrap().assignments)
+                .unwrap();
+        let mut two_blobs = blob(0.0, 0.0, 15, 0.4);
+        two_blobs.extend(blob(20.0, 0.0, 15, 0.4));
+        let separated = silhouette(
+            &two_blobs,
+            &kmeans(&two_blobs, 2, KMeansConfig::default()).unwrap().assignments,
+        )
+        .unwrap();
+        assert!(
+            natural < separated,
+            "splitting one blob ({natural}) must score below real structure ({separated})"
+        );
+        assert!(separated > 0.6);
+    }
+
+    #[test]
+    fn rejects_degenerate_input() {
+        assert!(matches!(kmeans(&[], 2, KMeansConfig::default()), Err(MlError::EmptyTrainingSet)));
+        assert!(kmeans(&[vec![1.0]], 0, KMeansConfig::default()).is_err());
+        assert!(kmeans(&[vec![1.0], vec![1.0, 2.0]], 1, KMeansConfig::default()).is_err());
+        assert!(kmeans(&[vec![f64::NAN]], 1, KMeansConfig::default()).is_err());
+        assert!(silhouette(&[vec![1.0]], &[0, 1]).is_err());
+    }
+
+    #[test]
+    fn single_cluster_silhouette_is_zero() {
+        let points = blob(0.0, 0.0, 10, 0.5);
+        assert_eq!(silhouette(&points, &[0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn standardise_zeroes_means_and_units_deviations() {
+        let points = vec![vec![10.0, 5.0], vec![20.0, 5.0], vec![30.0, 5.0]];
+        let (std_points, scales) = standardise(&points).unwrap();
+        assert_eq!(scales[0].0, 20.0);
+        assert_eq!(scales[1], (5.0, 1.0), "constant column: unit deviation, no NaN");
+        assert!(std_points.iter().all(|p| p.iter().all(|v| v.is_finite())));
+        let mean0: f64 = std_points.iter().map(|p| p[0]).sum::<f64>() / 3.0;
+        assert!(mean0.abs() < 1e-12);
+        assert_eq!(apply_standardisation(&[20.0, 5.0], &scales), vec![0.0, 0.0]);
+    }
+}

@@ -40,6 +40,14 @@ pub struct KnnModel {
     n_attributes: usize,
 }
 
+/// What an instance-less model predicts: the TTF labelling cap
+/// (`aging_monitor::TTF_CAP_SECS`, duplicated here because the ml crate
+/// sits below the monitor in the dependency graph). A k-NN model with no
+/// stored neighbours knows nothing about the current execution, and in
+/// this workspace's time-to-failure domain "no evidence" means "no
+/// failure in sight" — the same convention the labelling horizon uses.
+pub const EMPTY_MODEL_TTF_SECS: f64 = 10_800.0;
+
 impl KnnModel {
     fn standardise(&self, x: &[f64]) -> Vec<f64> {
         x.iter().enumerate().map(|(i, v)| (v - self.means[i]) / self.stds[i]).collect()
@@ -49,8 +57,15 @@ impl KnnModel {
 impl Regressor for KnnModel {
     fn predict(&self, x: &[f64]) -> f64 {
         assert_eq!(x.len(), self.n_attributes, "attribute arity mismatch");
-        let q = self.standardise(x);
         let n = self.targets.len();
+        // An empty training set cannot reach here through `fit` (it returns
+        // `MlError::EmptyTrainingSet`), but a deserialized or hand-built
+        // model can: `k.min(0) = 0` would then underflow `k - 1` in the
+        // neighbour selection below and panic. Return the cap instead.
+        if n == 0 {
+            return EMPTY_MODEL_TTF_SECS;
+        }
+        let q = self.standardise(x);
         // Partial selection of the k smallest distances.
         let mut dists: Vec<(f64, f64)> = (0..n)
             .map(|i| {
@@ -180,6 +195,31 @@ mod tests {
         assert!(KnnLearner { k: 0, ..Default::default() }.fit(&grid()).is_err());
         let empty = Dataset::new(vec!["x".into()], "y");
         assert!(matches!(KnnLearner::default().fit(&empty), Err(MlError::EmptyTrainingSet)));
+    }
+
+    #[test]
+    fn empty_model_predicts_the_ttf_cap_instead_of_panicking() {
+        // Regression test: `fit` rejects empty datasets, but a model can
+        // arrive instance-less through serde; `predict` used to compute
+        // `k = self.k.min(0) = 0` and panic on the `k - 1` underflow in
+        // `select_nth_unstable_by`.
+        let empty = KnnModel {
+            k: 5,
+            distance_weighted: true,
+            means: Vec::new(),
+            stds: Vec::new(),
+            rows: Vec::new(),
+            targets: Vec::new(),
+            n_attributes: 0,
+        };
+        assert_eq!(empty.predict(&[]), EMPTY_MODEL_TTF_SECS);
+        // The unweighted path used to hit the same underflow.
+        let uniform = KnnModel { distance_weighted: false, n_attributes: 2, ..empty };
+        assert_eq!(uniform.predict(&[1.0, 2.0]), EMPTY_MODEL_TTF_SECS);
+        // A serde round-trip of an instance-less model stays panic-free.
+        let json = serde_json::to_string(&uniform).unwrap();
+        let back: KnnModel = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.predict(&[0.0, 0.0]), EMPTY_MODEL_TTF_SECS);
     }
 
     #[test]

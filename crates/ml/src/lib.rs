@@ -26,6 +26,8 @@
 //!   instance-based comparator,
 //! - [`segment`]: the piecewise-linear anomaly/change detector of the
 //!   related work (Cherkasova et al., DSN'08),
+//! - [`cluster`]: seeded k-means + silhouette scoring over standardised
+//!   vectors — the machinery behind automatic service-class discovery,
 //! - [`online`]: an adaptive on-line wrapper that retrains on a sliding
 //!   buffer of recent checkpoints,
 //! - [`matrix`]: contiguous row-major feature matrices for allocation-free
@@ -55,6 +57,7 @@
 pub mod arma;
 pub mod bagging;
 pub mod board;
+pub mod cluster;
 pub mod eval;
 pub mod feature_select;
 pub mod gbrt;
