@@ -35,6 +35,8 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use aging_obs::{GaugeHandle, Recorder, Registry};
+
 /// Default ring capacity (batches) for [`CheckpointBus::channel`].
 pub const DEFAULT_BUS_CAPACITY: usize = 1024;
 
@@ -194,6 +196,31 @@ struct BusState {
     consumer_alive: bool,
 }
 
+/// Telemetry hooks of one bus. The depth gauge is resolved once at
+/// construction (updates are branch-plus-atomic); the registry is kept
+/// only for per-class shed attribution, a rare path where re-entering the
+/// registry is fine.
+#[derive(Debug, Default)]
+struct BusTelemetry {
+    depth: GaugeHandle,
+    registry: Option<Arc<Registry>>,
+}
+
+impl BusTelemetry {
+    fn record_shed(&self, class: &ServiceClass, checkpoints: u64) {
+        if let Some(registry) = &self.registry {
+            registry
+                .counter_with(
+                    "adapt_bus_shed_checkpoints_total",
+                    "Checkpoints shed by the bounded checkpoint bus, by class",
+                    "class",
+                    class.as_str(),
+                )
+                .add(checkpoints);
+        }
+    }
+}
+
 #[derive(Debug)]
 struct BusShared {
     state: Mutex<BusState>,
@@ -206,6 +233,7 @@ struct BusShared {
     enqueued: AtomicU64,
     dropped_batches: AtomicU64,
     dropped_checkpoints: AtomicU64,
+    telemetry: BusTelemetry,
 }
 
 /// Sending half of the bus. Cheap to clone — every shard/producer holds its
@@ -248,6 +276,28 @@ impl CheckpointBus {
     /// Panics when `capacity` is zero — a ring that can hold nothing would
     /// silently discard every publish.
     pub fn bounded(capacity: usize) -> (CheckpointBus, BusReceiver) {
+        Self::build(capacity, BusTelemetry::default())
+    }
+
+    /// Like [`CheckpointBus::bounded`], but instrumented: queue depth is
+    /// tracked in the `adapt_bus_depth_batches` gauge and every shed
+    /// checkpoint increments `adapt_bus_shed_checkpoints_total` for its
+    /// class in `registry`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero, like [`CheckpointBus::bounded`].
+    pub fn bounded_with_telemetry(
+        capacity: usize,
+        registry: Arc<Registry>,
+    ) -> (CheckpointBus, BusReceiver) {
+        let depth = registry
+            .gauge("adapt_bus_depth_batches", "Batches currently queued on the checkpoint bus");
+        depth.set(0.0);
+        Self::build(capacity, BusTelemetry { depth, registry: Some(registry) })
+    }
+
+    fn build(capacity: usize, telemetry: BusTelemetry) -> (CheckpointBus, BusReceiver) {
         assert!(capacity > 0, "bus capacity must be positive");
         let shared = Arc::new(BusShared {
             state: Mutex::new(BusState {
@@ -263,6 +313,7 @@ impl CheckpointBus {
             enqueued: AtomicU64::new(0),
             dropped_batches: AtomicU64::new(0),
             dropped_checkpoints: AtomicU64::new(0),
+            telemetry,
         });
         (CheckpointBus { shared: Arc::clone(&shared) }, BusReceiver { shared })
     }
@@ -287,6 +338,7 @@ impl CheckpointBus {
         if state.queue.len() > self.shared.capacity {
             self.shed_one(&mut state);
         }
+        self.shared.telemetry.depth.set(state.queue.len() as f64);
         self.shared.available.notify_one();
         true
     }
@@ -314,16 +366,15 @@ impl CheckpointBus {
         // fleet-wide total (classes already tracked keep attributing).
         // Real fleets register a handful of classes; only a misbehaving
         // producer inventing class names per batch ever hits this.
+        let shed_checkpoints = batch.checkpoints.len() as u64;
+        self.shared.telemetry.record_shed(&batch.class, shed_checkpoints);
         if state.dropped_per_class.contains_key(&batch.class)
             || state.dropped_per_class.len() < DROP_ATTRIBUTION_CLASS_CAP
         {
-            *state.dropped_per_class.entry(batch.class).or_insert(0) +=
-                batch.checkpoints.len() as u64;
+            *state.dropped_per_class.entry(batch.class).or_insert(0) += shed_checkpoints;
         }
         self.shared.dropped_batches.fetch_add(1, Ordering::Relaxed);
-        self.shared
-            .dropped_checkpoints
-            .fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
+        self.shared.dropped_checkpoints.fetch_add(shed_checkpoints, Ordering::Relaxed);
     }
 
     /// Total checkpoints accepted by `publish` across all clones of this
@@ -440,6 +491,7 @@ impl BusReceiver {
         let mut state = self.shared.state.lock().expect("bus state poisoned");
         loop {
             if let Some(batch) = Self::pop(&mut state) {
+                self.shared.telemetry.depth.set(state.queue.len() as f64);
                 return Ok(Some(batch));
             }
             if self.shared.producers.load(Ordering::Acquire) == 0 {
@@ -472,6 +524,7 @@ impl BusReceiver {
         while let Some(batch) = Self::pop(&mut state) {
             out.push(batch);
         }
+        self.shared.telemetry.depth.set(0.0);
         out
     }
 }
@@ -607,6 +660,34 @@ mod tests {
             by_class.iter().map(|(_, n)| n).sum::<u64>(),
             bus.dropped_checkpoints(),
             "per-class attribution must sum to the fleet-wide total"
+        );
+    }
+
+    #[test]
+    fn telemetry_tracks_depth_and_attributes_sheds() {
+        let registry = Registry::shared();
+        let (bus, rx) = CheckpointBus::bounded_with_telemetry(2, Arc::clone(&registry));
+        let classed = |class: &str, n: usize| CheckpointBatch {
+            source: "s".into(),
+            class: ServiceClass::new(class),
+            checkpoints: vec![cp(1.0, None); n],
+        };
+        for _ in 0..5 {
+            bus.publish(classed("db", 3));
+        }
+        let snap = registry.snapshot();
+        assert_eq!(snap.gauge("adapt_bus_depth_batches", None), Some(2.0));
+        assert_eq!(
+            snap.counter("adapt_bus_shed_checkpoints_total", Some("db")),
+            Some(bus.dropped_checkpoints()),
+            "per-class shed telemetry matches the bus's own accounting"
+        );
+        assert_eq!(bus.dropped_checkpoints(), 9, "3 of 5 batches shed");
+        let _ = rx.drain();
+        assert_eq!(
+            registry.snapshot().gauge("adapt_bus_depth_batches", None),
+            Some(0.0),
+            "drain resets the depth gauge"
         );
     }
 

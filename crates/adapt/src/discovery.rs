@@ -40,11 +40,14 @@
 use crate::bus::LabelledCheckpoint;
 use aging_dataset::stats;
 use aging_ml::cluster::{
-    apply_standardisation, kmeans, kmeans_from, silhouette, standardise, Clustering, KMeansConfig,
+    apply_standardisation, evaluate_clustering, kmeans_from, silhouette, standardise, Clustering,
+    KMeansConfig,
 };
 use aging_ml::segment::{diagnose, SeriesDiagnosis};
+use aging_obs::{NoopRecorder, Recorder};
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// Resource categories of the root-cause mix — the same buckets
 /// `aging_core::rootcause` reports (duplicated here because the adapt
@@ -428,6 +431,10 @@ pub struct ClassDiscovery {
     evaluations: u64,
     splits: u64,
     merges: u64,
+    /// Recorder the engine's clustering evaluations report to (wall time
+    /// and evaluation counts via [`evaluate_clustering`]); defaults to
+    /// [`NoopRecorder`], which costs one untaken branch per instrument.
+    recorder: Arc<dyn Recorder>,
 }
 
 impl ClassDiscovery {
@@ -445,7 +452,16 @@ impl ClassDiscovery {
             evaluations: 0,
             splits: 0,
             merges: 0,
+            recorder: Arc::new(NoopRecorder),
         }
+    }
+
+    /// Routes the engine's k-means evaluations through `recorder` — pass
+    /// an [`aging_obs::Registry`] to collect `ml_cluster_eval_seconds` /
+    /// `ml_cluster_evals_total` from every partition re-evaluation.
+    /// Telemetry only; partition decisions are unaffected.
+    pub fn set_recorder(&mut self, recorder: Arc<dyn Recorder>) {
+        self.recorder = recorder;
     }
 
     /// Total classes ever created (retired included); ids are `0..count`.
@@ -530,14 +546,16 @@ impl ClassDiscovery {
                 self.classes[id].centroid.as_ref().map(|raw| apply_standardisation(raw, &scales))
             })
             .collect();
-        let base = match warm {
+        let (base, base_sil) = match warm {
             Some(centroids) if centroids.len() == k_cur => {
-                kmeans_from(&std_points, centroids, self.config.kmeans_iters)
-                    .expect("validated points and centroids")
+                let base = kmeans_from(&std_points, centroids, self.config.kmeans_iters)
+                    .expect("validated points and centroids");
+                let sil = silhouette(&std_points, &base.assignments).expect("validated");
+                (base, sil)
             }
-            _ => kmeans(&std_points, k_cur, kconf).expect("validated points"),
+            _ => evaluate_clustering(&std_points, k_cur, kconf, self.recorder.as_ref())
+                .expect("validated points"),
         };
-        let base_sil = silhouette(&std_points, &base.assignments).expect("validated");
 
         // At most one structural change per evaluation: try the split,
         // else consider a merge, else keep the structure.
@@ -546,9 +564,10 @@ impl ClassDiscovery {
         let can_split =
             k_cur < self.config.max_classes && ready.len() >= (k_cur + 1) * self.config.min_members;
         if can_split {
-            let cand = kmeans(&std_points, k_cur + 1, kconf).expect("validated points");
+            let (cand, sil) =
+                evaluate_clustering(&std_points, k_cur + 1, kconf, self.recorder.as_ref())
+                    .expect("validated points");
             if cand.k() == k_cur + 1 {
-                let sil = silhouette(&std_points, &cand.assignments).expect("validated");
                 let smallest = cand.sizes().into_iter().min().unwrap_or(0);
                 let separation =
                     min_relative_separation(&cluster_raw_centroids(&raw, &cand, &scales));
@@ -567,8 +586,9 @@ impl ClassDiscovery {
             let separation =
                 min_relative_separation(&cluster_raw_centroids(&raw, &adopted, &scales));
             if separation < self.config.merge_separation {
-                adopted = kmeans(&std_points, k_cur - 1, kconf).expect("validated points");
-                adopted_sil = silhouette(&std_points, &adopted.assignments).expect("validated");
+                (adopted, adopted_sil) =
+                    evaluate_clustering(&std_points, k_cur - 1, kconf, self.recorder.as_ref())
+                        .expect("validated points");
                 self.merges += 1;
             }
         }

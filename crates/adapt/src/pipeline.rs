@@ -43,6 +43,7 @@ use crate::bus::LabelledCheckpoint;
 use crate::drift::DriftMonitor;
 use crate::policy::{ThresholdPolicy, Thresholds};
 use crate::service::AdaptConfig;
+use aging_obs::{CounterHandle, GaugeHandle, Recorder};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -132,7 +133,9 @@ impl PipelineCounters {
             retrains: AtomicU64::new(0),
             failed_retrains: AtomicU64::new(0),
             buffered: AtomicU64::new(0),
-            error_ewma_bits: AtomicU64::new(0),
+            // NaN bits = "no labelled prediction observed yet", so stats
+            // readers can distinguish a genuinely-zero EWMA from absence.
+            error_ewma_bits: AtomicU64::new(f64::NAN.to_bits()),
             effective_error_threshold_bits: AtomicU64::new(initial_error_threshold_secs.to_bits()),
             effective_rejuvenation_threshold_bits: AtomicU64::new(f64::NAN.to_bits()),
         }
@@ -166,10 +169,11 @@ impl PipelineCounters {
         self.buffered.load(Ordering::Relaxed)
     }
 
-    /// Current smoothed absolute TTF error, seconds (0 before the first
-    /// labelled prediction arrives).
-    pub fn error_ewma_secs(&self) -> f64 {
-        f64::from_bits(self.error_ewma_bits.load(Ordering::Relaxed))
+    /// Current smoothed absolute TTF error, seconds — `None` until the
+    /// first labelled prediction arrives.
+    pub fn error_ewma_secs(&self) -> Option<f64> {
+        let secs = f64::from_bits(self.error_ewma_bits.load(Ordering::Relaxed));
+        secs.is_finite().then_some(secs)
     }
 
     /// Drift error-level threshold currently in force, seconds. Starts at
@@ -184,6 +188,46 @@ impl PipelineCounters {
         let secs =
             f64::from_bits(self.effective_rejuvenation_threshold_bits.load(Ordering::Relaxed));
         secs.is_finite().then_some(secs)
+    }
+}
+
+/// Per-class telemetry handles for one pipeline, resolved once by its
+/// owner (the router's ingest loop, the service's retrainer) and updated
+/// **batch-wise** — never per checkpoint row — so an uninstrumented
+/// pipeline pays one branch per batch per instrument.
+#[derive(Debug, Default, Clone)]
+pub struct PipelineInstruments {
+    drift_observations: CounterHandle,
+    drift_events: CounterHandle,
+    buffer_occupancy: GaugeHandle,
+}
+
+impl PipelineInstruments {
+    /// Resolves this class's instrument handles from `recorder`
+    /// (`adapt_drift_observations_total`, `adapt_drift_events_total`,
+    /// `adapt_buffer_occupancy_rows`, all labelled by class).
+    #[must_use]
+    pub fn resolve(recorder: &dyn Recorder, class: &str) -> Self {
+        PipelineInstruments {
+            drift_observations: recorder.counter_with(
+                "adapt_drift_observations_total",
+                "Prediction-error observations evaluated by the drift monitor, by class",
+                "class",
+                class,
+            ),
+            drift_events: recorder.counter_with(
+                "adapt_drift_events_total",
+                "Drift events fired by the monitor, by class",
+                "class",
+                class,
+            ),
+            buffer_occupancy: recorder.gauge_with(
+                "adapt_buffer_occupancy_rows",
+                "Rows currently in the sliding training buffer, by class",
+                "class",
+                class,
+            ),
+        }
     }
 }
 
@@ -216,6 +260,7 @@ pub struct AdaptationPipeline<A: RetrainAction> {
     /// its publish landed, oldest first, capped at the drift trend window.
     fresh_errors: std::collections::VecDeque<f64>,
     fresh_errors_cap: usize,
+    instruments: PipelineInstruments,
     action: A,
 }
 
@@ -261,8 +306,14 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             last_generation: action.generation(),
             fresh_errors: std::collections::VecDeque::with_capacity(config.drift.trend_window),
             fresh_errors_cap: config.drift.trend_window,
+            instruments: PipelineInstruments::default(),
             action,
         }
+    }
+
+    /// Attaches per-class telemetry handles (default: all disabled).
+    pub fn set_instruments(&mut self, instruments: PipelineInstruments) {
+        self.instruments = instruments;
     }
 
     /// Feeds one batch of labelled checkpoints through the state machine:
@@ -287,9 +338,15 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
                 self.fresh_errors.clear();
             }
         }
+        // Telemetry is batch-granular: deltas accumulate in locals inside
+        // the row loop and flow to the instruments once per batch below.
+        let mut observed: u64 = 0;
+        let mut events: u64 = 0;
         for cp in checkpoints {
             if let Some(err) = cp.abs_error_secs() {
+                observed += 1;
                 if self.monitor.observe(err).is_some() {
+                    events += 1;
                     self.counters.drift_events.fetch_add(1, Ordering::Relaxed);
                     // Sticky: an early trigger waits for the buffer gate
                     // (and, pooled, for the in-flight job) instead of
@@ -334,6 +391,11 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
         if self.policy_armed {
             self.apply_policy();
         }
+        self.instruments.drift_observations.add(observed);
+        if events > 0 {
+            self.instruments.drift_events.add(events);
+        }
+        self.instruments.buffer_occupancy.set(self.action.buffered() as f64);
         // Counted last so "all ingested" implies "every retrain these
         // checkpoints trigger has already run or been enqueued" — the
         // invariant `quiesce` implementations rely on.
@@ -660,7 +722,7 @@ mod tests {
         assert_eq!(p.counters().ingested(), 30);
         assert_eq!(p.counters().buffered(), 0, "monitor-only rows never enter the buffer");
         assert_eq!(p.action().retrain_calls, 0, "monitor-only rows never tick the schedule");
-        assert_eq!(p.counters().error_ewma_secs(), 300.0, "their errors still flow");
+        assert_eq!(p.counters().error_ewma_secs(), Some(300.0), "their errors still flow");
         // Trainable rows alongside them behave exactly as before.
         p.ingest((0..10).map(|_| cp(0.0)).collect());
         assert_eq!(p.counters().buffered(), 10);
@@ -703,6 +765,25 @@ mod tests {
                 rejuvenation_threshold_secs: Some(-5.0),
             })
         }
+    }
+
+    #[test]
+    fn instruments_mirror_telemetry_batchwise() {
+        use aging_obs::Registry;
+        let action = ScriptedAction::new(1, Vec::new());
+        let mut p = AdaptationPipeline::new(&config(100, None), Arc::new(FixedThresholds), action);
+        let registry = Registry::shared();
+        p.set_instruments(PipelineInstruments::resolve(registry.as_ref(), "web"));
+        p.ingest((0..5).map(|_| cp(5_000.0)).collect());
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("adapt_drift_observations_total", Some("web")), Some(5));
+        assert_eq!(
+            snap.counter("adapt_drift_events_total", Some("web")),
+            Some(p.counters().drift_events()),
+            "instrument mirrors the shared counter"
+        );
+        assert!(p.counters().drift_events() > 0);
+        assert_eq!(snap.gauge("adapt_buffer_occupancy_rows", Some("web")), Some(5.0));
     }
 
     #[test]

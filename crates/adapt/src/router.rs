@@ -34,11 +34,14 @@
 //! only the *fitting* — the expensive part — fans out to the pool.
 
 use crate::bus::{BusReceiver, CheckpointBatch, CheckpointBus, ServiceClass};
-use crate::pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
+use crate::pipeline::{
+    AdaptationPipeline, PipelineCounters, PipelineInstruments, RetrainAction, RetrainDisposition,
+};
 use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use crate::service::{AdaptConfig, AdaptationStats, ModelService};
 use aging_dataset::Dataset;
 use aging_ml::{DynLearner, Regressor};
+use aging_obs::{HistogramHandle, Recorder, Registry, Unit};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -261,6 +264,9 @@ struct ClassShared {
     /// Set by [`AdaptiveRouter::retire_class`]; the ingest thread drains
     /// the class's buffer into its merge target and drops its pipeline.
     retired: AtomicBool,
+    /// `adapt_refit_duration_seconds{class}` — wall time of each pooled
+    /// refit; disabled handle when no telemetry is attached.
+    refit_duration: HistogramHandle,
 }
 
 /// The class registry: slots are append-only (a retired class keeps its
@@ -281,6 +287,9 @@ struct RouterShared {
     jobs_done: AtomicU64,
     dynamic_registrations: AtomicU64,
     retirements: AtomicU64,
+    /// Registry classes resolve their instruments from; `None` leaves
+    /// every instrument disabled.
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl RouterShared {
@@ -426,6 +435,7 @@ pub struct AdaptiveRouterBuilder {
     feature_names: Vec<String>,
     config: RouterConfig,
     classes: Vec<(ServiceClass, ClassSpec)>,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl AdaptiveRouterBuilder {
@@ -433,6 +443,17 @@ impl AdaptiveRouterBuilder {
     /// [`RouterConfig::default`]).
     pub fn config(mut self, config: RouterConfig) -> Self {
         self.config = config;
+        self
+    }
+
+    /// Attaches a telemetry registry: shared-ring depth and per-class shed
+    /// counters, routing latency per ingested batch, per-class drift
+    /// observation/event counters and buffer gauges, refit-duration and
+    /// publish→first-pin swap-latency histograms. Dynamically registered
+    /// classes pick up the same registry. Without this call every
+    /// instrument stays a no-op.
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
         self
     }
 
@@ -457,7 +478,7 @@ impl AdaptiveRouterBuilder {
     /// Panics on an empty or duplicated class list, a zero-sized pool or
     /// ring, and any degenerate per-class [`AdaptConfig`].
     pub fn spawn(self) -> AdaptiveRouter {
-        let AdaptiveRouterBuilder { feature_names, config, classes } = self;
+        let AdaptiveRouterBuilder { feature_names, config, classes, telemetry } = self;
         assert!(!classes.is_empty(), "router needs at least one service class");
         assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
         assert!(config.bus_capacity > 0, "bus capacity must be positive");
@@ -468,7 +489,7 @@ impl AdaptiveRouterBuilder {
             // On the caller's thread — the ingest thread builds the
             // per-class pipelines, where a validation panic would be
             // silent.
-            table.push(make_class_shared(class, spec));
+            table.push(make_class_shared(class, spec, telemetry.as_deref()));
         }
         let shared = Arc::new(RouterShared {
             table: RwLock::new(table),
@@ -477,9 +498,13 @@ impl AdaptiveRouterBuilder {
             jobs_done: AtomicU64::new(0),
             dynamic_registrations: AtomicU64::new(0),
             retirements: AtomicU64::new(0),
+            telemetry: telemetry.clone(),
         });
 
-        let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
+        let (bus, rx) = match telemetry {
+            Some(registry) => CheckpointBus::bounded_with_telemetry(config.bus_capacity, registry),
+            None => CheckpointBus::bounded(config.bus_capacity),
+        };
         let (job_tx, job_rx) = std::sync::mpsc::channel::<RefitJob>();
         let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel::<RouterCtrl>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -509,19 +534,38 @@ impl AdaptiveRouterBuilder {
 /// # Panics
 ///
 /// Panics on a degenerate per-class [`AdaptConfig`] or threshold policy.
-fn make_class_shared(class: ServiceClass, spec: ClassSpec) -> Arc<ClassShared> {
+fn make_class_shared(
+    class: ServiceClass,
+    spec: ClassSpec,
+    telemetry: Option<&Registry>,
+) -> Arc<ClassShared> {
     // Not `validate()`: the per-class `bus_capacity` really is ignored
     // (the ring is shared), as the `ClassSpec` docs say.
     spec.config.validate_adaptation();
     spec.policy.validate();
+    let service = Arc::new(ModelService::new(Arc::clone(&spec.initial)));
+    let refit_duration = match telemetry {
+        Some(registry) => {
+            service.attach_swap_telemetry(registry, &class);
+            registry.histogram_with(
+                "adapt_refit_duration_seconds",
+                "Wall time of each model refit attempt",
+                Unit::Seconds,
+                "class",
+                class.as_str(),
+            )
+        }
+        None => HistogramHandle::disabled(),
+    };
     Arc::new(ClassShared {
         class,
-        service: Arc::new(ModelService::new(Arc::clone(&spec.initial))),
+        service,
         learner: Arc::clone(&spec.learner),
         counters: Arc::new(PipelineCounters::new(spec.config.drift.error_threshold_secs)),
         spec,
         inflight: AtomicBool::new(false),
         retired: AtomicBool::new(false),
+        refit_duration,
     })
 }
 
@@ -543,6 +587,7 @@ impl AdaptiveRouter {
             feature_names,
             config: RouterConfig::default(),
             classes: Vec::new(),
+            telemetry: None,
         }
     }
 
@@ -593,7 +638,7 @@ impl AdaptiveRouter {
         class: ServiceClass,
         spec: ClassSpec,
     ) -> Result<Arc<ModelService>, RouterError> {
-        let shared = make_class_shared(class.clone(), spec);
+        let shared = make_class_shared(class.clone(), spec, self.shared.telemetry.as_deref());
         let service = Arc::clone(&shared.service);
         let mut table = self.shared.table.write().expect("class table poisoned");
         // Names stay unique across retirements: the index re-points a
@@ -797,12 +842,19 @@ impl IngestPipelines {
                 shared: Arc::clone(&self.shared),
                 job_tx: self.job_tx.clone(),
             };
-            self.pipelines.push(Some(AdaptationPipeline::with_counters(
+            let mut pipeline = AdaptationPipeline::with_counters(
                 &spec.config,
                 Arc::clone(&spec.policy),
                 Arc::clone(&table.classes[class_idx].counters),
                 action,
-            )));
+            );
+            if let Some(registry) = &self.shared.telemetry {
+                pipeline.set_instruments(PipelineInstruments::resolve(
+                    registry.as_ref(),
+                    table.classes[class_idx].class.as_str(),
+                ));
+            }
+            self.pipelines.push(Some(pipeline));
         }
     }
 
@@ -867,6 +919,16 @@ fn ingest(
     // `IngestPipelines` owns the only long-lived job sender (the actions
     // hold clones), so worker shutdown still hinges on the ingest thread
     // exiting and dropping it.
+    // Resolved once for the whole loop: routing latency per ingested
+    // batch, covering class lookup, drift evaluation and buffering.
+    let ingest_latency = match &shared.telemetry {
+        Some(registry) => registry.histogram(
+            "adapt_ingest_batch_seconds",
+            "Routing latency per ingested checkpoint batch",
+            Unit::Seconds,
+        ),
+        None => HistogramHandle::disabled(),
+    };
     let mut pipelines = IngestPipelines {
         pipelines: Vec::new(),
         feature_names: Arc::new(feature_names),
@@ -885,13 +947,19 @@ fn ingest(
         drain_ctrl(&mut pipelines);
         if stop.load(Ordering::Acquire) {
             for batch in rx.drain() {
+                let span = ingest_latency.span();
                 pipelines.process(batch);
+                span.finish();
             }
             drain_ctrl(&mut pipelines);
             return;
         }
         match rx.recv_timeout(Duration::from_millis(20)) {
-            Ok(Some(batch)) => pipelines.process(batch),
+            Ok(Some(batch)) => {
+                let span = ingest_latency.span();
+                pipelines.process(batch);
+                span.finish();
+            }
             Ok(None) => {}
             Err(crate::BusDisconnected) => return,
         }
@@ -909,7 +977,10 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
             Err(_) => return,
         };
         let class = shared.class(job.class_idx);
-        match class.learner.fit_dyn(&job.dataset) {
+        let span = class.refit_duration.span();
+        let fitted = class.learner.fit_dyn(&job.dataset);
+        span.finish();
+        match fitted {
             Ok(model) => {
                 class.service.publish(Arc::from(model));
                 class.counters.retrains.fetch_add(1, Ordering::Relaxed);

@@ -3,17 +3,20 @@
 //! [`AdaptationPipeline`] with a synchronous in-thread
 //! [`RetrainAction`](crate::RetrainAction).
 
-use crate::bus::{BusReceiver, CheckpointBus};
+use crate::bus::{BusReceiver, CheckpointBus, ServiceClass};
 use crate::drift::DriftConfig;
-use crate::pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
+use crate::pipeline::{
+    AdaptationPipeline, PipelineCounters, PipelineInstruments, RetrainAction, RetrainDisposition,
+};
 use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use aging_ml::online::OnlineRegressor;
 use aging_ml::{DynLearner, Regressor};
+use aging_obs::{HistogramHandle, Recorder, Registry, Unit};
 use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, RwLock};
+use std::sync::{Arc, OnceLock, RwLock};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A pinned view of the serving model: the model `Arc` plus the generation
 /// it belongs to. Consumers pin one snapshot per unit of work (the fleet
@@ -59,6 +62,21 @@ pub struct ModelService {
     /// Bits of the effective rejuvenation threshold; NaN bits mean "no
     /// override" (readers see `None`).
     rejuvenation_threshold_bits: AtomicU64,
+    /// Clock origin for the swap-latency instrumentation below; all
+    /// publish/observe timestamps are nanoseconds since this instant.
+    created: Instant,
+    /// Nanoseconds-since-`created` of the most recent [`publish`]; 0 means
+    /// no generation has been published yet.
+    ///
+    /// [`publish`]: ModelService::publish
+    published_at_nanos: AtomicU64,
+    /// Highest generation some consumer has already pinned via
+    /// [`refresh`](ModelService::refresh) — `fetch_max` ensures only the
+    /// *first* worker to observe a new generation records its swap latency.
+    swap_observed_generation: AtomicU64,
+    /// `adapt_swap_latency_seconds{class}` — publish → first-worker-pin
+    /// latency. Unset (and therefore free) until telemetry is attached.
+    swap_latency: OnceLock<HistogramHandle>,
 }
 
 impl ModelService {
@@ -69,7 +87,26 @@ impl ModelService {
             slot: RwLock::new(ModelSnapshot { generation: 0, model: initial }),
             generation: AtomicU64::new(0),
             rejuvenation_threshold_bits: AtomicU64::new(f64::NAN.to_bits()),
+            created: Instant::now(),
+            published_at_nanos: AtomicU64::new(0),
+            swap_observed_generation: AtomicU64::new(0),
+            swap_latency: OnceLock::new(),
         }
+    }
+
+    /// Attaches the publish→first-pin swap-latency histogram
+    /// (`adapt_swap_latency_seconds{class}`) from `registry`. First call
+    /// wins; before any call the instrumentation costs one relaxed load per
+    /// *changed* generation and nothing on the unchanged fast path.
+    pub fn attach_swap_telemetry(&self, registry: &Registry, class: &ServiceClass) {
+        let handle = registry.histogram_with(
+            "adapt_swap_latency_seconds",
+            "Latency from a model generation being published to the first worker pinning it",
+            Unit::Seconds,
+            "class",
+            class.as_str(),
+        );
+        let _ = self.swap_latency.set(handle);
     }
 
     /// The current generation number (cheap: one atomic load).
@@ -92,11 +129,38 @@ impl ModelService {
             return false;
         }
         *pin = self.snapshot();
+        self.record_swap_observed(pin.generation);
         true
+    }
+
+    /// Records publish→first-pin latency for `generation`, at most once per
+    /// generation (the `fetch_max` race decides who was first). Latency is
+    /// measured against the *latest* publish timestamp, so when several
+    /// generations land between two pins the recorded value covers the
+    /// newest of them — the one actually being pinned.
+    fn record_swap_observed(&self, generation: u64) {
+        let Some(hist) = self.swap_latency.get() else { return };
+        let prev = self.swap_observed_generation.fetch_max(generation, Ordering::Relaxed);
+        if prev >= generation {
+            return;
+        }
+        let published = self.published_at_nanos.load(Ordering::Relaxed);
+        if published == 0 {
+            return;
+        }
+        let now = self.created.elapsed().as_nanos() as u64;
+        hist.record(now.saturating_sub(published));
     }
 
     /// Publishes a new model generation; returns its number.
     pub fn publish(&self, model: Arc<dyn Regressor>) -> u64 {
+        // Timestamp outside the write lock; only taken when the swap
+        // histogram is live, so untelemetered services never read the clock
+        // here.
+        if self.swap_latency.get().is_some() {
+            let nanos = (self.created.elapsed().as_nanos() as u64).max(1);
+            self.published_at_nanos.store(nanos, Ordering::Relaxed);
+        }
         let mut slot = self.slot.write().expect("model slot poisoned");
         let generation = slot.generation + 1;
         *slot = ModelSnapshot { generation, model };
@@ -284,9 +348,13 @@ pub struct AdaptationStats {
     /// shed batches naming *unregistered* classes, so it can exceed the
     /// sum over the registered classes' rows.
     pub dropped_checkpoints: u64,
-    /// Current smoothed absolute TTF error, seconds (0 before the first
-    /// labelled prediction arrives).
-    pub error_ewma_secs: f64,
+    /// Current smoothed absolute TTF error in seconds — the drift
+    /// monitor's EWMA, promoted here so per-class drift level is visible in
+    /// `RouterStats` and fleet reports. `None` until the first labelled
+    /// prediction arrives (distinguishing "no signal yet" from a genuinely
+    /// zero error).
+    #[serde(default)]
+    pub error_ewma_secs: Option<f64>,
     /// Drift error-level threshold in force when snapshotted, seconds —
     /// the configured constant under [`FixedThresholds`], self-tuned under
     /// an adaptive [`ThresholdPolicy`].
@@ -326,6 +394,10 @@ impl AdaptationStats {
 struct InThreadRetrain {
     online: OnlineRegressor<Arc<dyn DynLearner>>,
     models: Arc<ModelService>,
+    /// `adapt_refit_duration_seconds{class}` — wall time of each refit
+    /// attempt (successful or failed); disabled handle when telemetry is
+    /// off.
+    refit_duration: HistogramHandle,
 }
 
 impl RetrainAction for InThreadRetrain {
@@ -338,7 +410,10 @@ impl RetrainAction for InThreadRetrain {
     }
 
     fn retrain(&mut self) -> RetrainDisposition {
-        match self.online.retrain() {
+        let span = self.refit_duration.span();
+        let outcome = self.online.retrain();
+        span.finish();
+        match outcome {
             Ok(()) => {
                 let model = self.online.model().expect("retrain just fitted a model").clone();
                 self.models.publish(model);
@@ -413,6 +488,7 @@ pub struct AdaptiveServiceBuilder {
     initial: Arc<dyn Regressor>,
     config: AdaptConfig,
     policy: Arc<dyn ThresholdPolicy>,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl AdaptiveServiceBuilder {
@@ -431,6 +507,16 @@ impl AdaptiveServiceBuilder {
         self
     }
 
+    /// Attaches a telemetry registry: bus depth/shed, drift and buffer
+    /// gauges, refit-duration and publish→first-pin swap-latency
+    /// histograms, all labelled with the default service class. Without
+    /// this call every instrument stays a no-op (one untaken branch per
+    /// update site).
+    pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
+    }
+
     /// Spawns the retrainer thread and returns the running service.
     ///
     /// # Panics
@@ -438,14 +524,23 @@ impl AdaptiveServiceBuilder {
     /// Panics on degenerate configuration (zero buffer capacity, bad drift
     /// parameters).
     pub fn spawn(self) -> AdaptiveService {
-        let AdaptiveServiceBuilder { learner, feature_names, initial, config, policy } = self;
+        let AdaptiveServiceBuilder { learner, feature_names, initial, config, policy, telemetry } =
+            self;
         config.validate();
         // Validate on the caller's thread: the pipeline re-validates when
         // it is built, but that happens on the retrainer thread where a
         // panic would be silent.
         policy.validate();
         let models = Arc::new(ModelService::new(initial));
-        let (bus, rx) = CheckpointBus::bounded(config.bus_capacity);
+        let (bus, rx) = match &telemetry {
+            Some(registry) => {
+                CheckpointBus::bounded_with_telemetry(config.bus_capacity, Arc::clone(registry))
+            }
+            None => CheckpointBus::bounded(config.bus_capacity),
+        };
+        if let Some(registry) = &telemetry {
+            models.attach_swap_telemetry(registry, &ServiceClass::default());
+        }
         let counters = Arc::new(PipelineCounters::new(config.drift.error_threshold_secs));
         let stop = Arc::new(AtomicBool::new(false));
         let worker = {
@@ -453,7 +548,17 @@ impl AdaptiveServiceBuilder {
             let counters = Arc::clone(&counters);
             let stop = Arc::clone(&stop);
             std::thread::spawn(move || {
-                retrainer(learner, feature_names, config, policy, rx, models, counters, stop)
+                retrainer(
+                    learner,
+                    feature_names,
+                    config,
+                    policy,
+                    rx,
+                    models,
+                    counters,
+                    stop,
+                    telemetry,
+                )
             })
         };
         AdaptiveService { models, bus, counters, stop, worker: Some(worker) }
@@ -475,6 +580,7 @@ impl AdaptiveService {
             initial,
             config: AdaptConfig::default(),
             policy: Arc::new(FixedThresholds),
+            telemetry: None,
         }
     }
 
@@ -591,6 +697,7 @@ fn retrainer(
     models: Arc<ModelService>,
     counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
+    telemetry: Option<Arc<Registry>>,
 ) {
     let online = OnlineRegressor::new(
         learner,
@@ -603,8 +710,22 @@ fn retrainer(
         usize::MAX,
     )
     .expect("positive capacity and interval validated above");
-    let action = InThreadRetrain { online, models };
+    let class = ServiceClass::default();
+    let refit_duration = match &telemetry {
+        Some(registry) => registry.histogram_with(
+            "adapt_refit_duration_seconds",
+            "Wall time of each model refit attempt",
+            Unit::Seconds,
+            "class",
+            class.as_str(),
+        ),
+        None => HistogramHandle::disabled(),
+    };
+    let action = InThreadRetrain { online, models, refit_duration };
     let mut pipeline = AdaptationPipeline::with_counters(&config, policy, counters, action);
+    if let Some(registry) = &telemetry {
+        pipeline.set_instruments(PipelineInstruments::resolve(registry.as_ref(), class.as_str()));
+    }
 
     loop {
         if stop.load(Ordering::Acquire) {

@@ -1,16 +1,22 @@
 //! Fleet-engine benchmarks: batched inference against per-sample
 //! prediction at fleet-representative matrix sizes (one row per live
-//! instance in a shard epoch), and end-to-end fleet throughput by
-//! instance count.
+//! instance in a shard epoch), end-to-end fleet throughput by instance
+//! count, and the telemetry overhead gate.
 //!
 //! The batched path must win at 100+ instances — that is the point of
 //! `Regressor::predict_batch` (M5P amortises its smoothing-path buffer
 //! across rows; per-sample prediction reallocates it every call).
+//!
+//! The `fleet_telemetry_overhead` group is the ISSUE 6 acceptance gate:
+//! the same fleet run with a live registry attached must stay within ~2%
+//! checkpoints/sec of the untelemetered run — the instruments record one
+//! clock read per phase per epoch, never per checkpoint row.
 
 use aging_core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use aging_fleet::{Fleet, FleetConfig};
 use aging_ml::{FeatureMatrix, Regressor};
 use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
+use aging_obs::Registry;
 use aging_testbed::{MemLeakSpec, Scenario};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -91,5 +97,42 @@ fn bench_fleet_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_batched_vs_per_sample, bench_fleet_throughput);
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let predictor = trained_predictor();
+    let scenario = leaky_scenario();
+    let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let config = FleetConfig {
+        shards: 4,
+        rejuvenation: RejuvenationConfig { horizon_secs: 1800.0, ..Default::default() },
+        counterfactual_horizon_secs: 0.0,
+    };
+    let mut group = c.benchmark_group("fleet_telemetry_overhead");
+    group.sample_size(10);
+    // Baseline: disabled handles — the no-op `Recorder` default — so the
+    // hot loop pays one untaken branch per phase and zero clock reads.
+    group.bench_function("noop_recorder_100instances", |b| {
+        b.iter(|| {
+            let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config).unwrap();
+            black_box(fleet.run_with_predictor(&predictor))
+        })
+    });
+    // Instrumented: a fresh live registry per iteration (matching what
+    // `--metrics` attaches), phase spans and barrier waits recording.
+    group.bench_function("live_registry_100instances", |b| {
+        b.iter(|| {
+            let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config)
+                .unwrap()
+                .with_telemetry(Registry::shared());
+            black_box(fleet.run_with_predictor(&predictor))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_batched_vs_per_sample,
+    bench_fleet_throughput,
+    bench_telemetry_overhead
+);
 criterion_main!(benches);

@@ -8,7 +8,7 @@ use crate::instance::Instance;
 use crate::report::{
     DiscoveredClass, DiscoveryEvaluation, DiscoveryReport, FleetReport, FleetTiming, InstanceReport,
 };
-use crate::shard::{EpochModels, Shard};
+use crate::shard::{EpochModels, Shard, ShardInstruments};
 use aging_adapt::discovery::{ClassDiscovery, SignatureAccumulator};
 use aging_adapt::{
     AdaptiveRouter, AdaptiveService, CheckpointBus, ClassSpec, ModelService, ModelSnapshot,
@@ -17,6 +17,7 @@ use aging_adapt::{
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
+use aging_obs::{CounterHandle, GaugeHandle, HistogramHandle, Recorder, Registry, Unit};
 use aging_testbed::Scenario;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -42,6 +43,50 @@ enum ModelBinding<'a> {
     /// Class-discovery runs: the class table grows mid-run, so workers
     /// sync their pins from the shared runtime at epoch boundaries.
     Discovered(&'a DiscoveryRuntime<'a>),
+}
+
+/// Discovery-side telemetry, resolved once per run. All handles are
+/// disabled (one untaken branch per use) when no registry is attached.
+#[derive(Debug, Default)]
+struct DiscoveryInstruments {
+    /// `discovery_evaluation_seconds` — wall time of one leader-side
+    /// partition re-evaluation (clustering + router bookkeeping).
+    evaluation: HistogramHandle,
+    /// `discovery_silhouette` — silhouette score of the latest accepted
+    /// partition.
+    silhouette: GaugeHandle,
+    /// `discovery_splits_total` — classes spawned by silhouette-gated
+    /// splits.
+    splits: CounterHandle,
+    /// `discovery_merges_total` — classes retired by merges.
+    merges: CounterHandle,
+    /// `discovery_reassignments_total` — instances re-routed to another
+    /// class.
+    reassignments: CounterHandle,
+}
+
+impl DiscoveryInstruments {
+    fn resolve(registry: &Registry) -> Self {
+        DiscoveryInstruments {
+            evaluation: registry.histogram(
+                "discovery_evaluation_seconds",
+                "Wall time of one class-discovery partition re-evaluation",
+                Unit::Seconds,
+            ),
+            silhouette: registry.gauge(
+                "discovery_silhouette",
+                "Silhouette score of the latest class-discovery evaluation",
+            ),
+            splits: registry
+                .counter("discovery_splits_total", "Classes spawned by discovery splits"),
+            merges: registry
+                .counter("discovery_merges_total", "Classes retired by discovery merges"),
+            reassignments: registry.counter(
+                "discovery_reassignments_total",
+                "Instances re-routed to another discovered class",
+            ),
+        }
+    }
 }
 
 /// Shared coordination state of a [`Fleet::run_discovered`] run.
@@ -73,6 +118,9 @@ struct DiscoveryRuntime<'a> {
     /// A panic raised inside the leader's discovery step — caught so the
     /// barrier protocol can drain, rethrown to the caller after join.
     panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    /// Leader-side discovery telemetry; disabled handles without a
+    /// registry.
+    instruments: DiscoveryInstruments,
 }
 
 impl DiscoveryRuntime<'_> {
@@ -80,6 +128,7 @@ impl DiscoveryRuntime<'_> {
     /// worker is parked between the epoch's two barrier waits.
     /// `epochs_done` is the number of completed fleet epochs.
     fn step(&self, epochs_done: u64) {
+        let evaluation_span = self.instruments.evaluation.span();
         let signatures: Vec<Option<Vec<f64>>> = self
             .signatures
             .iter()
@@ -88,6 +137,9 @@ impl DiscoveryRuntime<'_> {
         let ready = signatures.iter().filter(|s| s.is_some()).count();
         let outcome =
             self.discovery.lock().expect("discovery engine poisoned").evaluate(&signatures);
+        self.instruments.silhouette.set(outcome.silhouette);
+        self.instruments.splits.add(outcome.new_classes.len() as u64);
+        self.instruments.merges.add(outcome.retired.len() as u64);
 
         // New classes first, so every id the assignment references exists
         // before any worker can observe the new version.
@@ -128,6 +180,7 @@ impl DiscoveryRuntime<'_> {
             if next != current {
                 self.assignment[i].store(next, Ordering::Relaxed);
                 self.reassignments.fetch_add(1, Ordering::Relaxed);
+                self.instruments.reassignments.inc();
             }
         }
 
@@ -172,6 +225,7 @@ impl DiscoveryRuntime<'_> {
         };
         drop(classes);
         self.log.lock().expect("log poisoned").push(entry);
+        evaluation_span.finish();
     }
 
     /// The final discovery report (after the run has joined).
@@ -220,6 +274,7 @@ impl DiscoveryRuntime<'_> {
 pub struct Fleet {
     specs: Vec<InstanceSpec>,
     config: FleetConfig,
+    telemetry: Option<Arc<Registry>>,
 }
 
 impl Fleet {
@@ -239,7 +294,22 @@ impl Fleet {
         for spec in &specs {
             validate_spec(spec)?;
         }
-        Ok(Fleet { specs, config })
+        Ok(Fleet { specs, config, telemetry: None })
+    }
+
+    /// Attaches a telemetry registry: epoch-phase and barrier-wait timings
+    /// land in it per shard, discovery instrumentation per evaluation, and
+    /// the final [`FleetReport::telemetry`] carries its snapshot. Pass the
+    /// *same* registry to the adaptation side's builders
+    /// ([`aging_adapt::AdaptiveServiceBuilder::telemetry`],
+    /// [`aging_adapt::AdaptiveRouterBuilder::telemetry`]) to get one
+    /// unified snapshot; discovered runs wire their internal router
+    /// automatically. Without this call the fleet pays one untaken branch
+    /// per phase — never a clock read per checkpoint.
+    #[must_use]
+    pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
+        self.telemetry = Some(registry);
+        self
     }
 
     /// Convenience constructor: `n` deployments of the same scenario and
@@ -427,11 +497,19 @@ impl Fleet {
         features: &FeatureSet,
     ) -> Result<FleetReport, FleetError> {
         validate_discovery(setup)?;
+        let telemetry = self.telemetry.clone();
         let seed_class = ServiceClass::new("discovered-0");
-        let router = AdaptiveRouter::builder(features.variables().to_vec())
+        let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
             .class(seed_class.clone(), setup.template.clone())
-            .config(setup.router)
-            .spawn();
+            .config(setup.router);
+        if let Some(registry) = &telemetry {
+            router_builder = router_builder.telemetry(Arc::clone(registry));
+        }
+        let router = router_builder.spawn();
+        let mut discovery_engine = ClassDiscovery::new(setup.discovery);
+        if let Some(registry) = &telemetry {
+            discovery_engine.set_recorder(Arc::clone(registry) as Arc<dyn Recorder>);
+        }
         let n = self.specs.len();
         let (mut report, discovery_report) = {
             let runtime = DiscoveryRuntime {
@@ -443,11 +521,15 @@ impl Fleet {
                 )]),
                 assignment: (0..n).map(|_| AtomicUsize::new(0)).collect(),
                 signatures: (0..n).map(|_| Mutex::new(None)).collect(),
-                discovery: Mutex::new(ClassDiscovery::new(setup.discovery)),
+                discovery: Mutex::new(discovery_engine),
                 reassignments: AtomicU64::new(0),
                 log: Mutex::new(Vec::new()),
                 version: AtomicU64::new(0),
                 panic_payload: Mutex::new(None),
+                instruments: match &telemetry {
+                    Some(registry) => DiscoveryInstruments::resolve(registry),
+                    None => DiscoveryInstruments::default(),
+                },
             };
             let report =
                 self.run_bound(ModelBinding::Discovered(&runtime), features, Some(router.bus()));
@@ -464,6 +546,11 @@ impl Fleet {
         router.quiesce(Duration::from_secs(60));
         report.routing = Some(router.stats());
         router.shutdown();
+        // Re-snapshot after the quiesce so late refit/swap observations —
+        // batches still draining when the epoch loop returned — are in.
+        if let Some(registry) = &telemetry {
+            report.telemetry = Some(registry.snapshot());
+        }
         Ok(report)
     }
 
@@ -482,7 +569,7 @@ impl Fleet {
             _ => self.classes(),
         };
         let n_classes = classes.len();
-        let Fleet { specs, config } = self;
+        let Fleet { specs, config, telemetry } = self;
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
 
@@ -519,6 +606,32 @@ impl Fleet {
                 .map(|bucket| Shard::new(bucket, features.len(), n_classes, bus.clone()))
                 .collect()
         };
+        if let Some(registry) = &telemetry {
+            for (idx, shard) in shards.iter_mut().enumerate() {
+                shard.set_instruments(ShardInstruments::resolve(registry, idx));
+            }
+        }
+        // Barrier-wait histograms (one per shard) and the fleet epoch
+        // counter, resolved once before the pool starts; disabled handles
+        // keep the untelemetered loop free of clock reads.
+        let barrier_waits: Vec<HistogramHandle> = (0..n_shards)
+            .map(|idx| match &telemetry {
+                Some(registry) => registry.histogram_with(
+                    "fleet_barrier_wait_seconds",
+                    "Wall time one shard spends parked per epoch-barrier wait (two waits per epoch)",
+                    Unit::Seconds,
+                    "shard",
+                    &idx.to_string(),
+                ),
+                None => HistogramHandle::disabled(),
+            })
+            .collect();
+        let epochs_counter = match &telemetry {
+            Some(registry) => {
+                registry.counter("fleet_epochs_total", "Completed lock-step fleet epochs")
+            }
+            None => CounterHandle::disabled(),
+        };
 
         // Lock-step epoch loop. Every worker advances its shard by one
         // checkpoint, then the fleet synchronises on a barrier. Liveness is
@@ -542,11 +655,14 @@ impl Fleet {
         let epochs = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
                 .iter_mut()
-                .map(|shard| {
+                .enumerate()
+                .map(|(shard_idx, shard)| {
                     let barrier = &barrier;
                     let live = &live;
                     let panicked = &panicked;
                     let config = &config;
+                    let barrier_wait = barrier_waits[shard_idx].clone();
+                    let epochs_counter = epochs_counter.clone();
                     scope.spawn(move || {
                         // Adaptive/routed runs pin one model snapshot per
                         // class per epoch: pins are refreshed at epoch
@@ -683,10 +799,13 @@ impl Fleet {
                             }
                             let parity = (epoch % 2) as usize;
                             live[parity].fetch_add(shard_live, Ordering::SeqCst);
+                            let wait_span = barrier_wait.span();
                             let wait = barrier.wait();
+                            wait_span.finish();
                             let keep_going = live[parity].load(Ordering::SeqCst) > 0
                                 && !panicked.load(Ordering::SeqCst);
                             if wait.is_leader() {
+                                epochs_counter.inc();
                                 live[1 - parity].store(0, Ordering::SeqCst);
                                 // The inter-barrier window is the epoch
                                 // protocol's only single-threaded section:
@@ -709,7 +828,9 @@ impl Fleet {
                                     }
                                 }
                             }
+                            let wait_span = barrier_wait.span();
                             barrier.wait();
+                            wait_span.finish();
                             epoch += 1;
                             if let Err(payload) = outcome {
                                 std::panic::resume_unwind(payload);
@@ -744,12 +865,14 @@ impl Fleet {
             wall_secs,
             checkpoints_per_sec: if wall_secs > 0.0 { checkpoints as f64 / wall_secs } else { 0.0 },
         };
-        FleetReport::aggregate(
+        let mut report = FleetReport::aggregate(
             instances,
             n_shards,
             epochs,
             config.rejuvenation.horizon_secs,
             timing,
-        )
+        );
+        report.telemetry = telemetry.as_ref().map(|registry| registry.snapshot());
+        report
     }
 }

@@ -278,6 +278,45 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_snapshot_lands_in_the_report() {
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 5).unwrap();
+        let registry = aging_obs::Registry::shared();
+        let report = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            4,
+            9,
+            short_config(2),
+        )
+        .unwrap()
+        .with_telemetry(std::sync::Arc::clone(&registry))
+        .run_with_predictor(&predictor);
+        let telemetry = report.telemetry.as_ref().expect("registry attached");
+        assert_eq!(telemetry.counter("fleet_epochs_total", None), Some(report.epochs));
+        let waits = telemetry.histogram_series("fleet_barrier_wait_seconds");
+        assert_eq!(waits.len(), 2, "one barrier-wait series per shard");
+        assert!(waits.iter().all(|h| h.count > 0), "every shard waits every epoch");
+        assert!(telemetry.histogram("fleet_epoch_advance_seconds", Some("0")).is_some());
+        assert!(telemetry.histogram("fleet_epoch_predict_seconds", Some("1")).is_some());
+        let timing = report.shard_timing_summary().expect("waits recorded");
+        assert!(timing.contains("slowest shard"), "{timing}");
+        assert!(report.to_string().contains("shard timing"), "{report}");
+
+        // Untelemetered runs carry no snapshot (and pay no clock reads).
+        let bare = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            4,
+            9,
+            short_config(2),
+        )
+        .unwrap()
+        .run_with_predictor(&predictor);
+        assert!(bare.telemetry.is_none());
+    }
+
+    #[test]
     fn display_summarises_the_fleet() {
         let predictor =
             AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 5).unwrap();

@@ -1,6 +1,7 @@
 //! Fleet-wide and per-instance outcome reports.
 
 use aging_adapt::{AdaptationStats, RouterStats};
+use aging_obs::TelemetrySnapshot;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -176,6 +177,13 @@ pub struct FleetReport {
     pub discovery: Option<DiscoveryReport>,
     /// Wall-clock performance (excluded from equality).
     pub timing: FleetTiming,
+    /// Telemetry snapshot captured when the run finished — present when a
+    /// registry was attached via [`crate::Fleet::with_telemetry`], `None`
+    /// otherwise (and when deserialising reports written before telemetry
+    /// existed; excluded from equality like the other runtime-dependent
+    /// fields).
+    #[serde(default)]
+    pub telemetry: Option<TelemetrySnapshot>,
 }
 
 impl PartialEq for FleetReport {
@@ -230,6 +238,7 @@ impl FleetReport {
             discovery: None,
             instances,
             timing,
+            telemetry: None,
         }
     }
 
@@ -249,6 +258,28 @@ impl FleetReport {
         }
     }
 
+    /// Summarises per-shard barrier-wait timing from the telemetry
+    /// snapshot: the shard that spent the most total wall time waiting at
+    /// the epoch barrier, plus the fleet-wide mean and max wait. `None`
+    /// when no telemetry was attached or no barrier wait was ever recorded.
+    pub fn shard_timing_summary(&self) -> Option<String> {
+        let telemetry = self.telemetry.as_ref()?;
+        let waits = telemetry.histogram_series("fleet_barrier_wait_seconds");
+        let slowest =
+            waits.iter().filter(|h| h.count > 0).max_by(|a, b| a.sum.total_cmp(&b.sum))?;
+        let total_count: u64 = waits.iter().map(|h| h.count).sum();
+        let total_sum: f64 = waits.iter().map(|h| h.sum).sum();
+        let mean = if total_count > 0 { total_sum / total_count as f64 } else { 0.0 };
+        let max = waits.iter().filter_map(|h| h.max_bound()).fold(0.0_f64, f64::max);
+        Some(format!(
+            "slowest shard {} ({:.3} s total barrier wait)  mean wait {:.6} s  max wait < {:.6} s",
+            slowest.label_value().unwrap_or("?"),
+            slowest.sum,
+            mean,
+            max
+        ))
+    }
+
     /// Serializes the report (including adaptation stats, when present) as
     /// pretty-printed JSON — the machine-readable `BENCH_*.json` format of
     /// the fleet benches and examples.
@@ -259,6 +290,15 @@ impl FleetReport {
     /// practice).
     pub fn to_json(&self) -> Result<String, serde_json::Error> {
         serde_json::to_string_pretty(self)
+    }
+}
+
+/// Formats an optional drift EWMA for the text report: the smoothed error
+/// in seconds, or `n/a` before any labelled prediction arrived.
+fn fmt_ewma(ewma: Option<f64>) -> String {
+    match ewma {
+        Some(secs) => format!("{secs:.0} s"),
+        None => "n/a".into(),
     }
 }
 
@@ -311,13 +351,13 @@ impl fmt::Display for FleetReport {
             writeln!(
                 f,
                 "  adaptation         gen {}  retrains {}  drift events {}  \
-                 ingested {}  dropped {}  error EWMA {:.0} s{}",
+                 ingested {}  dropped {}  error EWMA {}{}",
                 adaptation.generation,
                 adaptation.retrains,
                 adaptation.drift_events,
                 adaptation.ingested_checkpoints,
                 adaptation.dropped_checkpoints,
-                adaptation.error_ewma_secs,
+                fmt_ewma(adaptation.error_ewma_secs),
                 effective_thresholds(adaptation)
             )?;
         }
@@ -336,14 +376,14 @@ impl fmt::Display for FleetReport {
                 writeln!(
                     f,
                     "    class {:<12} gen {}  retrains {}  drift events {}  ingested {}  \
-                     dropped {}  error {:.0} s (fleet mean {:.0} s){}{}",
+                     dropped {}  error {} (fleet mean {:.0} s){}{}",
                     entry.class,
                     entry.stats.generation,
                     entry.stats.retrains,
                     entry.stats.drift_events,
                     entry.stats.ingested_checkpoints,
                     entry.stats.dropped_checkpoints,
-                    entry.stats.error_ewma_secs,
+                    fmt_ewma(entry.stats.error_ewma_secs),
                     self.class_mean_ttf_error_secs(entry.class.as_str()),
                     effective_thresholds(&entry.stats),
                     if entry.retired { "  [retired]" } else { "" }
@@ -371,6 +411,9 @@ impl fmt::Display for FleetReport {
                     if class.retired { "  [retired]" } else { "" }
                 )?;
             }
+        }
+        if let Some(timing) = self.shard_timing_summary() {
+            writeln!(f, "  shard timing       {timing}")?;
         }
         write!(
             f,

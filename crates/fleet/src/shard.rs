@@ -4,6 +4,7 @@ use crate::config::FleetConfig;
 use crate::instance::{Instance, Tick};
 use aging_adapt::{CheckpointBus, ModelSnapshot};
 use aging_ml::{FeatureMatrix, Regressor};
+use aging_obs::{HistogramHandle, Recorder, Registry, Unit};
 
 /// The model table one epoch serves from, resolved per class without any
 /// per-epoch allocation: homogeneous bindings answer every class with the
@@ -41,6 +42,52 @@ impl EpochModels<'_> {
     }
 }
 
+/// Per-shard epoch-phase timing instruments. One clock read per *phase*
+/// per epoch when live, one untaken branch per phase when disabled — never
+/// a clock read per checkpoint row.
+#[derive(Debug, Default)]
+pub(crate) struct ShardInstruments {
+    /// `fleet_epoch_advance_seconds{shard}` — driving every instance one
+    /// checkpoint forward.
+    advance: HistogramHandle,
+    /// `fleet_epoch_predict_seconds{shard}` — the batched
+    /// `predict_matrix` resolution across all classes.
+    predict: HistogramHandle,
+    /// `fleet_epoch_publish_seconds{shard}` — draining labelled batches
+    /// onto the adaptation bus.
+    publish: HistogramHandle,
+}
+
+impl ShardInstruments {
+    /// Resolves the three phase histograms for one shard id.
+    pub(crate) fn resolve(registry: &Registry, shard: usize) -> Self {
+        let shard = shard.to_string();
+        ShardInstruments {
+            advance: registry.histogram_with(
+                "fleet_epoch_advance_seconds",
+                "Per-epoch wall time advancing every instance of one shard by one checkpoint",
+                Unit::Seconds,
+                "shard",
+                &shard,
+            ),
+            predict: registry.histogram_with(
+                "fleet_epoch_predict_seconds",
+                "Per-epoch wall time of the batched TTF matrix predictions of one shard",
+                Unit::Seconds,
+                "shard",
+                &shard,
+            ),
+            publish: registry.histogram_with(
+                "fleet_epoch_publish_seconds",
+                "Per-epoch wall time publishing labelled checkpoint batches onto the bus",
+                Unit::Seconds,
+                "shard",
+                &shard,
+            ),
+        }
+    }
+}
+
 /// A worker's instances plus reusable per-epoch buffers.
 ///
 /// Heterogeneous fleets serve different model generations to different
@@ -66,6 +113,8 @@ pub(crate) struct Shard {
     n_features: usize,
     /// Producer handle on the adaptation bus; `None` for frozen runs.
     bus: Option<CheckpointBus>,
+    /// Epoch-phase timing; disabled handles when no telemetry is attached.
+    instruments: ShardInstruments,
 }
 
 impl Shard {
@@ -84,7 +133,14 @@ impl Shard {
             pending: (0..n_classes).map(|_| Vec::with_capacity(capacity)).collect(),
             n_features,
             bus,
+            instruments: ShardInstruments::default(),
         }
+    }
+
+    /// Attaches epoch-phase timing instruments (resolved once per shard,
+    /// before the worker pool starts).
+    pub(crate) fn set_instruments(&mut self, instruments: ShardInstruments) {
+        self.instruments = instruments;
     }
 
     /// Grows the per-class batch buffers to `n_classes` (class discovery
@@ -121,6 +177,7 @@ impl Shard {
         }
         let collect = self.bus.is_some();
         let mut live = 0usize;
+        let advance_span = self.instruments.advance.span();
         for (slot, (_, instance)) in self.instances.iter_mut().enumerate() {
             let class = instance.class_idx();
             match instance.advance(config, &mut self.matrices[class], collect) {
@@ -132,6 +189,8 @@ impl Shard {
                 }
             }
         }
+        advance_span.finish();
+        let predict_span = self.instruments.predict.span();
         for (class, matrix) in self.matrices.iter().enumerate() {
             if matrix.is_empty() {
                 continue;
@@ -153,7 +212,9 @@ impl Shard {
                 );
             }
         }
+        predict_span.finish();
         if let Some(bus) = &self.bus {
+            let publish_span = self.instruments.publish.span();
             for (_, instance) in &mut self.instances {
                 if let Some(batch) = instance.take_labelled() {
                     // A `false` return means the adaptation service is
@@ -161,6 +222,7 @@ impl Shard {
                     let _ = bus.publish(batch);
                 }
             }
+            publish_span.finish();
         }
         live
     }

@@ -4,7 +4,7 @@
 
 use aging_core::rejuvenation::evaluate_policy;
 use aging_core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
-use aging_fleet::{Fleet, FleetConfig, InstanceSpec};
+use aging_fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec};
 use aging_monitor::FeatureSet;
 use aging_testbed::{MemLeakSpec, Scenario};
 
@@ -45,12 +45,42 @@ fn same_seeds_and_shards_produce_identical_reports() {
     // FleetReport equality covers every simulated outcome (and excludes
     // wall-clock timing, which legitimately varies).
     assert_eq!(a, b);
+    // Timing is excluded from equality but must still be sane.
+    for report in [&a, &b] {
+        assert!(
+            report.timing.checkpoints_per_sec.is_finite()
+                && report.timing.checkpoints_per_sec > 0.0,
+            "throughput must be finite and positive: {:?}",
+            report.timing
+        );
+    }
     // Spot-check the strongest fields really are bit-identical.
     for (x, y) in a.instances.iter().zip(&b.instances) {
         assert_eq!(x.downtime_secs.to_bits(), y.downtime_secs.to_bits(), "{}", x.name);
         assert_eq!(x.availability.to_bits(), y.availability.to_bits(), "{}", x.name);
         assert_eq!(x.lost_requests.to_bits(), y.lost_requests.to_bits(), "{}", x.name);
     }
+}
+
+#[test]
+fn reports_without_the_telemetry_field_still_deserialise() {
+    let predictor = trained_predictor();
+    let policy = RejuvenationPolicy::Predictive { threshold_secs: 420.0, consecutive: 2 };
+    let report = Fleet::uniform(&crashing_scenario(), policy, 2, 7, config(2, 2.0))
+        .unwrap()
+        .run_with_predictor(&predictor);
+    let json = serde_json::to_string(&report).unwrap();
+    assert!(json.contains("\"telemetry\":null"), "untelemetered runs serialise a null snapshot");
+    // A pre-telemetry BENCH_*.json artifact is this report without the
+    // field at all; `#[serde(default)]` must keep it parseable.
+    let legacy = json.replace(",\"telemetry\":null", "");
+    assert!(!legacy.contains("telemetry"), "the field must really be gone");
+    let parsed: FleetReport = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(parsed, report, "legacy artifacts must parse to the same outcome");
+    assert!(parsed.telemetry.is_none());
+    // And the modern round trip is lossless.
+    let roundtrip: FleetReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(roundtrip, report);
 }
 
 #[test]

@@ -23,6 +23,7 @@
 //! near `0` mean the structure is not real.
 
 use crate::MlError;
+use aging_obs::{Recorder, Unit};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Tuning for [`kmeans`].
@@ -329,6 +330,42 @@ pub fn silhouette(points: &[Vec<f64>], assignments: &[usize]) -> Result<f64, MlE
     Ok(total / n as f64)
 }
 
+/// Clusters `points` into `k` groups and scores the result's mean
+/// silhouette, as one instrumented evaluation: wall time lands in the
+/// `ml_cluster_eval_seconds` histogram and each call bumps
+/// `ml_cluster_evals_total` on `recorder`. The class-discovery engine
+/// calls this at every reassessment boundary; pass
+/// [`aging_obs::NoopRecorder`] to run it untelemetered (the instruments
+/// collapse to one untaken branch each).
+///
+/// # Errors
+///
+/// Exactly the validation of [`kmeans`] and [`silhouette`] — failed
+/// evaluations still count their wall time, but only successful ones
+/// increment the evaluation counter.
+pub fn evaluate_clustering(
+    points: &[Vec<f64>],
+    k: usize,
+    config: KMeansConfig,
+    recorder: &dyn Recorder,
+) -> Result<(Clustering, f64), MlError> {
+    let span = recorder
+        .histogram(
+            "ml_cluster_eval_seconds",
+            "Wall time of one clustering evaluation (k-means fit + silhouette scoring)",
+            Unit::Seconds,
+        )
+        .span();
+    let outcome = kmeans(points, k, config).and_then(|clustering| {
+        silhouette(points, &clustering.assignments).map(|s| (clustering, s))
+    });
+    span.finish();
+    if outcome.is_ok() {
+        recorder.counter("ml_cluster_evals_total", "Clustering evaluations completed").inc();
+    }
+    outcome
+}
+
 /// Per-column `(mean, standard deviation)` pairs produced by
 /// [`standardise`] and consumed by [`apply_standardisation`].
 pub type ColumnScales = Vec<(f64, f64)>;
@@ -450,6 +487,29 @@ mod tests {
     fn single_cluster_silhouette_is_zero() {
         let points = blob(0.0, 0.0, 10, 0.5);
         assert_eq!(silhouette(&points, &[0; 10]).unwrap(), 0.0);
+    }
+
+    #[test]
+    fn evaluate_clustering_scores_and_counts() {
+        let registry = aging_obs::Registry::new();
+        let mut points = blob(0.0, 0.0, 12, 0.3);
+        points.extend(blob(10.0, 10.0, 12, 0.3));
+        let (clustering, score) =
+            evaluate_clustering(&points, 2, KMeansConfig::default(), &registry).unwrap();
+        assert_eq!(clustering.k(), 2);
+        assert!(score > 0.8);
+        // The untelemetered path must behave identically.
+        let (plain, plain_score) =
+            evaluate_clustering(&points, 2, KMeansConfig::default(), &aging_obs::NoopRecorder)
+                .unwrap();
+        assert_eq!(plain, clustering);
+        assert_eq!(plain_score, score);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("ml_cluster_evals_total", None), Some(1));
+        assert_eq!(snapshot.histogram("ml_cluster_eval_seconds", None).unwrap().count, 1);
+        // Invalid input: timed, but not counted as an evaluation.
+        assert!(evaluate_clustering(&[], 2, KMeansConfig::default(), &registry).is_err());
+        assert_eq!(registry.snapshot().counter("ml_cluster_evals_total", None), Some(1));
     }
 
     #[test]

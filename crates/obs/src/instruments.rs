@@ -1,0 +1,224 @@
+//! Lock-free instruments: [`Counter`], [`Gauge`] and the log2-bucket
+//! [`Histogram`].
+//!
+//! All three are plain atomics, safe to hammer from every shard thread
+//! without coordination. Histograms use a fixed power-of-two bucket layout
+//! so recording is one `leading_zeros` plus two relaxed increments — no
+//! allocation, no locks, no floating point on the hot path.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Number of histogram buckets. Bucket `i` covers raw values whose upper
+/// bound is `2^i - 1`; the last bucket is unbounded (`+Inf` at export).
+pub const HISTOGRAM_BUCKETS: usize = 64;
+
+/// Monotonically increasing event count.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current count.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Last-write-wins floating point value (queue depth, occupancy, score).
+///
+/// Stored as `f64` bits in an `AtomicU64`; NaN bits mean "never set", so a
+/// gauge that was created but never written is skipped by the exporters
+/// instead of reporting a misleading zero.
+#[derive(Debug)]
+pub struct Gauge {
+    bits: AtomicU64,
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self { bits: AtomicU64::new(f64::NAN.to_bits()) }
+    }
+}
+
+impl Gauge {
+    /// Creates an unset gauge.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Overwrites the gauge. Non-finite values are ignored so the exported
+    /// snapshot never contains NaN or infinities.
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if v.is_finite() {
+            self.bits.store(v.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Current value, or `None` if the gauge was never set.
+    #[must_use]
+    pub fn get(&self) -> Option<f64> {
+        let v = f64::from_bits(self.bits.load(Ordering::Relaxed));
+        v.is_finite().then_some(v)
+    }
+}
+
+/// Fixed log2-bucket histogram over raw `u64` observations.
+///
+/// Bucket `i` counts observations `v` with `v <= 2^i - 1` (and above the
+/// previous bound): bucket 0 holds only `v == 0`, bucket 1 only `v == 1`,
+/// bucket 2 the range `2..=3`, and so on; the final bucket is unbounded.
+/// Durations are recorded in nanoseconds and scaled to seconds at export
+/// time, so the hot path never touches floating point.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Index of the bucket covering `v`: `0` for `v == 0`, otherwise one
+    /// past the position of the highest set bit, clamped to the last bucket.
+    #[inline]
+    #[must_use]
+    pub fn bucket_index(v: u64) -> usize {
+        (64 - v.leading_zeros() as usize).min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Inclusive upper bound of bucket `i`, or `None` for the unbounded
+    /// final bucket.
+    #[must_use]
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        if i + 1 < HISTOGRAM_BUCKETS {
+            Some((1u64 << i) - 1)
+        } else {
+            None
+        }
+    }
+
+    /// Records one observation.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[Self::bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all raw observations.
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    /// Per-bucket counts (non-cumulative), in bucket order.
+    #[must_use]
+    pub fn bucket_counts(&self) -> Vec<u64> {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_accumulates() {
+        let c = Counter::new();
+        c.inc();
+        c.add(4);
+        assert_eq!(c.value(), 5);
+    }
+
+    #[test]
+    fn gauge_starts_unset_and_rejects_non_finite() {
+        let g = Gauge::new();
+        assert_eq!(g.get(), None);
+        g.set(f64::NAN);
+        g.set(f64::INFINITY);
+        assert_eq!(g.get(), None, "non-finite writes are dropped");
+        g.set(2.5);
+        assert_eq!(g.get(), Some(2.5));
+        g.set(-1.0);
+        assert_eq!(g.get(), Some(-1.0));
+    }
+
+    #[test]
+    fn bucket_index_matches_bounds() {
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 1);
+        assert_eq!(Histogram::bucket_index(2), 2);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        // Every value lands in the first bucket whose bound covers it.
+        for v in [0u64, 1, 2, 3, 7, 8, 1023, 1024, u64::MAX / 2] {
+            let i = Histogram::bucket_index(v);
+            if let Some(bound) = Histogram::bucket_bound(i) {
+                assert!(v <= bound, "v={v} bucket={i} bound={bound}");
+            }
+            if i > 0 {
+                let below = Histogram::bucket_bound(i - 1).expect("not last");
+                assert!(v > below, "v={v} should exceed previous bound {below}");
+            }
+        }
+    }
+
+    #[test]
+    fn histogram_records() {
+        let h = Histogram::new();
+        h.record(0);
+        h.record(1);
+        h.record(1000);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 1001);
+        let counts = h.bucket_counts();
+        assert_eq!(counts[0], 1);
+        assert_eq!(counts[1], 1);
+        assert_eq!(counts[Histogram::bucket_index(1000)], 1);
+        assert_eq!(counts.iter().sum::<u64>(), 3);
+    }
+}

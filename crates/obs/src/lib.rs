@@ -1,0 +1,98 @@
+//! `aging-obs` — zero-overhead telemetry for the software-aging fleet.
+//!
+//! The paper's adaptive-prediction claim is about behaviour *while the
+//! system runs*; this crate is the measurement substrate that exposes it:
+//! a [`Registry`] of lock-free instruments ([`Counter`], [`Gauge`],
+//! log2-bucket [`Histogram`]), labelled families keyed by class or shard
+//! id, and two exporters — Prometheus text format ([`Registry::render`])
+//! and a serde-JSON [`TelemetrySnapshot`] embedded in `FleetReport`.
+//!
+//! # Design rules
+//!
+//! - **One branch when off.** Instrumented code holds handles
+//!   ([`CounterHandle`], [`GaugeHandle`], [`HistogramHandle`]) resolved
+//!   through the [`Recorder`] trait. With no registry attached the handle
+//!   is `None` inside, every update is a single branch, and
+//!   [`HistogramHandle::span`] never reads the clock.
+//! - **No `Instant::now()` per checkpoint row.** Phase timing is
+//!   per-phase-per-epoch via the [`SpanTimer`] RAII guard; per-row work
+//!   only ever touches relaxed atomics, and counters are bumped
+//!   batch-wise.
+//! - **Resolve once, record forever.** Handle resolution takes the
+//!   registry mutex; hot loops resolve their handles up front (per shard,
+//!   per class) and then never re-enter the registry.
+//! - **Exporters never lie.** Unset gauges are omitted rather than
+//!   rendered as zero, NaN/infinite values never reach JSON, and
+//!   rendering is a deterministic function of what was recorded (families
+//!   are sorted, duration scaling is exact decimal-shift).
+//!
+//! # Metric naming conventions
+//!
+//! `<subsystem>_<what>_<unit-or-total>`: subsystem prefixes are `fleet_`,
+//! `adapt_`, `discovery_` and `ml_`; counters end in `_total`, duration
+//! histograms in `_seconds`; the single allowed label is `class` (adapt
+//! and discovery families) or `shard` (fleet phase families).
+//!
+//! # Example
+//!
+//! ```
+//! use aging_obs::{Recorder, Registry, Unit};
+//!
+//! let registry = Registry::shared();
+//! // Resolve handles once, outside the hot loop.
+//! let epochs = registry.counter("fleet_epochs_total", "Epochs completed");
+//! let wait = registry.histogram_with(
+//!     "fleet_barrier_wait_seconds",
+//!     "Barrier wait per epoch",
+//!     Unit::Seconds,
+//!     "shard",
+//!     "0",
+//! );
+//! for _ in 0..3 {
+//!     let span = wait.span(); // RAII: records elapsed time on drop
+//!     // ... epoch work ...
+//!     span.finish();
+//!     epochs.inc();
+//! }
+//! assert_eq!(registry.snapshot().counter("fleet_epochs_total", None), Some(3));
+//! assert!(registry.render().contains("# TYPE fleet_barrier_wait_seconds histogram"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod export;
+mod instruments;
+mod recorder;
+mod registry;
+
+pub use export::{
+    BucketSample, CounterSample, GaugeSample, HistogramSample, LabelSample, TelemetrySnapshot,
+};
+pub use instruments::{Counter, Gauge, Histogram, HISTOGRAM_BUCKETS};
+pub use recorder::{
+    CounterHandle, GaugeHandle, HistogramHandle, NoopRecorder, Recorder, SpanTimer,
+};
+pub use registry::{Registry, Unit, MAX_SERIES_PER_METRIC};
+
+/// Views an optional shared registry as a [`Recorder`], falling back to
+/// the no-op recorder — the idiom instrumented crates use at handle
+/// resolution sites:
+///
+/// ```
+/// use aging_obs::{recorder_of, Registry};
+/// use std::sync::Arc;
+///
+/// let telemetry: Option<Arc<Registry>> = Some(Registry::shared());
+/// let epochs = recorder_of(&telemetry).counter("fleet_epochs_total", "Epochs");
+/// epochs.inc();
+/// let off: Option<Arc<Registry>> = None;
+/// assert!(!recorder_of(&off).counter("fleet_epochs_total", "Epochs").enabled());
+/// ```
+#[must_use]
+pub fn recorder_of(telemetry: &Option<std::sync::Arc<Registry>>) -> &dyn Recorder {
+    match telemetry {
+        Some(registry) => registry.as_ref(),
+        None => &NoopRecorder,
+    }
+}

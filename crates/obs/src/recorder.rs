@@ -1,0 +1,285 @@
+//! Instrument handles, the [`Recorder`] trait and the [`SpanTimer`] RAII
+//! guard.
+//!
+//! Instrumented crates hold handles, not instruments: a handle is an
+//! `Option<Arc<...>>`, so when telemetry is off the entire cost of an
+//! instrumented call site is one branch on a `None` — no clock reads, no
+//! atomics, no allocation. The [`Recorder`] trait's default methods all
+//! return disabled handles, which makes [`NoopRecorder`] a one-line impl
+//! and lets any component accept `&dyn Recorder` without caring whether a
+//! live registry sits behind it.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::instruments::{Counter, Gauge, Histogram};
+use crate::registry::Unit;
+
+/// Handle to a [`Counter`], possibly disabled.
+#[derive(Debug, Clone, Default)]
+pub struct CounterHandle(Option<Arc<Counter>>);
+
+impl CounterHandle {
+    /// A handle that drops every update.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(counter: Arc<Counter>) -> Self {
+        Self(Some(counter))
+    }
+
+    /// Whether updates reach a live instrument.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        if let Some(c) = &self.0 {
+            c.inc();
+        }
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(c) = &self.0 {
+            c.add(n);
+        }
+    }
+
+    /// Current count, or `None` when disabled.
+    #[must_use]
+    pub fn value(&self) -> Option<u64> {
+        self.0.as_ref().map(|c| c.value())
+    }
+}
+
+/// Handle to a [`Gauge`], possibly disabled.
+#[derive(Debug, Clone, Default)]
+pub struct GaugeHandle(Option<Arc<Gauge>>);
+
+impl GaugeHandle {
+    /// A handle that drops every update.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(gauge: Arc<Gauge>) -> Self {
+        Self(Some(gauge))
+    }
+
+    /// Whether updates reach a live instrument.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Overwrites the gauge (non-finite values are dropped).
+    #[inline]
+    pub fn set(&self, v: f64) {
+        if let Some(g) = &self.0 {
+            g.set(v);
+        }
+    }
+
+    /// Current value, or `None` when disabled or never set.
+    #[must_use]
+    pub fn value(&self) -> Option<f64> {
+        self.0.as_ref().and_then(|g| g.get())
+    }
+}
+
+/// Handle to a [`Histogram`], possibly disabled.
+#[derive(Debug, Clone, Default)]
+pub struct HistogramHandle(Option<Arc<Histogram>>);
+
+impl HistogramHandle {
+    /// A handle that drops every update.
+    #[must_use]
+    pub fn disabled() -> Self {
+        Self(None)
+    }
+
+    pub(crate) fn live(hist: Arc<Histogram>) -> Self {
+        Self(Some(hist))
+    }
+
+    /// Whether updates reach a live instrument.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Records one raw observation (nanoseconds for duration histograms).
+    #[inline]
+    pub fn record(&self, v: u64) {
+        if let Some(h) = &self.0 {
+            h.record(v);
+        }
+    }
+
+    /// Records a duration in nanoseconds.
+    #[inline]
+    pub fn record_duration(&self, d: Duration) {
+        if let Some(h) = &self.0 {
+            h.record(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Starts an RAII phase timer; recording happens when the guard drops.
+    ///
+    /// When the handle is disabled the guard is inert and **no clock is
+    /// read** — this is what keeps `Instant::now()` off uninstrumented
+    /// paths.
+    #[inline]
+    pub fn span(&self) -> SpanTimer {
+        SpanTimer { inner: self.0.as_ref().map(|h| (Arc::clone(h), Instant::now())) }
+    }
+
+    /// Number of recorded observations, or `None` when disabled.
+    #[must_use]
+    pub fn count(&self) -> Option<u64> {
+        self.0.as_ref().map(|h| h.count())
+    }
+}
+
+/// RAII guard recording elapsed wall time into a histogram on drop.
+///
+/// Obtained from [`HistogramHandle::span`]. Holds no clock when the parent
+/// handle is disabled.
+#[derive(Debug)]
+#[must_use = "a span records on drop; binding it to `_` drops immediately"]
+pub struct SpanTimer {
+    inner: Option<(Arc<Histogram>, Instant)>,
+}
+
+impl SpanTimer {
+    /// Ends the span now (equivalent to dropping it).
+    pub fn finish(self) {}
+}
+
+impl Drop for SpanTimer {
+    fn drop(&mut self) {
+        if let Some((hist, start)) = self.inner.take() {
+            hist.record(u64::try_from(start.elapsed().as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+}
+
+/// Source of instrument handles.
+///
+/// Every method has a default returning a disabled handle, so a recorder
+/// that records nothing is `impl Recorder for NoopRecorder {}` — and
+/// instrumented code can resolve handles through `&dyn Recorder` without
+/// knowing whether telemetry is on.
+pub trait Recorder: std::fmt::Debug + Send + Sync {
+    /// Resolves an unlabelled counter.
+    fn counter(&self, name: &str, help: &str) -> CounterHandle {
+        let _ = (name, help);
+        CounterHandle::disabled()
+    }
+
+    /// Resolves a counter series inside a labelled family.
+    fn counter_with(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> CounterHandle {
+        let _ = (name, help, label_key, label_value);
+        CounterHandle::disabled()
+    }
+
+    /// Resolves an unlabelled gauge.
+    fn gauge(&self, name: &str, help: &str) -> GaugeHandle {
+        let _ = (name, help);
+        GaugeHandle::disabled()
+    }
+
+    /// Resolves a gauge series inside a labelled family.
+    fn gauge_with(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> GaugeHandle {
+        let _ = (name, help, label_key, label_value);
+        GaugeHandle::disabled()
+    }
+
+    /// Resolves an unlabelled histogram.
+    fn histogram(&self, name: &str, help: &str, unit: Unit) -> HistogramHandle {
+        let _ = (name, help, unit);
+        HistogramHandle::disabled()
+    }
+
+    /// Resolves a histogram series inside a labelled family.
+    fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        unit: Unit,
+        label_key: &str,
+        label_value: &str,
+    ) -> HistogramHandle {
+        let _ = (name, help, unit, label_key, label_value);
+        HistogramHandle::disabled()
+    }
+}
+
+/// Recorder that drops everything; the telemetry-off fast path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopRecorder;
+
+impl Recorder for NoopRecorder {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handles_are_inert() {
+        let c = CounterHandle::disabled();
+        c.inc();
+        c.add(10);
+        assert!(!c.enabled());
+        assert_eq!(c.value(), None);
+
+        let g = GaugeHandle::disabled();
+        g.set(1.0);
+        assert_eq!(g.value(), None);
+
+        let h = HistogramHandle::disabled();
+        h.record(7);
+        h.record_duration(Duration::from_millis(1));
+        h.span().finish();
+        assert_eq!(h.count(), None);
+    }
+
+    #[test]
+    fn noop_recorder_hands_out_disabled_handles() {
+        let r = NoopRecorder;
+        assert!(!r.counter("a_total", "help").enabled());
+        assert!(!r.gauge_with("b", "help", "class", "0").enabled());
+        assert!(!r.histogram("c_seconds", "help", Unit::Seconds).enabled());
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let hist = Arc::new(Histogram::new());
+        let handle = HistogramHandle::live(Arc::clone(&hist));
+        {
+            let _span = handle.span();
+        }
+        handle.span().finish();
+        assert_eq!(hist.count(), 2);
+    }
+}

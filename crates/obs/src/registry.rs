@@ -1,0 +1,264 @@
+//! The [`Registry`]: named, labelled families of lock-free instruments.
+//!
+//! Handle resolution (`counter`/`gauge`/`histogram` via the [`Recorder`]
+//! impl) takes a mutex, so callers resolve handles **once** — at
+//! construction, per shard, or per class — and then update through the
+//! lock-free handles forever after. The registry is only re-entered at
+//! export time ([`Registry::render`] / [`Registry::snapshot`]).
+
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+
+use crate::instruments::{Counter, Gauge, Histogram};
+use crate::recorder::{CounterHandle, GaugeHandle, HistogramHandle, Recorder};
+
+/// Upper bound on distinct label values per metric family. Resolution
+/// beyond the cap returns a disabled handle instead of growing without
+/// bound — a misbehaving label (say, an instance id) degrades telemetry,
+/// not the process.
+pub const MAX_SERIES_PER_METRIC: usize = 1024;
+
+/// Measurement unit of a histogram's raw values; controls export scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Raw values are nanoseconds; exported scaled to seconds.
+    Seconds,
+    /// Raw values are dimensionless counts; exported unscaled.
+    Count,
+}
+
+impl Unit {
+    /// Multiplier applied to raw values at export time.
+    #[must_use]
+    pub fn scale(self) -> f64 {
+        match self {
+            Unit::Seconds => 1e-9,
+            Unit::Count => 1.0,
+        }
+    }
+
+    /// Stable lowercase name used in JSON snapshots.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Seconds => "seconds",
+            Unit::Count => "count",
+        }
+    }
+}
+
+#[derive(Debug, Clone)]
+pub(crate) enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum MetricKind {
+    Counter,
+    Gauge,
+    Histogram(Unit),
+}
+
+#[derive(Debug)]
+pub(crate) struct MetricFamily {
+    pub(crate) help: String,
+    pub(crate) kind: MetricKind,
+    pub(crate) label_key: Option<String>,
+    /// Series keyed by label value; `None` for the unlabelled series.
+    pub(crate) series: BTreeMap<Option<String>, Instrument>,
+}
+
+#[derive(Debug, Default)]
+struct RegistryInner {
+    metrics: BTreeMap<String, MetricFamily>,
+}
+
+/// Collection of metric families, shared via `Arc` between the run loop
+/// and whoever exports at the end.
+///
+/// First registration wins: re-resolving an existing metric with a
+/// conflicting kind or label key returns a disabled handle rather than
+/// panicking mid-run.
+#[derive(Debug, Default)]
+pub struct Registry {
+    inner: Mutex<RegistryInner>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty registry behind an `Arc`, the shape every
+    /// instrumented component accepts.
+    #[must_use]
+    pub fn shared() -> Arc<Self> {
+        Arc::new(Self::new())
+    }
+
+    fn resolve(
+        &self,
+        name: &str,
+        help: &str,
+        kind: MetricKind,
+        label: Option<(&str, &str)>,
+    ) -> Option<Instrument> {
+        let mut inner = self.inner.lock().expect("registry poisoned");
+        let family = inner.metrics.entry(name.to_string()).or_insert_with(|| MetricFamily {
+            help: help.to_string(),
+            kind,
+            label_key: label.map(|(k, _)| k.to_string()),
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind || family.label_key.as_deref() != label.map(|(k, _)| k) {
+            return None;
+        }
+        let series_key = label.map(|(_, v)| v.to_string());
+        if !family.series.contains_key(&series_key) && family.series.len() >= MAX_SERIES_PER_METRIC
+        {
+            return None;
+        }
+        let instrument = family.series.entry(series_key).or_insert_with(|| match kind {
+            MetricKind::Counter => Instrument::Counter(Arc::new(Counter::new())),
+            MetricKind::Gauge => Instrument::Gauge(Arc::new(Gauge::new())),
+            MetricKind::Histogram(_) => Instrument::Histogram(Arc::new(Histogram::new())),
+        });
+        Some(instrument.clone())
+    }
+
+    /// Iterates families for the exporters.
+    pub(crate) fn with_families<R>(
+        &self,
+        f: impl FnOnce(&BTreeMap<String, MetricFamily>) -> R,
+    ) -> R {
+        let inner = self.inner.lock().expect("registry poisoned");
+        f(&inner.metrics)
+    }
+}
+
+impl Recorder for Registry {
+    fn counter(&self, name: &str, help: &str) -> CounterHandle {
+        match self.resolve(name, help, MetricKind::Counter, None) {
+            Some(Instrument::Counter(c)) => CounterHandle::live(c),
+            _ => CounterHandle::disabled(),
+        }
+    }
+
+    fn counter_with(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> CounterHandle {
+        match self.resolve(name, help, MetricKind::Counter, Some((label_key, label_value))) {
+            Some(Instrument::Counter(c)) => CounterHandle::live(c),
+            _ => CounterHandle::disabled(),
+        }
+    }
+
+    fn gauge(&self, name: &str, help: &str) -> GaugeHandle {
+        match self.resolve(name, help, MetricKind::Gauge, None) {
+            Some(Instrument::Gauge(g)) => GaugeHandle::live(g),
+            _ => GaugeHandle::disabled(),
+        }
+    }
+
+    fn gauge_with(
+        &self,
+        name: &str,
+        help: &str,
+        label_key: &str,
+        label_value: &str,
+    ) -> GaugeHandle {
+        match self.resolve(name, help, MetricKind::Gauge, Some((label_key, label_value))) {
+            Some(Instrument::Gauge(g)) => GaugeHandle::live(g),
+            _ => GaugeHandle::disabled(),
+        }
+    }
+
+    fn histogram(&self, name: &str, help: &str, unit: Unit) -> HistogramHandle {
+        match self.resolve(name, help, MetricKind::Histogram(unit), None) {
+            Some(Instrument::Histogram(h)) => HistogramHandle::live(h),
+            _ => HistogramHandle::disabled(),
+        }
+    }
+
+    fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        unit: Unit,
+        label_key: &str,
+        label_value: &str,
+    ) -> HistogramHandle {
+        match self.resolve(name, help, MetricKind::Histogram(unit), Some((label_key, label_value)))
+        {
+            Some(Instrument::Histogram(h)) => HistogramHandle::live(h),
+            _ => HistogramHandle::disabled(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_series_resolves_to_same_instrument() {
+        let r = Registry::new();
+        let a = r.counter("jobs_total", "jobs");
+        let b = r.counter("jobs_total", "jobs");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.value(), Some(3), "both handles hit one counter");
+    }
+
+    #[test]
+    fn labelled_series_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("drops_total", "drops", "class", "0");
+        let b = r.counter_with("drops_total", "drops", "class", "1");
+        a.inc();
+        assert_eq!(a.value(), Some(1));
+        assert_eq!(b.value(), Some(0));
+    }
+
+    #[test]
+    fn kind_conflict_yields_disabled_handle() {
+        let r = Registry::new();
+        let c = r.counter("x_total", "first wins");
+        assert!(c.enabled());
+        let g = r.gauge("x_total", "conflicting kind");
+        assert!(!g.enabled());
+        let h = r.histogram("x_total", "conflicting kind", Unit::Count);
+        assert!(!h.enabled());
+        // Original series still works.
+        c.inc();
+        assert_eq!(c.value(), Some(1));
+    }
+
+    #[test]
+    fn label_key_conflict_yields_disabled_handle() {
+        let r = Registry::new();
+        assert!(r.counter_with("y_total", "h", "class", "0").enabled());
+        assert!(!r.counter_with("y_total", "h", "shard", "0").enabled());
+        assert!(!r.counter("y_total", "h").enabled());
+    }
+
+    #[test]
+    fn series_cardinality_is_capped() {
+        let r = Registry::new();
+        for i in 0..MAX_SERIES_PER_METRIC {
+            assert!(r.counter_with("cap_total", "h", "id", &i.to_string()).enabled());
+        }
+        let over = r.counter_with("cap_total", "h", "id", "overflow");
+        assert!(!over.enabled(), "cap exceeded series must be disabled");
+        // Existing series remain resolvable.
+        assert!(r.counter_with("cap_total", "h", "id", "0").enabled());
+    }
+}

@@ -1,0 +1,244 @@
+//! Golden-file and line-grammar tests for the Prometheus exporter.
+//!
+//! The grammar check is a self-contained parser of the exposition format
+//! (no external dependencies) — the CI format-check job runs it to assert
+//! that whatever the fleet records renders to something a Prometheus
+//! scraper would accept.
+
+use aging_obs::{Recorder, Registry, Unit};
+
+/// Builds the registry whose rendering is pinned by `tests/golden/render.prom`.
+fn golden_registry() -> Registry {
+    let r = Registry::new();
+    r.gauge("adapt_bus_depth_batches", "Batches queued on the checkpoint bus").set(2.0);
+    r.counter_with(
+        "adapt_bus_shed_checkpoints_total",
+        "Checkpoints dropped by bus shedding, by class",
+        "class",
+        "web",
+    )
+    .add(5);
+    r.counter_with(
+        "adapt_bus_shed_checkpoints_total",
+        "Checkpoints dropped by bus shedding, by class",
+        "class",
+        "db",
+    )
+    .add(2);
+    let shard0 = r.histogram_with(
+        "fleet_barrier_wait_seconds",
+        "Barrier wait per epoch, by shard",
+        Unit::Seconds,
+        "shard",
+        "0",
+    );
+    shard0.record(100);
+    shard0.record(1000);
+    r.histogram_with(
+        "fleet_barrier_wait_seconds",
+        "Barrier wait per epoch, by shard",
+        Unit::Seconds,
+        "shard",
+        "1",
+    )
+    .record(0);
+    r.counter("fleet_epochs_total", "Epochs completed by the fleet leader").add(3);
+    let _zero = r.counter("ml_cluster_evals_total", "Clustering evaluations performed");
+    r
+}
+
+#[test]
+fn render_matches_golden_file() {
+    let rendered = golden_registry().render();
+    let golden = include_str!("golden/render.prom");
+    assert_eq!(
+        rendered, golden,
+        "Prometheus rendering drifted from tests/golden/render.prom — \
+         if the change is intentional, update the golden file"
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Line grammar checker
+// ---------------------------------------------------------------------------
+
+fn valid_metric_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' || c == ':' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+fn valid_label_name(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+/// Parsed sample line: metric name, labels in order, value text.
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: String,
+}
+
+/// Parses one exposition sample line, panicking with context on any
+/// grammar violation.
+fn parse_sample(line: &str) -> Sample {
+    let (name_part, rest) = match line.find('{') {
+        Some(brace) => {
+            let close = line.rfind('}').unwrap_or_else(|| panic!("unclosed label block: {line}"));
+            assert!(close > brace, "malformed label block: {line}");
+            (&line[..brace], &line[brace..=close])
+        }
+        None => {
+            let space = line.find(' ').unwrap_or_else(|| panic!("no value separator: {line}"));
+            (&line[..space], "")
+        }
+    };
+    assert!(valid_metric_name(name_part), "bad metric name in: {line}");
+
+    let mut labels = Vec::new();
+    if !rest.is_empty() {
+        let body = &rest[1..rest.len() - 1];
+        for pair in body.split(',') {
+            let (k, quoted) =
+                pair.split_once('=').unwrap_or_else(|| panic!("label without '=': {line}"));
+            assert!(valid_label_name(k), "bad label name {k:?} in: {line}");
+            assert!(
+                quoted.len() >= 2 && quoted.starts_with('"') && quoted.ends_with('"'),
+                "unquoted label value in: {line}"
+            );
+            let raw = &quoted[1..quoted.len() - 1];
+            assert!(
+                !raw.contains('"') || raw.contains("\\\""),
+                "unescaped quote in label value: {line}"
+            );
+            labels.push((k.to_string(), raw.to_string()));
+        }
+    }
+
+    let after = line.rfind('}').map_or(line, |close| line[close + 1..].trim_start());
+    let value =
+        if rest.is_empty() { line.split_once(' ').expect("checked above").1 } else { after };
+    assert!(
+        value == "+Inf" || value.parse::<f64>().is_ok(),
+        "unparseable sample value {value:?} in: {line}"
+    );
+    Sample { name: name_part.to_string(), labels, value: value.to_string() }
+}
+
+#[test]
+fn rendered_output_obeys_exposition_grammar() {
+    // A registry messier than the golden one: unset gauges, zero counters,
+    // escaped label values, empty and populated histograms.
+    let r = golden_registry();
+    let _never_set = r.gauge("discovery_silhouette", "Unset gauge must not render");
+    r.gauge_with("adapt_buffer_occupancy", "Occupancy by class", "class", "a\"b").set(0.75);
+    let _empty = r.histogram("adapt_refit_duration_seconds", "No refits yet", Unit::Seconds);
+    let rendered = r.render();
+
+    let mut current_family: Option<(String, String)> = None; // (name, kind)
+    let mut help_seen: Vec<String> = Vec::new();
+    // Per (family, label-set-minus-le): running bucket state.
+    let mut last_bucket: Option<(String, u64)> = None;
+    let mut inf_counts: Vec<(String, u64)> = Vec::new();
+
+    for line in rendered.lines() {
+        assert!(!line.is_empty(), "blank line in exposition output");
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let (name, help) = rest.split_once(' ').expect("HELP without text");
+            assert!(valid_metric_name(name), "bad HELP name: {line}");
+            assert!(!help.is_empty());
+            assert!(!help_seen.contains(&name.to_string()), "duplicate HELP for {name}");
+            help_seen.push(name.to_string());
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let (name, kind) = rest.split_once(' ').expect("TYPE without kind");
+            assert!(valid_metric_name(name), "bad TYPE name: {line}");
+            assert!(matches!(kind, "counter" | "gauge" | "histogram"), "unknown TYPE kind: {line}");
+            assert_eq!(
+                help_seen.last().map(String::as_str),
+                Some(name),
+                "TYPE must directly follow its HELP line"
+            );
+            current_family = Some((name.to_string(), kind.to_string()));
+            last_bucket = None;
+            continue;
+        }
+        assert!(!line.starts_with('#'), "unknown comment line: {line}");
+
+        let sample = parse_sample(line);
+        let (family, kind) = current_family.as_ref().expect("sample before any TYPE line");
+        match kind.as_str() {
+            "counter" | "gauge" => {
+                assert_eq!(&sample.name, family, "sample outside its family: {line}");
+                assert!(sample.value != "+Inf", "non-bucket sample must be finite");
+            }
+            "histogram" => {
+                let suffix = sample
+                    .name
+                    .strip_prefix(family.as_str())
+                    .unwrap_or_else(|| panic!("histogram sample outside family: {line}"));
+                let series_key = |labels: &[(String, String)]| {
+                    labels
+                        .iter()
+                        .filter(|(k, _)| k != "le")
+                        .map(|(k, v)| format!("{k}={v};"))
+                        .collect::<String>()
+                };
+                match suffix {
+                    "_bucket" => {
+                        let le = sample
+                            .labels
+                            .iter()
+                            .find(|(k, _)| k == "le")
+                            .map(|(_, v)| v.clone())
+                            .unwrap_or_else(|| panic!("bucket without le: {line}"));
+                        let count: u64 = sample.value.parse().expect("bucket counts are integers");
+                        let key = format!("{family}/{}", series_key(&sample.labels));
+                        if let Some((prev_key, prev_count)) = &last_bucket {
+                            if prev_key == &key {
+                                assert!(
+                                    count >= *prev_count,
+                                    "bucket counts must be cumulative: {line}"
+                                );
+                            }
+                        }
+                        last_bucket = Some((key.clone(), count));
+                        if le == "+Inf" {
+                            inf_counts.push((key, count));
+                        } else {
+                            assert!(le.parse::<f64>().is_ok(), "non-numeric le: {line}");
+                        }
+                    }
+                    "_count" => {
+                        let count: u64 = sample.value.parse().expect("counts are integers");
+                        let key = format!("{family}/{}", series_key(&sample.labels));
+                        let inf = inf_counts
+                            .iter()
+                            .find(|(k, _)| k == &key)
+                            .unwrap_or_else(|| panic!("_count without +Inf bucket: {line}"));
+                        assert_eq!(inf.1, count, "+Inf bucket must equal _count: {line}");
+                    }
+                    "_sum" => {
+                        assert!(sample.value.parse::<f64>().is_ok(), "bad _sum: {line}");
+                    }
+                    other => panic!("unexpected histogram suffix {other:?}: {line}"),
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+    assert!(!inf_counts.is_empty(), "histogram families must have produced +Inf buckets");
+    assert!(
+        !rendered.contains("discovery_silhouette"),
+        "unset gauge leaked into exposition output"
+    );
+}

@@ -1,0 +1,36 @@
+//! JSON round-trip coverage for [`TelemetrySnapshot`].
+
+use aging_obs::{Recorder, Registry, TelemetrySnapshot, Unit};
+
+#[test]
+fn snapshot_round_trips_through_json() {
+    let r = Registry::new();
+    r.counter("fleet_epochs_total", "Epochs").add(7);
+    r.counter_with("adapt_bus_shed_checkpoints_total", "Shed", "class", "web").add(3);
+    r.gauge_with("adapt_buffer_occupancy", "Occupancy", "class", "web").set(0.5);
+    let h =
+        r.histogram_with("adapt_refit_duration_seconds", "Refit", Unit::Seconds, "class", "web");
+    h.record(1_000_000);
+    h.record(2_000_000);
+
+    let snap = r.snapshot();
+    let json = serde_json::to_string(&snap).expect("serialises");
+    let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back, snap);
+    assert_eq!(back.counter("fleet_epochs_total", None), Some(7));
+    assert_eq!(back.counter("adapt_bus_shed_checkpoints_total", Some("web")), Some(3));
+    assert_eq!(back.gauge("adapt_buffer_occupancy", Some("web")), Some(0.5));
+    let hist =
+        back.histogram("adapt_refit_duration_seconds", Some("web")).expect("histogram survived");
+    assert_eq!(hist.count, 2);
+    assert!(hist.mean().expect("non-empty") > 0.0);
+}
+
+#[test]
+fn empty_snapshot_round_trips_and_reports_empty() {
+    let snap = Registry::new().snapshot();
+    assert!(snap.is_empty());
+    let json = serde_json::to_string(&snap).expect("serialises");
+    let back: TelemetrySnapshot = serde_json::from_str(&json).expect("deserialises");
+    assert_eq!(back, snap);
+}

@@ -10,10 +10,13 @@
 //!
 //! ```text
 //! cargo run --release --example adaptive_fleet [-- --instances 36 \
-//!     --shards 4 --hours 8 --json [PATH]]
+//!     --shards 4 --hours 8 --json [PATH] --metrics [PATH]]
 //! ```
 //!
-//! `--json` writes both reports (default path `BENCH_adaptive_fleet.json`).
+//! `--json` writes both reports (default path `BENCH_adaptive_fleet.json`);
+//! `--metrics` attaches one telemetry registry to the adaptive run (fleet
+//! *and* service side) and writes its snapshot (default path
+//! `METRICS_adaptive_fleet.json`).
 
 use serde::Serialize;
 use software_aging::adapt::{AdaptConfig, AdaptiveService, DriftConfig};
@@ -22,11 +25,12 @@ use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, Workl
 use software_aging::ml::m5p::M5pLearner;
 use software_aging::ml::{DynLearner, Regressor};
 use software_aging::monitor::FeatureSet;
+use software_aging::obs::Registry;
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 
 mod common;
-use common::{leaky, parse_args, FleetArgs};
+use common::{leaky, parse_args, write_metrics, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -36,10 +40,14 @@ struct AdaptiveBench {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None };
-    let args = parse_args(defaults, "BENCH_adaptive_fleet.json").inspect_err(|_| {
-        eprintln!("usage: adaptive_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
-    })?;
+    let defaults = FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None, metrics: None };
+    let args = parse_args(defaults, "BENCH_adaptive_fleet.json", "METRICS_adaptive_fleet.json")
+        .inspect_err(|_| {
+            eprintln!(
+                "usage: adaptive_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+                 [--metrics [PATH]]"
+            );
+        })?;
 
     // The training regime: slow leaks (N = 75) across a workload range.
     println!("training the shared M5P model on the slow-leak regime …");
@@ -89,10 +97,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // retraining on the labelled crash epochs, and new generations are
     // hot-swapped into the epoch loop.
     println!("── adaptive service ──");
+    let registry = args.metrics.as_ref().map(|_| Registry::shared());
     let learner: Arc<dyn DynLearner> = Arc::new(M5pLearner::paper_default());
     let initial: Arc<dyn Regressor> = Arc::new(predictor.model().clone());
-    let service = AdaptiveService::builder(learner, features.variables().to_vec(), initial)
-        .config(
+    let mut service_builder =
+        AdaptiveService::builder(learner, features.variables().to_vec(), initial).config(
             AdaptConfig::builder()
                 .drift(DriftConfig {
                     error_threshold_secs: 600.0,
@@ -103,11 +112,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .buffer_capacity(2048)
                 .min_buffer_to_retrain(120)
                 .build(),
-        )
-        .spawn();
-    let adaptive_report = Fleet::new(specs, config)?.run_adaptive(&service, &features);
+        );
+    if let Some(registry) = &registry {
+        service_builder = service_builder.telemetry(Arc::clone(registry));
+    }
+    let service = service_builder.spawn();
+    let mut adaptive_fleet = Fleet::new(specs, config)?;
+    if let Some(registry) = &registry {
+        adaptive_fleet = adaptive_fleet.with_telemetry(Arc::clone(registry));
+    }
+    let mut adaptive_report = adaptive_fleet.run_adaptive(&service, &features);
     println!("{adaptive_report}\n");
     let stats = service.shutdown();
+    // Re-snapshot after the shutdown drain so late refits are counted.
+    if let Some(registry) = &registry {
+        adaptive_report.telemetry = Some(registry.snapshot());
+    }
 
     println!("── static vs adaptive ──");
     println!(
@@ -136,6 +156,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.ingested_checkpoints
     );
 
+    if let Some(path) = &args.metrics {
+        write_metrics(path, adaptive_report.telemetry.as_ref().expect("registry attached"))?;
+    }
     if let Some(path) = &args.json {
         let bench = AdaptiveBench { frozen: frozen_report, adaptive: adaptive_report };
         std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;

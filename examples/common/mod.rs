@@ -1,9 +1,10 @@
 //! Shared plumbing for the fleet examples: the leaky-scenario helper and
-//! the `--instances/--shards/--hours/--json` CLI parser.
+//! the `--instances/--shards/--hours/--json/--metrics` CLI parser.
 //!
 //! Lives in a subdirectory so cargo does not treat it as an example
 //! target; each example pulls it in with `mod common;`.
 
+use software_aging::obs::TelemetrySnapshot;
 use software_aging::testbed::{MemLeakSpec, Scenario};
 
 /// A run-to-crash TPC-W scenario leaking through the search servlet.
@@ -25,11 +26,18 @@ pub struct FleetArgs {
     pub hours: f64,
     /// Write the machine-readable report here when set.
     pub json: Option<String>,
+    /// Attach a telemetry registry and write its JSON snapshot here.
+    pub metrics: Option<String>,
 }
 
-/// Parses `--instances N --shards N --hours H [--json [PATH]]` on top of
-/// per-example defaults; a bare `--json` uses `json_default`.
-pub fn parse_args(defaults: FleetArgs, json_default: &str) -> Result<FleetArgs, String> {
+/// Parses `--instances N --shards N --hours H [--json [PATH]]
+/// [--metrics [PATH]]` on top of per-example defaults; a bare `--json`
+/// uses `json_default`, a bare `--metrics` uses `metrics_default`.
+pub fn parse_args(
+    defaults: FleetArgs,
+    json_default: &str,
+    metrics_default: &str,
+) -> Result<FleetArgs, String> {
     let mut args = defaults;
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let mut i = 0;
@@ -61,6 +69,16 @@ pub fn parse_args(defaults: FleetArgs, json_default: &str) -> Result<FleetArgs, 
                     i += 1;
                 }
             },
+            "--metrics" => match argv.get(i + 1) {
+                Some(path) if !path.starts_with("--") => {
+                    args.metrics = Some(path.clone());
+                    i += 2;
+                }
+                _ => {
+                    args.metrics = Some(metrics_default.to_string());
+                    i += 1;
+                }
+            },
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -68,4 +86,15 @@ pub fn parse_args(defaults: FleetArgs, json_default: &str) -> Result<FleetArgs, 
         return Err("instances, shards and hours must be positive".into());
     }
     Ok(args)
+}
+
+/// Writes a telemetry snapshot as pretty JSON (the `METRICS_*.json`
+/// artifact riding next to the `BENCH_*.json` report).
+pub fn write_metrics(
+    path: &str,
+    snapshot: &TelemetrySnapshot,
+) -> Result<(), Box<dyn std::error::Error>> {
+    std::fs::write(path, serde_json::to_string_pretty(snapshot)?)?;
+    println!("wrote {path}");
+    Ok(())
 }

@@ -16,12 +16,15 @@
 //!
 //! ```text
 //! cargo run --release --example discovered_fleet [-- --instances 15 \
-//!     --shards 4 --hours 6 --json [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting group, one third the
 //! steady group. `--json` writes both reports (default path
-//! `BENCH_discovered.json`).
+//! `BENCH_discovered.json`); `--metrics` attaches a telemetry registry to
+//! the discovered run — [`Fleet::run_discovered`] wires its internal
+//! router and discovery engine automatically — and writes its snapshot
+//! (default path `METRICS_discovered.json`).
 //!
 //! The run **asserts** the ISSUE 5 acceptance criteria: the discovered
 //! partition is pure, its per-class mean TTF error is within 1.25× the
@@ -39,11 +42,12 @@ use software_aging::fleet::{
 };
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
+use software_aging::obs::Registry;
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, FleetArgs};
+use common::{leaky, parse_args, write_metrics, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -119,12 +123,14 @@ fn regime_error(report: &FleetReport, prefix: &str) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 15, shards: 4, hours: 6.0, json: None };
-    let args = parse_args(defaults, "BENCH_discovered.json").inspect_err(|_| {
-        eprintln!(
-            "usage: discovered_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]"
-        );
-    })?;
+    let defaults = FleetArgs { instances: 15, shards: 4, hours: 6.0, json: None, metrics: None };
+    let args = parse_args(defaults, "BENCH_discovered.json", "METRICS_discovered.json")
+        .inspect_err(|_| {
+            eprintln!(
+                "usage: discovered_fleet [--instances N] [--shards N] [--hours H] \
+                 [--json [PATH]] [--metrics [PATH]]"
+            );
+        })?;
     let n_shift = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_shift).max(1);
     let horizon = args.hours * 3600.0;
@@ -197,8 +203,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         reassess_every_epochs: 60,
         ..DiscoverySetup::new(template)
     };
-    let discovered = Fleet::new(specs(n_shift, n_steady, horizon, false), config)?
-        .run_discovered(&setup, &features)?;
+    let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let mut discovered_fleet = Fleet::new(specs(n_shift, n_steady, horizon, false), config)?;
+    if let Some(registry) = &registry {
+        discovered_fleet = discovered_fleet.with_telemetry(Arc::clone(registry));
+    }
+    let discovered = discovered_fleet.run_discovered(&setup, &features)?;
     println!("{discovered}\n");
 
     // ── Comparison + ISSUE 5 acceptance ──
@@ -301,6 +311,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    if let Some(path) = &args.metrics {
+        write_metrics(path, discovered.telemetry.as_ref().expect("registry attached"))?;
+    }
     if let Some(path) = &args.json {
         let bench = DiscoveredBench { hand_labelled, discovered };
         std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;

@@ -4,20 +4,23 @@
 //!
 //! ```text
 //! cargo run --release --example fleet [-- --instances 120 --shards 6 \
-//!     --hours 12 --json [PATH]]
+//!     --hours 12 --json [PATH] --metrics [PATH]]
 //! ```
 //!
 //! `--json` writes the machine-readable [`FleetReport`] (default path
 //! `BENCH_fleet.json`) so bench trajectories can be tracked across
-//! commits.
+//! commits; `--metrics` attaches a telemetry registry and writes its
+//! snapshot (default path `METRICS_fleet.json`).
 
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec};
 use software_aging::monitor::FeatureSet;
+use software_aging::obs::Registry;
 use software_aging::testbed::Scenario;
+use std::sync::Arc;
 
 mod common;
-use common::{leaky, parse_args, FleetArgs};
+use common::{leaky, parse_args, write_metrics, FleetArgs};
 
 fn write_json(report: &FleetReport, path: &str) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(path, report.to_json()?)?;
@@ -26,10 +29,14 @@ fn write_json(report: &FleetReport, path: &str) -> Result<(), Box<dyn std::error
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 120, shards: 6, hours: 12.0, json: None };
-    let args = parse_args(defaults, "BENCH_fleet.json").inspect_err(|_| {
-        eprintln!("usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
-    })?;
+    let defaults = FleetArgs { instances: 120, shards: 6, hours: 12.0, json: None, metrics: None };
+    let args =
+        parse_args(defaults, "BENCH_fleet.json", "METRICS_fleet.json").inspect_err(|_| {
+            eprintln!(
+                "usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+             [--metrics [PATH]]"
+            );
+        })?;
 
     // One model serves the whole fleet: train it across the workload range
     // it will see in production (Experiment 4.1 style).
@@ -72,7 +79,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         counterfactual_horizon_secs: 3600.0,
     };
-    let fleet = Fleet::new(specs, config)?;
+    let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let mut fleet = Fleet::new(specs, config)?;
+    if let Some(registry) = &registry {
+        fleet = fleet.with_telemetry(Arc::clone(registry));
+    }
     println!(
         "operating {} deployments across {} shards for {:.0} simulated hours …\n",
         fleet.len(),
@@ -102,6 +113,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(path) = &args.json {
         write_json(&report, path)?;
+    }
+    if let Some(path) = &args.metrics {
+        write_metrics(path, report.telemetry.as_ref().expect("registry attached"))?;
     }
     Ok(())
 }

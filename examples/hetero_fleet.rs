@@ -12,12 +12,17 @@
 //!
 //! ```text
 //! cargo run --release --example hetero_fleet [-- --instances 24 \
-//!     --shards 4 --hours 6 --json [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
 //! steady class. `--json` writes both reports (default path
-//! `BENCH_hetero.json`).
+//! `BENCH_hetero.json`); `--metrics` attaches one telemetry registry to
+//! the routed run (fleet *and* router side), **asserts** the snapshot is
+//! live — non-zero barrier-wait and refit-duration histograms, swap
+//! latency once a generation was published, per-class shed counters
+//! summing to the router's drop counter — and writes it (default path
+//! `METRICS_hetero.json`).
 
 use serde::Serialize;
 use software_aging::adapt::{
@@ -27,12 +32,13 @@ use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolic
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
+use software_aging::obs::Registry;
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, FleetArgs};
+use common::{leaky, parse_args, write_metrics, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -109,10 +115,14 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None };
-    let args = parse_args(defaults, "BENCH_hetero.json").inspect_err(|_| {
-        eprintln!("usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]");
-    })?;
+    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None };
+    let args =
+        parse_args(defaults, "BENCH_hetero.json", "METRICS_hetero.json").inspect_err(|_| {
+            eprintln!(
+                "usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+                 [--metrics [PATH]]"
+            );
+        })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;
@@ -142,17 +152,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Run 2: same fleet and seeds, class-routed adaptation live.
     println!("── class-routed adaptation ──");
-    let router = AdaptiveRouter::builder(features.variables().to_vec())
+    let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
-        .config(RouterConfig::builder().retrainer_threads(2).build())
-        .spawn();
-    let mut routed =
-        Fleet::new(specs(n_leak, n_steady, horizon), config)?.run_routed(&router, &features)?;
+        .config(RouterConfig::builder().retrainer_threads(2).build());
+    if let Some(registry) = &registry {
+        router_builder = router_builder.telemetry(Arc::clone(registry));
+    }
+    let router = router_builder.spawn();
+    let mut routed_fleet = Fleet::new(specs(n_leak, n_steady, horizon), config)?;
+    if let Some(registry) = &registry {
+        routed_fleet = routed_fleet.with_telemetry(Arc::clone(registry));
+    }
+    let mut routed = routed_fleet.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
     let stats = router.shutdown();
     // `run_routed` snapshots the stats mid-drain; replace them with the
-    // settled post-quiesce numbers so console and JSON artifact agree.
+    // settled post-quiesce numbers so console and JSON artifact agree
+    // (and re-snapshot the telemetry for the same reason).
     routed.routing = Some(stats.clone());
+    if let Some(registry) = &registry {
+        routed.telemetry = Some(registry.snapshot());
+    }
     println!("{routed}\n");
 
     println!("── frozen vs routed, per class ──");
@@ -173,6 +194,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  bus: {} checkpoints ingested, {} dropped, {} unrouted",
         stats.ingested_checkpoints, stats.dropped_checkpoints, stats.unrouted_checkpoints
     );
+
+    // The ISSUE 6 acceptance gate: the snapshot must show the run was
+    // actually instrumented, not just that a registry existed.
+    if let Some(path) = &args.metrics {
+        let telemetry = routed.telemetry.as_ref().expect("registry attached");
+        let waits = telemetry.histogram_series("fleet_barrier_wait_seconds");
+        assert!(
+            !waits.is_empty() && waits.iter().all(|h| h.count > 0),
+            "every shard records barrier waits"
+        );
+        let generations: u64 = stats.classes.iter().map(|c| c.stats.generation).sum();
+        let refits: u64 = telemetry
+            .histogram_series("adapt_refit_duration_seconds")
+            .iter()
+            .map(|h| h.count)
+            .sum();
+        let swaps: u64 =
+            telemetry.histogram_series("adapt_swap_latency_seconds").iter().map(|h| h.count).sum();
+        if generations > 0 {
+            assert!(refits > 0, "published generations imply recorded refit durations");
+            assert!(swaps > 0, "published generations imply an observed pin swap");
+        }
+        let shed = telemetry.counter_total("adapt_bus_shed_checkpoints_total");
+        assert_eq!(
+            shed, stats.dropped_checkpoints,
+            "per-class shed counters must sum to the router's drop counter"
+        );
+        println!(
+            "telemetry: {} barrier-wait series, {refits} refits timed, {swaps} swaps observed, \
+             {shed} checkpoints shed",
+            waits.len()
+        );
+        write_metrics(path, telemetry)?;
+    }
 
     if let Some(path) = &args.json {
         let bench = HeteroBench { frozen, routed };

@@ -13,12 +13,14 @@
 //!
 //! ```text
 //! cargo run --release --example self_tuning_fleet [-- --instances 24 \
-//!     --shards 4 --hours 6 --json [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
 //! steady class. `--json` writes both reports (default path
-//! `BENCH_self_tuning.json`).
+//! `BENCH_self_tuning.json`); `--metrics` attaches one telemetry registry
+//! to the self-tuned run and writes its snapshot (default path
+//! `METRICS_self_tuning.json`).
 
 use serde::Serialize;
 use software_aging::adapt::{
@@ -29,12 +31,13 @@ use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolic
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
+use software_aging::obs::Registry;
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, FleetArgs};
+use common::{leaky, parse_args, write_metrics, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -111,12 +114,14 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None };
-    let args = parse_args(defaults, "BENCH_self_tuning.json").inspect_err(|_| {
-        eprintln!(
-            "usage: self_tuning_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]]"
-        );
-    })?;
+    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None };
+    let args = parse_args(defaults, "BENCH_self_tuning.json", "METRICS_self_tuning.json")
+        .inspect_err(|_| {
+            eprintln!(
+                "usage: self_tuning_fleet [--instances N] [--shards N] [--hours H] \
+                 [--json [PATH]] [--metrics [PATH]]"
+            );
+        })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;
@@ -147,17 +152,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run 2: same fleet and seeds, one shared config + one shared
     // QuantileAdaptive policy — every class derives its own thresholds.
     println!("── self-tuning thresholds (shared config, shared policy) ──");
-    let router = AdaptiveRouter::builder(features.variables().to_vec())
+    let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
-        .config(RouterConfig::builder().retrainer_threads(2).build())
-        .spawn();
-    let mut self_tuned =
-        Fleet::new(specs(n_leak, n_steady, horizon), config)?.run_routed(&router, &features)?;
+        .config(RouterConfig::builder().retrainer_threads(2).build());
+    if let Some(registry) = &registry {
+        router_builder = router_builder.telemetry(Arc::clone(registry));
+    }
+    let router = router_builder.spawn();
+    let mut tuned_fleet = Fleet::new(specs(n_leak, n_steady, horizon), config)?;
+    if let Some(registry) = &registry {
+        tuned_fleet = tuned_fleet.with_telemetry(Arc::clone(registry));
+    }
+    let mut self_tuned = tuned_fleet.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
     let stats = router.shutdown();
     // `run_routed` snapshots the stats mid-drain; replace them with the
-    // settled post-quiesce numbers so console and JSON artifact agree.
+    // settled post-quiesce numbers so console and JSON artifact agree
+    // (and re-snapshot the telemetry for the same reason).
     self_tuned.routing = Some(stats.clone());
+    if let Some(registry) = &registry {
+        self_tuned.telemetry = Some(registry.snapshot());
+    }
     println!("{self_tuned}\n");
 
     println!("── frozen vs self-tuned, per class ──");
@@ -182,6 +198,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         stats.ingested_checkpoints, stats.dropped_checkpoints, stats.unrouted_checkpoints
     );
 
+    if let Some(path) = &args.metrics {
+        write_metrics(path, self_tuned.telemetry.as_ref().expect("registry attached"))?;
+    }
     if let Some(path) = &args.json {
         let bench = SelfTuningBench { frozen, self_tuned };
         std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;

@@ -31,7 +31,12 @@
 //!   sliding-buffer retraining on any learner, hot model-generation swap
 //!   into the running fleet, and class-routed adaptation for
 //!   heterogeneous fleets (one model service per `ServiceClass` over a
-//!   shared retrainer pool).
+//!   shared retrainer pool),
+//! - [`obs`] — the zero-overhead telemetry layer: a lock-free metrics
+//!   registry (atomic counters/gauges, log2-bucket histograms, labelled
+//!   families keyed by class or shard), RAII phase timers, and Prometheus /
+//!   JSON exporters threaded through the fleet engine, the adaptation
+//!   service and class discovery.
 //!
 //! # Quickstart
 //!
@@ -69,4 +74,5 @@ pub use aging_dataset as dataset;
 pub use aging_fleet as fleet;
 pub use aging_ml as ml;
 pub use aging_monitor as monitor;
+pub use aging_obs as obs;
 pub use aging_testbed as testbed;

@@ -381,6 +381,14 @@ fn routing_is_deterministic_across_shard_counts() {
     let (five, classes_five) = run(5);
     assert_eq!(one.instances, five.instances, "sharding must not change routed outcomes");
     assert_eq!(one.epochs, five.epochs);
+    for report in [&one, &five] {
+        assert!(
+            report.timing.checkpoints_per_sec.is_finite()
+                && report.timing.checkpoints_per_sec > 0.0,
+            "throughput must be finite and positive: {:?}",
+            report.timing
+        );
+    }
     assert_eq!(
         classes_one, classes_five,
         "per-class generations and ingestion must be shard-independent"

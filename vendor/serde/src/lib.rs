@@ -283,6 +283,24 @@ pub fn field<T: Deserialize>(obj: &[(String, Value)], name: &str) -> Result<T, D
     }
 }
 
+/// Like [`field`], but for `#[serde(default)]` fields: a missing field
+/// yields `T::default()` instead of attempting to deserialize `null`.
+/// Present fields still deserialize strictly.
+///
+/// # Errors
+///
+/// Propagates the field's own [`DeError`] when the field is present but
+/// malformed.
+pub fn field_or_default<T: Deserialize + Default>(
+    obj: &[(String, Value)],
+    name: &str,
+) -> Result<T, DeError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        Some((_, v)) => T::from_value(v).map_err(|e| DeError::new(format!("field `{name}`: {e}"))),
+        None => Ok(T::default()),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -327,5 +345,15 @@ mod tests {
         assert_eq!(missing, None);
         let err = field::<u64>(&obj, "absent").unwrap_err();
         assert!(err.to_string().contains("missing field"), "{err}");
+    }
+
+    #[test]
+    fn field_or_default_fills_missing_fields() {
+        let obj = vec![("present".to_string(), Value::U64(1))];
+        assert_eq!(field_or_default::<u64>(&obj, "present").unwrap(), 1);
+        assert_eq!(field_or_default::<u64>(&obj, "absent").unwrap(), 0);
+        assert_eq!(field_or_default::<Vec<u64>>(&obj, "absent").unwrap(), Vec::<u64>::new());
+        // Present-but-malformed still errors.
+        assert!(field_or_default::<bool>(&obj, "present").is_err());
     }
 }

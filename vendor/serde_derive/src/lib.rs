@@ -8,18 +8,20 @@
 //! single-key objects.
 //!
 //! Implemented with nothing but `proc_macro` token iteration — no `syn` or
-//! `quote` — because the build environment has no crates.io access. Serde
-//! field attributes (`#[serde(...)]`) are not supported and the macro
-//! fails loudly on generic types rather than producing wrong code.
+//! `quote` — because the build environment has no crates.io access. The
+//! only serde attribute supported is field-level `#[serde(default)]` on
+//! named fields (missing field → `Default::default()`); every other
+//! `#[serde(...)]` form is a loud compile error, as is deriving for
+//! generic types, rather than producing wrong code.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Serialize)
 }
 
-#[proc_macro_derive(Deserialize)]
+#[proc_macro_derive(Deserialize, attributes(serde))]
 pub fn derive_deserialize(input: TokenStream) -> TokenStream {
     expand(input, Mode::Deserialize)
 }
@@ -50,12 +52,19 @@ fn expand(input: TokenStream, mode: Mode) -> TokenStream {
 // Input model
 // ---------------------------------------------------------------------------
 
+/// One named field: its identifier and whether `#[serde(default)]` was
+/// present (missing field deserializes to `Default::default()`).
+struct Field {
+    name: String,
+    default: bool,
+}
+
 enum Fields {
     Unit,
     /// Tuple fields; only the arity matters.
     Tuple(usize),
     /// Named fields, in declaration order.
-    Named(Vec<String>),
+    Named(Vec<Field>),
 }
 
 struct Variant {
@@ -166,12 +175,12 @@ fn count_top_level_commas_arity(stream: TokenStream) -> usize {
     arity + 1
 }
 
-fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
     let tokens: Vec<TokenTree> = stream.into_iter().collect();
     let mut pos = 0;
     let mut fields = Vec::new();
     while pos < tokens.len() {
-        skip_attrs_and_vis(&tokens, &mut pos);
+        let default = take_field_attrs(&tokens, &mut pos)?;
         if pos >= tokens.len() {
             break;
         }
@@ -185,9 +194,63 @@ fn parse_named_fields(stream: TokenStream) -> Result<Vec<String>, String> {
             _ => return Err(format!("expected `:` after field `{name}`")),
         }
         skip_type(&tokens, &mut pos);
-        fields.push(name);
+        fields.push(Field { name, default });
     }
     Ok(fields)
+}
+
+/// Advances past field attributes and visibility like
+/// [`skip_attrs_and_vis`], but inspects `#[serde(...)]` attributes on the
+/// way: returns whether `#[serde(default)]` was present, erroring on any
+/// other serde attribute so unsupported forms fail loudly instead of being
+/// silently ignored.
+fn take_field_attrs(tokens: &[TokenTree], pos: &mut usize) -> Result<bool, String> {
+    let mut default = false;
+    loop {
+        match tokens.get(*pos) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *pos += 1; // `#`
+                if let Some(TokenTree::Group(g)) = tokens.get(*pos) {
+                    default |= parse_serde_attr(g.stream())?;
+                    *pos += 1; // `[...]`
+                }
+            }
+            Some(TokenTree::Ident(i)) if i.to_string() == "pub" => {
+                *pos += 1;
+                if matches!(
+                    tokens.get(*pos),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    *pos += 1; // `(crate)` etc.
+                }
+            }
+            _ => return Ok(default),
+        }
+    }
+}
+
+/// Inspects one attribute body (the tokens inside `#[...]`): `true` for
+/// exactly `serde(default)`, `false` for non-serde attributes, an error
+/// for any other `serde(...)` form.
+fn parse_serde_attr(stream: TokenStream) -> Result<bool, String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    match tokens.as_slice() {
+        [TokenTree::Ident(name), TokenTree::Group(args)] if name.to_string() == "serde" => {
+            let inner: Vec<TokenTree> = args.stream().into_iter().collect();
+            match inner.as_slice() {
+                [TokenTree::Ident(arg)] if arg.to_string() == "default" => Ok(true),
+                _ => Err(format!(
+                    "vendored serde_derive supports only `#[serde(default)]`, \
+                     found `#[serde({})]`",
+                    args.stream()
+                )),
+            }
+        }
+        [TokenTree::Ident(name), ..] if name.to_string() == "serde" => {
+            Err("vendored serde_derive supports only `#[serde(default)]`".to_string())
+        }
+        _ => Ok(false),
+    }
 }
 
 /// Advances past a type, stopping after the top-level `,` (or at end).
@@ -302,10 +365,11 @@ fn gen_serialize(item: &Item) -> String {
                         }
                         Fields::Named(fields) => {
                             let payload = obj_expr(fields, |f| f.to_string());
+                            let binds: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
                             format!(
                                 "{name}::{vname} {{ {fields} }} => ::serde::Value::Obj(\
                                  ::std::vec::Vec::from([({tag}, {payload})])),",
-                                fields = fields.join(", ")
+                                fields = binds.join(", ")
                             )
                         }
                     }
@@ -324,10 +388,11 @@ fn gen_serialize(item: &Item) -> String {
 }
 
 /// `Value::Obj(Vec::from([("f", to_value(<expr>)), ...]))`.
-fn obj_expr(fields: &[String], expr: impl Fn(&str) -> String) -> String {
+fn obj_expr(fields: &[Field], expr: impl Fn(&str) -> String) -> String {
     let entries: Vec<String> = fields
         .iter()
         .map(|f| {
+            let f = f.name.as_str();
             format!(
                 "(::std::string::String::from(\"{f}\"), ::serde::Serialize::to_value({}))",
                 expr(f)
@@ -440,10 +505,17 @@ fn tuple_payload_de(ctor: &str, arity: usize, src: &str, type_name: &str) -> Str
     )
 }
 
-/// Deserializes `ctor { f: .. }` from an object in `src`.
-fn named_payload_de(ctor: &str, fields: &[String], src: &str, type_name: &str) -> String {
-    let inits: Vec<String> =
-        fields.iter().map(|f| format!("{f}: ::serde::field(obj, \"{f}\")?,")).collect();
+/// Deserializes `ctor { f: .. }` from an object in `src`; fields marked
+/// `#[serde(default)]` fall back to `Default::default()` when missing.
+fn named_payload_de(ctor: &str, fields: &[Field], src: &str, type_name: &str) -> String {
+    let inits: Vec<String> = fields
+        .iter()
+        .map(|f| {
+            let helper = if f.default { "field_or_default" } else { "field" };
+            let f = f.name.as_str();
+            format!("{f}: ::serde::{helper}(obj, \"{f}\")?,")
+        })
+        .collect();
     format!(
         "{{\n\
              let obj = {src}.as_obj().ok_or_else(|| \
