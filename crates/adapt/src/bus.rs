@@ -35,7 +35,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use aging_obs::{GaugeHandle, Recorder, Registry};
+use aging_obs::{EventKind, EventScope, GaugeHandle, Recorder, Registry, TraceHandle};
 
 /// Default ring capacity (batches) for [`CheckpointBus::channel`].
 pub const DEFAULT_BUS_CAPACITY: usize = 1024;
@@ -199,11 +199,13 @@ struct BusState {
 /// Telemetry hooks of one bus. The depth gauge is resolved once at
 /// construction (updates are branch-plus-atomic); the registry is kept
 /// only for per-class shed attribution, a rare path where re-entering the
-/// registry is fine.
+/// registry is fine. The trace handle marks each shed in the causal event
+/// stream — disabled, it is one untaken branch.
 #[derive(Debug, Default)]
 struct BusTelemetry {
     depth: GaugeHandle,
     registry: Option<Arc<Registry>>,
+    trace: TraceHandle,
 }
 
 impl BusTelemetry {
@@ -218,6 +220,9 @@ impl BusTelemetry {
                 )
                 .add(checkpoints);
         }
+        let _ = self
+            .trace
+            .emit(EventScope::root().class(class.as_str()), EventKind::BusShed { checkpoints });
     }
 }
 
@@ -291,10 +296,29 @@ impl CheckpointBus {
         capacity: usize,
         registry: Arc<Registry>,
     ) -> (CheckpointBus, BusReceiver) {
-        let depth = registry
-            .gauge("adapt_bus_depth_batches", "Batches currently queued on the checkpoint bus");
-        depth.set(0.0);
-        Self::build(capacity, BusTelemetry { depth, registry: Some(registry) })
+        Self::bounded_instrumented(capacity, Some(registry), TraceHandle::disabled())
+    }
+
+    /// The fully instrumented constructor the service/router builders use:
+    /// optional metrics registry plus an (independently optional) trace
+    /// sink for `BusShed` events.
+    pub(crate) fn bounded_instrumented(
+        capacity: usize,
+        registry: Option<Arc<Registry>>,
+        trace: TraceHandle,
+    ) -> (CheckpointBus, BusReceiver) {
+        let depth = match &registry {
+            Some(registry) => {
+                let depth = registry.gauge(
+                    "adapt_bus_depth_batches",
+                    "Batches currently queued on the checkpoint bus",
+                );
+                depth.set(0.0);
+                depth
+            }
+            None => GaugeHandle::disabled(),
+        };
+        Self::build(capacity, BusTelemetry { depth, registry, trace })
     }
 
     fn build(capacity: usize, telemetry: BusTelemetry) -> (CheckpointBus, BusReceiver) {

@@ -43,7 +43,9 @@ use crate::bus::LabelledCheckpoint;
 use crate::drift::DriftMonitor;
 use crate::policy::{ThresholdPolicy, Thresholds};
 use crate::service::AdaptConfig;
-use aging_obs::{CounterHandle, GaugeHandle, Recorder};
+use aging_obs::{
+    CounterHandle, EventId, EventKind, EventScope, GaugeHandle, Recorder, TraceHandle,
+};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -104,6 +106,20 @@ pub trait RetrainAction {
     /// actions with no serving side.
     fn apply_thresholds(&mut self, thresholds: &Thresholds) {
         let _ = thresholds;
+    }
+
+    /// Hands the action the causal parent (the pipeline's `TriggerFired`
+    /// event) for the refit events its next retrain emits. Default no-op
+    /// for actions that do not trace.
+    fn set_trace_parent(&mut self, parent: Option<EventId>) {
+        let _ = parent;
+    }
+
+    /// The trace id of the `GenerationPublished` event that produced the
+    /// current serving generation, when the action traces publishes.
+    /// Parents the pipeline's `ThresholdsRederived` events.
+    fn last_publish_event(&self) -> Option<EventId> {
+        None
     }
 }
 
@@ -261,6 +277,17 @@ pub struct AdaptationPipeline<A: RetrainAction> {
     fresh_errors: std::collections::VecDeque<f64>,
     fresh_errors_cap: usize,
     instruments: PipelineInstruments,
+    /// Causal trace handle; disabled by default (one branch per decision
+    /// point, no clock, no allocation).
+    trace: TraceHandle,
+    /// Class label stamped on every emitted event.
+    trace_class: String,
+    /// The `TriggerArmed` event of the pending trigger — parent for its
+    /// `TriggerFired`.
+    armed_event: Option<EventId>,
+    /// The `TriggerFired` event of the pending trigger; emitted once per
+    /// trigger even when the action defers the retrain.
+    fired_event: Option<EventId>,
     action: A,
 }
 
@@ -307,6 +334,10 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             fresh_errors: std::collections::VecDeque::with_capacity(config.drift.trend_window),
             fresh_errors_cap: config.drift.trend_window,
             instruments: PipelineInstruments::default(),
+            trace: TraceHandle::disabled(),
+            trace_class: String::new(),
+            armed_event: None,
+            fired_event: None,
             action,
         }
     }
@@ -314,6 +345,13 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
     /// Attaches per-class telemetry handles (default: all disabled).
     pub fn set_instruments(&mut self, instruments: PipelineInstruments) {
         self.instruments = instruments;
+    }
+
+    /// Attaches a causal trace handle; emitted events carry `class` as
+    /// their class context (default: disabled, zero overhead).
+    pub fn set_trace(&mut self, trace: TraceHandle, class: &str) {
+        self.trace = trace;
+        self.trace_class = class.to_string();
     }
 
     /// Feeds one batch of labelled checkpoints through the state machine:
@@ -348,6 +386,19 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
                 if self.monitor.observe(err).is_some() {
                     events += 1;
                     self.counters.drift_events.fetch_add(1, Ordering::Relaxed);
+                    let drift_event = self.trace.emit(
+                        EventScope::root().class(&self.trace_class),
+                        EventKind::DriftObserved {
+                            error_ewma_secs: self.monitor.error_ewma_secs().unwrap_or(err),
+                            threshold_secs: self.counters.effective_error_threshold_secs(),
+                        },
+                    );
+                    if !self.retrain_due {
+                        self.armed_event = self.trace.emit(
+                            EventScope::root().class(&self.trace_class).parent(drift_event),
+                            EventKind::TriggerArmed { scheduled: false },
+                        );
+                    }
                     // Sticky: an early trigger waits for the buffer gate
                     // (and, pooled, for the in-flight job) instead of
                     // vanishing.
@@ -384,6 +435,12 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             // `retrain_every` with drift disabled is plain periodic
             // adaptation, drift without a schedule is event-driven only.
             if self.retrain_every.is_some_and(|every| self.since_scheduled >= every) {
+                if !self.retrain_due {
+                    self.armed_event = self.trace.emit(
+                        EventScope::root().class(&self.trace_class),
+                        EventKind::TriggerArmed { scheduled: true },
+                    );
+                }
                 self.retrain_due = true;
             }
         }
@@ -406,12 +463,26 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
         if !self.retrain_due || self.action.buffered() < self.min_buffer_to_retrain {
             return;
         }
+        // One `TriggerFired` per pending trigger, emitted the first time
+        // the gate opens (deferred retries reuse it — the trigger fired
+        // once, however long the in-flight refit makes it wait), and
+        // emitted *before* the retrain so the refit events it parents
+        // carry higher sequence numbers.
+        if self.trace.enabled() && self.fired_event.is_none() {
+            self.fired_event = self.trace.emit(
+                EventScope::root().class(&self.trace_class).parent(self.armed_event),
+                EventKind::TriggerFired { buffered: self.action.buffered() as u64 },
+            );
+            self.action.set_trace_parent(self.fired_event);
+        }
         let disposition = self.action.retrain();
         if disposition == RetrainDisposition::Deferred {
             return;
         }
         self.retrain_due = false;
         self.since_scheduled = 0;
+        self.armed_event = None;
+        self.fired_event = None;
         match disposition {
             RetrainDisposition::Published => {
                 self.counters.retrains.fetch_add(1, Ordering::Relaxed);
@@ -453,6 +524,16 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             return;
         }
         self.policy_armed = false;
+        self.trace.emit(
+            EventScope::root()
+                .class(&self.trace_class)
+                .generation(self.last_generation)
+                .parent(self.action.last_publish_event()),
+            EventKind::ThresholdsRederived {
+                drift_threshold_secs: update.error_threshold_secs,
+                rejuvenation_threshold_secs: update.rejuvenation_threshold_secs,
+            },
+        );
         self.monitor.set_error_threshold_secs(update.error_threshold_secs);
         self.counters
             .effective_error_threshold_bits

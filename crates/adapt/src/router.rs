@@ -41,7 +41,10 @@ use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use crate::service::{AdaptConfig, AdaptationStats, ModelService};
 use aging_dataset::Dataset;
 use aging_ml::{DynLearner, Regressor};
-use aging_obs::{HistogramHandle, Recorder, Registry, Unit};
+use aging_obs::{
+    trace_of, EventId, EventKind, EventScope, FlightRecorder, HistogramHandle, Recorder, Registry,
+    TraceHandle, Unit,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
@@ -267,6 +270,9 @@ struct ClassShared {
     /// `adapt_refit_duration_seconds{class}` — wall time of each pooled
     /// refit; disabled handle when no telemetry is attached.
     refit_duration: HistogramHandle,
+    /// Trace sink for this class's refit start/finish events (pool-side);
+    /// disabled when tracing is off.
+    trace: TraceHandle,
 }
 
 /// The class registry: slots are append-only (a retired class keeps its
@@ -290,6 +296,9 @@ struct RouterShared {
     /// Registry classes resolve their instruments from; `None` leaves
     /// every instrument disabled.
     telemetry: Option<Arc<Registry>>,
+    /// Trace sink dynamically registered classes and their pipelines
+    /// inherit; disabled when tracing is off.
+    trace: TraceHandle,
 }
 
 impl RouterShared {
@@ -315,6 +324,10 @@ enum RouterCtrl {
 struct RefitJob {
     class_idx: usize,
     dataset: Dataset,
+    /// The `TriggerFired` event that caused this job; the worker's
+    /// `RefitStarted` parents on it so the causal chain survives the hop
+    /// from the ingest thread to the pool.
+    parent: Option<EventId>,
 }
 
 /// The pooled [`RetrainAction`](crate::RetrainAction): a plain sliding
@@ -330,6 +343,9 @@ struct PooledRetrain {
     feature_names: Arc<Vec<String>>,
     shared: Arc<RouterShared>,
     job_tx: Sender<RefitJob>,
+    /// Set by the pipeline via [`RetrainAction::set_trace_parent`] just
+    /// before `retrain`; threaded into the next [`RefitJob`].
+    trace_parent: Option<EventId>,
 }
 
 impl std::fmt::Debug for PooledRetrain {
@@ -368,7 +384,8 @@ impl RetrainAction for PooledRetrain {
         for (row, ttf) in &self.buffer {
             dataset.push_row(row.clone(), *ttf).expect("arity checked on buffering");
         }
-        if self.job_tx.send(RefitJob { class_idx: self.class_idx, dataset }).is_ok() {
+        let job = RefitJob { class_idx: self.class_idx, dataset, parent: self.trace_parent };
+        if self.job_tx.send(job).is_ok() {
             self.shared.jobs_enqueued.fetch_add(1, Ordering::Relaxed);
             RetrainDisposition::Enqueued
         } else {
@@ -380,6 +397,15 @@ impl RetrainAction for PooledRetrain {
 
     fn generation(&self) -> u64 {
         self.shared.class(self.class_idx).service.generation()
+    }
+
+    fn set_trace_parent(&mut self, parent: Option<EventId>) {
+        self.trace_parent = parent;
+    }
+
+    fn last_publish_event(&self) -> Option<EventId> {
+        let service = &self.shared.class(self.class_idx).service;
+        service.publish_event_for(service.generation())
     }
 
     fn apply_thresholds(&mut self, thresholds: &Thresholds) {
@@ -436,6 +462,7 @@ pub struct AdaptiveRouterBuilder {
     config: RouterConfig,
     classes: Vec<(ServiceClass, ClassSpec)>,
     telemetry: Option<Arc<Registry>>,
+    trace: Option<Arc<FlightRecorder>>,
 }
 
 impl AdaptiveRouterBuilder {
@@ -454,6 +481,18 @@ impl AdaptiveRouterBuilder {
     /// instrument stays a no-op.
     pub fn telemetry(mut self, registry: Arc<Registry>) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Attaches a causal trace sink: per-class drift/trigger/refit/publish
+    /// events plus shared-ring shed events are recorded into `recorder`,
+    /// each labelled with its class. Dynamically registered classes pick
+    /// up the same sink. Independent of [`telemetry`]; without this call
+    /// no event is built and no clock is read on any trace site.
+    ///
+    /// [`telemetry`]: AdaptiveRouterBuilder::telemetry
+    pub fn trace(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -478,18 +517,19 @@ impl AdaptiveRouterBuilder {
     /// Panics on an empty or duplicated class list, a zero-sized pool or
     /// ring, and any degenerate per-class [`AdaptConfig`].
     pub fn spawn(self) -> AdaptiveRouter {
-        let AdaptiveRouterBuilder { feature_names, config, classes, telemetry } = self;
+        let AdaptiveRouterBuilder { feature_names, config, classes, telemetry, trace } = self;
         assert!(!classes.is_empty(), "router needs at least one service class");
         assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
         assert!(config.bus_capacity > 0, "bus capacity must be positive");
 
+        let trace_handle = trace_of(&trace);
         let mut table = ClassTable::default();
         for (class, spec) in classes {
             assert!(!table.index.contains_key(&class), "service class `{class}` registered twice");
             // On the caller's thread — the ingest thread builds the
             // per-class pipelines, where a validation panic would be
             // silent.
-            table.push(make_class_shared(class, spec, telemetry.as_deref()));
+            table.push(make_class_shared(class, spec, telemetry.as_deref(), &trace_handle));
         }
         let shared = Arc::new(RouterShared {
             table: RwLock::new(table),
@@ -499,12 +539,11 @@ impl AdaptiveRouterBuilder {
             dynamic_registrations: AtomicU64::new(0),
             retirements: AtomicU64::new(0),
             telemetry: telemetry.clone(),
+            trace: trace_handle.clone(),
         });
 
-        let (bus, rx) = match telemetry {
-            Some(registry) => CheckpointBus::bounded_with_telemetry(config.bus_capacity, registry),
-            None => CheckpointBus::bounded(config.bus_capacity),
-        };
+        let (bus, rx) =
+            CheckpointBus::bounded_instrumented(config.bus_capacity, telemetry, trace_handle);
         let (job_tx, job_rx) = std::sync::mpsc::channel::<RefitJob>();
         let (ctrl_tx, ctrl_rx) = std::sync::mpsc::channel::<RouterCtrl>();
         let job_rx = Arc::new(Mutex::new(job_rx));
@@ -538,6 +577,7 @@ fn make_class_shared(
     class: ServiceClass,
     spec: ClassSpec,
     telemetry: Option<&Registry>,
+    trace: &TraceHandle,
 ) -> Arc<ClassShared> {
     // Not `validate()`: the per-class `bus_capacity` really is ignored
     // (the ring is shared), as the `ClassSpec` docs say.
@@ -557,6 +597,7 @@ fn make_class_shared(
         }
         None => HistogramHandle::disabled(),
     };
+    service.attach_trace(trace.clone(), class.as_str());
     Arc::new(ClassShared {
         class,
         service,
@@ -566,6 +607,7 @@ fn make_class_shared(
         inflight: AtomicBool::new(false),
         retired: AtomicBool::new(false),
         refit_duration,
+        trace: trace.clone(),
     })
 }
 
@@ -588,6 +630,7 @@ impl AdaptiveRouter {
             config: RouterConfig::default(),
             classes: Vec::new(),
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -638,7 +681,12 @@ impl AdaptiveRouter {
         class: ServiceClass,
         spec: ClassSpec,
     ) -> Result<Arc<ModelService>, RouterError> {
-        let shared = make_class_shared(class.clone(), spec, self.shared.telemetry.as_deref());
+        let shared = make_class_shared(
+            class.clone(),
+            spec,
+            self.shared.telemetry.as_deref(),
+            &self.shared.trace,
+        );
         let service = Arc::clone(&shared.service);
         let mut table = self.shared.table.write().expect("class table poisoned");
         // Names stay unique across retirements: the index re-points a
@@ -841,6 +889,7 @@ impl IngestPipelines {
                 feature_names: Arc::clone(&self.feature_names),
                 shared: Arc::clone(&self.shared),
                 job_tx: self.job_tx.clone(),
+                trace_parent: None,
             };
             let mut pipeline = AdaptationPipeline::with_counters(
                 &spec.config,
@@ -854,6 +903,7 @@ impl IngestPipelines {
                     table.classes[class_idx].class.as_str(),
                 ));
             }
+            pipeline.set_trace(self.shared.trace.clone(), table.classes[class_idx].class.as_str());
             self.pipelines.push(Some(pipeline));
         }
     }
@@ -977,15 +1027,27 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
             Err(_) => return,
         };
         let class = shared.class(job.class_idx);
+        let started = class.trace.emit(
+            EventScope::root().class(class.class.as_str()).parent(job.parent),
+            EventKind::RefitStarted { rows: job.dataset.len() as u64 },
+        );
         let span = class.refit_duration.span();
         let fitted = class.learner.fit_dyn(&job.dataset);
         span.finish();
         match fitted {
             Ok(model) => {
-                class.service.publish(Arc::from(model));
+                let finished = class.trace.emit(
+                    EventScope::root().class(class.class.as_str()).parent(started),
+                    EventKind::RefitFinished { ok: true },
+                );
+                class.service.publish_traced(Arc::from(model), finished);
                 class.counters.retrains.fetch_add(1, Ordering::Relaxed);
             }
             Err(_) => {
+                let _ = class.trace.emit(
+                    EventScope::root().class(class.class.as_str()).parent(started),
+                    EventKind::RefitFinished { ok: false },
+                );
                 class.counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
             }
         }

@@ -11,10 +11,14 @@ use crate::pipeline::{
 use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use aging_ml::online::OnlineRegressor;
 use aging_ml::{DynLearner, Regressor};
-use aging_obs::{HistogramHandle, Recorder, Registry, Unit};
+use aging_obs::{
+    trace_of, EventId, EventKind, EventScope, FlightRecorder, HistogramHandle, Recorder, Registry,
+    TraceHandle, Unit,
+};
 use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -77,7 +81,20 @@ pub struct ModelService {
     /// `adapt_swap_latency_seconds{class}` — publish → first-worker-pin
     /// latency. Unset (and therefore free) until telemetry is attached.
     swap_latency: OnceLock<HistogramHandle>,
+    /// Trace sink plus the class label stamped on publish events. Unset
+    /// until [`attach_trace`](ModelService::attach_trace), so untraced
+    /// services pay one `OnceLock` load per publish and nothing else.
+    trace: OnceLock<(TraceHandle, String)>,
+    /// Newest `(generation, publish event id)` pairs — the lookup table
+    /// that lets swap-apply and threshold events parent on the publish
+    /// that caused them. Bounded; only populated while tracing is live.
+    publish_log: Mutex<VecDeque<(u64, EventId)>>,
 }
+
+/// Publish events retained for causal parenting — generations older than
+/// this many publishes ago can no longer be named as a parent (their swap
+/// events fall back to parentless, never wrong).
+const PUBLISH_LOG_CAP: usize = 256;
 
 impl ModelService {
     /// Creates a service serving `initial` as generation 0, with no
@@ -91,6 +108,8 @@ impl ModelService {
             published_at_nanos: AtomicU64::new(0),
             swap_observed_generation: AtomicU64::new(0),
             swap_latency: OnceLock::new(),
+            trace: OnceLock::new(),
+            publish_log: Mutex::new(VecDeque::new()),
         }
     }
 
@@ -107,6 +126,27 @@ impl ModelService {
             class.as_str(),
         );
         let _ = self.swap_latency.set(handle);
+    }
+
+    /// Attaches a trace sink: every publish from now on emits a
+    /// [`EventKind::GenerationPublished`] event labelled `class` and is
+    /// remembered in a bounded publish log so downstream swap-apply and
+    /// threshold-rederivation events can parent on it. First call wins; a
+    /// disabled handle is ignored (the service stays trace-free).
+    pub fn attach_trace(&self, trace: TraceHandle, class: &str) {
+        if trace.enabled() {
+            let _ = self.trace.set((trace, class.to_string()));
+        }
+    }
+
+    /// The id of the `GenerationPublished` event recorded for
+    /// `generation`, while it is still in the bounded publish log. `None`
+    /// with tracing off, for generation 0 (never published), or once the
+    /// entry has been evicted.
+    pub fn publish_event_for(&self, generation: u64) -> Option<EventId> {
+        self.trace.get()?;
+        let log = self.publish_log.lock().expect("publish log poisoned");
+        log.iter().rev().find(|(gen, _)| *gen == generation).map(|(_, id)| *id)
     }
 
     /// The current generation number (cheap: one atomic load).
@@ -154,6 +194,14 @@ impl ModelService {
 
     /// Publishes a new model generation; returns its number.
     pub fn publish(&self, model: Arc<dyn Regressor>) -> u64 {
+        self.publish_traced(model, None)
+    }
+
+    /// Like [`publish`](ModelService::publish), but parents the emitted
+    /// `GenerationPublished` trace event on `parent` (typically the
+    /// `RefitFinished` event of the refit that produced `model`). With no
+    /// trace attached this is exactly `publish`.
+    pub fn publish_traced(&self, model: Arc<dyn Regressor>, parent: Option<EventId>) -> u64 {
         // Timestamp outside the write lock; only taken when the swap
         // histogram is live, so untelemetered services never read the clock
         // here.
@@ -161,13 +209,29 @@ impl ModelService {
             let nanos = (self.created.elapsed().as_nanos() as u64).max(1);
             self.published_at_nanos.store(nanos, Ordering::Relaxed);
         }
-        let mut slot = self.slot.write().expect("model slot poisoned");
-        let generation = slot.generation + 1;
-        *slot = ModelSnapshot { generation, model };
-        // Publish the hint while still holding the write lock: a reader
-        // that sees the new number is guaranteed to find (at least) the
-        // matching pair in the slot.
-        self.generation.store(generation, Ordering::Release);
+        let generation = {
+            let mut slot = self.slot.write().expect("model slot poisoned");
+            let generation = slot.generation + 1;
+            *slot = ModelSnapshot { generation, model };
+            // Publish the hint while still holding the write lock: a reader
+            // that sees the new number is guaranteed to find (at least) the
+            // matching pair in the slot.
+            self.generation.store(generation, Ordering::Release);
+            generation
+        };
+        if let Some((trace, class)) = self.trace.get() {
+            let event = trace.emit(
+                EventScope::root().class(class).generation(generation).parent(parent),
+                EventKind::GenerationPublished,
+            );
+            if let Some(id) = event {
+                let mut log = self.publish_log.lock().expect("publish log poisoned");
+                if log.len() >= PUBLISH_LOG_CAP {
+                    log.pop_front();
+                }
+                log.push_back((generation, id));
+            }
+        }
         generation
     }
 
@@ -398,6 +462,15 @@ struct InThreadRetrain {
     /// attempt (successful or failed); disabled handle when telemetry is
     /// off.
     refit_duration: HistogramHandle,
+    /// Trace sink for refit start/finish events; disabled when tracing is
+    /// off.
+    trace: TraceHandle,
+    /// Class label stamped on refit events.
+    trace_class: String,
+    /// The `TriggerFired` event this refit answers to — set by the
+    /// pipeline via [`RetrainAction::set_trace_parent`] just before
+    /// `retrain`.
+    trace_parent: Option<EventId>,
 }
 
 impl RetrainAction for InThreadRetrain {
@@ -410,17 +483,39 @@ impl RetrainAction for InThreadRetrain {
     }
 
     fn retrain(&mut self) -> RetrainDisposition {
+        let started = self.trace.emit(
+            EventScope::root().class(&self.trace_class).parent(self.trace_parent),
+            EventKind::RefitStarted { rows: self.online.buffered() as u64 },
+        );
         let span = self.refit_duration.span();
         let outcome = self.online.retrain();
         span.finish();
         match outcome {
             Ok(()) => {
+                let finished = self.trace.emit(
+                    EventScope::root().class(&self.trace_class).parent(started),
+                    EventKind::RefitFinished { ok: true },
+                );
                 let model = self.online.model().expect("retrain just fitted a model").clone();
-                self.models.publish(model);
+                self.models.publish_traced(model, finished);
                 RetrainDisposition::Published
             }
-            Err(_) => RetrainDisposition::Failed,
+            Err(_) => {
+                let _ = self.trace.emit(
+                    EventScope::root().class(&self.trace_class).parent(started),
+                    EventKind::RefitFinished { ok: false },
+                );
+                RetrainDisposition::Failed
+            }
         }
+    }
+
+    fn set_trace_parent(&mut self, parent: Option<EventId>) {
+        self.trace_parent = parent;
+    }
+
+    fn last_publish_event(&self) -> Option<EventId> {
+        self.models.publish_event_for(self.models.generation())
     }
 
     fn generation(&self) -> u64 {
@@ -489,6 +584,7 @@ pub struct AdaptiveServiceBuilder {
     config: AdaptConfig,
     policy: Arc<dyn ThresholdPolicy>,
     telemetry: Option<Arc<Registry>>,
+    trace: Option<Arc<FlightRecorder>>,
 }
 
 impl AdaptiveServiceBuilder {
@@ -517,6 +613,17 @@ impl AdaptiveServiceBuilder {
         self
     }
 
+    /// Attaches a causal trace sink: drift/trigger/refit/publish and bus
+    /// shed events are recorded into `recorder`, labelled with the default
+    /// service class. Independent of [`telemetry`]; without this call no
+    /// event is built and no clock is read on any trace site.
+    ///
+    /// [`telemetry`]: AdaptiveServiceBuilder::telemetry
+    pub fn trace(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.trace = Some(recorder);
+        self
+    }
+
     /// Spawns the retrainer thread and returns the running service.
     ///
     /// # Panics
@@ -524,23 +631,31 @@ impl AdaptiveServiceBuilder {
     /// Panics on degenerate configuration (zero buffer capacity, bad drift
     /// parameters).
     pub fn spawn(self) -> AdaptiveService {
-        let AdaptiveServiceBuilder { learner, feature_names, initial, config, policy, telemetry } =
-            self;
+        let AdaptiveServiceBuilder {
+            learner,
+            feature_names,
+            initial,
+            config,
+            policy,
+            telemetry,
+            trace,
+        } = self;
         config.validate();
         // Validate on the caller's thread: the pipeline re-validates when
         // it is built, but that happens on the retrainer thread where a
         // panic would be silent.
         policy.validate();
         let models = Arc::new(ModelService::new(initial));
-        let (bus, rx) = match &telemetry {
-            Some(registry) => {
-                CheckpointBus::bounded_with_telemetry(config.bus_capacity, Arc::clone(registry))
-            }
-            None => CheckpointBus::bounded(config.bus_capacity),
-        };
+        let trace_handle = trace_of(&trace);
+        let (bus, rx) = CheckpointBus::bounded_instrumented(
+            config.bus_capacity,
+            telemetry.clone(),
+            trace_handle.clone(),
+        );
         if let Some(registry) = &telemetry {
             models.attach_swap_telemetry(registry, &ServiceClass::default());
         }
+        models.attach_trace(trace_handle.clone(), ServiceClass::default().as_str());
         let counters = Arc::new(PipelineCounters::new(config.drift.error_threshold_secs));
         let stop = Arc::new(AtomicBool::new(false));
         let worker = {
@@ -558,6 +673,7 @@ impl AdaptiveServiceBuilder {
                     counters,
                     stop,
                     telemetry,
+                    trace_handle,
                 )
             })
         };
@@ -581,6 +697,7 @@ impl AdaptiveService {
             config: AdaptConfig::default(),
             policy: Arc::new(FixedThresholds),
             telemetry: None,
+            trace: None,
         }
     }
 
@@ -698,6 +815,7 @@ fn retrainer(
     counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
     telemetry: Option<Arc<Registry>>,
+    trace: TraceHandle,
 ) {
     let online = OnlineRegressor::new(
         learner,
@@ -721,11 +839,19 @@ fn retrainer(
         ),
         None => HistogramHandle::disabled(),
     };
-    let action = InThreadRetrain { online, models, refit_duration };
+    let action = InThreadRetrain {
+        online,
+        models,
+        refit_duration,
+        trace: trace.clone(),
+        trace_class: class.as_str().to_string(),
+        trace_parent: None,
+    };
     let mut pipeline = AdaptationPipeline::with_counters(&config, policy, counters, action);
     if let Some(registry) = &telemetry {
         pipeline.set_instruments(PipelineInstruments::resolve(registry.as_ref(), class.as_str()));
     }
+    pipeline.set_trace(trace, class.as_str());
 
     loop {
         if stop.load(Ordering::Acquire) {

@@ -7,16 +7,18 @@
 //! `Regressor::predict_batch` (M5P amortises its smoothing-path buffer
 //! across rows; per-sample prediction reallocates it every call).
 //!
-//! The `fleet_telemetry_overhead` group is the ISSUE 6 acceptance gate:
-//! the same fleet run with a live registry attached must stay within ~2%
-//! checkpoints/sec of the untelemetered run — the instruments record one
-//! clock read per phase per epoch, never per checkpoint row.
+//! The `fleet_telemetry_overhead` group is the ISSUE 6 acceptance gate,
+//! extended to a 2×2 over metrics × tracing: the same fleet run with a
+//! live registry and/or a live flight recorder attached must stay within
+//! ~2% checkpoints/sec of the uninstrumented run — the instruments record
+//! one clock read per phase per epoch, never per checkpoint row, and a
+//! frozen run's tracer emits one ring write per epoch (the leader mark).
 
 use aging_core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use aging_fleet::{Fleet, FleetConfig};
 use aging_ml::{FeatureMatrix, Regressor};
 use aging_monitor::{build_dataset, FeatureSet, TTF_CAP_SECS};
-use aging_obs::Registry;
+use aging_obs::{FlightRecorder, Registry};
 use aging_testbed::{MemLeakSpec, Scenario};
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
@@ -108,8 +110,9 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     };
     let mut group = c.benchmark_group("fleet_telemetry_overhead");
     group.sample_size(10);
-    // Baseline: disabled handles — the no-op `Recorder` default — so the
-    // hot loop pays one untaken branch per phase and zero clock reads.
+    // Baseline: disabled handles — the no-op `Recorder` / `TraceHandle`
+    // defaults — so the hot loop pays one untaken branch per phase and
+    // zero clock reads.
     group.bench_function("noop_recorder_100instances", |b| {
         b.iter(|| {
             let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config).unwrap();
@@ -123,6 +126,27 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
             let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config)
                 .unwrap()
                 .with_telemetry(Registry::shared());
+            black_box(fleet.run_with_predictor(&predictor))
+        })
+    });
+    // Traced: a fresh live flight recorder per iteration (matching what
+    // `--trace` attaches) — one ring write per epoch on a frozen run.
+    group.bench_function("live_trace_100instances", |b| {
+        b.iter(|| {
+            let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config)
+                .unwrap()
+                .with_trace(FlightRecorder::shared());
+            black_box(fleet.run_with_predictor(&predictor))
+        })
+    });
+    // Both instruments live at once — the configuration CI's smoke runs
+    // exercise with `--metrics --trace`.
+    group.bench_function("live_registry_and_trace_100instances", |b| {
+        b.iter(|| {
+            let fleet = Fleet::uniform(&scenario, policy, 100, 7_000, config)
+                .unwrap()
+                .with_telemetry(Registry::shared())
+                .with_trace(FlightRecorder::shared());
             black_box(fleet.run_with_predictor(&predictor))
         })
     });

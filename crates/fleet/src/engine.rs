@@ -17,7 +17,10 @@ use aging_adapt::{
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
-use aging_obs::{CounterHandle, GaugeHandle, HistogramHandle, Recorder, Registry, Unit};
+use aging_obs::{
+    trace_of, CounterHandle, EventKind, EventScope, FlightRecorder, GaugeHandle, HistogramHandle,
+    Recorder, Registry, TraceHandle, Unit,
+};
 use aging_testbed::Scenario;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
@@ -121,6 +124,9 @@ struct DiscoveryRuntime<'a> {
     /// Leader-side discovery telemetry; disabled handles without a
     /// registry.
     instruments: DiscoveryInstruments,
+    /// Trace sink for evaluation/split/merge/reassignment events;
+    /// disabled when tracing is off.
+    trace: TraceHandle,
 }
 
 impl DiscoveryRuntime<'_> {
@@ -140,6 +146,14 @@ impl DiscoveryRuntime<'_> {
         self.instruments.silhouette.set(outcome.silhouette);
         self.instruments.splits.add(outcome.new_classes.len() as u64);
         self.instruments.merges.add(outcome.retired.len() as u64);
+        let evaluated = self.trace.emit(
+            EventScope::root(),
+            EventKind::DiscoveryEvaluated {
+                silhouette: outcome.silhouette,
+                active_classes: outcome.active_classes as u64,
+                ready_instances: ready as u64,
+            },
+        );
 
         // New classes first, so every id the assignment references exists
         // before any worker can observe the new version.
@@ -149,9 +163,9 @@ impl DiscoveryRuntime<'_> {
                 // Inherit the nearest centroid's currently *published*
                 // model as generation 0 — the best prior the fleet has
                 // for a regime that just split off.
-                let initial = match nc.seeded_from {
-                    Some(src) => classes[src].1.snapshot().model,
-                    None => Arc::clone(&self.setup.template.initial),
+                let (initial, seeded_from) = match nc.seeded_from {
+                    Some(src) => (classes[src].1.snapshot().model, classes[src].0.to_string()),
+                    None => (Arc::clone(&self.setup.template.initial), "template".to_string()),
                 };
                 let name = ServiceClass::new(format!("discovered-{}", nc.id));
                 let spec = ClassSpec::builder(Arc::clone(&self.setup.template.learner), initial)
@@ -163,6 +177,10 @@ impl DiscoveryRuntime<'_> {
                     .register_class(name.clone(), spec)
                     .expect("discovery ids are unique for the router's lifetime");
                 assert_eq!(classes.len(), nc.id, "class table must align with discovery ids");
+                let _ = self.trace.emit(
+                    EventScope::root().class(name.as_str()).parent(evaluated),
+                    EventKind::ClassSplit { seeded_from },
+                );
                 classes.push((name, service));
             }
         }
@@ -181,6 +199,16 @@ impl DiscoveryRuntime<'_> {
                 self.assignment[i].store(next, Ordering::Relaxed);
                 self.reassignments.fetch_add(1, Ordering::Relaxed);
                 self.instruments.reassignments.inc();
+                if self.trace.enabled() {
+                    let classes = self.classes.read().expect("class table poisoned");
+                    let _ = self.trace.emit(
+                        EventScope::root().class(classes[next].0.as_str()).parent(evaluated),
+                        EventKind::ClassReassigned {
+                            instance: i as u64,
+                            from: classes[current].0.to_string(),
+                        },
+                    );
+                }
             }
         }
 
@@ -192,6 +220,10 @@ impl DiscoveryRuntime<'_> {
                 let (from, _) = &classes[r.id];
                 let (into, _) = &classes[r.into];
                 self.router.retire_class(from, into).expect("both classes are registered");
+                let _ = self.trace.emit(
+                    EventScope::root().class(from.as_str()).parent(evaluated),
+                    EventKind::ClassMerged { into: into.to_string() },
+                );
             }
         }
         self.version.fetch_add(1, Ordering::Release);
@@ -258,6 +290,35 @@ impl DiscoveryRuntime<'_> {
     }
 }
 
+/// Emits one `SwapApplied` event per generation this shard's pin just
+/// skipped over — `(from, to]` — each parented on its generation's
+/// publish event, so the causal chain closes the loop from drift back to
+/// the worker actually serving the new model. Called only when a refresh
+/// moved the pin, which is rare; the enabled check keeps even that path
+/// free when tracing is off.
+fn emit_swaps(
+    trace: &TraceHandle,
+    class: &str,
+    shard: u32,
+    from: u64,
+    to: u64,
+    service: &ModelService,
+) {
+    if !trace.enabled() {
+        return;
+    }
+    for generation in (from + 1)..=to {
+        let _ = trace.emit(
+            EventScope::root()
+                .class(class)
+                .shard(shard)
+                .generation(generation)
+                .parent(service.publish_event_for(generation)),
+            EventKind::SwapApplied,
+        );
+    }
+}
+
 /// A set of simulated deployments operated concurrently under shared
 /// trained models.
 ///
@@ -275,6 +336,7 @@ pub struct Fleet {
     specs: Vec<InstanceSpec>,
     config: FleetConfig,
     telemetry: Option<Arc<Registry>>,
+    trace: Option<Arc<FlightRecorder>>,
 }
 
 impl Fleet {
@@ -294,7 +356,7 @@ impl Fleet {
         for spec in &specs {
             validate_spec(spec)?;
         }
-        Ok(Fleet { specs, config, telemetry: None })
+        Ok(Fleet { specs, config, telemetry: None, trace: None })
     }
 
     /// Attaches a telemetry registry: epoch-phase and barrier-wait timings
@@ -309,6 +371,22 @@ impl Fleet {
     #[must_use]
     pub fn with_telemetry(mut self, registry: Arc<Registry>) -> Self {
         self.telemetry = Some(registry);
+        self
+    }
+
+    /// Attaches a causal trace sink: per-shard model-swap events and the
+    /// leader's epoch marks land in `recorder`, and a worker panic dumps
+    /// the recorder's ring to stderr as JSONL before the payload is
+    /// rethrown. Pass the *same* recorder to the adaptation side's
+    /// builders ([`aging_adapt::AdaptiveServiceBuilder::trace`],
+    /// [`aging_adapt::AdaptiveRouterBuilder::trace`]) to get one unified
+    /// causal stream — drift → trigger → refit → publish → swap all in
+    /// one [`aging_obs::Trace`]; discovered runs wire their internal
+    /// router automatically. Without this call no event is built and no
+    /// clock is read on any trace site.
+    #[must_use]
+    pub fn with_trace(mut self, recorder: Arc<FlightRecorder>) -> Self {
+        self.trace = Some(recorder);
         self
     }
 
@@ -498,12 +576,16 @@ impl Fleet {
     ) -> Result<FleetReport, FleetError> {
         validate_discovery(setup)?;
         let telemetry = self.telemetry.clone();
+        let trace = self.trace.clone();
         let seed_class = ServiceClass::new("discovered-0");
         let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
             .class(seed_class.clone(), setup.template.clone())
             .config(setup.router);
         if let Some(registry) = &telemetry {
             router_builder = router_builder.telemetry(Arc::clone(registry));
+        }
+        if let Some(recorder) = &trace {
+            router_builder = router_builder.trace(Arc::clone(recorder));
         }
         let router = router_builder.spawn();
         let mut discovery_engine = ClassDiscovery::new(setup.discovery);
@@ -530,6 +612,7 @@ impl Fleet {
                     Some(registry) => DiscoveryInstruments::resolve(registry),
                     None => DiscoveryInstruments::default(),
                 },
+                trace: trace_of(&trace),
             };
             let report =
                 self.run_bound(ModelBinding::Discovered(&runtime), features, Some(router.bus()));
@@ -569,7 +652,8 @@ impl Fleet {
             _ => self.classes(),
         };
         let n_classes = classes.len();
-        let Fleet { specs, config, telemetry } = self;
+        let Fleet { specs, config, telemetry, trace } = self;
+        let trace_handle = trace_of(&trace);
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
 
@@ -649,8 +733,13 @@ impl Fleet {
         let barrier = Barrier::new(n_shards);
         let live = [AtomicU64::new(0), AtomicU64::new(0)];
         let panicked = AtomicBool::new(false);
+        // First panicking worker dumps the flight recorder; siblings that
+        // panic in the same epoch skip the (already complete) dump.
+        let trace_dumped = AtomicBool::new(false);
+        let default_class = ServiceClass::default();
         let started = Instant::now();
         let binding = &binding;
+        let classes = &classes;
 
         let epochs = std::thread::scope(|scope| {
             let handles: Vec<_> = shards
@@ -660,9 +749,13 @@ impl Fleet {
                     let barrier = &barrier;
                     let live = &live;
                     let panicked = &panicked;
+                    let trace_dumped = &trace_dumped;
+                    let trace_recorder = trace.as_deref();
+                    let default_class = &default_class;
                     let config = &config;
                     let barrier_wait = barrier_waits[shard_idx].clone();
                     let epochs_counter = epochs_counter.clone();
+                    let trace_handle = trace_handle.clone();
                     scope.spawn(move || {
                         // Adaptive/routed runs pin one model snapshot per
                         // class per epoch: pins are refreshed at epoch
@@ -695,6 +788,18 @@ impl Fleet {
                                 .collect(),
                             _ => Vec::new(),
                         };
+                        // Class names aligned with `services`/`pins` — the
+                        // labels this shard's swap-apply events carry.
+                        let mut class_names: Vec<ServiceClass> = match binding {
+                            ModelBinding::Discovered(runtime) => runtime
+                                .classes
+                                .read()
+                                .expect("class table poisoned")
+                                .iter()
+                                .map(|(name, _)| name.clone())
+                                .collect(),
+                            _ => Vec::new(),
+                        };
                         let mut seen_version = 0u64;
                         // Effective rejuvenation thresholds follow the same
                         // epoch-boundary discipline as the pins: read once
@@ -710,15 +815,38 @@ impl Fleet {
                             match binding {
                                 ModelBinding::Frozen(_) => {}
                                 ModelBinding::Adaptive(service) => {
-                                    service.refresh(&mut pins[0]);
+                                    let before = pins[0].generation;
+                                    if service.refresh(&mut pins[0]) {
+                                        emit_swaps(
+                                            &trace_handle,
+                                            default_class.as_str(),
+                                            shard_idx as u32,
+                                            before,
+                                            pins[0].generation,
+                                            service,
+                                        );
+                                    }
                                     // One service serves every class.
                                     thresholds.fill(service.rejuvenation_threshold_secs());
                                 }
                                 ModelBinding::Routed(services) => {
-                                    for ((service, pin), threshold) in
-                                        services.iter().zip(&mut pins).zip(&mut thresholds)
+                                    for (class_idx, ((service, pin), threshold)) in services
+                                        .iter()
+                                        .zip(&mut pins)
+                                        .zip(&mut thresholds)
+                                        .enumerate()
                                     {
-                                        service.refresh(pin);
+                                        let before = pin.generation;
+                                        if service.refresh(pin) {
+                                            emit_swaps(
+                                                &trace_handle,
+                                                classes[class_idx].as_str(),
+                                                shard_idx as u32,
+                                                before,
+                                                pin.generation,
+                                                service,
+                                            );
+                                        }
                                         *threshold = service.rejuvenation_threshold_secs();
                                     }
                                 }
@@ -738,18 +866,32 @@ impl Fleet {
                                             instance.set_class(id, table[id].0.clone());
                                         }
                                         while services.len() < table.len() {
-                                            let (_, service) = &table[services.len()];
+                                            let (name, service) = &table[services.len()];
                                             pins.push(service.snapshot());
+                                            class_names.push(name.clone());
                                             services.push(Arc::clone(service));
                                         }
                                         drop(table);
                                         shard.ensure_classes(services.len());
                                         thresholds.resize(services.len(), None);
                                     }
-                                    for ((service, pin), threshold) in
-                                        services.iter().zip(&mut pins).zip(&mut thresholds)
+                                    for (class_idx, ((service, pin), threshold)) in services
+                                        .iter()
+                                        .zip(&mut pins)
+                                        .zip(&mut thresholds)
+                                        .enumerate()
                                     {
-                                        service.refresh(pin);
+                                        let before = pin.generation;
+                                        if service.refresh(pin) {
+                                            emit_swaps(
+                                                &trace_handle,
+                                                class_names[class_idx].as_str(),
+                                                shard_idx as u32,
+                                                before,
+                                                pin.generation,
+                                                service,
+                                            );
+                                        }
                                         *threshold = service.rejuvenation_threshold_secs();
                                     }
                                 }
@@ -775,6 +917,21 @@ impl Fleet {
                                 Ok(n) => *n,
                                 Err(_) => {
                                     panicked.store(true, Ordering::SeqCst);
+                                    // Flight-recorder dump: the newest
+                                    // events leading up to the panic, once,
+                                    // before the payload is rethrown.
+                                    if let Some(recorder) = trace_recorder {
+                                        if !trace_dumped.swap(true, Ordering::SeqCst) {
+                                            eprintln!(
+                                                "fleet worker panicked on shard {shard_idx} \
+                                                 (epoch {epoch}); flight recorder: {} events \
+                                                 kept, {} dropped",
+                                                recorder.trace().len(),
+                                                recorder.dropped(),
+                                            );
+                                            eprint!("{}", recorder.dump_jsonl());
+                                        }
+                                    }
                                     0
                                 }
                             };
@@ -806,6 +963,8 @@ impl Fleet {
                                 && !panicked.load(Ordering::SeqCst);
                             if wait.is_leader() {
                                 epochs_counter.inc();
+                                let _ = trace_handle
+                                    .emit(EventScope::root(), EventKind::EpochCompleted { epoch });
                                 live[1 - parity].store(0, Ordering::SeqCst);
                                 // The inter-barrier window is the epoch
                                 // protocol's only single-threaded section:

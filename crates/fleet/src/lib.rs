@@ -301,6 +301,7 @@ mod tests {
         assert!(telemetry.histogram("fleet_epoch_predict_seconds", Some("1")).is_some());
         let timing = report.shard_timing_summary().expect("waits recorded");
         assert!(timing.contains("slowest shard"), "{timing}");
+        assert!(timing.contains("p99 wait"), "tail latency must be reported: {timing}");
         assert!(report.to_string().contains("shard timing"), "{report}");
 
         // Untelemetered runs carry no snapshot (and pay no clock reads).

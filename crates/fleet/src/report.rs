@@ -260,8 +260,9 @@ impl FleetReport {
 
     /// Summarises per-shard barrier-wait timing from the telemetry
     /// snapshot: the shard that spent the most total wall time waiting at
-    /// the epoch barrier, plus the fleet-wide mean and max wait. `None`
-    /// when no telemetry was attached or no barrier wait was ever recorded.
+    /// the epoch barrier, plus the fleet-wide mean, p99 (from the merged
+    /// per-shard distribution) and max wait. `None` when no telemetry was
+    /// attached or no barrier wait was ever recorded.
     pub fn shard_timing_summary(&self) -> Option<String> {
         let telemetry = self.telemetry.as_ref()?;
         let waits = telemetry.histogram_series("fleet_barrier_wait_seconds");
@@ -271,11 +272,19 @@ impl FleetReport {
         let total_sum: f64 = waits.iter().map(|h| h.sum).sum();
         let mean = if total_count > 0 { total_sum / total_count as f64 } else { 0.0 };
         let max = waits.iter().filter_map(|h| h.max_bound()).fold(0.0_f64, f64::max);
+        // Tail latency, not just the worst single wait: p99 of the merged
+        // fleet-wide distribution (log2-bucket resolution).
+        let p99 = telemetry
+            .histogram_merged("fleet_barrier_wait_seconds")
+            .and_then(|merged| merged.p99())
+            .unwrap_or(max);
         Some(format!(
-            "slowest shard {} ({:.3} s total barrier wait)  mean wait {:.6} s  max wait < {:.6} s",
+            "slowest shard {} ({:.3} s total barrier wait)  mean wait {:.6} s  \
+             p99 wait < {:.6} s  max wait < {:.6} s",
             slowest.label_value().unwrap_or("?"),
             slowest.sum,
             mean,
+            p99,
             max
         ))
     }

@@ -98,6 +98,77 @@ impl HistogramSample {
         best
     }
 
+    /// Upper-bound estimate of quantile `q` (in `0.0..=1.0`) from the
+    /// cumulative log2 buckets: the bound of the first bucket whose
+    /// cumulative count reaches `ceil(q · count)`. Exact to within one
+    /// power of two, like every bucketed quantile. `None` when the series
+    /// is empty, `q` is not a proper fraction, or the quantile falls in
+    /// the unbounded final bucket (no finite bound exists).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        if self.count == 0 || !(0.0..=1.0).contains(&q) {
+            return None;
+        }
+        let target = ((q * self.count as f64).ceil() as u64).max(1);
+        self.buckets.iter().find(|b| b.count >= target).map(|b| b.le)
+    }
+
+    /// Median upper bound — [`HistogramSample::quantile`] at 0.5.
+    #[must_use]
+    pub fn p50(&self) -> Option<f64> {
+        self.quantile(0.5)
+    }
+
+    /// 99th-percentile upper bound — [`HistogramSample::quantile`] at
+    /// 0.99.
+    #[must_use]
+    pub fn p99(&self) -> Option<f64> {
+        self.quantile(0.99)
+    }
+
+    /// Merges histogram series of one family into a single distribution
+    /// (per-bucket counts summed by bound, sums and counts added) — the
+    /// fleet-wide view of a per-shard family. Returns `None` when `series`
+    /// is empty or mixes families/units.
+    #[must_use]
+    pub fn merged(series: &[&HistogramSample]) -> Option<HistogramSample> {
+        let first = series.first()?;
+        if series.iter().any(|h| h.name != first.name || h.unit != first.unit) {
+            return None;
+        }
+        // Per-bucket (non-cumulative) counts keyed by the bit pattern of
+        // the bound: every series of a family shares the same log2 bounds,
+        // so bitwise equality is exact.
+        let mut by_bound: std::collections::BTreeMap<u64, u64> = std::collections::BTreeMap::new();
+        let mut count = 0u64;
+        let mut sum = 0.0f64;
+        for h in series {
+            count += h.count;
+            sum += h.sum;
+            let mut prev = 0u64;
+            for b in &h.buckets {
+                *by_bound.entry(b.le.to_bits()).or_insert(0) += b.count - prev;
+                prev = b.count;
+            }
+        }
+        let mut cumulative = 0u64;
+        let buckets = by_bound
+            .into_iter()
+            .map(|(bits, c)| {
+                cumulative += c;
+                BucketSample { le: f64::from_bits(bits), count: cumulative }
+            })
+            .collect();
+        Some(HistogramSample {
+            name: first.name.clone(),
+            label: None,
+            unit: first.unit.clone(),
+            count,
+            sum,
+            buckets,
+        })
+    }
+
     /// The series' label value, if labelled.
     #[must_use]
     pub fn label_value(&self) -> Option<&str> {
@@ -170,6 +241,14 @@ impl TelemetrySnapshot {
     #[must_use]
     pub fn histogram_series(&self, name: &str) -> Vec<&HistogramSample> {
         self.histograms.iter().filter(|h| h.name == name).collect()
+    }
+
+    /// All series of one histogram family merged into a single
+    /// distribution — e.g. the fleet-wide barrier-wait histogram across
+    /// per-shard series, ready for [`HistogramSample::p99`].
+    #[must_use]
+    pub fn histogram_merged(&self, name: &str) -> Option<HistogramSample> {
+        HistogramSample::merged(&self.histogram_series(name))
     }
 }
 
@@ -476,5 +555,68 @@ mod tests {
         r.counter_with("odd_total", "odd labels", "class", "a\"b\\c").inc();
         let rendered = r.render();
         assert!(rendered.contains("odd_total{class=\"a\\\"b\\\\c\"} 1"), "{rendered}");
+    }
+
+    #[test]
+    fn quantiles_come_from_log2_buckets() {
+        let r = Registry::new();
+        let h = r.histogram("lat_seconds", "latency", Unit::Seconds);
+        // 99 fast observations (≤ 1023 ns bucket) and one slow outlier.
+        for _ in 0..99 {
+            h.record(1000);
+        }
+        h.record(1_000_000);
+        let snap = r.snapshot();
+        let hist = snap.histogram("lat_seconds", None).expect("series exists");
+        let p50 = hist.p50().expect("non-empty");
+        assert!((p50 - 1.023e-6).abs() < 1e-12, "median sits in the 1023 ns bucket: {p50}");
+        let p99 = hist.p99().expect("non-empty");
+        assert!((p99 - 1.023e-6).abs() < 1e-12, "p99 still inside the fast bucket: {p99}");
+        let p100 = hist.quantile(1.0).expect("non-empty");
+        assert!(p100 >= 1e-3, "the outlier dominates the max: {p100}");
+        assert_eq!(hist.quantile(1.5), None, "improper fraction");
+        assert_eq!(hist.quantile(-0.1), None);
+    }
+
+    #[test]
+    fn quantile_of_empty_or_unbounded_is_none() {
+        let empty = HistogramSample {
+            name: "x_seconds".into(),
+            label: None,
+            unit: "seconds".into(),
+            count: 0,
+            sum: 0.0,
+            buckets: Vec::new(),
+        };
+        assert_eq!(empty.p50(), None);
+        // All mass in the unbounded final bucket: trimmed buckets are
+        // empty, so no finite bound covers any quantile.
+        let unbounded = HistogramSample { count: 5, ..empty };
+        assert_eq!(unbounded.p99(), None);
+    }
+
+    #[test]
+    fn merged_series_form_the_fleet_wide_distribution() {
+        let r = Registry::new();
+        for (shard, v) in [("0", 100u64), ("1", 1000), ("2", 100_000)] {
+            r.histogram_with("fleet_barrier_wait_seconds", "wait", Unit::Seconds, "shard", shard)
+                .record(v);
+        }
+        let snap = r.snapshot();
+        let merged = snap.histogram_merged("fleet_barrier_wait_seconds").expect("three series");
+        assert_eq!(merged.count, 3);
+        assert!((merged.sum - 101_100.0e-9).abs() < 1e-12);
+        let mut prev = 0;
+        for b in &merged.buckets {
+            assert!(b.count >= prev, "merged buckets stay cumulative");
+            prev = b.count;
+        }
+        assert_eq!(prev, 3);
+        let p99 = merged.p99().expect("non-empty");
+        assert!(
+            (p99 - 131.071e-6).abs() < 1e-9,
+            "p99 of three singletons is the slowest shard's bucket: {p99}"
+        );
+        assert_eq!(snap.histogram_merged("absent_seconds"), None);
     }
 }

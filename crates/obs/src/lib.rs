@@ -7,6 +7,12 @@
 //! id, and two exporters — Prometheus text format ([`Registry::render`])
 //! and a serde-JSON [`TelemetrySnapshot`] embedded in `FleetReport`.
 //!
+//! Next to the metrics sits the causal trace ([`trace`] module): a
+//! structured [`Event`] stream recorded into a bounded [`FlightRecorder`]
+//! ring, queried through [`Trace::causal_chain`] and exported as Chrome
+//! trace-event JSON (Perfetto) or JSONL. Metrics aggregate; the trace
+//! explains — "why did this class refit at t=412 s" is one parent-id walk.
+//!
 //! # Design rules
 //!
 //! - **One branch when off.** Instrumented code holds handles
@@ -65,6 +71,7 @@ mod export;
 mod instruments;
 mod recorder;
 mod registry;
+pub mod trace;
 
 pub use export::{
     BucketSample, CounterSample, GaugeSample, HistogramSample, LabelSample, TelemetrySnapshot,
@@ -74,6 +81,10 @@ pub use recorder::{
     CounterHandle, GaugeHandle, HistogramHandle, NoopRecorder, Recorder, SpanTimer,
 };
 pub use registry::{Registry, Unit, MAX_SERIES_PER_METRIC};
+pub use trace::{
+    trace_of, Event, EventId, EventKind, EventScope, EventSink, FlightRecorder, NoopSink, Trace,
+    TraceHandle, DEFAULT_FLIGHT_RECORDER_CAPACITY,
+};
 
 /// Views an optional shared registry as a [`Recorder`], falling back to
 /// the no-op recorder — the idiom instrumented crates use at handle

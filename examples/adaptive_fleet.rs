@@ -10,13 +10,16 @@
 //!
 //! ```text
 //! cargo run --release --example adaptive_fleet [-- --instances 36 \
-//!     --shards 4 --hours 8 --json [PATH] --metrics [PATH]]
+//!     --shards 4 --hours 8 --json [PATH] --metrics [PATH] --trace [PATH]]
 //! ```
 //!
 //! `--json` writes both reports (default path `BENCH_adaptive_fleet.json`);
 //! `--metrics` attaches one telemetry registry to the adaptive run (fleet
 //! *and* service side) and writes its snapshot (default path
-//! `METRICS_adaptive_fleet.json`).
+//! `METRICS_adaptive_fleet.json`); `--trace` attaches one flight recorder
+//! to the adaptive run and writes its Chrome trace-event JSON (default
+//! path `TRACE_adaptive_fleet.json`) — the drift→trigger→refit→publish→swap
+//! causal chains, loadable in Perfetto.
 
 use serde::Serialize;
 use software_aging::adapt::{AdaptConfig, AdaptiveService, DriftConfig};
@@ -25,12 +28,12 @@ use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, Workl
 use software_aging::ml::m5p::M5pLearner;
 use software_aging::ml::{DynLearner, Regressor};
 use software_aging::monitor::FeatureSet;
-use software_aging::obs::Registry;
+use software_aging::obs::{FlightRecorder, Registry};
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 
 mod common;
-use common::{leaky, parse_args, write_metrics, FleetArgs};
+use common::{leaky, parse_args, write_metrics, write_trace, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -40,14 +43,20 @@ struct AdaptiveBench {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None, metrics: None };
-    let args = parse_args(defaults, "BENCH_adaptive_fleet.json", "METRICS_adaptive_fleet.json")
-        .inspect_err(|_| {
-            eprintln!(
-                "usage: adaptive_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
-                 [--metrics [PATH]]"
-            );
-        })?;
+    let defaults =
+        FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None, metrics: None, trace: None };
+    let args = parse_args(
+        defaults,
+        "BENCH_adaptive_fleet.json",
+        "METRICS_adaptive_fleet.json",
+        "TRACE_adaptive_fleet.json",
+    )
+    .inspect_err(|_| {
+        eprintln!(
+            "usage: adaptive_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+                 [--metrics [PATH]] [--trace [PATH]]"
+        );
+    })?;
 
     // The training regime: slow leaks (N = 75) across a workload range.
     println!("training the shared M5P model on the slow-leak regime …");
@@ -98,6 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // hot-swapped into the epoch loop.
     println!("── adaptive service ──");
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
     let learner: Arc<dyn DynLearner> = Arc::new(M5pLearner::paper_default());
     let initial: Arc<dyn Regressor> = Arc::new(predictor.model().clone());
     let mut service_builder =
@@ -116,10 +126,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(registry) = &registry {
         service_builder = service_builder.telemetry(Arc::clone(registry));
     }
+    if let Some(recorder) = &recorder {
+        service_builder = service_builder.trace(Arc::clone(recorder));
+    }
     let service = service_builder.spawn();
     let mut adaptive_fleet = Fleet::new(specs, config)?;
     if let Some(registry) = &registry {
         adaptive_fleet = adaptive_fleet.with_telemetry(Arc::clone(registry));
+    }
+    if let Some(recorder) = &recorder {
+        adaptive_fleet = adaptive_fleet.with_trace(Arc::clone(recorder));
     }
     let mut adaptive_report = adaptive_fleet.run_adaptive(&service, &features);
     println!("{adaptive_report}\n");
@@ -158,6 +174,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(path) = &args.metrics {
         write_metrics(path, adaptive_report.telemetry.as_ref().expect("registry attached"))?;
+    }
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        write_trace(path, recorder)?;
     }
     if let Some(path) = &args.json {
         let bench = AdaptiveBench { frozen: frozen_report, adaptive: adaptive_report };

@@ -1,10 +1,11 @@
 //! Shared plumbing for the fleet examples: the leaky-scenario helper and
-//! the `--instances/--shards/--hours/--json/--metrics` CLI parser.
+//! the `--instances/--shards/--hours/--json/--metrics/--trace` CLI
+//! parser.
 //!
 //! Lives in a subdirectory so cargo does not treat it as an example
 //! target; each example pulls it in with `mod common;`.
 
-use software_aging::obs::TelemetrySnapshot;
+use software_aging::obs::{FlightRecorder, TelemetrySnapshot};
 use software_aging::testbed::{MemLeakSpec, Scenario};
 
 /// A run-to-crash TPC-W scenario leaking through the search servlet.
@@ -28,15 +29,20 @@ pub struct FleetArgs {
     pub json: Option<String>,
     /// Attach a telemetry registry and write its JSON snapshot here.
     pub metrics: Option<String>,
+    /// Attach a flight recorder and write its Chrome trace-event JSON
+    /// (Perfetto-loadable) here.
+    pub trace: Option<String>,
 }
 
 /// Parses `--instances N --shards N --hours H [--json [PATH]]
-/// [--metrics [PATH]]` on top of per-example defaults; a bare `--json`
-/// uses `json_default`, a bare `--metrics` uses `metrics_default`.
+/// [--metrics [PATH]] [--trace [PATH]]` on top of per-example defaults; a
+/// bare `--json` uses `json_default`, a bare `--metrics` uses
+/// `metrics_default`, a bare `--trace` uses `trace_default`.
 pub fn parse_args(
     defaults: FleetArgs,
     json_default: &str,
     metrics_default: &str,
+    trace_default: &str,
 ) -> Result<FleetArgs, String> {
     let mut args = defaults;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -79,6 +85,16 @@ pub fn parse_args(
                     i += 1;
                 }
             },
+            "--trace" => match argv.get(i + 1) {
+                Some(path) if !path.starts_with("--") => {
+                    args.trace = Some(path.clone());
+                    i += 2;
+                }
+                _ => {
+                    args.trace = Some(trace_default.to_string());
+                    i += 1;
+                }
+            },
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -96,5 +112,17 @@ pub fn write_metrics(
 ) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(path, serde_json::to_string_pretty(snapshot)?)?;
     println!("wrote {path}");
+    Ok(())
+}
+
+/// Writes a flight recorder's ring as Chrome trace-event JSON (the
+/// `TRACE_*.json` artifact — open in Perfetto / `chrome://tracing`).
+pub fn write_trace(
+    path: &str,
+    recorder: &FlightRecorder,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let trace = recorder.trace();
+    std::fs::write(path, trace.to_chrome_json())?;
+    println!("wrote {path} ({} events, {} dropped by the ring)", trace.len(), recorder.dropped());
     Ok(())
 }

@@ -16,7 +16,7 @@
 //!
 //! ```text
 //! cargo run --release --example discovered_fleet [-- --instances 15 \
-//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH] --trace [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting group, one third the
@@ -24,7 +24,10 @@
 //! `BENCH_discovered.json`); `--metrics` attaches a telemetry registry to
 //! the discovered run — [`Fleet::run_discovered`] wires its internal
 //! router and discovery engine automatically — and writes its snapshot
-//! (default path `METRICS_discovered.json`).
+//! (default path `METRICS_discovered.json`); `--trace` attaches a flight
+//! recorder the same way and writes its Chrome trace-event JSON (default
+//! path `TRACE_discovered.json`) — discovery evaluations, class splits and
+//! instance reassignments appear as causally linked instants.
 //!
 //! The run **asserts** the ISSUE 5 acceptance criteria: the discovered
 //! partition is pure, its per-class mean TTF error is within 1.25× the
@@ -42,12 +45,12 @@ use software_aging::fleet::{
 };
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
-use software_aging::obs::Registry;
+use software_aging::obs::{FlightRecorder, Registry};
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, write_metrics, FleetArgs};
+use common::{leaky, parse_args, write_metrics, write_trace, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -123,14 +126,20 @@ fn regime_error(report: &FleetReport, prefix: &str) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 15, shards: 4, hours: 6.0, json: None, metrics: None };
-    let args = parse_args(defaults, "BENCH_discovered.json", "METRICS_discovered.json")
-        .inspect_err(|_| {
-            eprintln!(
-                "usage: discovered_fleet [--instances N] [--shards N] [--hours H] \
-                 [--json [PATH]] [--metrics [PATH]]"
-            );
-        })?;
+    let defaults =
+        FleetArgs { instances: 15, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
+    let args = parse_args(
+        defaults,
+        "BENCH_discovered.json",
+        "METRICS_discovered.json",
+        "TRACE_discovered.json",
+    )
+    .inspect_err(|_| {
+        eprintln!(
+            "usage: discovered_fleet [--instances N] [--shards N] [--hours H] \
+                 [--json [PATH]] [--metrics [PATH]] [--trace [PATH]]"
+        );
+    })?;
     let n_shift = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_shift).max(1);
     let horizon = args.hours * 3600.0;
@@ -204,9 +213,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ..DiscoverySetup::new(template)
     };
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
     let mut discovered_fleet = Fleet::new(specs(n_shift, n_steady, horizon, false), config)?;
     if let Some(registry) = &registry {
         discovered_fleet = discovered_fleet.with_telemetry(Arc::clone(registry));
+    }
+    if let Some(recorder) = &recorder {
+        discovered_fleet = discovered_fleet.with_trace(Arc::clone(recorder));
     }
     let discovered = discovered_fleet.run_discovered(&setup, &features)?;
     println!("{discovered}\n");
@@ -313,6 +326,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(path) = &args.metrics {
         write_metrics(path, discovered.telemetry.as_ref().expect("registry attached"))?;
+    }
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        write_trace(path, recorder)?;
     }
     if let Some(path) = &args.json {
         let bench = DiscoveredBench { hand_labelled, discovered };

@@ -4,23 +4,26 @@
 //!
 //! ```text
 //! cargo run --release --example fleet [-- --instances 120 --shards 6 \
-//!     --hours 12 --json [PATH] --metrics [PATH]]
+//!     --hours 12 --json [PATH] --metrics [PATH] --trace [PATH]]
 //! ```
 //!
 //! `--json` writes the machine-readable [`FleetReport`] (default path
 //! `BENCH_fleet.json`) so bench trajectories can be tracked across
 //! commits; `--metrics` attaches a telemetry registry and writes its
-//! snapshot (default path `METRICS_fleet.json`).
+//! snapshot (default path `METRICS_fleet.json`); `--trace` attaches a
+//! flight recorder and writes its Chrome trace-event JSON (default path
+//! `TRACE_fleet.json` — frozen runs trace only the leader's epoch marks,
+//! adaptation adds the causal drift→refit→swap chains).
 
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec};
 use software_aging::monitor::FeatureSet;
-use software_aging::obs::Registry;
+use software_aging::obs::{FlightRecorder, Registry};
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 
 mod common;
-use common::{leaky, parse_args, write_metrics, FleetArgs};
+use common::{leaky, parse_args, write_metrics, write_trace, FleetArgs};
 
 fn write_json(report: &FleetReport, path: &str) -> Result<(), Box<dyn std::error::Error>> {
     std::fs::write(path, report.to_json()?)?;
@@ -29,14 +32,21 @@ fn write_json(report: &FleetReport, path: &str) -> Result<(), Box<dyn std::error
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 120, shards: 6, hours: 12.0, json: None, metrics: None };
-    let args =
-        parse_args(defaults, "BENCH_fleet.json", "METRICS_fleet.json").inspect_err(|_| {
-            eprintln!(
-                "usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
-             [--metrics [PATH]]"
-            );
-        })?;
+    let defaults = FleetArgs {
+        instances: 120,
+        shards: 6,
+        hours: 12.0,
+        json: None,
+        metrics: None,
+        trace: None,
+    };
+    let args = parse_args(defaults, "BENCH_fleet.json", "METRICS_fleet.json", "TRACE_fleet.json")
+        .inspect_err(|_| {
+        eprintln!(
+            "usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+             [--metrics [PATH]] [--trace [PATH]]"
+        );
+    })?;
 
     // One model serves the whole fleet: train it across the workload range
     // it will see in production (Experiment 4.1 style).
@@ -80,9 +90,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         counterfactual_horizon_secs: 3600.0,
     };
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
     let mut fleet = Fleet::new(specs, config)?;
     if let Some(registry) = &registry {
         fleet = fleet.with_telemetry(Arc::clone(registry));
+    }
+    if let Some(recorder) = &recorder {
+        fleet = fleet.with_trace(Arc::clone(recorder));
     }
     println!(
         "operating {} deployments across {} shards for {:.0} simulated hours …\n",
@@ -116,6 +130,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     if let Some(path) = &args.metrics {
         write_metrics(path, report.telemetry.as_ref().expect("registry attached"))?;
+    }
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        write_trace(path, recorder)?;
     }
     Ok(())
 }

@@ -12,7 +12,7 @@
 //!
 //! ```text
 //! cargo run --release --example hetero_fleet [-- --instances 24 \
-//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH] --trace [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
@@ -22,7 +22,14 @@
 //! live — non-zero barrier-wait and refit-duration histograms, swap
 //! latency once a generation was published, per-class shed counters
 //! summing to the router's drop counter — and writes it (default path
-//! `METRICS_hetero.json`).
+//! `METRICS_hetero.json`); `--trace` attaches one flight recorder to the
+//! routed run, **asserts** that every published generation resolves a
+//! complete drift→trigger→refit→publish→swap causal chain through
+//! [`Trace::causal_chain`], writes the Chrome trace-event JSON (default
+//! path `TRACE_hetero.json`) and round-trips it through the same format
+//! check CI applies (valid JSON, monotone seqs, resolvable parents).
+//!
+//! [`Trace::causal_chain`]: software_aging::obs::Trace::causal_chain
 
 use serde::Serialize;
 use software_aging::adapt::{
@@ -32,13 +39,13 @@ use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolic
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
-use software_aging::obs::Registry;
+use software_aging::obs::{EventKind, FlightRecorder, Registry, Trace};
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, write_metrics, FleetArgs};
+use common::{leaky, parse_args, write_metrics, write_trace, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -115,14 +122,16 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None };
+    let defaults =
+        FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
     let args =
-        parse_args(defaults, "BENCH_hetero.json", "METRICS_hetero.json").inspect_err(|_| {
-            eprintln!(
-                "usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
-                 [--metrics [PATH]]"
-            );
-        })?;
+        parse_args(defaults, "BENCH_hetero.json", "METRICS_hetero.json", "TRACE_hetero.json")
+            .inspect_err(|_| {
+                eprintln!(
+                    "usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+                 [--metrics [PATH]] [--trace [PATH]]"
+                );
+            })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;
@@ -153,16 +162,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Run 2: same fleet and seeds, class-routed adaptation live.
     println!("── class-routed adaptation ──");
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
     let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
         .config(RouterConfig::builder().retrainer_threads(2).build());
     if let Some(registry) = &registry {
         router_builder = router_builder.telemetry(Arc::clone(registry));
     }
+    if let Some(recorder) = &recorder {
+        router_builder = router_builder.trace(Arc::clone(recorder));
+    }
     let router = router_builder.spawn();
     let mut routed_fleet = Fleet::new(specs(n_leak, n_steady, horizon), config)?;
     if let Some(registry) = &registry {
         routed_fleet = routed_fleet.with_telemetry(Arc::clone(registry));
+    }
+    if let Some(recorder) = &recorder {
+        routed_fleet = routed_fleet.with_trace(Arc::clone(recorder));
     }
     let mut routed = routed_fleet.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
@@ -229,10 +245,116 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         write_metrics(path, telemetry)?;
     }
 
+    // The tracing acceptance gate: every generation a class published must
+    // resolve a complete causal chain, and the Perfetto artifact must
+    // survive the same format check CI applies.
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        let trace = recorder.trace();
+        let chains = assert_causal_chains(&trace);
+        write_trace(path, recorder)?;
+        check_chrome_format(&std::fs::read_to_string(path)?)
+            .map_err(|e| format!("{path} failed the trace format check: {e}"))?;
+        println!(
+            "trace: {chains} publish chains resolved end to end, format check passed ({} events, \
+             {} dropped)",
+            trace.len(),
+            recorder.dropped()
+        );
+    }
+
     if let Some(path) = &args.json {
         let bench = HeteroBench { frozen, routed };
         std::fs::write(path, serde_json::to_string_pretty(&bench)?)?;
         println!("\nwrote {path}");
+    }
+    Ok(())
+}
+
+/// Asserts that every [`EventKind::GenerationPublished`] in the trace
+/// resolves a complete drift→trigger→refit→publish(→swap) chain through
+/// [`Trace::causal_chain`]; returns the number of chains checked.
+fn assert_causal_chains(trace: &Trace) -> usize {
+    let mut chains = 0;
+    for class in ["leak", "steady"] {
+        for publish in trace.publishes(class) {
+            let generation = publish.generation.expect("publishes carry a generation");
+            let chain = trace.causal_chain(class, generation);
+            let has = |pred: fn(&EventKind) -> bool| chain.iter().any(|e| pred(&e.kind));
+            assert!(
+                has(|k| matches!(
+                    k,
+                    EventKind::DriftObserved { .. } | EventKind::TriggerArmed { .. }
+                )),
+                "{class} gen {generation}: chain must root in a drift observation or an armed \
+                 trigger: {chain:#?}"
+            );
+            assert!(
+                has(|k| matches!(k, EventKind::TriggerFired { .. })),
+                "{class} gen {generation}: chain must record the trigger firing: {chain:#?}"
+            );
+            assert!(
+                has(|k| matches!(k, EventKind::RefitStarted { .. }))
+                    && has(|k| matches!(k, EventKind::RefitFinished { ok: true })),
+                "{class} gen {generation}: chain must span the refit: {chain:#?}"
+            );
+            // Swaps ride the epoch loop, so a generation superseded before
+            // any shard pinned it (or published after the run) legitimately
+            // has none — but when the trace holds a swap for this
+            // generation, the chain must surface it.
+            let swapped = trace.events.iter().any(|e| {
+                matches!(e.kind, EventKind::SwapApplied)
+                    && e.class.as_deref() == Some(class)
+                    && e.generation == Some(generation)
+            });
+            assert!(
+                !swapped || has(|k| matches!(k, EventKind::SwapApplied)),
+                "{class} gen {generation}: the shard swap must parent on the publish: {chain:#?}"
+            );
+            chains += 1;
+        }
+    }
+    chains
+}
+
+/// The CI trace-format check, inline: the artifact is valid Chrome
+/// trace-event JSON, seqs are monotone in file order and every non-root
+/// parent resolves to an already-seen seq.
+fn check_chrome_format(text: &str) -> Result<(), String> {
+    let root = serde::parse_value(text).map_err(|e| format!("invalid JSON: {e}"))?;
+    let entries = root
+        .as_obj()
+        .and_then(|o| o.iter().find(|(k, _)| k == "traceEvents"))
+        .and_then(|(_, v)| match v {
+            serde::Value::Arr(entries) => Some(entries),
+            _ => None,
+        })
+        .ok_or("missing traceEvents array")?;
+    let field = |entry: &serde::Value, name: &str| -> Option<serde::Value> {
+        entry.as_obj()?.iter().find(|(k, _)| k == name).map(|(_, v)| v.clone())
+    };
+    let mut seen = std::collections::HashSet::new();
+    let mut last_seq = None;
+    for entry in entries {
+        let Some(serde::Value::Str(ph)) = field(entry, "ph") else {
+            return Err("entry without ph".into());
+        };
+        if ph == "M" {
+            continue;
+        }
+        let args = field(entry, "args").ok_or("event without args")?;
+        let Some(serde::Value::U64(seq)) = field(&args, "seq") else {
+            return Err("event without args.seq".into());
+        };
+        if last_seq.is_some_and(|last| seq <= last) {
+            return Err(format!("seq {seq} out of order"));
+        }
+        if let Some(serde::Value::U64(parent)) = field(&args, "parent") {
+            if !seen.contains(&parent) {
+                return Err(format!("seq {seq} parents on unseen {parent}"));
+            }
+        }
+        seen.insert(seq);
+        last_seq = Some(seq);
     }
     Ok(())
 }

@@ -13,14 +13,17 @@
 //!
 //! ```text
 //! cargo run --release --example self_tuning_fleet [-- --instances 24 \
-//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH] --trace [PATH]]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
 //! steady class. `--json` writes both reports (default path
 //! `BENCH_self_tuning.json`); `--metrics` attaches one telemetry registry
 //! to the self-tuned run and writes its snapshot (default path
-//! `METRICS_self_tuning.json`).
+//! `METRICS_self_tuning.json`); `--trace` attaches one flight recorder to
+//! the self-tuned run — the resulting Chrome trace (default path
+//! `TRACE_self_tuning.json`) shows each class's threshold re-derivations
+//! parented on the publish that triggered them.
 
 use serde::Serialize;
 use software_aging::adapt::{
@@ -31,13 +34,13 @@ use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolic
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
-use software_aging::obs::Registry;
+use software_aging::obs::{FlightRecorder, Registry};
 use software_aging::testbed::Scenario;
 use std::sync::Arc;
 use std::time::Duration;
 
 mod common;
-use common::{leaky, parse_args, write_metrics, FleetArgs};
+use common::{leaky, parse_args, write_metrics, write_trace, FleetArgs};
 
 /// Both runs of the comparison, as written by `--json`.
 #[derive(Debug, Serialize)]
@@ -114,14 +117,20 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults = FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None };
-    let args = parse_args(defaults, "BENCH_self_tuning.json", "METRICS_self_tuning.json")
-        .inspect_err(|_| {
-            eprintln!(
-                "usage: self_tuning_fleet [--instances N] [--shards N] [--hours H] \
-                 [--json [PATH]] [--metrics [PATH]]"
-            );
-        })?;
+    let defaults =
+        FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
+    let args = parse_args(
+        defaults,
+        "BENCH_self_tuning.json",
+        "METRICS_self_tuning.json",
+        "TRACE_self_tuning.json",
+    )
+    .inspect_err(|_| {
+        eprintln!(
+            "usage: self_tuning_fleet [--instances N] [--shards N] [--hours H] \
+                 [--json [PATH]] [--metrics [PATH]] [--trace [PATH]]"
+        );
+    })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;
@@ -153,16 +162,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // QuantileAdaptive policy — every class derives its own thresholds.
     println!("── self-tuning thresholds (shared config, shared policy) ──");
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
+    let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
     let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
         .config(RouterConfig::builder().retrainer_threads(2).build());
     if let Some(registry) = &registry {
         router_builder = router_builder.telemetry(Arc::clone(registry));
     }
+    if let Some(recorder) = &recorder {
+        router_builder = router_builder.trace(Arc::clone(recorder));
+    }
     let router = router_builder.spawn();
     let mut tuned_fleet = Fleet::new(specs(n_leak, n_steady, horizon), config)?;
     if let Some(registry) = &registry {
         tuned_fleet = tuned_fleet.with_telemetry(Arc::clone(registry));
+    }
+    if let Some(recorder) = &recorder {
+        tuned_fleet = tuned_fleet.with_trace(Arc::clone(recorder));
     }
     let mut self_tuned = tuned_fleet.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
@@ -200,6 +216,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if let Some(path) = &args.metrics {
         write_metrics(path, self_tuned.telemetry.as_ref().expect("registry attached"))?;
+    }
+    if let (Some(path), Some(recorder)) = (&args.trace, &recorder) {
+        write_trace(path, recorder)?;
     }
     if let Some(path) = &args.json {
         let bench = SelfTuningBench { frozen, self_tuned };
