@@ -166,6 +166,21 @@ impl LabelledCheckpoint {
     }
 }
 
+/// A journalled checkpoint row is a labelled checkpoint, field for field
+/// — replay re-ingests recorded batches through the same pipelines the
+/// live stream fed.
+impl From<aging_journal::JournalCheckpoint> for LabelledCheckpoint {
+    fn from(row: aging_journal::JournalCheckpoint) -> Self {
+        LabelledCheckpoint {
+            features: row.features,
+            ttf_secs: row.ttf_secs,
+            predicted_ttf_secs: row.predicted_ttf_secs,
+            predicted_generation: row.predicted_generation,
+            monitor_only: row.monitor_only,
+        }
+    }
+}
+
 /// A batch of labelled checkpoints from one source — typically one
 /// completed (crashed or proactively restarted) service epoch of one
 /// instance, labelled retrospectively.
@@ -383,7 +398,17 @@ impl CheckpointBus {
         if *count == 0 {
             state.per_source.remove(&batch.source);
         }
-        state.queued_checkpoints -= batch.checkpoints.len() as u64;
+        // `saturating_sub`, not `-=`: the depth gauge must never wrap. The
+        // invariant (queued == Σ pushed − Σ popped − Σ shed) is asserted in
+        // debug builds and property-tested under interleaved shed/pop.
+        debug_assert!(
+            state.queued_checkpoints >= batch.checkpoints.len() as u64,
+            "shed of {} checkpoints would underflow the depth gauge ({} queued)",
+            batch.checkpoints.len(),
+            state.queued_checkpoints
+        );
+        state.queued_checkpoints =
+            state.queued_checkpoints.saturating_sub(batch.checkpoints.len() as u64);
         // The attribution map is keyed by producer-supplied class tags, so
         // it must stay bounded like everything else on this bus: beyond
         // the cap, sheds of *new* classes are counted only in the
@@ -492,7 +517,17 @@ impl Drop for BusReceiver {
 impl BusReceiver {
     fn pop(state: &mut BusState) -> Option<CheckpointBatch> {
         let batch = state.queue.pop_front()?;
-        state.queued_checkpoints -= batch.checkpoints.len() as u64;
+        // Mirror of `shed_one`: a double-pop or shed/pop interleaving must
+        // clamp the gauge, never wrap it (`debug_assert!` catches the
+        // accounting bug in development; release clamps to zero).
+        debug_assert!(
+            state.queued_checkpoints >= batch.checkpoints.len() as u64,
+            "pop of {} checkpoints would underflow the depth gauge ({} queued)",
+            batch.checkpoints.len(),
+            state.queued_checkpoints
+        );
+        state.queued_checkpoints =
+            state.queued_checkpoints.saturating_sub(batch.checkpoints.len() as u64);
         let count = state.per_source.get_mut(&batch.source).expect("source was counted");
         *count -= 1;
         if *count == 0 {

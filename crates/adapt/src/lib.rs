@@ -64,6 +64,7 @@ pub mod discovery;
 mod drift;
 pub mod pipeline;
 pub mod policy;
+pub mod replay;
 mod router;
 mod service;
 
@@ -74,6 +75,7 @@ pub use bus::{
 pub use drift::{DriftConfig, DriftEvent, DriftMonitor};
 pub use pipeline::{AdaptationPipeline, PipelineCounters, RetrainAction, RetrainDisposition};
 pub use policy::{FixedThresholds, QuantileAdaptive, ThresholdPolicy, Thresholds};
+pub use replay::{ClassReplay, ReplayOutcome, ReplayPartition};
 pub use router::{
     AdaptiveRouter, AdaptiveRouterBuilder, ClassAdaptation, ClassSpec, ClassSpecBuilder,
     RouterConfig, RouterConfigBuilder, RouterError, RouterStats,

@@ -43,6 +43,7 @@ use crate::bus::LabelledCheckpoint;
 use crate::drift::DriftMonitor;
 use crate::policy::{ThresholdPolicy, Thresholds};
 use crate::service::AdaptConfig;
+use aging_journal::{Digest64, Journal, JournalCheckpoint, JournalRecord};
 use aging_obs::{
     CounterHandle, EventId, EventKind, EventScope, GaugeHandle, Recorder, TraceHandle,
 };
@@ -121,6 +122,15 @@ pub trait RetrainAction {
     fn last_publish_event(&self) -> Option<EventId> {
         None
     }
+
+    /// A 64-bit digest of the action's replay-relevant state — the buffer
+    /// contents, row for row and bit for bit, plus the serving
+    /// generation. Journal replay compares it against a restored action
+    /// to prove bit-identity. Default 0 for actions that do not support
+    /// replay.
+    fn state_digest(&self) -> u64 {
+        0
+    }
 }
 
 /// Shared counters a pipeline publishes for concurrent stats readers.
@@ -136,6 +146,7 @@ pub struct PipelineCounters {
     pub(crate) retrains: AtomicU64,
     pub(crate) failed_retrains: AtomicU64,
     pub(crate) buffered: AtomicU64,
+    pub(crate) journal_errors: AtomicU64,
     pub(crate) error_ewma_bits: AtomicU64,
     pub(crate) effective_error_threshold_bits: AtomicU64,
     pub(crate) effective_rejuvenation_threshold_bits: AtomicU64,
@@ -149,6 +160,7 @@ impl PipelineCounters {
             retrains: AtomicU64::new(0),
             failed_retrains: AtomicU64::new(0),
             buffered: AtomicU64::new(0),
+            journal_errors: AtomicU64::new(0),
             // NaN bits = "no labelled prediction observed yet", so stats
             // readers can distinguish a genuinely-zero EWMA from absence.
             error_ewma_bits: AtomicU64::new(f64::NAN.to_bits()),
@@ -183,6 +195,13 @@ impl PipelineCounters {
     /// Rows currently in the sliding training buffer.
     pub fn buffered(&self) -> u64 {
         self.buffered.load(Ordering::Relaxed)
+    }
+
+    /// Journal appends that failed with an I/O error. Durability degraded
+    /// but the adaptation loop kept running; a nonzero count means the
+    /// journal's tail is incomplete relative to the live state.
+    pub fn journal_errors(&self) -> u64 {
+        self.journal_errors.load(Ordering::Relaxed)
     }
 
     /// Current smoothed absolute TTF error, seconds — `None` until the
@@ -288,6 +307,14 @@ pub struct AdaptationPipeline<A: RetrainAction> {
     /// The `TriggerFired` event of the pending trigger; emitted once per
     /// trigger even when the action defers the retrain.
     fired_event: Option<EventId>,
+    /// Durable checkpoint journal; detached by default (and during
+    /// replay, so restored batches are not re-journaled).
+    journal: Option<Arc<Journal>>,
+    /// Class label stamped on every journalled record.
+    journal_class: String,
+    /// The serving generation last journalled; a move appends a
+    /// `GenerationPublished` record.
+    journaled_generation: u64,
     action: A,
 }
 
@@ -338,6 +365,9 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             trace_class: String::new(),
             armed_event: None,
             fired_event: None,
+            journal: None,
+            journal_class: String::new(),
+            journaled_generation: action.generation(),
             action,
         }
     }
@@ -354,11 +384,55 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
         self.trace_class = class.to_string();
     }
 
+    /// Attaches a durable checkpoint journal; every ingested batch,
+    /// landed publish and threshold re-derivation is appended under
+    /// `class` *before* it mutates pipeline state. Restore paths build
+    /// the pipeline detached, replay the recorded stream, then attach —
+    /// so a replay never journals itself.
+    pub fn set_journal(&mut self, journal: Arc<Journal>, class: &str) {
+        self.journal = Some(journal);
+        self.journal_class = class.to_string();
+        self.journaled_generation = self.action.generation();
+    }
+
+    /// Appends one record, folding an I/O failure into the shared
+    /// counter instead of killing the adaptation loop.
+    fn journal_append(&self, record: &JournalRecord) {
+        if let Some(journal) = &self.journal {
+            if journal.append(record).is_err() {
+                self.counters.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
     /// Feeds one batch of labelled checkpoints through the state machine:
     /// every checkpoint is observed for drift and offered to the training
     /// buffer, then the retrain gate runs once for the whole batch.
     pub fn ingest(&mut self, checkpoints: Vec<LabelledCheckpoint>) {
         let n = checkpoints.len() as u64;
+        // Journal-before-buffer: the batch is made durable before it can
+        // mutate any state. A crash after the append replays the batch; a
+        // crash before it loses rows the pipeline never observed — either
+        // way no half-applied batch exists. Batch granularity is
+        // load-bearing: the retrain gate runs once per batch, so replay
+        // must re-feed the same batch boundaries to reproduce the same
+        // retrain points.
+        if self.journal.is_some() && n > 0 {
+            let rows: Vec<JournalCheckpoint> = checkpoints
+                .iter()
+                .map(|cp| JournalCheckpoint {
+                    features: cp.features.clone(),
+                    ttf_secs: cp.ttf_secs,
+                    predicted_ttf_secs: cp.predicted_ttf_secs,
+                    predicted_generation: cp.predicted_generation,
+                    monitor_only: cp.monitor_only,
+                })
+                .collect();
+            self.journal_append(&JournalRecord::Checkpoints {
+                class: self.journal_class.clone(),
+                rows,
+            });
+        }
         // A landed publish — immediate for the synchronous action, later
         // for a pooled refit — re-arms the policy on a cleared window, so
         // the derivation only ever sees the *new* generation's errors.
@@ -445,6 +519,17 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
             }
         }
         self.maybe_retrain();
+        // One check covers both publish paths: a synchronous retrain just
+        // moved the generation, an asynchronous one moved it before the
+        // top-of-batch re-arm check ran.
+        let generation = self.action.generation();
+        if self.journal.is_some() && generation != self.journaled_generation {
+            self.journaled_generation = generation;
+            self.journal_append(&JournalRecord::GenerationPublished {
+                class: self.journal_class.clone(),
+                generation,
+            });
+        }
         if self.policy_armed {
             self.apply_policy();
         }
@@ -534,6 +619,13 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
                 rejuvenation_threshold_secs: update.rejuvenation_threshold_secs,
             },
         );
+        if self.journal.is_some() {
+            self.journal_append(&JournalRecord::ThresholdsRederived {
+                class: self.journal_class.clone(),
+                error_threshold_secs: update.error_threshold_secs,
+                rejuvenation_threshold_secs: update.rejuvenation_threshold_secs,
+            });
+        }
         self.monitor.set_error_threshold_secs(update.error_threshold_secs);
         self.counters
             .effective_error_threshold_bits
@@ -555,6 +647,26 @@ impl<A: RetrainAction> AdaptationPipeline<A> {
     /// The thresholds currently in force.
     pub fn thresholds(&self) -> Thresholds {
         self.thresholds
+    }
+
+    /// A 64-bit digest of the pipeline's replay-relevant state: serving
+    /// generation, buffered row count, effective thresholds and the
+    /// action's own buffer digest. A journal replay that reproduces this
+    /// value has restored the adaptation state bit for bit.
+    pub fn state_digest(&self) -> u64 {
+        let mut digest = Digest64::new();
+        digest.write_u64(self.action.generation());
+        digest.write_u64(self.action.buffered() as u64);
+        digest.write_f64(self.thresholds.error_threshold_secs);
+        match self.thresholds.rejuvenation_threshold_secs {
+            Some(secs) => {
+                digest.write_u64(1);
+                digest.write_f64(secs);
+            }
+            None => digest.write_u64(0),
+        }
+        digest.write_u64(self.action.state_digest());
+        digest.finish()
     }
 
     /// Whether a sticky retrain trigger is pending (fired but not yet past

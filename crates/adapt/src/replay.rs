@@ -1,0 +1,210 @@
+//! Offline journal replay: crash recovery and what-if re-execution.
+//!
+//! A checkpoint journal records the learning side's *inputs* (every
+//! ingested batch) plus an audit trail of its *outputs* (generation
+//! publishes, threshold re-derivations, discovery partitions). Replay
+//! restores state by re-executing the inputs through the exact pipeline
+//! the live stream fed — deterministic learners make the outputs land
+//! bit-identically, which the recovery tests assert via state digests.
+//!
+//! The same entry point doubles as **what-if mode**: replay the recorded
+//! stream under a *different* [`ClassSpec`] — another
+//! [`ThresholdPolicy`](crate::ThresholdPolicy), another learner — and
+//! compare the counterfactual outcome against what actually happened.
+//! Because replay is synchronous and single-threaded, a what-if run is
+//! exactly reproducible.
+
+use crate::bus::{LabelledCheckpoint, ServiceClass};
+use crate::pipeline::{AdaptationPipeline, RetrainAction};
+use crate::policy::Thresholds;
+use crate::router::ClassSpec;
+use crate::service::{InThreadRetrain, ModelService};
+use aging_journal::{Journal, JournalRecord};
+use aging_obs::{HistogramHandle, TraceHandle};
+use std::io;
+use std::path::Path;
+use std::sync::Arc;
+
+/// Final adaptation state of one replayed class.
+#[derive(Debug, Clone)]
+pub struct ClassReplay {
+    /// The replayed service class.
+    pub class: ServiceClass,
+    /// Model generation after the last replayed batch.
+    pub generation: u64,
+    /// Operating thresholds in force after the last replayed batch.
+    pub thresholds: Thresholds,
+    /// Rows held in the sliding buffer at the end of the replay.
+    pub buffered: u64,
+    /// Successful refits during the replay.
+    pub retrains: u64,
+    /// Drift triggers observed during the replay.
+    pub drift_events: u64,
+    /// Pipeline state digest — generation, buffered rows and thresholds
+    /// folded into one `u64`, comparable against a live run's
+    /// [`state digest`](crate::AdaptiveRouter::state_digests).
+    pub digest: u64,
+}
+
+/// The last fleet partition the journal recorded, if any.
+#[derive(Debug, Clone)]
+pub struct ReplayPartition {
+    /// Monotone discovery round counter.
+    pub version: u64,
+    /// `(instance, class)` assignment pairs, in spec order.
+    pub assignment: Vec<(String, String)>,
+}
+
+/// What a journal replay reconstructed.
+#[derive(Debug, Clone)]
+pub struct ReplayOutcome {
+    /// Per-class end states, in the caller's class order.
+    pub classes: Vec<ClassReplay>,
+    /// Journal records read (including audit records that replay does not
+    /// re-execute).
+    pub records: u64,
+    /// Checkpoint rows re-ingested.
+    pub rows: u64,
+    /// Checkpoint records skipped because their class was not in the
+    /// caller's class set.
+    pub skipped_records: u64,
+    /// Bytes of torn tail truncated when the journal was opened.
+    pub truncated_bytes: u64,
+    /// The newest recorded fleet partition, when discovery ran.
+    pub partition: Option<ReplayPartition>,
+}
+
+/// Replays the journal at `dir` through fresh per-class pipelines.
+///
+/// Each `(class, spec)` pair gets its own [`AdaptationPipeline`] with the
+/// same synchronous in-thread action the [`AdaptiveService`] retrainer
+/// uses; recorded checkpoint batches are re-ingested in journal order.
+/// Passing the specs of the original run makes this **crash recovery**;
+/// passing altered specs makes it a **what-if run** over the same
+/// recorded stream.
+///
+/// Checkpoint records for classes outside the given set are skipped and
+/// counted in [`ReplayOutcome::skipped_records`]. Audit records
+/// (publishes, threshold re-derivations, registrations) are not
+/// re-executed — re-running the inputs regenerates them — but the newest
+/// `PartitionAssigned` record is surfaced in
+/// [`ReplayOutcome::partition`].
+///
+/// [`AdaptiveService`]: crate::AdaptiveService
+///
+/// # Errors
+///
+/// Propagates journal read failures: I/O errors and mid-log corruption
+/// (a torn tail on the final segment is tolerated and reported via
+/// [`ReplayOutcome::truncated_bytes`]).
+pub fn replay(
+    dir: impl AsRef<Path>,
+    feature_names: Vec<String>,
+    classes: Vec<(ServiceClass, ClassSpec)>,
+) -> io::Result<ReplayOutcome> {
+    let read = Journal::read(dir)?;
+    let mut pipelines: Vec<(ServiceClass, AdaptationPipeline<InThreadRetrain>)> = classes
+        .into_iter()
+        .map(|(class, spec)| {
+            spec.config.validate();
+            spec.policy.validate();
+            let models = Arc::new(ModelService::new(spec.initial));
+            let action = InThreadRetrain::new(
+                spec.learner,
+                feature_names.clone(),
+                spec.config.buffer_capacity,
+                models,
+                HistogramHandle::disabled(),
+                TraceHandle::disabled(),
+                class.as_str().to_string(),
+            );
+            let pipeline = AdaptationPipeline::new(&spec.config, spec.policy, action);
+            (class, pipeline)
+        })
+        .collect();
+
+    let mut records = 0u64;
+    let mut rows = 0u64;
+    let mut skipped_records = 0u64;
+    let mut partition = None;
+    for (_seq, record) in &read.records {
+        records += 1;
+        match record {
+            JournalRecord::Checkpoints { class, rows: batch } => {
+                let Some((_, pipeline)) =
+                    pipelines.iter_mut().find(|(name, _)| name.as_str() == class)
+                else {
+                    skipped_records += 1;
+                    continue;
+                };
+                rows += batch.len() as u64;
+                // Batch granularity is load-bearing: the retrain gate
+                // fires once per ingested batch, exactly as it did live.
+                pipeline.ingest(batch.iter().cloned().map(LabelledCheckpoint::from).collect());
+            }
+            JournalRecord::PartitionAssigned { version, assignment } => {
+                partition =
+                    Some(ReplayPartition { version: *version, assignment: assignment.clone() });
+            }
+            // Audit records: regenerated by re-execution, not re-applied.
+            JournalRecord::GenerationPublished { .. }
+            | JournalRecord::ThresholdsRederived { .. }
+            | JournalRecord::ClassRegistered { .. }
+            | JournalRecord::ClassRetired { .. } => {}
+        }
+    }
+
+    let classes = pipelines
+        .into_iter()
+        .map(|(class, pipeline)| {
+            let counters = pipeline.counters();
+            ClassReplay {
+                class,
+                generation: pipeline.action().generation(),
+                thresholds: pipeline.thresholds(),
+                buffered: counters.buffered(),
+                retrains: counters.retrains(),
+                drift_events: counters.drift_events(),
+                digest: pipeline.state_digest(),
+            }
+        })
+        .collect();
+
+    Ok(ReplayOutcome {
+        classes,
+        records,
+        rows,
+        skipped_records,
+        truncated_bytes: read.truncated_bytes,
+        partition,
+    })
+}
+
+/// Feeds every journalled checkpoint batch for `class` through
+/// `pipeline`, in recorded order. Shared by [`replay`] consumers that
+/// already own a pipeline — the [`AdaptiveService`] and
+/// [`AdaptiveRouter`] spawn paths replay into their live pipelines with
+/// this before attaching the journal for new appends.
+///
+/// Returns `(batches_applied, rows_applied)`.
+///
+/// [`AdaptiveService`]: crate::AdaptiveService
+/// [`AdaptiveRouter`]: crate::AdaptiveRouter
+pub(crate) fn replay_class_into<A: RetrainAction>(
+    records: &[(u64, JournalRecord)],
+    pipeline: &mut AdaptationPipeline<A>,
+    class: &str,
+) -> (u64, u64) {
+    let mut applied = 0u64;
+    let mut rows = 0u64;
+    for (_seq, record) in records {
+        if let JournalRecord::Checkpoints { class: recorded, rows: batch } = record {
+            if recorded == class {
+                applied += 1;
+                rows += batch.len() as u64;
+                pipeline.ingest(batch.iter().cloned().map(LabelledCheckpoint::from).collect());
+            }
+        }
+    }
+    (applied, rows)
+}

@@ -40,6 +40,7 @@ use crate::pipeline::{
 use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
 use crate::service::{AdaptConfig, AdaptationStats, ModelService};
 use aging_dataset::Dataset;
+use aging_journal::{Digest64, Journal, JournalRecord};
 use aging_ml::{DynLearner, Regressor};
 use aging_obs::{
     trace_of, EventId, EventKind, EventScope, FlightRecorder, HistogramHandle, Recorder, Registry,
@@ -48,6 +49,7 @@ use aging_obs::{
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender};
 use std::sync::{Arc, Mutex, RwLock};
@@ -242,6 +244,11 @@ pub struct RouterStats {
     pub unrouted_checkpoints: u64,
     /// Model generations published across all classes.
     pub generations_published: u64,
+    /// Checkpoint-journal append failures across the router — registry
+    /// records (class registration/retirement) plus every class's batch,
+    /// publish and threshold records. Zero when no journal is attached.
+    #[serde(default)]
+    pub journal_errors: u64,
 }
 
 impl RouterStats {
@@ -299,6 +306,22 @@ struct RouterShared {
     /// Trace sink dynamically registered classes and their pipelines
     /// inherit; disabled when tracing is off.
     trace: TraceHandle,
+    /// The attached checkpoint journal; registry changes (class
+    /// registration/retirement) append here, per-class batch records go
+    /// through each pipeline's own handle on the ingest thread.
+    journal: Option<Arc<Journal>>,
+    /// The flight recorder behind `trace`, kept so a panicking pool
+    /// worker can dump it once — the handle alone cannot dump.
+    recorder: Option<Arc<FlightRecorder>>,
+    /// Append failures for registry records (per-class failures are
+    /// counted in each pipeline's own counters).
+    journal_errors: AtomicU64,
+    /// Rows restored by journal replay before the ingest thread started;
+    /// `quiesce` subtracts them since they never crossed the bus.
+    replay_baseline: AtomicU64,
+    /// Per-class pipeline state digests, written by the ingest thread as
+    /// it exits — the bit-exactness witness for crash-recovery tests.
+    digests: Mutex<Option<Vec<(ServiceClass, u64)>>>,
 }
 
 impl RouterShared {
@@ -413,6 +436,24 @@ impl RetrainAction for PooledRetrain {
             self.shared.class(self.class_idx).service.set_rejuvenation_threshold_secs(secs);
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        // Format shared with the single-service in-thread action:
+        // generation, row count, then every buffered row (arity, feature
+        // bits, label bits). Recovery tests compare these digests against
+        // an offline replay, which runs the in-thread action.
+        let mut digest = Digest64::new();
+        digest.write_u64(self.generation());
+        digest.write_u64(self.buffer.len() as u64);
+        for (features, ttf_secs) in &self.buffer {
+            digest.write_u64(features.len() as u64);
+            for value in features {
+                digest.write_f64(*value);
+            }
+            digest.write_f64(*ttf_secs);
+        }
+        digest.finish()
+    }
 }
 
 /// The class-routed adaptation service: one [`ModelService`] +
@@ -463,6 +504,8 @@ pub struct AdaptiveRouterBuilder {
     classes: Vec<(ServiceClass, ClassSpec)>,
     telemetry: Option<Arc<Registry>>,
     trace: Option<Arc<FlightRecorder>>,
+    journal: Option<Arc<Journal>>,
+    replay: bool,
 }
 
 impl AdaptiveRouterBuilder {
@@ -496,6 +539,29 @@ impl AdaptiveRouterBuilder {
         self
     }
 
+    /// Attaches a durable checkpoint journal: every routed batch is
+    /// appended (class-tagged, fsync-batched) *before* it is buffered,
+    /// generation publishes and threshold re-derivations are recorded
+    /// per class, and class registrations/retirements land as registry
+    /// records. The ingest thread compacts the journal past the sliding
+    /// buffers' horizon as it runs. Append failures never stall
+    /// ingestion; they are counted in [`RouterStats::journal_errors`].
+    pub fn journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Replays the attached journal before the ingest thread starts:
+    /// recorded batches re-ingest through the same per-class pipelines
+    /// the live stream feeds, restoring sliding buffers, generations and
+    /// derived thresholds for every class registered at build time.
+    /// Replayed batches are not re-journaled. No effect unless
+    /// [`journal`](AdaptiveRouterBuilder::journal) is also set.
+    pub fn replay(mut self) -> Self {
+        self.replay = true;
+        self
+    }
+
     /// Registers one service class.
     pub fn class(mut self, class: ServiceClass, spec: ClassSpec) -> Self {
         self.classes.push((class, spec));
@@ -517,7 +583,15 @@ impl AdaptiveRouterBuilder {
     /// Panics on an empty or duplicated class list, a zero-sized pool or
     /// ring, and any degenerate per-class [`AdaptConfig`].
     pub fn spawn(self) -> AdaptiveRouter {
-        let AdaptiveRouterBuilder { feature_names, config, classes, telemetry, trace } = self;
+        let AdaptiveRouterBuilder {
+            feature_names,
+            config,
+            classes,
+            telemetry,
+            trace,
+            journal,
+            replay,
+        } = self;
         assert!(!classes.is_empty(), "router needs at least one service class");
         assert!(config.retrainer_threads > 0, "retrainer pool must have at least one thread");
         assert!(config.bus_capacity > 0, "bus capacity must be positive");
@@ -540,6 +614,11 @@ impl AdaptiveRouterBuilder {
             retirements: AtomicU64::new(0),
             telemetry: telemetry.clone(),
             trace: trace_handle.clone(),
+            journal: journal.clone(),
+            recorder: trace,
+            journal_errors: AtomicU64::new(0),
+            replay_baseline: AtomicU64::new(0),
+            digests: Mutex::new(None),
         });
 
         let (bus, rx) =
@@ -549,6 +628,9 @@ impl AdaptiveRouterBuilder {
         let job_rx = Arc::new(Mutex::new(job_rx));
         let stop = Arc::new(AtomicBool::new(false));
 
+        // Workers come up before any replay: replayed batches enqueue
+        // refit jobs exactly like live ones, and those must complete for
+        // the restored generations to be visible when `spawn` returns.
         let workers: Vec<JoinHandle<()>> = (0..config.retrainer_threads)
             .map(|_| {
                 let shared = Arc::clone(&shared);
@@ -556,10 +638,75 @@ impl AdaptiveRouterBuilder {
                 std::thread::spawn(move || refit_worker(shared, job_rx))
             })
             .collect();
+
+        // The per-class pipelines are built here, on the caller's thread,
+        // rather than inside the ingest loop: a journal replay must
+        // complete before any live batch can interleave.
+        let ingest_latency = match &shared.telemetry {
+            Some(registry) => registry.histogram(
+                "adapt_ingest_batch_seconds",
+                "Routing latency per ingested checkpoint batch",
+                Unit::Seconds,
+            ),
+            None => HistogramHandle::disabled(),
+        };
+        let mut pipelines = IngestPipelines {
+            pipelines: Vec::new(),
+            feature_names: Arc::new(feature_names),
+            shared: Arc::clone(&shared),
+            job_tx,
+            journal: None,
+            since_compaction: 0,
+        };
+        pipelines.sync();
+
+        if let Some(journal) = journal {
+            if replay {
+                let read = Journal::read(journal.dir())
+                    .expect("journal replay: journal directory unreadable or corrupt mid-log");
+                let mut applied = 0u64;
+                for (_seq, record) in &read.records {
+                    if let JournalRecord::Checkpoints { class, rows } = record {
+                        applied += 1;
+                        // Batch granularity is load-bearing: the retrain
+                        // gate fires once per routed batch, as it did live.
+                        pipelines.process(CheckpointBatch {
+                            source: "journal".to_string(),
+                            class: ServiceClass::new(class.clone()),
+                            checkpoints: rows.iter().cloned().map(Into::into).collect(),
+                        });
+                    }
+                }
+                // Wait for the refit jobs the replay enqueued — bounded,
+                // so a wedged learner degrades to a cold start rather
+                // than hanging the restart forever.
+                let deadline = std::time::Instant::now() + Duration::from_secs(30);
+                while shared.jobs_done.load(Ordering::Relaxed)
+                    < shared.jobs_enqueued.load(Ordering::Relaxed)
+                    && std::time::Instant::now() < deadline
+                {
+                    std::thread::sleep(Duration::from_millis(1));
+                }
+                // Replayed rows were never enqueued on this bus — record
+                // the offset so `quiesce` compares like with like.
+                let restored: u64 = {
+                    let table = shared.table.read().expect("class table poisoned");
+                    table.classes.iter().map(|c| c.counters.ingested()).sum::<u64>()
+                        + shared.unrouted.load(Ordering::Relaxed)
+                };
+                shared.replay_baseline.store(restored, Ordering::Relaxed);
+                shared
+                    .trace
+                    .emit(EventScope::root(), EventKind::JournalReplayed { records: applied });
+            }
+            // Attached only after the replay so restored batches are not
+            // journaled a second time.
+            pipelines.attach_journal(journal);
+        }
+
         let ingest = {
-            let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            std::thread::spawn(move || ingest(rx, ctrl_rx, feature_names, shared, job_tx, stop))
+            std::thread::spawn(move || ingest(rx, ctrl_rx, pipelines, ingest_latency, stop))
         };
 
         AdaptiveRouter { bus, shared, ctrl_tx, stop, ingest: Some(ingest), workers }
@@ -631,6 +778,8 @@ impl AdaptiveRouter {
             classes: Vec::new(),
             telemetry: None,
             trace: None,
+            journal: None,
+            replay: false,
         }
     }
 
@@ -698,6 +847,14 @@ impl AdaptiveRouter {
         table.push(shared);
         drop(table);
         self.shared.dynamic_registrations.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.shared.journal {
+            if journal
+                .append(&JournalRecord::ClassRegistered { class: class.as_str().to_string() })
+                .is_err()
+            {
+                self.shared.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         Ok(service)
     }
 
@@ -745,6 +902,17 @@ impl AdaptiveRouter {
         table.index.insert(class.clone(), into_idx);
         drop(table);
         self.shared.retirements.fetch_add(1, Ordering::Relaxed);
+        if let Some(journal) = &self.shared.journal {
+            if journal
+                .append(&JournalRecord::ClassRetired {
+                    class: class.as_str().to_string(),
+                    into: into.as_str().to_string(),
+                })
+                .is_err()
+            {
+                self.shared.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
+        }
         // The drain itself runs on the ingest thread; a hung-up channel
         // means the router is shutting down and the buffer dies with it.
         let _ = self.ctrl_tx.send(RouterCtrl::Retire { from: from_idx, into: into_idx });
@@ -788,6 +956,8 @@ impl AdaptiveRouter {
                 ),
             })
             .collect();
+        let journal_errors = self.shared.journal_errors.load(Ordering::Relaxed)
+            + table.classes.iter().map(|c| c.counters.journal_errors()).sum::<u64>();
         drop(table);
         RouterStats {
             ingested_checkpoints: classes.iter().map(|c| c.stats.ingested_checkpoints).sum(),
@@ -796,8 +966,20 @@ impl AdaptiveRouter {
             unrouted_checkpoints: self.shared.unrouted.load(Ordering::Relaxed),
             dynamic_registrations: self.shared.dynamic_registrations.load(Ordering::Relaxed),
             retired_classes: self.shared.retirements.load(Ordering::Relaxed),
+            journal_errors,
             classes,
         }
+    }
+
+    /// The per-class pipeline state digests the ingest thread left behind
+    /// as it exited — `None` while the router is running, `Some` after
+    /// [`shutdown`](AdaptiveRouter::shutdown) (or any join). Two quiesced
+    /// runs reporting equal digests for a class ended with bit-identical
+    /// adaptation state (generation, sliding buffer, thresholds); the
+    /// crash-recovery tests compare these against an offline
+    /// [`replay`](crate::replay::replay) of the journal.
+    pub fn state_digests(&self) -> Option<Vec<(ServiceClass, u64)>> {
+        self.shared.digests.lock().expect("digest slot poisoned").clone()
     }
 
     /// Waits until every checkpoint published *before* this call has been
@@ -818,7 +1000,11 @@ impl AdaptiveRouter {
                 let table = self.shared.table.read().expect("class table poisoned");
                 table.classes.iter().map(|c| c.counters.ingested()).sum()
             };
-            let routed: u64 = ingested + self.shared.unrouted.load(Ordering::Relaxed);
+            // Journal-replayed rows count as ingested but never crossed
+            // the bus; subtract the replay baseline or a restored router
+            // would declare the bus drained before touching a live batch.
+            let routed: u64 = (ingested + self.shared.unrouted.load(Ordering::Relaxed))
+                .saturating_sub(self.shared.replay_baseline.load(Ordering::Relaxed));
             // Order matters: the bus must be drained before the job
             // counters can be final for everything published so far.
             if routed >= target
@@ -839,6 +1025,16 @@ impl AdaptiveRouter {
     /// ingested, and every refit job they trigger still completes.
     pub fn shutdown(mut self) -> RouterStats {
         self.join_all()
+    }
+
+    /// [`shutdown`](AdaptiveRouter::shutdown), plus the per-class
+    /// [`state digests`](AdaptiveRouter::state_digests) — which only exist
+    /// once the ingest thread has exited, i.e. exactly when `self` is
+    /// gone.
+    pub fn shutdown_with_digests(mut self) -> (RouterStats, Option<Vec<(ServiceClass, u64)>>) {
+        let stats = self.join_all();
+        let digests = self.state_digests();
+        (stats, digests)
     }
 
     fn join_all(&mut self) -> RouterStats {
@@ -870,7 +1066,18 @@ struct IngestPipelines {
     feature_names: Arc<Vec<String>>,
     shared: Arc<RouterShared>,
     job_tx: Sender<RefitJob>,
+    /// The attached checkpoint journal; `None` until
+    /// [`attach_journal`](IngestPipelines::attach_journal) (which is
+    /// after any replay, so restored batches are not re-journaled).
+    journal: Option<Arc<Journal>>,
+    /// Batches processed since the last compaction pass.
+    since_compaction: u64,
 }
+
+/// Compact the journal every this many processed batches. The pass drops
+/// checkpoint batches past every class's sliding-buffer horizon, so the
+/// journal's footprint tracks the buffers instead of the full history.
+const COMPACT_EVERY_BATCHES: u64 = 256;
 
 impl IngestPipelines {
     /// Builds pipelines for every class table entry this thread has not
@@ -904,7 +1111,62 @@ impl IngestPipelines {
                 ));
             }
             pipeline.set_trace(self.shared.trace.clone(), table.classes[class_idx].class.as_str());
+            if let Some(journal) = &self.journal {
+                // Dynamically registered classes journal from their first
+                // batch, like build-time classes.
+                pipeline.set_journal(Arc::clone(journal), table.classes[class_idx].class.as_str());
+            }
             self.pipelines.push(Some(pipeline));
+        }
+    }
+
+    /// Attaches the journal to every live pipeline (and, via
+    /// [`sync`](IngestPipelines::sync), to every pipeline built later).
+    /// Called after any replay so restored batches are not re-journaled.
+    fn attach_journal(&mut self, journal: Arc<Journal>) {
+        let table = self.shared.table.read().expect("class table poisoned");
+        for (class_idx, slot) in self.pipelines.iter_mut().enumerate() {
+            if let Some(pipeline) = slot {
+                pipeline.set_journal(Arc::clone(&journal), table.classes[class_idx].class.as_str());
+            }
+        }
+        drop(table);
+        self.journal = Some(journal);
+    }
+
+    /// Compacts the journal past the sliding-buffer horizon once enough
+    /// batches have gone through. Failures are counted, never fatal —
+    /// compaction is an optimisation, the uncompacted journal stays
+    /// replayable.
+    fn maybe_compact(&mut self) {
+        let Some(journal) = &self.journal else {
+            return;
+        };
+        self.since_compaction += 1;
+        if self.since_compaction < COMPACT_EVERY_BATCHES {
+            return;
+        }
+        self.since_compaction = 0;
+        // Keep the *largest* class buffer worth of rows per class: a
+        // shared horizon is conservative for smaller buffers, and replay
+        // correctness only needs at least the buffered window.
+        let keep_rows = {
+            let table = self.shared.table.read().expect("class table poisoned");
+            table.classes.iter().map(|c| c.spec.config.buffer_capacity).max().unwrap_or(0)
+        };
+        match journal.compact(keep_rows) {
+            Ok(stats) => {
+                self.shared.trace.emit(
+                    EventScope::root(),
+                    EventKind::JournalCompacted {
+                        kept_records: stats.kept_records,
+                        dropped_records: stats.dropped_records,
+                    },
+                );
+            }
+            Err(_) => {
+                self.shared.journal_errors.fetch_add(1, Ordering::Relaxed);
+            }
         }
     }
 
@@ -931,6 +1193,26 @@ impl IngestPipelines {
                 self.shared.unrouted.fetch_add(batch.checkpoints.len() as u64, Ordering::Relaxed);
             }
         }
+        self.maybe_compact();
+    }
+
+    /// Publishes every live class's pipeline state digest into the shared
+    /// slot — called by the ingest thread as it exits, after the final
+    /// drain, so `shutdown` leaves a bit-exactness witness behind.
+    fn publish_digests(&self) {
+        let table = self.shared.table.read().expect("class table poisoned");
+        let digests: Vec<(ServiceClass, u64)> = self
+            .pipelines
+            .iter()
+            .enumerate()
+            .filter_map(|(class_idx, slot)| {
+                slot.as_ref().map(|pipeline| {
+                    (table.classes[class_idx].class.clone(), pipeline.state_digest())
+                })
+            })
+            .collect();
+        drop(table);
+        *self.shared.digests.lock().expect("digest slot poisoned") = Some(digests);
     }
 
     /// Applies a retirement: drain `from`'s sliding buffer into `into`'s
@@ -961,32 +1243,15 @@ impl IngestPipelines {
 fn ingest(
     rx: BusReceiver,
     ctrl_rx: Receiver<RouterCtrl>,
-    feature_names: Vec<String>,
-    shared: Arc<RouterShared>,
-    job_tx: Sender<RefitJob>,
+    mut pipelines: IngestPipelines,
+    ingest_latency: HistogramHandle,
     stop: Arc<AtomicBool>,
 ) {
     // `IngestPipelines` owns the only long-lived job sender (the actions
     // hold clones), so worker shutdown still hinges on the ingest thread
-    // exiting and dropping it.
-    // Resolved once for the whole loop: routing latency per ingested
-    // batch, covering class lookup, drift evaluation and buffering.
-    let ingest_latency = match &shared.telemetry {
-        Some(registry) => registry.histogram(
-            "adapt_ingest_batch_seconds",
-            "Routing latency per ingested checkpoint batch",
-            Unit::Seconds,
-        ),
-        None => HistogramHandle::disabled(),
-    };
-    let mut pipelines = IngestPipelines {
-        pipelines: Vec::new(),
-        feature_names: Arc::new(feature_names),
-        shared,
-        job_tx,
-    };
-    pipelines.sync();
-
+    // exiting and dropping it. The pipelines themselves were built on the
+    // caller's thread (spawn), where a journal replay may already have
+    // run through them.
     let drain_ctrl = |pipelines: &mut IngestPipelines| {
         while let Ok(RouterCtrl::Retire { from, into }) = ctrl_rx.try_recv() {
             pipelines.retire(from, into);
@@ -1002,7 +1267,7 @@ fn ingest(
                 span.finish();
             }
             drain_ctrl(&mut pipelines);
-            return;
+            break;
         }
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(Some(batch)) => {
@@ -1011,13 +1276,22 @@ fn ingest(
                 span.finish();
             }
             Ok(None) => {}
-            Err(crate::BusDisconnected) => return,
+            Err(crate::BusDisconnected) => break,
         }
     }
+    // After the final drain, so recovery tests can compare a live run's
+    // end state against a journal replay, class by class and bit by bit.
+    pipelines.publish_digests();
 }
 
 /// One pool worker: pull refit jobs, fit, publish into the class's model
 /// service and bump its pipeline counters.
+///
+/// A panicking learner takes down neither the worker nor the router: the
+/// fit/publish path runs under `catch_unwind`, a panic dumps the flight
+/// recorder (once per process — the same gate the fleet's panic paths
+/// use) and counts as a failed retrain, and the class's in-flight flag is
+/// released either way so the class can retrain again.
 fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>>) {
     loop {
         // Hold the lock only for the blocking receive — fitting runs
@@ -1027,30 +1301,42 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
             Err(_) => return,
         };
         let class = shared.class(job.class_idx);
-        let started = class.trace.emit(
-            EventScope::root().class(class.class.as_str()).parent(job.parent),
-            EventKind::RefitStarted { rows: job.dataset.len() as u64 },
-        );
-        let span = class.refit_duration.span();
-        let fitted = class.learner.fit_dyn(&job.dataset);
-        span.finish();
-        match fitted {
-            Ok(model) => {
-                let finished = class.trace.emit(
-                    EventScope::root().class(class.class.as_str()).parent(started),
-                    EventKind::RefitFinished { ok: true },
-                );
-                class.service.publish_traced(Arc::from(model), finished);
-                class.counters.retrains.fetch_add(1, Ordering::Relaxed);
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let started = class.trace.emit(
+                EventScope::root().class(class.class.as_str()).parent(job.parent),
+                EventKind::RefitStarted { rows: job.dataset.len() as u64 },
+            );
+            let span = class.refit_duration.span();
+            let fitted = class.learner.fit_dyn(&job.dataset);
+            span.finish();
+            match fitted {
+                Ok(model) => {
+                    let finished = class.trace.emit(
+                        EventScope::root().class(class.class.as_str()).parent(started),
+                        EventKind::RefitFinished { ok: true },
+                    );
+                    class.service.publish_traced(Arc::from(model), finished);
+                    class.counters.retrains.fetch_add(1, Ordering::Relaxed);
+                }
+                Err(_) => {
+                    let _ = class.trace.emit(
+                        EventScope::root().class(class.class.as_str()).parent(started),
+                        EventKind::RefitFinished { ok: false },
+                    );
+                    class.counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
+                }
             }
-            Err(_) => {
-                let _ = class.trace.emit(
-                    EventScope::root().class(class.class.as_str()).parent(started),
-                    EventKind::RefitFinished { ok: false },
-                );
-                class.counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
+        }));
+        if outcome.is_err() {
+            if let Some(recorder) = &shared.recorder {
+                recorder
+                    .dump_once(&format!("refit worker panicked fitting class `{}`", class.class));
             }
+            class.counters.failed_retrains.fetch_add(1, Ordering::Relaxed);
         }
+        // Outside the unwind guard: released on success AND panic, or the
+        // class would never retrain again and `quiesce` would hang on the
+        // job accounting.
         class.inflight.store(false, Ordering::Release);
         shared.jobs_done.fetch_add(1, Ordering::Relaxed);
     }
@@ -1392,5 +1678,52 @@ mod tests {
     #[should_panic(expected = "at least one service class")]
     fn empty_router_rejected() {
         let _ = AdaptiveRouter::builder(vec!["x".into()]).spawn();
+    }
+
+    /// A learner that panics inside the pool worker — the synthetic
+    /// counterpart of a crashing third-party training library.
+    #[derive(Debug)]
+    struct PanicLearner;
+
+    impl DynLearner for PanicLearner {
+        fn fit_dyn(&self, _data: &Dataset) -> Result<Box<dyn Regressor>, aging_ml::MlError> {
+            panic!("synthetic refit panic");
+        }
+    }
+
+    /// Satellite hardening: a panicking refit must not take down the pool
+    /// worker or wedge the class — the panic dumps the flight recorder
+    /// exactly once, counts as a failed retrain, releases the in-flight
+    /// flag, and the router keeps ingesting and quiescing normally.
+    #[test]
+    fn panicking_refit_dumps_recorder_once_and_router_survives() {
+        let recorder = Arc::new(FlightRecorder::with_capacity(256));
+        let class = ServiceClass::new("crashy");
+        let spec = ClassSpec::builder(Arc::new(PanicLearner), line_model(2.0))
+            .config(quick_adapt(50.0))
+            .build();
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(class.clone(), spec)
+            .config(RouterConfig::builder().retrainer_threads(1).bus_capacity(64).build())
+            .trace(Arc::clone(&recorder))
+            .spawn();
+        let bus = router.bus();
+        let truth = |x: f64| 500.0 - 2.0 * x;
+        for chunk in 0..6 {
+            let xs = (0..32).map(|i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, truth(x), Some(2.0 * x))
+            });
+            assert!(bus.publish(batch(&class, xs)));
+            // Quiesce between chunks so every panicked job settles before
+            // the next trigger can fire.
+            assert!(router.quiesce(Duration::from_secs(30)));
+        }
+        let stats = router.shutdown();
+        let s = stats.class(&class).unwrap();
+        assert!(s.failed_retrains >= 1, "panicked refits must be counted: {s:?}");
+        assert_eq!(s.generations_published, 0, "a panicking learner never publishes");
+        assert_eq!(s.ingested_checkpoints, 192, "ingestion must survive the panics");
+        assert_eq!(recorder.dumped(), 1, "the flight recorder dumps exactly once");
     }
 }

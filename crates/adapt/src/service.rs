@@ -9,6 +9,7 @@ use crate::pipeline::{
     AdaptationPipeline, PipelineCounters, PipelineInstruments, RetrainAction, RetrainDisposition,
 };
 use crate::policy::{FixedThresholds, ThresholdPolicy, Thresholds};
+use aging_journal::{Digest64, Journal};
 use aging_ml::online::OnlineRegressor;
 use aging_ml::{DynLearner, Regressor};
 use aging_obs::{
@@ -85,16 +86,39 @@ pub struct ModelService {
     /// until [`attach_trace`](ModelService::attach_trace), so untraced
     /// services pay one `OnceLock` load per publish and nothing else.
     trace: OnceLock<(TraceHandle, String)>,
-    /// Newest `(generation, publish event id)` pairs — the lookup table
-    /// that lets swap-apply and threshold events parent on the publish
-    /// that caused them. Bounded; only populated while tracing is live.
-    publish_log: Mutex<VecDeque<(u64, EventId)>>,
+    /// Newest publish entries — the lookup table that lets swap-apply and
+    /// threshold events parent on the publish that caused them. Bounded;
+    /// only populated while tracing is live.
+    publish_log: Mutex<PublishLog>,
+    /// Parent lookups that found neither the publish entry nor the
+    /// one-slot eviction fallback: the caller's event goes out with
+    /// `parent: None`, and this counter is the audit trail for why the
+    /// causal chain has the gap.
+    publish_parent_drops: AtomicU64,
 }
 
 /// Publish events retained for causal parenting — generations older than
-/// this many publishes ago can no longer be named as a parent (their swap
-/// events fall back to parentless, never wrong).
+/// this many publishes ago fall back to the refit-finish parent of the
+/// most recently evicted entry, or to parentless (drop-accounted) beyond
+/// that.
 const PUBLISH_LOG_CAP: usize = 256;
+
+/// The bounded publish lookup table plus its eviction memory.
+///
+/// Entries are `(generation, publish event id, refit-finish parent)`.
+/// Eviction does not forget outright: the newest evicted entry's
+/// generation and refit-finish parent stay in a one-slot fallback, so a
+/// late `SwapApplied` for a just-evicted generation still parents into
+/// the causal chain (on the refit finish rather than the publish) instead
+/// of silently detaching.
+#[derive(Debug)]
+struct PublishLog {
+    entries: VecDeque<(u64, EventId, Option<EventId>)>,
+    /// `(generation, refit-finish parent)` of the newest evicted entry.
+    last_evicted: Option<(u64, Option<EventId>)>,
+    /// Injectable for tests; `PUBLISH_LOG_CAP` in production.
+    cap: usize,
+}
 
 impl ModelService {
     /// Creates a service serving `initial` as generation 0, with no
@@ -109,8 +133,19 @@ impl ModelService {
             swap_observed_generation: AtomicU64::new(0),
             swap_latency: OnceLock::new(),
             trace: OnceLock::new(),
-            publish_log: Mutex::new(VecDeque::new()),
+            publish_log: Mutex::new(PublishLog {
+                entries: VecDeque::new(),
+                last_evicted: None,
+                cap: PUBLISH_LOG_CAP,
+            }),
+            publish_parent_drops: AtomicU64::new(0),
         }
+    }
+
+    /// Shrinks the publish log's retention for eviction tests.
+    #[cfg(test)]
+    pub(crate) fn set_publish_log_cap(&self, cap: usize) {
+        self.publish_log.lock().expect("publish log poisoned").cap = cap.max(1);
     }
 
     /// Attaches the publish→first-pin swap-latency histogram
@@ -139,14 +174,41 @@ impl ModelService {
         }
     }
 
-    /// The id of the `GenerationPublished` event recorded for
-    /// `generation`, while it is still in the bounded publish log. `None`
-    /// with tracing off, for generation 0 (never published), or once the
-    /// entry has been evicted.
+    /// The event id to parent `generation`'s downstream events (swap
+    /// applies, threshold re-derivations) on: the `GenerationPublished`
+    /// event while the entry is still in the bounded publish log, or —
+    /// for the most recently evicted generation — the refit-finish event
+    /// that produced it, so a late swap still attaches to the causal
+    /// chain instead of silently detaching. `None` with tracing off, for
+    /// generation 0 (never published), or for generations evicted deeper
+    /// than the one-slot fallback; the last case is counted in
+    /// [`ModelService::publish_parent_drops`].
     pub fn publish_event_for(&self, generation: u64) -> Option<EventId> {
         self.trace.get()?;
         let log = self.publish_log.lock().expect("publish log poisoned");
-        log.iter().rev().find(|(gen, _)| *gen == generation).map(|(_, id)| *id)
+        if let Some(id) =
+            log.entries.iter().rev().find(|(gen, _, _)| *gen == generation).map(|(_, id, _)| *id)
+        {
+            return Some(id);
+        }
+        match log.last_evicted {
+            Some((evicted, parent)) if evicted == generation => parent,
+            // An evicted generation older than the fallback slot (or one
+            // the eviction memory has already moved past): the chain gap
+            // is real, so account for it rather than hide it.
+            Some((evicted, _)) if generation >= 1 && generation < evicted => {
+                self.publish_parent_drops.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            _ => None,
+        }
+    }
+
+    /// Parent lookups that fell past both the publish log and its
+    /// one-slot eviction fallback — each one is a `SwapApplied` (or
+    /// threshold) event that went out parentless.
+    pub fn publish_parent_drops(&self) -> u64 {
+        self.publish_parent_drops.load(Ordering::Relaxed)
     }
 
     /// The current generation number (cheap: one atomic load).
@@ -226,10 +288,13 @@ impl ModelService {
             );
             if let Some(id) = event {
                 let mut log = self.publish_log.lock().expect("publish log poisoned");
-                if log.len() >= PUBLISH_LOG_CAP {
-                    log.pop_front();
+                while log.entries.len() >= log.cap {
+                    // Remember the newest eviction (generation + its
+                    // refit-finish parent) so a straggling swap can still
+                    // parent on the refit instead of detaching.
+                    log.last_evicted = log.entries.pop_front().map(|(gen, _, p)| (gen, p));
                 }
-                log.push_back((generation, id));
+                log.entries.push_back((generation, id, parent));
             }
         }
         generation
@@ -454,8 +519,13 @@ impl AdaptationStats {
 
 /// The synchronous [`RetrainAction`]: buffer into an [`OnlineRegressor`],
 /// fit in-thread, publish straight into the [`ModelService`].
+///
+/// Crate-visible because offline journal replay
+/// ([`crate::replay::replay`]) re-runs recorded streams through the exact
+/// same action the live service uses — what-if runs diverge only where
+/// the configuration diverges, never from a second implementation.
 #[derive(Debug)]
-struct InThreadRetrain {
+pub(crate) struct InThreadRetrain {
     online: OnlineRegressor<Arc<dyn DynLearner>>,
     models: Arc<ModelService>,
     /// `adapt_refit_duration_seconds{class}` — wall time of each refit
@@ -471,6 +541,32 @@ struct InThreadRetrain {
     /// pipeline via [`RetrainAction::set_trace_parent`] just before
     /// `retrain`.
     trace_parent: Option<EventId>,
+}
+
+impl InThreadRetrain {
+    /// Builds the action over a fresh [`OnlineRegressor`] with the
+    /// wrapper's own periodic trigger parked at `usize::MAX` — periodic
+    /// retraining is the pipeline's job so drift and schedule share the
+    /// min-buffer gate.
+    pub(crate) fn new(
+        learner: Arc<dyn DynLearner>,
+        feature_names: Vec<String>,
+        buffer_capacity: usize,
+        models: Arc<ModelService>,
+        refit_duration: HistogramHandle,
+        trace: TraceHandle,
+        trace_class: String,
+    ) -> Self {
+        let online = OnlineRegressor::new(
+            learner,
+            feature_names,
+            "time_to_failure",
+            buffer_capacity,
+            usize::MAX,
+        )
+        .expect("positive capacity and interval validated by AdaptConfig");
+        InThreadRetrain { online, models, refit_duration, trace, trace_class, trace_parent: None }
+    }
 }
 
 impl RetrainAction for InThreadRetrain {
@@ -527,6 +623,24 @@ impl RetrainAction for InThreadRetrain {
             self.models.set_rejuvenation_threshold_secs(secs);
         }
     }
+
+    fn state_digest(&self) -> u64 {
+        // Format shared with the router's pooled action: generation, row
+        // count, then every buffered row (arity, feature bits, label
+        // bits). Keep the two in lock-step — recovery tests compare live
+        // digests against replay digests across the two actions.
+        let mut digest = Digest64::new();
+        digest.write_u64(self.models.generation());
+        digest.write_u64(self.online.buffered() as u64);
+        for (features, ttf_secs) in self.online.rows() {
+            digest.write_u64(features.len() as u64);
+            for value in features {
+                digest.write_f64(*value);
+            }
+            digest.write_f64(ttf_secs);
+        }
+        digest.finish()
+    }
 }
 
 /// The drift-triggered online retraining service.
@@ -571,6 +685,14 @@ pub struct AdaptiveService {
     counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
     worker: Option<JoinHandle<()>>,
+    /// Final pipeline state digest, written by the retrainer as it exits.
+    digest: Arc<Mutex<Option<u64>>>,
+    /// Rows restored by journal replay before the retrainer started.
+    /// `counters.ingested` includes them; the bus's enqueued count never
+    /// will, so [`quiesce`](AdaptiveService::quiesce) must subtract this
+    /// baseline or a replayed service would report the bus drained while
+    /// live batches are still queued.
+    replay_baseline: u64,
 }
 
 /// Builder for [`AdaptiveService`] — learner, feature names and initial
@@ -585,6 +707,8 @@ pub struct AdaptiveServiceBuilder {
     policy: Arc<dyn ThresholdPolicy>,
     telemetry: Option<Arc<Registry>>,
     trace: Option<Arc<FlightRecorder>>,
+    journal: Option<Arc<Journal>>,
+    replay: bool,
 }
 
 impl AdaptiveServiceBuilder {
@@ -624,12 +748,41 @@ impl AdaptiveServiceBuilder {
         self
     }
 
+    /// Attaches a durable checkpoint journal: every ingested batch is
+    /// appended (and fsync-batched) *before* it is buffered, and every
+    /// generation publish and threshold re-derivation is recorded
+    /// alongside — enough to reconstruct the learning side's state after
+    /// a crash. Append failures never stall ingestion; they are counted
+    /// in the pipeline's `journal_errors`.
+    pub fn journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Replays the attached journal synchronously before the retrainer
+    /// starts: recorded checkpoint batches re-ingest through the same
+    /// pipeline the live stream feeds, restoring the sliding buffer,
+    /// model generations and derived thresholds. Replayed batches are
+    /// not re-journaled. No effect unless
+    /// [`journal`](AdaptiveServiceBuilder::journal) is also set.
+    pub fn replay(mut self) -> Self {
+        self.replay = true;
+        self
+    }
+
     /// Spawns the retrainer thread and returns the running service.
+    ///
+    /// When a journal is attached with replay requested, the recorded
+    /// stream is re-ingested on the *caller's* thread before the
+    /// retrainer spawns — by the time this returns, the restored
+    /// generations and thresholds are visible through the model service.
     ///
     /// # Panics
     ///
-    /// Panics on degenerate configuration (zero buffer capacity, bad drift
-    /// parameters).
+    /// Panics on degenerate configuration (zero buffer capacity, bad
+    /// drift parameters), and on a requested replay whose journal cannot
+    /// be read (mid-log corruption; a torn tail is tolerated and
+    /// truncated).
     pub fn spawn(self) -> AdaptiveService {
         let AdaptiveServiceBuilder {
             learner,
@@ -639,11 +792,12 @@ impl AdaptiveServiceBuilder {
             policy,
             telemetry,
             trace,
+            journal,
+            replay,
         } = self;
         config.validate();
         // Validate on the caller's thread: the pipeline re-validates when
-        // it is built, but that happens on the retrainer thread where a
-        // panic would be silent.
+        // it is built, but a panic should name the caller's call site.
         policy.validate();
         let models = Arc::new(ModelService::new(initial));
         let trace_handle = trace_of(&trace);
@@ -652,32 +806,83 @@ impl AdaptiveServiceBuilder {
             telemetry.clone(),
             trace_handle.clone(),
         );
+        let class = ServiceClass::default();
         if let Some(registry) = &telemetry {
-            models.attach_swap_telemetry(registry, &ServiceClass::default());
+            models.attach_swap_telemetry(registry, &class);
         }
-        models.attach_trace(trace_handle.clone(), ServiceClass::default().as_str());
+        models.attach_trace(trace_handle.clone(), class.as_str());
         let counters = Arc::new(PipelineCounters::new(config.drift.error_threshold_secs));
         let stop = Arc::new(AtomicBool::new(false));
-        let worker = {
-            let models = Arc::clone(&models);
-            let counters = Arc::clone(&counters);
-            let stop = Arc::clone(&stop);
-            std::thread::spawn(move || {
-                retrainer(
-                    learner,
-                    feature_names,
-                    config,
-                    policy,
-                    rx,
-                    models,
-                    counters,
-                    stop,
-                    telemetry,
-                    trace_handle,
-                )
-            })
+
+        // The pipeline is built here, on the caller's thread, rather than
+        // inside the retrainer: a journal replay must complete before any
+        // live batch can interleave, and doing it synchronously makes the
+        // restored state deterministic and visible when `spawn` returns.
+        let refit_duration = match &telemetry {
+            Some(registry) => registry.histogram_with(
+                "adapt_refit_duration_seconds",
+                "Wall time of each model refit attempt",
+                Unit::Seconds,
+                "class",
+                class.as_str(),
+            ),
+            None => HistogramHandle::disabled(),
         };
-        AdaptiveService { models, bus, counters, stop, worker: Some(worker) }
+        let action = InThreadRetrain::new(
+            Arc::clone(&learner),
+            feature_names,
+            config.buffer_capacity,
+            Arc::clone(&models),
+            refit_duration,
+            trace_handle.clone(),
+            class.as_str().to_string(),
+        );
+        let mut pipeline =
+            AdaptationPipeline::with_counters(&config, policy, Arc::clone(&counters), action);
+        if let Some(registry) = &telemetry {
+            pipeline
+                .set_instruments(PipelineInstruments::resolve(registry.as_ref(), class.as_str()));
+        }
+        pipeline.set_trace(trace_handle.clone(), class.as_str());
+
+        let mut replay_baseline = 0;
+        if let Some(journal) = journal {
+            if replay {
+                let outcome = Journal::read(journal.dir())
+                    .expect("journal replay: journal directory unreadable or corrupt mid-log");
+                let (applied, _rows) = crate::replay::replay_class_into(
+                    &outcome.records,
+                    &mut pipeline,
+                    class.as_str(),
+                );
+                // Replayed rows were never enqueued on this bus — remember
+                // how many so `quiesce` compares like with like.
+                replay_baseline = counters.ingested();
+                trace_handle.emit(
+                    EventScope::root().class(class.as_str()),
+                    EventKind::JournalReplayed { records: applied },
+                );
+            }
+            // Attached only after the replay so restored batches are not
+            // journaled a second time.
+            pipeline.set_journal(journal, class.as_str());
+        }
+
+        let digest = Arc::new(Mutex::new(None));
+        let worker = {
+            let stop = Arc::clone(&stop);
+            let digest = Arc::clone(&digest);
+            std::thread::spawn(move || retrainer_loop(pipeline, rx, stop, digest))
+        };
+        AdaptiveService {
+            models,
+            bus,
+            counters,
+            stop,
+            worker: Some(worker),
+            digest,
+            replay_baseline,
+        }
     }
 }
 
@@ -698,6 +903,8 @@ impl AdaptiveService {
             policy: Arc::new(FixedThresholds),
             telemetry: None,
             trace: None,
+            journal: None,
+            replay: false,
         }
     }
 
@@ -767,7 +974,10 @@ impl AdaptiveService {
             // the target conservative (wait longer), never premature.
             let dropped = self.bus.dropped_checkpoints();
             let target = self.bus.enqueued_checkpoints().saturating_sub(dropped);
-            if self.counters.ingested() >= target {
+            // Journal-replayed rows count as ingested but never crossed
+            // the bus; subtract them or a restored service would declare
+            // the bus drained before touching a single live batch.
+            if self.counters.ingested().saturating_sub(self.replay_baseline) >= target {
                 return true;
             }
             if std::time::Instant::now() >= deadline {
@@ -787,6 +997,26 @@ impl AdaptiveService {
         self.join_worker()
     }
 
+    /// [`shutdown`](AdaptiveService::shutdown), plus the retrainer's final
+    /// [`state digest`](AdaptiveService::state_digest) — which only exists
+    /// once the retrainer has exited, i.e. exactly when `self` is gone.
+    pub fn shutdown_with_digest(mut self) -> (AdaptationStats, Option<u64>) {
+        let stats = self.join_worker();
+        let digest = self.state_digest();
+        (stats, digest)
+    }
+
+    /// The retrainer's final pipeline state digest — generation, buffered
+    /// rows (bit patterns included) and effective thresholds folded into
+    /// one `u64`. `None` while the retrainer is still running; `Some`
+    /// after [`shutdown`](AdaptiveService::shutdown) (or any join). Two
+    /// runs that report equal digests ended in bit-identical adaptation
+    /// state, which is how the crash-recovery tests assert that a journal
+    /// replay restored a run exactly.
+    pub fn state_digest(&self) -> Option<u64> {
+        *self.digest.lock().expect("state digest slot poisoned")
+    }
+
     fn join_worker(&mut self) -> AdaptationStats {
         self.stop.store(true, Ordering::Release);
         if let Some(worker) = self.worker.take() {
@@ -804,55 +1034,12 @@ impl Drop for AdaptiveService {
     }
 }
 
-#[allow(clippy::too_many_arguments)]
-fn retrainer(
-    learner: Arc<dyn DynLearner>,
-    feature_names: Vec<String>,
-    config: AdaptConfig,
-    policy: Arc<dyn ThresholdPolicy>,
+fn retrainer_loop(
+    mut pipeline: AdaptationPipeline<InThreadRetrain>,
     rx: BusReceiver,
-    models: Arc<ModelService>,
-    counters: Arc<PipelineCounters>,
     stop: Arc<AtomicBool>,
-    telemetry: Option<Arc<Registry>>,
-    trace: TraceHandle,
+    digest: Arc<Mutex<Option<u64>>>,
 ) {
-    let online = OnlineRegressor::new(
-        learner,
-        feature_names,
-        "time_to_failure",
-        config.buffer_capacity,
-        // Periodic retraining is the pipeline's job so drift and schedule
-        // share the min-buffer gate; the wrapper's own trigger is parked
-        // out of reach.
-        usize::MAX,
-    )
-    .expect("positive capacity and interval validated above");
-    let class = ServiceClass::default();
-    let refit_duration = match &telemetry {
-        Some(registry) => registry.histogram_with(
-            "adapt_refit_duration_seconds",
-            "Wall time of each model refit attempt",
-            Unit::Seconds,
-            "class",
-            class.as_str(),
-        ),
-        None => HistogramHandle::disabled(),
-    };
-    let action = InThreadRetrain {
-        online,
-        models,
-        refit_duration,
-        trace: trace.clone(),
-        trace_class: class.as_str().to_string(),
-        trace_parent: None,
-    };
-    let mut pipeline = AdaptationPipeline::with_counters(&config, policy, counters, action);
-    if let Some(registry) = &telemetry {
-        pipeline.set_instruments(PipelineInstruments::resolve(registry.as_ref(), class.as_str()));
-    }
-    pipeline.set_trace(trace, class.as_str());
-
     loop {
         if stop.load(Ordering::Acquire) {
             // Shutdown: drain whatever was queued before the flag, then
@@ -860,13 +1047,72 @@ fn retrainer(
             for batch in rx.drain() {
                 pipeline.ingest(batch.checkpoints);
             }
-            return;
+            break;
         }
         match rx.recv_timeout(Duration::from_millis(20)) {
             Ok(Some(batch)) => pipeline.ingest(batch.checkpoints),
             Ok(None) => {}
             // All producers hung up and the queue is drained.
-            Err(crate::BusDisconnected) => return,
+            Err(crate::BusDisconnected) => break,
         }
+    }
+    // Published after the last ingest so recovery tests can compare a
+    // live run's end state against a journal replay, bit for bit.
+    *digest.lock().expect("state digest slot poisoned") = Some(pipeline.state_digest());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aging_ml::linreg::LinRegLearner;
+    use aging_ml::Learner;
+    use aging_obs::FlightRecorder;
+
+    fn line_model() -> Arc<dyn Regressor> {
+        let mut ds = aging_dataset::Dataset::new(vec!["x".into()], "y");
+        for i in 0..10 {
+            ds.push_row(vec![i as f64], i as f64).unwrap();
+        }
+        Arc::from(LinRegLearner::default().fit_boxed(&ds).unwrap())
+    }
+
+    /// Regression: with the publish log capped at 1, a late parent lookup
+    /// for a just-evicted generation must fall back to that publish's
+    /// refit-finish parent instead of silently detaching — and only
+    /// generations older than the eviction slot are drop-accounted.
+    #[test]
+    fn evicted_publish_parent_falls_back_to_refit_finish() {
+        let recorder = Arc::new(FlightRecorder::with_capacity(64));
+        let trace = recorder.handle();
+        let service = ModelService::new(line_model());
+        service.attach_trace(trace.clone(), "web");
+        service.set_publish_log_cap(1);
+
+        let finish1 =
+            trace.emit(EventScope::root().class("web"), EventKind::RefitFinished { ok: true });
+        let finish2 =
+            trace.emit(EventScope::root().class("web"), EventKind::RefitFinished { ok: true });
+        assert_eq!(service.publish_traced(line_model(), finish1), 1);
+        assert_eq!(service.publish_traced(line_model(), finish2), 2);
+
+        // Generation 2 is still in the log; generation 1 was evicted but
+        // its refit-finish parent survives in the one-slot fallback.
+        assert!(service.publish_event_for(2).is_some());
+        assert_eq!(service.publish_event_for(1), finish1);
+        assert_eq!(service.publish_parent_drops(), 0);
+
+        // A third publish moves the eviction slot to generation 2;
+        // generation 1 is now beyond recall and must be drop-accounted.
+        let finish3 =
+            trace.emit(EventScope::root().class("web"), EventKind::RefitFinished { ok: true });
+        assert_eq!(service.publish_traced(line_model(), finish3), 3);
+        assert_eq!(service.publish_event_for(2), finish2);
+        assert_eq!(service.publish_event_for(1), None);
+        assert_eq!(service.publish_parent_drops(), 1);
+
+        // Generation 0 (the initial model) was never published; asking
+        // for it is not a drop.
+        assert_eq!(service.publish_event_for(0), None);
+        assert_eq!(service.publish_parent_drops(), 1);
     }
 }

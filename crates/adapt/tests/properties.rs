@@ -214,6 +214,49 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Invariant 6: the queued-checkpoint depth gauge conserves exactly
+    /// under ANY interleaving of publishes (each of which may shed) and
+    /// pops: `queued == Σ pushed − Σ popped − Σ shed` at every step, and
+    /// lands on exactly zero after a final drain. (Regression for the raw
+    /// `u64 -=` accounting that could wrap the gauge on a shed/pop
+    /// interleaving.)
+    #[test]
+    fn queued_gauge_conserves_under_interleaved_shed_and_pop(
+        capacity in 1usize..12,
+        ops in prop::collection::vec((0u8..5, 0u8..4, 1usize..5), 1..200),
+    ) {
+        let (bus, rx) = CheckpointBus::bounded(capacity);
+        let mut pushed = 0u64;
+        let mut popped = 0u64;
+        for (seq, (op, source, n)) in ops.iter().enumerate() {
+            if *op == 0 {
+                // Pop one batch — may find the ring empty.
+                if let Ok(Some(batch)) = rx.recv_timeout(Duration::from_millis(0)) {
+                    popped += batch.checkpoints.len() as u64;
+                }
+            } else {
+                prop_assert!(bus.publish(tagged(&format!("s{source}"), seq as u64, *n)));
+                pushed += *n as u64;
+            }
+            let shed = bus.dropped_checkpoints();
+            prop_assert!(popped + shed <= pushed, "books overdrawn: {popped}+{shed} > {pushed}");
+            prop_assert_eq!(
+                bus.queued_checkpoints(),
+                pushed - popped - shed,
+                "queued == Σ pushed − Σ popped − Σ shed must hold at every step"
+            );
+        }
+        for batch in rx.drain() {
+            popped += batch.checkpoints.len() as u64;
+        }
+        prop_assert_eq!(bus.queued_checkpoints(), 0, "a full drain must land the gauge on zero");
+        prop_assert_eq!(pushed, popped + bus.dropped_checkpoints());
+    }
+}
+
 fn current_thresholds() -> Thresholds {
     Thresholds { error_threshold_secs: 900.0, rejuvenation_threshold_secs: None }
 }

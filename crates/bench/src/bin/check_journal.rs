@@ -1,0 +1,166 @@
+//! Validates checkpoint-journal directories: every segment must open,
+//! every complete frame must pass its CRC and decode, and sequence
+//! numbers must be strictly monotone across the whole log. A torn tail
+//! on the newest segment — the expected residue of a crash mid-append —
+//! is tolerated and reported, never an error; corruption anywhere else
+//! fails the check, because replaying past it would silently restore the
+//! wrong state.
+//!
+//! ```text
+//! cargo run --release -p aging-bench --bin check_journal -- JOURNAL_DIR …
+//! ```
+//!
+//! Exits non-zero on the first bad directory; CI runs it over the
+//! journal the example smoke runs (and the kill-and-restart smoke) leave
+//! behind.
+
+use aging_journal::{Journal, JournalRecord};
+use std::process::ExitCode;
+
+/// Checks one journal directory; returns a short summary line on success.
+fn check(dir: &str) -> Result<String, String> {
+    let outcome = Journal::read(dir).map_err(|e| e.to_string())?;
+    let mut last_seq: Option<u64> = None;
+    let mut batches = 0u64;
+    let mut rows = 0u64;
+    let mut audits = 0u64;
+    for (seq, record) in &outcome.records {
+        if last_seq.is_some_and(|last| *seq <= last) {
+            return Err(format!(
+                "seq {seq} not strictly after {}",
+                last_seq.expect("just observed")
+            ));
+        }
+        last_seq = Some(*seq);
+        match record {
+            JournalRecord::Checkpoints { rows: batch, .. } => {
+                batches += 1;
+                rows += batch.len() as u64;
+            }
+            _ => audits += 1,
+        }
+    }
+    Ok(format!(
+        "{} records ({batches} checkpoint batches / {rows} rows, {audits} audit records) \
+         across {} segments, {} torn bytes truncated",
+        outcome.records.len(),
+        outcome.segments,
+        outcome.truncated_bytes,
+    ))
+}
+
+fn main() -> ExitCode {
+    let dirs: Vec<String> = std::env::args().skip(1).collect();
+    if dirs.is_empty() {
+        eprintln!("usage: check_journal JOURNAL_DIR …");
+        return ExitCode::FAILURE;
+    }
+    let mut failed = false;
+    for dir in &dirs {
+        match check(dir) {
+            Ok(summary) => println!("{dir}: OK — {summary}"),
+            Err(e) => {
+                eprintln!("{dir}: FAILED — {e}");
+                failed = true;
+            }
+        }
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::check;
+    use aging_journal::{Journal, JournalCheckpoint, JournalOptions, JournalRecord};
+    use std::io::{Read, Seek, SeekFrom, Write};
+    use std::path::PathBuf;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "check-journal-{}-{tag}-{}",
+            std::process::id(),
+            N.fetch_add(1, Ordering::Relaxed)
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    /// Two segments' worth of checkpoint batches plus one audit record.
+    fn write_journal(dir: &PathBuf) {
+        let options = JournalOptions { fsync_every: 4, segment_max_bytes: 256 };
+        let journal = Journal::open_with(dir, options).unwrap();
+        for i in 0..8u64 {
+            journal
+                .append(&JournalRecord::Checkpoints {
+                    class: "leaky".into(),
+                    rows: vec![JournalCheckpoint {
+                        features: vec![i as f64, 0.5],
+                        ttf_secs: 600.0 + i as f64,
+                        predicted_ttf_secs: Some(580.0),
+                        predicted_generation: Some(1),
+                        monitor_only: false,
+                    }],
+                })
+                .unwrap();
+        }
+        journal
+            .append(&JournalRecord::GenerationPublished { class: "leaky".into(), generation: 1 })
+            .unwrap();
+        journal.sync().unwrap();
+        assert!(journal.rotations() >= 1, "test journal must span segments");
+    }
+
+    fn segments(dir: &PathBuf) -> Vec<PathBuf> {
+        let mut paths: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .filter(|p| p.extension().is_some_and(|x| x == "ajl"))
+            .collect();
+        paths.sort();
+        paths
+    }
+
+    #[test]
+    fn accepts_a_clean_journal() {
+        let dir = tmp_dir("clean");
+        write_journal(&dir);
+        let summary = check(dir.to_str().unwrap()).unwrap();
+        assert!(summary.contains("8 checkpoint batches / 8 rows"), "{summary}");
+        assert!(summary.contains("0 torn bytes"), "{summary}");
+    }
+
+    #[test]
+    fn tolerates_and_reports_a_torn_tail() {
+        let dir = tmp_dir("torn");
+        write_journal(&dir);
+        let newest = segments(&dir).pop().unwrap();
+        let mut f = std::fs::OpenOptions::new().append(true).open(newest).unwrap();
+        f.write_all(&[0xDE, 0xAD]).unwrap();
+        let summary = check(dir.to_str().unwrap()).unwrap();
+        assert!(summary.contains("2 torn bytes truncated"), "{summary}");
+        assert!(summary.contains("8 checkpoint batches"), "{summary}");
+    }
+
+    #[test]
+    fn rejects_a_mid_log_bit_flip() {
+        let dir = tmp_dir("flip");
+        write_journal(&dir);
+        // Flip one payload byte in the *first* segment: not the torn-tail
+        // position, so the CRC mismatch must be fatal.
+        let oldest = segments(&dir).remove(0);
+        let mut f = std::fs::OpenOptions::new().read(true).write(true).open(oldest).unwrap();
+        f.seek(SeekFrom::Start(40)).unwrap();
+        let mut byte = [0u8; 1];
+        f.read_exact(&mut byte).unwrap();
+        f.seek(SeekFrom::Start(40)).unwrap();
+        f.write_all(&[byte[0] ^ 0xFF]).unwrap();
+        let err = check(dir.to_str().unwrap()).unwrap_err();
+        assert!(!err.is_empty());
+    }
+}

@@ -6,7 +6,8 @@ use crate::config::{
 };
 use crate::instance::Instance;
 use crate::report::{
-    DiscoveredClass, DiscoveryEvaluation, DiscoveryReport, FleetReport, FleetTiming, InstanceReport,
+    DiscoveredClass, DiscoveryEvaluation, DiscoveryReport, FleetReport, FleetTiming,
+    InstanceReport, JournalStats,
 };
 use crate::shard::{EpochModels, Shard, ShardInstruments};
 use aging_adapt::discovery::{ClassDiscovery, SignatureAccumulator};
@@ -15,6 +16,7 @@ use aging_adapt::{
     ServiceClass,
 };
 use aging_core::{AgingPredictor, RejuvenationPolicy};
+use aging_journal::{Journal, JournalRecord};
 use aging_ml::Regressor;
 use aging_monitor::FeatureSet;
 use aging_obs::{
@@ -100,9 +102,23 @@ impl DiscoveryInstruments {
 /// publishes the new assignment through `version`; every worker applies
 /// it at the top of the next epoch — so an instance's class, like its
 /// model snapshot, is pinned within an epoch.
+/// Test seam: makes the barrier leader's discovery step panic once it
+/// has completed this many epochs, exercising the catch-unwind +
+/// flight-recorder dump path in the single-threaded window. `u64::MAX`
+/// disables it.
+#[cfg(test)]
+pub(crate) static DISCOVERY_PANIC_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+
 struct DiscoveryRuntime<'a> {
     router: &'a AdaptiveRouter,
     setup: &'a DiscoverySetup,
+    /// Durable journal: each discovery step appends the partition it
+    /// just published, so a replay can restore the assignment alongside
+    /// the learned state. `None` without [`Fleet::with_journal`].
+    journal: Option<Arc<Journal>>,
+    /// Instance names in spec order — the identifiers the journalled
+    /// partition pairs with class names.
+    instance_names: Vec<String>,
     /// The fleet-side class table, indexed by discovery class id:
     /// `(class name, serving side)`. Append-only — retired classes keep
     /// their slot so worker pins stay aligned.
@@ -134,6 +150,10 @@ impl DiscoveryRuntime<'_> {
     /// worker is parked between the epoch's two barrier waits.
     /// `epochs_done` is the number of completed fleet epochs.
     fn step(&self, epochs_done: u64) {
+        #[cfg(test)]
+        if epochs_done == DISCOVERY_PANIC_AT.load(Ordering::Relaxed) {
+            panic!("synthetic discovery panic at epoch {epochs_done}");
+        }
         let evaluation_span = self.instruments.evaluation.span();
         let signatures: Vec<Option<Vec<f64>>> = self
             .signatures
@@ -227,6 +247,31 @@ impl DiscoveryRuntime<'_> {
             }
         }
         self.version.fetch_add(1, Ordering::Release);
+
+        // Journal the partition the fleet runs under from the next epoch:
+        // `(instance, class)` pairs in spec order. An append failure is
+        // reported but not fatal — the partition regenerates on replay by
+        // re-running discovery, the record just short-circuits that.
+        if let Some(journal) = &self.journal {
+            let classes = self.classes.read().expect("class table poisoned");
+            let assignment = self
+                .instance_names
+                .iter()
+                .enumerate()
+                .map(|(i, name)| {
+                    let id = self.assignment[i].load(Ordering::Relaxed);
+                    (name.clone(), classes[id].0.to_string())
+                })
+                .collect();
+            drop(classes);
+            let record = JournalRecord::PartitionAssigned {
+                version: self.version.load(Ordering::Relaxed),
+                assignment,
+            };
+            if let Err(err) = journal.append(&record) {
+                eprintln!("aging-fleet: journalling discovery partition failed: {err}");
+            }
+        }
 
         // Timeline entry: what this evaluation decided, plus a live
         // snapshot of each class's adaptation counters.
@@ -337,6 +382,7 @@ pub struct Fleet {
     config: FleetConfig,
     telemetry: Option<Arc<Registry>>,
     trace: Option<Arc<FlightRecorder>>,
+    journal: Option<Arc<Journal>>,
 }
 
 impl Fleet {
@@ -356,7 +402,7 @@ impl Fleet {
         for spec in &specs {
             validate_spec(spec)?;
         }
-        Ok(Fleet { specs, config, telemetry: None, trace: None })
+        Ok(Fleet { specs, config, telemetry: None, trace: None, journal: None })
     }
 
     /// Attaches a telemetry registry: epoch-phase and barrier-wait timings
@@ -387,6 +433,23 @@ impl Fleet {
     #[must_use]
     pub fn with_trace(mut self, recorder: Arc<FlightRecorder>) -> Self {
         self.trace = Some(recorder);
+        self
+    }
+
+    /// Attaches a durable checkpoint journal. Discovered runs
+    /// ([`Fleet::run_discovered`]) wire it through their internal router
+    /// — every routed batch is journalled *before* it is buffered — and
+    /// additionally record a [`JournalRecord::PartitionAssigned`] entry
+    /// at each discovery boundary, so a replay can restore both the
+    /// learned state and the discovered partition. For
+    /// [`Fleet::run_adaptive`]/[`Fleet::run_routed`], attach the journal
+    /// to the externally built service/router instead
+    /// ([`aging_adapt::AdaptiveServiceBuilder::journal`],
+    /// [`aging_adapt::AdaptiveRouterBuilder::journal`]) and pass the same
+    /// handle here so [`FleetReport::journal`] carries its counters.
+    #[must_use]
+    pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
+        self.journal = Some(journal);
         self
     }
 
@@ -577,6 +640,7 @@ impl Fleet {
         validate_discovery(setup)?;
         let telemetry = self.telemetry.clone();
         let trace = self.trace.clone();
+        let journal = self.journal.clone();
         let seed_class = ServiceClass::new("discovered-0");
         let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
             .class(seed_class.clone(), setup.template.clone())
@@ -587,16 +651,22 @@ impl Fleet {
         if let Some(recorder) = &trace {
             router_builder = router_builder.trace(Arc::clone(recorder));
         }
+        if let Some(journal) = &journal {
+            router_builder = router_builder.journal(Arc::clone(journal));
+        }
         let router = router_builder.spawn();
         let mut discovery_engine = ClassDiscovery::new(setup.discovery);
         if let Some(registry) = &telemetry {
             discovery_engine.set_recorder(Arc::clone(registry) as Arc<dyn Recorder>);
         }
         let n = self.specs.len();
+        let instance_names: Vec<String> = self.specs.iter().map(|s| s.name.clone()).collect();
         let (mut report, discovery_report) = {
             let runtime = DiscoveryRuntime {
                 router: &router,
                 setup,
+                journal,
+                instance_names,
                 classes: RwLock::new(vec![(
                     seed_class.clone(),
                     router.model_service(&seed_class).expect("seed class registered above"),
@@ -652,7 +722,7 @@ impl Fleet {
             _ => self.classes(),
         };
         let n_classes = classes.len();
-        let Fleet { specs, config, telemetry, trace } = self;
+        let Fleet { specs, config, telemetry, trace, journal } = self;
         let trace_handle = trace_of(&trace);
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
@@ -733,9 +803,6 @@ impl Fleet {
         let barrier = Barrier::new(n_shards);
         let live = [AtomicU64::new(0), AtomicU64::new(0)];
         let panicked = AtomicBool::new(false);
-        // First panicking worker dumps the flight recorder; siblings that
-        // panic in the same epoch skip the (already complete) dump.
-        let trace_dumped = AtomicBool::new(false);
         let default_class = ServiceClass::default();
         let started = Instant::now();
         let binding = &binding;
@@ -749,7 +816,6 @@ impl Fleet {
                     let barrier = &barrier;
                     let live = &live;
                     let panicked = &panicked;
-                    let trace_dumped = &trace_dumped;
                     let trace_recorder = trace.as_deref();
                     let default_class = &default_class;
                     let config = &config;
@@ -918,19 +984,14 @@ impl Fleet {
                                 Err(_) => {
                                     panicked.store(true, Ordering::SeqCst);
                                     // Flight-recorder dump: the newest
-                                    // events leading up to the panic, once,
+                                    // events leading up to the panic, once
+                                    // per recorder across every panic site,
                                     // before the payload is rethrown.
                                     if let Some(recorder) = trace_recorder {
-                                        if !trace_dumped.swap(true, Ordering::SeqCst) {
-                                            eprintln!(
-                                                "fleet worker panicked on shard {shard_idx} \
-                                                 (epoch {epoch}); flight recorder: {} events \
-                                                 kept, {} dropped",
-                                                recorder.trace().len(),
-                                                recorder.dropped(),
-                                            );
-                                            eprint!("{}", recorder.dump_jsonl());
-                                        }
+                                        recorder.dump_once(&format!(
+                                            "fleet worker panicked on shard {shard_idx} \
+                                             (epoch {epoch})"
+                                        ));
                                     }
                                     0
                                 }
@@ -981,6 +1042,15 @@ impl Fleet {
                                             }))
                                         {
                                             panicked.store(true, Ordering::SeqCst);
+                                            // Same once-per-recorder dump
+                                            // as the worker path — whoever
+                                            // panics first wins the gate.
+                                            if let Some(recorder) = trace_recorder {
+                                                recorder.dump_once(&format!(
+                                                    "discovery step panicked at epoch {}",
+                                                    epoch + 1
+                                                ));
+                                            }
                                             *runtime.panic_payload.lock().expect("payload slot") =
                                                 Some(payload);
                                         }
@@ -1032,6 +1102,11 @@ impl Fleet {
             timing,
         );
         report.telemetry = telemetry.as_ref().map(|registry| registry.snapshot());
+        report.journal = journal.as_ref().map(|journal| JournalStats {
+            appended_records: journal.appended(),
+            fsyncs: journal.fsyncs(),
+            segment_rotations: journal.rotations(),
+        });
         report
     }
 }

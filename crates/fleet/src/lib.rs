@@ -81,7 +81,9 @@ mod shard;
 pub use config::{DiscoverySetup, FleetConfig, FleetError, InstanceSpec, WorkloadShift};
 pub use engine::Fleet;
 pub use instance::Instance;
-pub use report::{DiscoveredClass, DiscoveryReport, FleetReport, FleetTiming, InstanceReport};
+pub use report::{
+    DiscoveredClass, DiscoveryReport, FleetReport, FleetTiming, InstanceReport, JournalStats,
+};
 
 // The class vocabulary of heterogeneous fleets lives in `aging_adapt`
 // (checkpoint batches carry it); re-exported so fleet callers need not
@@ -333,5 +335,45 @@ mod tests {
         let text = report.to_string();
         assert!(text.contains("2 instances"), "{text}");
         assert!(text.contains("checkpoints/s"), "{text}");
+    }
+
+    /// A panic inside the barrier leader's discovery window must dump the
+    /// flight recorder exactly once (shared gate with the worker panic
+    /// path) and still rethrow the payload to the caller.
+    #[test]
+    fn discovery_step_panic_dumps_flight_recorder_once() {
+        use aging_adapt::ClassSpec;
+        use aging_ml::LearnerKind;
+        use aging_obs::FlightRecorder;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let features = FeatureSet::exp42();
+        let initial = Arc::new(
+            AgingPredictor::train(&[crashing_scenario()], features.clone(), 11)
+                .unwrap()
+                .model()
+                .clone(),
+        );
+        let template = ClassSpec::builder(LearnerKind::LinReg.learner(), initial).build();
+        let setup = DiscoverySetup { reassess_every_epochs: 1, ..DiscoverySetup::new(template) };
+        let recorder = Arc::new(FlightRecorder::with_capacity(128));
+        let fleet = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            4,
+            3,
+            short_config(2),
+        )
+        .unwrap()
+        .with_trace(Arc::clone(&recorder));
+        // Arm the seam for the first reassessment boundary; disarm before
+        // asserting so a failure cannot leak the panic into later tests.
+        crate::engine::DISCOVERY_PANIC_AT.store(1, Ordering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| fleet.run_discovered(&setup, &features)));
+        crate::engine::DISCOVERY_PANIC_AT.store(u64::MAX, Ordering::SeqCst);
+        assert!(result.is_err(), "the leader's panic must reach the caller");
+        assert_eq!(recorder.dumped(), 1, "one dump per recorder, not per panicking thread");
     }
 }

@@ -115,6 +115,22 @@ pub struct DiscoveryReport {
     pub merges: u64,
 }
 
+/// Durability counters for a run that wrote a checkpoint journal.
+///
+/// Snapshot of the [`aging_journal::Journal`] handle at the end of the
+/// run; like the other runtime-dependent report fields it is excluded
+/// from [`FleetReport`] equality (fsync batching makes the counts
+/// timing-sensitive).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JournalStats {
+    /// Records appended over the run.
+    pub appended_records: u64,
+    /// `fsync` calls issued (batched, so far fewer than records).
+    pub fsyncs: u64,
+    /// Segment-file rotations.
+    pub segment_rotations: u64,
+}
+
 /// Wall-clock performance of a fleet run. Not part of the report's
 /// equality: two runs of the same fleet are *equal* when their simulated
 /// outcomes agree, however fast the hardware drove them.
@@ -184,6 +200,11 @@ pub struct FleetReport {
     /// fields).
     #[serde(default)]
     pub telemetry: Option<TelemetrySnapshot>,
+    /// Checkpoint-journal counters — present when a journal was attached
+    /// via [`crate::Fleet::with_journal`], `None` otherwise (excluded
+    /// from equality; fsync batching is timing-sensitive).
+    #[serde(default)]
+    pub journal: Option<JournalStats>,
 }
 
 impl PartialEq for FleetReport {
@@ -239,6 +260,7 @@ impl FleetReport {
             instances,
             timing,
             telemetry: None,
+            journal: None,
         }
     }
 

@@ -138,6 +138,13 @@ impl<L: Learner> OnlineRegressor<L> {
         self.buffer.len()
     }
 
+    /// The buffered observations, oldest first — `(features, target)` in
+    /// eviction order. Borrowing iterator, so consumers (e.g. a replay
+    /// digest over the sliding window) never copy the rows.
+    pub fn rows(&self) -> impl Iterator<Item = (&[f64], f64)> {
+        self.buffer.iter().map(|(values, target)| (values.as_slice(), *target))
+    }
+
     /// How many times the model has been (re)fitted.
     pub fn retrain_count(&self) -> usize {
         self.retrain_count

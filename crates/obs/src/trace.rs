@@ -19,7 +19,7 @@
 //! events, counts every displaced one, and can be dumped as JSONL when a
 //! worker panics or exported as Chrome trace-event JSON for Perfetto.
 
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
@@ -114,6 +114,19 @@ pub enum EventKind {
         /// Zero-based epoch index.
         epoch: u64,
     },
+    /// A checkpoint journal replay restored adaptation state on restart.
+    JournalReplayed {
+        /// Journal records applied during the replay.
+        records: u64,
+    },
+    /// The checkpoint journal was compacted past the sliding-buffer
+    /// horizon.
+    JournalCompacted {
+        /// Records surviving the compaction.
+        kept_records: u64,
+        /// Records dropped past the retention horizon.
+        dropped_records: u64,
+    },
 }
 
 impl EventKind {
@@ -135,6 +148,8 @@ impl EventKind {
             EventKind::ClassMerged { .. } => "ClassMerged",
             EventKind::ClassReassigned { .. } => "ClassReassigned",
             EventKind::EpochCompleted { .. } => "EpochCompleted",
+            EventKind::JournalReplayed { .. } => "JournalReplayed",
+            EventKind::JournalCompacted { .. } => "JournalCompacted",
         }
     }
 }
@@ -290,6 +305,8 @@ pub struct FlightRecorder {
     started: Instant,
     next_seq: AtomicU64,
     dropped: AtomicU64,
+    dump_fired: AtomicBool,
+    dumps: AtomicU64,
     slots: Vec<Mutex<Option<Event>>>,
 }
 
@@ -314,6 +331,8 @@ impl FlightRecorder {
             started: Instant::now(),
             next_seq: AtomicU64::new(0),
             dropped: AtomicU64::new(0),
+            dump_fired: AtomicBool::new(false),
+            dumps: AtomicU64::new(0),
             slots: (0..capacity).map(|_| Mutex::new(None)).collect(),
         }
     }
@@ -365,6 +384,35 @@ impl FlightRecorder {
     #[must_use]
     pub fn dump_jsonl(&self) -> String {
         self.trace().to_jsonl()
+    }
+
+    /// Dumps the ring as JSONL to stderr, at most once per recorder.
+    ///
+    /// Every panic path — a fleet worker, the barrier leader's discovery
+    /// window, a refit-pool thread — calls this instead of carrying its
+    /// own "first panicking thread dumps, siblings skip" flag; the gate
+    /// lives here so concurrent paths cannot race each other into a
+    /// double dump. Returns whether *this* call performed the dump.
+    pub fn dump_once(&self, context: &str) -> bool {
+        if self.dump_fired.swap(true, Ordering::SeqCst) {
+            return false;
+        }
+        self.dumps.fetch_add(1, Ordering::SeqCst);
+        let trace = self.trace();
+        eprintln!(
+            "{context} — dumping flight recorder ({} events, {} displaced):",
+            trace.len(),
+            trace.dropped
+        );
+        eprint!("{}", trace.to_jsonl());
+        true
+    }
+
+    /// Panic dumps performed; 0 or 1, since [`FlightRecorder::dump_once`]
+    /// gates.
+    #[must_use]
+    pub fn dumped(&self) -> u64 {
+        self.dumps.load(Ordering::SeqCst)
     }
 }
 
@@ -630,6 +678,11 @@ fn kind_args(kind: &EventKind, args: &mut Vec<(&'static str, String)>) {
             args.push(("from", json_str(from)));
         }
         EventKind::EpochCompleted { epoch } => args.push(("epoch", json_u64(*epoch))),
+        EventKind::JournalReplayed { records } => args.push(("records", json_u64(*records))),
+        EventKind::JournalCompacted { kept_records, dropped_records } => {
+            args.push(("kept_records", json_u64(*kept_records)));
+            args.push(("dropped_records", json_u64(*dropped_records)));
+        }
     }
 }
 
@@ -814,6 +867,28 @@ mod tests {
         let deduped = seqs.clone();
         seqs.dedup();
         assert_eq!(seqs, deduped, "sequence numbers are unique");
+    }
+
+    #[test]
+    fn dump_once_fires_exactly_once_across_threads() {
+        let recorder = Arc::new(FlightRecorder::with_capacity(8));
+        let t = recorder.handle();
+        t.emit(EventScope::root(), EventKind::EpochCompleted { epoch: 0 });
+        let wins: u64 = std::thread::scope(|scope| {
+            (0..4)
+                .map(|_| {
+                    let recorder = Arc::clone(&recorder);
+                    scope.spawn(move || u64::from(recorder.dump_once("test panic")))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().expect("dumper thread"))
+                .sum()
+        });
+        assert_eq!(wins, 1, "exactly one caller performs the dump");
+        assert_eq!(recorder.dumped(), 1);
+        assert!(!recorder.dump_once("late caller"), "the gate stays shut");
+        assert_eq!(recorder.dumped(), 1, "and the count stays 1");
     }
 
     #[test]

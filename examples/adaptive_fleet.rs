@@ -43,13 +43,22 @@ struct AdaptiveBench {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults =
-        FleetArgs { instances: 36, shards: 4, hours: 8.0, json: None, metrics: None, trace: None };
+    let defaults = FleetArgs {
+        instances: 36,
+        shards: 4,
+        hours: 8.0,
+        json: None,
+        metrics: None,
+        trace: None,
+        journal: None,
+        replay: false,
+    };
     let args = parse_args(
         defaults,
         "BENCH_adaptive_fleet.json",
         "METRICS_adaptive_fleet.json",
         "TRACE_adaptive_fleet.json",
+        "JOURNAL_adaptive_fleet",
     )
     .inspect_err(|_| {
         eprintln!(
@@ -57,6 +66,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  [--metrics [PATH]] [--trace [PATH]]"
         );
     })?;
+    if args.journal.is_some() {
+        return Err("--journal: this example does not wire a journal; \
+             see hetero_fleet for the durable-journal demonstration"
+            .into());
+    }
 
     // The training regime: slow leaks (N = 75) across a workload range.
     println!("training the shared M5P model on the slow-leak regime …");

@@ -1,6 +1,6 @@
 //! Shared plumbing for the fleet examples: the leaky-scenario helper and
-//! the `--instances/--shards/--hours/--json/--metrics/--trace` CLI
-//! parser.
+//! the `--instances/--shards/--hours/--json/--metrics/--trace/--journal/
+//! --replay` CLI parser.
 //!
 //! Lives in a subdirectory so cargo does not treat it as an example
 //! target; each example pulls it in with `mod common;`.
@@ -32,17 +32,24 @@ pub struct FleetArgs {
     /// Attach a flight recorder and write its Chrome trace-event JSON
     /// (Perfetto-loadable) here.
     pub trace: Option<String>,
+    /// Attach a durable checkpoint journal writing to this directory.
+    pub journal: Option<String>,
+    /// Replay the journal into the adaptation side before ingesting
+    /// anything live — crash recovery from a previous `--journal` run.
+    pub replay: bool,
 }
 
 /// Parses `--instances N --shards N --hours H [--json [PATH]]
-/// [--metrics [PATH]] [--trace [PATH]]` on top of per-example defaults; a
-/// bare `--json` uses `json_default`, a bare `--metrics` uses
-/// `metrics_default`, a bare `--trace` uses `trace_default`.
+/// [--metrics [PATH]] [--trace [PATH]] [--journal [DIR]] [--replay]` on
+/// top of per-example defaults; a bare `--json` uses `json_default`, a
+/// bare `--metrics` uses `metrics_default`, a bare `--trace` uses
+/// `trace_default`, a bare `--journal` uses `journal_default`.
 pub fn parse_args(
     defaults: FleetArgs,
     json_default: &str,
     metrics_default: &str,
     trace_default: &str,
+    journal_default: &str,
 ) -> Result<FleetArgs, String> {
     let mut args = defaults;
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -95,11 +102,28 @@ pub fn parse_args(
                     i += 1;
                 }
             },
+            "--journal" => match argv.get(i + 1) {
+                Some(dir) if !dir.starts_with("--") => {
+                    args.journal = Some(dir.clone());
+                    i += 2;
+                }
+                _ => {
+                    args.journal = Some(journal_default.to_string());
+                    i += 1;
+                }
+            },
+            "--replay" => {
+                args.replay = true;
+                i += 1;
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
     if args.instances == 0 || args.shards == 0 || args.hours <= 0.0 {
         return Err("instances, shards and hours must be positive".into());
+    }
+    if args.replay && args.journal.is_none() {
+        return Err("--replay needs --journal (there is nothing to replay from)".into());
     }
     Ok(args)
 }

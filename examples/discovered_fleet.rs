@@ -43,6 +43,7 @@ use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolic
 use software_aging::fleet::{
     DiscoverySetup, Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift,
 };
+use software_aging::journal::Journal;
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
 use software_aging::obs::{FlightRecorder, Registry};
@@ -126,20 +127,34 @@ fn regime_error(report: &FleetReport, prefix: &str) -> f64 {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults =
-        FleetArgs { instances: 15, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
+    let defaults = FleetArgs {
+        instances: 15,
+        shards: 4,
+        hours: 6.0,
+        json: None,
+        metrics: None,
+        trace: None,
+        journal: None,
+        replay: false,
+    };
     let args = parse_args(
         defaults,
         "BENCH_discovered.json",
         "METRICS_discovered.json",
         "TRACE_discovered.json",
+        "JOURNAL_discovered",
     )
     .inspect_err(|_| {
         eprintln!(
             "usage: discovered_fleet [--instances N] [--shards N] [--hours H] \
-                 [--json [PATH]] [--metrics [PATH]] [--trace [PATH]]"
+                 [--json [PATH]] [--metrics [PATH]] [--trace [PATH]] [--journal [DIR]]"
         );
     })?;
+    if args.replay {
+        return Err("--replay: a discovered run registers its classes dynamically; \
+             replay its journal offline with `aging_adapt::replay` instead"
+            .into());
+    }
     let n_shift = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_shift).max(1);
     let horizon = args.hours * 3600.0;
@@ -214,6 +229,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     };
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
     let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
+    let journal = match &args.journal {
+        Some(dir) => Some(Arc::new(Journal::open(dir)?)),
+        None => None,
+    };
     let mut discovered_fleet = Fleet::new(specs(n_shift, n_steady, horizon, false), config)?;
     if let Some(registry) = &registry {
         discovered_fleet = discovered_fleet.with_telemetry(Arc::clone(registry));
@@ -221,8 +240,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(recorder) = &recorder {
         discovered_fleet = discovered_fleet.with_trace(Arc::clone(recorder));
     }
+    if let Some(journal) = &journal {
+        discovered_fleet = discovered_fleet.with_journal(Arc::clone(journal));
+    }
     let discovered = discovered_fleet.run_discovered(&setup, &features)?;
     println!("{discovered}\n");
+    if let (Some(dir), Some(journal)) = (&args.journal, &journal) {
+        journal.sync()?;
+        let stats = discovered.journal.as_ref().expect("journal attached");
+        println!(
+            "journal: {} records ({} fsyncs, {} rotations) in {dir}\n",
+            stats.appended_records, stats.fsyncs, stats.segment_rotations
+        );
+    }
 
     // ── Comparison + ISSUE 5 acceptance ──
     println!("── hand-labelled vs discovered, per regime ──");

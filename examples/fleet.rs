@@ -39,14 +39,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         json: None,
         metrics: None,
         trace: None,
+        journal: None,
+        replay: false,
     };
-    let args = parse_args(defaults, "BENCH_fleet.json", "METRICS_fleet.json", "TRACE_fleet.json")
-        .inspect_err(|_| {
+    let args = parse_args(
+        defaults,
+        "BENCH_fleet.json",
+        "METRICS_fleet.json",
+        "TRACE_fleet.json",
+        "JOURNAL_fleet",
+    )
+    .inspect_err(|_| {
         eprintln!(
             "usage: fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
              [--metrics [PATH]] [--trace [PATH]]"
         );
     })?;
+    if args.journal.is_some() {
+        return Err("--journal: frozen-model runs have no adaptation state to journal; \
+             see hetero_fleet for the durable-journal demonstration"
+            .into());
+    }
 
     // One model serves the whole fleet: train it across the workload range
     // it will see in production (Experiment 4.1 style).

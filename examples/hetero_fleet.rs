@@ -12,7 +12,8 @@
 //!
 //! ```text
 //! cargo run --release --example hetero_fleet [-- --instances 24 \
-//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH] --trace [PATH]]
+//!     --shards 4 --hours 6 --json [PATH] --metrics [PATH] --trace [PATH] \
+//!     --journal [DIR] --replay]
 //! ```
 //!
 //! Two thirds of `--instances` form the shifting class, one third the
@@ -28,6 +29,13 @@
 //! [`Trace::causal_chain`], writes the Chrome trace-event JSON (default
 //! path `TRACE_hetero.json`) and round-trips it through the same format
 //! check CI applies (valid JSON, monotone seqs, resolvable parents).
+//! `--journal` attaches a durable checkpoint journal to the routed run
+//! (default directory `JOURNAL_hetero`): every batch is journalled
+//! before it is buffered, so killing the process mid-run loses at most
+//! one fsync window. `--replay` restores the adaptation state from that
+//! journal before ingesting anything live — the crash-recovery restart;
+//! CI SIGKILLs a `--journal` run and restarts it with `--replay` to
+//! prove the journal survives a hard kill.
 //!
 //! [`Trace::causal_chain`]: software_aging::obs::Trace::causal_chain
 
@@ -37,6 +45,7 @@ use software_aging::adapt::{
 };
 use software_aging::core::{AgingPredictor, RejuvenationConfig, RejuvenationPolicy};
 use software_aging::fleet::{Fleet, FleetConfig, FleetReport, InstanceSpec, WorkloadShift};
+use software_aging::journal::Journal;
 use software_aging::ml::{LearnerKind, Regressor};
 use software_aging::monitor::FeatureSet;
 use software_aging::obs::{EventKind, FlightRecorder, Registry, Trace};
@@ -122,16 +131,29 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults =
-        FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
-    let args =
-        parse_args(defaults, "BENCH_hetero.json", "METRICS_hetero.json", "TRACE_hetero.json")
-            .inspect_err(|_| {
-                eprintln!(
-                    "usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
-                 [--metrics [PATH]] [--trace [PATH]]"
-                );
-            })?;
+    let defaults = FleetArgs {
+        instances: 24,
+        shards: 4,
+        hours: 6.0,
+        json: None,
+        metrics: None,
+        trace: None,
+        journal: None,
+        replay: false,
+    };
+    let args = parse_args(
+        defaults,
+        "BENCH_hetero.json",
+        "METRICS_hetero.json",
+        "TRACE_hetero.json",
+        "JOURNAL_hetero",
+    )
+    .inspect_err(|_| {
+        eprintln!(
+            "usage: hetero_fleet [--instances N] [--shards N] [--hours H] [--json [PATH]] \
+                 [--metrics [PATH]] [--trace [PATH]] [--journal [DIR]] [--replay]"
+        );
+    })?;
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;
@@ -163,6 +185,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("── class-routed adaptation ──");
     let registry = args.metrics.as_ref().map(|_| Registry::shared());
     let recorder = args.trace.as_ref().map(|_| FlightRecorder::shared());
+    let journal = match &args.journal {
+        Some(dir) => Some(Arc::new(Journal::open(dir)?)),
+        None => None,
+    };
     let mut router_builder = AdaptiveRouter::builder(features.variables().to_vec())
         .classes(class_configs(&features, true)?)
         .config(RouterConfig::builder().retrainer_threads(2).build());
@@ -172,13 +198,27 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     if let Some(recorder) = &recorder {
         router_builder = router_builder.trace(Arc::clone(recorder));
     }
+    if let Some(journal) = &journal {
+        router_builder = router_builder.journal(Arc::clone(journal));
+        if args.replay {
+            router_builder = router_builder.replay();
+        }
+    }
     let router = router_builder.spawn();
+    if args.replay {
+        let stats = router.stats();
+        let restored: u64 = stats.classes.iter().map(|c| c.stats.ingested_checkpoints).sum();
+        println!("replayed journal: {restored} checkpoints restored before any live batch");
+    }
     let mut routed_fleet = Fleet::new(specs(n_leak, n_steady, horizon), config)?;
     if let Some(registry) = &registry {
         routed_fleet = routed_fleet.with_telemetry(Arc::clone(registry));
     }
     if let Some(recorder) = &recorder {
         routed_fleet = routed_fleet.with_trace(Arc::clone(recorder));
+    }
+    if let Some(journal) = &journal {
+        routed_fleet = routed_fleet.with_journal(Arc::clone(journal));
     }
     let mut routed = routed_fleet.run_routed(&router, &features)?;
     router.quiesce(Duration::from_secs(30));
@@ -210,6 +250,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "  bus: {} checkpoints ingested, {} dropped, {} unrouted",
         stats.ingested_checkpoints, stats.dropped_checkpoints, stats.unrouted_checkpoints
     );
+    if let (Some(dir), Some(journal)) = (&args.journal, &journal) {
+        journal.sync()?;
+        assert_eq!(stats.journal_errors, 0, "the routed run must journal cleanly");
+        let j = routed.journal.as_ref().expect("journal attached to the fleet");
+        println!(
+            "  journal: {} records ({} fsyncs, {} rotations) in {dir}",
+            j.appended_records, j.fsyncs, j.segment_rotations
+        );
+    }
 
     // The ISSUE 6 acceptance gate: the snapshot must show the run was
     // actually instrumented, not just that a registry existed.

@@ -117,13 +117,22 @@ fn class_configs(
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let defaults =
-        FleetArgs { instances: 24, shards: 4, hours: 6.0, json: None, metrics: None, trace: None };
+    let defaults = FleetArgs {
+        instances: 24,
+        shards: 4,
+        hours: 6.0,
+        json: None,
+        metrics: None,
+        trace: None,
+        journal: None,
+        replay: false,
+    };
     let args = parse_args(
         defaults,
         "BENCH_self_tuning.json",
         "METRICS_self_tuning.json",
         "TRACE_self_tuning.json",
+        "JOURNAL_self_tuning",
     )
     .inspect_err(|_| {
         eprintln!(
@@ -131,6 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                  [--json [PATH]] [--metrics [PATH]] [--trace [PATH]]"
         );
     })?;
+    if args.journal.is_some() {
+        return Err("--journal: this example does not wire a journal; \
+             see hetero_fleet for the durable-journal demonstration"
+            .into());
+    }
     let n_leak = (args.instances * 2 / 3).max(1);
     let n_steady = (args.instances - n_leak).max(1);
     let horizon = args.hours * 3600.0;

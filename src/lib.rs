@@ -72,6 +72,7 @@ pub use aging_adapt as adapt;
 pub use aging_core as core;
 pub use aging_dataset as dataset;
 pub use aging_fleet as fleet;
+pub use aging_journal as journal;
 pub use aging_ml as ml;
 pub use aging_monitor as monitor;
 pub use aging_obs as obs;
