@@ -44,6 +44,15 @@ pub struct ClassReplay {
     /// folded into one `u64`, comparable against a live run's
     /// [`state digest`](crate::AdaptiveRouter::state_digests).
     pub digest: u64,
+    /// Mean `|predicted − observed|` TTF error over the replay, in
+    /// seconds, where predictions come from the replayed pipeline's *own*
+    /// model generations (not the recorded live predictions). Only
+    /// populated by [`replay_scored`]; `None` from [`replay`] and when no
+    /// row carried a finite label.
+    pub mean_abs_error_secs: Option<f64>,
+    /// Rows that contributed to `mean_abs_error_secs`. Always 0 from
+    /// [`replay`].
+    pub scored_rows: u64,
 }
 
 /// The last fleet partition the journal recorded, if any.
@@ -102,8 +111,54 @@ pub fn replay(
     feature_names: Vec<String>,
     classes: Vec<(ServiceClass, ClassSpec)>,
 ) -> io::Result<ReplayOutcome> {
+    replay_impl(dir, feature_names, classes, false)
+}
+
+/// Like [`replay`], but **scores** each class while it replays: every
+/// checkpoint row is re-predicted from the replayed pipeline's *current*
+/// model generation before ingestion, the recorded live prediction is
+/// replaced with that counterfactual one (so the drift monitor and
+/// threshold policies react to the candidate spec's own errors, not the
+/// incumbent's), and the mean absolute TTF error lands in
+/// [`ClassReplay::mean_abs_error_secs`]. Monitor-only observations carry
+/// no feature vector, so they cannot be re-predicted: they keep their
+/// recorded live prediction and do not contribute to the score.
+///
+/// This is the evaluation backend for policy search: replaying the same
+/// journal under two specs yields directly comparable error/retrain
+/// numbers. Single-threaded and deterministic — identical inputs give
+/// bit-identical digests.
+///
+/// # Errors
+///
+/// Same failure modes as [`replay`].
+pub fn replay_scored(
+    dir: impl AsRef<Path>,
+    feature_names: Vec<String>,
+    classes: Vec<(ServiceClass, ClassSpec)>,
+) -> io::Result<ReplayOutcome> {
+    replay_impl(dir, feature_names, classes, true)
+}
+
+/// One replayed class's in-flight state: the pipeline, the model service
+/// it publishes into (kept for counterfactual prediction), and the
+/// scoring accumulators.
+struct ClassState {
+    class: ServiceClass,
+    pipeline: AdaptationPipeline<InThreadRetrain>,
+    models: Arc<ModelService>,
+    abs_error_sum_secs: f64,
+    scored_rows: u64,
+}
+
+fn replay_impl(
+    dir: impl AsRef<Path>,
+    feature_names: Vec<String>,
+    classes: Vec<(ServiceClass, ClassSpec)>,
+    scored: bool,
+) -> io::Result<ReplayOutcome> {
     let read = Journal::read(dir)?;
-    let mut pipelines: Vec<(ServiceClass, AdaptationPipeline<InThreadRetrain>)> = classes
+    let mut pipelines: Vec<ClassState> = classes
         .into_iter()
         .map(|(class, spec)| {
             spec.config.validate();
@@ -113,13 +168,13 @@ pub fn replay(
                 spec.learner,
                 feature_names.clone(),
                 spec.config.buffer_capacity,
-                models,
+                Arc::clone(&models),
                 HistogramHandle::disabled(),
                 TraceHandle::disabled(),
                 class.as_str().to_string(),
             );
             let pipeline = AdaptationPipeline::new(&spec.config, spec.policy, action);
-            (class, pipeline)
+            ClassState { class, pipeline, models, abs_error_sum_secs: 0.0, scored_rows: 0 }
         })
         .collect();
 
@@ -131,16 +186,38 @@ pub fn replay(
         records += 1;
         match record {
             JournalRecord::Checkpoints { class, rows: batch } => {
-                let Some((_, pipeline)) =
-                    pipelines.iter_mut().find(|(name, _)| name.as_str() == class)
-                else {
+                let Some(state) = pipelines.iter_mut().find(|s| s.class.as_str() == class) else {
                     skipped_records += 1;
                     continue;
                 };
                 rows += batch.len() as u64;
+                let mut ingested: Vec<LabelledCheckpoint> =
+                    batch.iter().cloned().map(LabelledCheckpoint::from).collect();
+                if scored {
+                    // One snapshot per batch: generations only move at
+                    // ingest boundaries, so every row in this batch was
+                    // (counterfactually) predicted by the same model.
+                    let snapshot = state.models.snapshot();
+                    for row in &mut ingested {
+                        // Monitor-only observations record no feature
+                        // vector — nothing to re-predict from. They keep
+                        // their live prediction (still feeding the drift
+                        // monitor) and stay out of the score.
+                        if row.features.is_empty() {
+                            continue;
+                        }
+                        let predicted = snapshot.model.predict(&row.features);
+                        if row.ttf_secs.is_finite() && predicted.is_finite() {
+                            state.abs_error_sum_secs += (predicted - row.ttf_secs).abs();
+                            state.scored_rows += 1;
+                        }
+                        row.predicted_ttf_secs = Some(predicted);
+                        row.predicted_generation = Some(snapshot.generation);
+                    }
+                }
                 // Batch granularity is load-bearing: the retrain gate
                 // fires once per ingested batch, exactly as it did live.
-                pipeline.ingest(batch.iter().cloned().map(LabelledCheckpoint::from).collect());
+                state.pipeline.ingest(ingested);
             }
             JournalRecord::PartitionAssigned { version, assignment } => {
                 partition =
@@ -156,16 +233,19 @@ pub fn replay(
 
     let classes = pipelines
         .into_iter()
-        .map(|(class, pipeline)| {
-            let counters = pipeline.counters();
+        .map(|state| {
+            let counters = state.pipeline.counters();
             ClassReplay {
-                class,
-                generation: pipeline.action().generation(),
-                thresholds: pipeline.thresholds(),
+                class: state.class,
+                generation: state.pipeline.action().generation(),
+                thresholds: state.pipeline.thresholds(),
                 buffered: counters.buffered(),
                 retrains: counters.retrains(),
                 drift_events: counters.drift_events(),
-                digest: pipeline.state_digest(),
+                digest: state.pipeline.state_digest(),
+                mean_abs_error_secs: (state.scored_rows > 0)
+                    .then(|| state.abs_error_sum_secs / state.scored_rows as f64),
+                scored_rows: state.scored_rows,
             }
         })
         .collect();

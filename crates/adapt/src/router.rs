@@ -114,8 +114,18 @@ impl ClassSpecBuilder {
         self
     }
 
-    /// Finishes the spec.
+    /// Finishes the spec, validating the adaptation config and threshold
+    /// policy so an invalid spec — a hand-written one or a generated
+    /// search candidate — fails fast at construction rather than
+    /// mid-replay or mid-ingest.
+    ///
+    /// # Panics
+    ///
+    /// Panics when [`AdaptConfig`] or the policy's invariants are violated
+    /// (zero buffer capacity, non-finite thresholds, inverted quantiles…).
     pub fn build(self) -> ClassSpec {
+        self.spec.config.validate_adaptation();
+        self.spec.policy.validate();
         self.spec
     }
 }
@@ -249,6 +259,10 @@ pub struct RouterStats {
     /// publish and threshold records. Zero when no journal is attached.
     #[serde(default)]
     pub journal_errors: u64,
+    /// Per-class spec swaps applied through
+    /// [`AdaptiveRouter::apply_spec`] (policy-search promotions).
+    #[serde(default)]
+    pub applied_specs: u64,
 }
 
 impl RouterStats {
@@ -264,11 +278,15 @@ impl RouterStats {
 struct ClassShared {
     class: ServiceClass,
     service: Arc<ModelService>,
-    learner: Arc<dyn DynLearner>,
+    /// The learner pool workers fit with. Behind a lock so
+    /// [`AdaptiveRouter::apply_spec`] can hot-swap it; workers clone the
+    /// `Arc` out and fit unlocked.
+    learner: RwLock<Arc<dyn DynLearner>>,
     counters: Arc<PipelineCounters>,
     /// The full spec, kept so the ingest thread can build the class's
-    /// pipeline when it discovers a dynamically registered entry.
-    spec: ClassSpec,
+    /// pipeline when it discovers a dynamically registered entry — and
+    /// rebuild it after a spec swap.
+    spec: RwLock<ClassSpec>,
     /// At most one refit job per class in flight on the pool.
     inflight: AtomicBool,
     /// Set by [`AdaptiveRouter::retire_class`]; the ingest thread drains
@@ -300,6 +318,8 @@ struct RouterShared {
     jobs_done: AtomicU64,
     dynamic_registrations: AtomicU64,
     retirements: AtomicU64,
+    /// Spec swaps applied through [`AdaptiveRouter::apply_spec`].
+    spec_swaps: AtomicU64,
     /// Registry classes resolve their instruments from; `None` leaves
     /// every instrument disabled.
     telemetry: Option<Arc<Registry>>,
@@ -338,6 +358,9 @@ enum RouterCtrl {
     /// Drain class `from`'s training buffer into class `into` and drop
     /// `from`'s pipeline.
     Retire { from: usize, into: usize },
+    /// Rebuild class `idx`'s pipeline from its (just swapped) table spec,
+    /// carrying the sliding training buffer across.
+    ApplySpec { idx: usize },
 }
 
 /// A snapshot of one class's sliding buffer, ready for a pool worker to
@@ -612,6 +635,7 @@ impl AdaptiveRouterBuilder {
             jobs_done: AtomicU64::new(0),
             dynamic_registrations: AtomicU64::new(0),
             retirements: AtomicU64::new(0),
+            spec_swaps: AtomicU64::new(0),
             telemetry: telemetry.clone(),
             trace: trace_handle.clone(),
             journal: journal.clone(),
@@ -748,9 +772,9 @@ fn make_class_shared(
     Arc::new(ClassShared {
         class,
         service,
-        learner: Arc::clone(&spec.learner),
+        learner: RwLock::new(Arc::clone(&spec.learner)),
         counters: Arc::new(PipelineCounters::new(spec.config.drift.error_threshold_secs)),
-        spec,
+        spec: RwLock::new(spec),
         inflight: AtomicBool::new(false),
         retired: AtomicBool::new(false),
         refit_duration,
@@ -919,6 +943,64 @@ impl AdaptiveRouter {
         Ok(())
     }
 
+    /// Swaps a live class onto a new [`ClassSpec`] **while the router
+    /// runs** — the promotion path of policy search. The class's learner,
+    /// adaptation config and threshold policy are replaced; the ingest
+    /// thread rebuilds the class's pipeline from the new spec before it
+    /// routes the next batch, carrying the sliding training buffer across
+    /// (oldest rows dropped if the new capacity is smaller).
+    ///
+    /// Semantics worth knowing:
+    ///
+    /// - `spec.initial` is **ignored**: the class's [`ModelService`]
+    ///   keeps serving its current generation, and the swap lands like
+    ///   any other publish — the next refit (under the new learner)
+    ///   produces the next generation. A promotion changes *how* the
+    ///   class adapts, never rolls back *what* it serves.
+    /// - Drift-monitor state and self-tuned thresholds restart from the
+    ///   new spec's configuration; cumulative counters (ingested,
+    ///   retrains, drift events) carry over.
+    /// - A refit already in flight under the old learner may still
+    ///   publish one generation after this call returns.
+    /// - Spec swaps are not journalled: replay takes the caller's specs,
+    ///   so a recovery replays under whatever spec the caller passes —
+    ///   exactly the counterfactual the tuner scored.
+    ///
+    /// # Errors
+    ///
+    /// [`RouterError::UnknownClass`] when the class was never registered,
+    /// [`RouterError::RetiredClass`] when it has been retired.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a degenerate per-class [`AdaptConfig`] or threshold
+    /// policy, exactly like registration.
+    pub fn apply_spec(&self, class: &ServiceClass, spec: ClassSpec) -> Result<(), RouterError> {
+        spec.config.validate_adaptation();
+        spec.policy.validate();
+        let table = self.shared.table.read().expect("class table poisoned");
+        // By slot, not the name index: a retired name re-points at its
+        // merge target, and silently re-configuring the target is not
+        // what the caller asked for.
+        let idx = table
+            .classes
+            .iter()
+            .position(|c| &c.class == class)
+            .ok_or_else(|| RouterError::UnknownClass(class.clone()))?;
+        let entry = &table.classes[idx];
+        if entry.retired.load(Ordering::Acquire) {
+            return Err(RouterError::RetiredClass(class.clone()));
+        }
+        *entry.learner.write().expect("learner lock poisoned") = Arc::clone(&spec.learner);
+        *entry.spec.write().expect("spec lock poisoned") = spec;
+        drop(table);
+        self.shared.spec_swaps.fetch_add(1, Ordering::Relaxed);
+        // The pipeline rebuild runs on the ingest thread; a hung-up
+        // channel means the router is shutting down.
+        let _ = self.ctrl_tx.send(RouterCtrl::ApplySpec { idx });
+        Ok(())
+    }
+
     /// The serving side of one class, or `None` when the class is not
     /// registered. For a retired class this returns its **merge target's**
     /// service — the model that now serves the retired class's traffic.
@@ -967,6 +1049,7 @@ impl AdaptiveRouter {
             dynamic_registrations: self.shared.dynamic_registrations.load(Ordering::Relaxed),
             retired_classes: self.shared.retirements.load(Ordering::Relaxed),
             journal_errors,
+            applied_specs: self.shared.spec_swaps.load(Ordering::Relaxed),
             classes,
         }
     }
@@ -1087,7 +1170,7 @@ impl IngestPipelines {
         let table = self.shared.table.read().expect("class table poisoned");
         while self.pipelines.len() < table.classes.len() {
             let class_idx = self.pipelines.len();
-            let spec = table.classes[class_idx].spec.clone();
+            let spec = table.classes[class_idx].spec.read().expect("spec lock poisoned").clone();
             let action = PooledRetrain {
                 class_idx,
                 capacity: spec.config.buffer_capacity,
@@ -1152,7 +1235,12 @@ impl IngestPipelines {
         // correctness only needs at least the buffered window.
         let keep_rows = {
             let table = self.shared.table.read().expect("class table poisoned");
-            table.classes.iter().map(|c| c.spec.config.buffer_capacity).max().unwrap_or(0)
+            table
+                .classes
+                .iter()
+                .map(|c| c.spec.read().expect("spec lock poisoned").config.buffer_capacity)
+                .max()
+                .unwrap_or(0)
         };
         match journal.compact(keep_rows) {
             Ok(stats) => {
@@ -1233,6 +1321,56 @@ impl IngestPipelines {
             self.shared.class(into).counters.buffered.store(buffered, Ordering::Relaxed);
         }
     }
+
+    /// Applies a spec swap: rebuild the class's pipeline from the (already
+    /// updated) shared spec, carrying the sliding training buffer across.
+    /// The shared counters `Arc` is reused, so cumulative stats survive
+    /// the swap; drift-monitor state and self-tuned thresholds restart
+    /// from the new spec — that reset is the point of the promotion.
+    fn apply_spec(&mut self, class_idx: usize) {
+        self.sync();
+        let Some(old) = self.pipelines.get_mut(class_idx).and_then(Option::take) else {
+            return;
+        };
+        let rows = old.into_action().buffer;
+        let (spec, class_str, counters) = {
+            let table = self.shared.table.read().expect("class table poisoned");
+            let entry = &table.classes[class_idx];
+            let spec = entry.spec.read().expect("spec lock poisoned").clone();
+            (spec, entry.class.as_str().to_string(), Arc::clone(&entry.counters))
+        };
+        let action = PooledRetrain {
+            class_idx,
+            capacity: spec.config.buffer_capacity,
+            arity: self.feature_names.len(),
+            buffer: VecDeque::with_capacity(spec.config.buffer_capacity),
+            feature_names: Arc::clone(&self.feature_names),
+            shared: Arc::clone(&self.shared),
+            job_tx: self.job_tx.clone(),
+            trace_parent: None,
+        };
+        let mut pipeline = AdaptationPipeline::with_counters(
+            &spec.config,
+            Arc::clone(&spec.policy),
+            counters,
+            action,
+        );
+        if let Some(registry) = &self.shared.telemetry {
+            pipeline.set_instruments(PipelineInstruments::resolve(registry.as_ref(), &class_str));
+        }
+        pipeline.set_trace(self.shared.trace.clone(), &class_str);
+        if let Some(journal) = &self.journal {
+            pipeline.set_journal(Arc::clone(journal), &class_str);
+        }
+        // Carry the training window across; if the new capacity is
+        // smaller, the pooled buffer drops the oldest rows itself.
+        for (row, ttf) in rows {
+            pipeline.action_mut().buffer(row, ttf);
+        }
+        let buffered = pipeline.action().buffered() as u64;
+        self.shared.class(class_idx).counters.buffered.store(buffered, Ordering::Relaxed);
+        self.pipelines[class_idx] = Some(pipeline);
+    }
 }
 
 /// The ingest loop: drain the ring and route every batch into its class's
@@ -1253,8 +1391,11 @@ fn ingest(
     // caller's thread (spawn), where a journal replay may already have
     // run through them.
     let drain_ctrl = |pipelines: &mut IngestPipelines| {
-        while let Ok(RouterCtrl::Retire { from, into }) = ctrl_rx.try_recv() {
-            pipelines.retire(from, into);
+        while let Ok(ctrl) = ctrl_rx.try_recv() {
+            match ctrl {
+                RouterCtrl::Retire { from, into } => pipelines.retire(from, into),
+                RouterCtrl::ApplySpec { idx } => pipelines.apply_spec(idx),
+            }
         }
     };
 
@@ -1306,8 +1447,11 @@ fn refit_worker(shared: Arc<RouterShared>, job_rx: Arc<Mutex<Receiver<RefitJob>>
                 EventScope::root().class(class.class.as_str()).parent(job.parent),
                 EventKind::RefitStarted { rows: job.dataset.len() as u64 },
             );
+            // Snapshot the learner up front: a concurrent spec swap must
+            // not change which learner fits *this* job half-way through.
+            let learner = Arc::clone(&*class.learner.read().expect("learner lock poisoned"));
             let span = class.refit_duration.span();
-            let fitted = class.learner.fit_dyn(&job.dataset);
+            let fitted = learner.fit_dyn(&job.dataset);
             span.finish();
             match fitted {
                 Ok(model) => {
@@ -1663,6 +1807,73 @@ mod tests {
         assert_eq!(sb.stats.ingested_checkpoints, 15, "post-retirement batches route to b");
         assert_eq!(sb.stats.buffered, 45, "a's 30 drained rows + b's own 15: {sb:?}");
         assert_eq!(stats.unrouted_checkpoints, 0);
+    }
+
+    /// Live spec swap: a class frozen under a drift-disabled spec starts
+    /// retraining once a drift-enabled spec is applied, because the swap
+    /// carries the buffered training window across. Cumulative counters
+    /// survive the swap; the stats record it.
+    #[test]
+    fn applied_spec_swaps_policy_and_carries_the_buffer() {
+        let a = ServiceClass::new("a");
+        let frozen = ClassSpec::builder(Arc::new(LinRegLearner::default()), line_model(2.0))
+            .config(
+                AdaptConfig::builder()
+                    .drift(DriftConfig::disabled())
+                    .buffer_capacity(512)
+                    .min_buffer_to_retrain(40)
+                    .build(),
+            )
+            .build();
+        let router = AdaptiveRouter::builder(vec!["x".into()]).class(a.clone(), frozen).spawn();
+        let bus = router.bus();
+        // Truth shifts to y = 500 − 2x while the served model says y = 2x.
+        let truth = |x: f64| 500.0 - 2.0 * x;
+        let shifted = |chunk: usize| {
+            (0..32).map(move |i| {
+                let x = (chunk * 32 + i) as f64 * 0.3;
+                (x, truth(x), Some(2.0 * x))
+            })
+        };
+        for chunk in 0..3 {
+            assert!(bus.publish(batch(&a, shifted(chunk))));
+        }
+        assert!(router.quiesce(Duration::from_secs(10)));
+        // Frozen spec: huge errors, but drift is off — no retrain.
+        assert_eq!(router.stats().class(&a).unwrap().retrains, 0);
+
+        assert!(matches!(
+            router.apply_spec(&ServiceClass::new("nope"), spec(1.0, 150.0)),
+            Err(RouterError::UnknownClass(_))
+        ));
+        router.apply_spec(&a, spec(1.0, 150.0)).unwrap();
+        for chunk in 3..6 {
+            assert!(bus.publish(batch(&a, shifted(chunk))));
+        }
+        assert!(router.quiesce(Duration::from_secs(30)));
+        let stats = router.shutdown();
+        assert_eq!(stats.applied_specs, 1);
+        let sa = stats.class(&a).unwrap();
+        assert!(sa.drift_events >= 1, "the swapped-in drift detector must fire: {sa:?}");
+        assert!(sa.retrains >= 1, "the swapped-in spec must retrain: {sa:?}");
+        assert_eq!(sa.ingested_checkpoints, 192, "counters survive the swap");
+    }
+
+    /// A retired class rejects spec swaps.
+    #[test]
+    fn applied_spec_rejects_retired_classes() {
+        let a = ServiceClass::new("a");
+        let b = ServiceClass::new("b");
+        let router = AdaptiveRouter::builder(vec!["x".into()])
+            .class(a.clone(), spec(1.0, 1e9))
+            .class(b.clone(), spec(1.0, 1e9))
+            .spawn();
+        router.retire_class(&a, &b).unwrap();
+        assert!(matches!(
+            router.apply_spec(&a, spec(1.0, 150.0)),
+            Err(RouterError::RetiredClass(_))
+        ));
+        router.shutdown();
     }
 
     #[test]

@@ -24,6 +24,7 @@ use aging_obs::{
     Recorder, Registry, TraceHandle, Unit,
 };
 use aging_testbed::Scenario;
+use aging_tune::FleetTuner;
 use std::collections::HashMap;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -383,6 +384,7 @@ pub struct Fleet {
     telemetry: Option<Arc<Registry>>,
     trace: Option<Arc<FlightRecorder>>,
     journal: Option<Arc<Journal>>,
+    tuner: Option<FleetTuner>,
 }
 
 impl Fleet {
@@ -402,7 +404,7 @@ impl Fleet {
         for spec in &specs {
             validate_spec(spec)?;
         }
-        Ok(Fleet { specs, config, telemetry: None, trace: None, journal: None })
+        Ok(Fleet { specs, config, telemetry: None, trace: None, journal: None, tuner: None })
     }
 
     /// Attaches a telemetry registry: epoch-phase and barrier-wait timings
@@ -450,6 +452,29 @@ impl Fleet {
     #[must_use]
     pub fn with_journal(mut self, journal: Arc<Journal>) -> Self {
         self.journal = Some(journal);
+        self
+    }
+
+    /// Attaches a background policy tuner to the next
+    /// [`Fleet::run_routed`] call: while the fleet runs, a dedicated
+    /// thread repeatedly searches the rejuvenation-policy space off the
+    /// live checkpoint journal ([`FleetTuner::step`]) and publishes every
+    /// gate-approved promotion into the router via
+    /// [`AdaptiveRouter::apply_spec`] — the fleet literally re-configures
+    /// its own adaptation policies mid-run. The final report carries the
+    /// tuner's counters in [`FleetReport::tuning`].
+    ///
+    /// The tuner inherits the fleet's telemetry registry and trace
+    /// recorder (when attached), so `tune_*` metrics and
+    /// `CandidateEvaluated`/`TuneRoundCompleted`/`PolicyPromoted` events
+    /// land in the same sinks as everything else. Search rounds read the
+    /// journal the run is writing; rounds that race the journal's
+    /// creation are skipped and retried. A run whose promotion gate never
+    /// fires is report-identical to the same run without a tuner (the
+    /// `tuning` field aside, which equality ignores).
+    #[must_use]
+    pub fn with_tuner(mut self, tuner: FleetTuner) -> Self {
+        self.tuner = Some(tuner);
         self
     }
 
@@ -582,7 +607,7 @@ impl Fleet {
     /// Returns [`FleetError::InvalidParameter`] when some instance's class
     /// has no registered model service on the router.
     pub fn run_routed(
-        self,
+        mut self,
         router: &AdaptiveRouter,
         features: &FeatureSet,
     ) -> Result<FleetReport, FleetError> {
@@ -597,9 +622,71 @@ impl Fleet {
                 })
             })
             .collect::<Result<_, _>>()?;
-        let mut report =
-            self.run_bound(ModelBinding::Routed(services), features, Some(router.bus()));
+        let tuner = self.tuner.take();
+        let telemetry = self.telemetry.clone();
+        let trace = self.trace.clone();
+        // Policy search runs beside the epoch loop: one background thread
+        // steps the tuner off the live journal and publishes every
+        // gate-approved promotion into the router as a spec swap. The
+        // thread is scoped, so it can borrow the router and is always
+        // joined before the report leaves.
+        let stop_tuning = AtomicBool::new(false);
+        let (mut report, tuning) = std::thread::scope(|scope| {
+            let tuner_handle = tuner.map(|mut tuner| {
+                if let Some(registry) = &telemetry {
+                    tuner.attach_telemetry(registry);
+                }
+                tuner.attach_trace(trace_of(&trace));
+                let stop_tuning = &stop_tuning;
+                let trace = trace.clone();
+                scope.spawn(move || {
+                    while !stop_tuning.load(Ordering::Acquire) {
+                        let stepped = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                            // Journal read errors are expected while the
+                            // run has not created the directory yet — skip
+                            // the round and retry.
+                            if let Ok(promotions) = tuner.step() {
+                                for promotion in promotions {
+                                    if let Some(initial) = tuner.initial_for(&promotion.class) {
+                                        let _ = router.apply_spec(
+                                            &promotion.class,
+                                            promotion.point.to_spec(initial),
+                                        );
+                                    }
+                                }
+                            }
+                        }));
+                        if stepped.is_err() {
+                            // A panicking search (a learner blowing up on
+                            // replayed data, say) must not strand the run:
+                            // dump the flight recorder once and stop
+                            // tuning; the fleet finishes under whatever
+                            // incumbents are already live.
+                            if let Some(recorder) = &trace {
+                                recorder.dump_once("fleet tuner thread panicked");
+                            }
+                            break;
+                        }
+                        // Breathe between rounds in stop-checking slices so
+                        // shutdown never waits on a sleeping tuner.
+                        for _ in 0..5 {
+                            if stop_tuning.load(Ordering::Acquire) {
+                                break;
+                            }
+                            std::thread::sleep(Duration::from_millis(10));
+                        }
+                    }
+                    tuner.stats()
+                })
+            });
+            let report =
+                self.run_bound(ModelBinding::Routed(services), features, Some(router.bus()));
+            stop_tuning.store(true, Ordering::Release);
+            let tuning = tuner_handle.and_then(|handle| handle.join().ok());
+            (report, tuning)
+        });
         report.routing = Some(router.stats());
+        report.tuning = tuning;
         Ok(report)
     }
 
@@ -722,7 +809,7 @@ impl Fleet {
             _ => self.classes(),
         };
         let n_classes = classes.len();
-        let Fleet { specs, config, telemetry, trace, journal } = self;
+        let Fleet { specs, config, telemetry, trace, journal, tuner: _ } = self;
         let trace_handle = trace_of(&trace);
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);

@@ -90,6 +90,10 @@ pub use report::{
 // name that crate.
 pub use aging_adapt::ServiceClass;
 
+// The policy-search surface a tuned fleet needs: the tuner handed to
+// `Fleet::with_tuner` and the stats type `FleetReport::tuning` carries.
+pub use aging_tune::{FleetTuner, TuneConfig, TuneStats, TunedClass};
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -2,6 +2,7 @@
 
 use aging_adapt::{AdaptationStats, RouterStats};
 use aging_obs::TelemetrySnapshot;
+use aging_tune::TuneStats;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 
@@ -205,6 +206,13 @@ pub struct FleetReport {
     /// from equality; fsync batching is timing-sensitive).
     #[serde(default)]
     pub journal: Option<JournalStats>,
+    /// Policy-search counters — present when a tuner was attached via
+    /// [`crate::Fleet::with_tuner`], `None` otherwise. Excluded from
+    /// equality: how many search rounds the background thread completed
+    /// depends on wall-clock scheduling, and a run whose promotion gate
+    /// never fired must compare equal to the same run without a tuner.
+    #[serde(default)]
+    pub tuning: Option<TuneStats>,
 }
 
 impl PartialEq for FleetReport {
@@ -261,6 +269,7 @@ impl FleetReport {
             timing,
             telemetry: None,
             journal: None,
+            tuning: None,
         }
     }
 
@@ -440,6 +449,26 @@ impl fmt::Display for FleetReport {
                     class.class,
                     class.members,
                     if class.retired { "  [retired]" } else { "" }
+                )?;
+            }
+        }
+        if let Some(tuning) = &self.tuning {
+            writeln!(
+                f,
+                "  policy search      {} rounds  {} candidates  {} accepted  {} promotions",
+                tuning.rounds, tuning.candidates, tuning.accepted, tuning.promotions
+            )?;
+            for class in &tuning.classes {
+                writeln!(
+                    f,
+                    "    class {:<12} rounds {}  promotions {}  incumbent objective {}",
+                    class.class,
+                    class.rounds,
+                    class.promotions,
+                    match class.incumbent_objective_secs {
+                        Some(secs) => format!("{secs:.0} s"),
+                        None => "n/a".into(),
+                    }
                 )?;
             }
         }

@@ -263,6 +263,10 @@ pub enum LearnerKind {
 }
 
 impl LearnerKind {
+    /// Every kind, in declaration order — the iteration surface for
+    /// search spaces and CLI flag validation.
+    pub const ALL: [LearnerKind; 3] = [LearnerKind::M5p, LearnerKind::LinReg, LearnerKind::Gbrt];
+
     /// Builds a fresh shared learner of this kind.
     pub fn learner(&self) -> Arc<dyn DynLearner> {
         match self {
@@ -279,5 +283,46 @@ impl LearnerKind {
             LearnerKind::LinReg => "LinearRegression",
             LearnerKind::Gbrt => "GBRT",
         }
+    }
+
+    /// The inverse of [`LearnerKind::name`]: resolves a display name (or
+    /// the common short aliases `m5p`, `linreg`, `gbrt`) back to its kind,
+    /// case-insensitively. `None` for unknown names — declarative
+    /// configuration (search spaces, `--tune` flags) should reject rather
+    /// than guess.
+    pub fn from_name(name: &str) -> Option<LearnerKind> {
+        match name.to_ascii_lowercase().as_str() {
+            "m5p" => Some(LearnerKind::M5p),
+            "linearregression" | "linreg" => Some(LearnerKind::LinReg),
+            "gbrt" => Some(LearnerKind::Gbrt),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod learner_kind_tests {
+    use super::LearnerKind;
+
+    #[test]
+    fn from_name_round_trips_every_kind() {
+        for kind in LearnerKind::ALL {
+            assert_eq!(LearnerKind::from_name(kind.name()), Some(kind), "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn from_name_is_case_insensitive_and_accepts_aliases() {
+        assert_eq!(LearnerKind::from_name("m5p"), Some(LearnerKind::M5p));
+        assert_eq!(LearnerKind::from_name("LINREG"), Some(LearnerKind::LinReg));
+        assert_eq!(LearnerKind::from_name("gbrt"), Some(LearnerKind::Gbrt));
+        assert_eq!(LearnerKind::from_name("linearregression"), Some(LearnerKind::LinReg));
+    }
+
+    #[test]
+    fn from_name_rejects_unknown_names() {
+        assert_eq!(LearnerKind::from_name(""), None);
+        assert_eq!(LearnerKind::from_name("m5"), None);
+        assert_eq!(LearnerKind::from_name("random-forest"), None);
     }
 }

@@ -458,7 +458,13 @@ impl M5pLearner {
             Some((attr, threshold)) => {
                 let (left_rows, right_rows): (Vec<usize>, Vec<usize>) =
                     rows.iter().partition(|&&i| data.value(i, attr) <= threshold);
-                debug_assert!(!left_rows.is_empty() && !right_rows.is_empty());
+                if left_rows.is_empty() || right_rows.is_empty() {
+                    // Degenerate threshold (cannot happen with the
+                    // midpoint clamped in `split_threshold`, but a
+                    // one-sided partition must never recurse on the full
+                    // row set).
+                    return GrownNode::Leaf { rows };
+                }
                 let left = self.grow(data, left_rows, root_sd);
                 let right = self.grow(data, right_rows, root_sd);
                 GrownNode::Split {
@@ -517,7 +523,7 @@ impl M5pLearner {
                     parent_sd - (nl / n as f64) * var_l.sqrt() - (nr / n as f64) * var_r.sqrt();
 
                 if sdr > best.map_or(0.0, |(s, _, _)| s) {
-                    best = Some((sdr, attr, (v_prev + v_next) / 2.0));
+                    best = Some((sdr, attr, crate::regtree::split_threshold(v_prev, v_next)));
                 }
             }
         }
@@ -674,6 +680,26 @@ mod tests {
         assert_eq!(m.n_inner_nodes(), 0);
         assert_eq!(m.depth(), 0);
         assert_eq!(m.predict(&[3.0]), 7.0);
+    }
+
+    #[test]
+    fn growth_terminates_when_best_boundary_is_adjacent_floats() {
+        // Two adjacent representable doubles: the naive midpoint rounds
+        // up to the larger one and the partition goes one-sided — pre-fix
+        // this recursed forever (see `regtree::split_threshold`).
+        let a = f64::from_bits(1.0f64.to_bits() + 1);
+        let b = f64::from_bits(1.0f64.to_bits() + 2);
+        assert_eq!((a + b) / 2.0, b, "pair chosen so the naive midpoint rounds up");
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for _ in 0..10 {
+            ds.push_row(vec![a], 0.0).unwrap();
+            ds.push_row(vec![b], 100.0).unwrap();
+        }
+        let m =
+            M5pLearner { pruning: false, smoothing: false, ..Default::default() }.fit(&ds).unwrap();
+        assert_eq!(m.n_leaves(), 2);
+        assert!((m.predict(&[a]) - 0.0).abs() < 1e-6);
+        assert!((m.predict(&[b]) - 100.0).abs() < 1e-6);
     }
 
     #[test]

@@ -98,6 +98,27 @@ impl Regressor for RegressionTree {
     }
 }
 
+/// Split threshold between two adjacent sorted attribute values.
+///
+/// The naive midpoint `(lo + hi) / 2` fails in two float corner cases:
+/// it overflows to `±∞` when both values are huge, and it rounds *up to
+/// `hi`* when the two are adjacent representable doubles. Either way the
+/// `value <= threshold` partition then puts every row on one side, and
+/// tree growth recurses forever on an unshrunk row set (a stack
+/// overflow in release builds). Computing the midpoint as an offset from
+/// `lo` and clamping it back to `lo` whenever it escapes `[lo, hi)`
+/// guarantees a two-sided partition: rows valued ≤ `lo` go left, rows
+/// valued ≥ `hi` go right.
+pub(crate) fn split_threshold(lo: f64, hi: f64) -> f64 {
+    debug_assert!(lo < hi);
+    let mid = lo + (hi - lo) / 2.0;
+    if (lo..hi).contains(&mid) {
+        mid
+    } else {
+        lo
+    }
+}
+
 impl Learner for RegTreeLearner {
     type Model = RegressionTree;
 
@@ -137,6 +158,12 @@ impl RegTreeLearner {
         };
         let (lrows, rrows): (Vec<usize>, Vec<usize>) =
             rows.iter().partition(|&&i| data.value(i, attr) <= threshold);
+        if lrows.is_empty() || rrows.is_empty() {
+            // Degenerate threshold (cannot happen with the midpoint
+            // clamped below, but a one-sided partition must never recurse
+            // on the full row set).
+            return leaf(&rows);
+        }
         let left = self.grow(data, lrows, root_sd);
         let right = self.grow(data, rrows, root_sd);
         let split =
@@ -180,7 +207,7 @@ impl RegTreeLearner {
                 let sdr =
                     parent_sd - (nl / n as f64) * var_l.sqrt() - (nr / n as f64) * var_r.sqrt();
                 if sdr > best.map_or(0.0, |(s, _, _)| s) {
-                    best = Some((sdr, attr, (v_prev + v_next) / 2.0));
+                    best = Some((sdr, attr, split_threshold(v_prev, v_next)));
                 }
             }
         }
@@ -221,6 +248,48 @@ mod tests {
         let t = RegTreeLearner::default().fit(&ds).unwrap();
         let p = t.predict(&[1000.0]);
         assert!(p <= 3.0 * 99.0 + 1e-9, "constant leaf cannot exceed max training target");
+    }
+
+    /// Two adjacent representable doubles whose naive midpoint
+    /// `(a + b) / 2` rounds (ties-to-even) up to `b`.
+    fn adjacent_pair() -> (f64, f64) {
+        let a = f64::from_bits(1.0f64.to_bits() + 1);
+        let b = f64::from_bits(1.0f64.to_bits() + 2);
+        assert_eq!((a + b) / 2.0, b, "pair chosen so the naive midpoint rounds up");
+        (a, b)
+    }
+
+    #[test]
+    fn split_threshold_always_partitions_two_sided() {
+        let (a, b) = adjacent_pair();
+        let t = split_threshold(a, b);
+        assert!((a..b).contains(&t), "threshold {t} must leave b strictly right");
+        // Huge same-sign values: the naive midpoint overflows to ∞.
+        let t = split_threshold(f64::MAX / 1.5, f64::MAX);
+        assert!((f64::MAX / 1.5..f64::MAX).contains(&t));
+        // Opposite-sign extremes: `hi - lo` overflows; fall back to `lo`.
+        let t = split_threshold(f64::MIN, f64::MAX);
+        assert!((f64::MIN..f64::MAX).contains(&t));
+        // The ordinary case is still the midpoint.
+        assert_eq!(split_threshold(1.0, 3.0), 2.0);
+    }
+
+    #[test]
+    fn growth_terminates_when_best_boundary_is_adjacent_floats() {
+        // Pre-fix, the threshold between two adjacent doubles rounded up
+        // to the larger one, the `<= threshold` partition put every row
+        // on the left, and `grow` recursed forever on the same rows —
+        // a stack overflow in release builds.
+        let (a, b) = adjacent_pair();
+        let mut ds = Dataset::new(vec!["x".into()], "y");
+        for _ in 0..10 {
+            ds.push_row(vec![a], 0.0).unwrap();
+            ds.push_row(vec![b], 100.0).unwrap();
+        }
+        let t = RegTreeLearner { pruning: false, ..Default::default() }.fit(&ds).unwrap();
+        assert_eq!(t.n_leaves(), 2);
+        assert!((t.predict(&[a]) - 0.0).abs() < 1e-9);
+        assert!((t.predict(&[b]) - 100.0).abs() < 1e-9);
     }
 
     #[test]

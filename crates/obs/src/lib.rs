@@ -35,9 +35,10 @@
 //! # Metric naming conventions
 //!
 //! `<subsystem>_<what>_<unit-or-total>`: subsystem prefixes are `fleet_`,
-//! `adapt_`, `discovery_` and `ml_`; counters end in `_total`, duration
-//! histograms in `_seconds`; the single allowed label is `class` (adapt
-//! and discovery families) or `shard` (fleet phase families).
+//! `adapt_`, `discovery_`, `tune_` and `ml_`; counters end in `_total`,
+//! duration histograms in `_seconds`; the single allowed label is `class`
+//! (adapt, discovery and tune families) or `shard` (fleet phase
+//! families).
 //!
 //! # Example
 //!

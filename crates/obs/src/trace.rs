@@ -127,6 +127,38 @@ pub enum EventKind {
         /// Records dropped past the retention horizon.
         dropped_records: u64,
     },
+    /// Policy search scored one candidate configuration by counterfactual
+    /// journal replay.
+    CandidateEvaluated {
+        /// Zero-based candidate index within its search round.
+        round: u64,
+        /// The neighbourhood operator that generated the candidate.
+        operator: String,
+        /// Replay objective (seconds); `None` when the candidate was
+        /// unscoreable (no labelled rows, unstable replay digest).
+        objective_secs: Option<f64>,
+        /// Whether simulated annealing accepted the candidate as the new
+        /// search position.
+        accepted: bool,
+    },
+    /// One policy-search round over a class completed.
+    TuneRoundCompleted {
+        /// Monotone per-tuner round counter.
+        round: u64,
+        /// Best objective found so far (seconds), when finite.
+        best_objective_secs: Option<f64>,
+        /// The incumbent objective the round searched against (seconds),
+        /// when finite.
+        incumbent_objective_secs: Option<f64>,
+    },
+    /// The promotion gate fired: a searched policy beat the incumbent by
+    /// at least the configured margin and was published to the router.
+    PolicyPromoted {
+        /// Replayed objective of the displaced incumbent (seconds).
+        incumbent_objective_secs: Option<f64>,
+        /// Replayed objective of the promoted candidate (seconds).
+        candidate_objective_secs: Option<f64>,
+    },
 }
 
 impl EventKind {
@@ -150,6 +182,9 @@ impl EventKind {
             EventKind::EpochCompleted { .. } => "EpochCompleted",
             EventKind::JournalReplayed { .. } => "JournalReplayed",
             EventKind::JournalCompacted { .. } => "JournalCompacted",
+            EventKind::CandidateEvaluated { .. } => "CandidateEvaluated",
+            EventKind::TuneRoundCompleted { .. } => "TuneRoundCompleted",
+            EventKind::PolicyPromoted { .. } => "PolicyPromoted",
         }
     }
 }
@@ -683,6 +718,21 @@ fn kind_args(kind: &EventKind, args: &mut Vec<(&'static str, String)>) {
             args.push(("kept_records", json_u64(*kept_records)));
             args.push(("dropped_records", json_u64(*dropped_records)));
         }
+        EventKind::CandidateEvaluated { round, operator, objective_secs, accepted } => {
+            args.push(("round", json_u64(*round)));
+            args.push(("operator", json_str(operator)));
+            args.push(("objective_secs", json_opt_f64(*objective_secs)));
+            args.push(("accepted", accepted.to_string()));
+        }
+        EventKind::TuneRoundCompleted { round, best_objective_secs, incumbent_objective_secs } => {
+            args.push(("round", json_u64(*round)));
+            args.push(("best_objective_secs", json_opt_f64(*best_objective_secs)));
+            args.push(("incumbent_objective_secs", json_opt_f64(*incumbent_objective_secs)));
+        }
+        EventKind::PolicyPromoted { incumbent_objective_secs, candidate_objective_secs } => {
+            args.push(("incumbent_objective_secs", json_opt_f64(*incumbent_objective_secs)));
+            args.push(("candidate_objective_secs", json_opt_f64(*candidate_objective_secs)));
+        }
     }
 }
 
@@ -706,6 +756,10 @@ fn json_f64(v: f64) -> String {
     } else {
         "null".to_string()
     }
+}
+
+fn json_opt_f64(v: Option<f64>) -> String {
+    v.map_or_else(|| "null".to_string(), json_f64)
 }
 
 fn json_str(s: &str) -> String {

@@ -1,0 +1,232 @@
+//! Destroy/repair neighbourhood operators and their adaptive selection
+//! weights (the ALNS machinery).
+
+use crate::point::{PolicyPoint, AXES, RETRAIN_EVERY_BOUNDS};
+use aging_ml::LearnerKind;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A destroy/repair neighbourhood move over [`PolicyPoint`]s.
+///
+/// Each operator takes the current search position (and the incumbent,
+/// for crossover) and produces a candidate; [`PolicyPoint::clamped`]
+/// projects the result back into the valid region, so operators are free
+/// to overshoot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Operator {
+    /// Perturb one uniformly chosen axis: floats get a log-uniform factor
+    /// in `[½, 2]` (quantiles an additive jitter), integers scale the
+    /// same way, booleans flip, and the retrain cadence toggles between
+    /// scheduled and drift-only.
+    PerturbOneAxis,
+    /// Swap the learner for a different [`LearnerKind`], leaving every
+    /// numeric axis alone.
+    SwapLearner,
+    /// Uniform crossover with the incumbent: each axis independently
+    /// keeps the current value or takes the incumbent's.
+    CrossoverWithIncumbent,
+    /// Forget the current position and sample a fresh uniform point —
+    /// the diversification escape hatch.
+    RandomRestart,
+}
+
+impl Operator {
+    /// Every operator, in selection-bank order.
+    pub const ALL: [Operator; 4] = [
+        Operator::PerturbOneAxis,
+        Operator::SwapLearner,
+        Operator::CrossoverWithIncumbent,
+        Operator::RandomRestart,
+    ];
+
+    /// Stable operator name for traces and artifacts.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Operator::PerturbOneAxis => "perturb-one-axis",
+            Operator::SwapLearner => "swap-learner",
+            Operator::CrossoverWithIncumbent => "crossover-with-incumbent",
+            Operator::RandomRestart => "random-restart",
+        }
+    }
+
+    /// Generates a candidate from `current` (and `incumbent`, for
+    /// crossover). The result is **not** clamped; callers clamp.
+    #[must_use]
+    pub(crate) fn apply(
+        &self,
+        current: &PolicyPoint,
+        incumbent: &PolicyPoint,
+        rng: &mut StdRng,
+    ) -> PolicyPoint {
+        match self {
+            Operator::PerturbOneAxis => perturb_one_axis(current, rng),
+            Operator::SwapLearner => swap_learner(current, rng),
+            Operator::CrossoverWithIncumbent => crossover(current, incumbent, rng),
+            Operator::RandomRestart => PolicyPoint::sample(rng),
+        }
+    }
+}
+
+/// Log-uniform multiplier in `[½, 2]`.
+fn factor(rng: &mut StdRng) -> f64 {
+    2f64.powf(rng.gen_range(-1.0..=1.0))
+}
+
+fn scale_usize(v: usize, rng: &mut StdRng) -> usize {
+    ((v as f64 * factor(rng)).round() as usize).max(1)
+}
+
+fn perturb_one_axis(current: &PolicyPoint, rng: &mut StdRng) -> PolicyPoint {
+    let mut p = current.clone();
+    match rng.gen_range(0..AXES) {
+        0 => p.drift_enabled = !p.drift_enabled,
+        1 => p.ewma_alpha *= factor(rng),
+        2 => p.error_threshold_secs *= factor(rng),
+        3 => p.min_observations = scale_usize(p.min_observations, rng),
+        4 => p.cooldown_observations = scale_usize(p.cooldown_observations, rng),
+        5 => p.drift_quantile += rng.gen_range(-0.2..=0.2),
+        6 => p.drift_margin *= factor(rng),
+        7 => p.rejuvenation_quantile += rng.gen_range(-0.2..=0.2),
+        8 => p.rejuvenation_slack_secs += rng.gen_range(-300.0..=300.0),
+        9 => p.min_samples = scale_usize(p.min_samples, rng),
+        10 => p.buffer_capacity = scale_usize(p.buffer_capacity, rng),
+        11 => p.min_buffer_to_retrain = scale_usize(p.min_buffer_to_retrain, rng),
+        _ => {
+            p.retrain_every = match p.retrain_every {
+                Some(every) => {
+                    if rng.gen_bool(0.25) {
+                        None
+                    } else {
+                        Some(scale_usize(every, rng))
+                    }
+                }
+                None => Some(rng.gen_range(RETRAIN_EVERY_BOUNDS.0..=RETRAIN_EVERY_BOUNDS.1)),
+            }
+        }
+    }
+    p
+}
+
+fn swap_learner(current: &PolicyPoint, rng: &mut StdRng) -> PolicyPoint {
+    let mut p = current.clone();
+    let others: Vec<LearnerKind> =
+        LearnerKind::ALL.into_iter().filter(|k| *k != p.learner).collect();
+    p.learner = others[rng.gen_range(0..others.len())];
+    p
+}
+
+fn crossover(current: &PolicyPoint, incumbent: &PolicyPoint, rng: &mut StdRng) -> PolicyPoint {
+    let mut p = current.clone();
+    // One gen_bool per axis keeps the draw count fixed, which keeps the
+    // RNG stream (and therefore the whole search) reproducible.
+    if rng.gen_bool(0.5) {
+        p.learner = incumbent.learner;
+    }
+    if rng.gen_bool(0.5) {
+        p.drift_enabled = incumbent.drift_enabled;
+    }
+    if rng.gen_bool(0.5) {
+        p.ewma_alpha = incumbent.ewma_alpha;
+    }
+    if rng.gen_bool(0.5) {
+        p.error_threshold_secs = incumbent.error_threshold_secs;
+    }
+    if rng.gen_bool(0.5) {
+        p.min_observations = incumbent.min_observations;
+    }
+    if rng.gen_bool(0.5) {
+        p.cooldown_observations = incumbent.cooldown_observations;
+    }
+    if rng.gen_bool(0.5) {
+        p.drift_quantile = incumbent.drift_quantile;
+    }
+    if rng.gen_bool(0.5) {
+        p.drift_margin = incumbent.drift_margin;
+    }
+    if rng.gen_bool(0.5) {
+        p.rejuvenation_quantile = incumbent.rejuvenation_quantile;
+    }
+    if rng.gen_bool(0.5) {
+        p.rejuvenation_slack_secs = incumbent.rejuvenation_slack_secs;
+    }
+    if rng.gen_bool(0.5) {
+        p.min_samples = incumbent.min_samples;
+    }
+    if rng.gen_bool(0.5) {
+        p.buffer_capacity = incumbent.buffer_capacity;
+        p.min_buffer_to_retrain = incumbent.min_buffer_to_retrain;
+    }
+    if rng.gen_bool(0.5) {
+        p.retrain_every = incumbent.retrain_every;
+    }
+    p
+}
+
+/// Realised-improvement reward for finding a new global best.
+pub(crate) const REWARD_NEW_BEST: f64 = 3.0;
+/// Reward for improving on the current search position.
+pub(crate) const REWARD_IMPROVED: f64 = 1.5;
+/// Reward for a candidate accepted by simulated annealing only.
+pub(crate) const REWARD_ACCEPTED: f64 = 0.5;
+
+/// Adaptive roulette over the operator set.
+///
+/// Classic ALNS weight adaptation: operator weights start uniform,
+/// selection is weight-proportional, and after each candidate the chosen
+/// operator's weight moves toward the realised reward tier —
+/// `w ← (1−ρ)·w + ρ·σ` with reaction factor `ρ`. Operators that keep
+/// producing improvements are drawn more; useless ones decay toward
+/// (but never reach) zero weight.
+#[derive(Debug, Clone)]
+pub struct OperatorBank {
+    weights: [f64; Operator::ALL.len()],
+    reaction: f64,
+}
+
+impl OperatorBank {
+    /// Uniform bank with the given reaction factor `ρ ∈ (0, 1]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `reaction` is outside `(0, 1]`.
+    #[must_use]
+    pub fn new(reaction: f64) -> Self {
+        assert!(
+            reaction > 0.0 && reaction <= 1.0,
+            "ALNS reaction factor must be in (0, 1], got {reaction}"
+        );
+        OperatorBank { weights: [1.0; Operator::ALL.len()], reaction }
+    }
+
+    /// Weight-proportional roulette selection.
+    pub fn select(&self, rng: &mut StdRng) -> Operator {
+        let total: f64 = self.weights.iter().sum();
+        let mut draw = rng.gen_range(0.0..total);
+        for (operator, weight) in Operator::ALL.into_iter().zip(self.weights) {
+            if draw < weight {
+                return operator;
+            }
+            draw -= weight;
+        }
+        // Floating-point tail: the draw consumed every slice.
+        Operator::ALL[Operator::ALL.len() - 1]
+    }
+
+    /// Moves `operator`'s weight toward `reward` (one of the tier
+    /// constants, or 0 for a rejected candidate). A small floor keeps
+    /// every operator selectable — pure exploitation would never rescue
+    /// an operator that was unlucky early.
+    pub fn reward(&mut self, operator: Operator, reward: f64) {
+        let i = Operator::ALL.iter().position(|o| *o == operator).expect("operator in bank");
+        self.weights[i] =
+            ((1.0 - self.reaction) * self.weights[i] + self.reaction * reward).max(0.05);
+    }
+
+    /// Current `(operator, weight)` pairs, in bank order.
+    #[must_use]
+    pub fn weights(&self) -> Vec<(Operator, f64)> {
+        Operator::ALL.into_iter().zip(self.weights).collect()
+    }
+}

@@ -1,0 +1,221 @@
+//! The search space: a serialisable point in the rejuvenation policy
+//! space, with validity clamps.
+
+use aging_adapt::{AdaptConfig, ClassSpec, DriftConfig, QuantileAdaptive, ThresholdPolicy};
+use aging_ml::{LearnerKind, Regressor};
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::sync::Arc;
+
+/// Inclusive bounds of one `f64` search axis.
+pub const EWMA_ALPHA_BOUNDS: (f64, f64) = (0.01, 1.0);
+/// Bounds of the drift error-level threshold, seconds.
+pub const ERROR_THRESHOLD_BOUNDS_SECS: (f64, f64) = (30.0, 21_600.0);
+/// Bounds of the drift-monitor debounce (minimum observations).
+pub const MIN_OBSERVATIONS_BOUNDS: (usize, usize) = (4, 512);
+/// Bounds of the post-trigger cooldown, observations.
+pub const COOLDOWN_BOUNDS: (usize, usize) = (8, 4096);
+/// Bounds of both threshold-policy anchor quantiles.
+pub const QUANTILE_BOUNDS: (f64, f64) = (0.05, 0.95);
+/// Bounds of the drift-level margin multiplier.
+pub const DRIFT_MARGIN_BOUNDS: (f64, f64) = (1.0, 16.0);
+/// Bounds of the rejuvenation slack, seconds.
+pub const REJUVENATION_SLACK_BOUNDS_SECS: (f64, f64) = (0.0, 3600.0);
+/// Bounds of the policy's minimum error-sample count.
+pub const MIN_SAMPLES_BOUNDS: (usize, usize) = (8, 256);
+/// Bounds of the sliding training-buffer capacity, rows.
+pub const BUFFER_CAPACITY_BOUNDS: (usize, usize) = (128, 16_384);
+/// Lower bound of the retrain gate, rows (the upper bound is the clamped
+/// buffer capacity).
+pub const MIN_BUFFER_TO_RETRAIN_FLOOR: usize = 16;
+/// Bounds of the periodic retrain cadence, ingested rows, when scheduled.
+pub const RETRAIN_EVERY_BOUNDS: (usize, usize) = (16, 4096);
+
+/// Number of independent axes the neighbourhood operators may touch.
+pub(crate) const AXES: usize = 13;
+
+/// One point in the rejuvenation policy space: everything a
+/// [`ClassSpec`] freezes at spawn, as plain serialisable data.
+///
+/// A `PolicyPoint` is the unit the search loop mutates, scores and
+/// promotes. [`PolicyPoint::clamped`] projects any point back into the
+/// valid region (the bounds above), and [`PolicyPoint::to_spec`] lowers a
+/// point into a ready [`ClassSpec`] — via the validating builders, so a
+/// point that somehow escaped the clamps still fails fast rather than
+/// mid-replay.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PolicyPoint {
+    /// Training algorithm for refits.
+    pub learner: LearnerKind,
+    /// Whether prediction-error drift detection runs at all.
+    pub drift_enabled: bool,
+    /// Drift-monitor EWMA smoothing factor, in `(0, 1]`.
+    pub ewma_alpha: f64,
+    /// Drift error-level threshold, seconds.
+    pub error_threshold_secs: f64,
+    /// Drift-monitor debounce: observations before the detector may fire.
+    pub min_observations: usize,
+    /// Observations the monitor stays quiet after firing.
+    pub cooldown_observations: usize,
+    /// Quantile anchoring the self-tuned drift level.
+    pub drift_quantile: f64,
+    /// Multiplier lifting the drift level above its anchor (≥ 1).
+    pub drift_margin: f64,
+    /// Quantile anchoring the self-tuned rejuvenation trigger.
+    pub rejuvenation_quantile: f64,
+    /// Safety margin added to the rejuvenation anchor, seconds.
+    pub rejuvenation_slack_secs: f64,
+    /// Minimum error samples before the policy moves thresholds.
+    pub min_samples: usize,
+    /// Sliding training-buffer capacity, rows.
+    pub buffer_capacity: usize,
+    /// Labelled rows required before a triggered retrain runs.
+    pub min_buffer_to_retrain: usize,
+    /// Periodic retrain cadence in ingested rows; `None` retrains on
+    /// drift only.
+    pub retrain_every: Option<usize>,
+}
+
+impl Default for PolicyPoint {
+    /// The workspace defaults: M5P, [`DriftConfig::default`],
+    /// [`AdaptConfig::default`] sizing and [`QuantileAdaptive::default`]
+    /// quantiles.
+    fn default() -> Self {
+        let drift = DriftConfig::default();
+        let adapt = AdaptConfig::default();
+        let policy = QuantileAdaptive::default();
+        PolicyPoint {
+            learner: LearnerKind::M5p,
+            drift_enabled: drift.enabled,
+            ewma_alpha: drift.ewma_alpha,
+            error_threshold_secs: drift.error_threshold_secs,
+            min_observations: drift.min_observations,
+            cooldown_observations: drift.cooldown_observations,
+            drift_quantile: policy.drift_quantile,
+            drift_margin: policy.drift_margin,
+            rejuvenation_quantile: policy.rejuvenation_quantile,
+            rejuvenation_slack_secs: policy.rejuvenation_slack_secs,
+            min_samples: policy.min_samples,
+            buffer_capacity: adapt.buffer_capacity,
+            min_buffer_to_retrain: adapt.min_buffer_to_retrain,
+            retrain_every: adapt.retrain_every,
+        }
+    }
+}
+
+fn clamp_f64(v: f64, (lo, hi): (f64, f64)) -> f64 {
+    if v.is_finite() {
+        v.clamp(lo, hi)
+    } else {
+        lo
+    }
+}
+
+fn clamp_usize(v: usize, (lo, hi): (usize, usize)) -> usize {
+    v.clamp(lo, hi)
+}
+
+impl PolicyPoint {
+    /// Projects the point into the valid region: every axis is clamped to
+    /// its documented bounds, non-finite floats collapse to the lower
+    /// bound, and the retrain gate is capped by the (clamped) buffer
+    /// capacity. Clamping is idempotent, and a clamped point always
+    /// passes the [`ClassSpec`] builder's validation.
+    #[must_use]
+    pub fn clamped(&self) -> PolicyPoint {
+        let buffer_capacity = clamp_usize(self.buffer_capacity, BUFFER_CAPACITY_BOUNDS);
+        PolicyPoint {
+            learner: self.learner,
+            drift_enabled: self.drift_enabled,
+            ewma_alpha: clamp_f64(self.ewma_alpha, EWMA_ALPHA_BOUNDS),
+            error_threshold_secs: clamp_f64(self.error_threshold_secs, ERROR_THRESHOLD_BOUNDS_SECS),
+            min_observations: clamp_usize(self.min_observations, MIN_OBSERVATIONS_BOUNDS),
+            cooldown_observations: clamp_usize(self.cooldown_observations, COOLDOWN_BOUNDS),
+            drift_quantile: clamp_f64(self.drift_quantile, QUANTILE_BOUNDS),
+            drift_margin: clamp_f64(self.drift_margin, DRIFT_MARGIN_BOUNDS),
+            rejuvenation_quantile: clamp_f64(self.rejuvenation_quantile, QUANTILE_BOUNDS),
+            rejuvenation_slack_secs: clamp_f64(
+                self.rejuvenation_slack_secs,
+                REJUVENATION_SLACK_BOUNDS_SECS,
+            ),
+            min_samples: clamp_usize(self.min_samples, MIN_SAMPLES_BOUNDS),
+            buffer_capacity,
+            min_buffer_to_retrain: clamp_usize(
+                self.min_buffer_to_retrain,
+                (MIN_BUFFER_TO_RETRAIN_FLOOR, buffer_capacity),
+            ),
+            retrain_every: self.retrain_every.map(|n| clamp_usize(n, RETRAIN_EVERY_BOUNDS)),
+        }
+    }
+
+    /// Samples a uniformly random valid point — the random-restart
+    /// operator's repair step.
+    #[must_use]
+    pub fn sample(rng: &mut StdRng) -> PolicyPoint {
+        let learner = LearnerKind::ALL[rng.gen_range(0..LearnerKind::ALL.len())];
+        let buffer_capacity = rng.gen_range(BUFFER_CAPACITY_BOUNDS.0..=BUFFER_CAPACITY_BOUNDS.1);
+        PolicyPoint {
+            learner,
+            drift_enabled: rng.gen_bool(0.75),
+            ewma_alpha: rng.gen_range(EWMA_ALPHA_BOUNDS.0..=EWMA_ALPHA_BOUNDS.1),
+            error_threshold_secs: rng
+                .gen_range(ERROR_THRESHOLD_BOUNDS_SECS.0..=ERROR_THRESHOLD_BOUNDS_SECS.1),
+            min_observations: rng.gen_range(MIN_OBSERVATIONS_BOUNDS.0..=MIN_OBSERVATIONS_BOUNDS.1),
+            cooldown_observations: rng.gen_range(COOLDOWN_BOUNDS.0..=COOLDOWN_BOUNDS.1),
+            drift_quantile: rng.gen_range(QUANTILE_BOUNDS.0..=QUANTILE_BOUNDS.1),
+            drift_margin: rng.gen_range(DRIFT_MARGIN_BOUNDS.0..=DRIFT_MARGIN_BOUNDS.1),
+            rejuvenation_quantile: rng.gen_range(QUANTILE_BOUNDS.0..=QUANTILE_BOUNDS.1),
+            rejuvenation_slack_secs: rng
+                .gen_range(REJUVENATION_SLACK_BOUNDS_SECS.0..=REJUVENATION_SLACK_BOUNDS_SECS.1),
+            min_samples: rng.gen_range(MIN_SAMPLES_BOUNDS.0..=MIN_SAMPLES_BOUNDS.1),
+            buffer_capacity,
+            min_buffer_to_retrain: rng.gen_range(MIN_BUFFER_TO_RETRAIN_FLOOR..=buffer_capacity),
+            retrain_every: rng
+                .gen_bool(0.5)
+                .then(|| rng.gen_range(RETRAIN_EVERY_BOUNDS.0..=RETRAIN_EVERY_BOUNDS.1)),
+        }
+    }
+
+    /// Lowers the (clamped) point into a ready [`ClassSpec`] serving
+    /// `initial` as generation 0.
+    ///
+    /// Goes through [`ClassSpec::builder`] and [`AdaptConfig::builder`],
+    /// so the result is validated exactly like a hand-written spec.
+    /// Fields this crate does not search (trend-segmentation tuning, the
+    /// policy's threshold clamps) keep their workspace defaults.
+    #[must_use]
+    pub fn to_spec(&self, initial: Arc<dyn Regressor>) -> ClassSpec {
+        let p = self.clamped();
+        let drift = if p.drift_enabled {
+            DriftConfig {
+                ewma_alpha: p.ewma_alpha,
+                error_threshold_secs: p.error_threshold_secs,
+                min_observations: p.min_observations,
+                cooldown_observations: p.cooldown_observations,
+                ..Default::default()
+            }
+        } else {
+            DriftConfig::disabled()
+        };
+        let mut config = AdaptConfig::builder()
+            .drift(drift)
+            .buffer_capacity(p.buffer_capacity)
+            .min_buffer_to_retrain(p.min_buffer_to_retrain);
+        if let Some(every) = p.retrain_every {
+            config = config.retrain_every(every);
+        }
+        let policy: Arc<dyn ThresholdPolicy> = Arc::new(QuantileAdaptive {
+            drift_quantile: p.drift_quantile,
+            drift_margin: p.drift_margin,
+            rejuvenation_quantile: p.rejuvenation_quantile,
+            rejuvenation_slack_secs: p.rejuvenation_slack_secs,
+            min_samples: p.min_samples,
+            ..Default::default()
+        });
+        ClassSpec::builder(p.learner.learner(), initial)
+            .config(config.build())
+            .policy(policy)
+            .build()
+    }
+}

@@ -1,0 +1,213 @@
+//! Property-based guarantees of the policy-search building blocks:
+//!
+//! 1. **replay determinism** — scoring any sampled candidate against any
+//!    recorded journal twice yields bit-identical digests and objectives
+//!    (the foundation the promotion gate's measurements stand on);
+//! 2. **gate strictness** — the promotion gate never promotes ties or
+//!    within-margin wins, never promotes an unscoreable candidate, and
+//!    is monotone in the margin: anything a stricter gate promotes, a
+//!    looser gate promotes too;
+//! 3. **clamp validity** — clamping is idempotent and every clamped
+//!    point (however mangled the input) lowers into a spec that passes
+//!    the validating builders.
+
+use aging_dataset::Dataset;
+use aging_journal::{Journal, JournalCheckpoint, JournalRecord};
+use aging_ml::linreg::LinRegLearner;
+use aging_ml::{Learner, Regressor};
+use aging_tune::{Evaluator, PolicyPoint, PromotionGate};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    static N: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "tune-props-{}-{tag}-{}",
+        std::process::id(),
+        N.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn line_model() -> Arc<dyn Regressor> {
+    let mut ds = Dataset::new(vec!["x".into()], "y");
+    for i in 0..30 {
+        ds.push_row(vec![i as f64], 2.0 * i as f64).unwrap();
+    }
+    Arc::from(LinRegLearner::default().fit_boxed(&ds).unwrap())
+}
+
+/// Journals `labels` as single-feature checkpoint batches, lacing in one
+/// monitor-only (empty-feature) observation per batch to exercise the
+/// scorer's skip path.
+fn write_journal(dir: &PathBuf, labels: &[f64]) {
+    let journal = Journal::open(dir).unwrap();
+    for (chunk_idx, chunk) in labels.chunks(16).enumerate() {
+        let mut rows: Vec<JournalCheckpoint> = chunk
+            .iter()
+            .enumerate()
+            .map(|(i, &ttf)| {
+                let x = (chunk_idx * 16 + i) as f64;
+                JournalCheckpoint {
+                    features: vec![x],
+                    ttf_secs: ttf,
+                    predicted_ttf_secs: Some(2.0 * x),
+                    predicted_generation: Some(0),
+                    monitor_only: false,
+                }
+            })
+            .collect();
+        rows.push(JournalCheckpoint {
+            features: Vec::new(),
+            ttf_secs: 300.0,
+            predicted_ttf_secs: Some(250.0),
+            predicted_generation: Some(0),
+            monitor_only: true,
+        });
+        journal.append(&JournalRecord::Checkpoints { class: "svc".into(), rows }).unwrap();
+    }
+    journal.sync().unwrap();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    // Invariant 1: replay under identical specs is digest-identical
+    // run-to-run, for any journal contents and any sampled candidate —
+    // objectives compare bit for bit, so a search can trust them.
+    #[test]
+    fn replay_under_identical_specs_is_digest_identical(
+        seed in 0u64..1_000_000,
+        labels in prop::collection::vec(1.0f64..5000.0, 8..48),
+    ) {
+        let dir = tmp_dir("digest");
+        write_journal(&dir, &labels);
+        let candidate = PolicyPoint::sample(&mut StdRng::seed_from_u64(seed)).clamped();
+        let evaluator = Evaluator::new(
+            &dir,
+            vec!["x".into()],
+            aging_adapt::ServiceClass::new("svc"),
+            line_model(),
+        );
+        let first = evaluator.evaluate(&candidate).unwrap();
+        let second = evaluator.evaluate(&candidate).unwrap();
+        prop_assert_eq!(first.digest, second.digest, "state digests must match run-to-run");
+        prop_assert_eq!(
+            first.objective_secs.to_bits(),
+            second.objective_secs.to_bits(),
+            "objectives must be bit-identical: {} vs {}",
+            first.objective_secs,
+            second.objective_secs
+        );
+        prop_assert_eq!(first.scored_rows, second.scored_rows);
+        prop_assert_eq!(first.retrains, second.retrains);
+        prop_assert_eq!(first.generation, second.generation);
+        // Monitor-only rows never reach the scorer.
+        prop_assert_eq!(first.scored_rows, labels.len() as u64);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // Invariant 2a: ties and within-margin wins never promote, whatever
+    // the margin — `frac` sweeps the candidate across the whole
+    // not-good-enough region [incumbent × (1 − margin), ∞).
+    #[test]
+    fn gate_never_promotes_ties_or_within_margin_wins(
+        incumbent in 0.0f64..100_000.0,
+        margin in 0.0f64..0.99,
+        frac in 0.0f64..3.0,
+    ) {
+        let gate = PromotionGate::new(margin);
+        prop_assert!(!gate.promotes(incumbent, incumbent), "ties must never promote");
+        let candidate = incumbent * (1.0 - margin) * (1.0 + frac);
+        prop_assert!(
+            !gate.promotes(candidate, incumbent),
+            "candidate {} is not below incumbent {} × (1 − {})",
+            candidate, incumbent, margin
+        );
+        prop_assert!(
+            !gate.promotes(f64::INFINITY, incumbent),
+            "an unscoreable candidate must never promote"
+        );
+        prop_assert!(
+            !gate.promotes(f64::NAN, incumbent),
+            "a NaN objective must never promote"
+        );
+    }
+
+    // Invariant 2b: the gate is monotone in the margin — a promotion
+    // through a stricter gate always passes a looser one.
+    #[test]
+    fn gate_is_monotone_in_the_margin(
+        candidate in 0.0f64..100_000.0,
+        incumbent in 0.0f64..100_000.0,
+        margin_lo in 0.0f64..0.9,
+        bump in 0.0f64..0.09,
+    ) {
+        let strict = PromotionGate::new(margin_lo + bump);
+        let loose = PromotionGate::new(margin_lo);
+        if strict.promotes(candidate, incumbent) {
+            prop_assert!(
+                loose.promotes(candidate, incumbent),
+                "margin {} promoted {}/{} but margin {} rejected it",
+                margin_lo + bump, candidate, incumbent, margin_lo
+            );
+        }
+        // Any finite candidate displaces an unscoreable incumbent.
+        prop_assert!(strict.promotes(candidate, f64::INFINITY));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // Invariant 3: clamping is idempotent and always produces a point the
+    // validating spec builders accept — even from mangled inputs laced
+    // with NaN/∞/negatives and zero-sized buffers.
+    #[test]
+    fn clamping_is_idempotent_and_always_lowers_into_a_valid_spec(
+        seed in 0u64..1_000_000,
+        raw in prop::collection::vec(-1.0e12f64..1.0e12, 8),
+        mangle in 0u8..7,
+    ) {
+        let mut point = PolicyPoint::sample(&mut StdRng::seed_from_u64(seed));
+        point.ewma_alpha = raw[0];
+        point.error_threshold_secs = raw[1];
+        point.drift_quantile = raw[2];
+        point.drift_margin = raw[3];
+        point.rejuvenation_quantile = raw[4];
+        point.rejuvenation_slack_secs = raw[5];
+        point.min_observations = raw[6].abs() as usize;
+        point.buffer_capacity = raw[7].abs() as usize;
+        point.min_buffer_to_retrain = point.buffer_capacity.wrapping_mul(3);
+        match mangle {
+            0 => point.ewma_alpha = f64::NAN,
+            1 => point.error_threshold_secs = f64::INFINITY,
+            2 => point.drift_margin = f64::NEG_INFINITY,
+            3 => point.buffer_capacity = 0,
+            4 => point.retrain_every = Some(0),
+            5 => point.retrain_every = Some(usize::MAX),
+            _ => point.min_samples = 0,
+        }
+        let clamped = point.clamped();
+        prop_assert_eq!(&clamped, &clamped.clamped(), "clamping must be idempotent");
+        prop_assert!(
+            clamped.min_buffer_to_retrain <= clamped.buffer_capacity,
+            "retrain gate {} above buffer capacity {}",
+            clamped.min_buffer_to_retrain, clamped.buffer_capacity
+        );
+        // The real guarantee: lowering never panics, because the clamped
+        // point satisfies every builder validation. (`to_spec` clamps
+        // internally, so even the mangled point lowers fine.)
+        let _ = clamped.to_spec(line_model());
+        let _ = point.to_spec(line_model());
+    }
+}

@@ -32,6 +32,11 @@
 //!   into the running fleet, and class-routed adaptation for
 //!   heterogeneous fleets (one model service per `ServiceClass` over a
 //!   shared retrainer pool),
+//! - [`tune`] — self-optimising policy search: ALNS-style destroy/repair
+//!   search over the rejuvenation policy space (learner choice, drift
+//!   debounce, threshold-policy quantiles, buffer/refit cadence), scored
+//!   by counterfactual journal replay and promoted into the live router
+//!   through a margin-guarded gate,
 //! - [`obs`] — the zero-overhead telemetry layer: a lock-free metrics
 //!   registry (atomic counters/gauges, log2-bucket histograms, labelled
 //!   families keyed by class or shard), RAII phase timers, and Prometheus /
@@ -77,3 +82,4 @@ pub use aging_ml as ml;
 pub use aging_monitor as monitor;
 pub use aging_obs as obs;
 pub use aging_testbed as testbed;
+pub use aging_tune as tune;
