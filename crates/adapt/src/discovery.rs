@@ -500,6 +500,22 @@ impl ClassDiscovery {
     /// its gate clears, and the next evaluation starts from the adopted
     /// structure.
     pub fn evaluate(&mut self, signatures: &[Option<Vec<f64>>]) -> DiscoveryOutcome {
+        self.evaluate_with_population(signatures, signatures.len())
+    }
+
+    /// [`evaluate`], but with the min-ready-fraction gate computed against
+    /// an explicit live population instead of the slot count. Elastic
+    /// fleets pre-allocate signature slots for instances that have not
+    /// joined yet (and keep slots for retired ones), so the slot count
+    /// over-states the fleet and would hold the gate closed forever once
+    /// enough instances retire.
+    ///
+    /// [`evaluate`]: ClassDiscovery::evaluate
+    pub fn evaluate_with_population(
+        &mut self,
+        signatures: &[Option<Vec<f64>>],
+        live_population: usize,
+    ) -> DiscoveryOutcome {
         self.evaluations += 1;
         let mut outcome = DiscoveryOutcome {
             assignment: vec![None; signatures.len()],
@@ -526,7 +542,7 @@ impl ClassDiscovery {
         // too small a fraction of the fleet to be a representative sample:
         // assign to the nearest existing centroid, change nothing.
         let required_ready =
-            (signatures.len() as f64 * self.config.min_ready_fraction).ceil() as usize;
+            (live_population as f64 * self.config.min_ready_fraction).ceil() as usize;
         if ready.len() < (k_cur * self.config.min_members).max(2).max(required_ready) {
             for ((instance, _), point) in ready.iter().zip(&std_points) {
                 outcome.assignment[*instance] = Some(self.nearest_active(point, &scales));

@@ -224,10 +224,15 @@ fn replay_impl(
                     Some(ReplayPartition { version: *version, assignment: assignment.clone() });
             }
             // Audit records: regenerated by re-execution, not re-applied.
+            // Membership records fold into a roster via
+            // `aging_journal::MembershipFold` — they carry no checkpoint
+            // rows, so the adaptation replay passes over them.
             JournalRecord::GenerationPublished { .. }
             | JournalRecord::ThresholdsRederived { .. }
             | JournalRecord::ClassRegistered { .. }
-            | JournalRecord::ClassRetired { .. } => {}
+            | JournalRecord::ClassRetired { .. }
+            | JournalRecord::InstanceJoined { .. }
+            | JournalRecord::InstanceRetired { .. } => {}
         }
     }
 

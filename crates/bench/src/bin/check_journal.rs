@@ -14,7 +14,7 @@
 //! journal the example smoke runs (and the kill-and-restart smoke) leave
 //! behind.
 
-use aging_journal::{Journal, JournalRecord};
+use aging_journal::{Journal, JournalRecord, MembershipFold};
 use std::process::ExitCode;
 
 /// Checks one journal directory; returns a short summary line on success.
@@ -24,6 +24,7 @@ fn check(dir: &str) -> Result<String, String> {
     let mut batches = 0u64;
     let mut rows = 0u64;
     let mut audits = 0u64;
+    let mut fold = MembershipFold::new();
     for (seq, record) in &outcome.records {
         if last_seq.is_some_and(|last| *seq <= last) {
             return Err(format!(
@@ -39,10 +40,25 @@ fn check(dir: &str) -> Result<String, String> {
             }
             _ => audits += 1,
         }
+        // Membership records must fold cleanly in sequence order — a
+        // retire that never saw a join means the log lost or reordered
+        // records, and replaying it would restore the wrong roster.
+        fold.apply(record).map_err(|e| format!("seq {seq}: {e}"))?;
     }
+    let membership = if fold.joins() > 0 {
+        format!(
+            ", membership folds clean ({} joins / {} retires → {} live, digest {:016x})",
+            fold.joins(),
+            fold.retires(),
+            fold.live().len(),
+            fold.digest(),
+        )
+    } else {
+        String::new()
+    };
     Ok(format!(
         "{} records ({batches} checkpoint batches / {rows} rows, {audits} audit records) \
-         across {} segments, {} torn bytes truncated",
+         across {} segments, {} torn bytes truncated{membership}",
         outcome.records.len(),
         outcome.segments,
         outcome.truncated_bytes,
@@ -145,6 +161,50 @@ mod tests {
         let summary = check(dir.to_str().unwrap()).unwrap();
         assert!(summary.contains("2 torn bytes truncated"), "{summary}");
         assert!(summary.contains("8 checkpoint batches"), "{summary}");
+    }
+
+    #[test]
+    fn membership_records_fold_into_the_summary() {
+        let dir = tmp_dir("membership");
+        write_journal(&dir);
+        let journal = Journal::open(&dir).unwrap();
+        let join = |name: &str, epoch| JournalRecord::InstanceJoined {
+            instance: name.into(),
+            class: "leaky".into(),
+            epoch,
+        };
+        journal.append(&join("web-0", 0)).unwrap();
+        journal.append(&join("web-1", 0)).unwrap();
+        journal
+            .append(&JournalRecord::InstanceRetired {
+                instance: "web-0".into(),
+                epoch: 40,
+                forced: true,
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let summary = check(dir.to_str().unwrap()).unwrap();
+        assert!(
+            summary.contains("membership folds clean (2 joins / 1 retires → 1 live"),
+            "{summary}"
+        );
+    }
+
+    #[test]
+    fn rejects_a_retire_without_a_join() {
+        let dir = tmp_dir("orphan-retire");
+        write_journal(&dir);
+        let journal = Journal::open(&dir).unwrap();
+        journal
+            .append(&JournalRecord::InstanceRetired {
+                instance: "ghost".into(),
+                epoch: 9,
+                forced: false,
+            })
+            .unwrap();
+        journal.sync().unwrap();
+        let err = check(dir.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("retired without a join"), "{err}");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! The fleet engine: sharding, the worker pool and lock-step epochs.
 
+use crate::churn::{potential_roster, ChurnPlan};
 use crate::config::{
     validate_config, validate_discovery, validate_spec, DiscoverySetup, FleetConfig, FleetError,
     InstanceSpec,
@@ -9,11 +10,12 @@ use crate::report::{
     DiscoveredClass, DiscoveryEvaluation, DiscoveryReport, FleetReport, FleetTiming,
     InstanceReport, JournalStats,
 };
-use crate::shard::{EpochModels, Shard, ShardInstruments};
+use crate::scheduler::{run_elastic, ElasticArgs, SchedulerConfig};
+use crate::shard::{Shard, ShardInstruments};
+use crate::step::EpochStep;
 use aging_adapt::discovery::{ClassDiscovery, SignatureAccumulator};
 use aging_adapt::{
-    AdaptiveRouter, AdaptiveService, CheckpointBus, ClassSpec, ModelService, ModelSnapshot,
-    ServiceClass,
+    AdaptiveRouter, AdaptiveService, CheckpointBus, ClassSpec, ModelService, ServiceClass,
 };
 use aging_core::{AgingPredictor, RejuvenationPolicy};
 use aging_journal::{Journal, JournalRecord};
@@ -42,7 +44,7 @@ use std::time::{Duration, Instant};
 /// polling a generation counter costs one atomic load per class — and
 /// re-pins at the next epoch boundary after a publish, so one epoch's
 /// batch is always served by exactly one generation per class.
-enum ModelBinding<'a> {
+pub(crate) enum ModelBinding<'a> {
     Frozen(&'a dyn Regressor),
     Adaptive(&'a ModelService),
     Routed(Vec<Arc<ModelService>>),
@@ -110,9 +112,9 @@ impl DiscoveryInstruments {
 #[cfg(test)]
 pub(crate) static DISCOVERY_PANIC_AT: AtomicU64 = AtomicU64::new(u64::MAX);
 
-struct DiscoveryRuntime<'a> {
+pub(crate) struct DiscoveryRuntime<'a> {
     router: &'a AdaptiveRouter,
-    setup: &'a DiscoverySetup,
+    pub(crate) setup: &'a DiscoverySetup,
     /// Durable journal: each discovery step appends the partition it
     /// just published, so a replay can restore the assignment alongside
     /// the learned state. `None` without [`Fleet::with_journal`].
@@ -123,21 +125,30 @@ struct DiscoveryRuntime<'a> {
     /// The fleet-side class table, indexed by discovery class id:
     /// `(class name, serving side)`. Append-only — retired classes keep
     /// their slot so worker pins stay aligned.
-    classes: RwLock<Vec<(ServiceClass, Arc<ModelService>)>>,
-    /// Current class id per instance (spec order).
-    assignment: Vec<AtomicUsize>,
-    /// Latest signature per instance (spec order), refreshed at
-    /// reassessment boundaries.
-    signatures: Vec<Mutex<Option<Vec<f64>>>>,
+    pub(crate) classes: RwLock<Vec<(ServiceClass, Arc<ModelService>)>>,
+    /// Current class id per instance (roster order).
+    pub(crate) assignment: Vec<AtomicUsize>,
+    /// Latest signature per instance (roster order), refreshed at
+    /// reassessment boundaries. Elastic runs size this for the *potential*
+    /// roster; slots of instances that never join stay `None`.
+    pub(crate) signatures: Vec<Mutex<Option<Vec<f64>>>>,
+    /// Provisioned population: instances that joined minus instances
+    /// churn-retired. The min-ready-fraction gate of every discovery
+    /// evaluation is computed against this *live* count, not the slot
+    /// count — a half-empty roster of potential autoscale spawns must not
+    /// starve the gate. Natural horizon ageing does **not** decrement it
+    /// (dead instances keep their signatures and kept counting before
+    /// elasticity, bit-compatibly).
+    pub(crate) population: AtomicUsize,
     discovery: Mutex<ClassDiscovery>,
     reassignments: AtomicU64,
     /// Per-evaluation timeline, folded into the final report.
     log: Mutex<Vec<DiscoveryEvaluation>>,
     /// Bumped after every discovery step; workers re-sync when it moves.
-    version: AtomicU64,
+    pub(crate) version: AtomicU64,
     /// A panic raised inside the leader's discovery step — caught so the
     /// barrier protocol can drain, rethrown to the caller after join.
-    panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    pub(crate) panic_payload: Mutex<Option<Box<dyn std::any::Any + Send>>>,
     /// Leader-side discovery telemetry; disabled handles without a
     /// registry.
     instruments: DiscoveryInstruments,
@@ -147,10 +158,12 @@ struct DiscoveryRuntime<'a> {
 }
 
 impl DiscoveryRuntime<'_> {
-    /// One partition re-evaluation, run by the barrier leader while every
-    /// worker is parked between the epoch's two barrier waits.
-    /// `epochs_done` is the number of completed fleet epochs.
-    fn step(&self, epochs_done: u64) {
+    /// One partition re-evaluation, run in the single-threaded leader
+    /// window — by the barrier leader between the epoch's two waits
+    /// (lock-step), or by the scheduled leader task with every shard
+    /// parked at the boundary (event-driven). `epochs_done` is the number
+    /// of completed fleet epochs.
+    pub(crate) fn step(&self, epochs_done: u64) {
         #[cfg(test)]
         if epochs_done == DISCOVERY_PANIC_AT.load(Ordering::Relaxed) {
             panic!("synthetic discovery panic at epoch {epochs_done}");
@@ -162,8 +175,11 @@ impl DiscoveryRuntime<'_> {
             .map(|m| m.lock().expect("signature slot poisoned").clone())
             .collect();
         let ready = signatures.iter().filter(|s| s.is_some()).count();
-        let outcome =
-            self.discovery.lock().expect("discovery engine poisoned").evaluate(&signatures);
+        let outcome = self
+            .discovery
+            .lock()
+            .expect("discovery engine poisoned")
+            .evaluate_with_population(&signatures, self.population.load(Ordering::Relaxed));
         self.instruments.silhouette.set(outcome.silhouette);
         self.instruments.splits.add(outcome.new_classes.len() as u64);
         self.instruments.merges.add(outcome.retired.len() as u64);
@@ -342,7 +358,7 @@ impl DiscoveryRuntime<'_> {
 /// the worker actually serving the new model. Called only when a refresh
 /// moved the pin, which is rare; the enabled check keeps even that path
 /// free when tracing is off.
-fn emit_swaps(
+pub(crate) fn emit_swaps(
     trace: &TraceHandle,
     class: &str,
     shard: u32,
@@ -362,6 +378,39 @@ fn emit_swaps(
                 .parent(service.publish_event_for(generation)),
             EventKind::SwapApplied,
         );
+    }
+}
+
+/// Builds one [`Instance`] for the given binding — used for the initial
+/// roster and for every elastic join, so a joiner is wired exactly like a
+/// founding member. `global_idx` is the instance's slot in the (potential)
+/// roster; discovered runs read their current class assignment from it.
+pub(crate) fn make_instance(
+    spec: InstanceSpec,
+    features: &FeatureSet,
+    binding: &ModelBinding<'_>,
+    classes: &[ServiceClass],
+    joined_epoch: u64,
+    global_idx: usize,
+) -> Instance {
+    match binding {
+        ModelBinding::Discovered(runtime) => {
+            let table = runtime.classes.read().expect("class table poisoned");
+            let id = runtime.assignment[global_idx].load(Ordering::Relaxed);
+            let mut instance = Instance::new(spec, features, id, joined_epoch);
+            instance.enable_discovery(
+                SignatureAccumulator::new(runtime.setup.signature, features.variables()),
+                table[id].0.clone(),
+            );
+            instance
+        }
+        _ => {
+            let class_idx = classes
+                .iter()
+                .position(|c| c == &spec.class)
+                .expect("class table covers every spec, churn joiners included");
+            Instance::new(spec, features, class_idx, joined_epoch)
+        }
     }
 }
 
@@ -385,6 +434,8 @@ pub struct Fleet {
     trace: Option<Arc<FlightRecorder>>,
     journal: Option<Arc<Journal>>,
     tuner: Option<FleetTuner>,
+    churn: Option<ChurnPlan>,
+    scheduler: Option<SchedulerConfig>,
 }
 
 impl Fleet {
@@ -404,7 +455,16 @@ impl Fleet {
         for spec in &specs {
             validate_spec(spec)?;
         }
-        Ok(Fleet { specs, config, telemetry: None, trace: None, journal: None, tuner: None })
+        Ok(Fleet {
+            specs,
+            config,
+            telemetry: None,
+            trace: None,
+            journal: None,
+            tuner: None,
+            churn: None,
+            scheduler: None,
+        })
     }
 
     /// Attaches a telemetry registry: epoch-phase and barrier-wait timings
@@ -478,6 +538,38 @@ impl Fleet {
         self
     }
 
+    /// Attaches a [`ChurnPlan`]: scripted joins/retires and optional
+    /// load-driven autoscaling make the population elastic. A fleet with
+    /// a (non-empty) plan always executes on the event-driven scheduler
+    /// (`with_scheduler`'s defaults unless one was attached explicitly) —
+    /// the lock-step barrier engine assumes a fixed population.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FleetError::InvalidParameter`] when the plan is
+    /// inconsistent with the fleet's roster: a join at epoch 0, a
+    /// duplicated or invalid joining spec, a retire of an unknown
+    /// instance or one scheduled at/before its own join, or a degenerate
+    /// autoscale rule.
+    pub fn with_churn(mut self, plan: ChurnPlan) -> Result<Self, FleetError> {
+        plan.validate(&self.specs)?;
+        self.churn = Some(plan);
+        Ok(self)
+    }
+
+    /// Runs the fleet on the event-driven epoch scheduler instead of the
+    /// lock-step barrier loop: shards advance through a ready queue, a
+    /// slow shard never stalls the fleet, and the single-threaded leader
+    /// window (discovery re-partition, autoscaling) becomes a scheduled
+    /// task at epoch boundaries. On a churn-free fleet the scheduled
+    /// report is bit-identical to the lock-step one (asserted by the
+    /// determinism-oracle tests).
+    #[must_use]
+    pub fn with_scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = Some(scheduler);
+        self
+    }
+
     /// Convenience constructor: `n` deployments of the same scenario and
     /// policy, with seeds `base_seed, base_seed + 1, …` so every instance
     /// ages along its own sample path.
@@ -522,11 +614,14 @@ impl Fleet {
 
     /// The distinct service classes of this fleet, in first-appearance
     /// order over the specs — the class table every routed run indexes.
+    /// Elastic fleets include the classes of every *potential* member
+    /// (scripted joiners and the autoscale template), so a joiner's model
+    /// service exists before it ever joins.
     pub fn classes(&self) -> Vec<ServiceClass> {
         let mut classes: Vec<ServiceClass> = Vec::new();
-        for spec in &self.specs {
+        for (_, spec, _) in potential_roster(&self.specs, self.churn.as_ref()) {
             if !classes.contains(&spec.class) {
-                classes.push(spec.class.clone());
+                classes.push(spec.class);
             }
         }
         classes
@@ -746,8 +841,14 @@ impl Fleet {
         if let Some(registry) = &telemetry {
             discovery_engine.set_recorder(Arc::clone(registry) as Arc<dyn Recorder>);
         }
-        let n = self.specs.len();
-        let instance_names: Vec<String> = self.specs.iter().map(|s| s.name.clone()).collect();
+        // Elastic runs size the runtime's slots for the *potential*
+        // roster — initial specs, scripted joiners, the autoscale pool —
+        // so membership changes never reallocate shared state. Joined
+        // instances always occupy a contiguous prefix of the roster.
+        let roster = potential_roster(&self.specs, self.churn.as_ref());
+        let n_slots = roster.len();
+        let instance_names: Vec<String> =
+            roster.iter().map(|(_, spec, _)| spec.name.clone()).collect();
         let (mut report, discovery_report) = {
             let runtime = DiscoveryRuntime {
                 router: &router,
@@ -758,8 +859,9 @@ impl Fleet {
                     seed_class.clone(),
                     router.model_service(&seed_class).expect("seed class registered above"),
                 )]),
-                assignment: (0..n).map(|_| AtomicUsize::new(0)).collect(),
-                signatures: (0..n).map(|_| Mutex::new(None)).collect(),
+                assignment: (0..n_slots).map(|_| AtomicUsize::new(0)).collect(),
+                signatures: (0..n_slots).map(|_| Mutex::new(None)).collect(),
+                population: AtomicUsize::new(self.specs.len()),
                 discovery: Mutex::new(discovery_engine),
                 reassignments: AtomicU64::new(0),
                 log: Mutex::new(Vec::new()),
@@ -779,7 +881,10 @@ impl Fleet {
             if let Some(payload) = runtime.panic_payload.lock().expect("payload slot").take() {
                 std::panic::resume_unwind(payload);
             }
-            (report, runtime.report(n))
+            // Joined instances are a roster prefix, so the per-instance
+            // report count is exactly the slice the partition covers.
+            let joined = report.instances.len();
+            (report, runtime.report(joined))
         };
         report.discovery = Some(discovery_report);
         // Settle the learning side so the reported counters are final.
@@ -809,7 +914,7 @@ impl Fleet {
             _ => self.classes(),
         };
         let n_classes = classes.len();
-        let Fleet { specs, config, telemetry, trace, journal, tuner: _ } = self;
+        let Fleet { specs, config, telemetry, trace, journal, tuner: _, churn, scheduler } = self;
         let trace_handle = trace_of(&trace);
         let n_instances = specs.len();
         let n_shards = config.shards.min(n_instances).max(1);
@@ -820,26 +925,7 @@ impl Fleet {
             let mut buckets: Vec<Vec<(usize, Instance)>> =
                 (0..n_shards).map(|_| Vec::new()).collect();
             for (i, spec) in specs.into_iter().enumerate() {
-                let instance = match &binding {
-                    ModelBinding::Discovered(runtime) => {
-                        let mut instance = Instance::new(spec, features, 0);
-                        instance.enable_discovery(
-                            SignatureAccumulator::new(
-                                runtime.setup.signature,
-                                features.variables(),
-                            ),
-                            classes[0].clone(),
-                        );
-                        instance
-                    }
-                    _ => {
-                        let class_idx = classes
-                            .iter()
-                            .position(|c| c == &spec.class)
-                            .expect("class table built from these specs");
-                        Instance::new(spec, features, class_idx)
-                    }
-                };
+                let instance = make_instance(spec, features, &binding, &classes, 0, i);
                 buckets[i % n_shards].push((i, instance));
             }
             buckets
@@ -852,322 +938,220 @@ impl Fleet {
                 shard.set_instruments(ShardInstruments::resolve(registry, idx));
             }
         }
-        // Barrier-wait histograms (one per shard) and the fleet epoch
-        // counter, resolved once before the pool starts; disabled handles
-        // keep the untelemetered loop free of clock reads.
-        let barrier_waits: Vec<HistogramHandle> = (0..n_shards)
-            .map(|idx| match &telemetry {
-                Some(registry) => registry.histogram_with(
-                    "fleet_barrier_wait_seconds",
-                    "Wall time one shard spends parked per epoch-barrier wait (two waits per epoch)",
-                    Unit::Seconds,
-                    "shard",
-                    &idx.to_string(),
-                ),
-                None => HistogramHandle::disabled(),
-            })
-            .collect();
+        // The fleet epoch counter, resolved once before any pool starts;
+        // a disabled handle keeps the untelemetered loop free of clock
+        // reads. Both engines advance it so `fleet_epochs_total` always
+        // equals the report's epoch count.
         let epochs_counter = match &telemetry {
             Some(registry) => {
                 registry.counter("fleet_epochs_total", "Completed lock-step fleet epochs")
             }
             None => CounterHandle::disabled(),
         };
-
-        // Lock-step epoch loop. Every worker advances its shard by one
-        // checkpoint, then the fleet synchronises on a barrier. Liveness is
-        // accumulated into a parity-indexed counter pair: epoch `e` adds to
-        // `live[e % 2]`, and between the two barrier waits — when no thread
-        // can be writing either counter — the leader zeroes the counter the
-        // *next* epoch will use. Workers therefore agree on "anyone still
-        // live?" at every epoch and exit together.
-        //
-        // A panicking epoch (a model or simulator assertion) must not strand
-        // the sibling workers at the barrier, so each epoch runs under
-        // `catch_unwind`: the panicking worker still completes the epoch's
-        // two waits while raising the shared `panicked` flag, every worker
-        // exits at the epoch boundary, and the payload is rethrown on join.
-        let barrier = Barrier::new(n_shards);
-        let live = [AtomicU64::new(0), AtomicU64::new(0)];
-        let panicked = AtomicBool::new(false);
         let default_class = ServiceClass::default();
         let started = Instant::now();
         let binding = &binding;
-        let classes = &classes;
+        let classes = &classes[..];
 
-        let epochs = std::thread::scope(|scope| {
-            let handles: Vec<_> = shards
-                .iter_mut()
-                .enumerate()
-                .map(|(shard_idx, shard)| {
-                    let barrier = &barrier;
-                    let live = &live;
-                    let panicked = &panicked;
-                    let trace_recorder = trace.as_deref();
-                    let default_class = &default_class;
-                    let config = &config;
-                    let barrier_wait = barrier_waits[shard_idx].clone();
-                    let epochs_counter = epochs_counter.clone();
-                    let trace_handle = trace_handle.clone();
-                    scope.spawn(move || {
-                        // Adaptive/routed runs pin one model snapshot per
-                        // class per epoch: pins are refreshed at epoch
-                        // boundaries only, and only when the generation
-                        // counter moved, so a publish mid-epoch never
-                        // splits a batch across two models.
-                        let mut pins: Vec<ModelSnapshot> = match binding {
-                            ModelBinding::Frozen(_) => Vec::new(),
-                            ModelBinding::Adaptive(service) => vec![service.snapshot()],
-                            ModelBinding::Routed(services) => {
-                                services.iter().map(|s| s.snapshot()).collect()
-                            }
-                            ModelBinding::Discovered(runtime) => runtime
-                                .classes
-                                .read()
-                                .expect("class table poisoned")
-                                .iter()
-                                .map(|(_, s)| s.snapshot())
-                                .collect(),
-                        };
-                        // Discovered runs: this worker's view of the class
-                        // table, re-synced when the runtime version moves.
-                        let mut services: Vec<Arc<ModelService>> = match binding {
-                            ModelBinding::Discovered(runtime) => runtime
-                                .classes
-                                .read()
-                                .expect("class table poisoned")
-                                .iter()
-                                .map(|(_, s)| Arc::clone(s))
-                                .collect(),
-                            _ => Vec::new(),
-                        };
-                        // Class names aligned with `services`/`pins` — the
-                        // labels this shard's swap-apply events carry.
-                        let mut class_names: Vec<ServiceClass> = match binding {
-                            ModelBinding::Discovered(runtime) => runtime
-                                .classes
-                                .read()
-                                .expect("class table poisoned")
-                                .iter()
-                                .map(|(name, _)| name.clone())
-                                .collect(),
-                            _ => Vec::new(),
-                        };
-                        let mut seen_version = 0u64;
-                        // Effective rejuvenation thresholds follow the same
-                        // epoch-boundary discipline as the pins: read once
-                        // per class per epoch from the class's model
-                        // service, so a self-tuning policy's update lands
-                        // at an epoch edge, never mid-batch. All `None`
-                        // (the fixed-policy state) leaves the spec
-                        // thresholds in force — bit-identical to the
-                        // pre-policy engine.
-                        let mut thresholds: Vec<Option<f64>> = vec![None; n_classes];
-                        let mut epoch = 0u64;
-                        loop {
-                            match binding {
-                                ModelBinding::Frozen(_) => {}
-                                ModelBinding::Adaptive(service) => {
-                                    let before = pins[0].generation;
-                                    if service.refresh(&mut pins[0]) {
-                                        emit_swaps(
-                                            &trace_handle,
-                                            default_class.as_str(),
-                                            shard_idx as u32,
-                                            before,
-                                            pins[0].generation,
-                                            service,
-                                        );
-                                    }
-                                    // One service serves every class.
-                                    thresholds.fill(service.rejuvenation_threshold_secs());
-                                }
-                                ModelBinding::Routed(services) => {
-                                    for (class_idx, ((service, pin), threshold)) in services
-                                        .iter()
-                                        .zip(&mut pins)
-                                        .zip(&mut thresholds)
-                                        .enumerate()
-                                    {
-                                        let before = pin.generation;
-                                        if service.refresh(pin) {
-                                            emit_swaps(
-                                                &trace_handle,
-                                                classes[class_idx].as_str(),
-                                                shard_idx as u32,
-                                                before,
-                                                pin.generation,
-                                                service,
-                                            );
-                                        }
-                                        *threshold = service.rejuvenation_threshold_secs();
-                                    }
-                                }
-                                ModelBinding::Discovered(runtime) => {
-                                    // Apply the leader's latest partition —
-                                    // new classes, retirements, re-routed
-                                    // instances — exactly at this epoch
-                                    // boundary.
-                                    let version = runtime.version.load(Ordering::Acquire);
-                                    if version != seen_version {
-                                        seen_version = version;
-                                        let table =
-                                            runtime.classes.read().expect("class table poisoned");
-                                        for (orig, instance) in shard.instances.iter_mut() {
-                                            let id =
-                                                runtime.assignment[*orig].load(Ordering::Relaxed);
-                                            instance.set_class(id, table[id].0.clone());
-                                        }
-                                        while services.len() < table.len() {
-                                            let (name, service) = &table[services.len()];
-                                            pins.push(service.snapshot());
-                                            class_names.push(name.clone());
-                                            services.push(Arc::clone(service));
-                                        }
-                                        drop(table);
-                                        shard.ensure_classes(services.len());
-                                        thresholds.resize(services.len(), None);
-                                    }
-                                    for (class_idx, ((service, pin), threshold)) in services
-                                        .iter()
-                                        .zip(&mut pins)
-                                        .zip(&mut thresholds)
-                                        .enumerate()
-                                    {
-                                        let before = pin.generation;
-                                        if service.refresh(pin) {
-                                            emit_swaps(
-                                                &trace_handle,
-                                                class_names[class_idx].as_str(),
-                                                shard_idx as u32,
-                                                before,
-                                                pin.generation,
-                                                service,
-                                            );
-                                        }
-                                        *threshold = service.rejuvenation_threshold_secs();
-                                    }
-                                }
-                            }
-                            // The model table this epoch serves from —
-                            // borrows of `pins`, no per-epoch allocation.
-                            let models = match binding {
-                                ModelBinding::Frozen(model) => {
-                                    EpochModels::Uniform { model: *model, generation: 0 }
-                                }
-                                ModelBinding::Adaptive(_) => EpochModels::Uniform {
-                                    model: pins[0].model.as_ref(),
-                                    generation: pins[0].generation,
-                                },
-                                ModelBinding::Routed(_) | ModelBinding::Discovered(_) => {
-                                    EpochModels::PerClass(&pins)
-                                }
-                            };
-                            let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                shard.epoch(models, &thresholds, config) as u64
-                            }));
-                            let shard_live = match &outcome {
-                                Ok(n) => *n,
-                                Err(_) => {
-                                    panicked.store(true, Ordering::SeqCst);
-                                    // Flight-recorder dump: the newest
-                                    // events leading up to the panic, once
-                                    // per recorder across every panic site,
-                                    // before the payload is rethrown.
-                                    if let Some(recorder) = trace_recorder {
-                                        recorder.dump_once(&format!(
-                                            "fleet worker panicked on shard {shard_idx} \
-                                             (epoch {epoch})"
-                                        ));
-                                    }
-                                    0
-                                }
-                            };
-                            // Reassessment boundary: publish this shard's
-                            // signatures before the barrier so the leader
-                            // sees every instance's latest stream.
-                            let reassess = match binding {
-                                ModelBinding::Discovered(runtime) => {
-                                    (epoch + 1) % runtime.setup.reassess_every_epochs == 0
-                                }
-                                _ => false,
-                            };
-                            if reassess {
-                                if let ModelBinding::Discovered(runtime) = binding {
-                                    for (orig, instance) in shard.instances.iter() {
-                                        *runtime.signatures[*orig]
-                                            .lock()
-                                            .expect("signature slot poisoned") =
-                                            instance.signature();
-                                    }
-                                }
-                            }
-                            let parity = (epoch % 2) as usize;
-                            live[parity].fetch_add(shard_live, Ordering::SeqCst);
-                            let wait_span = barrier_wait.span();
-                            let wait = barrier.wait();
-                            wait_span.finish();
-                            let keep_going = live[parity].load(Ordering::SeqCst) > 0
-                                && !panicked.load(Ordering::SeqCst);
-                            if wait.is_leader() {
-                                epochs_counter.inc();
-                                let _ = trace_handle
-                                    .emit(EventScope::root(), EventKind::EpochCompleted { epoch });
-                                live[1 - parity].store(0, Ordering::SeqCst);
-                                // The inter-barrier window is the epoch
-                                // protocol's only single-threaded section:
-                                // the leader re-evaluates the partition
-                                // here, every other worker parked at the
-                                // second wait. A panicking step must not
-                                // strand them — catch, flag, rethrow after
-                                // join.
-                                if reassess && keep_going {
-                                    if let ModelBinding::Discovered(runtime) = binding {
-                                        if let Err(payload) =
-                                            std::panic::catch_unwind(AssertUnwindSafe(|| {
-                                                runtime.step(epoch + 1)
-                                            }))
-                                        {
-                                            panicked.store(true, Ordering::SeqCst);
-                                            // Same once-per-recorder dump
-                                            // as the worker path — whoever
-                                            // panics first wins the gate.
-                                            if let Some(recorder) = trace_recorder {
-                                                recorder.dump_once(&format!(
-                                                    "discovery step panicked at epoch {}",
-                                                    epoch + 1
-                                                ));
-                                            }
-                                            *runtime.panic_payload.lock().expect("payload slot") =
-                                                Some(payload);
-                                        }
-                                    }
-                                }
-                            }
-                            let wait_span = barrier_wait.span();
-                            barrier.wait();
-                            wait_span.finish();
-                            epoch += 1;
-                            if let Err(payload) = outcome {
-                                std::panic::resume_unwind(payload);
-                            }
-                            if !keep_going {
-                                return epoch;
-                            }
-                        }
-                    })
+        // Elastic runs — a churn plan or an explicit scheduler config —
+        // execute on the event-driven epoch scheduler; everything else
+        // keeps the lock-step barrier loop (the determinism oracle).
+        let elastic = churn.is_some() || scheduler.is_some();
+        let (epochs, churn_stats, scheduler_stats) = if elastic {
+            let outcome = run_elastic(ElasticArgs {
+                shards: &mut shards,
+                binding,
+                classes,
+                default_class: &default_class,
+                config: &config,
+                features,
+                churn: churn.as_ref(),
+                scheduler: scheduler.unwrap_or_default(),
+                telemetry: telemetry.as_deref(),
+                trace_recorder: trace.as_deref(),
+                trace: trace_handle.clone(),
+                journal: journal.as_deref(),
+                epochs_counter: epochs_counter.clone(),
+            });
+            // Churn accounting only reports when a plan was attached: a
+            // plain scheduled run must compare equal to its lock-step
+            // oracle, and `FleetReport::churn` participates in equality.
+            (outcome.epochs, churn.as_ref().map(|_| outcome.churn), Some(outcome.scheduler))
+        } else {
+            // Barrier-wait histograms (one per shard) and the leader-phase
+            // histogram, resolved once before the pool starts.
+            let barrier_waits: Vec<HistogramHandle> = (0..n_shards)
+                .map(|idx| match &telemetry {
+                    Some(registry) => registry.histogram_with(
+                        "fleet_barrier_wait_seconds",
+                        "Wall time one shard spends parked per epoch-barrier wait (two waits per epoch)",
+                        Unit::Seconds,
+                        "shard",
+                        &idx.to_string(),
+                    ),
+                    None => HistogramHandle::disabled(),
                 })
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| match h.join() {
-                    Ok(epochs) => epochs,
-                    // Rethrow the worker's original payload to the caller.
-                    Err(payload) => std::panic::resume_unwind(payload),
-                })
-                .max()
-                .unwrap_or(0)
-        });
+            // The leader's inter-barrier work gets its own series — before
+            // this existed, leader time was silently blamed on every other
+            // worker's barrier-wait histogram.
+            let leader_hist = match &telemetry {
+                Some(registry) => registry.histogram(
+                    "fleet_leader_step_seconds",
+                    "Wall time of the leader's single-threaded inter-barrier window per epoch",
+                    Unit::Seconds,
+                ),
+                None => HistogramHandle::disabled(),
+            };
+
+            // Lock-step epoch loop. Every worker advances its shard by one
+            // checkpoint ([`EpochStep::run`], shared with the event-driven
+            // scheduler), then the fleet synchronises on a barrier.
+            // Liveness is accumulated into a parity-indexed counter pair:
+            // epoch `e` adds to `live[e % 2]`, and between the two barrier
+            // waits — when no thread can be writing either counter — the
+            // leader zeroes the counter the *next* epoch will use. Workers
+            // therefore agree on "anyone still live?" at every epoch and
+            // exit together.
+            //
+            // A panicking epoch (a model or simulator assertion) must not
+            // strand the sibling workers at the barrier, so each epoch runs
+            // under `catch_unwind`: the panicking worker still completes
+            // the epoch's two waits while raising the shared `panicked`
+            // flag, every worker exits at the epoch boundary, and the
+            // payload is rethrown on join.
+            let barrier = Barrier::new(n_shards);
+            let live = [AtomicU64::new(0), AtomicU64::new(0)];
+            let panicked = AtomicBool::new(false);
+
+            let epochs = std::thread::scope(|scope| {
+                let handles: Vec<_> = shards
+                    .iter_mut()
+                    .enumerate()
+                    .map(|(shard_idx, shard)| {
+                        let barrier = &barrier;
+                        let live = &live;
+                        let panicked = &panicked;
+                        let trace_recorder = trace.as_deref();
+                        let default_class = &default_class;
+                        let config = &config;
+                        let barrier_wait = barrier_waits[shard_idx].clone();
+                        let leader_hist = leader_hist.clone();
+                        let epochs_counter = epochs_counter.clone();
+                        let trace_handle = trace_handle.clone();
+                        scope.spawn(move || {
+                            let mut step =
+                                EpochStep::new(binding, n_classes, shard_idx, trace_handle.clone());
+                            let mut epoch = 0u64;
+                            loop {
+                                let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                    step.run(shard, binding, classes, default_class, config, epoch)
+                                        as u64
+                                }));
+                                let shard_live = match &outcome {
+                                    Ok(n) => *n,
+                                    Err(_) => {
+                                        panicked.store(true, Ordering::SeqCst);
+                                        // Flight-recorder dump: the newest
+                                        // events leading up to the panic,
+                                        // once per recorder across every
+                                        // panic site, before the payload is
+                                        // rethrown.
+                                        if let Some(recorder) = trace_recorder {
+                                            recorder.dump_once(&format!(
+                                                "fleet worker panicked on shard {shard_idx} \
+                                                 (epoch {epoch})"
+                                            ));
+                                        }
+                                        0
+                                    }
+                                };
+                                // Reassessment boundary: publish this
+                                // shard's signatures before the barrier so
+                                // the leader sees every instance's latest
+                                // stream.
+                                let reassess = EpochStep::reassess_after(binding, epoch);
+                                if reassess {
+                                    if let ModelBinding::Discovered(runtime) = binding {
+                                        EpochStep::publish_signatures(shard, runtime);
+                                    }
+                                }
+                                let parity = (epoch % 2) as usize;
+                                live[parity].fetch_add(shard_live, Ordering::SeqCst);
+                                let wait_span = barrier_wait.span();
+                                let wait = barrier.wait();
+                                wait_span.finish();
+                                let keep_going = live[parity].load(Ordering::SeqCst) > 0
+                                    && !panicked.load(Ordering::SeqCst);
+                                if wait.is_leader() {
+                                    let leader_span = leader_hist.span();
+                                    epochs_counter.inc();
+                                    let _ = trace_handle.emit(
+                                        EventScope::root(),
+                                        EventKind::EpochCompleted { epoch },
+                                    );
+                                    live[1 - parity].store(0, Ordering::SeqCst);
+                                    // The inter-barrier window is the epoch
+                                    // protocol's only single-threaded
+                                    // section: the leader re-evaluates the
+                                    // partition here, every other worker
+                                    // parked at the second wait. A panicking
+                                    // step must not strand them — catch,
+                                    // flag, rethrow after join.
+                                    if reassess && keep_going {
+                                        if let ModelBinding::Discovered(runtime) = binding {
+                                            if let Err(payload) =
+                                                std::panic::catch_unwind(AssertUnwindSafe(|| {
+                                                    runtime.step(epoch + 1)
+                                                }))
+                                            {
+                                                panicked.store(true, Ordering::SeqCst);
+                                                // Same once-per-recorder
+                                                // dump as the worker path —
+                                                // whoever panics first wins
+                                                // the gate.
+                                                if let Some(recorder) = trace_recorder {
+                                                    recorder.dump_once(&format!(
+                                                        "discovery step panicked at epoch {}",
+                                                        epoch + 1
+                                                    ));
+                                                }
+                                                *runtime
+                                                    .panic_payload
+                                                    .lock()
+                                                    .expect("payload slot") = Some(payload);
+                                            }
+                                        }
+                                    }
+                                    leader_span.finish();
+                                }
+                                let wait_span = barrier_wait.span();
+                                barrier.wait();
+                                wait_span.finish();
+                                epoch += 1;
+                                if let Err(payload) = outcome {
+                                    std::panic::resume_unwind(payload);
+                                }
+                                if !keep_going {
+                                    return epoch;
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| match h.join() {
+                        Ok(epochs) => epochs,
+                        // Rethrow the worker's original payload to the
+                        // caller.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    })
+                    .max()
+                    .unwrap_or(0)
+            });
+            (epochs, None, None)
+        };
 
         let wall_secs = started.elapsed().as_secs_f64();
         let mut reports: Vec<(usize, InstanceReport)> = shards
@@ -1188,6 +1172,8 @@ impl Fleet {
             config.rejuvenation.horizon_secs,
             timing,
         );
+        report.churn = churn_stats;
+        report.scheduler = scheduler_stats;
         report.telemetry = telemetry.as_ref().map(|registry| registry.snapshot());
         report.journal = journal.as_ref().map(|journal| JournalStats {
             appended_records: journal.appended(),

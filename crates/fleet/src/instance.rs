@@ -107,10 +107,22 @@ pub struct Instance {
     ttf_error_sum: f64,
     ttf_error_count: u64,
     retired: bool,
+    // Membership lifetime, in fleet epochs. The lock-step engine records
+    // the same transitions as the event-driven scheduler, so the fields
+    // participate in report equality (part of the oracle guarantee).
+    joined_epoch: u64,
+    retired_epoch: Option<u64>,
+    retired_forced: bool,
+    retirement_announced: bool,
 }
 
 impl Instance {
-    pub(crate) fn new(spec: InstanceSpec, features: &FeatureSet, class_idx: usize) -> Self {
+    pub(crate) fn new(
+        spec: InstanceSpec,
+        features: &FeatureSet,
+        class_idx: usize,
+        joined_epoch: u64,
+    ) -> Self {
         Instance {
             extractor: FeatureExtractor::new(features.window()),
             feature_indices: features.catalogue_indices(),
@@ -140,6 +152,10 @@ impl Instance {
             ttf_error_sum: 0.0,
             ttf_error_count: 0,
             retired: false,
+            joined_epoch,
+            retired_epoch: None,
+            retired_forced: false,
+            retirement_announced: false,
         }
     }
 
@@ -148,11 +164,14 @@ impl Instance {
     /// this checkpoint; the row has then been appended to `matrix` and the
     /// shard batches it with its siblings. With `collect` set, completed
     /// crash epochs queue labelled training data for the adaptation bus.
+    /// `fleet_epoch` is the fleet epoch driving this tick — recorded as
+    /// the retirement epoch when this tick crosses the horizon.
     pub(crate) fn advance(
         &mut self,
         config: &FleetConfig,
         matrix: &mut FeatureMatrix,
         collect: bool,
+        fleet_epoch: u64,
     ) -> Tick {
         if self.retired {
             return Tick::Retired;
@@ -162,6 +181,7 @@ impl Instance {
             // Outer `while elapsed < horizon` of the single-instance study.
             if self.elapsed >= horizon {
                 self.retired = true;
+                self.retired_epoch = Some(fleet_epoch);
                 return Tick::Retired;
             }
             // A fleet-level workload shift takes effect at service-epoch
@@ -189,6 +209,7 @@ impl Instance {
                 if self.elapsed + uptime >= horizon {
                     self.elapsed += uptime;
                     self.retired = true;
+                    self.retired_epoch = Some(fleet_epoch);
                     self.end_epoch(EpochEnd::Unlabelled, false);
                     return Tick::Retired;
                 }
@@ -395,6 +416,46 @@ impl Instance {
         self.class_idx
     }
 
+    /// The instance's spec name.
+    pub(crate) fn name(&self) -> &str {
+        &self.spec.name
+    }
+
+    /// The class outgoing batches are tagged with (spec class, or the
+    /// current discovered class).
+    pub(crate) fn class_name(&self) -> &ServiceClass {
+        &self.current_class
+    }
+
+    /// Retires the instance early — a churn plan's scripted retire or a
+    /// simulated deprovisioning. The service epoch in flight (if any) is
+    /// closed without labels: a deprovisioned process leaves no crash
+    /// ground truth. Returns whether the call actually retired a live
+    /// instance (`false` when it already aged out).
+    pub(crate) fn force_retire(&mut self, fleet_epoch: u64) -> bool {
+        if self.retired {
+            return false;
+        }
+        self.end_epoch(EpochEnd::Unlabelled, false);
+        self.retired = true;
+        self.retired_epoch = Some(fleet_epoch);
+        self.retired_forced = true;
+        true
+    }
+
+    /// One-shot retirement announcement: `Some((epoch, forced))` the
+    /// first time it is called after the instance retired, `None`
+    /// thereafter. The scheduler sweeps this after every shard epoch to
+    /// journal/trace each retirement exactly once.
+    pub(crate) fn fresh_retirement(&mut self) -> Option<(u64, bool)> {
+        if self.retired && !self.retirement_announced {
+            self.retirement_announced = true;
+            Some((self.retired_epoch.unwrap_or(0), self.retired_forced))
+        } else {
+            None
+        }
+    }
+
     /// Attaches a class-discovery signature accumulator and places the
     /// instance in the seed discovered class (run-discovered construction;
     /// the spec's operator class, if any, is deliberately ignored).
@@ -455,6 +516,8 @@ impl Instance {
             service_epochs: self.epochs_started,
             ttf_error_sum_secs: self.ttf_error_sum,
             ttf_error_count: self.ttf_error_count,
+            joined_epoch: self.joined_epoch,
+            retired_epoch: self.retired_epoch,
         }
     }
 }

@@ -48,6 +48,19 @@
 //! over a shared retrainer pool — a workload shift in one class adapts
 //! that class alone.
 //!
+//! # Elasticity
+//!
+//! [`Fleet::with_scheduler`] swaps the barrier for an event-driven epoch
+//! scheduler: shards become tasks on a ready queue, each runs its next
+//! epoch the moment it is eligible, and the only global cuts left are
+//! leader boundaries (discovery reassessment, autoscale evaluation). A
+//! [`Fleet::with_churn`] plan makes membership dynamic — scripted joins
+//! and retires plus an optional [`AutoscaleRule`] floor — with every
+//! change journalled, traced, and folded into the report's
+//! [`ChurnStats`]. The lock-step engine stays as the determinism oracle:
+//! on a churn-free spec the scheduled run reproduces its report
+//! bit-exactly (asserted in `tests/elastic.rs`).
+//!
 //! # Example
 //!
 //! ```no_run
@@ -72,18 +85,24 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+mod churn;
 mod config;
 mod engine;
 mod instance;
 mod report;
+mod scheduler;
 mod shard;
+mod step;
 
+pub use churn::{AutoscaleRule, ChurnPlan, ScheduledJoin, ScheduledRetire};
 pub use config::{DiscoverySetup, FleetConfig, FleetError, InstanceSpec, WorkloadShift};
 pub use engine::Fleet;
 pub use instance::Instance;
 pub use report::{
-    DiscoveredClass, DiscoveryReport, FleetReport, FleetTiming, InstanceReport, JournalStats,
+    ChurnStats, DiscoveredClass, DiscoveryReport, FleetReport, FleetTiming, InstanceReport,
+    JournalStats, SchedulerStats,
 };
+pub use scheduler::SchedulerConfig;
 
 // The class vocabulary of heterogeneous fleets lives in `aging_adapt`
 // (checkpoint batches carry it); re-exported so fleet callers need not
@@ -378,6 +397,38 @@ mod tests {
         let result = catch_unwind(AssertUnwindSafe(|| fleet.run_discovered(&setup, &features)));
         crate::engine::DISCOVERY_PANIC_AT.store(u64::MAX, Ordering::SeqCst);
         assert!(result.is_err(), "the leader's panic must reach the caller");
+        assert_eq!(recorder.dumped(), 1, "one dump per recorder, not per panicking thread");
+    }
+
+    /// A panic inside a scheduler worker's shard task must go through the
+    /// same dump-exactly-once flight-recorder gate as the lock-step
+    /// engine's panic paths, and the payload must still reach the caller.
+    #[test]
+    fn scheduler_worker_panic_dumps_flight_recorder_once() {
+        use aging_obs::FlightRecorder;
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::atomic::Ordering;
+        use std::sync::Arc;
+
+        let predictor =
+            AgingPredictor::train(&[crashing_scenario()], FeatureSet::exp42(), 11).unwrap();
+        let recorder = Arc::new(FlightRecorder::with_capacity(128));
+        let fleet = Fleet::uniform(
+            &crashing_scenario(),
+            RejuvenationPolicy::Reactive,
+            4,
+            3,
+            short_config(2),
+        )
+        .unwrap()
+        .with_scheduler(SchedulerConfig::default())
+        .with_trace(Arc::clone(&recorder));
+        // Arm the seam for shard 0's second epoch; disarm before asserting
+        // so a failure cannot leak the panic into later tests.
+        crate::scheduler::SCHEDULER_PANIC_AT.store(1, Ordering::SeqCst);
+        let result = catch_unwind(AssertUnwindSafe(|| fleet.run_with_predictor(&predictor)));
+        crate::scheduler::SCHEDULER_PANIC_AT.store(u64::MAX, Ordering::SeqCst);
+        assert!(result.is_err(), "the worker panic must reach the caller");
         assert_eq!(recorder.dumped(), 1, "one dump per recorder, not per panicking thread");
     }
 }

@@ -41,6 +41,15 @@ pub struct InstanceReport {
     pub ttf_error_sum_secs: f64,
     /// Number of labelled predictions behind `ttf_error_sum_secs`.
     pub ttf_error_count: u64,
+    /// Fleet epoch at whose top the instance joined (0 for the initial
+    /// roster; defaults to 0 when deserialising pre-elastic reports).
+    #[serde(default)]
+    pub joined_epoch: u64,
+    /// Fleet epoch during which the instance retired — by ageing past its
+    /// horizon or by a scripted/forced retire. `None` when the instance
+    /// was still live at the end of the run (and for pre-elastic reports).
+    #[serde(default)]
+    pub retired_epoch: Option<u64>,
 }
 
 impl InstanceReport {
@@ -132,6 +141,46 @@ pub struct JournalStats {
     pub segment_rotations: u64,
 }
 
+/// Membership-change accounting for an elastic run. Unlike the
+/// runtime-dependent stats blocks, churn is fully determined by the specs,
+/// the plan and the seeds, so it **is** part of [`FleetReport`] equality —
+/// two runs of the same elastic fleet must agree on every join and retire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct ChurnStats {
+    /// Scripted joins applied.
+    pub scripted_joins: u64,
+    /// Scripted retires that actually retired a live instance (a retire
+    /// scheduled after its target aged out naturally is a no-op).
+    pub scripted_retires: u64,
+    /// Instances spawned by the autoscale rule.
+    pub autoscale_spawns: u64,
+    /// Force-retires applied (scripted retires that landed).
+    pub forced_retires: u64,
+    /// Instances that aged out past their horizon on their own.
+    pub natural_retires: u64,
+    /// Peak live population over the run (computed from the membership
+    /// event log: joins at an epoch land before that epoch's retires).
+    pub peak_live: u64,
+    /// Live population when the run ended.
+    pub final_live: u64,
+}
+
+/// Execution counters of the event-driven scheduler. Runtime-dependent
+/// (how work interleaves across the worker pool varies between runs), so
+/// excluded from [`FleetReport`] equality like `timing`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerStats {
+    /// Worker threads in the scheduler pool.
+    pub workers: usize,
+    /// Shard-epoch tasks executed.
+    pub shard_tasks: u64,
+    /// Leader tasks executed (discovery/autoscale boundaries).
+    pub leader_steps: u64,
+    /// Epochs skipped by fast-forwarding dead shards to their next join
+    /// or leader boundary instead of ticking them emptily.
+    pub fast_forwarded_epochs: u64,
+}
+
 /// Wall-clock performance of a fleet run. Not part of the report's
 /// equality: two runs of the same fleet are *equal* when their simulated
 /// outcomes agree, however fast the hardware drove them.
@@ -213,6 +262,19 @@ pub struct FleetReport {
     /// never fired must compare equal to the same run without a tuner.
     #[serde(default)]
     pub tuning: Option<TuneStats>,
+    /// Membership-change accounting — present for elastic runs (a
+    /// [`crate::ChurnPlan`] was attached), `None` otherwise and for
+    /// pre-elastic reports. *Included* in equality: churn is deterministic
+    /// for fixed specs, plan and seeds.
+    #[serde(default)]
+    pub churn: Option<ChurnStats>,
+    /// Event-driven scheduler counters — present when the run executed on
+    /// the scheduler (churn attached or [`crate::Fleet::with_scheduler`]),
+    /// `None` for lock-step runs and pre-elastic reports. Excluded from
+    /// equality: a scheduled run must compare equal to its lock-step
+    /// oracle, and task interleaving varies between runs.
+    #[serde(default)]
+    pub scheduler: Option<SchedulerStats>,
 }
 
 impl PartialEq for FleetReport {
@@ -230,6 +292,7 @@ impl PartialEq for FleetReport {
             && self.checkpoints == other.checkpoints
             && self.mean_ttf_error_secs == other.mean_ttf_error_secs
             && self.ttf_error_count == other.ttf_error_count
+            && self.churn == other.churn
     }
 }
 
@@ -270,6 +333,8 @@ impl FleetReport {
             telemetry: None,
             journal: None,
             tuning: None,
+            churn: None,
+            scheduler: None,
         }
     }
 
@@ -471,6 +536,31 @@ impl fmt::Display for FleetReport {
                     }
                 )?;
             }
+        }
+        if let Some(churn) = &self.churn {
+            writeln!(
+                f,
+                "  churn              {} joins  {} retires  {} autoscale spawns  \
+                 {} forced  {} natural  peak live {}  final live {}",
+                churn.scripted_joins,
+                churn.scripted_retires,
+                churn.autoscale_spawns,
+                churn.forced_retires,
+                churn.natural_retires,
+                churn.peak_live,
+                churn.final_live
+            )?;
+        }
+        if let Some(scheduler) = &self.scheduler {
+            writeln!(
+                f,
+                "  scheduler          {} workers  {} shard tasks  {} leader steps  \
+                 {} epochs fast-forwarded",
+                scheduler.workers,
+                scheduler.shard_tasks,
+                scheduler.leader_steps,
+                scheduler.fast_forwarded_epochs
+            )?;
         }
         if let Some(timing) = self.shard_timing_summary() {
             writeln!(f, "  shard timing       {timing}")?;

@@ -1,0 +1,774 @@
+//! The event-driven epoch scheduler: elastic fleets without barriers.
+//!
+//! The lock-step engine (`crate::engine`) advances every shard through a
+//! [`std::sync::Barrier`] — a slow shard stalls the whole fleet twice per
+//! epoch, and the population is fixed for the run. This module replaces
+//! both constraints with an epoch wheel: shards become *tasks* on a ready
+//! queue, a worker pool drains the queue, and each shard runs its next
+//! epoch the moment it is eligible — independent of its siblings. The only
+//! synchronisation points left are *leader boundaries* (discovery
+//! reassessment, autoscale evaluation): no shard may start an epoch past
+//! the next boundary, and the leader task runs exactly when every live
+//! shard has parked there — the same single-threaded window the barrier
+//! leader had, scheduled instead of elected.
+//!
+//! Elasticity rides on the same wheel. A [`ChurnPlan`]'s scripted joins
+//! and retires are queued per owning shard and applied at the top of their
+//! target epoch, before that epoch's first checkpoint; the leader task
+//! evaluates the autoscale rule at its boundaries and feeds spawns into
+//! the same join queues. Shards whose population hits zero are
+//! *fast-forwarded* to their next join or boundary instead of ticking
+//! empty epochs, and retire from the wheel once nothing can revive them.
+//!
+//! Determinism: per-shard epoch order is total, membership changes land at
+//! fixed epochs, and every leader boundary is a global cut (all epochs
+//! `< B` complete before the boundary-`B` leader runs, none `≥ B` start
+//! before it finishes). On a churn-free fleet the scheduled report is
+//! bit-identical to the lock-step oracle — both engines drive the same
+//! [`EpochStep`] over the same shard state in the same per-shard order.
+
+use crate::churn::ChurnPlan;
+use crate::config::{FleetConfig, InstanceSpec};
+use crate::engine::{make_instance, ModelBinding};
+use crate::report::{ChurnStats, SchedulerStats};
+use crate::shard::Shard;
+use crate::step::EpochStep;
+use aging_adapt::ServiceClass;
+use aging_journal::{Journal, JournalRecord};
+use aging_monitor::FeatureSet;
+use aging_obs::{
+    CounterHandle, EventId, EventKind, EventScope, FlightRecorder, GaugeHandle, HistogramHandle,
+    Recorder, TraceHandle, Unit,
+};
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::Ordering;
+use std::sync::{Condvar, Mutex};
+
+#[cfg(test)]
+use std::sync::atomic::AtomicU64;
+
+/// Test seam: makes the scheduler's shard-0 task panic when it is about
+/// to run this epoch, exercising the catch-unwind + flight-recorder dump
+/// path of the worker pool. `u64::MAX` disables it.
+#[cfg(test)]
+pub(crate) static SCHEDULER_PANIC_AT: AtomicU64 = AtomicU64::new(u64::MAX);
+
+/// Tuning knobs of the event-driven scheduler
+/// ([`crate::Fleet::with_scheduler`]). The default — one worker per
+/// shard, unbounded lead — is the drop-in replacement for the lock-step
+/// engine.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Worker threads in the pool. `0` (the default) means one per
+    /// shard; values above the shard count are clamped to it.
+    #[serde(default)]
+    pub workers: usize,
+    /// How many epochs a shard may run ahead of the slowest live shard
+    /// between leader boundaries. `0` (the default) means unbounded —
+    /// shards are fully independent between boundaries. Small values
+    /// bound the memory the adaptation bus can accumulate when shard
+    /// speeds diverge.
+    #[serde(default)]
+    pub max_lead_epochs: u64,
+}
+
+/// What [`run_elastic`] hands back to the engine's report assembly.
+pub(crate) struct ElasticOutcome {
+    /// Fleet epochs driven (max over shards — the same count the
+    /// lock-step engine reports).
+    pub(crate) epochs: u64,
+    /// Membership accounting (meaningful when a plan was attached).
+    pub(crate) churn: ChurnStats,
+    /// Scheduler execution counters.
+    pub(crate) scheduler: SchedulerStats,
+}
+
+/// Everything the scheduler borrows from `Fleet::run_bound`.
+pub(crate) struct ElasticArgs<'a, 'b> {
+    pub(crate) shards: &'a mut [Shard],
+    pub(crate) binding: &'a ModelBinding<'b>,
+    pub(crate) classes: &'a [ServiceClass],
+    pub(crate) default_class: &'a ServiceClass,
+    pub(crate) config: &'a FleetConfig,
+    pub(crate) features: &'a FeatureSet,
+    pub(crate) churn: Option<&'a ChurnPlan>,
+    pub(crate) scheduler: SchedulerConfig,
+    pub(crate) telemetry: Option<&'a aging_obs::Registry>,
+    pub(crate) trace_recorder: Option<&'a FlightRecorder>,
+    pub(crate) trace: TraceHandle,
+    pub(crate) journal: Option<&'a Journal>,
+    pub(crate) epochs_counter: CounterHandle,
+}
+
+/// One unit of work on the ready queue.
+enum Task {
+    /// Run shard `s`'s next epoch.
+    Shard(usize),
+    /// Run the leader window for this boundary (discovery re-partition,
+    /// autoscale evaluation).
+    Leader(u64),
+}
+
+/// A membership join waiting for its epoch on its owning shard.
+struct PendingJoin {
+    at_epoch: u64,
+    global: usize,
+    spec: InstanceSpec,
+    autoscaled: bool,
+}
+
+/// Leader-boundary parameters, fixed for the run.
+struct Params {
+    /// Discovery reassessment interval (discovered bindings only).
+    reassess: Option<u64>,
+    /// `(evaluate_every_epochs, min_live)` of the autoscale rule.
+    autoscale: Option<(u64, u64)>,
+    /// Max epochs a shard may lead the slowest live shard (0 =
+    /// unbounded).
+    max_lead: u64,
+}
+
+/// The scheduler's shared state, behind one mutex. Tasks are popped by
+/// the worker pool; every completion re-runs [`Core::schedule`] to queue
+/// whatever just became eligible.
+struct Core {
+    /// Next epoch each shard will run.
+    next_epoch: Vec<u64>,
+    /// Live instances per shard after its last completed epoch.
+    live: Vec<u64>,
+    /// Shard task currently running.
+    busy: Vec<bool>,
+    /// Shard task currently on the ready queue.
+    queued: Vec<bool>,
+    /// Shard permanently retired from the wheel.
+    done: Vec<bool>,
+    ready: VecDeque<Task>,
+    /// Leader task on the ready queue / currently running.
+    leader_queued: bool,
+    leader_busy: bool,
+    /// Highest leader boundary completed.
+    sync_done: u64,
+    /// Scheduled joins per owning shard (scripted, then autoscale
+    /// spawns), applied at the top of their target epoch.
+    pending_joins: Vec<VecDeque<PendingJoin>>,
+    /// Scheduled retires per owning shard: `(at_epoch, global index)`.
+    pending_retires: Vec<VecDeque<(u64, usize)>>,
+    /// Unspawned autoscale clones, in spawn order: `(global index,
+    /// spec)`.
+    autoscale_pool: VecDeque<(usize, InstanceSpec)>,
+    /// Live instances across the fleet.
+    total_live: u64,
+    /// Highest epoch any shard has completed — the report's epoch count.
+    max_epoch: u64,
+    panicked: bool,
+    /// First worker panic payload, rethrown after the pool drains.
+    payload: Option<Box<dyn std::any::Any + Send>>,
+    /// Pool shutdown: everything done and nothing in flight.
+    exited: bool,
+    stats: SchedulerStats,
+    churn: ChurnStats,
+    /// Membership event log: `(epoch, is_join)`, including the initial
+    /// roster at epoch 0. Folded deterministically into
+    /// [`ChurnStats::peak_live`] after the run.
+    events: Vec<(u64, bool)>,
+}
+
+impl Core {
+    /// The next leader boundary after `sync_done`, or `u64::MAX` when no
+    /// boundary source is open (no discovery, autoscale exhausted).
+    fn next_boundary(&self, p: &Params) -> u64 {
+        let mut boundary = u64::MAX;
+        if let Some(reassess) = p.reassess {
+            boundary = boundary.min((self.sync_done / reassess + 1).saturating_mul(reassess));
+        }
+        if let Some((every, _)) = p.autoscale {
+            if !self.autoscale_pool.is_empty() {
+                boundary = boundary.min((self.sync_done / every + 1).saturating_mul(every));
+            }
+        }
+        boundary
+    }
+
+    /// Queues every task that just became eligible, fast-forwards or
+    /// retires dead shards, and decides leader readiness and pool
+    /// shutdown. Called under the core lock after every state change.
+    fn schedule(&mut self, p: &Params) {
+        let n = self.live.len();
+        if self.panicked {
+            // Drain: drop queued work, retire every shard, and exit once
+            // nothing is in flight. The payload is rethrown after join.
+            self.ready.clear();
+            self.leader_queued = false;
+            for queued in &mut self.queued {
+                *queued = false;
+            }
+            for done in &mut self.done {
+                *done = true;
+            }
+            self.exited = !self.busy.iter().any(|&b| b) && !self.leader_busy;
+            return;
+        }
+        let b_next = self.next_boundary(p);
+        // Dead shards: fast-forward to whatever could make them matter
+        // again (their next join, or the boundary the leader needs them
+        // parked at), or retire them from the wheel for good.
+        for s in 0..n {
+            if self.done[s] || self.busy[s] || self.queued[s] || self.live[s] > 0 {
+                continue;
+            }
+            let next_join = self.pending_joins[s].iter().map(|j| j.at_epoch).min();
+            let target = match next_join {
+                Some(join) => join.min(b_next),
+                None if p.autoscale.is_some() && !self.autoscale_pool.is_empty() => b_next,
+                None => {
+                    self.done[s] = true;
+                    continue;
+                }
+            };
+            if target != u64::MAX && self.next_epoch[s] < target {
+                self.stats.fast_forwarded_epochs += target - self.next_epoch[s];
+                self.next_epoch[s] = target;
+            }
+        }
+        let min_active = (0..n).filter(|&s| !self.done[s]).map(|s| self.next_epoch[s]).min();
+        let Some(min_active) = min_active else {
+            // Every shard retired: the fleet is dead and nothing can
+            // revive it. No leader runs past fleet death (lock-step
+            // parity), so exit as soon as in-flight work lands.
+            self.exited = self.ready.is_empty()
+                && !self.busy.iter().any(|&b| b)
+                && !self.leader_busy
+                && !self.leader_queued;
+            return;
+        };
+        let lead_cap =
+            if p.max_lead == 0 { u64::MAX } else { min_active.saturating_add(p.max_lead) };
+        for s in 0..n {
+            if self.done[s] || self.busy[s] || self.queued[s] {
+                continue;
+            }
+            let epoch = self.next_epoch[s];
+            if epoch >= b_next || epoch >= lead_cap {
+                continue;
+            }
+            let join_due = self.pending_joins[s].iter().any(|j| j.at_epoch <= epoch);
+            if self.live[s] == 0 && !join_due {
+                continue;
+            }
+            self.queued[s] = true;
+            self.ready.push_back(Task::Shard(s));
+        }
+        // The leader runs exactly when every non-retired shard is parked
+        // at the boundary — the scheduled equivalent of the barrier's
+        // single-threaded window.
+        if b_next != u64::MAX && !self.leader_queued && !self.leader_busy {
+            let all_parked = (0..n).all(|s| {
+                self.done[s] || (!self.busy[s] && !self.queued[s] && self.next_epoch[s] >= b_next)
+            });
+            if all_parked {
+                self.leader_queued = true;
+                self.ready.push_back(Task::Leader(b_next));
+            }
+        }
+        self.exited = false;
+    }
+}
+
+/// One shard's serial state: the shard itself plus its [`EpochStep`] and
+/// the causal tail of its trace chain. At most one task per shard runs at
+/// a time (the `busy` flag), so this mutex is never contended — it exists
+/// to move `&mut Shard` across the worker pool.
+struct ShardSlot<'a> {
+    shard: &'a mut Shard,
+    step: EpochStep,
+    /// This shard's last `EpochScheduled` event — the parent of the next
+    /// one, chaining each shard's epochs causally.
+    last_event: Option<EventId>,
+}
+
+/// Everything a worker thread needs, borrowed for the pool's scope.
+struct Ctx<'a, 'b> {
+    core: Mutex<Core>,
+    cv: Condvar,
+    slots: Vec<Mutex<ShardSlot<'a>>>,
+    binding: &'a ModelBinding<'b>,
+    classes: &'a [ServiceClass],
+    default_class: &'a ServiceClass,
+    config: &'a FleetConfig,
+    features: &'a FeatureSet,
+    journal: Option<&'a Journal>,
+    trace_recorder: Option<&'a FlightRecorder>,
+    trace: TraceHandle,
+    params: Params,
+    queue_depth: HistogramHandle,
+    live_gauge: GaugeHandle,
+    leader_hist: HistogramHandle,
+    epochs_counter: CounterHandle,
+}
+
+/// Removes and returns every queue entry satisfying `due`, preserving
+/// order. Queues are per-shard and tiny, so the linear scan is free.
+fn take_due<T>(queue: &mut VecDeque<T>, due: impl Fn(&T) -> bool) -> Vec<T> {
+    let mut taken = Vec::new();
+    let mut i = 0;
+    while i < queue.len() {
+        if due(&queue[i]) {
+            taken.push(queue.remove(i).expect("index checked against len"));
+        } else {
+            i += 1;
+        }
+    }
+    taken
+}
+
+/// Appends a membership record, reporting (not propagating) failures —
+/// the journal is an audit stream, not a correctness dependency.
+fn journal_membership(journal: Option<&Journal>, record: &JournalRecord) {
+    if let Some(journal) = journal {
+        if let Err(err) = journal.append(record) {
+            eprintln!("aging-fleet: journalling membership change failed: {err}");
+        }
+    }
+}
+
+/// Drives an elastic fleet run on the event-driven scheduler. Returns
+/// after the pool drains; a worker panic is rethrown here (a leader-side
+/// discovery panic lands in the runtime's payload slot instead, matching
+/// the lock-step engine).
+pub(crate) fn run_elastic(args: ElasticArgs<'_, '_>) -> ElasticOutcome {
+    let n_shards = args.shards.len();
+    let workers = match args.scheduler.workers {
+        0 => n_shards,
+        w => w.min(n_shards),
+    }
+    .max(1);
+    let params = Params {
+        reassess: match args.binding {
+            ModelBinding::Discovered(runtime) => Some(runtime.setup.reassess_every_epochs),
+            _ => None,
+        },
+        autoscale: args
+            .churn
+            .and_then(|plan| plan.autoscale.as_ref())
+            .map(|rule| (rule.evaluate_every_epochs, rule.min_live as u64)),
+        max_lead: args.scheduler.max_lead_epochs,
+    };
+    let (queue_depth, live_gauge, leader_hist) = match args.telemetry {
+        Some(registry) => (
+            registry.histogram(
+                "fleet_scheduler_queue_depth",
+                "Ready-queue depth observed at each scheduler dequeue",
+                Unit::Count,
+            ),
+            registry.gauge("fleet_instances_live", "Instances currently live across the fleet"),
+            registry.histogram(
+                "fleet_leader_step_seconds",
+                "Wall time of the leader's single-threaded inter-barrier window per epoch",
+                Unit::Seconds,
+            ),
+        ),
+        None => (HistogramHandle::disabled(), GaugeHandle::disabled(), HistogramHandle::disabled()),
+    };
+
+    // The initial roster is membership too: journal every founding
+    // instance as joined at epoch 0, in roster order, so a replayed
+    // journal reconstructs the full population — not just the churn.
+    let n_initial: usize = args.shards.iter().map(|s| s.instances.len()).sum();
+    let mut initial: Vec<(usize, String, String)> = args
+        .shards
+        .iter()
+        .flat_map(|shard| {
+            shard
+                .instances
+                .iter()
+                .map(|(g, inst)| (*g, inst.name().to_string(), inst.class_name().to_string()))
+        })
+        .collect();
+    initial.sort_by_key(|(g, _, _)| *g);
+    for (_, name, class) in &initial {
+        journal_membership(
+            args.journal,
+            &JournalRecord::InstanceJoined {
+                instance: name.clone(),
+                class: class.clone(),
+                epoch: 0,
+            },
+        );
+    }
+    live_gauge.set(n_initial as f64);
+
+    // Queue the scripted plan. Global indices continue the roster: the
+    // initial specs hold 0..n_initial, scripted joins follow in epoch
+    // order, the autoscale pool comes last — and every roster member owns
+    // slot `global % n_shards`, the same round-robin as the founders.
+    let mut pending_joins: Vec<VecDeque<PendingJoin>> =
+        (0..n_shards).map(|_| VecDeque::new()).collect();
+    let mut pending_retires: Vec<VecDeque<(u64, usize)>> =
+        (0..n_shards).map(|_| VecDeque::new()).collect();
+    let mut autoscale_pool: VecDeque<(usize, InstanceSpec)> = VecDeque::new();
+    if let Some(plan) = args.churn {
+        let joins = plan.sorted_joins();
+        let mut name_to_global: Vec<(String, usize)> =
+            initial.iter().map(|(g, name, _)| (name.clone(), *g)).collect();
+        for (k, join) in joins.iter().enumerate() {
+            let global = n_initial + k;
+            name_to_global.push((join.spec.name.clone(), global));
+            pending_joins[global % n_shards].push_back(PendingJoin {
+                at_epoch: join.at_epoch,
+                global,
+                spec: join.spec.clone(),
+                autoscaled: false,
+            });
+        }
+        for (k, spec) in plan.autoscale_pool().into_iter().enumerate() {
+            autoscale_pool.push_back((n_initial + joins.len() + k, spec));
+        }
+        let mut retires = plan.retires.clone();
+        retires.sort_by_key(|r| r.at_epoch);
+        for retire in retires {
+            let global = name_to_global
+                .iter()
+                .find(|(name, _)| *name == retire.instance)
+                .map(|(_, g)| *g)
+                .expect("churn plan validated against the roster");
+            pending_retires[global % n_shards].push_back((retire.at_epoch, global));
+        }
+    }
+
+    let live: Vec<u64> = args.shards.iter().map(|s| s.instances.len() as u64).collect();
+    let mut core = Core {
+        next_epoch: vec![0; n_shards],
+        live,
+        busy: vec![false; n_shards],
+        queued: vec![false; n_shards],
+        done: vec![false; n_shards],
+        ready: VecDeque::new(),
+        leader_queued: false,
+        leader_busy: false,
+        sync_done: 0,
+        pending_joins,
+        pending_retires,
+        autoscale_pool,
+        total_live: n_initial as u64,
+        max_epoch: 0,
+        panicked: false,
+        payload: None,
+        exited: false,
+        stats: SchedulerStats {
+            workers,
+            shard_tasks: 0,
+            leader_steps: 0,
+            fast_forwarded_epochs: 0,
+        },
+        churn: ChurnStats::default(),
+        events: (0..n_initial).map(|_| (0, true)).collect(),
+    };
+    core.schedule(&params);
+
+    let ctx = Ctx {
+        core: Mutex::new(core),
+        cv: Condvar::new(),
+        slots: args
+            .shards
+            .iter_mut()
+            .enumerate()
+            .map(|(idx, shard)| {
+                Mutex::new(ShardSlot {
+                    shard,
+                    step: EpochStep::new(args.binding, args.classes.len(), idx, args.trace.clone()),
+                    last_event: None,
+                })
+            })
+            .collect(),
+        binding: args.binding,
+        classes: args.classes,
+        default_class: args.default_class,
+        config: args.config,
+        features: args.features,
+        journal: args.journal,
+        trace_recorder: args.trace_recorder,
+        trace: args.trace,
+        params,
+        queue_depth,
+        live_gauge,
+        leader_hist,
+        epochs_counter: args.epochs_counter,
+    };
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| worker_loop(&ctx));
+        }
+    });
+
+    let mut core = ctx.core.into_inner().expect("scheduler core poisoned");
+    if let Some(payload) = core.payload.take() {
+        std::panic::resume_unwind(payload);
+    }
+    // Peak live population, folded deterministically from the event log:
+    // within an epoch, retires land before joins (the order the top-of-
+    // epoch application uses for scripted churn).
+    core.events.sort_unstable();
+    let mut running = 0i64;
+    let mut peak = 0i64;
+    for &(_, is_join) in &core.events {
+        running += if is_join { 1 } else { -1 };
+        peak = peak.max(running);
+    }
+    core.churn.peak_live = peak.max(0) as u64;
+    core.churn.final_live = core.total_live;
+    ElasticOutcome { epochs: core.max_epoch, churn: core.churn, scheduler: core.stats }
+}
+
+/// One pool thread: pop tasks until the core says everything is drained.
+fn worker_loop(ctx: &Ctx<'_, '_>) {
+    loop {
+        let task = {
+            let mut core = ctx.core.lock().expect("scheduler core poisoned");
+            loop {
+                if let Some(task) = core.ready.pop_front() {
+                    ctx.queue_depth.record(core.ready.len() as u64 + 1);
+                    match &task {
+                        Task::Shard(s) => {
+                            core.queued[*s] = false;
+                            core.busy[*s] = true;
+                        }
+                        Task::Leader(_) => {
+                            core.leader_queued = false;
+                            core.leader_busy = true;
+                        }
+                    }
+                    break Some(task);
+                }
+                if core.exited {
+                    break None;
+                }
+                core = ctx.cv.wait(core).expect("scheduler core poisoned");
+            }
+        };
+        match task {
+            None => return,
+            Some(Task::Shard(s)) => run_shard_task(ctx, s),
+            Some(Task::Leader(boundary)) => run_leader_task(ctx, boundary),
+        }
+    }
+}
+
+/// Runs one shard's next epoch: apply due membership changes at the top,
+/// drive the [`EpochStep`], publish signatures at reassessment boundaries
+/// (and on shard death), sweep retirements, then report completion.
+fn run_shard_task(ctx: &Ctx<'_, '_>, s: usize) {
+    let (epoch, live_before, due_joins, due_retires) = {
+        let mut core = ctx.core.lock().expect("scheduler core poisoned");
+        let epoch = core.next_epoch[s];
+        let due_joins = take_due(&mut core.pending_joins[s], |j| j.at_epoch <= epoch);
+        let due_retires = take_due(&mut core.pending_retires[s], |r| r.0 <= epoch);
+        (epoch, core.live[s], due_joins, due_retires)
+    };
+    let mut slot = ctx.slots[s].lock().expect("shard slot poisoned");
+    let slot = &mut *slot;
+
+    // Scripted retires land before the epoch's first checkpoint; a retire
+    // whose target already aged out naturally is a no-op.
+    let mut retires_landed = 0u64;
+    for (_, global) in &due_retires {
+        if slot.shard.force_retire(*global, epoch) {
+            retires_landed += 1;
+        }
+    }
+    // Joins land at the top of the epoch: the joiner participates in the
+    // epoch it joins, wired exactly like a founding member.
+    let mut joined: Vec<(usize, bool, String, String)> = Vec::new();
+    for join in due_joins {
+        let autoscaled = join.autoscaled;
+        let global = join.global;
+        let instance =
+            make_instance(join.spec, ctx.features, ctx.binding, ctx.classes, epoch, global);
+        let name = instance.name().to_string();
+        let class = instance.class_name().to_string();
+        if let ModelBinding::Discovered(runtime) = ctx.binding {
+            runtime.population.fetch_add(1, Ordering::Relaxed);
+        }
+        slot.shard.admit(global, instance);
+        joined.push((global, autoscaled, name, class));
+    }
+    let live_now = live_before + joined.len() as u64 - retires_landed;
+    let scheduled = ctx.trace.emit(
+        EventScope::root().shard(s as u32).parent(slot.last_event),
+        EventKind::EpochScheduled { epoch, live: live_now },
+    );
+    if scheduled.is_some() {
+        slot.last_event = scheduled;
+    }
+    for (global, autoscaled, name, class) in &joined {
+        let _ = ctx.trace.emit(
+            EventScope::root().shard(s as u32).parent(scheduled),
+            EventKind::InstanceJoined { instance: *global as u64, autoscaled: *autoscaled },
+        );
+        journal_membership(
+            ctx.journal,
+            &JournalRecord::InstanceJoined { instance: name.clone(), class: class.clone(), epoch },
+        );
+    }
+
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        #[cfg(test)]
+        if s == 0 && epoch == SCHEDULER_PANIC_AT.load(Ordering::Relaxed) {
+            panic!("synthetic scheduler panic on shard {s} at epoch {epoch}");
+        }
+        slot.step.run(slot.shard, ctx.binding, ctx.classes, ctx.default_class, ctx.config, epoch)
+            as u64
+    }));
+    let live_after = match &outcome {
+        Ok(n) => *n,
+        Err(_) => {
+            // Flight-recorder dump: once per recorder across every panic
+            // site, before the payload is rethrown after the pool drains.
+            if let Some(recorder) = ctx.trace_recorder {
+                recorder.dump_once(&format!(
+                    "fleet scheduler worker panicked on shard {s} (epoch {epoch})"
+                ));
+            }
+            0
+        }
+    };
+    if outcome.is_ok() {
+        if let ModelBinding::Discovered(runtime) = ctx.binding {
+            // A dying shard publishes its final signatures immediately —
+            // the values the lock-step engine would keep republishing at
+            // every later boundary.
+            if EpochStep::reassess_after(ctx.binding, epoch) || live_after == 0 {
+                EpochStep::publish_signatures(slot.shard, runtime);
+            }
+        }
+    }
+    // Sweep retirements that surfaced this epoch — natural horizon ageing
+    // and the scripted force-retires alike, each announced exactly once.
+    let mut retired: Vec<(usize, String, u64, bool)> = Vec::new();
+    for (global, instance) in slot.shard.instances.iter_mut() {
+        if let Some((at, forced)) = instance.fresh_retirement() {
+            retired.push((*global, instance.name().to_string(), at, forced));
+        }
+    }
+    for (global, name, at, forced) in &retired {
+        let _ = ctx.trace.emit(
+            EventScope::root().shard(s as u32).parent(scheduled),
+            EventKind::InstanceRetired { instance: *global as u64, forced: *forced },
+        );
+        if *forced {
+            if let ModelBinding::Discovered(runtime) = ctx.binding {
+                // A churn-retired instance leaves the population: clear
+                // its signature so discovery stops clustering it, and
+                // shrink the live count the ready-fraction gate divides
+                // by. (Natural deaths keep both — bit-compatible with the
+                // fixed-population engine.)
+                *runtime.signatures[*global].lock().expect("signature slot poisoned") = None;
+                runtime.population.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        journal_membership(
+            ctx.journal,
+            &JournalRecord::InstanceRetired { instance: name.clone(), epoch: *at, forced: *forced },
+        );
+    }
+
+    let mut core = ctx.core.lock().expect("scheduler core poisoned");
+    core.busy[s] = false;
+    core.live[s] = live_after;
+    core.next_epoch[s] = epoch + 1;
+    core.stats.shard_tasks += 1;
+    core.churn.scripted_retires += retires_landed;
+    for (_, autoscaled, _, _) in &joined {
+        if *autoscaled {
+            core.churn.autoscale_spawns += 1;
+        } else {
+            core.churn.scripted_joins += 1;
+        }
+        core.events.push((epoch, true));
+        core.total_live += 1;
+    }
+    for (_, _, at, forced) in &retired {
+        if *forced {
+            core.churn.forced_retires += 1;
+        } else {
+            core.churn.natural_retires += 1;
+        }
+        core.events.push((*at, false));
+        core.total_live -= 1;
+    }
+    ctx.live_gauge.set(core.total_live as f64);
+    if epoch + 1 > core.max_epoch {
+        ctx.epochs_counter.add(epoch + 1 - core.max_epoch);
+        core.max_epoch = epoch + 1;
+    }
+    if let Err(payload) = outcome {
+        core.panicked = true;
+        if core.payload.is_none() {
+            core.payload = Some(payload);
+        }
+    }
+    core.schedule(&ctx.params);
+    ctx.cv.notify_all();
+}
+
+/// Runs the leader window for one boundary: the discovery re-partition
+/// (every shard parked, so the single-threaded contract holds) and the
+/// autoscale evaluation, then advances the boundary clock.
+fn run_leader_task(ctx: &Ctx<'_, '_>, boundary: u64) {
+    let leader_span = ctx.leader_hist.span();
+    let mut discovery_panicked = false;
+    if let Some(reassess) = ctx.params.reassess {
+        if boundary % reassess == 0 {
+            if let ModelBinding::Discovered(runtime) = ctx.binding {
+                if let Err(payload) =
+                    std::panic::catch_unwind(AssertUnwindSafe(|| runtime.step(boundary)))
+                {
+                    discovery_panicked = true;
+                    if let Some(recorder) = ctx.trace_recorder {
+                        recorder.dump_once(&format!("discovery step panicked at epoch {boundary}"));
+                    }
+                    // Lock-step parity: the leader's payload travels via
+                    // the runtime, rethrown by `run_discovered` after the
+                    // engine returns.
+                    *runtime.panic_payload.lock().expect("payload slot") = Some(payload);
+                }
+            }
+        }
+    }
+    let mut core = ctx.core.lock().expect("scheduler core poisoned");
+    core.leader_busy = false;
+    core.sync_done = boundary;
+    core.stats.leader_steps += 1;
+    if discovery_panicked {
+        core.panicked = true;
+    } else if let Some((every, min_live)) = ctx.params.autoscale {
+        // Autoscale: top the fleet back up to its floor from the spawn
+        // pool. Spawns join at the top of the boundary epoch on their
+        // roster shard, reviving it if it had gone quiet.
+        if boundary % every == 0 && core.total_live < min_live {
+            let deficit = (min_live - core.total_live) as usize;
+            for _ in 0..deficit {
+                let Some((global, spec)) = core.autoscale_pool.pop_front() else {
+                    break;
+                };
+                let target = global % core.live.len();
+                core.pending_joins[target].push_back(PendingJoin {
+                    at_epoch: boundary,
+                    global,
+                    spec,
+                    autoscaled: true,
+                });
+                core.done[target] = false;
+                if core.next_epoch[target] < boundary {
+                    core.stats.fast_forwarded_epochs += boundary - core.next_epoch[target];
+                    core.next_epoch[target] = boundary;
+                }
+            }
+        }
+    }
+    core.schedule(&ctx.params);
+    ctx.cv.notify_all();
+    drop(core);
+    leader_span.finish();
+}

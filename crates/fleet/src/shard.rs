@@ -154,6 +154,23 @@ impl Shard {
         }
     }
 
+    /// Admits a joining instance (elastic runs): slot assignment is
+    /// append-only, so existing pending-row bookkeeping stays valid.
+    /// Called at the top of a fleet epoch only, before any row of that
+    /// epoch is batched.
+    pub(crate) fn admit(&mut self, fleet_index: usize, instance: Instance) {
+        self.instances.push((fleet_index, instance));
+    }
+
+    /// Force-retires the instance with the given fleet index (scripted
+    /// churn). Returns whether a live instance was actually retired.
+    pub(crate) fn force_retire(&mut self, fleet_index: usize, fleet_epoch: u64) -> bool {
+        self.instances
+            .iter_mut()
+            .find(|(idx, _)| *idx == fleet_index)
+            .is_some_and(|(_, instance)| instance.force_retire(fleet_epoch))
+    }
+
     /// Drives every instance one checkpoint forward, then resolves all
     /// pending TTF predictions with one batched inference per service
     /// class over that class's model. Returns how many instances are
@@ -162,12 +179,15 @@ impl Shard {
     /// `threshold_overrides` carries each fleet class's effective
     /// rejuvenation threshold for this epoch (read from the class's model
     /// service at the epoch boundary, like the model pins); `None` entries
-    /// leave the spec-configured thresholds in force.
+    /// leave the spec-configured thresholds in force. `fleet_epoch` is the
+    /// fleet epoch being driven — instances that cross their horizon this
+    /// tick record it as their retirement epoch.
     pub(crate) fn epoch(
         &mut self,
         models: EpochModels<'_>,
         threshold_overrides: &[Option<f64>],
         config: &FleetConfig,
+        fleet_epoch: u64,
     ) -> usize {
         for matrix in &mut self.matrices {
             matrix.clear();
@@ -180,7 +200,7 @@ impl Shard {
         let advance_span = self.instruments.advance.span();
         for (slot, (_, instance)) in self.instances.iter_mut().enumerate() {
             let class = instance.class_idx();
-            match instance.advance(config, &mut self.matrices[class], collect) {
+            match instance.advance(config, &mut self.matrices[class], collect, fleet_epoch) {
                 Tick::Retired => {}
                 Tick::Advanced => live += 1,
                 Tick::NeedsPrediction => {

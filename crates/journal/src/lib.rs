@@ -164,6 +164,26 @@ pub enum JournalRecord {
         /// `(instance, class)` assignment pairs, in spec order.
         assignment: Vec<(String, String)>,
     },
+    /// An instance joined the fleet (initial roster, scripted join, or
+    /// autoscale spawn).
+    InstanceJoined {
+        /// Joining instance name.
+        instance: String,
+        /// Service class the instance joined under.
+        class: String,
+        /// Fleet epoch at which the instance became live.
+        epoch: u64,
+    },
+    /// An instance left the fleet — aged out of its simulated horizon, or
+    /// was retired early by a churn plan.
+    InstanceRetired {
+        /// Retiring instance name.
+        instance: String,
+        /// Fleet epoch at which the instance retired.
+        epoch: u64,
+        /// Whether a churn plan forced the retire (vs. aging out).
+        forced: bool,
+    },
 }
 
 impl JournalRecord {
@@ -174,8 +194,9 @@ impl JournalRecord {
             | JournalRecord::GenerationPublished { class, .. }
             | JournalRecord::ThresholdsRederived { class, .. }
             | JournalRecord::ClassRegistered { class }
-            | JournalRecord::ClassRetired { class, .. } => Some(class),
-            JournalRecord::PartitionAssigned { .. } => None,
+            | JournalRecord::ClassRetired { class, .. }
+            | JournalRecord::InstanceJoined { class, .. } => Some(class),
+            JournalRecord::PartitionAssigned { .. } | JournalRecord::InstanceRetired { .. } => None,
         }
     }
 
@@ -195,6 +216,8 @@ impl JournalRecord {
             JournalRecord::ClassRegistered { .. } => 4,
             JournalRecord::ClassRetired { .. } => 5,
             JournalRecord::PartitionAssigned { .. } => 6,
+            JournalRecord::InstanceJoined { .. } => 7,
+            JournalRecord::InstanceRetired { .. } => 8,
         }
     }
 
@@ -242,6 +265,16 @@ impl JournalRecord {
                     put_str(&mut out, instance);
                     put_str(&mut out, class);
                 }
+            }
+            JournalRecord::InstanceJoined { instance, class, epoch } => {
+                put_str(&mut out, instance);
+                put_str(&mut out, class);
+                put_u64(&mut out, *epoch);
+            }
+            JournalRecord::InstanceRetired { instance, epoch, forced } => {
+                put_str(&mut out, instance);
+                put_u64(&mut out, *epoch);
+                out.push(*forced as u8);
             }
         }
         out
@@ -293,6 +326,16 @@ impl JournalRecord {
                 }
                 JournalRecord::PartitionAssigned { version, assignment }
             }
+            7 => JournalRecord::InstanceJoined {
+                instance: c.string()?,
+                class: c.string()?,
+                epoch: c.u64()?,
+            },
+            8 => JournalRecord::InstanceRetired {
+                instance: c.string()?,
+                epoch: c.u64()?,
+                forced: c.u8()? != 0,
+            },
             other => return Err(DecodeError(format!("unknown record tag {other}"))),
         };
         if c.pos != payload.len() {
@@ -925,6 +968,118 @@ impl Digest64 {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Membership fold
+// ---------------------------------------------------------------------------
+
+/// Live fleet membership folded from `InstanceJoined`/`InstanceRetired`
+/// records in sequence order.
+///
+/// An elastic fleet journals every membership change, so replaying the log
+/// through this fold reconstructs exactly which instances were live when
+/// the process died — the membership half of crash recovery (checkpoint
+/// replay restores the model-state half). `check_journal` uses the same
+/// fold to validate that retires always reference a prior join.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MembershipFold {
+    /// Instances currently live, in join order: `(instance, class, epoch)`.
+    live: Vec<(String, String, u64)>,
+    joins: u64,
+    retires: u64,
+    forced_retires: u64,
+    superseded: u64,
+}
+
+/// A membership record contradicted the fold state (a retire without a
+/// prior join).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MembershipError(String);
+
+impl fmt::Display for MembershipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "membership fold failed: {}", self.0)
+    }
+}
+
+impl std::error::Error for MembershipError {}
+
+impl MembershipFold {
+    /// An empty fold (no instances live).
+    pub fn new() -> MembershipFold {
+        MembershipFold::default()
+    }
+
+    /// Folds one record. Non-membership records are ignored, so the whole
+    /// journal can be streamed through without filtering.
+    pub fn apply(&mut self, record: &JournalRecord) -> Result<(), MembershipError> {
+        match record {
+            JournalRecord::InstanceJoined { instance, class, epoch } => {
+                // A re-join of a live instance supersedes the earlier
+                // incarnation: the process died before journalling its
+                // retirement, and a restarted run re-founded the roster.
+                // The new incarnation takes the orphan's place (dropping
+                // to the end of the join order, where the new run put it).
+                if let Some(idx) = self.live.iter().position(|(name, _, _)| name == instance) {
+                    self.live.remove(idx);
+                    self.superseded += 1;
+                }
+                self.live.push((instance.clone(), class.clone(), *epoch));
+                self.joins += 1;
+            }
+            JournalRecord::InstanceRetired { instance, forced, .. } => {
+                let idx = self.live.iter().position(|(name, _, _)| name == instance).ok_or_else(
+                    || MembershipError(format!("instance {instance:?} retired without a join")),
+                )?;
+                self.live.remove(idx);
+                self.retires += 1;
+                self.forced_retires += *forced as u64;
+            }
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Instances currently live, in join order: `(instance, class, epoch)`.
+    pub fn live(&self) -> &[(String, String, u64)] {
+        &self.live
+    }
+
+    /// Total joins folded so far.
+    pub fn joins(&self) -> u64 {
+        self.joins
+    }
+
+    /// Total retires folded so far.
+    pub fn retires(&self) -> u64 {
+        self.retires
+    }
+
+    /// Retires flagged as forced by a churn plan.
+    pub fn forced_retires(&self) -> u64 {
+        self.forced_retires
+    }
+
+    /// Live incarnations superseded by a re-join — crash orphans whose
+    /// retirement was never journalled before a restarted run re-founded
+    /// them.
+    pub fn superseded(&self) -> u64 {
+        self.superseded
+    }
+
+    /// Order-sensitive digest of the live membership — two folds agree iff
+    /// the same instances are live with the same classes and join epochs.
+    pub fn digest(&self) -> u64 {
+        let mut digest = Digest64::new();
+        digest.write_u64(self.live.len() as u64);
+        for (instance, class, epoch) in &self.live {
+            digest.write_str(instance);
+            digest.write_str(class);
+            digest.write_u64(*epoch);
+        }
+        digest.finish()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -976,6 +1131,12 @@ mod tests {
                 version: 3,
                 assignment: vec![("i-0".into(), "leak".into()), ("i-1".into(), "steady".into())],
             },
+            JournalRecord::InstanceJoined {
+                instance: "i-2".into(),
+                class: "leak".into(),
+                epoch: 17,
+            },
+            JournalRecord::InstanceRetired { instance: "i-2".into(), epoch: 41, forced: true },
         ]
     }
 
@@ -1000,6 +1161,49 @@ mod tests {
         let mut bytes = JournalRecord::ClassRegistered { class: "x".into() }.encode();
         bytes.push(0);
         assert!(JournalRecord::decode(&bytes).unwrap_err().to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn membership_fold_tracks_live_instances_and_rejects_contradictions() {
+        let join = |name: &str, epoch| JournalRecord::InstanceJoined {
+            instance: name.into(),
+            class: "leak".into(),
+            epoch,
+        };
+        let retire = |name: &str, epoch, forced| JournalRecord::InstanceRetired {
+            instance: name.into(),
+            epoch,
+            forced,
+        };
+        let mut fold = MembershipFold::new();
+        for record in [&join("i-0", 0), &join("i-1", 0), &checkpoint_batch("leak", 1, 0.0)] {
+            fold.apply(record).unwrap();
+        }
+        fold.apply(&retire("i-0", 9, false)).unwrap();
+        fold.apply(&join("i-2", 12)).unwrap();
+        assert_eq!(
+            fold.live(),
+            &[("i-1".into(), "leak".into(), 0), ("i-2".into(), "leak".into(), 12)]
+        );
+        assert_eq!((fold.joins(), fold.retires(), fold.forced_retires()), (3, 1, 0));
+        fold.apply(&retire("i-2", 14, true)).unwrap();
+        assert_eq!(fold.forced_retires(), 1);
+        // A re-join of a live instance supersedes the crash orphan — the
+        // incarnation restarted runs journal when the process died before
+        // retiring it — rather than contradicting the fold.
+        fold.apply(&join("i-1", 20)).unwrap();
+        assert_eq!(fold.superseded(), 1);
+        assert_eq!(fold.live(), &[("i-1".into(), "leak".into(), 20)]);
+        // A retire without any prior join is still a contradiction.
+        assert!(fold.apply(&retire("i-7", 20, false)).is_err());
+        // Digest is order-sensitive over the live set.
+        let mut a = MembershipFold::new();
+        let mut b = MembershipFold::new();
+        a.apply(&join("x", 1)).unwrap();
+        a.apply(&join("y", 1)).unwrap();
+        b.apply(&join("y", 1)).unwrap();
+        b.apply(&join("x", 1)).unwrap();
+        assert_ne!(a.digest(), b.digest());
     }
 
     #[test]

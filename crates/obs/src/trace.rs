@@ -159,6 +159,28 @@ pub enum EventKind {
         /// Replayed objective of the promoted candidate (seconds).
         candidate_objective_secs: Option<f64>,
     },
+    /// The event-driven scheduler dispatched one shard epoch (parented on
+    /// the shard's previous `EpochScheduled`, forming a per-shard chain).
+    EpochScheduled {
+        /// Zero-based epoch index the shard is about to run.
+        epoch: u64,
+        /// Live instances on the shard when the epoch was dispatched.
+        live: u64,
+    },
+    /// An instance joined the live fleet (scripted churn or autoscaling).
+    InstanceJoined {
+        /// Fleet-wide instance index of the joiner.
+        instance: u64,
+        /// Whether an autoscale rule (vs. a scripted join) spawned it.
+        autoscaled: bool,
+    },
+    /// An instance left the live fleet.
+    InstanceRetired {
+        /// Fleet-wide instance index of the leaver.
+        instance: u64,
+        /// Whether a churn plan forced the retire (vs. aging out).
+        forced: bool,
+    },
 }
 
 impl EventKind {
@@ -185,6 +207,9 @@ impl EventKind {
             EventKind::CandidateEvaluated { .. } => "CandidateEvaluated",
             EventKind::TuneRoundCompleted { .. } => "TuneRoundCompleted",
             EventKind::PolicyPromoted { .. } => "PolicyPromoted",
+            EventKind::EpochScheduled { .. } => "EpochScheduled",
+            EventKind::InstanceJoined { .. } => "InstanceJoined",
+            EventKind::InstanceRetired { .. } => "InstanceRetired",
         }
     }
 }
@@ -732,6 +757,18 @@ fn kind_args(kind: &EventKind, args: &mut Vec<(&'static str, String)>) {
         EventKind::PolicyPromoted { incumbent_objective_secs, candidate_objective_secs } => {
             args.push(("incumbent_objective_secs", json_opt_f64(*incumbent_objective_secs)));
             args.push(("candidate_objective_secs", json_opt_f64(*candidate_objective_secs)));
+        }
+        EventKind::EpochScheduled { epoch, live } => {
+            args.push(("epoch", json_u64(*epoch)));
+            args.push(("live", json_u64(*live)));
+        }
+        EventKind::InstanceJoined { instance, autoscaled } => {
+            args.push(("instance", json_u64(*instance)));
+            args.push(("autoscaled", autoscaled.to_string()));
+        }
+        EventKind::InstanceRetired { instance, forced } => {
+            args.push(("instance", json_u64(*instance)));
+            args.push(("forced", forced.to_string()));
         }
     }
 }
